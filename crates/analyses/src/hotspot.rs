@@ -1,0 +1,192 @@
+//! Hotspot loop identification and extraction — the partitioning stage.
+//!
+//! "Hotspot detection instruments the application with loop timers and
+//! executes the instrumented code to dynamically identify time-consuming
+//! loops as candidates for acceleration." (§II-B)
+//!
+//! Faithful to that description, the detector clones the module, wraps every
+//! candidate loop in `__psa_timer_start/stop` probes via the instrumentation
+//! layer, executes the clone, and ranks loops by measured (virtual) time.
+
+use crate::AnalysisError;
+use psa_artisan::transforms::extract::{extract_kernel, ExtractedKernel};
+use psa_artisan::{edit, query};
+use psa_interp::{Interpreter, RunConfig};
+use psa_minicpp::{Module, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// One timed candidate loop.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HotspotCandidate {
+    /// Statement id of the loop in the *original* module.
+    pub stmt_id: NodeId,
+    /// Function containing the loop.
+    pub function: String,
+    /// Induction variable (for human-readable reports).
+    pub var: String,
+    /// Virtual cycles measured inside the loop.
+    pub cycles: u64,
+    /// Fraction of whole-program cycles.
+    pub share: f64,
+}
+
+/// The hotspot detection report: candidates sorted hottest-first.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HotspotReport {
+    pub candidates: Vec<HotspotCandidate>,
+    /// Total program cycles of the instrumented run.
+    pub total_cycles: u64,
+}
+
+impl HotspotReport {
+    /// The hottest loop, if any loops were found.
+    pub fn hottest(&self) -> Option<&HotspotCandidate> {
+        self.candidates.first()
+    }
+}
+
+/// Instrument every outermost loop outside already-extracted kernels with
+/// timers, execute, and rank.
+///
+/// Only *outermost* loops are candidates: the paper extracts a whole hotspot
+/// region, and an inner loop's time is already included in its parent's.
+pub fn detect_hotspots(module: &Module) -> Result<HotspotReport, AnalysisError> {
+    // Candidates: outermost loops in any function (typically `main`), except
+    // functions already marked as kernels.
+    let kernels: Vec<String> = module
+        .items
+        .iter()
+        .filter_map(|item| match item {
+            psa_minicpp::Item::Function(f)
+                if f.pragmas.iter().any(|p| p.text.trim() == "psa kernel") =>
+            {
+                Some(f.name.clone())
+            }
+            _ => None,
+        })
+        .collect();
+    let candidates =
+        query::loops(module, |l| l.is_outermost && !kernels.contains(&l.function));
+    if candidates.is_empty() {
+        return Ok(HotspotReport { candidates: Vec::new(), total_cycles: 0 });
+    }
+
+    // Clone + instrument: timer id = index into `candidates`.
+    let mut instrumented = module.clone();
+    for (i, c) in candidates.iter().enumerate() {
+        edit::wrap_with_timer(&mut instrumented, c.stmt_id, i as i64)
+            .map_err(|e| AnalysisError::Structure(e.to_string()))?;
+    }
+
+    let mut interp = Interpreter::new(&instrumented, RunConfig::default());
+    interp.run_main()?;
+    let profile = interp.profile();
+    let total_cycles = profile.total_cycles;
+
+    let mut out: Vec<HotspotCandidate> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let cycles = profile.timers.get(&(i as i64)).map_or(0, |t| t.cycles);
+            HotspotCandidate {
+                stmt_id: c.stmt_id,
+                function: c.function.clone(),
+                var: c.var.clone(),
+                cycles,
+                share: if total_cycles == 0 { 0.0 } else { cycles as f64 / total_cycles as f64 },
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.cycles.cmp(&a.cycles).then(a.stmt_id.cmp(&b.stmt_id)));
+    Ok(HotspotReport { candidates: out, total_cycles })
+}
+
+/// Detect the hottest loop and extract it into `kernel_name`, mutating
+/// `module` in place. Returns the extraction record and the detection
+/// report.
+pub fn detect_and_extract(
+    module: &mut Module,
+    kernel_name: &str,
+) -> Result<(ExtractedKernel, HotspotReport), AnalysisError> {
+    let report = detect_hotspots(module)?;
+    let hottest = report
+        .hottest()
+        .ok_or_else(|| AnalysisError::Structure("no candidate loops found".into()))?;
+    let extracted = extract_kernel(module, hottest.stmt_id, kernel_name)
+        .map_err(|e| AnalysisError::Structure(e.to_string()))?;
+    Ok((extracted, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_minicpp::{parse_module, print_module};
+
+    /// Two loops: a cold init loop and a hot O(n²) loop.
+    const APP: &str = "int main() {\
+        int n = 48;\
+        double* a = alloc_double(n);\
+        double* b = alloc_double(n);\
+        for (int i = 0; i < n; i++) { a[i] = (double)i; }\
+        for (int i = 0; i < n; i++) {\
+          for (int j = 0; j < n; j++) { b[i] += a[j] * 0.5; }\
+        }\
+        return (int)b[0];\
+      }";
+
+    #[test]
+    fn detects_the_quadratic_loop_as_hottest() {
+        let m = parse_module(APP, "t").unwrap();
+        let report = detect_hotspots(&m).unwrap();
+        assert_eq!(report.candidates.len(), 2, "only outermost loops are candidates");
+        let hottest = report.hottest().unwrap();
+        // The hot loop dominates: > 90% of program time.
+        assert!(hottest.share > 0.9, "share = {}", hottest.share);
+        assert!(report.candidates[1].cycles < hottest.cycles / 10);
+    }
+
+    #[test]
+    fn detection_does_not_mutate_the_module() {
+        let m = parse_module(APP, "t").unwrap();
+        let printed_before = print_module(&m);
+        detect_hotspots(&m).unwrap();
+        assert_eq!(print_module(&m), printed_before);
+    }
+
+    #[test]
+    fn detect_and_extract_produces_runnable_module() {
+        use psa_interp::Value;
+        let reference = {
+            let m = parse_module(APP, "t").unwrap();
+            Interpreter::new(&m, RunConfig::default()).run_main().unwrap()
+        };
+        let mut m = parse_module(APP, "t").unwrap();
+        let (k, _) = detect_and_extract(&mut m, "hotspot_knl").unwrap();
+        assert_eq!(k.name, "hotspot_knl");
+        let result = Interpreter::new(&m, RunConfig::default()).run_main().unwrap();
+        assert_eq!(reference, result);
+        let Value::Int(_) = result else { panic!() };
+        // The kernel function exists and contains the nest.
+        let out = print_module(&m);
+        assert!(out.contains("void hotspot_knl("), "{out}");
+        assert!(out.contains("hotspot_knl(n, b, a);") || out.contains("hotspot_knl("), "{out}");
+    }
+
+    #[test]
+    fn second_round_skips_extracted_kernels() {
+        let mut m = parse_module(APP, "t").unwrap();
+        detect_and_extract(&mut m, "knl0").unwrap();
+        let report = detect_hotspots(&m).unwrap();
+        // Only main's remaining init loop is a candidate now.
+        assert_eq!(report.candidates.len(), 1);
+        assert_eq!(report.candidates[0].function, "main");
+    }
+
+    #[test]
+    fn program_without_loops_yields_empty_report() {
+        let m = parse_module("int main() { return 3; }", "t").unwrap();
+        let report = detect_hotspots(&m).unwrap();
+        assert!(report.candidates.is_empty());
+        assert!(report.hottest().is_none());
+    }
+}

@@ -1,0 +1,198 @@
+//! # psa-analyses — the target-independent design-flow task repository
+//!
+//! Implements the **T-INDEP** tasks from the paper's Fig. 4 (classification
+//! letters as in the paper — A = analysis, T = transform; ⚡ = dynamic,
+//! requires program execution):
+//!
+//! | Paper task                         | Kind  | Module          |
+//! |------------------------------------|-------|-----------------|
+//! | Identify Hotspot Loops             | A ⚡  | [`hotspot`]     |
+//! | Hotspot Loop Extraction            | T     | [`hotspot`] (delegates to `psa-artisan`) |
+//! | Pointer Analysis                   | A ⚡  | [`alias`]       |
+//! | Arithmetic Intensity Analysis      | A     | [`intensity`]   |
+//! | Data In/Out Analysis               | A ⚡  | [`datamove`]    |
+//! | Loop Dependence Analysis           | A     | [`deps`]        |
+//! | Loop Trip-Count Analysis           | A ⚡  | [`tripcount`]   |
+//! | Remove Array `+=` Dependency       | T     | `psa-artisan::transforms::reduction` |
+//!
+//! [`analyze_kernel`] bundles all kernel-scoped analyses into one
+//! [`KernelAnalysis`] record — the evidence the PSA strategy at branch
+//! point A consumes (paper Fig. 3).
+
+pub mod alias;
+pub mod datamove;
+pub mod deps;
+pub mod hotspot;
+pub mod intensity;
+pub mod tripcount;
+
+use psa_minicpp::Module;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated evidence about an extracted kernel, produced by running every
+/// target-independent analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelAnalysis {
+    /// Kernel function name.
+    pub kernel: String,
+    /// Dynamic pointer-alias verdict.
+    pub alias: alias::AliasReport,
+    /// Static arithmetic intensity (FLOPs/byte).
+    pub intensity: intensity::IntensityReport,
+    /// Dynamic data movement requirements.
+    pub data: datamove::DataMovementReport,
+    /// Static per-loop dependence structure.
+    pub deps: deps::DependenceReport,
+    /// Dynamic per-loop trip counts.
+    pub trips: tripcount::TripCountReport,
+    /// Single-thread CPU virtual cycles spent in the kernel (reference
+    /// execution) — the `T_CPU` the PSA offload test compares against.
+    pub kernel_cycles: u64,
+    /// Dynamic FLOPs observed in the kernel.
+    pub kernel_flops: u64,
+    /// Bytes loaded inside the kernel (access traffic, not footprint).
+    pub kernel_bytes_loaded: u64,
+    /// Bytes stored inside the kernel.
+    pub kernel_bytes_stored: u64,
+}
+
+impl KernelAnalysis {
+    /// Total kernel memory traffic in bytes.
+    pub fn kernel_bytes(&self) -> u64 {
+        self.kernel_bytes_loaded + self.kernel_bytes_stored
+    }
+
+    /// Dynamic arithmetic intensity (cross-check for the static report).
+    pub fn dynamic_intensity(&self) -> f64 {
+        if self.kernel_bytes() == 0 {
+            f64::INFINITY
+        } else {
+            self.kernel_flops as f64 / self.kernel_bytes() as f64
+        }
+    }
+}
+
+/// Errors any analysis can raise.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisError {
+    /// The program failed to execute (dynamic analyses run it).
+    Runtime(String),
+    /// The requested function/loop does not exist.
+    NotFound(String),
+    /// A structural precondition failed.
+    Structure(String),
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisError::Runtime(m) => write!(f, "dynamic analysis failed to execute: {m}"),
+            AnalysisError::NotFound(m) => write!(f, "not found: {m}"),
+            AnalysisError::Structure(m) => write!(f, "structural error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+impl From<psa_interp::RuntimeError> for AnalysisError {
+    fn from(e: psa_interp::RuntimeError) -> Self {
+        AnalysisError::Runtime(e.to_string())
+    }
+}
+
+/// Run every kernel-scoped analysis against `kernel` in `module`.
+///
+/// The module must contain a runnable `main` that calls the kernel (hotspot
+/// extraction leaves the application in exactly this shape).
+pub fn analyze_kernel(module: &Module, kernel: &str) -> Result<KernelAnalysis, AnalysisError> {
+    if module.function(kernel).is_none() {
+        return Err(AnalysisError::NotFound(format!("function `{kernel}`")));
+    }
+    // One instrumented run serves every dynamic analysis.
+    let run = dynamic_run(module, kernel)?;
+    let alias = alias::analyze_from_run(&run);
+    let data = datamove::analyze_from_run(&run);
+    let trips = tripcount::analyze_from_run(module, kernel, &run);
+    let intensity = intensity::analyze(module, kernel)?;
+    let deps = deps::analyze(module, kernel)?;
+    Ok(KernelAnalysis {
+        kernel: kernel.to_string(),
+        alias,
+        intensity,
+        data,
+        deps,
+        trips,
+        kernel_cycles: run.profile.kernel_cycles,
+        kernel_flops: run.profile.kernel_flops,
+        kernel_bytes_loaded: run.profile.kernel_bytes_loaded,
+        kernel_bytes_stored: run.profile.kernel_bytes_stored,
+    })
+}
+
+/// The artefacts of one watched execution, shared by the dynamic analyses.
+pub struct DynamicRun {
+    pub profile: psa_interp::Profile,
+    pub memory: psa_interp::Memory,
+}
+
+/// Execute `main` with `kernel` watched.
+pub fn dynamic_run(module: &Module, kernel: &str) -> Result<DynamicRun, AnalysisError> {
+    let config = psa_interp::RunConfig {
+        watch_function: Some(kernel.to_string()),
+        ..Default::default()
+    };
+    let mut interp = psa_interp::Interpreter::new(module, config);
+    interp.run_main()?;
+    let (profile, memory) = interp.into_parts();
+    if profile.kernel_calls == 0 {
+        return Err(AnalysisError::Structure(format!(
+            "`main` never called kernel `{kernel}`; dynamic analyses have nothing to observe"
+        )));
+    }
+    Ok(DynamicRun { profile, memory })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_minicpp::parse_module;
+
+    const APP: &str = "void knl(double* a, double* b, int n) {\
+        for (int i = 0; i < n; i++) { b[i] = sqrt(a[i]) * 2.0; }\
+      }\
+      int main() {\
+        int n = 64;\
+        double* a = alloc_double(n);\
+        double* b = alloc_double(n);\
+        fill_random(a, n, 11);\
+        knl(a, b, n);\
+        return 0;\
+      }";
+
+    #[test]
+    fn analyze_kernel_aggregates_all_reports() {
+        let m = parse_module(APP, "t").unwrap();
+        let k = analyze_kernel(&m, "knl").unwrap();
+        assert_eq!(k.kernel, "knl");
+        assert!(!k.alias.may_alias);
+        assert!(k.kernel_cycles > 0);
+        assert!(k.intensity.flops_per_byte > 0.0);
+        assert_eq!(k.data.calls, 1);
+        assert_eq!(k.deps.loops.len(), 1);
+        assert!(k.deps.loops[0].parallel);
+    }
+
+    #[test]
+    fn missing_kernel_is_reported() {
+        let m = parse_module(APP, "t").unwrap();
+        assert!(matches!(analyze_kernel(&m, "nope"), Err(AnalysisError::NotFound(_))));
+    }
+
+    #[test]
+    fn uncalled_kernel_is_a_structure_error() {
+        let src = "void knl(double* a) { a[0] = 1.0; } int main() { return 0; }";
+        let m = parse_module(src, "t").unwrap();
+        assert!(matches!(analyze_kernel(&m, "knl"), Err(AnalysisError::Structure(_))));
+    }
+}

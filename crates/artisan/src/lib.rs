@@ -1,0 +1,74 @@
+//! # psa-artisan — the meta-programming layer
+//!
+//! A Rust re-implementation of the mechanisms the paper's design-flow tasks
+//! are built from (the paper uses the Artisan framework, §II-A):
+//!
+//! * **query** — programmatic AST search with contextual predicates
+//!   (`loop.isForStmt ∧ fn.encloses(loop) ∧ loop.is_outermost`), see
+//!   [`query`];
+//! * **instrument** — splice statements/pragmas relative to existing nodes
+//!   (`instrument(before, loop, #pragma unroll $n)`), see [`edit`];
+//! * **transforms** — the source-to-source rewrites the task repository
+//!   uses: full loop unrolling, hotspot/kernel extraction (outlining),
+//!   reduction-dependency removal, single-precision conversion, specialised
+//!   math substitution, see [`transforms`];
+//! * **export** — ASTs "closely mirror the source-code as written", so
+//!   [`Ast::export`] prints human-readable code at any point.
+//!
+//! Meta-programs in `psaflow-core` compose these mechanisms with tool/
+//! platform access (the simulated HLS compiler, GPU occupancy model, …) to
+//! form complete design-flow tasks.
+
+pub mod edit;
+pub mod query;
+pub mod sym;
+pub mod transforms;
+
+use psa_minicpp::{parse_module, print_module, Module, Result};
+
+/// The Artisan-style AST handle: owns a module, supports query /
+/// instrument / transform / export.
+///
+/// Mirrors `ast ⇐ Ast(src)` from the paper's Fig. 2 meta-program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ast {
+    /// The underlying module; tasks may operate on it directly.
+    pub module: Module,
+}
+
+impl Ast {
+    /// Parse source text into an AST handle.
+    pub fn from_source(source: &str, name: &str) -> Result<Ast> {
+        Ok(Ast { module: parse_module(source, name)? })
+    }
+
+    /// Wrap an already-built module.
+    pub fn from_module(module: Module) -> Ast {
+        Ast { module }
+    }
+
+    /// Export back to human-readable source (the `design.export(mod_src)`
+    /// step of the paper's meta-programs).
+    pub fn export(&self) -> String {
+        print_module(&self.module)
+    }
+
+    /// Lines of code of the exported design — the paper's productivity
+    /// metric (Table I). Counts non-blank lines.
+    pub fn loc(&self) -> usize {
+        self.export().lines().filter(|l| !l.trim().is_empty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ast_roundtrip_and_loc() {
+        let ast = Ast::from_source("int main() {\n  return 0;\n}", "app.cpp").unwrap();
+        assert_eq!(ast.loc(), 3);
+        let reparsed = Ast::from_source(&ast.export(), "app.cpp").unwrap();
+        assert_eq!(reparsed.export(), ast.export());
+    }
+}

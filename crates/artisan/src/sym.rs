@@ -1,0 +1,124 @@
+//! Lightweight symbol tables: what type does a name have inside a function?
+//!
+//! Kernel extraction needs to turn the free variables of a hotspot loop into
+//! typed parameters of the new kernel function; this module provides the
+//! name → type map it consults. MiniC++ transforms assume names are unique
+//! within a function (shadowing across sibling scopes is legal to *run* but
+//! extraction refuses it to stay conservative).
+
+use psa_minicpp::ast::*;
+use std::collections::HashMap;
+
+/// Name → declared type, for one function (params, locals, loop variables)
+/// plus module globals.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    map: HashMap<String, Type>,
+    /// Names declared more than once (shadowing) — extraction treats these
+    /// as errors.
+    pub duplicates: Vec<String>,
+}
+
+impl SymbolTable {
+    /// Type of `name`, if declared.
+    pub fn get(&self, name: &str) -> Option<Type> {
+        self.map.get(name).copied()
+    }
+
+    /// Iterate (name, type) pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Type)> {
+        self.map.iter()
+    }
+
+    fn insert(&mut self, name: &str, ty: Type) {
+        if self.map.insert(name.to_string(), ty).is_some() {
+            self.duplicates.push(name.to_string());
+        }
+    }
+}
+
+/// Build the symbol table for a function, including module globals (which
+/// never count as duplicates of themselves).
+pub fn function_symbols(module: &Module, func: &Function) -> SymbolTable {
+    let mut table = SymbolTable::default();
+    for item in &module.items {
+        if let Item::Global(stmt) = item {
+            if let StmtKind::Decl(d) = &stmt.kind {
+                table.map.insert(d.name.clone(), decl_type(d));
+            }
+        }
+    }
+    for p in &func.params {
+        table.insert(&p.name, p.ty);
+    }
+    collect_block(&func.body, &mut table);
+    table
+}
+
+fn decl_type(d: &VarDecl) -> Type {
+    if d.array_len.is_some() {
+        // Local arrays decay to pointers when passed onward.
+        Type { scalar: d.ty.scalar, ptr: d.ty.ptr + 1, is_const: false }
+    } else {
+        d.ty
+    }
+}
+
+fn collect_block(block: &Block, table: &mut SymbolTable) {
+    for stmt in &block.stmts {
+        match &stmt.kind {
+            StmtKind::Decl(d) => table.insert(&d.name, decl_type(d)),
+            StmtKind::For(l) => {
+                if l.declares_var {
+                    table.insert(&l.var, Type::INT);
+                }
+                collect_block(&l.body, table);
+            }
+            StmtKind::If { then, els, .. } => {
+                collect_block(then, table);
+                if let Some(els) = els {
+                    collect_block(els, table);
+                }
+            }
+            StmtKind::While { body, .. } | StmtKind::Block(body) => collect_block(body, table),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_minicpp::parse_module;
+
+    #[test]
+    fn collects_params_locals_and_loop_vars() {
+        let m = parse_module(
+            "double g = 1.0;\
+             void f(double* a, int n) { double acc[4]; float t = 0.0f; for (int i = 0; i < n; i++) { } }",
+            "t",
+        )
+        .unwrap();
+        let f = m.function("f").unwrap();
+        let table = function_symbols(&m, f);
+        assert_eq!(table.get("a"), Some(Type::pointer(Scalar::Double)));
+        assert_eq!(table.get("n"), Some(Type::INT));
+        assert_eq!(table.get("acc"), Some(Type::pointer(Scalar::Double)), "local array decays");
+        assert_eq!(table.get("t"), Some(Type::FLOAT));
+        assert_eq!(table.get("i"), Some(Type::INT));
+        assert_eq!(table.get("g"), Some(Type::DOUBLE));
+        assert_eq!(table.get("missing"), None);
+        assert!(table.duplicates.is_empty());
+    }
+
+    #[test]
+    fn detects_shadowing_duplicates() {
+        let m = parse_module(
+            "void f(int n) { int x = 0; if (n > 0) { double x = 1.0; sink(x); } }",
+            "t",
+        )
+        .unwrap();
+        let table = function_symbols(&m, m.function("f").unwrap());
+        assert_eq!(table.duplicates, vec!["x".to_string()]);
+    }
+}

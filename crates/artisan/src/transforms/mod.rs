@@ -1,0 +1,54 @@
+//! The source-to-source transform library.
+//!
+//! These are the reusable building blocks the paper's task repository
+//! classifies as **T** (Transform) in Fig. 4:
+//!
+//! | Paper task                       | Implementation                        |
+//! |----------------------------------|---------------------------------------|
+//! | Hotspot Loop Extraction          | [`extract::extract_kernel`]            |
+//! | Remove Array `+=` Dependency     | [`reduction::remove_array_accumulation`] |
+//! | Unroll Fixed Loops               | [`unroll::fully_unroll`]               |
+//! | Employ SP Numeric Literals       | [`precision::employ_sp_literals`]      |
+//! | Employ SP Math Fns               | [`precision::employ_sp_math`]          |
+//! | Employ Specialised Math Fns      | [`mathopt::employ_specialised_math`]   |
+//! | Multi-Thread Parallel Loops      | pragma insertion via [`crate::edit`]   |
+//!
+//! Every transform is a pure AST rewrite that leaves the module printable
+//! and re-parseable; semantic preservation for the value-level transforms is
+//! checked by property tests against the interpreter.
+
+pub mod extract;
+pub mod mathopt;
+pub mod precision;
+pub mod reduction;
+pub mod subst;
+pub mod unroll;
+
+use std::fmt;
+
+/// Errors raised by transforms that refuse to apply (preconditions guard
+/// soundness — a transform never silently produces wrong code).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransformError {
+    pub message: String,
+}
+
+impl TransformError {
+    pub fn new(message: impl Into<String>) -> Self {
+        TransformError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transform error: {}", self.message)
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+impl From<crate::edit::EditError> for TransformError {
+    fn from(e: crate::edit::EditError) -> Self {
+        TransformError::new(e.to_string())
+    }
+}

@@ -1,0 +1,205 @@
+//! Full loop unrolling — the "Unroll Fixed Loops" transform.
+//!
+//! FPGA pipelines benefit from inner loops with small fixed bounds being
+//! flattened into straight-line code (the paper's FPGA path applies this
+//! before the unroll-until-overmap DSE on the *outer* loop, which stays a
+//! `#pragma unroll N` hint consumed by the HLS resource model).
+
+use super::subst::{is_subst_safe, substitute_ident};
+use super::TransformError;
+use crate::{edit, query};
+use psa_minicpp::ast::*;
+
+/// Upper bound on trip counts we will fully flatten; larger loops are a DSE
+/// concern, not a straight-line-code concern.
+pub const MAX_FULL_UNROLL: u64 = 256;
+
+/// Fully unroll the `for` loop whose *statement* id is `loop_stmt`.
+///
+/// Preconditions (checked, not assumed):
+/// * static trip count known and ≤ [`MAX_FULL_UNROLL`];
+/// * the induction variable is declared by the loop header and neither
+///   assigned nor redeclared in the body;
+/// * the loop carries its own `declares_var` (so the variable is dead after
+///   the loop).
+///
+/// The loop is replaced by `trip_count` copies of the body with the
+/// induction variable folded to a constant in each.
+pub fn fully_unroll(module: &mut Module, loop_stmt: NodeId) -> Result<u64, TransformError> {
+    let stmt = query::find_stmt(module, loop_stmt)
+        .ok_or_else(|| TransformError::new(format!("no statement {loop_stmt}")))?;
+    let StmtKind::For(l) = &stmt.kind else {
+        return Err(TransformError::new("target statement is not a for-loop"));
+    };
+    let trip = l
+        .static_trip_count()
+        .ok_or_else(|| TransformError::new("loop bounds are not compile-time constants"))?;
+    if trip > MAX_FULL_UNROLL {
+        return Err(TransformError::new(format!(
+            "trip count {trip} exceeds full-unroll limit {MAX_FULL_UNROLL}"
+        )));
+    }
+    if !l.declares_var {
+        return Err(TransformError::new(
+            "loop does not own its induction variable; it may be live after the loop",
+        ));
+    }
+    if !is_subst_safe(&l.body, &l.var) {
+        return Err(TransformError::new(format!(
+            "induction variable `{}` is assigned or shadowed in the loop body",
+            l.var
+        )));
+    }
+
+    edit::rewrite_stmt(module, loop_stmt, |stmt, _next_id| {
+        let StmtKind::For(l) = stmt.kind else { unreachable!("checked above") };
+        let init = l.init.as_int().expect("static trip implies literal init");
+        let step = l.step.as_int().expect("static trip implies literal step");
+        let signed_step = if l.step_negative { -step } else { step };
+        let mut out = Vec::with_capacity(trip as usize);
+        for k in 0..trip {
+            let value = init + signed_step * k as i64;
+            let mut body = l.body.clone();
+            substitute_ident(&mut body, &l.var, &build::int(value));
+            // Splice body statements directly (no extra brace nesting) when
+            // the body has a single statement; otherwise keep a block so
+            // local declarations stay scoped per iteration.
+            if body.stmts.len() == 1 && !matches!(body.stmts[0].kind, StmtKind::Decl(_)) {
+                out.push(body.stmts.into_iter().next().expect("one statement"));
+            } else {
+                out.push(Stmt {
+                    id: NodeId(u32::MAX),
+                    span: l.span,
+                    pragmas: Vec::new(),
+                    kind: StmtKind::Block(body),
+                });
+            }
+        }
+        out
+    })?;
+    Ok(trip)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_interp::{Interpreter, RunConfig, Value};
+    use psa_minicpp::{parse_module, print_module};
+
+    fn first_loop_stmt(m: &Module, func: &str) -> NodeId {
+        query::loops(m, |l| l.function == func)[0].stmt_id
+    }
+
+    #[test]
+    fn unrolls_fixed_loop_to_straight_line() {
+        let mut m = parse_module(
+            "void f(double* a) { for (int i = 0; i < 3; i++) { a[i] = (double)i; } }",
+            "t",
+        )
+        .unwrap();
+        let target = first_loop_stmt(&m, "f");
+        assert_eq!(fully_unroll(&mut m, target).unwrap(), 3);
+        let out = print_module(&m);
+        assert!(!out.contains("for ("), "{out}");
+        assert!(out.contains("a[0] = (double)0;"), "{out}");
+        assert!(out.contains("a[2] = (double)2;"), "{out}");
+    }
+
+    #[test]
+    fn unrolled_code_computes_the_same_result() {
+        let src = "int main() { double* a = alloc_double(8); double s = 0.0;\
+                    for (int i = 0; i < 8; i++) { a[i] = (double)i * 1.5; }\
+                    for (int i = 0; i < 8; i++) { s += a[i]; }\
+                    return (int)(s * 10.0); }";
+        let reference = {
+            let m = parse_module(src, "t").unwrap();
+            Interpreter::new(&m, RunConfig::default()).run_main().unwrap()
+        };
+        let mut m = parse_module(src, "t").unwrap();
+        // Unroll both loops.
+        for _ in 0..2 {
+            let target = query::loops(&m, |_| true)[0].stmt_id;
+            fully_unroll(&mut m, target).unwrap();
+        }
+        assert!(query::loops(&m, |_| true).is_empty());
+        let unrolled = Interpreter::new(&m, RunConfig::default()).run_main().unwrap();
+        assert_eq!(reference, unrolled);
+        assert_eq!(unrolled, Value::Int(420));
+    }
+
+    #[test]
+    fn descending_and_strided_loops_unroll() {
+        let mut m = parse_module(
+            "void f(double* a) { for (int i = 6; i > 0; i -= 2) { a[i] = 1.0; } }",
+            "t",
+        )
+        .unwrap();
+        let target = first_loop_stmt(&m, "f");
+        assert_eq!(fully_unroll(&mut m, target).unwrap(), 3);
+        let out = print_module(&m);
+        assert!(out.contains("a[6] = 1.0;") && out.contains("a[4] = 1.0;") && out.contains("a[2] = 1.0;"), "{out}");
+    }
+
+    #[test]
+    fn refuses_runtime_bounds() {
+        let mut m =
+            parse_module("void f(double* a, int n) { for (int i = 0; i < n; i++) { a[i] = 0.0; } }", "t")
+                .unwrap();
+        let target = first_loop_stmt(&m, "f");
+        let err = fully_unroll(&mut m, target).unwrap_err();
+        assert!(err.to_string().contains("compile-time"));
+    }
+
+    #[test]
+    fn refuses_oversized_trip_counts() {
+        let mut m =
+            parse_module("void f(double* a) { for (int i = 0; i < 100000; i++) { sink(i); } }", "t")
+                .unwrap();
+        let target = first_loop_stmt(&m, "f");
+        assert!(fully_unroll(&mut m, target).is_err());
+    }
+
+    #[test]
+    fn refuses_mutated_induction_variable() {
+        let mut m = parse_module(
+            "void f(double* a) { for (int i = 0; i < 4; i++) { i += 1; a[i] = 0.0; } }",
+            "t",
+        )
+        .unwrap();
+        let target = first_loop_stmt(&m, "f");
+        assert!(fully_unroll(&mut m, target).is_err());
+    }
+
+    #[test]
+    fn multi_statement_bodies_stay_scoped() {
+        let mut m = parse_module(
+            "void f(double* a) { for (int i = 0; i < 2; i++) { double t = (double)i; a[i] = t; } }",
+            "t",
+        )
+        .unwrap();
+        let target = first_loop_stmt(&m, "f");
+        fully_unroll(&mut m, target).unwrap();
+        // The per-iteration `t` declarations must not collide: bodies stay
+        // wrapped in blocks, and the program re-parses.
+        let out = print_module(&m);
+        let reparsed = parse_module(&out, "t").unwrap();
+        assert_eq!(query::loops(&reparsed, |_| true).len(), 0);
+    }
+
+    #[test]
+    fn nested_inner_loop_can_be_unrolled() {
+        let mut m = parse_module(
+            "void f(double* a, int n) { for (int i = 0; i < n; i++) { for (int j = 0; j < 4; j++) { a[i * 4 + j] = 0.0; } } }",
+            "t",
+        )
+        .unwrap();
+        let inner = query::loops(&m, |l| l.depth == 1)[0].stmt_id;
+        fully_unroll(&mut m, inner).unwrap();
+        let remaining = query::loops(&m, |_| true);
+        assert_eq!(remaining.len(), 1);
+        assert_eq!(remaining[0].var, "i");
+        let out = print_module(&m);
+        assert!(out.contains("a[i * 4 + 0]"), "{out}");
+        assert!(out.contains("a[i * 4 + 3]"), "{out}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Criterion bench: ablations over the DSE design choices DESIGN.md calls
+//! out.
+//!
+//! * `unroll_until_overmap` doubling vs an exhaustive linear sweep — the
+//!   paper's doubling schedule converges in O(log U) partial compiles;
+//! * pragma-annotation vs source-flattening for fixed-loop unrolling — the
+//!   LOC-neutral choice the FPGA path uses vs the structural transform;
+//! * blocksize DSE: the power-of-two sweep vs a dense warp-multiple sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psa_minicpp::parse_module;
+use psa_platform::{arria10, rtx_2080_ti, FpgaModel, GpuModel, KernelWork, OpCounts};
+
+fn flat_work() -> KernelWork {
+    KernelWork {
+        flops_fma: 5e9,
+        flops_sfu: 1e9,
+        cycles_1t: 40e9,
+        bytes_mem: 2e8,
+        bytes_in: 1e7,
+        bytes_out: 1e7,
+        threads: 1e6,
+        pipeline_iters: 1e6,
+        fp64: false,
+        regs_per_thread: 64,
+        flat_pipeline: true,
+        ops: OpCounts {
+            fp_add: 24.0,
+            fp_mul: 18.0,
+            transcendental: 2.0,
+            mem_ops: 9.0,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn bench_unroll_schedules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unroll_dse_schedule");
+    let model = FpgaModel::new(arria10());
+    let w = flat_work();
+
+    // The paper's doubling DSE.
+    group.bench_function("doubling", |b| {
+        let src = "void knl(double* a, int n) { for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0; } }";
+        b.iter(|| {
+            let mut m = parse_module(src, "t").unwrap();
+            psaflow_core::dse::unroll_until_overmap(&mut m, "knl", &model, &w).unwrap()
+        })
+    });
+
+    // Ablation: exhaustive linear sweep to the same answer.
+    group.bench_function("linear_sweep", |b| {
+        b.iter(|| {
+            let mut best = 1u64;
+            for u in 1..=512u64 {
+                if model.hls_report(&w.ops, w.fp64, u).overmapped {
+                    break;
+                }
+                best = u;
+            }
+            best
+        })
+    });
+    group.finish();
+}
+
+fn bench_unroll_representation(c: &mut Criterion) {
+    // Pragma annotation vs source-level flattening of a fixed inner loop.
+    let src = "void knl(double* out, double* w, int n) {\
+                 for (int i = 0; i < n; i++) {\
+                   double acc = 0.0;\
+                   for (int f = 0; f < 16; f++) { acc += w[f] * 0.5; }\
+                   out[i] = acc;\
+                 }\
+               }\
+               int main() { double* w = alloc_double(16); double* out = alloc_double(8); knl(out, w, 8); return 0; }";
+    let mut group = c.benchmark_group("fixed_loop_unrolling");
+
+    group.bench_function("pragma_annotation", |b| {
+        b.iter(|| {
+            let mut m = parse_module(src, "t").unwrap();
+            let target = psa_artisan::query::loops(&m, |l| l.depth == 1)[0].stmt_id;
+            psa_artisan::edit::add_pragma(&mut m, target, "unroll").unwrap();
+            psa_minicpp::print_module(&m).len()
+        })
+    });
+
+    group.bench_function("source_flattening", |b| {
+        b.iter(|| {
+            let mut m = parse_module(src, "t").unwrap();
+            let target = psa_artisan::query::loops(&m, |l| l.depth == 1)[0].stmt_id;
+            psa_artisan::transforms::unroll::fully_unroll(&mut m, target).unwrap();
+            psa_minicpp::print_module(&m).len()
+        })
+    });
+    group.finish();
+
+    // Report the LOC consequence once (the ablation's payload).
+    let loc = |flatten: bool| {
+        let mut m = parse_module(src, "t").unwrap();
+        let target = psa_artisan::query::loops(&m, |l| l.depth == 1)[0].stmt_id;
+        if flatten {
+            psa_artisan::transforms::unroll::fully_unroll(&mut m, target).unwrap();
+        } else {
+            psa_artisan::edit::add_pragma(&mut m, target, "unroll").unwrap();
+        }
+        psa_minicpp::print_module(&m)
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .count()
+    };
+    println!(
+        "\n[ablation] fixed-loop unrolling LOC: pragma = {}, flattened = {}",
+        loc(false),
+        loc(true)
+    );
+}
+
+fn bench_blocksize_sweeps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blocksize_dse_sweep");
+    let model = GpuModel::new(rtx_2080_ti());
+    let w = flat_work();
+
+    group.bench_function("pow2_candidates", |b| {
+        b.iter(|| psaflow_core::dse::blocksize_dse(&model, &w, true))
+    });
+
+    group.bench_function("dense_warp_multiples", |b| {
+        b.iter(|| {
+            let mut best = (0u32, f64::INFINITY);
+            for bsize in (32..=1024).step_by(32) {
+                let t = model.total_time(&w, bsize, true);
+                if t < best.1 {
+                    best = (bsize, t);
+                }
+            }
+            best
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_unroll_schedules, bench_unroll_representation, bench_blocksize_sweeps);
+criterion_main!(benches);

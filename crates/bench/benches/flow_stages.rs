@@ -1,0 +1,102 @@
+//! Criterion bench: per-stage costs of the design-flow pipeline — where
+//! does flow time go? (parse, hotspot detection, kernel analyses,
+//! transforms, code generation, platform models).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psa_minicpp::parse_module;
+
+fn app() -> String {
+    psa_benchsuite::nbody::source(64)
+}
+
+fn extracted_module() -> psa_minicpp::Module {
+    let mut m = parse_module(&app(), "nbody").unwrap();
+    psa_analyses::hotspot::detect_and_extract(&mut m, "knl").unwrap();
+    m
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let source = app();
+    let mut group = c.benchmark_group("flow_stages");
+    group.sample_size(20);
+
+    group.bench_function("parse", |b| {
+        b.iter(|| parse_module(&source, "nbody").unwrap())
+    });
+
+    let parsed = parse_module(&source, "nbody").unwrap();
+    group.bench_function("print", |b| b.iter(|| psa_minicpp::print_module(&parsed)));
+
+    group.bench_function("hotspot_detection", |b| {
+        b.iter(|| psa_analyses::hotspot::detect_hotspots(&parsed).unwrap())
+    });
+
+    let module = extracted_module();
+    group.bench_function("kernel_analyses", |b| {
+        b.iter(|| psa_analyses::analyze_kernel(&module, "knl").unwrap())
+    });
+
+    group.bench_function("static_intensity_only", |b| {
+        b.iter(|| psa_analyses::intensity::analyze(&module, "knl").unwrap())
+    });
+
+    group.bench_function("dependence_only", |b| {
+        b.iter(|| psa_analyses::deps::analyze(&module, "knl").unwrap())
+    });
+
+    group.bench_function("op_counts_and_registers", |b| {
+        b.iter(|| {
+            let ops = psa_platform::resources::op_counts(&module, "knl").unwrap();
+            let regs = psa_platform::resources::estimate_registers(&module, "knl").unwrap();
+            (ops, regs)
+        })
+    });
+
+    group.bench_function("sp_transforms", |b| {
+        b.iter(|| {
+            let mut m = module.clone();
+            psa_artisan::transforms::precision::employ_sp_math(&mut m, "knl").unwrap();
+            psa_artisan::transforms::precision::employ_sp_literals(&mut m, "knl").unwrap();
+            m
+        })
+    });
+
+    group.bench_function("hip_codegen", |b| {
+        let config = psa_codegen::hip::HipConfig {
+            device: "GeForce RTX 2080 Ti".into(),
+            blocksize: 256,
+            pinned: true,
+            shared_mem_arrays: vec!["px".into(), "py".into(), "pz".into(), "mass".into()],
+        };
+        b.iter(|| psa_codegen::hip::generate(&module, "knl", &config).unwrap())
+    });
+
+    group.bench_function("oneapi_codegen", |b| {
+        let config = psa_codegen::oneapi::OneApiConfig {
+            device: "PAC Stratix10".into(),
+            unroll: 4,
+            zero_copy: true,
+        };
+        b.iter(|| psa_codegen::oneapi::generate(&module, "knl", &config).unwrap())
+    });
+
+    group.bench_function("gpu_model_estimate", |b| {
+        let w = psa_platform::KernelWork {
+            flops_fma: 1e9,
+            flops_sfu: 2e8,
+            cycles_1t: 5e9,
+            bytes_mem: 1e8,
+            threads: 65536.0,
+            fp64: false,
+            regs_per_thread: 48,
+            ..Default::default()
+        };
+        let model = psa_platform::GpuModel::new(psa_platform::rtx_2080_ti());
+        b.iter(|| model.estimate(&w, 256, true))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

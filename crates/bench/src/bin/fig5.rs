@@ -1,0 +1,54 @@
+//! Regenerate Fig. 5: accelerated hotspot speedups of the auto-generated
+//! designs vs the unoptimised single-thread CPU reference, paper vs
+//! measured, plus the informed PSA's target selections.
+
+use psa_bench::{fmt_speedup, run_all};
+use psa_benchsuite::paper;
+
+fn main() {
+    println!("Fig. 5 — Hotspot speedups vs 1-thread CPU reference");
+    println!("(paper value → measured value; informed PSA selection marked)\n");
+    let results = run_all().expect("flows run");
+
+    println!(
+        "{:<14} {:>16} {:>16} {:>16} {:>16} {:>16} {:>16}   informed target",
+        "App", "Auto-Selected", "OMP", "HIP 1080Ti", "HIP 2080Ti", "oneAPI A10", "oneAPI S10"
+    );
+    for (row, _) in &results {
+        let p = paper::fig5_row(&row.key).expect("paper row");
+        let cell = |paper: Option<f64>, measured: Option<f64>| -> String {
+            let ps = match paper {
+                Some(v) => format!("{v}x"),
+                None => "n/a".to_string(),
+            };
+            format!("{ps}→{}", fmt_speedup(measured))
+        };
+        println!(
+            "{:<14} {:>16} {:>16} {:>16} {:>16} {:>16} {:>16}   {:?}",
+            row.key,
+            cell(Some(p.auto_selected), row.auto_selected),
+            cell(Some(p.omp), row.omp),
+            cell(Some(p.hip_1080), row.hip_1080),
+            cell(Some(p.hip_2080), row.hip_2080),
+            cell(p.oneapi_a10, row.oneapi_a10),
+            cell(p.oneapi_s10, row.oneapi_s10),
+            row.selected_target,
+        );
+    }
+
+    println!("\nShape checks (paper's qualitative claims):");
+    for (row, _) in &results {
+        let p = paper::fig5_row(&row.key).unwrap();
+        let expected = match p.target {
+            paper::PaperTarget::MultiThreadCpu => "MultiThreadCpu",
+            paper::PaperTarget::CpuGpu => "CpuGpu",
+            paper::PaperTarget::CpuFpga => "CpuFpga",
+        };
+        let got = row.selected_target.map(|t| format!("{t:?}")).unwrap_or_default();
+        println!(
+            "  {:<14} informed target: paper {expected:<14} measured {got:<14} {}",
+            row.key,
+            if got == expected { "OK" } else { "MISMATCH" }
+        );
+    }
+}

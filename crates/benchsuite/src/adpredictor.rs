@@ -1,0 +1,141 @@
+//! AdPredictor — Bayesian click-through-rate scoring.
+//!
+//! Paper characterisation (§IV-B): "The computations in AdPredictor are
+//! highly amenable to pipelined execution on an FPGA, with simple
+//! fixed-bound, fully-unrollable inner loops and an outer loop that can be
+//! unrolled to maximise resource utilisation on each FPGA target without
+//! affecting its initiation interval" — the Stratix10 CPU+FPGA design is
+//! the best across all targets (32×), while the GPU designs reach only ~10×
+//! (the hashed weight-table gathers defeat coalescing).
+
+use crate::{Benchmark, ScaleFactors};
+
+/// Impressions in the analysis workload.
+pub const ANALYSIS_IMPRESSIONS: usize = 1_024;
+
+/// Impressions in the paper-scale evaluation workload.
+pub const EVAL_IMPRESSIONS: usize = 4_194_304;
+
+/// Features per impression (fixed bound, fully unrollable).
+pub const FEATURES: usize = 10;
+
+/// Weight-table entries (means and variances).
+pub const TABLE: usize = 4_096;
+
+/// Build the unoptimised high-level description for `n` impressions.
+pub fn source(n: usize) -> String {
+    format!(
+        r#"// AdPredictor: Bayesian CTR scoring over hashed features (unoptimised reference).
+int main() {{
+    int n = {n};
+    double* w_mu = alloc_double({TABLE});
+    double* w_var = alloc_double({TABLE});
+    double* pred = alloc_double(n);
+    fill_random(w_mu, {TABLE}, 31);
+    fill_random(w_var, {TABLE}, 32);
+    for (int i = 0; i < n; i++) {{
+        double mu = 0.0;
+        double s2 = 1.0;
+        for (int f = 0; f < {FEATURES}; f++) {{
+            int idx = (i * 40503 + f * 2654435761 + 12345) % {TABLE};
+            double m = w_mu[idx];
+            double v = w_var[idx];
+            double z = m * rsqrt(v + 1.0);
+            double g = exp(z * -0.5);
+            mu += z;
+            s2 += v * g;
+        }}
+        double t = mu / sqrt(s2);
+        pred[i] = 0.5 * (1.0 + erf(t * 0.7071067811865475));
+    }}
+    double checksum = 0.0;
+    for (int i = 0; i < n; i++) {{
+        checksum += pred[i];
+    }}
+    sink(checksum);
+    return 0;
+}}
+"#
+    )
+}
+
+/// The registered benchmark.
+pub fn benchmark() -> Benchmark {
+    let s = EVAL_IMPRESSIONS as f64 / ANALYSIS_IMPRESSIONS as f64;
+    // Transfers: the weight tables are fixed-size (they do not grow with
+    // the impression count); only the prediction vector scales.
+    let ana_bytes = (TABLE * 2 * 8 + ANALYSIS_IMPRESSIONS * 8) as f64;
+    let eval_bytes = (TABLE * 2 * 8 + EVAL_IMPRESSIONS * 8) as f64;
+    Benchmark {
+        name: "AdPredictor".into(),
+        key: "adpredictor".into(),
+        source: source(ANALYSIS_IMPRESSIONS),
+        sp_safe: true,
+        scale: ScaleFactors { compute: s, data: eval_bytes / ana_bytes, threads: s },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_analyses as analyses;
+    use psa_minicpp::parse_module;
+
+    fn extracted() -> psa_minicpp::Module {
+        let mut m = parse_module(&source(512), "adpredictor").unwrap();
+        analyses::hotspot::detect_and_extract(&mut m, "adpred_kernel").unwrap();
+        m
+    }
+
+    #[test]
+    fn kernel_is_compute_bound() {
+        let m = extracted();
+        let k = analyses::analyze_kernel(&m, "adpred_kernel").unwrap();
+        assert!(
+            k.intensity.flops_per_byte > 0.5,
+            "AdPredictor must be compute-bound: {}",
+            k.intensity.flops_per_byte
+        );
+    }
+
+    #[test]
+    fn fixed_bound_inner_reductions_fully_unrollable() {
+        let m = extracted();
+        let k = analyses::analyze_kernel(&m, "adpred_kernel").unwrap();
+        assert!(k.deps.outer_parallel(), "{:?}", k.deps.loops);
+        let inner: Vec<_> = k.deps.inner_loops_with_deps();
+        assert!(!inner.is_empty(), "the feature loop carries mu/s2 reductions");
+        assert!(
+            k.deps.inner_deps_fully_unrollable(64),
+            "fixed bound {FEATURES} must be unrollable: {:?}",
+            k.deps.loops
+        );
+        assert!(inner.iter().all(|l| l.reduction_only), "{inner:?}");
+    }
+
+    #[test]
+    fn weight_lookups_are_gathers() {
+        let m = extracted();
+        let g = psa_platform::resources::gather_fraction(&m, "adpred_kernel");
+        assert!(g > 0.5, "hashed table lookups must dominate: {g}");
+    }
+
+    #[test]
+    fn predictions_are_probabilities() {
+        use psa_interp::{Interpreter, RunConfig};
+        let m = parse_module(&source(256), "adpredictor").unwrap();
+        let mut interp = Interpreter::new(&m, RunConfig::default());
+        interp.run_main().unwrap();
+        let mut saw = false;
+        for id in 0..interp.memory.len() {
+            let id = psa_interp::BufferId(id as u32);
+            if let Some(vals) = interp.memory.as_f64_slice(id) {
+                if vals.len() == 256 {
+                    saw = true;
+                    assert!(vals.iter().all(|&p| (0.0..=1.0).contains(&p)), "probit output");
+                }
+            }
+        }
+        assert!(saw);
+    }
+}

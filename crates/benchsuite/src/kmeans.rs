@@ -1,0 +1,133 @@
+//! K-Means Classification — the assignment step.
+//!
+//! Paper characterisation (§IV-B): "the identified hotspot is a
+//! memory-bound computation, \[so\] the informed PSA strategy automatically
+//! selects the multi-thread CPU branch"; the OpenMP design is the best of
+//! all five generated designs (~29×).
+
+use crate::{Benchmark, ScaleFactors};
+
+/// Points in the analysis workload.
+pub const ANALYSIS_POINTS: usize = 2_048;
+
+/// Points in the paper-scale evaluation workload.
+pub const EVAL_POINTS: usize = 4_194_304;
+
+/// Clusters (fixed bound — known at compile time).
+pub const K: usize = 8;
+
+/// Dimensions per point (fixed bound; classic 2-D clustering).
+pub const DIM: usize = 2;
+
+/// Build the unoptimised high-level description for `n` points.
+pub fn source(n: usize) -> String {
+    format!(
+        r#"// K-Means Classification: nearest-centroid assignment (unoptimised reference).
+int main() {{
+    int n = {n};
+    double* points = alloc_double(n * {DIM});
+    double* centroids = alloc_double({K} * {DIM});
+    int* labels = alloc_int(n);
+    fill_random(points, n * {DIM}, 21);
+    fill_random(centroids, {K} * {DIM}, 22);
+    for (int p = 0; p < n; p++) {{
+        double best = 1000000000.0;
+        int best_c = 0;
+        for (int c = 0; c < {K}; c++) {{
+            double dist = 0.0;
+            for (int d = 0; d < {DIM}; d++) {{
+                double diff = points[p * {DIM} + d] - centroids[c * {DIM} + d];
+                dist += diff * diff;
+            }}
+            if (dist < best) {{
+                best = dist;
+                best_c = c;
+            }}
+        }}
+        labels[p] = best_c;
+    }}
+    int checksum = 0;
+    for (int p = 0; p < n; p++) {{
+        checksum += labels[p];
+    }}
+    sink(checksum);
+    return 0;
+}}
+"#
+    )
+}
+
+/// The registered benchmark.
+pub fn benchmark() -> Benchmark {
+    let s = EVAL_POINTS as f64 / ANALYSIS_POINTS as f64;
+    Benchmark {
+        name: "K-Means".into(),
+        key: "kmeans".into(),
+        source: source(ANALYSIS_POINTS),
+        sp_safe: true,
+        // Linear in points on every axis (K and DIM are fixed).
+        scale: ScaleFactors { compute: s, data: s, threads: s },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_analyses as analyses;
+    use psa_minicpp::parse_module;
+
+    fn extracted() -> psa_minicpp::Module {
+        let mut m = parse_module(&source(512), "kmeans").unwrap();
+        analyses::hotspot::detect_and_extract(&mut m, "kmeans_kernel").unwrap();
+        m
+    }
+
+    #[test]
+    fn hotspot_is_the_assignment_loop() {
+        let m = parse_module(&source(512), "kmeans").unwrap();
+        let report = analyses::hotspot::detect_hotspots(&m).unwrap();
+        assert!(report.hottest().unwrap().share > 0.8, "{:?}", report.hottest());
+    }
+
+    #[test]
+    fn kernel_is_memory_bound() {
+        let m = extracted();
+        let k = analyses::analyze_kernel(&m, "kmeans_kernel").unwrap();
+        assert!(
+            k.intensity.flops_per_byte < 0.5,
+            "K-Means must sit below the AI threshold: {}",
+            k.intensity.flops_per_byte
+        );
+        assert!(k.intensity.is_memory_bound(0.5));
+    }
+
+    #[test]
+    fn outer_parallel_with_fixed_inner_deps() {
+        let m = extracted();
+        let k = analyses::analyze_kernel(&m, "kmeans_kernel").unwrap();
+        assert!(k.deps.outer_parallel(), "{:?}", k.deps.loops);
+        // Inner loops carry the best/dist state but have fixed small
+        // bounds, so an (uninformed) FPGA path may still flatten them.
+        assert!(k.deps.inner_deps_fully_unrollable(64), "{:?}", k.deps.loops);
+    }
+
+    #[test]
+    fn labels_store_correct_results() {
+        use psa_interp::{Interpreter, RunConfig};
+        let m = parse_module(&source(256), "kmeans").unwrap();
+        let mut interp = Interpreter::new(&m, RunConfig::default());
+        interp.run_main().unwrap();
+        // Find the labels buffer and check every label is a valid cluster.
+        let mut saw_labels = false;
+        for id in 0..interp.memory.len() {
+            let id = psa_interp::BufferId(id as u32);
+            if let Some(vals) = interp.memory.as_i64_slice(id) {
+                if vals.len() == 256 {
+                    saw_labels = true;
+                    assert!(vals.iter().all(|&v| (0..K as i64).contains(&v)));
+                }
+            }
+        }
+        assert!(saw_labels);
+    }
+}

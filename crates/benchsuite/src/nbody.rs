@@ -1,0 +1,138 @@
+//! N-Body Simulation — all-pairs gravitational forces.
+//!
+//! Paper characterisation (§IV-B): "N-Body Simulation comprises a double
+//! outer loop nest with bounds unknown at compile time", compute-bound, the
+//! HIP CPU+GPU designs win (337× / 751×), the workload "fully saturates
+//! both GPUs", and the oneAPI designs barely beat one CPU thread (1.1× /
+//! 1.4×) because the runtime-bound inner reduction blocks outer-loop
+//! replication on the FPGA.
+
+use crate::{Benchmark, ScaleFactors};
+
+/// Bodies in the analysis workload (kept small: the dynamic analyses run
+/// O(n²) work through the interpreter).
+pub const ANALYSIS_BODIES: usize = 192;
+
+/// Bodies in the paper-scale evaluation workload (saturates both GPUs).
+pub const EVAL_BODIES: usize = 65_536;
+
+/// Build the unoptimised high-level description for `n` bodies.
+pub fn source(n: usize) -> String {
+    format!(
+        r#"// N-Body Simulation: one all-pairs force step (unoptimised reference).
+int main() {{
+    int n = {n};
+    double* px = alloc_double(n);
+    double* py = alloc_double(n);
+    double* pz = alloc_double(n);
+    double* mass = alloc_double(n);
+    double* fx = alloc_double(n);
+    double* fy = alloc_double(n);
+    double* fz = alloc_double(n);
+    fill_random(px, n, 11);
+    fill_random(py, n, 12);
+    fill_random(pz, n, 13);
+    fill_random(mass, n, 14);
+    for (int i = 0; i < n; i++) {{
+        double xi = px[i];
+        double yi = py[i];
+        double zi = pz[i];
+        double ax = 0.0;
+        double ay = 0.0;
+        double az = 0.0;
+        for (int j = 0; j < n; j++) {{
+            double dx = px[j] - xi;
+            double dy = py[j] - yi;
+            double dz = pz[j] - zi;
+            double r2 = dx * dx + dy * dy + dz * dz + 0.0001;
+            double inv = 1.0 / sqrt(r2);
+            double inv3 = inv * inv * inv;
+            double s = mass[j] * inv3;
+            ax += dx * s;
+            ay += dy * s;
+            az += dz * s;
+        }}
+        fx[i] = ax;
+        fy[i] = ay;
+        fz[i] = az;
+    }}
+    double checksum = 0.0;
+    for (int i = 0; i < n; i++) {{
+        checksum += fx[i] + fy[i] + fz[i];
+    }}
+    sink(checksum);
+    return 0;
+}}
+"#
+    )
+}
+
+/// The registered benchmark (analysis workload baked in).
+pub fn benchmark() -> Benchmark {
+    let na = ANALYSIS_BODIES as f64;
+    let ne = EVAL_BODIES as f64;
+    Benchmark {
+        name: "N-Body".into(),
+        key: "nbody".into(),
+        source: source(ANALYSIS_BODIES),
+        sp_safe: true,
+        // All-pairs: compute is O(n²), data and parallelism O(n).
+        scale: ScaleFactors {
+            compute: (ne / na) * (ne / na),
+            data: ne / na,
+            threads: ne / na,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_analyses as analyses;
+    use psa_minicpp::parse_module;
+
+    fn extracted() -> psa_minicpp::Module {
+        let mut m = parse_module(&source(64), "nbody").unwrap();
+        analyses::hotspot::detect_and_extract(&mut m, "nbody_kernel").unwrap();
+        m
+    }
+
+    #[test]
+    fn hotspot_is_the_force_nest() {
+        let m = parse_module(&source(64), "nbody").unwrap();
+        let report = analyses::hotspot::detect_hotspots(&m).unwrap();
+        // The O(n²) force loop dwarfs init + checksum.
+        assert!(report.hottest().unwrap().share > 0.9);
+    }
+
+    #[test]
+    fn kernel_analysis_matches_paper_characterisation() {
+        let m = extracted();
+        let k = analyses::analyze_kernel(&m, "nbody_kernel").unwrap();
+        // Compute-bound.
+        assert!(
+            k.intensity.flops_per_byte > 0.5,
+            "AI {} must exceed the offload threshold",
+            k.intensity.flops_per_byte
+        );
+        // Parallel outer loop; inner reduction with runtime bound.
+        assert!(k.deps.outer_parallel());
+        assert!(!k.deps.inner_deps_fully_unrollable(64), "bounds unknown at compile time");
+        assert!(!k.alias.may_alias);
+        // Trip counts: outer 64, inner 64 per entry.
+        assert_eq!(k.trips.outer_mean_trip(), 64.0);
+    }
+
+    #[test]
+    fn moderate_register_pressure() {
+        let m = extracted();
+        let regs = psa_platform::resources::estimate_registers(&m, "nbody_kernel").unwrap();
+        assert!(regs < 128, "N-Body must not saturate the register file: {regs}");
+    }
+
+    #[test]
+    fn no_gathers() {
+        let m = extracted();
+        assert_eq!(psa_platform::resources::gather_fraction(&m, "nbody_kernel"), 0.0);
+    }
+}

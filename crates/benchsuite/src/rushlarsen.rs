@@ -1,0 +1,181 @@
+//! Rush Larsen ODE Solver — cardiac-membrane gating-variable update.
+//!
+//! Paper characterisation (§IV-B): "Rush Larsen comprises a single outer
+//! loop" over cells; the GPU design "requires 255 registers per thread,
+//! saturating the GTX 1080 but not the RTX 2080" (63× vs 98×); and the
+//! CPU+FPGA designs "are sizeable and exceed the capacity of our current
+//! FPGA devices" — not synthesizable, excluded from Fig. 5 and Table I.
+//!
+//! The reference source is generated: `GATES` Hodgkin-Huxley-style gates,
+//! each updated with the Rush-Larsen exponential-integrator step
+//! `g ← g_inf + (g − g_inf)·exp(−dt·(α+β))`, with α/β themselves
+//! exponential functions of the membrane voltage. The stiff gating
+//! dynamics are the reason the SP transforms are *not* applied here
+//! (`sp_safe = false`) — which is also what keeps the GPU designs in the
+//! slow FP64 path and the FPGA datapath enormous.
+
+use crate::{Benchmark, ScaleFactors};
+use std::fmt::Write;
+
+/// Cells in the analysis workload.
+pub const ANALYSIS_CELLS: usize = 256;
+
+/// Cells in the paper-scale evaluation workload.
+pub const EVAL_CELLS: usize = 1_048_576;
+
+/// Gating variables per cell.
+pub const GATES: usize = 26;
+
+/// Timesteps of the evaluation-scale simulation. The hotspot executes once
+/// per step with the state resident on the accelerator, so host↔device
+/// transfers amortise over the whole run.
+pub const EVAL_TIMESTEPS: usize = 200;
+
+/// Build the unoptimised high-level description for `n` cells.
+pub fn source(n: usize) -> String {
+    let g = GATES;
+    let mut body = String::new();
+    for k in 0..GATES {
+        // Per-gate rate constants: deterministic, mildly varying, and kept
+        // in ranges where exp() stays tame for v ∈ [0, 1).
+        let c1 = 0.07 + 0.003 * k as f64;
+        let c2 = 0.04 + 0.002 * k as f64;
+        let c3 = 0.05 + 0.001 * k as f64;
+        let c4 = 0.02 + 0.002 * k as f64;
+        let c5 = 0.03 + 0.001 * k as f64;
+        writeln!(
+            body,
+            "        double alpha{k} = {c1:?} * exp({c2:?} * v) / (1.0 + exp({c3:?} * v - 1.0));"
+        )
+        .unwrap();
+        writeln!(body, "        double beta{k} = {c4:?} * exp(v * -{c5:?});").unwrap();
+        writeln!(body, "        double rate{k} = alpha{k} + beta{k};").unwrap();
+        writeln!(body, "        double inf{k} = alpha{k} / rate{k};").unwrap();
+        writeln!(body, "        double e{k} = exp(0.0 - dt * rate{k});").unwrap();
+        writeln!(
+            body,
+            "        gates[i * {g} + {k}] = inf{k} + (gates[i * {g} + {k}] - inf{k}) * e{k};"
+        )
+        .unwrap();
+    }
+    format!(
+        r#"// Rush Larsen ODE solver: one gating-variable update step (unoptimised reference).
+int main() {{
+    int n = {n};
+    double dt = 0.001;
+    double* vm = alloc_double(n);
+    double* gates = alloc_double(n * {g});
+    fill_random(vm, n, 41);
+    fill_random(gates, n * {g}, 42);
+    for (int i = 0; i < n; i++) {{
+        double v = vm[i];
+{body}        vm[i] = v + dt * (gates[i * {g} + 0] - gates[i * {g} + {last}]) * 0.5;
+    }}
+    double checksum = 0.0;
+    for (int i = 0; i < n; i++) {{
+        checksum += vm[i];
+    }}
+    sink(checksum);
+    return 0;
+}}
+"#,
+        last = GATES - 1,
+    )
+}
+
+/// The registered benchmark.
+pub fn benchmark() -> Benchmark {
+    let s = EVAL_CELLS as f64 / ANALYSIS_CELLS as f64;
+    Benchmark {
+        name: "Rush Larsen".into(),
+        key: "rushlarsen".into(),
+        source: source(ANALYSIS_CELLS),
+        sp_safe: false,
+        // Per-step transfer cost amortises over the simulation: the cell
+        // state lives on the device for all EVAL_TIMESTEPS steps.
+        scale: ScaleFactors { compute: s, data: s / EVAL_TIMESTEPS as f64, threads: s },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_analyses as analyses;
+    use psa_minicpp::parse_module;
+
+    fn extracted() -> psa_minicpp::Module {
+        let mut m = parse_module(&source(64), "rushlarsen").unwrap();
+        analyses::hotspot::detect_and_extract(&mut m, "rl_kernel").unwrap();
+        m
+    }
+
+    #[test]
+    fn single_parallel_outer_loop_no_inner_loops() {
+        let m = extracted();
+        let k = analyses::analyze_kernel(&m, "rl_kernel").unwrap();
+        assert_eq!(k.deps.loops.len(), 1, "single outer loop");
+        assert!(
+            k.deps.outer_parallel(),
+            "strong-SIV must prove the gate offsets independent: {:?}",
+            k.deps.loops[0].dependences
+        );
+        assert!(k.deps.inner_loops_with_deps().is_empty());
+    }
+
+    #[test]
+    fn heavily_compute_bound() {
+        let m = extracted();
+        let k = analyses::analyze_kernel(&m, "rl_kernel").unwrap();
+        assert!(k.intensity.flops_per_byte > 2.0, "{}", k.intensity.flops_per_byte);
+    }
+
+    #[test]
+    fn saturates_the_register_file() {
+        let m = extracted();
+        let regs = psa_platform::resources::estimate_registers(&m, "rl_kernel").unwrap();
+        assert_eq!(regs, 255, "the paper's 255 regs/thread");
+    }
+
+    #[test]
+    fn fpga_datapath_overmaps_both_cards() {
+        let m = extracted();
+        let ops = psa_platform::resources::op_counts(&m, "rl_kernel").unwrap();
+        assert!(ops.transcendental >= 4.0 * GATES as f64, "{ops:?}");
+        for spec in [psa_platform::arria10(), psa_platform::stratix10()] {
+            let model = psa_platform::FpgaModel::new(spec);
+            assert!(model.hls_report(&ops, true, 1).overmapped);
+        }
+    }
+
+    #[test]
+    fn gates_stay_in_unit_range() {
+        use psa_interp::{Interpreter, RunConfig};
+        let m = parse_module(&source(64), "rushlarsen").unwrap();
+        let mut interp = Interpreter::new(&m, RunConfig::default());
+        interp.run_main().unwrap();
+        let mut saw = false;
+        for id in 0..interp.memory.len() {
+            let id = psa_interp::BufferId(id as u32);
+            if let Some(vals) = interp.memory.as_f64_slice(id) {
+                if vals.len() == 64 * GATES {
+                    saw = true;
+                    assert!(
+                        vals.iter().all(|&x| (-0.1..=1.5).contains(&x)),
+                        "gating variables must stay bounded"
+                    );
+                }
+            }
+        }
+        assert!(saw);
+    }
+
+    #[test]
+    fn reference_is_the_largest_source() {
+        // Table I context: Rush Larsen's reference is by far the biggest,
+        // which is why its relative LOC deltas are the smallest.
+        let rl_loc = source(64).lines().filter(|l| !l.trim().is_empty()).count();
+        let km_loc =
+            crate::kmeans::source(64).lines().filter(|l| !l.trim().is_empty()).count();
+        assert!(rl_loc > 3 * km_loc, "rl {rl_loc} vs kmeans {km_loc}");
+    }
+}

@@ -1,0 +1,347 @@
+//! "Generate HIP Design" — the CPU+GPU backend.
+//!
+//! Emits a `__global__` kernel (outer loop mapped to the thread grid), the
+//! device-buffer management the host needs (the paper's "framework specific
+//! management code"), and the device-specific launch geometry chosen by the
+//! blocksize DSE. Optional extras mirror the GPU-path tasks of Fig. 4:
+//! "Employ HIP Pinned Memory" and "Introduce Shared Mem Buf".
+
+use crate::common::{
+    alloc_extent, arg_list, kernel_shape, param_list, render_block, render_stmt,
+};
+use crate::{Backend, CodegenError, Design};
+use psa_minicpp::ast::*;
+use psa_minicpp::printer;
+use psa_minicpp::visit::{self, VisitMut};
+
+/// GPU-path configuration accumulated by the design-flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HipConfig {
+    /// Device name (Design metadata + comment header).
+    pub device: String,
+    /// Threads per block from the blocksize DSE.
+    pub blocksize: u32,
+    /// "Employ HIP Pinned Memory".
+    pub pinned: bool,
+    /// Arrays to stage through shared memory ("Introduce Shared Mem Buf").
+    pub shared_mem_arrays: Vec<String>,
+}
+
+/// Emit the HIP CPU+GPU design.
+pub fn generate(module: &Module, kernel: &str, config: &HipConfig) -> Result<Design, CodegenError> {
+    let shape = kernel_shape(module, kernel)?;
+    let l = shape.outer;
+    let func = shape.func;
+    let bound = printer::print_expr(&l.bound);
+    let b = config.blocksize;
+
+    let ptr_params: Vec<&Param> = func.params.iter().filter(|p| p.ty.is_pointer()).collect();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "// Auto-generated HIP CPU+GPU design for {} (psaflow).\n",
+        config.device
+    ));
+    out.push_str("#include <hip/hip_runtime.h>\n#include <cmath>\n\n");
+    out.push_str(&format!("#define PSA_BLOCK {b}\n\n"));
+
+    // ---------------- device kernel ----------------
+    out.push_str(&format!("__global__ void {}_kernel({}) {{\n", kernel, param_list(func)));
+    for stmt in &shape.prologue {
+        out.push_str(&render_stmt(stmt, 1));
+    }
+    // Map the canonical loop `for (v = init; v <op> bound; v ±= step)` onto
+    // the thread grid: one iteration per thread, preserving init, stride,
+    // direction, and the comparison operator.
+    let init = printer::print_expr(&l.init);
+    let step = printer::print_expr(&l.step);
+    let idx = "blockIdx.x * blockDim.x + threadIdx.x";
+    let mapping = match (l.init.as_int(), l.step.as_int(), l.step_negative) {
+        (Some(0), Some(1), false) => format!("int {v} = {idx};", v = l.var),
+        (_, _, false) => format!("int {v} = ({init}) + ({idx}) * ({step});", v = l.var),
+        (_, _, true) => format!("int {v} = ({init}) - ({idx}) * ({step});", v = l.var),
+    };
+    out.push_str(&format!("    {mapping}\n"));
+    out.push_str(&format!(
+        "    if ({v} {op} {bound}) {{\n",
+        v = l.var,
+        op = l.cond_op.symbol()
+    ));
+    if config.shared_mem_arrays.is_empty() {
+        out.push_str(&render_block(&l.body, 2));
+    } else {
+        out.push_str(&render_tiled_body(module, l, &config.shared_mem_arrays));
+    }
+    out.push_str("    }\n}\n\n");
+
+    // ---------------- host launch wrapper ----------------
+    out.push_str(&format!("static void launch_{}({}) {{\n", kernel, param_list(func)));
+    for p in &ptr_params {
+        let extent = alloc_extent(module, &p.name).unwrap_or_else(|| "1".to_string());
+        let elem = p.ty.scalar.c_name();
+        out.push_str(&format!("    {elem}* d_{} = nullptr;\n", p.name));
+        out.push_str(&format!(
+            "    hipMalloc((void**)&d_{n}, ({extent}) * sizeof({elem}));\n",
+            n = p.name
+        ));
+        if config.pinned {
+            out.push_str(&format!(
+                "    hipHostRegister({n}, ({extent}) * sizeof({elem}), hipHostRegisterDefault);\n",
+                n = p.name
+            ));
+        }
+        out.push_str(&format!(
+            "    hipMemcpy(d_{n}, {n}, ({extent}) * sizeof({elem}), hipMemcpyHostToDevice);\n",
+            n = p.name
+        ));
+    }
+    out.push_str("    dim3 block(PSA_BLOCK, 1, 1);\n");
+    // Conservative grid: one thread per value in [0, |bound - init|/step);
+    // out-of-range threads are masked by the kernel's guard.
+    let trip_expr = match (l.init.as_int(), l.step.as_int(), l.step_negative) {
+        (Some(0), Some(1), false) => format!("({bound})"),
+        (_, _, false) => format!("((({bound}) - ({init}) + ({step}) - 1) / ({step}))"),
+        (_, _, true) => format!("((({init}) - ({bound}) + ({step}) - 1) / ({step}))"),
+    };
+    out.push_str(&format!(
+        "    dim3 grid(({trip_expr} + PSA_BLOCK - 1) / PSA_BLOCK, 1, 1);\n"
+    ));
+    let kernel_args: String = func
+        .params
+        .iter()
+        .map(|p| if p.ty.is_pointer() { format!("d_{}", p.name) } else { p.name.clone() })
+        .collect::<Vec<_>>()
+        .join(", ");
+    out.push_str(&format!(
+        "    hipLaunchKernelGGL({kernel}_kernel, grid, block, 0, 0, {kernel_args});\n"
+    ));
+    out.push_str("    hipDeviceSynchronize();\n");
+    for p in &ptr_params {
+        let extent = alloc_extent(module, &p.name).unwrap_or_else(|| "1".to_string());
+        let elem = p.ty.scalar.c_name();
+        out.push_str(&format!(
+            "    hipMemcpy({n}, d_{n}, ({extent}) * sizeof({elem}), hipMemcpyDeviceToHost);\n",
+            n = p.name
+        ));
+        if config.pinned {
+            out.push_str(&format!("    hipHostUnregister({});\n", p.name));
+        }
+        out.push_str(&format!("    hipFree(d_{});\n", p.name));
+    }
+    out.push_str("}\n\n");
+
+    // ---------------- host program ----------------
+    let call = format!("launch_{}({});", kernel, arg_list(func));
+    out.push_str(&crate::common::render_host_without_kernel(module, kernel, &call));
+
+    Ok(Design { backend: Backend::Hip, device: config.device.clone(), source: out })
+}
+
+/// Render the outer-loop body with its first runtime-bound inner loop tiled
+/// through `__shared__` staging buffers.
+fn render_tiled_body(module: &Module, outer: &ForLoop, arrays: &[String]) -> String {
+    // Locate the inner runtime loop.
+    let inner_pos = outer.body.stmts.iter().position(|s| {
+        matches!(&s.kind, StmtKind::For(il) if il.static_trip_count().is_none())
+    });
+    let Some(pos) = inner_pos else {
+        // No tileable structure: fall back to the plain body.
+        return render_block(&outer.body, 2);
+    };
+    let StmtKind::For(inner) = &outer.body.stmts[pos].kind else { unreachable!() };
+    let inner_bound = printer::print_expr(&inner.bound);
+    let jv = &inner.var;
+
+    let mut out = String::new();
+    // Statements before the inner loop.
+    for s in &outer.body.stmts[..pos] {
+        out.push_str(&render_stmt(s, 2));
+    }
+    // Shared staging declarations + tiling loops.
+    let elem = |name: &str| -> &'static str {
+        module
+            .items
+            .iter()
+            .find_map(|item| match item {
+                Item::Function(f) => f
+                    .params
+                    .iter()
+                    .find(|p| p.name == name && p.ty.is_pointer())
+                    .map(|p| p.ty.scalar.c_name()),
+                _ => None,
+            })
+            .unwrap_or("double")
+    };
+    for a in arrays {
+        out.push_str(&format!("        __shared__ {} s_{a}[PSA_BLOCK];\n", elem(a)));
+    }
+    out.push_str(&format!(
+        "        for (int {jv}_tile = 0; {jv}_tile < {inner_bound}; {jv}_tile += PSA_BLOCK) {{\n"
+    ));
+    out.push_str(&format!(
+        "            if ({jv}_tile + (int)threadIdx.x < {inner_bound}) {{\n"
+    ));
+    for a in arrays {
+        out.push_str(&format!(
+            "                s_{a}[threadIdx.x] = {a}[{jv}_tile + threadIdx.x];\n"
+        ));
+    }
+    out.push_str("            }\n            __syncthreads();\n");
+    out.push_str(&format!(
+        "            int {jv}_lim = {inner_bound} - {jv}_tile < PSA_BLOCK ? {inner_bound} - {jv}_tile : PSA_BLOCK;\n"
+    ));
+    out.push_str(&format!(
+        "            for (int {jv} = 0; {jv} < {jv}_lim; {jv}++) {{\n"
+    ));
+    // Body with array reads redirected to shared staging.
+    let mut body = inner.body.clone();
+    redirect_to_shared(&mut body, arrays, jv);
+    let rendered = render_block(&body, 4);
+    out.push_str(&rendered);
+    out.push_str("            }\n            __syncthreads();\n        }\n");
+    // Statements after the inner loop.
+    for s in &outer.body.stmts[pos + 1..] {
+        out.push_str(&render_stmt(s, 2));
+    }
+    out
+}
+
+/// Rewrite `arr[j]` reads to `s_arr[j]` for staged arrays when the
+/// subscript is exactly the inner induction variable.
+fn redirect_to_shared(block: &mut Block, arrays: &[String], inner_var: &str) {
+    struct Redirect<'a> {
+        arrays: &'a [String],
+        var: &'a str,
+    }
+    impl VisitMut for Redirect<'_> {
+        fn visit_expr_mut(&mut self, e: &mut Expr) {
+            visit::walk_expr_mut(self, e);
+            if let ExprKind::Index { base, index } = &mut e.kind {
+                let is_var = index.as_ident() == Some(self.var);
+                if is_var {
+                    if let ExprKind::Ident(name) = &mut base.kind {
+                        if self.arrays.contains(name) {
+                            *name = format!("s_{name}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut r = Redirect { arrays, var: inner_var };
+    r.visit_block_mut(block);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_minicpp::parse_module;
+
+    const APP: &str = "void knl(double* a, double* b, int n) { for (int i = 0; i < n; i++) { b[i] = a[i] * 2.0; } }\
+                       int main() { int n = 64; double* a = alloc_double(n); double* b = alloc_double(n); fill_random(a, n, 1); knl(a, b, n); return 0; }";
+
+    fn config() -> HipConfig {
+        HipConfig {
+            device: "GeForce RTX 2080 Ti".into(),
+            blocksize: 256,
+            pinned: true,
+            shared_mem_arrays: vec![],
+        }
+    }
+
+    #[test]
+    fn emits_kernel_and_launch_management() {
+        let m = parse_module(APP, "t").unwrap();
+        let d = generate(&m, "knl", &config()).unwrap();
+        let s = &d.source;
+        assert!(s.contains("__global__ void knl_kernel(double* a, double* b, int n)"), "{s}");
+        assert!(s.contains("int i = blockIdx.x * blockDim.x + threadIdx.x;"), "{s}");
+        assert!(s.contains("if (i < n) {"), "{s}");
+        assert!(s.contains("hipMalloc((void**)&d_a, (n) * sizeof(double));"), "{s}");
+        assert!(s.contains("hipMemcpy(d_a, a, (n) * sizeof(double), hipMemcpyHostToDevice);"), "{s}");
+        assert!(s.contains("hipLaunchKernelGGL(knl_kernel, grid, block, 0, 0, d_a, d_b, n);"), "{s}");
+        assert!(s.contains("#define PSA_BLOCK 256"), "{s}");
+        assert!(s.contains("launch_knl(a, b, n);"), "{s}");
+    }
+
+    #[test]
+    fn pinned_memory_lines_are_conditional() {
+        let m = parse_module(APP, "t").unwrap();
+        let with = generate(&m, "knl", &config()).unwrap();
+        assert!(with.source.contains("hipHostRegister"), "{}", with.source);
+        let without =
+            generate(&m, "knl", &HipConfig { pinned: false, ..config() }).unwrap();
+        assert!(!without.source.contains("hipHostRegister"));
+        assert!(with.loc() > without.loc());
+    }
+
+    #[test]
+    fn shared_memory_tiling_emits_staging() {
+        let src = "void knl(double* pos, double* f, int n) {\
+                     for (int i = 0; i < n; i++) {\
+                       double acc = 0.0;\
+                       for (int j = 0; j < n; j++) { acc += pos[j] - pos[i]; }\
+                       f[i] = acc;\
+                     }\
+                   }\
+                   int main() { int n = 32; double* pos = alloc_double(n); double* f = alloc_double(n); knl(pos, f, n); return 0; }";
+        let m = parse_module(src, "t").unwrap();
+        let cfg = HipConfig { shared_mem_arrays: vec!["pos".into()], ..config() };
+        let d = generate(&m, "knl", &cfg).unwrap();
+        let s = &d.source;
+        assert!(s.contains("__shared__ double s_pos[PSA_BLOCK];"), "{s}");
+        assert!(s.contains("__syncthreads();"), "{s}");
+        assert!(s.contains("s_pos[threadIdx.x] = pos[j_tile + threadIdx.x];"), "{s}");
+        // Reads at [j] go to shared; the [i] read stays global.
+        assert!(s.contains("s_pos[j] - pos[i]"), "{s}");
+    }
+
+    #[test]
+    fn loc_grows_substantially_over_reference() {
+        let m = parse_module(APP, "t").unwrap();
+        let reference = crate::count_loc(&psa_minicpp::print_module(&m));
+        let d = generate(&m, "knl", &config()).unwrap();
+        let delta = d.loc_delta_pct(reference);
+        assert!(delta > 25.0, "HIP management code must show up in LOC: {delta}%");
+    }
+
+    #[test]
+    fn noncanonical_loop_shapes_map_correctly() {
+        // Strided ascending loop with a non-zero start and `<=` bound.
+        let src = "void knl(double* a, int n) { for (int i = 4; i <= n; i += 2) { a[i] = 0.0; } }\
+                   int main() { double* a = alloc_double(64); knl(a, 60); return 0; }";
+        let m = parse_module(src, "t").unwrap();
+        let d = generate(&m, "knl", &config()).unwrap();
+        let s = &d.source;
+        assert!(
+            s.contains("int i = (4) + (blockIdx.x * blockDim.x + threadIdx.x) * (2);"),
+            "{s}"
+        );
+        assert!(s.contains("if (i <= n) {"), "comparison operator preserved: {s}");
+        assert!(s.contains("(((n) - (4) + (2) - 1) / (2)"), "grid sized by trip count: {s}");
+    }
+
+    #[test]
+    fn descending_loops_map_with_negative_stride() {
+        let src = "void knl(double* a, int n) { for (int i = n; i > 0; i--) { a[i] = 0.0; } }\
+                   int main() { double* a = alloc_double(64); knl(a, 63); return 0; }";
+        let m = parse_module(src, "t").unwrap();
+        let d = generate(&m, "knl", &config()).unwrap();
+        let s = &d.source;
+        assert!(
+            s.contains("int i = (n) - (blockIdx.x * blockDim.x + threadIdx.x) * (1);"),
+            "{s}"
+        );
+        assert!(s.contains("if (i > 0) {"), "{s}");
+    }
+
+    #[test]
+    fn scalar_only_kernel_needs_no_buffers() {
+        let src = "void knl(int n) { for (int i = 0; i < n; i++) { sink(i); } }\
+                   int main() { knl(8); return 0; }";
+        let m = parse_module(src, "t").unwrap();
+        let d = generate(&m, "knl", &config()).unwrap();
+        assert!(!d.source.contains("hipMalloc"), "{}", d.source);
+        assert!(d.source.contains("hipLaunchKernelGGL"));
+    }
+}

@@ -1,0 +1,283 @@
+//! "Generate oneAPI Design" — the CPU+FPGA backend.
+//!
+//! Two device-specific styles, exactly the split the paper's branch point B
+//! exploits (§III):
+//!
+//! * **Arria10** — classic SYCL buffer/accessor code: the runtime stages
+//!   data over PCIe before and after the kernel;
+//! * **Stratix10** — "Zero-Copy Data Transfer" via USM host allocations
+//!   (`malloc_host`), available "on Intel Stratix10 FPGAs with support for
+//!   unified shared memory (USM), but not on Arria10s". The extra USM
+//!   management is also why the Stratix10 column of Table I is the largest.
+//!
+//! Both styles wrap the (possibly SP-converted, reduction-rewritten) kernel
+//! loop in a `single_task` with the `#pragma unroll N` factor found by the
+//! unroll-until-overmap DSE.
+
+use crate::common::{alloc_extent, arg_list, kernel_shape, param_list, render_block};
+use crate::openmp::step_suffix;
+use crate::{Backend, CodegenError, Design};
+use psa_minicpp::ast::*;
+use psa_minicpp::printer;
+use psa_minicpp::visit::{self, VisitMut};
+
+/// FPGA-path configuration accumulated by the design-flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OneApiConfig {
+    /// Device name (Design metadata + comment header).
+    pub device: String,
+    /// Outer-loop unroll factor from the unroll-until-overmap DSE.
+    pub unroll: u64,
+    /// Stratix10-only zero-copy USM data movement.
+    pub zero_copy: bool,
+}
+
+/// Emit the oneAPI CPU+FPGA design.
+pub fn generate(
+    module: &Module,
+    kernel: &str,
+    config: &OneApiConfig,
+) -> Result<Design, CodegenError> {
+    let shape = kernel_shape(module, kernel)?;
+    let func = shape.func;
+    let l = shape.outer;
+    let ptr_params: Vec<&Param> = func.params.iter().filter(|p| p.ty.is_pointer()).collect();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "// Auto-generated oneAPI CPU+FPGA design for {} (psaflow).\n",
+        config.device
+    ));
+    out.push_str("#include <sycl/sycl.hpp>\n");
+    out.push_str("#include <sycl/ext/intel/fpga_extensions.hpp>\n");
+    out.push_str("#include <cmath>\n\n");
+    out.push_str(&format!("class {}Id;\n\n", camel(kernel)));
+
+    out.push_str(&format!("static void launch_{}({}) {{\n", kernel, param_list(func)));
+    out.push_str("    sycl::ext::intel::fpga_selector device_selector;\n");
+    out.push_str("    sycl::queue q(device_selector);\n");
+
+    if config.zero_copy {
+        emit_zero_copy(&mut out, module, kernel, func, l, config, &ptr_params);
+    } else {
+        emit_buffered(&mut out, module, kernel, func, l, config, &ptr_params);
+    }
+    out.push_str("}\n\n");
+
+    let call = format!("launch_{}({});", kernel, arg_list(func));
+    out.push_str(&crate::common::render_host_without_kernel(module, kernel, &call));
+
+    Ok(Design { backend: Backend::OneApi, device: config.device.clone(), source: out })
+}
+
+/// Buffer/accessor style (Arria10).
+fn emit_buffered(
+    out: &mut String,
+    module: &Module,
+    kernel: &str,
+    func: &Function,
+    l: &ForLoop,
+    config: &OneApiConfig,
+    ptr_params: &[&Param],
+) {
+    out.push_str("    {\n");
+    for p in ptr_params {
+        let extent = alloc_extent(module, &p.name).unwrap_or_else(|| "1".to_string());
+        out.push_str(&format!(
+            "        sycl::buffer<{elem}, 1> buf_{n}({n}, sycl::range<1>({extent}));\n",
+            elem = p.ty.scalar.c_name(),
+            n = p.name
+        ));
+    }
+    out.push_str("        q.submit([&](sycl::handler& h) {\n");
+    for p in ptr_params {
+        out.push_str(&format!(
+            "            auto acc_{n} = buf_{n}.get_access<sycl::access::mode::read_write>(h);\n",
+            n = p.name
+        ));
+    }
+    out.push_str(&format!(
+        "            h.single_task<{}Id>([=]() {{\n",
+        camel(kernel)
+    ));
+    emit_kernel_loop(out, func, l, config, ptr_params, "acc_", 4);
+    out.push_str("            });\n");
+    out.push_str("        });\n");
+    out.push_str("        q.wait();\n");
+    out.push_str("    }\n");
+}
+
+/// USM zero-copy style (Stratix10).
+fn emit_zero_copy(
+    out: &mut String,
+    module: &Module,
+    kernel: &str,
+    func: &Function,
+    l: &ForLoop,
+    config: &OneApiConfig,
+    ptr_params: &[&Param],
+) {
+    out.push_str("    // Zero-copy data transfer: USM host allocations are accessed\n");
+    out.push_str("    // directly by the kernel; no staging copies are required.\n");
+    for p in ptr_params {
+        let extent = alloc_extent(module, &p.name).unwrap_or_else(|| "1".to_string());
+        let elem = p.ty.scalar.c_name();
+        out.push_str(&format!(
+            "    {elem}* usm_{n} = sycl::malloc_host<{elem}>({extent}, q);\n",
+            n = p.name
+        ));
+        out.push_str(&format!(
+            "    std::memcpy(usm_{n}, {n}, ({extent}) * sizeof({elem}));\n",
+            n = p.name
+        ));
+    }
+    out.push_str("    q.submit([&](sycl::handler& h) {\n");
+    out.push_str(&format!(
+        "        h.single_task<{}Id>([=]() {{\n",
+        camel(kernel)
+    ));
+    emit_kernel_loop(out, func, l, config, ptr_params, "usm_", 3);
+    out.push_str("        });\n");
+    out.push_str("    });\n");
+    out.push_str("    q.wait();\n");
+    for p in ptr_params {
+        let extent = alloc_extent(module, &p.name).unwrap_or_else(|| "1".to_string());
+        let elem = p.ty.scalar.c_name();
+        out.push_str(&format!(
+            "    std::memcpy({n}, usm_{n}, ({extent}) * sizeof({elem}));\n",
+            n = p.name
+        ));
+        out.push_str(&format!("    sycl::free(usm_{n}, q);\n", n = p.name));
+    }
+}
+
+/// The pipelined kernel loop with its unroll pragma, pointer names
+/// redirected to the device-visible handles.
+fn emit_kernel_loop(
+    out: &mut String,
+    func: &Function,
+    l: &ForLoop,
+    config: &OneApiConfig,
+    ptr_params: &[&Param],
+    prefix: &str,
+    indent: usize,
+) {
+    let pad = "    ".repeat(indent);
+    if config.unroll > 1 {
+        out.push_str(&format!("{pad}#pragma unroll {}\n", config.unroll));
+    }
+    out.push_str(&format!(
+        "{pad}for (int {v} = {init}; {v} {op} {bound}; {v}{step}) {{\n",
+        v = l.var,
+        init = printer::print_expr(&l.init),
+        op = l.cond_op.symbol(),
+        bound = printer::print_expr(&l.bound),
+        step = step_suffix(l),
+    ));
+    let mut body = l.body.clone();
+    let names: Vec<String> = ptr_params.iter().map(|p| p.name.clone()).collect();
+    rename_arrays(&mut body, &names, prefix);
+    out.push_str(&render_block(&body, indent + 1));
+    out.push_str(&format!("{pad}}}\n"));
+    let _ = func;
+}
+
+/// Prefix every reference to the listed pointer names.
+fn rename_arrays(block: &mut Block, names: &[String], prefix: &str) {
+    struct Renamer<'a> {
+        names: &'a [String],
+        prefix: &'a str,
+    }
+    impl VisitMut for Renamer<'_> {
+        fn visit_expr_mut(&mut self, e: &mut Expr) {
+            if let ExprKind::Ident(name) = &mut e.kind {
+                if self.names.contains(name) {
+                    *name = format!("{}{}", self.prefix, name);
+                }
+            }
+            visit::walk_expr_mut(self, e);
+        }
+    }
+    Renamer { names, prefix }.visit_block_mut(block);
+}
+
+fn camel(name: &str) -> String {
+    let mut out = String::new();
+    let mut upper = true;
+    for c in name.chars() {
+        if c == '_' {
+            upper = true;
+        } else if upper {
+            out.extend(c.to_uppercase());
+            upper = false;
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_minicpp::parse_module;
+
+    const APP: &str = "void knl(double* a, double* b, int n) { for (int i = 0; i < n; i++) { b[i] = a[i] * 2.0; } }\
+                       int main() { int n = 64; double* a = alloc_double(n); double* b = alloc_double(n); fill_random(a, n, 1); knl(a, b, n); return 0; }";
+
+    fn a10() -> OneApiConfig {
+        OneApiConfig { device: "PAC Arria10".into(), unroll: 4, zero_copy: false }
+    }
+
+    fn s10() -> OneApiConfig {
+        OneApiConfig { device: "PAC Stratix10".into(), unroll: 8, zero_copy: true }
+    }
+
+    #[test]
+    fn buffered_style_for_arria10() {
+        let m = parse_module(APP, "t").unwrap();
+        let d = generate(&m, "knl", &a10()).unwrap();
+        let s = &d.source;
+        assert!(s.contains("sycl::buffer<double, 1> buf_a(a, sycl::range<1>(n));"), "{s}");
+        assert!(s.contains("single_task<KnlId>"), "{s}");
+        assert!(s.contains("#pragma unroll 4"), "{s}");
+        assert!(s.contains("acc_b[i] = acc_a[i] * 2.0;"), "{s}");
+        assert!(!s.contains("malloc_host"), "A10 has no USM zero-copy");
+    }
+
+    #[test]
+    fn zero_copy_style_for_stratix10() {
+        let m = parse_module(APP, "t").unwrap();
+        let d = generate(&m, "knl", &s10()).unwrap();
+        let s = &d.source;
+        assert!(s.contains("sycl::malloc_host<double>(n, q);"), "{s}");
+        assert!(s.contains("usm_b[i] = usm_a[i] * 2.0;"), "{s}");
+        assert!(s.contains("#pragma unroll 8"), "{s}");
+        assert!(s.contains("sycl::free(usm_a, q);"), "{s}");
+        assert!(!s.contains("sycl::buffer"), "S10 path avoids staging buffers");
+    }
+
+    #[test]
+    fn stratix_design_is_larger_than_arria() {
+        // Table I: the S10 column exceeds the A10 column on every app.
+        let m = parse_module(APP, "t").unwrap();
+        let da = generate(&m, "knl", &a10()).unwrap();
+        let ds = generate(&m, "knl", &s10()).unwrap();
+        assert!(ds.loc() > da.loc(), "s10 {} vs a10 {}", ds.loc(), da.loc());
+    }
+
+    #[test]
+    fn unroll_one_omits_the_pragma() {
+        let m = parse_module(APP, "t").unwrap();
+        let d = generate(&m, "knl", &OneApiConfig { unroll: 1, ..a10() }).unwrap();
+        assert!(!d.source.contains("#pragma unroll"), "{}", d.source);
+    }
+
+    #[test]
+    fn host_program_calls_the_wrapper() {
+        let m = parse_module(APP, "t").unwrap();
+        let d = generate(&m, "knl", &a10()).unwrap();
+        assert!(d.source.contains("launch_knl(a, b, n);"), "{}", d.source);
+        assert!(d.source.contains("int main()"));
+    }
+}

@@ -1,0 +1,114 @@
+//! "Generate OpenMP design" + "Multi-Thread Parallel Loops" output.
+//!
+//! The lightest backend: the reference structure is preserved; the kernel's
+//! outer loop gains `#pragma omp parallel for`, and the host pins the
+//! thread count chosen by the "OMP Num. Threads DSE" task. This is why
+//! Table I's OpenMP column is only a few percent.
+
+use crate::common::{kernel_shape, render_block};
+use crate::{Backend, CodegenError, Design};
+use psa_minicpp::ast::*;
+use psa_minicpp::printer;
+
+/// Configuration chosen by the CPU path of the flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OmpConfig {
+    /// Thread count selected by the DSE.
+    pub threads: u32,
+}
+
+/// Emit the OpenMP design.
+pub fn generate(module: &Module, kernel: &str, config: OmpConfig) -> Result<Design, CodegenError> {
+    let shape = kernel_shape(module, kernel)?;
+    let mut out = String::new();
+    out.push_str("// Auto-generated OpenMP multi-thread CPU design (psaflow).\n");
+    out.push_str("#include <omp.h>\n#include <cmath>\n\n");
+
+    // Kernel function with the parallel-for annotation.
+    out.push_str(&format!(
+        "{} {}({}) {{\n",
+        shape.func.ret,
+        shape.func.name,
+        crate::common::param_list(shape.func)
+    ));
+    for stmt in &shape.prologue {
+        out.push_str(&crate::common::render_stmt(stmt, 1));
+    }
+    let l = shape.outer;
+    out.push_str(&format!("    omp_set_num_threads({});\n", config.threads));
+    out.push_str("    #pragma omp parallel for schedule(static)\n");
+    out.push_str(&format!(
+        "    for (int {v} = {init}; {v} {op} {bound}; {v}{step}) {{\n",
+        v = l.var,
+        init = printer::print_expr(&l.init),
+        op = l.cond_op.symbol(),
+        bound = printer::print_expr(&l.bound),
+        step = step_suffix(l),
+    ));
+    out.push_str(&render_block(&l.body, 2));
+    out.push_str("    }\n}\n\n");
+
+    // Host code unchanged, calling the same kernel symbol.
+    let call = format!("{}({});", kernel, crate::common::arg_list(shape.func));
+    out.push_str(&crate::common::render_host_without_kernel(module, kernel, &call));
+
+    Ok(Design { backend: Backend::OpenMp, device: "AMD EPYC 7543".into(), source: out })
+}
+
+pub(crate) fn step_suffix(l: &ForLoop) -> String {
+    match (&l.step.kind, l.step_negative) {
+        (ExprKind::IntLit(1), false) => "++".to_string(),
+        (ExprKind::IntLit(1), true) => "--".to_string(),
+        (_, false) => format!(" += {}", printer::print_expr(&l.step)),
+        (_, true) => format!(" -= {}", printer::print_expr(&l.step)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_minicpp::parse_module;
+
+    const APP: &str = "void knl(double* a, int n) { for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0; } }\
+                       int main() { int n = 64; double* a = alloc_double(n); fill_random(a, n, 1); knl(a, n); return 0; }";
+
+    #[test]
+    fn emits_parallel_for_and_thread_pin() {
+        let m = parse_module(APP, "t").unwrap();
+        let d = generate(&m, "knl", OmpConfig { threads: 32 }).unwrap();
+        assert!(d.source.contains("#pragma omp parallel for"), "{}", d.source);
+        assert!(d.source.contains("omp_set_num_threads(32);"), "{}", d.source);
+        assert!(d.source.contains("#include <omp.h>"));
+        assert_eq!(d.backend, Backend::OpenMp);
+    }
+
+    #[test]
+    fn loc_delta_is_small() {
+        let m = parse_module(APP, "t").unwrap();
+        let reference = psa_minicpp::print_module(&m);
+        let d = generate(&m, "knl", OmpConfig { threads: 32 }).unwrap();
+        let delta = d.loc_delta_pct(crate::count_loc(&reference));
+        // Table I: OpenMP adds only a few percent (here the toy app is tiny,
+        // so allow a generous bound).
+        assert!(delta < 80.0, "delta {delta}% source:\n{}", d.source);
+        assert!(d.loc() > crate::count_loc(&reference));
+    }
+
+    #[test]
+    fn body_preserved_verbatim() {
+        let m = parse_module(APP, "t").unwrap();
+        let d = generate(&m, "knl", OmpConfig { threads: 16 }).unwrap();
+        assert!(d.source.contains("a[i] = a[i] * 2.0;"));
+        assert!(d.source.contains("int main()"));
+        assert!(d.source.contains("knl(a, n);"), "host still calls the kernel");
+    }
+
+    #[test]
+    fn strided_loops_render() {
+        let src = "void knl(double* a, int n) { for (int i = 0; i < n; i += 4) { a[i] = 0.0; } }\
+                   int main() { double* a = alloc_double(64); knl(a, 64); return 0; }";
+        let m = parse_module(src, "t").unwrap();
+        let d = generate(&m, "knl", OmpConfig { threads: 8 }).unwrap();
+        assert!(d.source.contains("i += 4"), "{}", d.source);
+    }
+}

@@ -1,0 +1,170 @@
+//! The shared state a design-flow threads through its tasks.
+
+use crate::report::{DesignArtifact, DesignParams, TargetKind};
+use psa_analyses::hotspot::HotspotReport;
+use psa_analyses::KernelAnalysis;
+use psa_artisan::Ast;
+use psa_benchsuite_shim::ScaleFactors;
+use serde::{Deserialize, Serialize};
+
+/// Re-exported scale factors without depending on the benchmark suite
+/// (applications outside the suite pass their own).
+pub mod psa_benchsuite_shim {
+    use serde::{Deserialize, Serialize};
+
+    /// Multipliers from the analysis workload to the evaluation workload.
+    /// Identical in shape to `psa_benchsuite::ScaleFactors`.
+    #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+    pub struct ScaleFactors {
+        pub compute: f64,
+        pub data: f64,
+        pub threads: f64,
+    }
+
+    impl Default for ScaleFactors {
+        fn default() -> Self {
+            ScaleFactors { compute: 1.0, data: 1.0, threads: 1.0 }
+        }
+    }
+}
+
+/// Tunable parameters of the PSA strategy and DSE tasks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PsaParams {
+    /// The paper's `X`: kernels below this FLOPs/byte are memory-bound and
+    /// never offloaded.
+    pub ai_threshold: f64,
+    /// Maximum static trip count the FPGA path will fully unroll.
+    pub full_unroll_limit: u64,
+    /// Thread counts the OpenMP DSE sweeps.
+    pub omp_max_threads: u32,
+    /// Optional cost budget in currency units for one evaluation-workload
+    /// execution; exceeding it triggers the Fig. 3 revise-design feedback.
+    pub budget: Option<f64>,
+    /// Nominal hourly prices (currency/hour) for cost evaluation:
+    /// (CPU node, GPU node, FPGA node).
+    pub hourly_prices: (f64, f64, f64),
+    /// Whether SP (single-precision) transforms may be applied — set from
+    /// the application's numerical requirements (Rush Larsen: no).
+    pub sp_safe: bool,
+    /// Analysis→evaluation workload scaling.
+    pub scale: ScaleFactors,
+}
+
+impl Default for PsaParams {
+    fn default() -> Self {
+        PsaParams {
+            ai_threshold: 0.5,
+            full_unroll_limit: 64,
+            omp_max_threads: 64,
+            budget: None,
+            hourly_prices: (0.8, 2.2, 1.8),
+            sp_safe: true,
+            scale: ScaleFactors::default(),
+        }
+    }
+}
+
+/// The mutable state of one flow execution.
+///
+/// Branch points clone the context per selected path, so everything here is
+/// `Clone`; designs produced on diverging paths are merged back into the
+/// parent by the flow engine.
+#[derive(Debug, Clone)]
+pub struct FlowContext {
+    /// The working AST (starts as the unoptimised reference; tasks rewrite
+    /// it in place).
+    pub ast: Ast,
+    /// The extracted kernel's name, once partitioning has happened.
+    pub kernel: Option<String>,
+    /// The hotspot-detection report (partitioning evidence).
+    pub hotspot: Option<HotspotReport>,
+    /// Aggregated target-independent analysis evidence.
+    pub analysis: Option<KernelAnalysis>,
+    /// Parameters chosen by DSE / transform tasks on the current path,
+    /// consumed by the code-generation tasks.
+    pub tuned: DesignParams,
+    /// Arrays selected for shared-memory staging on the GPU path.
+    pub shared_mem_arrays: Vec<String>,
+    /// Fraction of kernel memory traffic served by the staged arrays
+    /// (shared-memory tiles turn per-thread global loads into per-block
+    /// loads).
+    pub smem_staged_fraction: f64,
+    /// The target the informed strategy selected at branch point A.
+    pub selected_target: Option<TargetKind>,
+    /// Set when the FPGA path discovered the design overmaps at unroll 1
+    /// (the design is emitted but flagged not synthesizable).
+    pub fpga_unsynthesizable: Option<String>,
+    /// Strategy/DSE knobs.
+    pub params: PsaParams,
+    /// Single-thread reference execution time at the evaluation workload,
+    /// seconds (fixed once analyses have run).
+    pub reference_time_s: Option<f64>,
+    /// Designs produced so far.
+    pub designs: Vec<DesignArtifact>,
+    /// Human-readable trace of what the flow did (mirrors the paper's
+    /// narrative of which branch was taken and why).
+    pub log: Vec<String>,
+}
+
+impl FlowContext {
+    /// Start a flow over a parsed application.
+    pub fn new(ast: Ast, params: PsaParams) -> Self {
+        FlowContext {
+            ast,
+            kernel: None,
+            hotspot: None,
+            analysis: None,
+            tuned: DesignParams::default(),
+            shared_mem_arrays: Vec::new(),
+            smem_staged_fraction: 0.0,
+            selected_target: None,
+            fpga_unsynthesizable: None,
+            params,
+            reference_time_s: None,
+            designs: Vec::new(),
+            log: Vec::new(),
+        }
+    }
+
+    /// Append a trace line.
+    pub fn log(&mut self, line: impl Into<String>) {
+        self.log.push(line.into());
+    }
+
+    /// The kernel name, or a flow error message.
+    pub fn kernel_name(&self) -> Result<&str, crate::flow::FlowError> {
+        self.kernel.as_deref().ok_or_else(|| {
+            crate::flow::FlowError::new("no kernel extracted yet; run partitioning first")
+        })
+    }
+
+    /// The analysis record, or a flow error message.
+    pub fn analysis(&self) -> Result<&KernelAnalysis, crate::flow::FlowError> {
+        self.analysis.as_ref().ok_or_else(|| {
+            crate::flow::FlowError::new("target-independent analyses have not run yet")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_match_the_paper() {
+        let p = PsaParams::default();
+        assert_eq!(p.ai_threshold, 0.5);
+        assert_eq!(p.full_unroll_limit, 64);
+        assert!(p.budget.is_none());
+        assert!(p.sp_safe);
+    }
+
+    #[test]
+    fn context_accessors_error_before_partitioning() {
+        let ast = Ast::from_source("int main() { return 0; }", "t").unwrap();
+        let ctx = FlowContext::new(ast, PsaParams::default());
+        assert!(ctx.kernel_name().is_err());
+        assert!(ctx.analysis().is_err());
+    }
+}

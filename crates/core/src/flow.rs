@@ -1,0 +1,287 @@
+//! Flow composition: linear sequences and branch points.
+//!
+//! "These tasks can be linearly composed into a sequence, but for
+//! supporting diverse targets and strategies within a single design-flow,
+//! branching is essential… Branch points in a PSA-flow introduce
+//! divergence… These branches lead to increasingly specialized designs,
+//! requiring decisions… facilitated by programmatic, customizable PSA at
+//! branch points." (§II-B)
+
+use crate::context::FlowContext;
+use crate::strategy::PsaStrategy;
+use crate::task::Task;
+use std::fmt;
+use std::sync::Arc;
+
+/// An error that aborts a flow (not a *decision* — decisions are
+/// selections; errors are broken preconditions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowError {
+    pub message: String,
+}
+
+impl FlowError {
+    pub fn new(message: impl Into<String>) -> Self {
+        FlowError { message: message.into() }
+    }
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow error: {}", self.message)
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<psa_artisan::transforms::TransformError> for FlowError {
+    fn from(e: psa_artisan::transforms::TransformError) -> Self {
+        FlowError::new(e.to_string())
+    }
+}
+
+impl From<psa_artisan::edit::EditError> for FlowError {
+    fn from(e: psa_artisan::edit::EditError) -> Self {
+        FlowError::new(e.to_string())
+    }
+}
+
+impl From<psa_analyses::AnalysisError> for FlowError {
+    fn from(e: psa_analyses::AnalysisError) -> Self {
+        FlowError::new(e.to_string())
+    }
+}
+
+impl From<psa_codegen::CodegenError> for FlowError {
+    fn from(e: psa_codegen::CodegenError) -> Self {
+        FlowError::new(e.to_string())
+    }
+}
+
+/// What a PSA strategy decides at a branch point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Selection {
+    /// Follow exactly one path (by index).
+    One(usize),
+    /// Follow several paths (device-level branch points B and C select
+    /// both devices; the uninformed mode selects everything).
+    Many(Vec<usize>),
+    /// Terminate this flow without following any path ("the design-flow
+    /// terminates without modifying the input high-level reference").
+    None,
+}
+
+/// A divergence point with an automated selector.
+pub struct BranchPoint {
+    /// Name shown in traces, e.g. "A (target mapping)".
+    pub name: String,
+    /// Labelled alternative sub-flows.
+    pub paths: Vec<(String, Flow)>,
+    /// The PSA strategy deciding which paths are taken.
+    pub strategy: Arc<dyn PsaStrategy>,
+}
+
+/// One step of a flow.
+pub enum Step {
+    Task(Arc<dyn Task>),
+    Branch(BranchPoint),
+}
+
+/// A composable design-flow: an ordered list of steps.
+pub struct Flow {
+    pub name: String,
+    pub steps: Vec<Step>,
+}
+
+impl Flow {
+    /// An empty flow.
+    pub fn new(name: impl Into<String>) -> Self {
+        Flow { name: name.into(), steps: Vec::new() }
+    }
+
+    /// Append a task (builder style).
+    pub fn task(mut self, task: impl Task + 'static) -> Self {
+        self.steps.push(Step::Task(Arc::new(task)));
+        self
+    }
+
+    /// Append a branch point.
+    pub fn branch(
+        mut self,
+        name: impl Into<String>,
+        strategy: impl PsaStrategy + 'static,
+        paths: Vec<(String, Flow)>,
+    ) -> Self {
+        self.steps.push(Step::Branch(BranchPoint {
+            name: name.into(),
+            paths,
+            strategy: Arc::new(strategy),
+        }));
+        self
+    }
+
+    /// Execute the flow against a context. Branch points clone the context
+    /// per selected path and merge the resulting designs and logs back.
+    pub fn execute(&self, ctx: &mut FlowContext) -> Result<(), FlowError> {
+        for step in &self.steps {
+            match step {
+                Step::Task(task) => {
+                    let info = task.info();
+                    ctx.log(format!(
+                        "[{}] task `{}` ({}{})",
+                        self.name,
+                        info.name,
+                        info.class.code(),
+                        if info.dynamic { ", dynamic" } else { "" }
+                    ));
+                    task.run(ctx)?;
+                }
+                Step::Branch(bp) => {
+                    let selection = bp.strategy.select(bp, ctx)?;
+                    match selection {
+                        Selection::None => {
+                            ctx.log(format!(
+                                "[{}] branch `{}`: no path selected; flow terminates",
+                                self.name, bp.name
+                            ));
+                            return Ok(());
+                        }
+                        Selection::One(i) => {
+                            let (label, sub) = bp
+                                .paths
+                                .get(i)
+                                .ok_or_else(|| FlowError::new("selection out of range"))?;
+                            ctx.log(format!(
+                                "[{}] branch `{}`: selected path `{label}`",
+                                self.name, bp.name
+                            ));
+                            sub.execute(ctx)?;
+                        }
+                        Selection::Many(indices) => {
+                            let labels: Vec<&str> = indices
+                                .iter()
+                                .filter_map(|&i| bp.paths.get(i).map(|(l, _)| l.as_str()))
+                                .collect();
+                            ctx.log(format!(
+                                "[{}] branch `{}`: selected paths {labels:?}",
+                                self.name, bp.name
+                            ));
+                            for &i in &indices {
+                                let (_, sub) = bp
+                                    .paths
+                                    .get(i)
+                                    .ok_or_else(|| FlowError::new("selection out of range"))?;
+                                // Diverge: each path specialises its own
+                                // copy of the design state.
+                                let mut branch_ctx = ctx.clone();
+                                sub.execute(&mut branch_ctx)?;
+                                // Merge results back.
+                                ctx.designs = branch_ctx.designs;
+                                ctx.log = branch_ctx.log;
+                                // Note: AST/kernel state intentionally NOT
+                                // merged — sibling paths must not see each
+                                // other's specialisations.
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::PsaParams;
+    use crate::task::{TaskClass, TaskInfo};
+    use psa_artisan::Ast;
+
+    struct Log(&'static str);
+    impl Task for Log {
+        fn info(&self) -> TaskInfo {
+            TaskInfo::new(self.0, TaskClass::Analysis, false)
+        }
+        fn run(&self, ctx: &mut FlowContext) -> Result<(), FlowError> {
+            ctx.log(format!("ran {}", self.0));
+            Ok(())
+        }
+    }
+
+    struct Fixed(Selection);
+    impl PsaStrategy for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn select(&self, _bp: &BranchPoint, _ctx: &mut FlowContext) -> Result<Selection, FlowError> {
+            Ok(self.0.clone())
+        }
+    }
+
+    fn ctx() -> FlowContext {
+        FlowContext::new(Ast::from_source("int main() { return 0; }", "t").unwrap(), PsaParams::default())
+    }
+
+    #[test]
+    fn linear_flow_runs_in_order() {
+        let flow = Flow::new("lin").task(Log("a")).task(Log("b"));
+        let mut c = ctx();
+        flow.execute(&mut c).unwrap();
+        let runs: Vec<&String> = c.log.iter().filter(|l| l.starts_with("ran ")).collect();
+        assert_eq!(runs, ["ran a", "ran b"]);
+    }
+
+    #[test]
+    fn branch_one_follows_single_path() {
+        let flow = Flow::new("f").branch(
+            "A",
+            Fixed(Selection::One(1)),
+            vec![
+                ("left".into(), Flow::new("l").task(Log("left"))),
+                ("right".into(), Flow::new("r").task(Log("right"))),
+            ],
+        );
+        let mut c = ctx();
+        flow.execute(&mut c).unwrap();
+        assert!(c.log.iter().any(|l| l == "ran right"));
+        assert!(!c.log.iter().any(|l| l == "ran left"));
+    }
+
+    #[test]
+    fn branch_many_runs_all_selected_paths() {
+        let flow = Flow::new("f").branch(
+            "B",
+            Fixed(Selection::Many(vec![0, 1])),
+            vec![
+                ("d1".into(), Flow::new("1").task(Log("one"))),
+                ("d2".into(), Flow::new("2").task(Log("two"))),
+            ],
+        );
+        let mut c = ctx();
+        flow.execute(&mut c).unwrap();
+        assert!(c.log.iter().any(|l| l == "ran one"));
+        assert!(c.log.iter().any(|l| l == "ran two"));
+    }
+
+    #[test]
+    fn selection_none_terminates_the_flow() {
+        let flow = Flow::new("f")
+            .branch("A", Fixed(Selection::None), vec![("p".into(), Flow::new("p").task(Log("x")))])
+            .task(Log("after"));
+        let mut c = ctx();
+        flow.execute(&mut c).unwrap();
+        assert!(!c.log.iter().any(|l| l == "ran x"));
+        assert!(
+            !c.log.iter().any(|l| l == "ran after"),
+            "termination skips the rest of the flow"
+        );
+    }
+
+    #[test]
+    fn out_of_range_selection_is_an_error() {
+        let flow = Flow::new("f").branch("A", Fixed(Selection::One(7)), vec![]);
+        let mut c = ctx();
+        assert!(flow.execute(&mut c).is_err());
+    }
+}

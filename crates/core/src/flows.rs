@@ -1,0 +1,252 @@
+//! The complete implemented PSA-flow (paper Fig. 4): target-independent
+//! tasks → branch point A (target mapping) → target-specific tasks →
+//! device-level branch points B (GPUs) and C (FPGAs) → device-specific
+//! optimisation + DSE → design generation.
+
+use crate::context::{FlowContext, PsaParams};
+use crate::flow::{Flow, FlowError};
+use crate::report::{DeviceKind, FlowOutcome, TargetKind};
+use crate::strategy::{SelectAll, TargetSelect, PATH_CPU, PATH_FPGA, PATH_GPU};
+use crate::tasks::{cpu, fpga, gpu, tindep};
+use psa_artisan::Ast;
+
+/// Informed (Fig. 3 strategy at branch point A) vs uninformed (all paths).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowMode {
+    /// "Informed. We execute the PSA-flow… incorporating the PSA strategy
+    /// from Fig. 3 at branch point A."
+    Informed,
+    /// "Uninformed. We modify branch point A to automatically select all
+    /// paths, generating all design versions."
+    Uninformed,
+}
+
+/// The name the flow gives the extracted kernel function.
+pub const KERNEL_NAME: &str = "psa_kernel";
+
+fn cpu_path() -> Flow {
+    Flow::new("cpu-omp")
+        .task(cpu::MultiThreadParallelLoops)
+        .task(cpu::OmpNumThreadsDse)
+        .task(cpu::GenerateOpenMpDesign)
+}
+
+fn gpu_device_path(device: DeviceKind) -> Flow {
+    Flow::new(format!("gpu-{}", device.label()))
+        .task(gpu::BlocksizeDseTask { device })
+        .task(gpu::GenerateHipDesign { device })
+}
+
+fn gpu_path() -> Flow {
+    Flow::new("cpu+gpu")
+        .task(gpu::EmploySpMathFns)
+        .task(gpu::EmploySpNumericLiterals)
+        .task(gpu::EmploySpecialisedMathFns)
+        .task(gpu::IntroduceSharedMemBuf)
+        .task(gpu::EmployHipPinnedMemory)
+        .branch(
+            "B (GPU device)",
+            SelectAll,
+            vec![
+                ("gtx-1080-ti".into(), gpu_device_path(DeviceKind::Gtx1080Ti)),
+                ("rtx-2080-ti".into(), gpu_device_path(DeviceKind::Rtx2080Ti)),
+            ],
+        )
+}
+
+fn fpga_device_path(device: DeviceKind, zero_copy: bool) -> Flow {
+    let mut flow = Flow::new(format!("fpga-{}", device.label()));
+    if zero_copy {
+        flow = flow.task(fpga::ZeroCopyDataTransfer);
+    }
+    flow.task(fpga::UnrollUntilOvermapDse { device })
+        .task(fpga::GenerateOneApiDesign { device })
+}
+
+fn fpga_path() -> Flow {
+    Flow::new("cpu+fpga")
+        .task(fpga::UnrollFixedLoops)
+        .task(gpu::EmploySpMathFns)
+        .task(gpu::EmploySpNumericLiterals)
+        .branch(
+            "C (FPGA device)",
+            SelectAll,
+            vec![
+                ("arria10".into(), fpga_device_path(DeviceKind::Arria10, false)),
+                ("stratix10".into(), fpga_device_path(DeviceKind::Stratix10, true)),
+            ],
+        )
+}
+
+/// Assemble the Fig. 4 PSA-flow.
+pub fn build_flow(mode: FlowMode) -> Flow {
+    match mode {
+        FlowMode::Informed => build_flow_with_strategy(TargetSelect, "A (target mapping)"),
+        FlowMode::Uninformed => {
+            build_flow_with_strategy(SelectAll, "A (target mapping, all paths)")
+        }
+    }
+}
+
+/// Assemble the Fig. 4 PSA-flow with a *custom* strategy at branch point A
+/// — how alternative deciders (e.g. the learned
+/// [`crate::strategy::ml::MlTargetSelect`]) plug into the standard flow.
+pub fn build_flow_with_strategy(
+    strategy: impl crate::strategy::PsaStrategy + 'static,
+    branch_name: &str,
+) -> Flow {
+    let base = Flow::new("psa-flow")
+        .task(tindep::IdentifyHotspotLoops)
+        .task(tindep::HotspotLoopExtraction { kernel_name: KERNEL_NAME.to_string() })
+        .task(tindep::PointerAnalysis)
+        .task(tindep::ArithmeticIntensityAnalysis)
+        .task(tindep::DataInOutAnalysis)
+        .task(tindep::LoopDependenceAnalysis)
+        .task(tindep::LoopTripCountAnalysis)
+        .task(tindep::RemoveArrayAccumulation);
+    let paths = vec![
+        (PATH_GPU.to_string(), gpu_path()),
+        (PATH_FPGA.to_string(), fpga_path()),
+        (PATH_CPU.to_string(), cpu_path()),
+    ];
+    base.branch(branch_name, strategy, paths)
+}
+
+/// Run the full flow with a custom branch-A strategy.
+pub fn full_psa_flow_with_strategy(
+    source: &str,
+    app_name: &str,
+    strategy: impl crate::strategy::PsaStrategy + 'static,
+    params: PsaParams,
+) -> Result<FlowOutcome, FlowError> {
+    let ast = Ast::from_source(source, app_name)
+        .map_err(|e| FlowError::new(format!("parse error: {e}")))?;
+    let mut ctx = FlowContext::new(ast, params);
+    build_flow_with_strategy(strategy, "A (custom strategy)").execute(&mut ctx)?;
+    Ok(FlowOutcome {
+        app: app_name.to_string(),
+        reference_time_s: ctx.reference_time_s.unwrap_or(0.0),
+        designs: ctx.designs,
+        selected_target: ctx.selected_target,
+        log: ctx.log,
+    })
+}
+
+/// Parse an application, run the full PSA-flow, and package the outcome.
+pub fn full_psa_flow(
+    source: &str,
+    app_name: &str,
+    mode: FlowMode,
+    params: PsaParams,
+) -> Result<FlowOutcome, FlowError> {
+    let ast = Ast::from_source(source, app_name)
+        .map_err(|e| FlowError::new(format!("parse error: {e}")))?;
+    let mut ctx = FlowContext::new(ast, params);
+    let flow = build_flow(mode);
+    flow.execute(&mut ctx)?;
+
+    // The informed strategy records its decision (with evidence) in the
+    // context at branch time — *before* target-specific transforms reshape
+    // the kernel.
+    let selected_target = match mode {
+        FlowMode::Uninformed => None,
+        FlowMode::Informed => ctx.selected_target,
+    };
+
+    Ok(FlowOutcome {
+        app: app_name.to_string(),
+        reference_time_s: ctx.reference_time_s.unwrap_or(0.0),
+        designs: ctx.designs,
+        selected_target,
+        log: ctx.log,
+    })
+}
+
+/// Convenience: derive the selected target of an outcome's design set (the
+/// target family of the fastest design).
+pub fn winning_target(outcome: &FlowOutcome) -> Option<TargetKind> {
+    outcome.best_design().map(|d| d.target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Compute-parallel kernel with no inner loops → GPU path with two
+    /// device designs.
+    #[test]
+    fn informed_gpu_bound_app_generates_two_designs() {
+        let src = "int main() {\
+            int n = 128;\
+            double* a = alloc_double(n);\
+            double* b = alloc_double(n);\
+            fill_random(a, n, 3);\
+            for (int i = 0; i < n; i++) { b[i] = exp(a[i]) * sqrt(a[i] + 2.0); }\
+            sink(b[0]);\
+            return 0;\
+        }";
+        let outcome =
+            full_psa_flow(src, "gpuapp", FlowMode::Informed, PsaParams::default()).unwrap();
+        assert_eq!(outcome.selected_target, Some(TargetKind::CpuGpu), "{:?}", outcome.log);
+        assert_eq!(outcome.designs.len(), 2, "{:?}", outcome.log);
+        let devices: Vec<DeviceKind> = outcome.designs.iter().map(|d| d.device).collect();
+        assert!(devices.contains(&DeviceKind::Gtx1080Ti));
+        assert!(devices.contains(&DeviceKind::Rtx2080Ti));
+    }
+
+    /// Memory-bound streaming kernel → CPU path, one design.
+    #[test]
+    fn informed_memory_bound_app_goes_openmp() {
+        let src = "int main() {\
+            int n = 4096;\
+            double* a = alloc_double(n);\
+            double* b = alloc_double(n);\
+            fill_random(a, n, 3);\
+            for (int i = 0; i < n; i++) { b[i] = a[i] * 1.5 + 2.0; }\
+            sink(b[0]);\
+            return 0;\
+        }";
+        let outcome =
+            full_psa_flow(src, "memapp", FlowMode::Informed, PsaParams::default()).unwrap();
+        assert_eq!(outcome.selected_target, Some(TargetKind::MultiThreadCpu), "{:?}", outcome.log);
+        assert_eq!(outcome.designs.len(), 1);
+        assert_eq!(outcome.designs[0].device, DeviceKind::Epyc7543);
+    }
+
+    /// Uninformed mode generates all five designs.
+    #[test]
+    fn uninformed_mode_generates_all_five() {
+        let src = "int main() {\
+            int n = 96;\
+            double* a = alloc_double(n);\
+            double* b = alloc_double(n);\
+            fill_random(a, n, 3);\
+            for (int i = 0; i < n; i++) { b[i] = exp(a[i]) + a[i] * a[i]; }\
+            sink(b[0]);\
+            return 0;\
+        }";
+        let outcome =
+            full_psa_flow(src, "allapp", FlowMode::Uninformed, PsaParams::default()).unwrap();
+        assert_eq!(outcome.designs.len(), 5, "{:?}", outcome.log);
+        assert!(outcome.selected_target.is_none());
+        let mut devices: Vec<&str> = outcome.designs.iter().map(|d| d.device.label()).collect();
+        devices.sort_unstable();
+        assert_eq!(devices.len(), 5);
+    }
+
+    /// Sequential recurrence: the flow terminates without designs.
+    #[test]
+    fn informed_sequential_app_terminates() {
+        let src = "int main() {\
+            int n = 64;\
+            double* a = alloc_double(n);\
+            for (int i = 1; i < n; i++) { a[i] = a[i - 1] * 0.9 + 0.1; }\
+            sink(a[0]);\
+            return 0;\
+        }";
+        let outcome =
+            full_psa_flow(src, "seqapp", FlowMode::Informed, PsaParams::default()).unwrap();
+        assert!(outcome.designs.is_empty(), "{:?}", outcome.log);
+        assert_eq!(outcome.selected_target, None);
+    }
+}

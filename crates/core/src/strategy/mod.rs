@@ -1,0 +1,342 @@
+//! PSA strategies — the automated deciders at branch points.
+//!
+//! [`TargetSelect`] implements the paper's Fig. 3 strategy for branch point
+//! A, including the cost/budget feedback loop; [`SelectAll`] implements the
+//! device-level branch points B and C ("the current implementation
+//! automatically selects both paths at B and C") and the *uninformed* mode
+//! of §IV-B ("modify branch point A to automatically select all paths").
+
+use crate::context::FlowContext;
+use crate::flow::{BranchPoint, FlowError, Selection};
+use crate::report::TargetKind;
+use crate::work::kernel_work;
+use psa_platform::{epyc_7543, rtx_2080_ti, stratix10, CpuModel, FpgaModel, GpuModel};
+
+pub mod ml;
+
+/// A programmatic path selector.
+pub trait PsaStrategy: Send + Sync {
+    /// Strategy name for traces.
+    fn name(&self) -> &str;
+
+    /// Decide which of `bp.paths` to follow. The context is mutable so
+    /// strategies can record their decision evidence in the flow trace.
+    fn select(&self, bp: &BranchPoint, ctx: &mut FlowContext) -> Result<Selection, FlowError>;
+}
+
+/// Select every path — device-level branch points and the uninformed mode.
+pub struct SelectAll;
+
+impl PsaStrategy for SelectAll {
+    fn name(&self) -> &str {
+        "select-all"
+    }
+
+    fn select(&self, bp: &BranchPoint, _ctx: &mut FlowContext) -> Result<Selection, FlowError> {
+        Ok(Selection::Many((0..bp.paths.len()).collect()))
+    }
+}
+
+/// Path labels the Fig. 4 flow uses at branch point A.
+pub const PATH_CPU: &str = "multi-thread-cpu";
+pub const PATH_GPU: &str = "cpu+gpu";
+pub const PATH_FPGA: &str = "cpu+fpga";
+
+/// The informed target-mapping strategy of Fig. 3.
+pub struct TargetSelect;
+
+impl TargetSelect {
+    /// The decision logic, separated for testability: returns the chosen
+    /// target (or `None` = terminate) plus trace lines.
+    pub fn decide(ctx: &FlowContext) -> Result<(Option<TargetKind>, Vec<String>), FlowError> {
+        let mut log = Vec::new();
+        let analysis = ctx.analysis()?;
+
+        // Pointer analysis gate: aliasing pointer arguments veto every
+        // parallelisation path.
+        if analysis.alias.may_alias {
+            log.push(format!(
+                "pointer analysis: arguments may alias ({} pair(s)); cannot parallelise — terminating",
+                analysis.alias.pairs.len()
+            ));
+            return Ok((None, log));
+        }
+
+        let w = kernel_work(ctx)?;
+        let cpu = CpuModel::new(epyc_7543());
+        let t_cpu = cpu.time_single_thread(&w);
+
+        // Estimated accelerator transfer time from the data-movement
+        // analysis and known device transfer bandwidths (best of the
+        // available interconnects: pinned PCIe on the GPU).
+        let gpu_spec = rtx_2080_ti();
+        let transfer_bw = gpu_spec.pcie_gbs * 1e9 * gpu_spec.pinned_factor;
+        let t_transfer = (w.bytes_in + w.bytes_out) / transfer_bw;
+
+        let ai = analysis.intensity.flops_per_byte;
+        let x = ctx.params.ai_threshold;
+        log.push(format!(
+            "offload test: T_data_transfer={t_transfer:.4e}s vs T_CPU={t_cpu:.4e}s; AI={ai:.3} FLOPs/B (X={x})"
+        ));
+
+        let outer_parallel = analysis.deps.outer_parallel();
+        let worthwhile = t_transfer < t_cpu && ai > x;
+        if !worthwhile {
+            if t_transfer >= t_cpu {
+                log.push("transfer would exceed CPU execution: no benefit to offloading".into());
+            }
+            if ai <= x {
+                log.push("hotspot is memory-bound: no benefit to offloading".into());
+            }
+            return if outer_parallel {
+                log.push("outer hotspot loop is parallel → multi-thread CPU branch".into());
+                Ok((Some(TargetKind::MultiThreadCpu), log))
+            } else {
+                log.push(
+                    "outer hotspot loop is not parallel → terminating without modification"
+                        .into(),
+                );
+                Ok((None, log))
+            };
+        }
+
+        // Offload: pick GPU or FPGA.
+        let target = if outer_parallel {
+            let inner = analysis.deps.inner_loops_with_deps();
+            if inner.is_empty() {
+                log.push("parallel outer loop, no dependence-carrying inner loops → CPU+GPU".into());
+                TargetKind::CpuGpu
+            } else if analysis.deps.inner_deps_fully_unrollable(ctx.params.full_unroll_limit) {
+                log.push(format!(
+                    "parallel outer loop; {} inner dep loop(s), all fixed-bound ≤ {} (fully unrollable) → CPU+FPGA",
+                    inner.len(),
+                    ctx.params.full_unroll_limit
+                ));
+                TargetKind::CpuFpga
+            } else {
+                log.push(
+                    "parallel outer loop; inner dep loops not fully unrollable → CPU+GPU".into(),
+                );
+                TargetKind::CpuGpu
+            }
+        } else {
+            log.push("outer hotspot loop not parallel → CPU+FPGA (pipelined execution)".into());
+            TargetKind::CpuFpga
+        };
+
+        // Cost evaluation / budget feedback (Fig. 3 bottom).
+        if let Some(budget) = ctx.params.budget {
+            let (chosen, cost_log) = Self::apply_budget(ctx, &w, target, budget)?;
+            log.extend(cost_log);
+            return Ok((chosen, log));
+        }
+
+        Ok((Some(target), log))
+    }
+
+    /// Estimate the per-run cost of each target and revise the selection if
+    /// the preferred one exceeds the budget.
+    fn apply_budget(
+        ctx: &FlowContext,
+        w: &psa_platform::KernelWork,
+        preferred: TargetKind,
+        budget: f64,
+    ) -> Result<(Option<TargetKind>, Vec<String>), FlowError> {
+        let (p_cpu, p_gpu, p_fpga) = ctx.params.hourly_prices;
+        let cost_of = |target: TargetKind| -> Option<f64> {
+            match target {
+                TargetKind::MultiThreadCpu => {
+                    let t = CpuModel::new(epyc_7543()).time_openmp(w, 32);
+                    Some(t / 3600.0 * p_cpu)
+                }
+                TargetKind::CpuGpu => {
+                    let t = GpuModel::new(rtx_2080_ti()).total_time(w, 256, true);
+                    t.is_finite().then(|| t / 3600.0 * p_gpu)
+                }
+                TargetKind::CpuFpga => FpgaModel::new(stratix10())
+                    .total_time(w, 1)
+                    .ok()
+                    .map(|t| t / 3600.0 * p_fpga),
+            }
+        };
+
+        let mut log = Vec::new();
+        let preferred_cost = cost_of(preferred);
+        match preferred_cost {
+            Some(c) if c <= budget => {
+                log.push(format!(
+                    "cost evaluation: {} ≈ {c:.3e} ≤ budget {budget:.3e} → continue",
+                    preferred.label()
+                ));
+                return Ok((Some(preferred), log));
+            }
+            Some(c) => log.push(format!(
+                "cost evaluation: {} ≈ {c:.3e} EXCEEDS budget {budget:.3e} → revising design",
+                preferred.label()
+            )),
+            None => log.push(format!(
+                "cost evaluation: {} design infeasible → revising design",
+                preferred.label()
+            )),
+        }
+
+        // Revision: cheapest feasible target within budget.
+        let mut candidates: Vec<(TargetKind, f64)> =
+            [TargetKind::MultiThreadCpu, TargetKind::CpuGpu, TargetKind::CpuFpga]
+                .into_iter()
+                .filter_map(|t| cost_of(t).map(|c| (t, c)))
+                .collect();
+        candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        for (t, c) in candidates {
+            if c <= budget {
+                log.push(format!("revised mapping: {} at cost {c:.3e}", t.label()));
+                return Ok((Some(t), log));
+            }
+        }
+        log.push("no target meets the budget → terminating".into());
+        Ok((None, log))
+    }
+}
+
+impl PsaStrategy for TargetSelect {
+    fn name(&self) -> &str {
+        "fig3-target-select"
+    }
+
+    fn select(&self, bp: &BranchPoint, ctx: &mut FlowContext) -> Result<Selection, FlowError> {
+        let (target, decision_log) = Self::decide(ctx)?;
+        for line in decision_log {
+            ctx.log(format!("[PSA A] {line}"));
+        }
+        ctx.selected_target = target;
+        let Some(target) = target else { return Ok(Selection::None) };
+        let label = match target {
+            TargetKind::MultiThreadCpu => PATH_CPU,
+            TargetKind::CpuGpu => PATH_GPU,
+            TargetKind::CpuFpga => PATH_FPGA,
+        };
+        let idx = bp
+            .paths
+            .iter()
+            .position(|(l, _)| l == label)
+            .ok_or_else(|| FlowError::new(format!("branch has no path labelled `{label}`")))?;
+        Ok(Selection::One(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{FlowContext, PsaParams};
+    use psa_artisan::Ast;
+
+    fn ctx_for(src: &str, kernel: &str) -> FlowContext {
+        let ast = Ast::from_source(src, "t").unwrap();
+        let analysis = psa_analyses::analyze_kernel(&ast.module, kernel).unwrap();
+        let mut c = FlowContext::new(ast, PsaParams::default());
+        c.kernel = Some(kernel.to_string());
+        c.analysis = Some(analysis);
+        c
+    }
+
+    const COMPUTE_PAR: &str = "void knl(double* a, double* b, int n) {\
+        for (int i = 0; i < n; i++) { b[i] = exp(a[i]) * sqrt(a[i] + 1.0); }\
+      }\
+      int main() { int n = 64; double* a = alloc_double(n); double* b = alloc_double(n);\
+        fill_random(a, n, 5); knl(a, b, n); return 0; }";
+
+    #[test]
+    fn compute_bound_parallel_no_inner_deps_goes_gpu() {
+        let c = ctx_for(COMPUTE_PAR, "knl");
+        let (t, log) = TargetSelect::decide(&c).unwrap();
+        assert_eq!(t, Some(TargetKind::CpuGpu), "{log:?}");
+    }
+
+    #[test]
+    fn memory_bound_parallel_goes_cpu() {
+        let src = "void knl(double* a, double* b, int n) {\
+            for (int i = 0; i < n; i++) { b[i] = a[i] + 1.0; }\
+          }\
+          int main() { int n = 64; double* a = alloc_double(n); double* b = alloc_double(n);\
+            knl(a, b, n); return 0; }";
+        let c = ctx_for(src, "knl");
+        let (t, log) = TargetSelect::decide(&c).unwrap();
+        assert_eq!(t, Some(TargetKind::MultiThreadCpu), "{log:?}");
+        assert!(log.iter().any(|l| l.contains("memory-bound")), "{log:?}");
+    }
+
+    #[test]
+    fn fixed_inner_reductions_go_fpga() {
+        let src = "void knl(double* w, double* out, int n) {\
+            for (int i = 0; i < n; i++) {\
+              double acc = 0.0;\
+              for (int f = 0; f < 16; f++) { acc += exp(w[f] * 0.1); }\
+              out[i] = acc;\
+            }\
+          }\
+          int main() { int n = 64; double* w = alloc_double(16); double* out = alloc_double(n);\
+            fill_random(w, 16, 2); knl(w, out, n); return 0; }";
+        let c = ctx_for(src, "knl");
+        let (t, log) = TargetSelect::decide(&c).unwrap();
+        assert_eq!(t, Some(TargetKind::CpuFpga), "{log:?}");
+    }
+
+    #[test]
+    fn runtime_inner_reductions_go_gpu() {
+        let src = "void knl(double* w, double* out, int n) {\
+            for (int i = 0; i < n; i++) {\
+              double acc = 0.0;\
+              for (int j = 0; j < n; j++) { acc += exp(w[j] * 0.1); }\
+              out[i] = acc;\
+            }\
+          }\
+          int main() { int n = 48; double* w = alloc_double(n); double* out = alloc_double(n);\
+            fill_random(w, n, 2); knl(w, out, n); return 0; }";
+        let c = ctx_for(src, "knl");
+        let (t, log) = TargetSelect::decide(&c).unwrap();
+        assert_eq!(t, Some(TargetKind::CpuGpu), "{log:?}");
+    }
+
+    #[test]
+    fn aliasing_terminates_the_flow() {
+        let src = "void knl(double* a, double* b, int n) {\
+            for (int i = 0; i < n; i++) { b[i] = exp(a[i]); }\
+          }\
+          int main() { int n = 32; double* a = alloc_double(n + n); knl(a, a + n, n); return 0; }";
+        let c = ctx_for(src, "knl");
+        // Same allocation: aliasing (conservative provenance check).
+        assert!(c.analysis.as_ref().unwrap().alias.may_alias);
+        let (t, log) = TargetSelect::decide(&c).unwrap();
+        assert_eq!(t, None, "{log:?}");
+        assert!(log[0].contains("alias"));
+    }
+
+    #[test]
+    fn budget_feedback_revises_to_cheaper_target() {
+        let mut c = ctx_for(COMPUTE_PAR, "knl");
+        // Absurdly tight budget: everything over it → terminate.
+        c.params.budget = Some(1e-30);
+        let (t, log) = TargetSelect::decide(&c).unwrap();
+        assert_eq!(t, None, "{log:?}");
+        assert!(log.iter().any(|l| l.contains("no target meets the budget")), "{log:?}");
+        // Generous budget: selection unchanged.
+        c.params.budget = Some(1e6);
+        let (t, _) = TargetSelect::decide(&c).unwrap();
+        assert_eq!(t, Some(TargetKind::CpuGpu));
+    }
+
+    #[test]
+    fn select_all_selects_everything() {
+        use crate::flow::Flow;
+        let bp = BranchPoint {
+            name: "B".into(),
+            paths: vec![
+                ("a".into(), Flow::new("a")),
+                ("b".into(), Flow::new("b")),
+            ],
+            strategy: std::sync::Arc::new(SelectAll),
+        };
+        let mut c = ctx_for(COMPUTE_PAR, "knl");
+        assert_eq!(SelectAll.select(&bp, &mut c).unwrap(), Selection::Many(vec![0, 1]));
+    }
+}

@@ -1,0 +1,69 @@
+//! The design-flow task abstraction.
+//!
+//! "Each task encapsulates a distinct code analysis, transformation, or
+//! optimization" (Fig. 1). Tasks are classified exactly as the paper's
+//! repository table: **A**nalysis, **T**ransform, **C**ode-**G**eneration,
+//! **O**ptimisation; dynamic tasks (⚡) execute the program.
+
+use crate::context::FlowContext;
+use crate::flow::FlowError;
+
+/// The paper's A / T / CG / O classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskClass {
+    Analysis,
+    Transform,
+    CodeGen,
+    Optimisation,
+}
+
+impl TaskClass {
+    /// The single-letter code used in the paper's repository listing.
+    pub fn code(&self) -> &'static str {
+        match self {
+            TaskClass::Analysis => "A",
+            TaskClass::Transform => "T",
+            TaskClass::CodeGen => "CG",
+            TaskClass::Optimisation => "O",
+        }
+    }
+}
+
+/// Static description of a task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskInfo {
+    /// Name as listed in the paper's repository (e.g. "Identify Hotspot
+    /// Loops").
+    pub name: &'static str,
+    pub class: TaskClass,
+    /// ⚡ — requires program execution.
+    pub dynamic: bool,
+}
+
+impl TaskInfo {
+    pub const fn new(name: &'static str, class: TaskClass, dynamic: bool) -> Self {
+        TaskInfo { name, class, dynamic }
+    }
+}
+
+/// A codified design-flow task.
+pub trait Task: Send + Sync {
+    /// Repository metadata.
+    fn info(&self) -> TaskInfo;
+
+    /// Execute against the flow context.
+    fn run(&self, ctx: &mut FlowContext) -> Result<(), FlowError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_codes_match_the_figure() {
+        assert_eq!(TaskClass::Analysis.code(), "A");
+        assert_eq!(TaskClass::Transform.code(), "T");
+        assert_eq!(TaskClass::CodeGen.code(), "CG");
+        assert_eq!(TaskClass::Optimisation.code(), "O");
+    }
+}

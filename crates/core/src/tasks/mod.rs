@@ -1,0 +1,41 @@
+//! The codified design-flow task repository (the paper's Fig. 4 left-hand
+//! table), grouped exactly as the figure groups them:
+//!
+//! | Group        | Module      |
+//! |--------------|-------------|
+//! | `T-INDEP`    | [`tindep`]  |
+//! | `CPU-OMP`    | [`cpu`]     |
+//! | `GPU` / `GPU-1080` / `GPU-2080` | [`gpu`] |
+//! | `FPGA` / `FPGA-A10` / `FPGA-S10` | [`fpga`] |
+
+pub mod cpu;
+pub mod fpga;
+pub mod gpu;
+pub mod tindep;
+
+use crate::context::FlowContext;
+use crate::flow::FlowError;
+
+/// Run (or reuse) the bundled target-independent analyses over the current
+/// kernel. Dynamic analyses execute the program once; every analysis task
+/// shares that run.
+pub fn ensure_analysis(ctx: &mut FlowContext) -> Result<(), FlowError> {
+    if ctx.analysis.is_some() {
+        return Ok(());
+    }
+    let kernel = ctx.kernel_name()?.to_string();
+    let analysis = psa_analyses::analyze_kernel(&ctx.ast.module, &kernel)?;
+    ctx.analysis = Some(analysis);
+    if ctx.reference_time_s.is_none() {
+        ctx.reference_time_s = Some(crate::work::reference_time(ctx)?);
+    }
+    Ok(())
+}
+
+/// Invalidate cached analysis after a semantics-relevant AST rewrite and
+/// re-run it (transforms like reduction removal or loop unrolling change
+/// the dependence structure the strategy reads).
+pub fn reanalyze(ctx: &mut FlowContext) -> Result<(), FlowError> {
+    ctx.analysis = None;
+    ensure_analysis(ctx)
+}

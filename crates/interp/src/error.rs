@@ -1,0 +1,67 @@
+//! Runtime errors raised during interpretation.
+
+use psa_minicpp::Span;
+use std::fmt;
+
+/// Result alias for interpreter operations.
+pub type RuntimeResult<T> = std::result::Result<T, RuntimeError>;
+
+/// A runtime failure. Dynamic analyses treat any of these as a hard error —
+/// the reference description must execute cleanly before a design-flow will
+/// transform it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// Name lookup failed (unbound variable or unknown function).
+    Unbound { name: String, span: Span },
+    /// Type confusion, e.g. indexing a scalar.
+    Type { message: String, span: Span },
+    /// Out-of-bounds or dangling memory access.
+    Memory { message: String, span: Span },
+    /// Division or remainder by zero.
+    DivideByZero { span: Span },
+    /// The virtual-cycle budget was exhausted (runaway loop guard).
+    CycleBudgetExhausted { limit: u64 },
+    /// Call stack exceeded the configured depth.
+    StackOverflow { depth: usize },
+    /// Malformed intrinsic usage.
+    Intrinsic { message: String, span: Span },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Unbound { name, span } => {
+                write!(f, "{span}: `{name}` is not bound")
+            }
+            RuntimeError::Type { message, span } => write!(f, "{span}: type error: {message}"),
+            RuntimeError::Memory { message, span } => {
+                write!(f, "{span}: memory error: {message}")
+            }
+            RuntimeError::DivideByZero { span } => write!(f, "{span}: division by zero"),
+            RuntimeError::CycleBudgetExhausted { limit } => {
+                write!(f, "virtual cycle budget of {limit} exhausted")
+            }
+            RuntimeError::StackOverflow { depth } => {
+                write!(f, "call stack exceeded {depth} frames")
+            }
+            RuntimeError::Intrinsic { message, span } => {
+                write!(f, "{span}: intrinsic error: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_with_location() {
+        let e = RuntimeError::Unbound { name: "x".into(), span: Span::point(3, 1) };
+        assert_eq!(e.to_string(), "3:1: `x` is not bound");
+        let e = RuntimeError::CycleBudgetExhausted { limit: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+}

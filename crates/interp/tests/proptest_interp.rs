@@ -1,0 +1,138 @@
+//! Property tests: the interpreter agrees with a Rust reference evaluator
+//! on randomly generated programs, is deterministic, and its loop
+//! accounting matches the static trip-count algebra.
+
+use proptest::prelude::*;
+use psa_interp::{Interpreter, RunConfig, Value};
+use psa_minicpp::parse_module;
+
+fn run_int(src: &str) -> i64 {
+    let m = parse_module(src, "p").expect("parses");
+    let mut interp = Interpreter::new(&m, RunConfig::default());
+    match interp.run_main().expect("runs") {
+        Value::Int(v) => v,
+        other => panic!("expected int, got {other}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Integer arithmetic matches Rust's wrapping semantics.
+    #[test]
+    fn integer_arithmetic_matches_rust(a in -10_000i64..10_000, b in -10_000i64..10_000, c in 1i64..100) {
+        let src = format!(
+            "int main() {{ int a = {a}; int b = {b}; int c = {c}; return a * b + a / c - b % c; }}"
+        );
+        let expected = a.wrapping_mul(b).wrapping_add(a.wrapping_div(c)).wrapping_sub(b.wrapping_rem(c));
+        prop_assert_eq!(run_int(&src), expected);
+    }
+
+    /// Ascending loops execute exactly the statically predicted number of
+    /// iterations.
+    #[test]
+    fn observed_trips_match_static_algebra(init in -40i64..40, bound in -40i64..40, step in 1i64..7) {
+        let src = format!(
+            "int main() {{ int count = 0; for (int i = {init}; i < {bound}; i += {step}) {{ count++; }} return count; }}"
+        );
+        let m = parse_module(&src, "p").unwrap();
+        // Pull the static prediction straight off the AST.
+        let f = m.function("main").unwrap();
+        let static_trips = f.body.stmts.iter().find_map(|s| match &s.kind {
+            psa_minicpp::StmtKind::For(l) => l.static_trip_count(),
+            _ => None,
+        }).expect("literal bounds");
+        prop_assert_eq!(run_int(&src) as u64, static_trips);
+    }
+
+    /// Descending loops too.
+    #[test]
+    fn descending_trips_match(init in -40i64..40, bound in -40i64..40, step in 1i64..7) {
+        let src = format!(
+            "int main() {{ int count = 0; for (int i = {init}; i > {bound}; i -= {step}) {{ count++; }} return count; }}"
+        );
+        let m = parse_module(&src, "p").unwrap();
+        let f = m.function("main").unwrap();
+        let static_trips = f.body.stmts.iter().find_map(|s| match &s.kind {
+            psa_minicpp::StmtKind::For(l) => l.static_trip_count(),
+            _ => None,
+        }).expect("literal bounds");
+        prop_assert_eq!(run_int(&src) as u64, static_trips);
+    }
+
+    /// Double-precision arithmetic is bit-identical to Rust's f64.
+    #[test]
+    fn double_arithmetic_matches_rust(a in -100.0f64..100.0, b in 0.5f64..100.0) {
+        // Use exactly representable operations and compare via scaled ints.
+        let src = format!(
+            "int main() {{ double a = {a:?}; double b = {b:?}; double r = a * b + a / b - b; return (int)(r * 1024.0); }}"
+        );
+        let expected = ((a * b + a / b - b) * 1024.0) as i64;
+        prop_assert_eq!(run_int(&src), expected);
+    }
+
+    /// Determinism: two runs of the same randomized program agree on both
+    /// the result and every profile counter.
+    #[test]
+    fn runs_are_bit_deterministic(n in 1usize..64, seed in 0i64..1_000_000) {
+        let src = format!(
+            "int main() {{\
+               double* a = alloc_double({n});\
+               fill_random(a, {n}, {seed});\
+               double s = 0.0;\
+               for (int i = 0; i < {n}; i++) {{ s += sqrt(a[i]) * 3.0; }}\
+               return (int)(s * 4096.0);\
+             }}"
+        );
+        let m = parse_module(&src, "p").unwrap();
+        let mut i1 = Interpreter::new(&m, RunConfig::default());
+        let r1 = i1.run_main().unwrap();
+        let mut i2 = Interpreter::new(&m, RunConfig::default());
+        let r2 = i2.run_main().unwrap();
+        prop_assert_eq!(r1, r2);
+        prop_assert_eq!(i1.profile().total_cycles, i2.profile().total_cycles);
+        prop_assert_eq!(i1.profile().flops, i2.profile().flops);
+        prop_assert_eq!(i1.profile().bytes_loaded, i2.profile().bytes_loaded);
+    }
+
+    /// The cycle counter is monotone in the workload size, and FLOP counts
+    /// scale exactly linearly with the trip count.
+    #[test]
+    fn profile_scales_with_work(n in 2usize..64) {
+        let src_for = |n: usize| format!(
+            "int main() {{ double* a = alloc_double({n}); double s = 0.0;\
+             for (int i = 0; i < {n}; i++) {{ s += (double)i * 2.0; }} sink(s); return 0; }}"
+        );
+        let run = |src: &str| {
+            let m = parse_module(src, "p").unwrap();
+            let mut i = Interpreter::new(&m, RunConfig::default());
+            i.run_main().unwrap();
+            (i.profile().total_cycles, i.profile().flops)
+        };
+        let (c1, f1) = run(&src_for(n));
+        let (c2, f2) = run(&src_for(n * 2));
+        prop_assert!(c2 > c1);
+        // Two FLOPs per iteration: mul + add.
+        prop_assert_eq!(f1, 2 * n as u64);
+        prop_assert_eq!(f2, 4 * n as u64);
+    }
+
+    /// Kernel-scoped accounting equals whole-program accounting when the
+    /// whole program is the kernel call.
+    #[test]
+    fn kernel_scope_is_consistent(n in 1usize..48) {
+        let src = format!(
+            "void knl(double* a, int n) {{ for (int i = 0; i < n; i++) {{ a[i] = a[i] * 2.0 + 1.0; }} }}\
+             int main() {{ double* a = alloc_double({n}); knl(a, {n}); return 0; }}"
+        );
+        let m = parse_module(&src, "p").unwrap();
+        let config = RunConfig { watch_function: Some("knl".into()), ..Default::default() };
+        let mut interp = Interpreter::new(&m, config);
+        interp.run_main().unwrap();
+        let p = interp.profile();
+        prop_assert_eq!(p.kernel_flops, 2 * n as u64);
+        prop_assert_eq!(p.kernel_bytes_loaded, 8 * n as u64);
+        prop_assert_eq!(p.kernel_bytes_stored, 8 * n as u64);
+        prop_assert!(p.kernel_cycles <= p.total_cycles);
+    }
+}

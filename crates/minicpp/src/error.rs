@@ -1,0 +1,43 @@
+//! Error type shared by the lexer and parser.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Result alias for frontend operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// A frontend (lex/parse) error with location information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// Which file/module the error occurred in.
+    pub module: String,
+    /// Where in the source.
+    pub span: Span,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl Error {
+    pub fn new(module: impl Into<String>, span: Span, message: impl Into<String>) -> Self {
+        Error { module: module.into(), span, message: message.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.module, self.span, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = Error::new("app.cpp", Span::point(4, 7), "unexpected `;`");
+        assert_eq!(e.to_string(), "app.cpp:4:7: unexpected `;`");
+    }
+}

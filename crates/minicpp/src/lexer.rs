@@ -1,0 +1,395 @@
+//! Hand-written lexer for MiniC++.
+//!
+//! Produces a flat token stream. `#pragma` lines are captured whole as
+//! [`TokenKind::PragmaLine`] tokens so the parser can attach them to the next
+//! statement — pragmas are the carrier for every annotation the design-flow
+//! tasks insert (`omp parallel for`, `unroll N`, kernel markers), so they are
+//! first-class here rather than skipped as trivia.
+
+use crate::error::{Error, Result};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Lex `source` into a token vector ending with an `Eof` token.
+pub fn lex(source: &str, module: &str) -> Result<Vec<Token>> {
+    Lexer::new(source, module).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    module: &'a str,
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str, module: &'a str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            module,
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::with_capacity(source.len() / 4),
+        }
+    }
+
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        c
+    }
+
+    fn here(&self) -> Span {
+        Span::point(self.line, self.col)
+    }
+
+    fn error(&self, span: Span, msg: impl Into<String>) -> Error {
+        Error::new(self.module, span, msg)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: Span) {
+        let span = Span {
+            line: start.line,
+            col: start.col,
+            end_line: self.line,
+            end_col: self.col,
+        };
+        self.tokens.push(Token { kind, span });
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        loop {
+            self.skip_trivia()?;
+            let start = self.here();
+            let c = self.peek();
+            if c == 0 {
+                self.push(TokenKind::Eof, start);
+                return Ok(self.tokens);
+            }
+            match c {
+                b'#' => self.lex_directive(start)?,
+                b'0'..=b'9' => self.lex_number(start)?,
+                b'.' if self.peek2().is_ascii_digit() => self.lex_number(start)?,
+                c if c.is_ascii_alphabetic() || c == b'_' => self.lex_ident(start),
+                _ => self.lex_operator(start)?,
+            }
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.peek() != b'\n' && self.peek() != 0 {
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    let start = self.here();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        if self.peek() == 0 {
+                            return Err(self.error(start, "unterminated block comment"));
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.bump();
+                            self.bump();
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_directive(&mut self, start: Span) -> Result<()> {
+        // Consume '#'.
+        self.bump();
+        let word_start = self.pos;
+        while self.peek().is_ascii_alphabetic() {
+            self.bump();
+        }
+        let word = std::str::from_utf8(&self.src[word_start..self.pos]).unwrap();
+        match word {
+            "pragma" => {
+                let text_start = self.pos;
+                while self.peek() != b'\n' && self.peek() != 0 {
+                    self.bump();
+                }
+                let text = std::str::from_utf8(&self.src[text_start..self.pos])
+                    .unwrap()
+                    .trim()
+                    .to_string();
+                self.push(TokenKind::PragmaLine(text), start);
+                Ok(())
+            }
+            // `#include` lines are tolerated and skipped: benchmark sources
+            // keep them for realism but MiniC++ resolves math intrinsics
+            // natively.
+            "include" => {
+                while self.peek() != b'\n' && self.peek() != 0 {
+                    self.bump();
+                }
+                Ok(())
+            }
+            other => Err(self.error(start, format!("unsupported directive `#{other}`"))),
+        }
+    }
+
+    fn lex_number(&mut self, start: Span) -> Result<()> {
+        let begin = self.pos;
+        let mut is_float = false;
+        while self.peek().is_ascii_digit() {
+            self.bump();
+        }
+        if self.peek() == b'.' && self.peek2() != b'.' {
+            is_float = true;
+            self.bump();
+            while self.peek().is_ascii_digit() {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), b'e' | b'E') {
+            let save = self.pos;
+            self.bump();
+            if matches!(self.peek(), b'+' | b'-') {
+                self.bump();
+            }
+            if self.peek().is_ascii_digit() {
+                is_float = true;
+                while self.peek().is_ascii_digit() {
+                    self.bump();
+                }
+            } else {
+                // Not an exponent after all (e.g. identifier boundary).
+                self.pos = save;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[begin..self.pos]).unwrap();
+        let mut single = false;
+        if matches!(self.peek(), b'f' | b'F') {
+            single = true;
+            is_float = true;
+            self.bump();
+        }
+        if is_float {
+            let value: f64 = text
+                .parse()
+                .map_err(|_| self.error(start, format!("invalid float literal `{text}`")))?;
+            self.push(TokenKind::Float { value, single }, start);
+        } else {
+            let value: i64 = text
+                .parse()
+                .map_err(|_| self.error(start, format!("invalid integer literal `{text}`")))?;
+            self.push(TokenKind::Int(value), start);
+        }
+        Ok(())
+    }
+
+    fn lex_ident(&mut self, start: Span) {
+        let begin = self.pos;
+        while self.peek().is_ascii_alphanumeric() || self.peek() == b'_' {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[begin..self.pos]).unwrap();
+        let kind = TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()));
+        self.push(kind, start);
+    }
+
+    fn lex_operator(&mut self, start: Span) -> Result<()> {
+        use TokenKind::*;
+        let c = self.bump();
+        let two = |lexer: &mut Self, next: u8, with: TokenKind, without: TokenKind| {
+            if lexer.peek() == next {
+                lexer.bump();
+                with
+            } else {
+                without
+            }
+        };
+        let kind = match c {
+            b'(' => LParen,
+            b')' => RParen,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b';' => Semi,
+            b',' => Comma,
+            b'?' => Question,
+            b':' => Colon,
+            b'%' => Percent,
+            b'+' => {
+                if self.peek() == b'+' {
+                    self.bump();
+                    PlusPlus
+                } else {
+                    two(self, b'=', PlusAssign, Plus)
+                }
+            }
+            b'-' => {
+                if self.peek() == b'-' {
+                    self.bump();
+                    MinusMinus
+                } else {
+                    two(self, b'=', MinusAssign, Minus)
+                }
+            }
+            b'*' => two(self, b'=', StarAssign, Star),
+            b'/' => two(self, b'=', SlashAssign, Slash),
+            b'=' => two(self, b'=', EqEq, Assign),
+            b'!' => two(self, b'=', NotEq, Not),
+            b'<' => two(self, b'=', Le, Lt),
+            b'>' => two(self, b'=', Ge, Gt),
+            b'&' => two(self, b'&', AndAnd, Amp),
+            b'|' => {
+                if self.peek() == b'|' {
+                    self.bump();
+                    OrOr
+                } else {
+                    return Err(self.error(start, "single `|` is not supported"));
+                }
+            }
+            other => {
+                return Err(self.error(
+                    start,
+                    format!("unexpected character `{}`", other as char),
+                ))
+            }
+        };
+        self.push(kind, start);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src, "t").unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_declaration() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("int x = 42;"),
+            vec![KwInt, Ident("x".into()), Assign, Int(42), Semi, Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_float_forms() {
+        assert_eq!(
+            kinds("1.5 2.0f 3e2 4.5e-1f .25"),
+            vec![
+                TokenKind::Float { value: 1.5, single: false },
+                TokenKind::Float { value: 2.0, single: true },
+                TokenKind::Float { value: 300.0, single: false },
+                TokenKind::Float { value: 0.45, single: true },
+                TokenKind::Float { value: 0.25, single: false },
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn integer_then_f_suffix_is_single_precision() {
+        // `2f` style literals appear after the SP-literal transform.
+        assert_eq!(
+            kinds("2f"),
+            vec![TokenKind::Float { value: 2.0, single: true }, TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_compound_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a += b; c++ == d && e || !f"),
+            vec![
+                Ident("a".into()),
+                PlusAssign,
+                Ident("b".into()),
+                Semi,
+                Ident("c".into()),
+                PlusPlus,
+                EqEq,
+                Ident("d".into()),
+                AndAnd,
+                Ident("e".into()),
+                OrOr,
+                Not,
+                Ident("f".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn captures_pragma_lines() {
+        let toks = kinds("#pragma omp parallel for\nfor");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::PragmaLine("omp parallel for".into()),
+                TokenKind::KwFor,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_includes() {
+        let toks = kinds("#include <cmath>\n// line comment\n/* block\ncomment */ int");
+        assert_eq!(toks, vec![TokenKind::KwInt, TokenKind::Eof]);
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex("int\nx", "t").unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[1].span.line, 2);
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = lex("int $x;", "t").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.span.line, 1);
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        assert!(lex("/* oops", "t").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_directives() {
+        assert!(lex("#define X 1", "t").is_err());
+    }
+}

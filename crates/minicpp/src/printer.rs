@@ -1,0 +1,397 @@
+//! Pretty-printer: AST → human-readable MiniC++ source.
+//!
+//! The printer is precedence-aware (emits only the parentheses the grammar
+//! needs) and deterministic, so printed designs are directly comparable for
+//! the paper's lines-of-code productivity metric (Table I), and
+//! `parse(print(ast))` reproduces an equivalent AST (checked by property
+//! tests).
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Render a whole module.
+pub fn print_module(module: &Module) -> String {
+    let mut p = Printer::new();
+    for (i, item) in module.items.iter().enumerate() {
+        if i > 0 {
+            p.out.push('\n');
+        }
+        match item {
+            Item::Function(f) => p.function(f),
+            Item::Global(s) => p.stmt(s),
+        }
+    }
+    p.out
+}
+
+/// Render a single function (used when reporting extracted kernels).
+pub fn print_function(func: &Function) -> String {
+    let mut p = Printer::new();
+    p.function(func);
+    p.out
+}
+
+/// Render one statement at top-level indentation (for diagnostics).
+pub fn print_stmt(stmt: &Stmt) -> String {
+    let mut p = Printer::new();
+    p.stmt(stmt);
+    p.out
+}
+
+/// Render an expression.
+pub fn print_expr(expr: &Expr) -> String {
+    let mut p = Printer::new();
+    p.expr(expr, 0);
+    p.out
+}
+
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+/// Binding strength used to decide parenthesisation. Higher binds tighter.
+fn bin_prec(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::Ne => 3,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 4,
+        BinOp::Add | BinOp::Sub => 5,
+        BinOp::Mul | BinOp::Div | BinOp::Rem => 6,
+    }
+}
+
+const PREC_TERNARY: u8 = 0;
+const PREC_UNARY: u8 = 7;
+
+impl Printer {
+    fn new() -> Self {
+        Printer { out: String::with_capacity(1024), indent: 0 }
+    }
+
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn pragmas(&mut self, pragmas: &[Pragma]) {
+        for p in pragmas {
+            self.line(&format!("#pragma {}", p.text));
+        }
+    }
+
+    fn function(&mut self, f: &Function) {
+        self.pragmas(&f.pragmas);
+        let params: Vec<String> =
+            f.params.iter().map(|p| format!("{} {}", p.ty, p.name)).collect();
+        self.line(&format!("{} {}({}) {{", f.ret, f.name, params.join(", ")));
+        self.indent += 1;
+        for s in &f.body.stmts {
+            self.stmt(s);
+        }
+        self.indent -= 1;
+        self.line("}");
+    }
+
+    fn block_body(&mut self, block: &Block) {
+        self.indent += 1;
+        for s in &block.stmts {
+            self.stmt(s);
+        }
+        self.indent -= 1;
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        self.pragmas(&s.pragmas);
+        match &s.kind {
+            StmtKind::Decl(d) => {
+                let mut text = format!("{} {}", d.ty, d.name);
+                if let Some(len) = &d.array_len {
+                    let mut e = String::new();
+                    self.expr_into(&mut e, len, 0);
+                    write!(text, "[{e}]").unwrap();
+                }
+                if let Some(init) = &d.init {
+                    let mut e = String::new();
+                    self.expr_into(&mut e, init, 0);
+                    write!(text, " = {e}").unwrap();
+                }
+                text.push(';');
+                self.line(&text);
+            }
+            StmtKind::Assign { target, op, value } => {
+                let mut t = String::new();
+                self.expr_into(&mut t, target, PREC_UNARY);
+                // Print `x += 1` as the idiomatic `x++` when it round-trips.
+                if matches!(op, AssignOp::Add) && value.as_int() == Some(1) {
+                    self.line(&format!("{t}++;"));
+                } else if matches!(op, AssignOp::Sub) && value.as_int() == Some(1) {
+                    self.line(&format!("{t}--;"));
+                } else {
+                    let mut v = String::new();
+                    self.expr_into(&mut v, value, 0);
+                    self.line(&format!("{t} {} {v};", op.symbol()));
+                }
+            }
+            StmtKind::Expr(e) => {
+                let mut t = String::new();
+                self.expr_into(&mut t, e, 0);
+                self.line(&format!("{t};"));
+            }
+            StmtKind::If { cond, then, els } => {
+                let mut c = String::new();
+                self.expr_into(&mut c, cond, 0);
+                self.line(&format!("if ({c}) {{"));
+                self.block_body(then);
+                match els {
+                    Some(els) => {
+                        self.line("} else {");
+                        self.block_body(els);
+                        self.line("}");
+                    }
+                    None => self.line("}"),
+                }
+            }
+            StmtKind::For(l) => {
+                let mut init = String::new();
+                self.expr_into(&mut init, &l.init, 0);
+                let mut bound = String::new();
+                self.expr_into(&mut bound, &l.bound, 0);
+                let decl = if l.declares_var { "int " } else { "" };
+                let step = match (&l.step.kind, l.step_negative) {
+                    (ExprKind::IntLit(1), false) => format!("{}++", l.var),
+                    (ExprKind::IntLit(1), true) => format!("{}--", l.var),
+                    (_, neg) => {
+                        let mut st = String::new();
+                        self.expr_into(&mut st, &l.step, 0);
+                        format!("{} {}= {st}", l.var, if neg { '-' } else { '+' })
+                    }
+                };
+                self.line(&format!(
+                    "for ({decl}{var} = {init}; {var} {op} {bound}; {step}) {{",
+                    var = l.var,
+                    op = l.cond_op.symbol(),
+                ));
+                self.block_body(&l.body);
+                self.line("}");
+            }
+            StmtKind::While { cond, body } => {
+                let mut c = String::new();
+                self.expr_into(&mut c, cond, 0);
+                self.line(&format!("while ({c}) {{"));
+                self.block_body(body);
+                self.line("}");
+            }
+            StmtKind::Return(None) => self.line("return;"),
+            StmtKind::Return(Some(e)) => {
+                let mut t = String::new();
+                self.expr_into(&mut t, e, 0);
+                self.line(&format!("return {t};"));
+            }
+            StmtKind::Break => self.line("break;"),
+            StmtKind::Continue => self.line("continue;"),
+            StmtKind::Block(b) => {
+                self.line("{");
+                self.block_body(b);
+                self.line("}");
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr, min_prec: u8) {
+        let mut s = String::new();
+        self.expr_into(&mut s, e, min_prec);
+        self.out.push_str(&s);
+    }
+
+    /// Write `e` into `out`, parenthesising if its top-level binding strength
+    /// is below `min_prec`.
+    fn expr_into(&self, out: &mut String, e: &Expr, min_prec: u8) {
+        match &e.kind {
+            ExprKind::IntLit(v) => {
+                // A leading minus is itself a unary operator: parenthesise
+                // only where a bare unary expression would need it too.
+                if *v < 0 && min_prec > PREC_UNARY {
+                    write!(out, "({v})").unwrap();
+                } else {
+                    write!(out, "{v}").unwrap();
+                }
+            }
+            ExprKind::FloatLit { value, single } => {
+                let suffix = if *single { "f" } else { "" };
+                if *value < 0.0 && min_prec > PREC_UNARY {
+                    write!(out, "({value:?}{suffix})").unwrap();
+                } else {
+                    write!(out, "{value:?}{suffix}").unwrap();
+                }
+            }
+            ExprKind::BoolLit(b) => {
+                write!(out, "{b}").unwrap();
+            }
+            ExprKind::Ident(name) => out.push_str(name),
+            ExprKind::Unary { op, expr } => {
+                let needs_parens = min_prec > PREC_UNARY;
+                if needs_parens {
+                    out.push('(');
+                }
+                out.push(match op {
+                    UnOp::Neg => '-',
+                    UnOp::Not => '!',
+                });
+                self.expr_into(out, expr, PREC_UNARY + 1);
+                if needs_parens {
+                    out.push(')');
+                }
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                let prec = bin_prec(*op);
+                let needs_parens = prec < min_prec;
+                if needs_parens {
+                    out.push('(');
+                }
+                self.expr_into(out, lhs, prec);
+                write!(out, " {} ", op.symbol()).unwrap();
+                // Left-associative: the rhs must bind strictly tighter.
+                self.expr_into(out, rhs, prec + 1);
+                if needs_parens {
+                    out.push(')');
+                }
+            }
+            ExprKind::Call { callee, args } => {
+                write!(out, "{callee}(").unwrap();
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    self.expr_into(out, a, 0);
+                }
+                out.push(')');
+            }
+            ExprKind::Index { base, index } => {
+                self.expr_into(out, base, PREC_UNARY + 1);
+                out.push('[');
+                self.expr_into(out, index, 0);
+                out.push(']');
+            }
+            ExprKind::Cast { ty, expr } => {
+                let needs_parens = min_prec > PREC_UNARY;
+                if needs_parens {
+                    out.push('(');
+                }
+                write!(out, "({ty})").unwrap();
+                self.expr_into(out, expr, PREC_UNARY + 1);
+                if needs_parens {
+                    out.push(')');
+                }
+            }
+            ExprKind::Ternary { cond, then, els } => {
+                let needs_parens = min_prec > PREC_TERNARY;
+                if needs_parens {
+                    out.push('(');
+                }
+                self.expr_into(out, cond, 1);
+                out.push_str(" ? ");
+                self.expr_into(out, then, PREC_TERNARY);
+                out.push_str(" : ");
+                self.expr_into(out, els, PREC_TERNARY);
+                if needs_parens {
+                    out.push(')');
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+
+    fn roundtrip(src: &str) -> String {
+        print_module(&parse_module(src, "t").unwrap())
+    }
+
+    /// Parse → print → parse must yield the same printed form.
+    fn assert_stable(src: &str) {
+        let once = roundtrip(src);
+        let twice = print_module(&parse_module(&once, "t").unwrap());
+        assert_eq!(once, twice, "printer not stable for: {src}");
+    }
+
+    #[test]
+    fn prints_minimal_precedence_parens() {
+        let out = roundtrip("void f(int a, int b) { int c = (a + b) * 2; int d = a + b * 2; }");
+        assert!(out.contains("int c = (a + b) * 2;"), "{out}");
+        assert!(out.contains("int d = a + b * 2;"), "{out}");
+    }
+
+    #[test]
+    fn respects_left_associativity() {
+        // a - (b - c) must keep its parens; (a - b) - c must lose them.
+        let out = roundtrip("void f(int a, int b, int c) { int x = a - (b - c); int y = (a - b) - c; }");
+        assert!(out.contains("int x = a - (b - c);"), "{out}");
+        assert!(out.contains("int y = a - b - c;"), "{out}");
+        assert_stable("void f(int a, int b, int c) { int x = a - (b - c); }");
+    }
+
+    #[test]
+    fn prints_float_literals_roundtrippably() {
+        let out = roundtrip("void f() { double x = 1.0; float y = 0.5f; double z = 1e-3; }");
+        assert!(out.contains("double x = 1.0;"), "{out}");
+        assert!(out.contains("float y = 0.5f;"), "{out}");
+        assert!(out.contains("double z = 0.001;"), "{out}");
+        assert_stable("void f() { double x = 1.0; float y = 0.5f; }");
+    }
+
+    #[test]
+    fn prints_canonical_for_and_increments() {
+        let out = roundtrip("void f(int n) { for (int i = 0; i < n; i++) { n++; } }");
+        assert!(out.contains("for (int i = 0; i < n; i++) {"), "{out}");
+        assert!(out.contains("n++;"), "{out}");
+    }
+
+    #[test]
+    fn prints_strided_and_descending_loops() {
+        assert_stable("void f(int n) { for (int i = n; i > 0; i--) { } for (int j = 0; j < n; j += 4) { } }");
+        let out = roundtrip("void f(int n) { for (int j = 0; j < n; j += 4) { } }");
+        assert!(out.contains("j += 4"), "{out}");
+    }
+
+    #[test]
+    fn prints_pragmas_above_statements() {
+        let out = roundtrip(
+            "void f(double* a, int n) {\n#pragma omp parallel for\nfor (int i = 0; i < n; i++) a[i] = 0.0;\n}",
+        );
+        let pragma_pos = out.find("#pragma omp parallel for").unwrap();
+        let for_pos = out.find("for (").unwrap();
+        assert!(pragma_pos < for_pos);
+    }
+
+    #[test]
+    fn prints_ternary_and_casts() {
+        assert_stable("double f(double a, int n) { return a > 0.0 ? a : (double)n; }");
+    }
+
+    #[test]
+    fn prints_unary_in_tight_context() {
+        assert_stable("void f(double* a, int i) { a[i] = -a[i] * 2.0; }");
+        let out = roundtrip("void f(double* a, int i) { a[i] = 1.0 / -a[i]; }");
+        assert!(out.contains("1.0 / -a[i]"), "{out}");
+    }
+
+    #[test]
+    fn prints_else_chains() {
+        assert_stable(
+            "int f(int x) { if (x > 0) { return 1; } else if (x < 0) { return -1; } else { return 0; } }",
+        );
+    }
+
+    #[test]
+    fn prints_nested_indexing() {
+        assert_stable("void f(double* a, int i, int j, int w) { a[i * w + j] = a[j * w + i]; }");
+    }
+}

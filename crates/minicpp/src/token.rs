@@ -1,0 +1,193 @@
+//! Token definitions for the MiniC++ lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A lexical token tagged with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+/// The different kinds of token the lexer produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Integer literal, e.g. `42`.
+    Int(i64),
+    /// Floating literal; `single` is true for `f`-suffixed literals (`1.0f`).
+    Float { value: f64, single: bool },
+    /// Identifier or keyword candidate.
+    Ident(String),
+    /// A whole `#pragma ...` line (text after `#pragma`, trimmed).
+    PragmaLine(String),
+
+    // Keywords.
+    KwInt,
+    KwFloat,
+    KwDouble,
+    KwBool,
+    KwVoid,
+    KwConst,
+    KwIf,
+    KwElse,
+    KwFor,
+    KwWhile,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwTrue,
+    KwFalse,
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Question,
+    Colon,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PlusPlus,
+    MinusMinus,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Not,
+    AndAnd,
+    OrOr,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Amp,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::Float { value, .. } => format!("float `{value}`"),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::PragmaLine(p) => format!("`#pragma {p}`"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.symbol()),
+        }
+    }
+
+    /// The literal spelling for fixed tokens (empty for variable ones).
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            TokenKind::KwInt => "int",
+            TokenKind::KwFloat => "float",
+            TokenKind::KwDouble => "double",
+            TokenKind::KwBool => "bool",
+            TokenKind::KwVoid => "void",
+            TokenKind::KwConst => "const",
+            TokenKind::KwIf => "if",
+            TokenKind::KwElse => "else",
+            TokenKind::KwFor => "for",
+            TokenKind::KwWhile => "while",
+            TokenKind::KwReturn => "return",
+            TokenKind::KwBreak => "break",
+            TokenKind::KwContinue => "continue",
+            TokenKind::KwTrue => "true",
+            TokenKind::KwFalse => "false",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Semi => ";",
+            TokenKind::Comma => ",",
+            TokenKind::Question => "?",
+            TokenKind::Colon => ":",
+            TokenKind::Assign => "=",
+            TokenKind::PlusAssign => "+=",
+            TokenKind::MinusAssign => "-=",
+            TokenKind::StarAssign => "*=",
+            TokenKind::SlashAssign => "/=",
+            TokenKind::PlusPlus => "++",
+            TokenKind::MinusMinus => "--",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::Not => "!",
+            TokenKind::AndAnd => "&&",
+            TokenKind::OrOr => "||",
+            TokenKind::EqEq => "==",
+            TokenKind::NotEq => "!=",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::Amp => "&",
+            _ => "",
+        }
+    }
+
+    /// Map an identifier to a keyword token if it is one.
+    pub fn keyword(ident: &str) -> Option<TokenKind> {
+        Some(match ident {
+            "int" => TokenKind::KwInt,
+            "float" => TokenKind::KwFloat,
+            "double" => TokenKind::KwDouble,
+            "bool" => TokenKind::KwBool,
+            "void" => TokenKind::KwVoid,
+            "const" => TokenKind::KwConst,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "for" => TokenKind::KwFor,
+            "while" => TokenKind::KwWhile,
+            "return" => TokenKind::KwReturn,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            "true" => TokenKind::KwTrue,
+            "false" => TokenKind::KwFalse,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(TokenKind::keyword("for"), Some(TokenKind::KwFor));
+        assert_eq!(TokenKind::keyword("double"), Some(TokenKind::KwDouble));
+        assert_eq!(TokenKind::keyword("lambda"), None);
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        assert_eq!(TokenKind::Int(3).describe(), "integer `3`");
+        assert_eq!(TokenKind::PlusAssign.describe(), "`+=`");
+        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier `x`");
+    }
+}

@@ -1,0 +1,352 @@
+//! AST visitors: read-only traversal ([`Visit`]) and in-place mutation
+//! ([`VisitMut`]).
+//!
+//! Both traits call an overridable hook per node kind and default to
+//! structural recursion via the `walk_*` free functions, so implementations
+//! override only what they care about — queries in `psa-artisan` and cost
+//! walkers in `psa-platform` are all built on these.
+
+use crate::ast::*;
+
+/// Read-only traversal. Hooks fire *before* children are walked.
+pub trait Visit: Sized {
+    fn visit_module(&mut self, m: &Module) {
+        walk_module(self, m);
+    }
+    fn visit_function(&mut self, f: &Function) {
+        walk_function(self, f);
+    }
+    fn visit_block(&mut self, b: &Block) {
+        walk_block(self, b);
+    }
+    fn visit_stmt(&mut self, s: &Stmt) {
+        walk_stmt(self, s);
+    }
+    fn visit_for(&mut self, l: &ForLoop) {
+        walk_for(self, l);
+    }
+    fn visit_expr(&mut self, e: &Expr) {
+        walk_expr(self, e);
+    }
+}
+
+pub fn walk_module<V: Visit>(v: &mut V, m: &Module) {
+    for item in &m.items {
+        match item {
+            Item::Function(f) => v.visit_function(f),
+            Item::Global(s) => v.visit_stmt(s),
+        }
+    }
+}
+
+pub fn walk_function<V: Visit>(v: &mut V, f: &Function) {
+    v.visit_block(&f.body);
+}
+
+pub fn walk_block<V: Visit>(v: &mut V, b: &Block) {
+    for s in &b.stmts {
+        v.visit_stmt(s);
+    }
+}
+
+pub fn walk_stmt<V: Visit>(v: &mut V, s: &Stmt) {
+    match &s.kind {
+        StmtKind::Decl(d) => {
+            if let Some(e) = &d.array_len {
+                v.visit_expr(e);
+            }
+            if let Some(e) = &d.init {
+                v.visit_expr(e);
+            }
+        }
+        StmtKind::Assign { target, value, .. } => {
+            v.visit_expr(target);
+            v.visit_expr(value);
+        }
+        StmtKind::Expr(e) => v.visit_expr(e),
+        StmtKind::If { cond, then, els } => {
+            v.visit_expr(cond);
+            v.visit_block(then);
+            if let Some(els) = els {
+                v.visit_block(els);
+            }
+        }
+        StmtKind::For(l) => v.visit_for(l),
+        StmtKind::While { cond, body } => {
+            v.visit_expr(cond);
+            v.visit_block(body);
+        }
+        StmtKind::Return(e) => {
+            if let Some(e) = e {
+                v.visit_expr(e);
+            }
+        }
+        StmtKind::Break | StmtKind::Continue => {}
+        StmtKind::Block(b) => v.visit_block(b),
+    }
+}
+
+pub fn walk_for<V: Visit>(v: &mut V, l: &ForLoop) {
+    v.visit_expr(&l.init);
+    v.visit_expr(&l.bound);
+    v.visit_expr(&l.step);
+    v.visit_block(&l.body);
+}
+
+pub fn walk_expr<V: Visit>(v: &mut V, e: &Expr) {
+    match &e.kind {
+        ExprKind::Unary { expr, .. } => v.visit_expr(expr),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            v.visit_expr(lhs);
+            v.visit_expr(rhs);
+        }
+        ExprKind::Call { args, .. } => {
+            for a in args {
+                v.visit_expr(a);
+            }
+        }
+        ExprKind::Index { base, index } => {
+            v.visit_expr(base);
+            v.visit_expr(index);
+        }
+        ExprKind::Cast { expr, .. } => v.visit_expr(expr),
+        ExprKind::Ternary { cond, then, els } => {
+            v.visit_expr(cond);
+            v.visit_expr(then);
+            v.visit_expr(els);
+        }
+        ExprKind::IntLit(_) | ExprKind::FloatLit { .. } | ExprKind::BoolLit(_) | ExprKind::Ident(_) => {}
+    }
+}
+
+/// In-place mutation traversal. Hooks fire before children are walked;
+/// implementations may freely rewrite the node they receive.
+pub trait VisitMut: Sized {
+    fn visit_module_mut(&mut self, m: &mut Module) {
+        walk_module_mut(self, m);
+    }
+    fn visit_function_mut(&mut self, f: &mut Function) {
+        walk_function_mut(self, f);
+    }
+    fn visit_block_mut(&mut self, b: &mut Block) {
+        walk_block_mut(self, b);
+    }
+    fn visit_stmt_mut(&mut self, s: &mut Stmt) {
+        walk_stmt_mut(self, s);
+    }
+    fn visit_expr_mut(&mut self, e: &mut Expr) {
+        walk_expr_mut(self, e);
+    }
+}
+
+pub fn walk_module_mut<V: VisitMut>(v: &mut V, m: &mut Module) {
+    for item in &mut m.items {
+        match item {
+            Item::Function(f) => v.visit_function_mut(f),
+            Item::Global(s) => v.visit_stmt_mut(s),
+        }
+    }
+}
+
+pub fn walk_function_mut<V: VisitMut>(v: &mut V, f: &mut Function) {
+    v.visit_block_mut(&mut f.body);
+}
+
+pub fn walk_block_mut<V: VisitMut>(v: &mut V, b: &mut Block) {
+    for s in &mut b.stmts {
+        v.visit_stmt_mut(s);
+    }
+}
+
+pub fn walk_stmt_mut<V: VisitMut>(v: &mut V, s: &mut Stmt) {
+    match &mut s.kind {
+        StmtKind::Decl(d) => {
+            if let Some(e) = &mut d.array_len {
+                v.visit_expr_mut(e);
+            }
+            if let Some(e) = &mut d.init {
+                v.visit_expr_mut(e);
+            }
+        }
+        StmtKind::Assign { target, value, .. } => {
+            v.visit_expr_mut(target);
+            v.visit_expr_mut(value);
+        }
+        StmtKind::Expr(e) => v.visit_expr_mut(e),
+        StmtKind::If { cond, then, els } => {
+            v.visit_expr_mut(cond);
+            v.visit_block_mut(then);
+            if let Some(els) = els {
+                v.visit_block_mut(els);
+            }
+        }
+        StmtKind::For(l) => {
+            v.visit_expr_mut(&mut l.init);
+            v.visit_expr_mut(&mut l.bound);
+            v.visit_expr_mut(&mut l.step);
+            v.visit_block_mut(&mut l.body);
+        }
+        StmtKind::While { cond, body } => {
+            v.visit_expr_mut(cond);
+            v.visit_block_mut(body);
+        }
+        StmtKind::Return(e) => {
+            if let Some(e) = e {
+                v.visit_expr_mut(e);
+            }
+        }
+        StmtKind::Break | StmtKind::Continue => {}
+        StmtKind::Block(b) => v.visit_block_mut(b),
+    }
+}
+
+pub fn walk_expr_mut<V: VisitMut>(v: &mut V, e: &mut Expr) {
+    match &mut e.kind {
+        ExprKind::Unary { expr, .. } => v.visit_expr_mut(expr),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            v.visit_expr_mut(lhs);
+            v.visit_expr_mut(rhs);
+        }
+        ExprKind::Call { args, .. } => {
+            for a in args {
+                v.visit_expr_mut(a);
+            }
+        }
+        ExprKind::Index { base, index } => {
+            v.visit_expr_mut(base);
+            v.visit_expr_mut(index);
+        }
+        ExprKind::Cast { expr, .. } => v.visit_expr_mut(expr),
+        ExprKind::Ternary { cond, then, els } => {
+            v.visit_expr_mut(cond);
+            v.visit_expr_mut(then);
+            v.visit_expr_mut(els);
+        }
+        ExprKind::IntLit(_) | ExprKind::FloatLit { .. } | ExprKind::BoolLit(_) | ExprKind::Ident(_) => {}
+    }
+}
+
+/// Collect all `for` loops in a function, paired with their nesting depth
+/// (0 = outermost within the function body).
+pub fn collect_loops(f: &Function) -> Vec<(&ForLoop, usize)> {
+    struct Collector<'a> {
+        depth: usize,
+        loops: Vec<(&'a ForLoop, usize)>,
+    }
+    impl<'a> Collector<'a> {
+        fn block(&mut self, b: &'a Block) {
+            for s in &b.stmts {
+                self.stmt(s);
+            }
+        }
+        fn stmt(&mut self, s: &'a Stmt) {
+            match &s.kind {
+                StmtKind::For(l) => {
+                    self.loops.push((l, self.depth));
+                    self.depth += 1;
+                    self.block(&l.body);
+                    self.depth -= 1;
+                }
+                StmtKind::If { then, els, .. } => {
+                    self.block(then);
+                    if let Some(els) = els {
+                        self.block(els);
+                    }
+                }
+                StmtKind::While { body, .. } => self.block(body),
+                StmtKind::Block(b) => self.block(b),
+                _ => {}
+            }
+        }
+    }
+    let mut c = Collector { depth: 0, loops: Vec::new() };
+    c.block(&f.body);
+    c.loops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+
+    #[test]
+    fn counts_nodes_with_visitor() {
+        struct Counter {
+            exprs: usize,
+            stmts: usize,
+            fors: usize,
+        }
+        impl Visit for Counter {
+            fn visit_stmt(&mut self, s: &Stmt) {
+                self.stmts += 1;
+                walk_stmt(self, s);
+            }
+            fn visit_for(&mut self, l: &ForLoop) {
+                self.fors += 1;
+                walk_for(self, l);
+            }
+            fn visit_expr(&mut self, e: &Expr) {
+                self.exprs += 1;
+                walk_expr(self, e);
+            }
+        }
+        let m = parse_module(
+            "void f(double* a, int n) { for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0; } }",
+            "t",
+        )
+        .unwrap();
+        let mut c = Counter { exprs: 0, stmts: 0, fors: 0 };
+        c.visit_module(&m);
+        assert_eq!(c.fors, 1);
+        assert_eq!(c.stmts, 2); // for + assign
+        assert!(c.exprs >= 9);
+    }
+
+    #[test]
+    fn mut_visitor_rewrites_literals() {
+        struct Doubler;
+        impl VisitMut for Doubler {
+            fn visit_expr_mut(&mut self, e: &mut Expr) {
+                if let ExprKind::IntLit(v) = &mut e.kind {
+                    *v *= 2;
+                }
+                walk_expr_mut(self, e);
+            }
+        }
+        let mut m = parse_module("void f() { int x = 3 + 4; }", "t").unwrap();
+        Doubler.visit_module_mut(&mut m);
+        let out = crate::printer::print_module(&m);
+        assert!(out.contains("6 + 8"), "{out}");
+    }
+
+    #[test]
+    fn collect_loops_reports_depths() {
+        let m = parse_module(
+            "void f(int n) {\
+               for (int i = 0; i < n; i++) {\
+                 for (int j = 0; j < n; j++) { }\
+               }\
+               for (int k = 0; k < n; k++) { }\
+             }",
+            "t",
+        )
+        .unwrap();
+        let f = m.function("f").unwrap();
+        let loops = collect_loops(f);
+        let depths: Vec<usize> = loops.iter().map(|(_, d)| *d).collect();
+        assert_eq!(depths, vec![0, 1, 0]);
+        assert_eq!(loops[0].0.var, "i");
+        assert_eq!(loops[1].0.var, "j");
+        assert_eq!(loops[2].0.var, "k");
+    }
+
+    #[test]
+    fn collect_loops_sees_into_conditionals() {
+        let m = parse_module(
+            "void f(int n, bool p) { if (p) { for (int i = 0; i < n; i++) { } } }",
+            "t",
+        )
+        .unwrap();
+        assert_eq!(collect_loops(m.function("f").unwrap()).len(), 1);
+    }
+}

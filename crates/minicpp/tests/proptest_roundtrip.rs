@@ -1,0 +1,126 @@
+//! Property tests: the printer and parser are mutual inverses on the
+//! language's expression and statement space.
+
+use proptest::prelude::*;
+use psa_minicpp::ast::{build, BinOp, Expr, ExprKind, UnOp};
+use psa_minicpp::{parse_module, print_module, Span};
+
+/// Random expression ASTs over a fixed variable environment.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-1000i64..1000).prop_map(build::int),
+        prop_oneof![Just("x"), Just("y"), Just("z"), Just("n")].prop_map(build::ident),
+        (0.0f64..100.0).prop_map(|v| {
+            // Round to a clean representation so text comparison is exact.
+            build::float((v * 16.0).round() / 16.0)
+        }),
+    ];
+    leaf.prop_recursive(4, 64, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), arb_binop())
+                .prop_map(|(l, r, op)| build::binary(op, l, r)),
+            inner.clone().prop_map(|e| Expr {
+                id: e.id,
+                span: Span::SYNTHETIC,
+                kind: ExprKind::Unary { op: UnOp::Neg, expr: Box::new(e) },
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(c, t)| Expr {
+                id: c.id,
+                span: Span::SYNTHETIC,
+                kind: ExprKind::Ternary {
+                    cond: Box::new(build::binary(BinOp::Lt, c.clone(), build::int(0))),
+                    then: Box::new(t),
+                    els: Box::new(c),
+                },
+            }),
+            inner
+                .clone()
+                .prop_map(|e| build::call("fabs", vec![e])),
+            (inner.clone(), inner).prop_map(|(a, b)| build::call("fmax", vec![a, b])),
+        ]
+    })
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+    ]
+}
+
+/// Wrap an expression into a full module so it passes through the whole
+/// frontend.
+fn wrap(expr_text: &str) -> String {
+    format!(
+        "void f(double x, double y, double z, int n) {{ double r = {expr_text}; sink(r); }}"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// print ∘ parse is the identity on printed output (idempotence of the
+    /// canonical form).
+    #[test]
+    fn printed_expressions_reparse_to_the_same_text(e in arb_expr()) {
+        let text = psa_minicpp::printer::print_expr(&e);
+        let src = wrap(&text);
+        let once = print_module(&parse_module(&src, "p").expect("printed exprs parse"));
+        let twice = print_module(&parse_module(&once, "p").expect("canonical form parses"));
+        prop_assert_eq!(once, twice);
+    }
+
+    /// The printer emits enough parentheses: reparsing preserves the exact
+    /// tree shape (compared structurally after id erasure via printing).
+    #[test]
+    fn parenthesisation_preserves_structure(e in arb_expr()) {
+        let text = psa_minicpp::printer::print_expr(&e);
+        let src = wrap(&text);
+        let m = parse_module(&src, "p").expect("parses");
+        // Extract the initialiser back out and print it again.
+        let f = m.function("f").unwrap();
+        let psa_minicpp::StmtKind::Decl(d) = &f.body.stmts[0].kind else { panic!() };
+        let reparsed_text = psa_minicpp::printer::print_expr(d.init.as_ref().unwrap());
+        prop_assert_eq!(text, reparsed_text);
+    }
+
+    /// Loops with arbitrary literal bounds print and reparse stably.
+    #[test]
+    fn loops_roundtrip(init in -50i64..50, bound in -50i64..50, step in 1i64..9, neg in any::<bool>()) {
+        let header = if neg {
+            format!("for (int i = {init}; i > {bound}; i -= {step})")
+        } else {
+            format!("for (int i = {init}; i < {bound}; i += {step})")
+        };
+        let src = format!("void f(double* a) {{ {header} {{ sink(i); }} }}");
+        let once = print_module(&parse_module(&src, "p").unwrap());
+        let twice = print_module(&parse_module(&once, "p").unwrap());
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Canonicalisation is stable for randomly indented variants of the
+    /// same program.
+    #[test]
+    fn whitespace_is_irrelevant(pad in 0usize..8, newlines in 0usize..3) {
+        let ws = " ".repeat(pad);
+        let nl = "\n".repeat(newlines);
+        let src = format!(
+            "void f(double* a,{ws}int n) {{{nl}for (int i = 0; i < n; i++) {{{ws}a[i] = 1.5;{nl}}} }}"
+        );
+        let canon = psa_minicpp::canonicalise(&src, "p").unwrap();
+        let tight = psa_minicpp::canonicalise(
+            "void f(double* a, int n) { for (int i = 0; i < n; i++) { a[i] = 1.5; } }",
+            "p",
+        )
+        .unwrap();
+        prop_assert_eq!(canon, tight);
+    }
+}

@@ -1,0 +1,131 @@
+//! The CPU performance model: single-thread reference timing and the
+//! OpenMP multi-thread estimate.
+
+use crate::devices::CpuSpec;
+use crate::work::KernelWork;
+use crate::Seconds;
+
+/// Analytic multicore CPU model.
+#[derive(Debug, Clone)]
+pub struct CpuModel {
+    pub spec: CpuSpec,
+}
+
+impl CpuModel {
+    pub fn new(spec: CpuSpec) -> Self {
+        CpuModel { spec }
+    }
+
+    /// Single-thread execution time: virtual cycles retired at the core's
+    /// sustained IPC. This is the paper's baseline (`unoptimised reference
+    /// executed on a single CPU thread`).
+    pub fn time_single_thread(&self, w: &KernelWork) -> Seconds {
+        w.cycles_1t / (self.spec.clock_ghz * 1e9 * self.spec.ipc)
+    }
+
+    /// OpenMP execution time on `threads` threads: compute scales by the
+    /// effective thread count (fork/join + NUMA efficiency decays mildly
+    /// with thread count); memory-bound kernels saturate at the socket's
+    /// DRAM bandwidth (roofline).
+    pub fn time_openmp(&self, w: &KernelWork, threads: u32) -> Seconds {
+        let threads = threads.max(1);
+        let hw = threads.min(self.spec.cores) as f64;
+        // Oversubscription beyond physical cores only adds scheduling noise.
+        let oversub = if threads > self.spec.cores {
+            1.0 + 0.05 * f64::from(threads - self.spec.cores) / f64::from(self.spec.cores)
+        } else {
+            1.0
+        };
+        let eff = (self.spec.omp_base_eff - self.spec.omp_eff_slope * hw).clamp(0.05, 1.0);
+        // The exposed parallelism caps useful threads.
+        let usable = hw.min(w.threads.max(1.0));
+        let compute = self.time_single_thread(w) / (usable * eff) * oversub;
+        // CPU caches absorb reuse: the bandwidth roof applies to the
+        // *streamed footprint* (≈ the kernel's in/out data), not to raw
+        // access traffic.
+        let memory = (w.bytes_in + w.bytes_out) / (self.spec.mem_bw_gbs * 1e9);
+        compute.max(memory)
+    }
+
+    /// Speedup of `threads`-way OpenMP over single-thread.
+    pub fn omp_speedup(&self, w: &KernelWork, threads: u32) -> f64 {
+        self.time_single_thread(w) / self.time_openmp(w, threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::epyc_7543;
+
+    fn compute_bound_work() -> KernelWork {
+        KernelWork {
+            cycles_1t: 84e9, // 10 s single-thread at 2.8 GHz × IPC 3
+            flops_fma: 30e9,
+            bytes_mem: 1e9,
+            threads: 1e6,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn single_thread_time_follows_clock_and_ipc() {
+        let m = CpuModel::new(epyc_7543());
+        let t = m.time_single_thread(&compute_bound_work());
+        assert!((t - 10.0).abs() < 1e-9, "{t}");
+    }
+
+    #[test]
+    fn omp_speedup_is_near_core_count_for_parallel_compute() {
+        let m = CpuModel::new(epyc_7543());
+        let s = m.omp_speedup(&compute_bound_work(), 32);
+        // The paper reports 28–30× on 32 cores.
+        assert!((27.0..31.0).contains(&s), "speedup {s}");
+    }
+
+    #[test]
+    fn speedup_monotone_in_threads_up_to_core_count() {
+        let m = CpuModel::new(epyc_7543());
+        let w = compute_bound_work();
+        let mut prev = 0.0;
+        for t in [1, 2, 4, 8, 16, 32] {
+            let s = m.omp_speedup(&w, t);
+            assert!(s > prev, "t={t}: {s} <= {prev}");
+            prev = s;
+        }
+        // Oversubscription does not help.
+        assert!(m.omp_speedup(&w, 64) <= m.omp_speedup(&w, 32));
+    }
+
+    #[test]
+    fn memory_bound_kernels_hit_the_bandwidth_roof() {
+        let m = CpuModel::new(epyc_7543());
+        let w = KernelWork {
+            cycles_1t: 84e9,
+            bytes_in: 1_024e9, // streamed footprint: 10 s at 204.8 GB/s
+            bytes_out: 1_024e9,
+            threads: 1e6,
+            ..Default::default()
+        };
+        let t32 = m.time_openmp(&w, 32);
+        assert!((t32 - 10.0).abs() < 0.2, "bandwidth bound: {t32}");
+        let s = m.omp_speedup(&w, 32);
+        assert!(s < 1.5, "memory-bound speedup must collapse: {s}");
+    }
+
+    #[test]
+    fn limited_parallelism_caps_threads() {
+        let m = CpuModel::new(epyc_7543());
+        let w = KernelWork { cycles_1t: 84e9, threads: 4.0, ..Default::default() };
+        let s = m.omp_speedup(&w, 32);
+        assert!(s <= 4.5, "only 4 work items: {s}");
+    }
+
+    #[test]
+    fn single_thread_equals_one_thread_omp_within_eff() {
+        let m = CpuModel::new(epyc_7543());
+        let w = compute_bound_work();
+        let ratio = m.time_openmp(&w, 1) / m.time_single_thread(&w);
+        assert!((1.0..1.2).contains(&ratio), "{ratio}");
+    }
+}

@@ -1,0 +1,84 @@
+//! # psa-platform — simulated hardware: device catalog + analytic models
+//!
+//! The paper evaluates on real hardware (AMD EPYC 7543, NVIDIA GTX 1080 Ti /
+//! RTX 2080 Ti via hipcc, Intel PAC Arria10 / Stratix10 via dpcpp). None of
+//! that exists here, so this crate provides the *tools & platforms* half of
+//! the meta-programming contract (Fig. 2's "Tools & Platforms" box): given a
+//! kernel's measured work profile, each model produces the estimated
+//! execution time and — for FPGAs — the HLS-style resource report the
+//! unroll-until-overmap DSE iterates against.
+//!
+//! The models are deliberately *analytic and parametric* rather than
+//! cycle-accurate: the design-flow only needs the quantities real tools
+//! expose (runtimes, occupancy, LUT utilisation), and parametric models keep
+//! every decision the PSA strategy makes reproducible and testable. Where a
+//! constant had to be calibrated (architecture efficiency factors, shell
+//! overheads), it is documented on the field and covered by monotonicity
+//! property tests rather than treated as ground truth.
+//!
+//! Modules:
+//! * [`devices`] — the five-device catalog with published spec numbers;
+//! * [`work`] — [`work::KernelWork`], the workload-characterisation record
+//!   every model consumes (built from `psa-analyses` output);
+//! * [`resources`] — static op-count extraction and FPGA resource costing;
+//! * [`cpu`] — single-thread reference + OpenMP multi-thread model;
+//! * [`gpu`] — SIMT occupancy/roofline model (HIP targets);
+//! * [`fpga`] — pipeline/II model with HLS report generation (oneAPI);
+//! * [`pricing`] — cloud price modelling for the Fig. 6 cost study.
+
+pub mod cpu;
+pub mod devices;
+pub mod fpga;
+pub mod gpu;
+pub mod pricing;
+pub mod resources;
+pub mod work;
+
+pub use cpu::CpuModel;
+pub use devices::{arria10, epyc_7543, gtx_1080_ti, rtx_2080_ti, stratix10, CpuSpec, FpgaSpec, GpuSpec};
+pub use fpga::{FpgaModel, FpgaReport, FpgaTimeError};
+pub use gpu::GpuModel;
+pub use resources::OpCounts;
+pub use work::KernelWork;
+
+/// Seconds, the unit every model reports in.
+pub type Seconds = f64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The headline sanity check: a compute-bound, massively parallel,
+    /// SP-safe kernel (N-Body-like) must be dramatically faster on a GPU
+    /// than on one CPU thread, and the newer GPU must win.
+    #[test]
+    fn cross_device_ordering_for_compute_bound_kernel() {
+        let w = KernelWork {
+            flops_fma: 50e9,
+            flops_sfu: 10e9,
+            cycles_1t: 200e9,
+            bytes_mem: 4e9,
+            gather_fraction: 0.0,
+            bytes_in: 2e6,
+            bytes_out: 1e6,
+            threads: 65536.0,
+            pipeline_iters: 1e9,
+            fp64: false,
+            regs_per_thread: 48,
+            flat_pipeline: false,
+            ops: OpCounts::default(),
+        };
+        let cpu = CpuModel::new(epyc_7543());
+        let t1 = cpu.time_single_thread(&w);
+        let tomp = cpu.time_openmp(&w, 32);
+        let g2080 = GpuModel::new(rtx_2080_ti());
+        let g1080 = GpuModel::new(gtx_1080_ti());
+        let t2080 = g2080.total_time(&w, 256, true);
+        let t1080 = g1080.total_time(&w, 256, true);
+        assert!(tomp < t1, "OpenMP must beat single-thread");
+        assert!(t2080 < tomp, "GPU must beat OpenMP for this kernel");
+        assert!(t2080 < t1080, "2080 Ti must beat 1080 Ti");
+        let speedup = t1 / t2080;
+        assert!(speedup > 100.0, "GPU speedup {speedup:.0}x too small");
+    }
+}

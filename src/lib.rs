@@ -1,0 +1,64 @@
+//! # psaflow — Auto-Generating Diverse Heterogeneous Designs
+//!
+//! A full Rust reproduction of *"Auto-Generating Diverse Heterogeneous
+//! Designs"* (Vandebon, Coutinho, Luk — IPPS 2024): programmatic,
+//! customizable, reusable **PSA-flows** that turn one technology-agnostic
+//! high-level source into optimised multi-thread CPU (OpenMP), CPU+GPU
+//! (HIP) and CPU+FPGA (oneAPI) designs, with branch points whose paths are
+//! chosen by Path Selection Automation strategies.
+//!
+//! This crate is a facade re-exporting the whole workspace:
+//!
+//! | Crate | Role |
+//! |-------|------|
+//! | [`minicpp`] | the MiniC++ application language (lexer/parser/AST/printer) |
+//! | [`interp`] | deterministic interpreter + profiling (dynamic analyses substrate) |
+//! | [`artisan`] | meta-programming layer: query, instrument, transform |
+//! | [`analyses`] | the target-independent analysis task repository |
+//! | [`platform`] | simulated CPU/GPU/FPGA performance & resource models |
+//! | [`codegen`] | OpenMP / HIP / oneAPI design generators |
+//! | [`core`] | PSA-flows: tasks, branch points, strategies, DSE |
+//! | [`benchsuite`] | the paper's five benchmarks |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use psaflow::core::{full_psa_flow, FlowMode, PsaParams};
+//!
+//! let source = "int main() {
+//!     int n = 64;
+//!     double* a = alloc_double(n);
+//!     double* b = alloc_double(n);
+//!     fill_random(a, n, 7);
+//!     for (int i = 0; i < n; i++) { b[i] = exp(a[i]) * sqrt(a[i] + 1.0); }
+//!     sink(b[0]);
+//!     return 0;
+//! }";
+//! let outcome = full_psa_flow(source, "demo", FlowMode::Informed, PsaParams::default())
+//!     .expect("flow runs");
+//! assert!(!outcome.designs.is_empty());
+//! println!("selected: {:?}", outcome.selected_target);
+//! ```
+
+pub use psa_analyses as analyses;
+pub use psa_artisan as artisan;
+pub use psa_benchsuite as benchsuite;
+pub use psa_codegen as codegen;
+pub use psa_interp as interp;
+pub use psa_minicpp as minicpp;
+pub use psa_platform as platform;
+pub use psaflow_core as core;
+
+/// Crate version (workspace-wide).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compose() {
+        let ast = crate::artisan::Ast::from_source("int main() { return 0; }", "t").unwrap();
+        assert_eq!(ast.loc(), 3);
+        assert_eq!(crate::benchsuite::all().len(), 5);
+        assert!(!crate::VERSION.is_empty());
+    }
+}
