@@ -1,0 +1,105 @@
+//! Offline shim for `crossbeam`.
+//!
+//! The build container cannot reach a crate registry, so this in-tree
+//! crate provides the slice of the crossbeam 0.8 API the workspace uses:
+//! [`thread::scope`] with handle-returning [`thread::Scope::spawn`].
+//! It is implemented directly over `std::thread::scope` (stabilised in
+//! Rust 1.63), which gives the same structured-concurrency guarantee:
+//! every spawned thread joins before `scope` returns, so borrows of stack
+//! data are sound. Swapping back to the registry crate is a one-line
+//! change in `[workspace.dependencies]`.
+
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::thread as std_thread;
+
+    /// Re-export of the join result type (`Err` carries the panic payload).
+    pub type Result<T> = std_thread::Result<T>;
+
+    /// A scope handle: spawn threads that may borrow from the enclosing
+    /// stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned inside a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope again so it can spawn nested siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || {
+                    let scope = Scope { inner };
+                    f(&scope)
+                }),
+            }
+        }
+    }
+
+    /// Create a scope for spawning borrowing threads. Mirrors
+    /// `crossbeam::thread::scope`: the closure's panics (and panics of
+    /// threads that were never joined) surface as `Err` instead of
+    /// propagating.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std_thread::scope(|s| {
+                let scope = Scope { inner: s };
+                f(&scope)
+            })
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let total = super::scope(|s| {
+                let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+            })
+            .unwrap();
+            assert_eq!(total, 100);
+        }
+
+        #[test]
+        fn nested_spawn_through_the_scope_argument() {
+            let r = super::scope(|s| {
+                s.spawn(|s2| s2.spawn(|_| 7).join().unwrap())
+                    .join()
+                    .unwrap()
+            })
+            .unwrap();
+            assert_eq!(r, 7);
+        }
+
+        #[test]
+        fn joined_panics_surface_as_err() {
+            let r = super::scope(|s| {
+                let h = s.spawn(|_| panic!("boom"));
+                h.join()
+            })
+            .unwrap();
+            assert!(r.is_err());
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! Offline shim for `proptest`.
+//!
+//! The build container cannot reach a crate registry, so this in-tree
+//! crate implements the slice of the proptest API the workspace's property
+//! suites use: the [`Strategy`] trait with `prop_map` / `prop_recursive` /
+//! `boxed`, range and tuple strategies, [`Just`], `any::<bool>()`, the
+//! [`prop_oneof!`] union, and the [`proptest!`] / [`prop_assert!`] /
+//! [`prop_assert_eq!`] macros. Cases are generated from a deterministic
+//! xorshift RNG (same inputs every run, seeded per test), assertions fail
+//! via `panic!` like plain `assert!`, and there is no shrinking — a failing
+//! case reports its generated values through the assertion message.
+//! Swapping back to the registry crate is a one-line change in
+//! `[workspace.dependencies]`.
+
+pub mod test_runner {
+    /// Runner configuration; only `cases` is interpreted.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Run each property over `cases` generated inputs.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic xorshift64* generator — every `cargo test` run sees
+    /// the same case sequence.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            // Avoid the all-zero fixed point.
+            TestRng { state: seed | 1 }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform index in `[0, n)`; `n` must be non-zero.
+        pub fn next_index(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A reusable generator of values for property tests.
+    pub trait Strategy {
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<W, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> W,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Build recursive structures: `recurse` receives the strategy for
+        /// the previous depth level and returns the one for the next. The
+        /// `_desired_size` / `_expected_branch` hints are accepted for API
+        /// compatibility and ignored; recursion is bounded by `depth`.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut current = self.boxed();
+            for _ in 0..depth {
+                current = recurse(current).boxed();
+            }
+            current
+        }
+
+        /// Type-erase (and make cheaply cloneable).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                sampler: Rc::new(move |rng| self.sample(rng)),
+            }
+        }
+    }
+
+    /// A cloneable, type-erased strategy.
+    pub struct BoxedStrategy<V> {
+        sampler: Rc<dyn Fn(&mut TestRng) -> V>,
+    }
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                sampler: Rc::clone(&self.sampler),
+            }
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            (self.sampler)(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `any::<T>()` support (only the types the suites request).
+    #[derive(Debug, Clone, Default)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy<Value = T>,
+    {
+        Any(std::marker::PhantomData)
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let i = rng.next_index(self.options.len());
+            self.options[i].sample(rng)
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, W, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> W,
+    {
+        type Value = W;
+        fn sample(&self, rng: &mut TestRng) -> W {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (rng.next_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident $v:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($v,)+) = self;
+                    ($($v.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (S0 s0, S1 s1)
+        (S0 s0, S1 s1, S2 s2)
+        (S0 s0, S1 s1, S2 s2, S3 s3)
+        (S0 s0, S1 s1, S2 s2, S3 s3, S4 s4)
+        (S0 s0, S1 s1, S2 s2, S3 s3, S4 s4, S5 s5)
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestRng;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Assert inside a property (panics with the formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Define property tests: each `#[test] fn name(arg in strategy, ...)`
+/// becomes a standard test that samples its arguments `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr;) => {};
+    ($cfg:expr; $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            // Seed per test name so sibling properties draw distinct streams.
+            let seed = stringify!($name)
+                .bytes()
+                .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                    (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+                });
+            let mut rng = $crate::test_runner::TestRng::new(seed);
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut rng);)*
+                let run = || -> () { $body };
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run));
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest case {}/{} failed with inputs: {}",
+                        case + 1,
+                        config.cases,
+                        stringify!($($arg = $strat),*)
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(42);
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(-50i64..50), &mut rng);
+            assert!((-50..50).contains(&v));
+            let f = Strategy::sample(&(0.5f64..2.0), &mut rng);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn oneof_union_draws_every_arm() {
+        let strat = prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut rng = TestRng::new(7);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[(strat.sample(&mut rng) - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(v) => {
+                    assert!((0..10).contains(v), "leaf drawn from the base range");
+                    0
+                }
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 2, |inner| {
+                prop_oneof![
+                    inner.clone(),
+                    (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b))),
+                ]
+            });
+        let mut rng = TestRng::new(3);
+        for _ in 0..100 {
+            assert!(depth(&strat.sample(&mut rng)) <= 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn the_macro_samples_arguments(a in 0i64..100, flip in any::<bool>()) {
+            prop_assert!((0..100).contains(&a));
+            prop_assert_eq!(flip as u8 <= 1, true);
+        }
+    }
+}

@@ -45,9 +45,9 @@ pub fn analyze_from_run(run: &DynamicRun) -> AliasReport {
                 // partition a buffer disjointly, but per-parameter access
                 // extents are not tracked, so the verdict stays conservative.
                 if ptr_a.buffer == ptr_b.buffer {
-                    let exists = pairs.iter().any(|p: &AliasPair| {
-                        p.param_a == *name_a && p.param_b == *name_b
-                    });
+                    let exists = pairs
+                        .iter()
+                        .any(|p: &AliasPair| p.param_a == *name_a && p.param_b == *name_b);
                     if !exists {
                         pairs.push(AliasPair {
                             param_a: name_a.clone(),

@@ -69,12 +69,18 @@ impl DependenceReport {
     /// verdict (reductions do not count as parallel here — OpenMP could
     /// still handle them, but the strategy stays faithful to the paper).
     pub fn outer_parallel(&self) -> bool {
-        self.loops.iter().find(|l| l.depth == 0).is_some_and(|l| l.parallel)
+        self.loops
+            .iter()
+            .find(|l| l.depth == 0)
+            .is_some_and(|l| l.parallel)
     }
 
     /// Inner loops (depth > 0) that carry dependences.
     pub fn inner_loops_with_deps(&self) -> Vec<&LoopDep> {
-        self.loops.iter().filter(|l| l.depth > 0 && !l.parallel).collect()
+        self.loops
+            .iter()
+            .filter(|l| l.depth > 0 && !l.parallel)
+            .collect()
     }
 
     /// Fig. 3's *"can fully unroll?"*: every dependence-carrying inner loop
@@ -82,7 +88,9 @@ impl DependenceReport {
     pub fn inner_deps_fully_unrollable(&self, limit: u64) -> bool {
         let with_deps = self.inner_loops_with_deps();
         !with_deps.is_empty()
-            && with_deps.iter().all(|l| l.static_trip.is_some_and(|t| t <= limit))
+            && with_deps
+                .iter()
+                .all(|l| l.static_trip.is_some_and(|t| t <= limit))
     }
 }
 
@@ -97,8 +105,7 @@ pub fn analyze(module: &Module, kernel: &str) -> Result<DependenceReport, Analys
         let l = query::find_loop(module, m.id).expect("query result resolves");
         let deps = analyze_one(l, func);
         let parallel = deps.is_empty();
-        let reduction_only =
-            !deps.is_empty() && deps.iter().all(|d| d.kind == DepKind::Reduction);
+        let reduction_only = !deps.is_empty() && deps.iter().all(|d| d.kind == DepKind::Reduction);
         loops.push(LoopDep {
             id: m.id,
             stmt_id: m.stmt_id,
@@ -198,7 +205,10 @@ fn affine_in(e: &Expr, var: &str) -> Option<(i64, i64)> {
     match &e.kind {
         ExprKind::IntLit(v) => Some((0, *v)),
         ExprKind::Ident(name) if name == var => Some((1, 0)),
-        ExprKind::Unary { op: UnOp::Neg, expr } => {
+        ExprKind::Unary {
+            op: UnOp::Neg,
+            expr,
+        } => {
             let (c, o) = affine_in(expr, var)?;
             Some((-c, -o))
         }
@@ -307,7 +317,11 @@ fn analyze_one(l: &ForLoop, _func: &Function) -> Vec<Dependence> {
             continue;
         }
         deps.push(Dependence {
-            kind: if compound { DepKind::Reduction } else { DepKind::Carried },
+            kind: if compound {
+                DepKind::Reduction
+            } else {
+                DepKind::Carried
+            },
             detail: format!("scalar `{name}` live across iterations"),
         });
     }
@@ -403,7 +417,11 @@ fn collect_scalar_writes(block: &Block, out: &mut Vec<(String, bool)>) {
                 // The inner loop's own header updates are private to it.
                 let mut inner = Vec::new();
                 collect_scalar_writes(&l.body, &mut inner);
-                out.extend(inner.into_iter().filter(|(n, _)| n != &l.var || !l.declares_var));
+                out.extend(
+                    inner
+                        .into_iter()
+                        .filter(|(n, _)| n != &l.var || !l.declares_var),
+                );
             }
             StmtKind::If { then, els, .. } => {
                 collect_scalar_writes(then, out);
@@ -483,7 +501,11 @@ mod tests {
         );
         let l = &r.loops[0];
         assert!(!l.parallel);
-        assert!(l.dependences.iter().any(|d| d.kind == DepKind::Carried), "{:?}", l.dependences);
+        assert!(
+            l.dependences.iter().any(|d| d.kind == DepKind::Carried),
+            "{:?}",
+            l.dependences
+        );
     }
 
     #[test]

@@ -65,10 +65,12 @@ pub fn detect_hotspots(module: &Module) -> Result<HotspotReport, AnalysisError> 
             _ => None,
         })
         .collect();
-    let candidates =
-        query::loops(module, |l| l.is_outermost && !kernels.contains(&l.function));
+    let candidates = query::loops(module, |l| l.is_outermost && !kernels.contains(&l.function));
     if candidates.is_empty() {
-        return Ok(HotspotReport { candidates: Vec::new(), total_cycles: 0 });
+        return Ok(HotspotReport {
+            candidates: Vec::new(),
+            total_cycles: 0,
+        });
     }
 
     // Clone + instrument: timer id = index into `candidates`.
@@ -93,12 +95,19 @@ pub fn detect_hotspots(module: &Module) -> Result<HotspotReport, AnalysisError> 
                 function: c.function.clone(),
                 var: c.var.clone(),
                 cycles,
-                share: if total_cycles == 0 { 0.0 } else { cycles as f64 / total_cycles as f64 },
+                share: if total_cycles == 0 {
+                    0.0
+                } else {
+                    cycles as f64 / total_cycles as f64
+                },
             }
         })
         .collect();
     out.sort_by(|a, b| b.cycles.cmp(&a.cycles).then(a.stmt_id.cmp(&b.stmt_id)));
-    Ok(HotspotReport { candidates: out, total_cycles })
+    Ok(HotspotReport {
+        candidates: out,
+        total_cycles,
+    })
 }
 
 /// Detect the hottest loop and extract it into `kernel_name`, mutating
@@ -138,7 +147,11 @@ mod tests {
     fn detects_the_quadratic_loop_as_hottest() {
         let m = parse_module(APP, "t").unwrap();
         let report = detect_hotspots(&m).unwrap();
-        assert_eq!(report.candidates.len(), 2, "only outermost loops are candidates");
+        assert_eq!(
+            report.candidates.len(),
+            2,
+            "only outermost loops are candidates"
+        );
         let hottest = report.hottest().unwrap();
         // The hot loop dominates: > 90% of program time.
         assert!(hottest.share > 0.9, "share = {}", hottest.share);
@@ -158,18 +171,25 @@ mod tests {
         use psa_interp::Value;
         let reference = {
             let m = parse_module(APP, "t").unwrap();
-            Interpreter::new(&m, RunConfig::default()).run_main().unwrap()
+            Interpreter::new(&m, RunConfig::default())
+                .run_main()
+                .unwrap()
         };
         let mut m = parse_module(APP, "t").unwrap();
         let (k, _) = detect_and_extract(&mut m, "hotspot_knl").unwrap();
         assert_eq!(k.name, "hotspot_knl");
-        let result = Interpreter::new(&m, RunConfig::default()).run_main().unwrap();
+        let result = Interpreter::new(&m, RunConfig::default())
+            .run_main()
+            .unwrap();
         assert_eq!(reference, result);
         let Value::Int(_) = result else { panic!() };
         // The kernel function exists and contains the nest.
         let out = print_module(&m);
         assert!(out.contains("void hotspot_knl("), "{out}");
-        assert!(out.contains("hotspot_knl(n, b, a);") || out.contains("hotspot_knl("), "{out}");
+        assert!(
+            out.contains("hotspot_knl(n, b, a);") || out.contains("hotspot_knl("),
+            "{out}"
+        );
     }
 
     #[test]

@@ -45,10 +45,22 @@ pub fn analyze(module: &Module, kernel: &str) -> Result<IntensityReport, Analysi
         .function(kernel)
         .ok_or_else(|| AnalysisError::NotFound(format!("function `{kernel}`")))?;
     let symbols = function_symbols(module, func);
-    let mut w = Walker { symbols: &symbols, flops: 0.0, bytes: 0.0 };
+    let mut w = Walker {
+        symbols: &symbols,
+        flops: 0.0,
+        bytes: 0.0,
+    };
     w.block(&func.body, 1.0);
-    let ratio = if w.bytes == 0.0 { f64::INFINITY } else { w.flops / w.bytes };
-    Ok(IntensityReport { flops: w.flops, bytes: w.bytes, flops_per_byte: ratio })
+    let ratio = if w.bytes == 0.0 {
+        f64::INFINITY
+    } else {
+        w.flops / w.bytes
+    };
+    Ok(IntensityReport {
+        flops: w.flops,
+        bytes: w.bytes,
+        flops_per_byte: ratio,
+    })
 }
 
 struct Walker<'a> {
@@ -110,7 +122,9 @@ impl Walker<'_> {
             }
             StmtKind::For(l) => {
                 self.expr(&l.init, weight);
-                let trips = l.static_trip_count().map_or(DYNAMIC_TRIP_WEIGHT, |t| t as f64);
+                let trips = l
+                    .static_trip_count()
+                    .map_or(DYNAMIC_TRIP_WEIGHT, |t| t as f64);
                 let inner = weight * trips;
                 self.expr(&l.bound, inner);
                 self.expr(&l.step, inner);
@@ -172,7 +186,9 @@ impl Walker<'_> {
                 self.expr(then, weight * 0.5);
                 self.expr(els, weight * 0.5);
             }
-            ExprKind::IntLit(_) | ExprKind::FloatLit { .. } | ExprKind::BoolLit(_)
+            ExprKind::IntLit(_)
+            | ExprKind::FloatLit { .. }
+            | ExprKind::BoolLit(_)
             | ExprKind::Ident(_) => {}
         }
     }
@@ -256,7 +272,8 @@ mod tests {
 
     #[test]
     fn nested_static_loops_multiply_weights() {
-        let flat = report("void knl(double* a) { for (int i = 0; i < 8; i++) { a[i] = a[i] * 2.0; } }");
+        let flat =
+            report("void knl(double* a) { for (int i = 0; i < 8; i++) { a[i] = a[i] * 2.0; } }");
         let nested = report(
             "void knl(double* a) { for (int i = 0; i < 8; i++) { for (int j = 0; j < 8; j++) { a[j] = a[j] * 2.0; } } }",
         );
@@ -278,16 +295,25 @@ mod tests {
 
     #[test]
     fn float_buffers_halve_the_bytes() {
-        let d = report("void knl(double* a, int n) { for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0; } }");
-        let f = report("void knl(float* a, int n) { for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0f; } }");
+        let d = report(
+            "void knl(double* a, int n) { for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0; } }",
+        );
+        let f = report(
+            "void knl(float* a, int n) { for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0f; } }",
+        );
         assert!((f.flops_per_byte / d.flops_per_byte - 2.0).abs() < 0.01);
     }
 
     #[test]
     fn compound_array_assign_counts_read_and_write() {
-        let r = report("void knl(double* a, int n) { for (int i = 0; i < n; i++) { a[i] += 1.0; } }");
+        let r =
+            report("void knl(double* a, int n) { for (int i = 0; i < n; i++) { a[i] += 1.0; } }");
         // Per iteration: load 8 + store 8 = 16 bytes, 1 FLOP.
-        assert!((r.flops_per_byte - 1.0 / 16.0).abs() < 1e-9, "{}", r.flops_per_byte);
+        assert!(
+            (r.flops_per_byte - 1.0 / 16.0).abs() < 1e-9,
+            "{}",
+            r.flops_per_byte
+        );
     }
 
     #[test]

@@ -186,13 +186,19 @@ mod tests {
     #[test]
     fn missing_kernel_is_reported() {
         let m = parse_module(APP, "t").unwrap();
-        assert!(matches!(analyze_kernel(&m, "nope"), Err(AnalysisError::NotFound(_))));
+        assert!(matches!(
+            analyze_kernel(&m, "nope"),
+            Err(AnalysisError::NotFound(_))
+        ));
     }
 
     #[test]
     fn uncalled_kernel_is_a_structure_error() {
         let src = "void knl(double* a) { a[0] = 1.0; } int main() { return 0; }";
         let m = parse_module(src, "t").unwrap();
-        assert!(matches!(analyze_kernel(&m, "knl"), Err(AnalysisError::Structure(_))));
+        assert!(matches!(
+            analyze_kernel(&m, "knl"),
+            Err(AnalysisError::Structure(_))
+        ));
     }
 }

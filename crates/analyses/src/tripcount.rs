@@ -39,7 +39,10 @@ impl TripCountReport {
     /// Mean trip count of the outermost kernel loop (≈ available thread
     /// parallelism for offload).
     pub fn outer_mean_trip(&self) -> f64 {
-        self.loops.iter().find(|l| l.depth == 0).map_or(0.0, |l| l.mean_trip)
+        self.loops
+            .iter()
+            .find(|l| l.depth == 0)
+            .map_or(0.0, |l| l.mean_trip)
     }
 
     /// Look up a loop by node id.
@@ -53,7 +56,12 @@ pub fn analyze_from_run(module: &Module, kernel: &str, run: &DynamicRun) -> Trip
     let loops = query::loops(module, |l| l.function == kernel)
         .into_iter()
         .map(|m| {
-            let stats = run.profile.loop_stats.get(&m.id).copied().unwrap_or_default();
+            let stats = run
+                .profile
+                .loop_stats
+                .get(&m.id)
+                .copied()
+                .unwrap_or_default();
             LoopTrips {
                 id: m.id,
                 var: m.var,

@@ -14,7 +14,9 @@ pub struct EditError {
 
 impl EditError {
     pub fn new(message: impl Into<String>) -> Self {
-        EditError { message: message.into() }
+        EditError {
+            message: message.into(),
+        }
     }
 }
 
@@ -140,17 +142,17 @@ pub fn add_pragma(
     with_containing_block(module, target, move |block, idx, next_id| {
         let id = NodeId(*next_id);
         *next_id += 1;
-        block.stmts[idx].pragmas.push(Pragma { id, span: Span::SYNTHETIC, text });
+        block.stmts[idx].pragmas.push(Pragma {
+            id,
+            span: Span::SYNTHETIC,
+            text,
+        });
     })
 }
 
 /// Remove all pragmas whose head word is `head` from the statement `target`.
 /// Returns how many were removed.
-pub fn remove_pragmas(
-    module: &mut Module,
-    target: NodeId,
-    head: &str,
-) -> Result<usize, EditError> {
+pub fn remove_pragmas(module: &mut Module, target: NodeId, head: &str) -> Result<usize, EditError> {
     let head = head.to_string();
     with_containing_block(module, target, move |block, idx, _| {
         let pragmas = &mut block.stmts[idx].pragmas;
@@ -174,7 +176,11 @@ pub fn set_unroll_pragma(
 /// Wrap the statement `target` in `__psa_timer_start(id)` /
 /// `__psa_timer_stop(id)` probes — how the hotspot-detection meta-program
 /// instruments candidate loops with timers.
-pub fn wrap_with_timer(module: &mut Module, target: NodeId, timer_id: i64) -> Result<(), EditError> {
+pub fn wrap_with_timer(
+    module: &mut Module,
+    target: NodeId,
+    timer_id: i64,
+) -> Result<(), EditError> {
     use psa_minicpp::ast::build;
     let start = build::expr_stmt(build::call("__psa_timer_start", vec![build::int(timer_id)]));
     let stop = build::expr_stmt(build::call("__psa_timer_stop", vec![build::int(timer_id)]));
@@ -219,7 +225,8 @@ mod tests {
     use psa_minicpp::ast::build;
     use psa_minicpp::{parse_module, print_module};
 
-    const SRC: &str = "void knl(double* a, int n) {\nfor (int i = 0; i < n; i++) {\na[i] = 0.0;\n}\n}";
+    const SRC: &str =
+        "void knl(double* a, int n) {\nfor (int i = 0; i < n; i++) {\na[i] = 0.0;\n}\n}";
 
     fn first_loop_stmt(m: &Module) -> NodeId {
         query::loops(m, |_| true)[0].stmt_id
@@ -229,8 +236,20 @@ mod tests {
     fn insert_before_and_after() {
         let mut m = parse_module(SRC, "t").unwrap();
         let target = first_loop_stmt(&m);
-        insert_stmt(&mut m, target, Position::Before, build::expr_stmt(build::call("sink", vec![build::int(1)]))).unwrap();
-        insert_stmt(&mut m, target, Position::After, build::expr_stmt(build::call("sink", vec![build::int(2)]))).unwrap();
+        insert_stmt(
+            &mut m,
+            target,
+            Position::Before,
+            build::expr_stmt(build::call("sink", vec![build::int(1)])),
+        )
+        .unwrap();
+        insert_stmt(
+            &mut m,
+            target,
+            Position::After,
+            build::expr_stmt(build::call("sink", vec![build::int(2)])),
+        )
+        .unwrap();
         let out = print_module(&m);
         let p1 = out.find("sink(1);").unwrap();
         let pf = out.find("for (").unwrap();
@@ -243,7 +262,13 @@ mod tests {
         let mut m = parse_module(SRC, "t").unwrap();
         let target = first_loop_stmt(&m);
         let before = m.next_id;
-        let new_id = insert_stmt(&mut m, target, Position::Before, build::expr_stmt(build::int(0))).unwrap();
+        let new_id = insert_stmt(
+            &mut m,
+            target,
+            Position::Before,
+            build::expr_stmt(build::int(0)),
+        )
+        .unwrap();
         assert!(new_id.0 >= before);
         assert!(m.next_id > before);
     }
@@ -257,7 +282,10 @@ mod tests {
         set_unroll_pragma(&mut m, target, 8).unwrap();
         let out = print_module(&m);
         assert!(out.contains("#pragma unroll 8"));
-        assert!(!out.contains("#pragma unroll 2"), "old factor replaced: {out}");
+        assert!(
+            !out.contains("#pragma unroll 2"),
+            "old factor replaced: {out}"
+        );
         let removed = remove_pragmas(&mut m, target, "unroll").unwrap();
         assert_eq!(removed, 1);
         assert!(!print_module(&m).contains("#pragma"));
@@ -285,7 +313,12 @@ mod tests {
     fn replace_and_take() {
         let mut m = parse_module(SRC, "t").unwrap();
         let target = first_loop_stmt(&m);
-        let original = replace_stmt(&mut m, target, build::expr_stmt(build::call("knl2", vec![]))).unwrap();
+        let original = replace_stmt(
+            &mut m,
+            target,
+            build::expr_stmt(build::call("knl2", vec![])),
+        )
+        .unwrap();
         assert!(matches!(original.kind, StmtKind::For(_)));
         let out = print_module(&m);
         assert!(out.contains("knl2();"));
@@ -302,8 +335,12 @@ mod tests {
         // Target the innermost assignment.
         let assign_id = {
             let f = m.function("f").unwrap();
-            let psa_minicpp::StmtKind::For(l) = &f.body.stmts[0].kind else { panic!() };
-            let psa_minicpp::StmtKind::If { then, .. } = &l.body.stmts[0].kind else { panic!() };
+            let psa_minicpp::StmtKind::For(l) = &f.body.stmts[0].kind else {
+                panic!()
+            };
+            let psa_minicpp::StmtKind::If { then, .. } = &l.body.stmts[0].kind else {
+                panic!()
+            };
             then.stmts[0].id
         };
         add_pragma(&mut m, assign_id, "psa note").unwrap();

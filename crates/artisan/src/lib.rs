@@ -39,7 +39,9 @@ pub struct Ast {
 impl Ast {
     /// Parse source text into an AST handle.
     pub fn from_source(source: &str, name: &str) -> Result<Ast> {
-        Ok(Ast { module: parse_module(source, name)? })
+        Ok(Ast {
+            module: parse_module(source, name)?,
+        })
     }
 
     /// Wrap an already-built module.
@@ -56,7 +58,10 @@ impl Ast {
     /// Lines of code of the exported design — the paper's productivity
     /// metric (Table I). Counts non-blank lines.
     pub fn loc(&self) -> usize {
-        self.export().lines().filter(|l| !l.trim().is_empty()).count()
+        self.export()
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .count()
     }
 }
 

@@ -219,7 +219,10 @@ pub fn called_functions(block: &Block) -> Vec<String> {
             visit::walk_expr(self, e);
         }
     }
-    let mut c = Calls { seen: HashSet::new(), order: Vec::new() };
+    let mut c = Calls {
+        seen: HashSet::new(),
+        order: Vec::new(),
+    };
     c.visit_block(block);
     c.order
 }

@@ -58,7 +58,11 @@ pub fn function_symbols(module: &Module, func: &Function) -> SymbolTable {
 fn decl_type(d: &VarDecl) -> Type {
     if d.array_len.is_some() {
         // Local arrays decay to pointers when passed onward.
-        Type { scalar: d.ty.scalar, ptr: d.ty.ptr + 1, is_const: false }
+        Type {
+            scalar: d.ty.scalar,
+            ptr: d.ty.ptr + 1,
+            is_const: false,
+        }
     } else {
         d.ty
     }
@@ -103,7 +107,11 @@ mod tests {
         let table = function_symbols(&m, f);
         assert_eq!(table.get("a"), Some(Type::pointer(Scalar::Double)));
         assert_eq!(table.get("n"), Some(Type::INT));
-        assert_eq!(table.get("acc"), Some(Type::pointer(Scalar::Double)), "local array decays");
+        assert_eq!(
+            table.get("acc"),
+            Some(Type::pointer(Scalar::Double)),
+            "local array decays"
+        );
         assert_eq!(table.get("t"), Some(Type::FLOAT));
         assert_eq!(table.get("i"), Some(Type::INT));
         assert_eq!(table.get("g"), Some(Type::DOUBLE));

@@ -30,7 +30,9 @@ pub fn extract_kernel(
     kernel_name: &str,
 ) -> Result<ExtractedKernel, TransformError> {
     if module.function(kernel_name).is_some() {
-        return Err(TransformError::new(format!("function `{kernel_name}` already exists")));
+        return Err(TransformError::new(format!(
+            "function `{kernel_name}` already exists"
+        )));
     }
     let host = query::enclosing_function(module, loop_stmt)
         .ok_or_else(|| TransformError::new(format!("statement {loop_stmt} not in a function")))?
@@ -83,9 +85,9 @@ pub fn extract_kernel(
     let symbols = function_symbols(module, func);
     let ws = query::write_set(&l.body);
     for name in &order {
-        let ty = symbols.get(name).ok_or_else(|| {
-            TransformError::new(format!("cannot type free variable `{name}`"))
-        })?;
+        let ty = symbols
+            .get(name)
+            .ok_or_else(|| TransformError::new(format!("cannot type free variable `{name}`")))?;
         if !ty.is_pointer() && ws.scalars.contains(name) {
             return Err(TransformError::new(format!(
                 "hotspot writes scalar `{name}` that is live outside the loop; \
@@ -112,7 +114,11 @@ pub fn extract_kernel(
     // Build the kernel function around the original loop.
     let mut body_stmt = original;
     module.refresh_stmt_ids(&mut body_stmt);
-    let body = Block { id: module.fresh_id(), span: body_stmt.span, stmts: vec![body_stmt] };
+    let body = Block {
+        id: module.fresh_id(),
+        span: body_stmt.span,
+        stmts: vec![body_stmt],
+    };
     let func = Function {
         id: module.fresh_id(),
         span: Span::SYNTHETIC,
@@ -139,7 +145,11 @@ pub fn extract_kernel(
     };
     edit::add_function(module, func);
 
-    Ok(ExtractedKernel { name: kernel_name.to_string(), params, host })
+    Ok(ExtractedKernel {
+        name: kernel_name.to_string(),
+        params,
+        host,
+    })
 }
 
 fn collect_declared(block: &Block, out: &mut HashSet<String>) {
@@ -223,13 +233,17 @@ mod tests {
     fn extraction_preserves_semantics() {
         let reference = {
             let m = parse_module(APP, "t").unwrap();
-            Interpreter::new(&m, RunConfig::default()).run_main().unwrap()
+            Interpreter::new(&m, RunConfig::default())
+                .run_main()
+                .unwrap()
         };
         let mut m = parse_module(APP, "t").unwrap();
         let target = hotspot(&m);
         let k = extract_kernel(&mut m, target, "hotspot_0").unwrap();
         assert_eq!(k.host, "main");
-        let result = Interpreter::new(&m, RunConfig::default()).run_main().unwrap();
+        let result = Interpreter::new(&m, RunConfig::default())
+            .run_main()
+            .unwrap();
         assert_eq!(reference, result);
     }
 
@@ -239,13 +253,20 @@ mod tests {
         let target = hotspot(&m);
         let k = extract_kernel(&mut m, target, "hotspot_0").unwrap();
         let names: Vec<&str> = k.params.iter().map(|(n, _)| n.as_str()).collect();
-        assert_eq!(names, vec!["n", "b", "a"], "first-appearance order: bound, then body");
+        assert_eq!(
+            names,
+            vec!["n", "b", "a"],
+            "first-appearance order: bound, then body"
+        );
         let types: Vec<Type> = k.params.iter().map(|(_, t)| *t).collect();
         assert_eq!(types[0], Type::INT);
         assert_eq!(types[1], Type::pointer(Scalar::Double));
         let out = print_module(&m);
         assert!(out.contains("hotspot_0(n, b, a);"), "{out}");
-        assert!(out.contains("void hotspot_0(int n, double* b, double* a) {"), "{out}");
+        assert!(
+            out.contains("void hotspot_0(int n, double* b, double* a) {"),
+            "{out}"
+        );
         assert!(out.contains("#pragma psa kernel"), "{out}");
     }
 
@@ -254,7 +275,10 @@ mod tests {
         let mut m = parse_module(APP, "t").unwrap();
         let target = hotspot(&m);
         extract_kernel(&mut m, target, "knl").unwrap();
-        let config = RunConfig { watch_function: Some("knl".into()), ..Default::default() };
+        let config = RunConfig {
+            watch_function: Some("knl".into()),
+            ..Default::default()
+        };
         let mut interp = Interpreter::new(&m, config);
         interp.run_main().unwrap();
         assert_eq!(interp.profile().kernel_calls, 1);
@@ -290,7 +314,9 @@ mod tests {
         let k = extract_kernel(&mut m, target, "knl").unwrap();
         let names: Vec<&str> = k.params.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(names, vec!["a"]);
-        let result = Interpreter::new(&m, RunConfig::default()).run_main().unwrap();
+        let result = Interpreter::new(&m, RunConfig::default())
+            .run_main()
+            .unwrap();
         assert_eq!(result, psa_interp::Value::Int(3));
     }
 

@@ -11,7 +11,10 @@ use psa_minicpp::visit::{self, VisitMut};
 
 /// Apply the specialised-math rewrites within function `fn_name`. Returns
 /// the number of rewrites performed.
-pub fn employ_specialised_math(module: &mut Module, fn_name: &str) -> Result<usize, TransformError> {
+pub fn employ_specialised_math(
+    module: &mut Module,
+    fn_name: &str,
+) -> Result<usize, TransformError> {
     struct Rewriter {
         count: usize,
     }
@@ -22,7 +25,12 @@ pub fn employ_specialised_math(module: &mut Module, fn_name: &str) -> Result<usi
             visit::walk_expr_mut(self, e);
 
             // 1.0 / sqrt(x)  →  rsqrt(x)
-            if let ExprKind::Binary { op: BinOp::Div, lhs, rhs } = &e.kind {
+            if let ExprKind::Binary {
+                op: BinOp::Div,
+                lhs,
+                rhs,
+            } = &e.kind
+            {
                 let one = matches!(lhs.kind, ExprKind::FloatLit { value, .. } if value == 1.0)
                     || matches!(lhs.kind, ExprKind::IntLit(1));
                 if one {
@@ -34,7 +42,10 @@ pub fn employ_specialised_math(module: &mut Module, fn_name: &str) -> Result<usi
                         };
                         if let (Some(name), 1) = (target, args.len()) {
                             let arg = args[0].clone();
-                            e.kind = ExprKind::Call { callee: name.to_string(), args: vec![arg] };
+                            e.kind = ExprKind::Call {
+                                callee: name.to_string(),
+                                args: vec![arg],
+                            };
                             self.count += 1;
                             return;
                         }
@@ -51,7 +62,9 @@ pub fn employ_specialised_math(module: &mut Module, fn_name: &str) -> Result<usi
                         || matches!(args[1].kind, ExprKind::FloatLit { value, .. } if value == 2.0);
                     let is_simple = matches!(
                         args[0].kind,
-                        ExprKind::Ident(_) | ExprKind::Index { .. } | ExprKind::IntLit(_)
+                        ExprKind::Ident(_)
+                            | ExprKind::Index { .. }
+                            | ExprKind::IntLit(_)
                             | ExprKind::FloatLit { .. }
                     );
                     if is_two && is_simple {
@@ -76,7 +89,11 @@ pub fn employ_specialised_math(module: &mut Module, fn_name: &str) -> Result<usi
     // Re-key: cloned subexpressions must not share ids.
     let mut body = std::mem::replace(
         &mut module.function_mut(fn_name).expect("still there").body,
-        Block { id: NodeId(0), span: psa_minicpp::Span::SYNTHETIC, stmts: Vec::new() },
+        Block {
+            id: NodeId(0),
+            span: psa_minicpp::Span::SYNTHETIC,
+            stmts: Vec::new(),
+        },
     );
     let mut next = module.next_id;
     psa_minicpp::ast::refresh_block_ids(&mut next, &mut body);
@@ -125,7 +142,10 @@ mod tests {
         assert_eq!(employ_specialised_math(&mut m, "knl").unwrap(), 1);
         let out = print_module(&m);
         assert!(out.contains("x * x"), "{out}");
-        assert!(out.contains("pow(x + 1.0, 2.0)"), "complex operand kept: {out}");
+        assert!(
+            out.contains("pow(x + 1.0, 2.0)"),
+            "complex operand kept: {out}"
+        );
     }
 
     #[test]
@@ -134,11 +154,15 @@ mod tests {
                    int main() { return (int)(knl(4.0) * 10.0); }";
         let reference = {
             let m = parse_module(src, "t").unwrap();
-            Interpreter::new(&m, RunConfig::default()).run_main().unwrap()
+            Interpreter::new(&m, RunConfig::default())
+                .run_main()
+                .unwrap()
         };
         let mut m = parse_module(src, "t").unwrap();
         employ_specialised_math(&mut m, "knl").unwrap();
-        let result = Interpreter::new(&m, RunConfig::default()).run_main().unwrap();
+        let result = Interpreter::new(&m, RunConfig::default())
+            .run_main()
+            .unwrap();
         assert_eq!(reference, result);
         assert_eq!(result, Value::Int(165)); // (0.5 + 16) * 10
     }
@@ -147,8 +171,11 @@ mod tests {
     fn nested_patterns_compose() {
         // pow(x,2) inside 1.0/sqrt(...)'s argument: both rewrites must not
         // interfere (bottom-up traversal).
-        let mut m = parse_module("double knl(double x) { return 1.0 / sqrt(pow(x, 2.0)); }", "t")
-            .unwrap();
+        let mut m = parse_module(
+            "double knl(double x) { return 1.0 / sqrt(pow(x, 2.0)); }",
+            "t",
+        )
+        .unwrap();
         assert_eq!(employ_specialised_math(&mut m, "knl").unwrap(), 2);
         assert!(print_module(&m).contains("rsqrt(x * x)"));
     }

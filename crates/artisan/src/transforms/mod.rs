@@ -35,7 +35,9 @@ pub struct TransformError {
 
 impl TransformError {
     pub fn new(message: impl Into<String>) -> Self {
-        TransformError { message: message.into() }
+        TransformError {
+            message: message.into(),
+        }
     }
 }
 

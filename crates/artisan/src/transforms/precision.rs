@@ -132,7 +132,10 @@ mod tests {
         employ_sp_literals(&mut m, "knl").unwrap();
         employ_sp_math(&mut m, "knl").unwrap();
         let out = print_module(&m);
-        assert!(out.contains("double y = sqrt(2.0);"), "host untouched: {out}");
+        assert!(
+            out.contains("double y = sqrt(2.0);"),
+            "host untouched: {out}"
+        );
     }
 
     #[test]

@@ -52,7 +52,9 @@ pub fn remove_array_accumulation(
             if op.bin_op().is_none() {
                 continue;
             }
-            let ExprKind::Index { base, index } = &target.kind else { continue };
+            let ExprKind::Index { base, index } = &target.kind else {
+                continue;
+            };
             let Some(arr) = base.as_ident() else { continue };
             let mut read: HashSet<String> = HashSet::new();
             query::idents_read(index, &mut read);
@@ -78,7 +80,9 @@ pub fn remove_array_accumulation(
 
     let n = targets.len();
     edit::rewrite_stmt(module, loop_stmt, move |stmt, _next_id| {
-        let StmtKind::For(mut l) = stmt.kind else { unreachable!() };
+        let StmtKind::For(mut l) = stmt.kind else {
+            unreachable!()
+        };
         let mut before: Vec<Stmt> = Vec::with_capacity(n);
         let mut after: Vec<Stmt> = Vec::with_capacity(n);
         for (i, (pos, scalar)) in targets.iter().enumerate() {
@@ -102,7 +106,11 @@ pub fn remove_array_accumulation(
                 }),
             });
             // arr[idx] = __psa_accN;
-            after.push(build::assign(target.clone(), AssignOp::Set, build::ident(&acc)));
+            after.push(build::assign(
+                target.clone(),
+                AssignOp::Set,
+                build::ident(&acc),
+            ));
             // __psa_accN op= value;  (in place)
             *body_stmt = Stmt {
                 id: NodeId(u32::MAX),
@@ -182,7 +190,9 @@ mod tests {
     fn hoists_accumulator_and_preserves_semantics() {
         let reference = {
             let m = parse_module(NBODY_LIKE, "t").unwrap();
-            Interpreter::new(&m, RunConfig::default()).run_main().unwrap()
+            Interpreter::new(&m, RunConfig::default())
+                .run_main()
+                .unwrap()
         };
         let mut m = parse_module(NBODY_LIKE, "t").unwrap();
         let inner = query::loops(&m, |l| l.depth == 1)[0].stmt_id;
@@ -192,7 +202,9 @@ mod tests {
         assert!(out.contains("double __psa_acc0 = fx[i];"), "{out}");
         assert!(out.contains("__psa_acc0 += px[j] * 0.5;"), "{out}");
         assert!(out.contains("fx[i] = __psa_acc0;"), "{out}");
-        let result = Interpreter::new(&m, RunConfig::default()).run_main().unwrap();
+        let result = Interpreter::new(&m, RunConfig::default())
+            .run_main()
+            .unwrap();
         assert_eq!(reference, result);
     }
 
@@ -222,14 +234,18 @@ mod tests {
         let target = query::loops(&m, |_| true)[0].stmt_id;
         assert_eq!(remove_array_accumulation(&mut m, target).unwrap(), 2);
         let out = print_module(&m);
-        assert!(out.contains("__psa_acc0") && out.contains("__psa_acc1"), "{out}");
+        assert!(
+            out.contains("__psa_acc0") && out.contains("__psa_acc1"),
+            "{out}"
+        );
         // Result must re-parse.
         parse_module(&out, "t").unwrap();
     }
 
     #[test]
     fn float_arrays_get_float_accumulators() {
-        let src = "void f(float* a, int i, int n) { for (int j = 0; j < n; j++) { a[i] += 1.0f; } }";
+        let src =
+            "void f(float* a, int i, int n) { for (int j = 0; j < n; j++) { a[i] += 1.0f; } }";
         let mut m = parse_module(src, "t").unwrap();
         let target = query::loops(&m, |_| true)[0].stmt_id;
         remove_array_accumulation(&mut m, target).unwrap();

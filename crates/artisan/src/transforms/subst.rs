@@ -29,7 +29,11 @@ impl VisitMut for Subst<'_> {
 /// responsible for checking that `name` is not assigned or redeclared inside
 /// `block` (see [`is_subst_safe`]) and for refreshing node ids afterwards.
 pub fn substitute_ident(block: &mut Block, name: &str, replacement: &Expr) -> usize {
-    let mut s = Subst { name, replacement, count: 0 };
+    let mut s = Subst {
+        name,
+        replacement,
+        count: 0,
+    };
     s.visit_block_mut(block);
     s.count
 }
@@ -41,9 +45,7 @@ pub fn is_subst_safe(block: &Block, name: &str) -> bool {
         block.stmts.iter().all(|stmt| match &stmt.kind {
             StmtKind::Decl(d) => d.name != name,
             StmtKind::Assign { target, .. } => target.as_ident() != Some(name),
-            StmtKind::For(l) => {
-                l.var != name && check(&l.body, name)
-            }
+            StmtKind::For(l) => l.var != name && check(&l.body, name),
             StmtKind::If { then, els, .. } => {
                 check(then, name) && els.as_ref().is_none_or(|b| check(b, name))
             }
@@ -63,20 +65,24 @@ mod tests {
     fn loop_body(src: &str) -> (psa_minicpp::Module, Block) {
         let m = parse_module(src, "t").unwrap();
         let f = m.function("f").unwrap();
-        let StmtKind::For(l) = &f.body.stmts[0].kind else { panic!() };
+        let StmtKind::For(l) = &f.body.stmts[0].kind else {
+            panic!()
+        };
         let body = l.body.clone();
         (m, body)
     }
 
     #[test]
     fn substitutes_reads_only() {
-        let (_, mut body) =
-            loop_body("void f(double* a, int n) { for (int i = 0; i < n; i++) { a[i] = a[i + 1]; } }");
+        let (_, mut body) = loop_body(
+            "void f(double* a, int n) { for (int i = 0; i < n; i++) { a[i] = a[i + 1]; } }",
+        );
         let n = substitute_ident(&mut body, "i", &build::int(7));
         assert_eq!(n, 2);
         let printed = print_module(&{
             let mut m = psa_minicpp::Module::new("t");
-            m.items.push(psa_minicpp::Item::Global(build::expr_stmt(build::int(0))));
+            m.items
+                .push(psa_minicpp::Item::Global(build::expr_stmt(build::int(0))));
             m
         });
         drop(printed);

@@ -52,7 +52,9 @@ pub fn fully_unroll(module: &mut Module, loop_stmt: NodeId) -> Result<u64, Trans
     }
 
     edit::rewrite_stmt(module, loop_stmt, |stmt, _next_id| {
-        let StmtKind::For(l) = stmt.kind else { unreachable!("checked above") };
+        let StmtKind::For(l) = stmt.kind else {
+            unreachable!("checked above")
+        };
         let init = l.init.as_int().expect("static trip implies literal init");
         let step = l.step.as_int().expect("static trip implies literal step");
         let signed_step = if l.step_negative { -step } else { step };
@@ -113,7 +115,9 @@ mod tests {
                     return (int)(s * 10.0); }";
         let reference = {
             let m = parse_module(src, "t").unwrap();
-            Interpreter::new(&m, RunConfig::default()).run_main().unwrap()
+            Interpreter::new(&m, RunConfig::default())
+                .run_main()
+                .unwrap()
         };
         let mut m = parse_module(src, "t").unwrap();
         // Unroll both loops.
@@ -122,7 +126,9 @@ mod tests {
             fully_unroll(&mut m, target).unwrap();
         }
         assert!(query::loops(&m, |_| true).is_empty());
-        let unrolled = Interpreter::new(&m, RunConfig::default()).run_main().unwrap();
+        let unrolled = Interpreter::new(&m, RunConfig::default())
+            .run_main()
+            .unwrap();
         assert_eq!(reference, unrolled);
         assert_eq!(unrolled, Value::Int(420));
     }
@@ -137,14 +143,21 @@ mod tests {
         let target = first_loop_stmt(&m, "f");
         assert_eq!(fully_unroll(&mut m, target).unwrap(), 3);
         let out = print_module(&m);
-        assert!(out.contains("a[6] = 1.0;") && out.contains("a[4] = 1.0;") && out.contains("a[2] = 1.0;"), "{out}");
+        assert!(
+            out.contains("a[6] = 1.0;")
+                && out.contains("a[4] = 1.0;")
+                && out.contains("a[2] = 1.0;"),
+            "{out}"
+        );
     }
 
     #[test]
     fn refuses_runtime_bounds() {
-        let mut m =
-            parse_module("void f(double* a, int n) { for (int i = 0; i < n; i++) { a[i] = 0.0; } }", "t")
-                .unwrap();
+        let mut m = parse_module(
+            "void f(double* a, int n) { for (int i = 0; i < n; i++) { a[i] = 0.0; } }",
+            "t",
+        )
+        .unwrap();
         let target = first_loop_stmt(&m, "f");
         let err = fully_unroll(&mut m, target).unwrap_err();
         assert!(err.to_string().contains("compile-time"));
@@ -152,9 +165,11 @@ mod tests {
 
     #[test]
     fn refuses_oversized_trip_counts() {
-        let mut m =
-            parse_module("void f(double* a) { for (int i = 0; i < 100000; i++) { sink(i); } }", "t")
-                .unwrap();
+        let mut m = parse_module(
+            "void f(double* a) { for (int i = 0; i < 100000; i++) { sink(i); } }",
+            "t",
+        )
+        .unwrap();
         let target = first_loop_stmt(&m, "f");
         assert!(fully_unroll(&mut m, target).is_err());
     }

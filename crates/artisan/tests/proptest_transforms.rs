@@ -3,10 +3,10 @@
 //! design-flow task relies on.
 
 use proptest::prelude::*;
+use psa_artisan::query;
+use psa_artisan::transforms::mathopt::employ_specialised_math;
 use psa_artisan::transforms::reduction::remove_array_accumulation;
 use psa_artisan::transforms::unroll::fully_unroll;
-use psa_artisan::transforms::mathopt::employ_specialised_math;
-use psa_artisan::query;
 use psa_interp::{Interpreter, RunConfig, Value};
 use psa_minicpp::{parse_module, print_module, Module};
 

@@ -42,7 +42,8 @@ fn bench_unroll_schedules(c: &mut Criterion) {
 
     // The paper's doubling DSE.
     group.bench_function("doubling", |b| {
-        let src = "void knl(double* a, int n) { for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0; } }";
+        let src =
+            "void knl(double* a, int n) { for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0; } }";
         b.iter(|| {
             let mut m = parse_module(src, "t").unwrap();
             psaflow_core::dse::unroll_until_overmap(&mut m, "knl", &model, &w).unwrap()
@@ -141,5 +142,10 @@ fn bench_blocksize_sweeps(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_unroll_schedules, bench_unroll_representation, bench_blocksize_sweeps);
+criterion_group!(
+    benches,
+    bench_unroll_schedules,
+    bench_unroll_representation,
+    bench_blocksize_sweeps
+);
 criterion_main!(benches);

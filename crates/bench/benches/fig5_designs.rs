@@ -16,7 +16,11 @@ fn small_suite() -> Vec<(&'static str, String, bool)> {
         ("rushlarsen", psa_benchsuite::rushlarsen::source(48), false),
         ("nbody", psa_benchsuite::nbody::source(48), true),
         ("bezier", psa_benchsuite::bezier::source(10), true),
-        ("adpredictor", psa_benchsuite::adpredictor::source(128), true),
+        (
+            "adpredictor",
+            psa_benchsuite::adpredictor::source(128),
+            true,
+        ),
         ("kmeans", psa_benchsuite::kmeans::source(256), true),
     ]
 }
@@ -24,7 +28,11 @@ fn small_suite() -> Vec<(&'static str, String, bool)> {
 fn params(sp_safe: bool) -> PsaParams {
     PsaParams {
         sp_safe,
-        scale: ScaleFactors { compute: 1000.0, data: 1000.0, threads: 1000.0 },
+        scale: ScaleFactors {
+            compute: 1000.0,
+            data: 1000.0,
+            threads: 1000.0,
+        },
         ..PsaParams::default()
     }
 }
@@ -34,14 +42,10 @@ fn bench_flows(c: &mut Criterion) {
     group.sample_size(10);
     for (key, source, sp_safe) in small_suite() {
         group.bench_with_input(BenchmarkId::new("informed", key), &source, |b, src| {
-            b.iter(|| {
-                full_psa_flow(src, key, FlowMode::Informed, params(sp_safe)).expect("runs")
-            })
+            b.iter(|| full_psa_flow(src, key, FlowMode::Informed, params(sp_safe)).expect("runs"))
         });
         group.bench_with_input(BenchmarkId::new("uninformed", key), &source, |b, src| {
-            b.iter(|| {
-                full_psa_flow(src, key, FlowMode::Uninformed, params(sp_safe)).expect("runs")
-            })
+            b.iter(|| full_psa_flow(src, key, FlowMode::Uninformed, params(sp_safe)).expect("runs"))
         });
     }
     group.finish();

@@ -2,13 +2,26 @@
 //! designs vs the unoptimised single-thread CPU reference, paper vs
 //! measured, plus the informed PSA's target selections.
 
-use psa_bench::{fmt_speedup, run_all};
+use psa_bench::{fmt_speedup, run_all_on};
 use psa_benchsuite::paper;
+use psaflow_core::FlowEngine;
+use std::time::Instant;
 
 fn main() {
+    // `--sequential` forces the single-threaded engine and runs the
+    // benchmarks one at a time — the timing baseline for the parallel
+    // default. Outputs are byte-identical either way.
+    let sequential = std::env::args().any(|a| a == "--sequential");
+    let engine = if sequential {
+        FlowEngine::sequential()
+    } else {
+        FlowEngine::parallel()
+    };
     println!("Fig. 5 — Hotspot speedups vs 1-thread CPU reference");
     println!("(paper value → measured value; informed PSA selection marked)\n");
-    let results = run_all().expect("flows run");
+    let started = Instant::now();
+    let results = run_all_on(engine).expect("flows run");
+    let elapsed = started.elapsed();
 
     println!(
         "{:<14} {:>16} {:>16} {:>16} {:>16} {:>16} {:>16}   informed target",
@@ -44,11 +57,20 @@ fn main() {
             paper::PaperTarget::CpuGpu => "CpuGpu",
             paper::PaperTarget::CpuFpga => "CpuFpga",
         };
-        let got = row.selected_target.map(|t| format!("{t:?}")).unwrap_or_default();
+        let got = row
+            .selected_target
+            .map(|t| format!("{t:?}"))
+            .unwrap_or_default();
         println!(
             "  {:<14} informed target: paper {expected:<14} measured {got:<14} {}",
             row.key,
             if got == expected { "OK" } else { "MISMATCH" }
         );
     }
+
+    eprintln!(
+        "\nall flows completed in {:.2}s ({} engine)",
+        elapsed.as_secs_f64(),
+        if sequential { "sequential" } else { "parallel" }
+    );
 }

@@ -24,12 +24,20 @@ fn main() {
             continue;
         }
         let (Some(fpga), Some(gpu)) = (
-            outcome.design_for(DeviceKind::Stratix10).and_then(|d| d.estimated_time_s),
-            outcome.design_for(DeviceKind::Rtx2080Ti).and_then(|d| d.estimated_time_s),
+            outcome
+                .design_for(DeviceKind::Stratix10)
+                .and_then(|d| d.estimated_time_s),
+            outcome
+                .design_for(DeviceKind::Rtx2080Ti)
+                .and_then(|d| d.estimated_time_s),
         ) else {
             continue;
         };
-        cases.push(CostCase { app: row.key.clone(), t_fpga_s: fpga, t_gpu_s: gpu });
+        cases.push(CostCase {
+            app: row.key.clone(),
+            t_fpga_s: fpga,
+            t_gpu_s: gpu,
+        });
     }
     let study = CostStudy { cases };
 

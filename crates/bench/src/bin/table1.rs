@@ -18,7 +18,14 @@ fn main() {
     let results = run_all().expect("flows run");
     println!(
         "{:<14} {:>7} {:>14} {:>14} {:>14} {:>14} {:>14} {:>16}",
-        "App", "ref LOC", "OMP", "HIP 1080", "HIP 2080", "oneAPI A10", "oneAPI S10", "Total (5 designs)"
+        "App",
+        "ref LOC",
+        "OMP",
+        "HIP 1080",
+        "HIP 2080",
+        "oneAPI A10",
+        "oneAPI S10",
+        "Total (5 designs)"
     );
 
     let mut avg_measured = [0.0f64; 5];
@@ -31,7 +38,10 @@ fn main() {
         let reference = canonicalise(&bench.source, &bench.key).expect("reference parses");
         let ref_loc = reference.lines().filter(|l| !l.trim().is_empty()).count();
 
-        let paper_row = paper::table1().into_iter().find(|r| r.key == row.key).unwrap();
+        let paper_row = paper::table1()
+            .into_iter()
+            .find(|r| r.key == row.key)
+            .unwrap();
         let delta = |device: DeviceKind| -> Option<f64> {
             let d = outcome.design_for(device)?;
             if !d.synthesizable {
@@ -77,7 +87,9 @@ fn main() {
             cells.push(cell);
         }
         let total_cell = if all_present {
-            let paper_total = paper_row.total_pct.map_or("?".to_string(), |t| format!("+{t:.0}%"));
+            let paper_total = paper_row
+                .total_pct
+                .map_or("?".to_string(), |t| format!("+{t:.0}%"));
             format!("{paper_total}→+{total:.0}%")
         } else {
             "n/a".to_string()
@@ -92,7 +104,10 @@ fn main() {
     let names = ["OMP", "HIP 1080", "HIP 2080", "oneAPI A10", "oneAPI S10"];
     for (i, name) in names.iter().enumerate() {
         if avg_counts[i] > 0 {
-            println!("  {name:<12} +{:.0}%", avg_measured[i] / avg_counts[i] as f64);
+            println!(
+                "  {name:<12} +{:.0}%",
+                avg_measured[i] / avg_counts[i] as f64
+            );
         }
     }
     println!("\n(paper averages: OMP +2%, HIP +36%, oneAPI A10 +57%, S10 +81%, total +212%)");

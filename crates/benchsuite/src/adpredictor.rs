@@ -71,7 +71,11 @@ pub fn benchmark() -> Benchmark {
         key: "adpredictor".into(),
         source: source(ANALYSIS_IMPRESSIONS),
         sp_safe: true,
-        scale: ScaleFactors { compute: s, data: eval_bytes / ana_bytes, threads: s },
+        scale: ScaleFactors {
+            compute: s,
+            data: eval_bytes / ana_bytes,
+            threads: s,
+        },
     }
 }
 
@@ -104,7 +108,10 @@ mod tests {
         let k = analyses::analyze_kernel(&m, "adpred_kernel").unwrap();
         assert!(k.deps.outer_parallel(), "{:?}", k.deps.loops);
         let inner: Vec<_> = k.deps.inner_loops_with_deps();
-        assert!(!inner.is_empty(), "the feature loop carries mu/s2 reductions");
+        assert!(
+            !inner.is_empty(),
+            "the feature loop carries mu/s2 reductions"
+        );
         assert!(
             k.deps.inner_deps_fully_unrollable(64),
             "fixed bound {FEATURES} must be unrollable: {:?}",
@@ -132,7 +139,10 @@ mod tests {
             if let Some(vals) = interp.memory.as_f64_slice(id) {
                 if vals.len() == 256 {
                     saw = true;
-                    assert!(vals.iter().all(|&p| (0.0..=1.0).contains(&p)), "probit output");
+                    assert!(
+                        vals.iter().all(|&p| (0.0..=1.0).contains(&p)),
+                        "probit output"
+                    );
                 }
             }
         }

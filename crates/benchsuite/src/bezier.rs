@@ -87,7 +87,11 @@ pub fn benchmark() -> Benchmark {
         source: source(ANALYSIS_RES),
         sp_safe: true,
         // Linear in surface points; the control grid is fixed.
-        scale: ScaleFactors { compute: s, data: s, threads: s },
+        scale: ScaleFactors {
+            compute: s,
+            data: s,
+            threads: s,
+        },
     }
 }
 
@@ -107,17 +111,28 @@ mod tests {
     fn hotspot_is_the_evaluation_loop() {
         let m = parse_module(&source(12), "bezier").unwrap();
         let report = analyses::hotspot::detect_hotspots(&m).unwrap();
-        assert!(report.hottest().unwrap().share > 0.8, "{:?}", report.hottest());
+        assert!(
+            report.hottest().unwrap().share > 0.8,
+            "{:?}",
+            report.hottest()
+        );
     }
 
     #[test]
     fn compute_bound_with_non_unrollable_inner_deps() {
         let m = extracted();
         let k = analyses::analyze_kernel(&m, "bezier_kernel").unwrap();
-        assert!(k.intensity.flops_per_byte > 0.5, "{}", k.intensity.flops_per_byte);
+        assert!(
+            k.intensity.flops_per_byte > 0.5,
+            "{}",
+            k.intensity.flops_per_byte
+        );
         assert!(k.deps.outer_parallel(), "{:?}", k.deps.loops);
         let inner = k.deps.inner_loops_with_deps();
-        assert!(!inner.is_empty(), "acc reduction must be carried by inner loops");
+        assert!(
+            !inner.is_empty(),
+            "acc reduction must be carried by inner loops"
+        );
         assert!(
             !k.deps.inner_deps_fully_unrollable(64),
             "runtime control-grid bounds block full unrolling: {:?}",
@@ -149,10 +164,7 @@ mod tests {
     #[test]
     fn binomial_helper_is_correct() {
         use psa_interp::{Interpreter, RunConfig, Value};
-        let src = format!(
-            "{}\nint check() {{ return binomial(7, 3); }}",
-            source(8)
-        );
+        let src = format!("{}\nint check() {{ return binomial(7, 3); }}", source(8));
         let m = parse_module(&src, "t").unwrap();
         let mut interp = Interpreter::new(&m, RunConfig::default());
         interp.init_globals().unwrap();

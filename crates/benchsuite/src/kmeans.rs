@@ -66,7 +66,11 @@ pub fn benchmark() -> Benchmark {
         source: source(ANALYSIS_POINTS),
         sp_safe: true,
         // Linear in points on every axis (K and DIM are fixed).
-        scale: ScaleFactors { compute: s, data: s, threads: s },
+        scale: ScaleFactors {
+            compute: s,
+            data: s,
+            threads: s,
+        },
     }
 }
 
@@ -86,7 +90,11 @@ mod tests {
     fn hotspot_is_the_assignment_loop() {
         let m = parse_module(&source(512), "kmeans").unwrap();
         let report = analyses::hotspot::detect_hotspots(&m).unwrap();
-        assert!(report.hottest().unwrap().share > 0.8, "{:?}", report.hottest());
+        assert!(
+            report.hottest().unwrap().share > 0.8,
+            "{:?}",
+            report.hottest()
+        );
     }
 
     #[test]

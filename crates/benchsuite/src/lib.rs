@@ -80,13 +80,7 @@ mod tests {
         let names: Vec<String> = all().into_iter().map(|b| b.name).collect();
         assert_eq!(
             names,
-            vec![
-                "Rush Larsen",
-                "N-Body",
-                "Bezier",
-                "AdPredictor",
-                "K-Means",
-            ]
+            vec!["Rush Larsen", "N-Body", "Bezier", "AdPredictor", "K-Means",]
         );
     }
 
@@ -106,10 +100,15 @@ mod tests {
     fn every_source_parses_and_runs() {
         for b in all() {
             let m = psa_minicpp::parse_module(&b.source, &b.key).expect(&b.key);
-            let mut interp =
-                psa_interp::Interpreter::new(&m, psa_interp::RunConfig::default());
-            interp.run_main().unwrap_or_else(|e| panic!("{} failed: {e}", b.key));
-            assert!(interp.profile().total_cycles > 10_000, "{} too trivial", b.key);
+            let mut interp = psa_interp::Interpreter::new(&m, psa_interp::RunConfig::default());
+            interp
+                .run_main()
+                .unwrap_or_else(|e| panic!("{} failed: {e}", b.key));
+            assert!(
+                interp.profile().total_cycles > 10_000,
+                "{} too trivial",
+                b.key
+            );
         }
     }
 

@@ -117,7 +117,10 @@ mod tests {
         );
         // Parallel outer loop; inner reduction with runtime bound.
         assert!(k.deps.outer_parallel());
-        assert!(!k.deps.inner_deps_fully_unrollable(64), "bounds unknown at compile time");
+        assert!(
+            !k.deps.inner_deps_fully_unrollable(64),
+            "bounds unknown at compile time"
+        );
         assert!(!k.alias.may_alias);
         // Trip counts: outer 64, inner 64 per entry.
         assert_eq!(k.trips.outer_mean_trip(), 64.0);
@@ -127,12 +130,18 @@ mod tests {
     fn moderate_register_pressure() {
         let m = extracted();
         let regs = psa_platform::resources::estimate_registers(&m, "nbody_kernel").unwrap();
-        assert!(regs < 128, "N-Body must not saturate the register file: {regs}");
+        assert!(
+            regs < 128,
+            "N-Body must not saturate the register file: {regs}"
+        );
     }
 
     #[test]
     fn no_gathers() {
         let m = extracted();
-        assert_eq!(psa_platform::resources::gather_fraction(&m, "nbody_kernel"), 0.0);
+        assert_eq!(
+            psa_platform::resources::gather_fraction(&m, "nbody_kernel"),
+            0.0
+        );
     }
 }

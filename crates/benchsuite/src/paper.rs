@@ -101,11 +101,46 @@ pub fn fig5() -> Vec<Fig5Row> {
 /// Table I, all five applications (percent added LOC per design).
 pub fn table1() -> Vec<TableIRow> {
     vec![
-        TableIRow { key: "rushlarsen", omp_pct: 0.4, hip_pct: 6.0, a10_pct: None, s10_pct: None, total_pct: None },
-        TableIRow { key: "nbody", omp_pct: 2.0, hip_pct: 37.0, a10_pct: Some(52.0), s10_pct: Some(69.0), total_pct: Some(197.0) },
-        TableIRow { key: "bezier", omp_pct: 2.0, hip_pct: 26.0, a10_pct: Some(34.0), s10_pct: Some(42.0), total_pct: Some(130.0) },
-        TableIRow { key: "adpredictor", omp_pct: 2.0, hip_pct: 31.0, a10_pct: Some(42.0), s10_pct: Some(63.0), total_pct: Some(169.0) },
-        TableIRow { key: "kmeans", omp_pct: 4.0, hip_pct: 81.0, a10_pct: Some(101.0), s10_pct: Some(147.0), total_pct: Some(414.0) },
+        TableIRow {
+            key: "rushlarsen",
+            omp_pct: 0.4,
+            hip_pct: 6.0,
+            a10_pct: None,
+            s10_pct: None,
+            total_pct: None,
+        },
+        TableIRow {
+            key: "nbody",
+            omp_pct: 2.0,
+            hip_pct: 37.0,
+            a10_pct: Some(52.0),
+            s10_pct: Some(69.0),
+            total_pct: Some(197.0),
+        },
+        TableIRow {
+            key: "bezier",
+            omp_pct: 2.0,
+            hip_pct: 26.0,
+            a10_pct: Some(34.0),
+            s10_pct: Some(42.0),
+            total_pct: Some(130.0),
+        },
+        TableIRow {
+            key: "adpredictor",
+            omp_pct: 2.0,
+            hip_pct: 31.0,
+            a10_pct: Some(42.0),
+            s10_pct: Some(63.0),
+            total_pct: Some(169.0),
+        },
+        TableIRow {
+            key: "kmeans",
+            omp_pct: 4.0,
+            hip_pct: 81.0,
+            a10_pct: Some(101.0),
+            s10_pct: Some(147.0),
+            total_pct: Some(414.0),
+        },
     ]
 }
 
@@ -120,17 +155,21 @@ mod tests {
 
     #[test]
     fn rows_cover_every_benchmark() {
-        let keys: Vec<&str> = crate::all().iter().map(|b| b.key.as_str()).map(|k| {
-            // leak-free static comparison via match below
-            match k {
-                "rushlarsen" => "rushlarsen",
-                "nbody" => "nbody",
-                "bezier" => "bezier",
-                "adpredictor" => "adpredictor",
-                "kmeans" => "kmeans",
-                other => panic!("unknown key {other}"),
-            }
-        }).collect();
+        let keys: Vec<&str> = crate::all()
+            .iter()
+            .map(|b| b.key.as_str())
+            .map(|k| {
+                // leak-free static comparison via match below
+                match k {
+                    "rushlarsen" => "rushlarsen",
+                    "nbody" => "nbody",
+                    "bezier" => "bezier",
+                    "adpredictor" => "adpredictor",
+                    "kmeans" => "kmeans",
+                    other => panic!("unknown key {other}"),
+                }
+            })
+            .collect();
         for k in keys {
             assert!(fig5_row(k).is_some(), "{k}");
             assert!(table1().iter().any(|r| r.key == k), "{k}");
@@ -163,7 +202,10 @@ mod tests {
     fn headline_claims_hold() {
         let rows = fig5();
         let max_omp = rows.iter().map(|r| r.omp).fold(0.0f64, f64::max);
-        let max_gpu = rows.iter().map(|r| r.hip_1080.max(r.hip_2080)).fold(0.0f64, f64::max);
+        let max_gpu = rows
+            .iter()
+            .map(|r| r.hip_1080.max(r.hip_2080))
+            .fold(0.0f64, f64::max);
         let max_fpga = rows
             .iter()
             .filter_map(|r| match (r.oneapi_a10, r.oneapi_s10) {
@@ -173,6 +215,9 @@ mod tests {
             .fold(0.0f64, f64::max);
         assert_eq!(max_omp, 30.0, "paper: up to 30× OpenMP");
         assert_eq!(max_fpga, 32.0, "paper: up to 32× oneAPI CPU+FPGA");
-        assert_eq!(max_gpu, 751.0, "figure: 751× HIP CPU+GPU (abstract rounds to 779×)");
+        assert_eq!(
+            max_gpu, 751.0,
+            "figure: 751× HIP CPU+GPU (abstract rounds to 779×)"
+        );
     }
 }

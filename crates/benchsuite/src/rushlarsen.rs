@@ -93,7 +93,11 @@ pub fn benchmark() -> Benchmark {
         sp_safe: false,
         // Per-step transfer cost amortises over the simulation: the cell
         // state lives on the device for all EVAL_TIMESTEPS steps.
-        scale: ScaleFactors { compute: s, data: s / EVAL_TIMESTEPS as f64, threads: s },
+        scale: ScaleFactors {
+            compute: s,
+            data: s / EVAL_TIMESTEPS as f64,
+            threads: s,
+        },
     }
 }
 
@@ -126,7 +130,11 @@ mod tests {
     fn heavily_compute_bound() {
         let m = extracted();
         let k = analyses::analyze_kernel(&m, "rl_kernel").unwrap();
-        assert!(k.intensity.flops_per_byte > 2.0, "{}", k.intensity.flops_per_byte);
+        assert!(
+            k.intensity.flops_per_byte > 2.0,
+            "{}",
+            k.intensity.flops_per_byte
+        );
     }
 
     #[test]
@@ -174,8 +182,10 @@ mod tests {
         // Table I context: Rush Larsen's reference is by far the biggest,
         // which is why its relative LOC deltas are the smallest.
         let rl_loc = source(64).lines().filter(|l| !l.trim().is_empty()).count();
-        let km_loc =
-            crate::kmeans::source(64).lines().filter(|l| !l.trim().is_empty()).count();
+        let km_loc = crate::kmeans::source(64)
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .count();
         assert!(rl_loc > 3 * km_loc, "rl {rl_loc} vs kmeans {km_loc}");
     }
 }

@@ -34,7 +34,11 @@ pub fn kernel_shape<'m>(module: &'m Module, kernel: &str) -> Result<KernelShape<
     }
     let outer = outer
         .ok_or_else(|| CodegenError::new(format!("kernel `{kernel}` contains no outer loop")))?;
-    Ok(KernelShape { func, outer, prologue })
+    Ok(KernelShape {
+        func,
+        outer,
+        prologue,
+    })
 }
 
 /// Render a block's statements at the given indent level (4 spaces per
@@ -167,11 +171,7 @@ fn call_in_block(block: &Block, kernel: &str) -> Option<NodeId> {
 /// Render everything in the module *except* the kernel function, replacing
 /// the kernel call statement with `replacement_call` (a full line of code,
 /// e.g. `launch_knl(a, b, n);`).
-pub fn render_host_without_kernel(
-    module: &Module,
-    kernel: &str,
-    replacement_call: &str,
-) -> String {
+pub fn render_host_without_kernel(module: &Module, kernel: &str, replacement_call: &str) -> String {
     let mut host = String::new();
     for item in &module.items {
         match item {
@@ -213,7 +213,11 @@ pub fn param_list(func: &Function) -> String {
 
 /// Argument name list for calling a function.
 pub fn arg_list(func: &Function) -> String {
-    func.params.iter().map(|p| p.name.clone()).collect::<Vec<_>>().join(", ")
+    func.params
+        .iter()
+        .map(|p| p.name.clone())
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 #[cfg(test)]

@@ -6,9 +6,7 @@
 //! blocksize DSE. Optional extras mirror the GPU-path tasks of Fig. 4:
 //! "Employ HIP Pinned Memory" and "Introduce Shared Mem Buf".
 
-use crate::common::{
-    alloc_extent, arg_list, kernel_shape, param_list, render_block, render_stmt,
-};
+use crate::common::{alloc_extent, arg_list, kernel_shape, param_list, render_block, render_stmt};
 use crate::{Backend, CodegenError, Design};
 use psa_minicpp::ast::*;
 use psa_minicpp::printer;
@@ -46,7 +44,11 @@ pub fn generate(module: &Module, kernel: &str, config: &HipConfig) -> Result<Des
     out.push_str(&format!("#define PSA_BLOCK {b}\n\n"));
 
     // ---------------- device kernel ----------------
-    out.push_str(&format!("__global__ void {}_kernel({}) {{\n", kernel, param_list(func)));
+    out.push_str(&format!(
+        "__global__ void {}_kernel({}) {{\n",
+        kernel,
+        param_list(func)
+    ));
     for stmt in &shape.prologue {
         out.push_str(&render_stmt(stmt, 1));
     }
@@ -75,7 +77,11 @@ pub fn generate(module: &Module, kernel: &str, config: &HipConfig) -> Result<Des
     out.push_str("    }\n}\n\n");
 
     // ---------------- host launch wrapper ----------------
-    out.push_str(&format!("static void launch_{}({}) {{\n", kernel, param_list(func)));
+    out.push_str(&format!(
+        "static void launch_{}({}) {{\n",
+        kernel,
+        param_list(func)
+    ));
     for p in &ptr_params {
         let extent = alloc_extent(module, &p.name).unwrap_or_else(|| "1".to_string());
         let elem = p.ty.scalar.c_name();
@@ -109,7 +115,13 @@ pub fn generate(module: &Module, kernel: &str, config: &HipConfig) -> Result<Des
     let kernel_args: String = func
         .params
         .iter()
-        .map(|p| if p.ty.is_pointer() { format!("d_{}", p.name) } else { p.name.clone() })
+        .map(|p| {
+            if p.ty.is_pointer() {
+                format!("d_{}", p.name)
+            } else {
+                p.name.clone()
+            }
+        })
         .collect::<Vec<_>>()
         .join(", ");
     out.push_str(&format!(
@@ -132,23 +144,33 @@ pub fn generate(module: &Module, kernel: &str, config: &HipConfig) -> Result<Des
 
     // ---------------- host program ----------------
     let call = format!("launch_{}({});", kernel, arg_list(func));
-    out.push_str(&crate::common::render_host_without_kernel(module, kernel, &call));
+    out.push_str(&crate::common::render_host_without_kernel(
+        module, kernel, &call,
+    ));
 
-    Ok(Design { backend: Backend::Hip, device: config.device.clone(), source: out })
+    Ok(Design {
+        backend: Backend::Hip,
+        device: config.device.clone(),
+        source: out,
+    })
 }
 
 /// Render the outer-loop body with its first runtime-bound inner loop tiled
 /// through `__shared__` staging buffers.
 fn render_tiled_body(module: &Module, outer: &ForLoop, arrays: &[String]) -> String {
     // Locate the inner runtime loop.
-    let inner_pos = outer.body.stmts.iter().position(|s| {
-        matches!(&s.kind, StmtKind::For(il) if il.static_trip_count().is_none())
-    });
+    let inner_pos = outer
+        .body
+        .stmts
+        .iter()
+        .position(|s| matches!(&s.kind, StmtKind::For(il) if il.static_trip_count().is_none()));
     let Some(pos) = inner_pos else {
         // No tileable structure: fall back to the plain body.
         return render_block(&outer.body, 2);
     };
-    let StmtKind::For(inner) = &outer.body.stmts[pos].kind else { unreachable!() };
+    let StmtKind::For(inner) = &outer.body.stmts[pos].kind else {
+        unreachable!()
+    };
     let inner_bound = printer::print_expr(&inner.bound);
     let jv = &inner.var;
 
@@ -173,7 +195,10 @@ fn render_tiled_body(module: &Module, outer: &ForLoop, arrays: &[String]) -> Str
             .unwrap_or("double")
     };
     for a in arrays {
-        out.push_str(&format!("        __shared__ {} s_{a}[PSA_BLOCK];\n", elem(a)));
+        out.push_str(&format!(
+            "        __shared__ {} s_{a}[PSA_BLOCK];\n",
+            elem(a)
+        ));
     }
     out.push_str(&format!(
         "        for (int {jv}_tile = 0; {jv}_tile < {inner_bound}; {jv}_tile += PSA_BLOCK) {{\n"
@@ -228,7 +253,10 @@ fn redirect_to_shared(block: &mut Block, arrays: &[String], inner_var: &str) {
             }
         }
     }
-    let mut r = Redirect { arrays, var: inner_var };
+    let mut r = Redirect {
+        arrays,
+        var: inner_var,
+    };
     r.visit_block_mut(block);
 }
 
@@ -254,12 +282,27 @@ mod tests {
         let m = parse_module(APP, "t").unwrap();
         let d = generate(&m, "knl", &config()).unwrap();
         let s = &d.source;
-        assert!(s.contains("__global__ void knl_kernel(double* a, double* b, int n)"), "{s}");
-        assert!(s.contains("int i = blockIdx.x * blockDim.x + threadIdx.x;"), "{s}");
+        assert!(
+            s.contains("__global__ void knl_kernel(double* a, double* b, int n)"),
+            "{s}"
+        );
+        assert!(
+            s.contains("int i = blockIdx.x * blockDim.x + threadIdx.x;"),
+            "{s}"
+        );
         assert!(s.contains("if (i < n) {"), "{s}");
-        assert!(s.contains("hipMalloc((void**)&d_a, (n) * sizeof(double));"), "{s}");
-        assert!(s.contains("hipMemcpy(d_a, a, (n) * sizeof(double), hipMemcpyHostToDevice);"), "{s}");
-        assert!(s.contains("hipLaunchKernelGGL(knl_kernel, grid, block, 0, 0, d_a, d_b, n);"), "{s}");
+        assert!(
+            s.contains("hipMalloc((void**)&d_a, (n) * sizeof(double));"),
+            "{s}"
+        );
+        assert!(
+            s.contains("hipMemcpy(d_a, a, (n) * sizeof(double), hipMemcpyHostToDevice);"),
+            "{s}"
+        );
+        assert!(
+            s.contains("hipLaunchKernelGGL(knl_kernel, grid, block, 0, 0, d_a, d_b, n);"),
+            "{s}"
+        );
         assert!(s.contains("#define PSA_BLOCK 256"), "{s}");
         assert!(s.contains("launch_knl(a, b, n);"), "{s}");
     }
@@ -269,8 +312,15 @@ mod tests {
         let m = parse_module(APP, "t").unwrap();
         let with = generate(&m, "knl", &config()).unwrap();
         assert!(with.source.contains("hipHostRegister"), "{}", with.source);
-        let without =
-            generate(&m, "knl", &HipConfig { pinned: false, ..config() }).unwrap();
+        let without = generate(
+            &m,
+            "knl",
+            &HipConfig {
+                pinned: false,
+                ..config()
+            },
+        )
+        .unwrap();
         assert!(!without.source.contains("hipHostRegister"));
         assert!(with.loc() > without.loc());
     }
@@ -286,12 +336,18 @@ mod tests {
                    }\
                    int main() { int n = 32; double* pos = alloc_double(n); double* f = alloc_double(n); knl(pos, f, n); return 0; }";
         let m = parse_module(src, "t").unwrap();
-        let cfg = HipConfig { shared_mem_arrays: vec!["pos".into()], ..config() };
+        let cfg = HipConfig {
+            shared_mem_arrays: vec!["pos".into()],
+            ..config()
+        };
         let d = generate(&m, "knl", &cfg).unwrap();
         let s = &d.source;
         assert!(s.contains("__shared__ double s_pos[PSA_BLOCK];"), "{s}");
         assert!(s.contains("__syncthreads();"), "{s}");
-        assert!(s.contains("s_pos[threadIdx.x] = pos[j_tile + threadIdx.x];"), "{s}");
+        assert!(
+            s.contains("s_pos[threadIdx.x] = pos[j_tile + threadIdx.x];"),
+            "{s}"
+        );
         // Reads at [j] go to shared; the [i] read stays global.
         assert!(s.contains("s_pos[j] - pos[i]"), "{s}");
     }
@@ -302,7 +358,10 @@ mod tests {
         let reference = crate::count_loc(&psa_minicpp::print_module(&m));
         let d = generate(&m, "knl", &config()).unwrap();
         let delta = d.loc_delta_pct(reference);
-        assert!(delta > 25.0, "HIP management code must show up in LOC: {delta}%");
+        assert!(
+            delta > 25.0,
+            "HIP management code must show up in LOC: {delta}%"
+        );
     }
 
     #[test]
@@ -317,8 +376,14 @@ mod tests {
             s.contains("int i = (4) + (blockIdx.x * blockDim.x + threadIdx.x) * (2);"),
             "{s}"
         );
-        assert!(s.contains("if (i <= n) {"), "comparison operator preserved: {s}");
-        assert!(s.contains("(((n) - (4) + (2) - 1) / (2)"), "grid sized by trip count: {s}");
+        assert!(
+            s.contains("if (i <= n) {"),
+            "comparison operator preserved: {s}"
+        );
+        assert!(
+            s.contains("(((n) - (4) + (2) - 1) / (2)"),
+            "grid sized by trip count: {s}"
+        );
     }
 
     #[test]

@@ -86,7 +86,9 @@ pub struct CodegenError {
 
 impl CodegenError {
     pub fn new(message: impl Into<String>) -> Self {
-        CodegenError { message: message.into() }
+        CodegenError {
+            message: message.into(),
+        }
     }
 }
 
@@ -105,7 +107,11 @@ mod tests {
     #[test]
     fn loc_counts_nonblank_lines() {
         assert_eq!(count_loc("a\n\n  \nb\nc"), 3);
-        let d = Design { backend: Backend::Hip, device: "X".into(), source: "a\nb\n".into() };
+        let d = Design {
+            backend: Backend::Hip,
+            device: "X".into(),
+            source: "a\nb\n".into(),
+        };
         assert_eq!(d.loc(), 2);
         assert!((d.loc_delta_pct(1) - 100.0).abs() < 1e-9);
     }

@@ -53,7 +53,11 @@ pub fn generate(
     out.push_str("#include <cmath>\n\n");
     out.push_str(&format!("class {}Id;\n\n", camel(kernel)));
 
-    out.push_str(&format!("static void launch_{}({}) {{\n", kernel, param_list(func)));
+    out.push_str(&format!(
+        "static void launch_{}({}) {{\n",
+        kernel,
+        param_list(func)
+    ));
     out.push_str("    sycl::ext::intel::fpga_selector device_selector;\n");
     out.push_str("    sycl::queue q(device_selector);\n");
 
@@ -65,9 +69,15 @@ pub fn generate(
     out.push_str("}\n\n");
 
     let call = format!("launch_{}({});", kernel, arg_list(func));
-    out.push_str(&crate::common::render_host_without_kernel(module, kernel, &call));
+    out.push_str(&crate::common::render_host_without_kernel(
+        module, kernel, &call,
+    ));
 
-    Ok(Design { backend: Backend::OneApi, device: config.device.clone(), source: out })
+    Ok(Design {
+        backend: Backend::OneApi,
+        device: config.device.clone(),
+        source: out,
+    })
 }
 
 /// Buffer/accessor style (Arria10).
@@ -226,11 +236,19 @@ mod tests {
                        int main() { int n = 64; double* a = alloc_double(n); double* b = alloc_double(n); fill_random(a, n, 1); knl(a, b, n); return 0; }";
 
     fn a10() -> OneApiConfig {
-        OneApiConfig { device: "PAC Arria10".into(), unroll: 4, zero_copy: false }
+        OneApiConfig {
+            device: "PAC Arria10".into(),
+            unroll: 4,
+            zero_copy: false,
+        }
     }
 
     fn s10() -> OneApiConfig {
-        OneApiConfig { device: "PAC Stratix10".into(), unroll: 8, zero_copy: true }
+        OneApiConfig {
+            device: "PAC Stratix10".into(),
+            unroll: 8,
+            zero_copy: true,
+        }
     }
 
     #[test]
@@ -238,7 +256,10 @@ mod tests {
         let m = parse_module(APP, "t").unwrap();
         let d = generate(&m, "knl", &a10()).unwrap();
         let s = &d.source;
-        assert!(s.contains("sycl::buffer<double, 1> buf_a(a, sycl::range<1>(n));"), "{s}");
+        assert!(
+            s.contains("sycl::buffer<double, 1> buf_a(a, sycl::range<1>(n));"),
+            "{s}"
+        );
         assert!(s.contains("single_task<KnlId>"), "{s}");
         assert!(s.contains("#pragma unroll 4"), "{s}");
         assert!(s.contains("acc_b[i] = acc_a[i] * 2.0;"), "{s}");
@@ -254,7 +275,10 @@ mod tests {
         assert!(s.contains("usm_b[i] = usm_a[i] * 2.0;"), "{s}");
         assert!(s.contains("#pragma unroll 8"), "{s}");
         assert!(s.contains("sycl::free(usm_a, q);"), "{s}");
-        assert!(!s.contains("sycl::buffer"), "S10 path avoids staging buffers");
+        assert!(
+            !s.contains("sycl::buffer"),
+            "S10 path avoids staging buffers"
+        );
     }
 
     #[test]

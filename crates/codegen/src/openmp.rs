@@ -50,9 +50,15 @@ pub fn generate(module: &Module, kernel: &str, config: OmpConfig) -> Result<Desi
 
     // Host code unchanged, calling the same kernel symbol.
     let call = format!("{}({});", kernel, crate::common::arg_list(shape.func));
-    out.push_str(&crate::common::render_host_without_kernel(module, kernel, &call));
+    out.push_str(&crate::common::render_host_without_kernel(
+        module, kernel, &call,
+    ));
 
-    Ok(Design { backend: Backend::OpenMp, device: "AMD EPYC 7543".into(), source: out })
+    Ok(Design {
+        backend: Backend::OpenMp,
+        device: "AMD EPYC 7543".into(),
+        source: out,
+    })
 }
 
 pub(crate) fn step_suffix(l: &ForLoop) -> String {
@@ -76,8 +82,16 @@ mod tests {
     fn emits_parallel_for_and_thread_pin() {
         let m = parse_module(APP, "t").unwrap();
         let d = generate(&m, "knl", OmpConfig { threads: 32 }).unwrap();
-        assert!(d.source.contains("#pragma omp parallel for"), "{}", d.source);
-        assert!(d.source.contains("omp_set_num_threads(32);"), "{}", d.source);
+        assert!(
+            d.source.contains("#pragma omp parallel for"),
+            "{}",
+            d.source
+        );
+        assert!(
+            d.source.contains("omp_set_num_threads(32);"),
+            "{}",
+            d.source
+        );
         assert!(d.source.contains("#include <omp.h>"));
         assert_eq!(d.backend, Backend::OpenMp);
     }
@@ -100,7 +114,10 @@ mod tests {
         let d = generate(&m, "knl", OmpConfig { threads: 16 }).unwrap();
         assert!(d.source.contains("a[i] = a[i] * 2.0;"));
         assert!(d.source.contains("int main()"));
-        assert!(d.source.contains("knl(a, n);"), "host still calls the kernel");
+        assert!(
+            d.source.contains("knl(a, n);"),
+            "host still calls the kernel"
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The shared state a design-flow threads through its tasks.
 
 use crate::report::{DesignArtifact, DesignParams, TargetKind};
+use crate::trace::{DecisionEvidence, TraceEvent};
 use psa_analyses::hotspot::HotspotReport;
 use psa_analyses::KernelAnalysis;
 use psa_artisan::Ast;
@@ -23,7 +24,11 @@ pub mod psa_benchsuite_shim {
 
     impl Default for ScaleFactors {
         fn default() -> Self {
-            ScaleFactors { compute: 1.0, data: 1.0, threads: 1.0 }
+            ScaleFactors {
+                compute: 1.0,
+                data: 1.0,
+                threads: 1.0,
+            }
         }
     }
 }
@@ -102,9 +107,13 @@ pub struct FlowContext {
     pub reference_time_s: Option<f64>,
     /// Designs produced so far.
     pub designs: Vec<DesignArtifact>,
-    /// Human-readable trace of what the flow did (mirrors the paper's
-    /// narrative of which branch was taken and why).
-    pub log: Vec<String>,
+    /// Structured trace of what the flow did (mirrors the paper's narrative
+    /// of which branch was taken and why). Read it through [`Self::trace`]
+    /// or [`Self::trace_lines`]; the engine owns its tree structure.
+    pub(crate) trace: Vec<TraceEvent>,
+    /// Typed evidence staged by the deciding strategy, consumed by the
+    /// engine into the next [`TraceEvent::Branch`].
+    pub(crate) pending_decision: Option<DecisionEvidence>,
 }
 
 impl FlowContext {
@@ -123,26 +132,48 @@ impl FlowContext {
             params,
             reference_time_s: None,
             designs: Vec::new(),
-            log: Vec::new(),
+            trace: Vec::new(),
+            pending_decision: None,
         }
     }
 
-    /// Append a trace line.
+    /// Append a free-form trace line (recorded as a [`TraceEvent::Note`]).
     pub fn log(&mut self, line: impl Into<String>) {
-        self.log.push(line.into());
+        self.trace.push(TraceEvent::Note { text: line.into() });
+    }
+
+    /// Append a structured trace event (tasks use this for DSE results).
+    pub fn push_event(&mut self, event: TraceEvent) {
+        self.trace.push(event);
+    }
+
+    /// Stage typed evidence for the branch decision currently being made.
+    /// The engine attaches it to the branch's [`TraceEvent::Branch`].
+    pub fn record_decision(&mut self, evidence: DecisionEvidence) {
+        self.pending_decision = Some(evidence);
+    }
+
+    /// The structured trace recorded so far.
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    /// The trace flattened into the legacy human-readable lines.
+    pub fn trace_lines(&self) -> Vec<String> {
+        crate::trace::render_lines(&self.trace)
     }
 
     /// The kernel name, or a flow error message.
     pub fn kernel_name(&self) -> Result<&str, crate::flow::FlowError> {
         self.kernel.as_deref().ok_or_else(|| {
-            crate::flow::FlowError::new("no kernel extracted yet; run partitioning first")
+            crate::flow::FlowError::precondition("no kernel extracted yet; run partitioning first")
         })
     }
 
     /// The analysis record, or a flow error message.
     pub fn analysis(&self) -> Result<&KernelAnalysis, crate::flow::FlowError> {
         self.analysis.as_ref().ok_or_else(|| {
-            crate::flow::FlowError::new("target-independent analyses have not run yet")
+            crate::flow::FlowError::precondition("target-independent analyses have not run yet")
         })
     }
 }

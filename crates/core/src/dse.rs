@@ -41,7 +41,7 @@ pub fn unroll_until_overmap(
     let loops = query::loops(module, |l| l.function == kernel && l.is_outermost);
     let outer = loops
         .first()
-        .ok_or_else(|| FlowError::new(format!("kernel `{kernel}` has no outermost loop")))?
+        .ok_or_else(|| FlowError::precondition(format!("kernel `{kernel}` has no outermost loop")))?
         .stmt_id;
 
     if !work.flat_pipeline {
@@ -49,7 +49,11 @@ pub fn unroll_until_overmap(
         // iterations; replication is structurally impossible, so the DSE
         // reports factor 1 after a single probe.
         let report = model.hls_report(&work.ops, work.fp64, 1);
-        return Ok(UnrollDse { factor: 1, report, iterations: 1 });
+        return Ok(UnrollDse {
+            factor: 1,
+            report,
+            iterations: 1,
+        });
     }
 
     let mut n: u64 = 2;
@@ -59,7 +63,11 @@ pub fn unroll_until_overmap(
     if best_report.overmapped {
         // Even the un-unrolled design overmaps: the caller decides how to
         // report the unsynthesizable design; the pragma is not inserted.
-        return Ok(UnrollDse { factor: 0, report: best_report, iterations });
+        return Ok(UnrollDse {
+            factor: 0,
+            report: best_report,
+            iterations,
+        });
     }
     loop {
         // instrument(before, loop, #pragma unroll $n)
@@ -77,7 +85,11 @@ pub fn unroll_until_overmap(
     }
     // design.export: leave the last *fitting* factor in the source.
     edit::set_unroll_pragma(module, outer, best)?;
-    Ok(UnrollDse { factor: best, report: best_report, iterations })
+    Ok(UnrollDse {
+        factor: best,
+        report: best_report,
+        iterations,
+    })
 }
 
 /// Result of the blocksize DSE.
@@ -96,12 +108,29 @@ pub const BLOCKSIZE_CANDIDATES: [u32; 6] = [32, 64, 128, 256, 512, 1024];
 
 /// Sweep launch geometries on one GPU; minimise time, break ties towards
 /// higher occupancy.
+///
+/// The analytic model is pure, so every candidate is estimated
+/// concurrently; the winner is then chosen by scanning the results in
+/// candidate order, which makes the tie-breaking identical to a sequential
+/// sweep.
 pub fn blocksize_dse(model: &GpuModel, work: &KernelWork, pinned: bool) -> BlocksizeDse {
+    let estimates: Vec<_> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = BLOCKSIZE_CANDIDATES
+            .iter()
+            .map(|&b| s.spawn(move |_| model.estimate(work, b, pinned)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("GPU estimate does not panic"))
+            .collect()
+    })
+    .expect("blocksize sweep scope");
+
     let mut best: Option<BlocksizeDse> = None;
     let mut evaluated = 0;
-    for &b in &BLOCKSIZE_CANDIDATES {
+    for (&b, est) in BLOCKSIZE_CANDIDATES.iter().zip(estimates) {
         evaluated += 1;
-        let Some(est) = model.estimate(work, b, pinned) else { continue };
+        let Some(est) = est else { continue };
         let cand = BlocksizeDse {
             blocksize: b,
             total_s: est.total_s,
@@ -112,8 +141,7 @@ pub fn blocksize_dse(model: &GpuModel, work: &KernelWork, pinned: bool) -> Block
             None => true,
             Some(cur) => {
                 est.total_s < cur.total_s - 1e-15
-                    || ((est.total_s - cur.total_s).abs() <= 1e-15
-                        && est.occupancy > cur.occupancy)
+                    || ((est.total_s - cur.total_s).abs() <= 1e-15 && est.occupancy > cur.occupancy)
             }
         };
         if better {
@@ -144,11 +172,31 @@ pub fn omp_threads_dse(model: &CpuModel, work: &KernelWork, max_threads: u32) ->
     candidates.sort_unstable();
     candidates.dedup();
 
-    let mut best = ThreadsDse { threads: 1, total_s: f64::INFINITY };
-    for t in candidates {
-        let total = model.time_openmp(work, t);
+    // Pure model: evaluate every thread count concurrently, pick the winner
+    // scanning in candidate order (strict `<` keeps the lowest-count tie
+    // winner, as sequentially).
+    let times: Vec<f64> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = candidates
+            .iter()
+            .map(|&t| s.spawn(move |_| model.time_openmp(work, t)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("CPU estimate does not panic"))
+            .collect()
+    })
+    .expect("thread sweep scope");
+
+    let mut best = ThreadsDse {
+        threads: 1,
+        total_s: f64::INFINITY,
+    };
+    for (&t, total) in candidates.iter().zip(times) {
         if total < best.total_s {
-            best = ThreadsDse { threads: t, total_s: total };
+            best = ThreadsDse {
+                threads: t,
+                total_s: total,
+            };
         }
     }
     best
@@ -184,7 +232,8 @@ mod tests {
         }
     }
 
-    const KNL: &str = "void knl(double* a, int n) { for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0; } }";
+    const KNL: &str =
+        "void knl(double* a, int n) { for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0; } }";
 
     #[test]
     fn unroll_dse_doubles_until_overmap_and_keeps_last_fit() {
@@ -198,7 +247,10 @@ mod tests {
         assert!(model.hls_report(&w.ops, w.fp64, dse.factor * 2).overmapped);
         // The winning pragma is left in the exported source.
         let out = psa_minicpp::print_module(&m);
-        assert!(out.contains(&format!("#pragma unroll {}", dse.factor)), "{out}");
+        assert!(
+            out.contains(&format!("#pragma unroll {}", dse.factor)),
+            "{out}"
+        );
     }
 
     #[test]
@@ -208,7 +260,12 @@ mod tests {
         let mut m2 = parse_module(KNL, "t").unwrap();
         let a10 = unroll_until_overmap(&mut m1, "knl", &FpgaModel::new(arria10()), &w).unwrap();
         let s10 = unroll_until_overmap(&mut m2, "knl", &FpgaModel::new(stratix10()), &w).unwrap();
-        assert!(s10.factor > a10.factor, "s10 {} vs a10 {}", s10.factor, a10.factor);
+        assert!(
+            s10.factor > a10.factor,
+            "s10 {} vs a10 {}",
+            s10.factor,
+            a10.factor
+        );
     }
 
     #[test]
@@ -216,7 +273,11 @@ mod tests {
         let mut m = parse_module(KNL, "t").unwrap();
         let w = KernelWork {
             fp64: true,
-            ops: OpCounts { transcendental: 120.0, fp_add: 200.0, ..Default::default() },
+            ops: OpCounts {
+                transcendental: 120.0,
+                fp_add: 200.0,
+                ..Default::default()
+            },
             ..flat_work()
         };
         let dse = unroll_until_overmap(&mut m, "knl", &FpgaModel::new(arria10()), &w).unwrap();
@@ -228,7 +289,10 @@ mod tests {
     #[test]
     fn unroll_dse_skips_shared_datapaths() {
         let mut m = parse_module(KNL, "t").unwrap();
-        let w = KernelWork { flat_pipeline: false, ..flat_work() };
+        let w = KernelWork {
+            flat_pipeline: false,
+            ..flat_work()
+        };
         let dse = unroll_until_overmap(&mut m, "knl", &FpgaModel::new(stratix10()), &w).unwrap();
         assert_eq!(dse.factor, 1);
     }
@@ -249,7 +313,10 @@ mod tests {
     #[test]
     fn blocksize_dse_avoids_unlaunchable_configs_for_fat_kernels() {
         let model = GpuModel::new(gtx_1080_ti());
-        let w = KernelWork { regs_per_thread: 255, ..flat_work() };
+        let w = KernelWork {
+            regs_per_thread: 255,
+            ..flat_work()
+        };
         let dse = blocksize_dse(&model, &w, true);
         // 255 regs × 512 threads exceeds the register file.
         assert!(dse.blocksize <= 256, "{dse:?}");
@@ -260,7 +327,10 @@ mod tests {
     fn devices_may_prefer_different_blocksizes() {
         // Not asserting they differ (model-dependent), but both must be
         // valid and deterministic.
-        let w = KernelWork { regs_per_thread: 128, ..flat_work() };
+        let w = KernelWork {
+            regs_per_thread: 128,
+            ..flat_work()
+        };
         let a = blocksize_dse(&GpuModel::new(gtx_1080_ti()), &w, true);
         let b = blocksize_dse(&GpuModel::new(gtx_1080_ti()), &w, true);
         assert_eq!(a, b, "deterministic");
@@ -277,7 +347,10 @@ mod tests {
     #[test]
     fn omp_dse_respects_limited_parallelism() {
         let model = CpuModel::new(epyc_7543());
-        let w = KernelWork { threads: 2.0, ..flat_work() };
+        let w = KernelWork {
+            threads: 2.0,
+            ..flat_work()
+        };
         let dse = omp_threads_dse(&model, &w, 64);
         assert!(dse.threads <= 4, "{dse:?}");
     }

@@ -6,6 +6,9 @@
 //! divergence… These branches lead to increasingly specialized designs,
 //! requiring decisions… facilitated by programmatic, customizable PSA at
 //! branch points." (§II-B)
+//!
+//! Execution lives in [`crate::engine::FlowEngine`]; [`Flow::execute`] runs
+//! on the default (parallel) engine.
 
 use crate::context::FlowContext;
 use crate::strategy::PsaStrategy;
@@ -15,20 +18,97 @@ use std::sync::Arc;
 
 /// An error that aborts a flow (not a *decision* — decisions are
 /// selections; errors are broken preconditions).
+///
+/// Every variant renders as `flow error: {message}`, so error text asserted
+/// against the old untyped `FlowError` keeps matching.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct FlowError {
-    pub message: String,
+pub enum FlowError {
+    /// Required context state is missing (no kernel extracted, analysis
+    /// not run, unparseable input, …).
+    Precondition { message: String },
+    /// A source transformation failed.
+    Transform { message: String },
+    /// An analysis failed.
+    Analysis { message: String },
+    /// Design generation failed.
+    Codegen { message: String },
+    /// A strategy selected a path index the branch point does not have.
+    Selection { branch: String, index: usize },
+    /// Cost/budget evaluation failed.
+    Budget { message: String },
 }
 
 impl FlowError {
+    /// Build an untyped error.
+    #[deprecated(note = "use a typed constructor: `FlowError::precondition`, \
+                         `::transform`, `::analysis`, `::codegen`, `::selection` or `::budget`")]
     pub fn new(message: impl Into<String>) -> Self {
-        FlowError { message: message.into() }
+        FlowError::Precondition {
+            message: message.into(),
+        }
+    }
+
+    /// Missing or inconsistent flow state.
+    pub fn precondition(message: impl Into<String>) -> Self {
+        FlowError::Precondition {
+            message: message.into(),
+        }
+    }
+
+    /// A failed source transformation.
+    pub fn transform(message: impl Into<String>) -> Self {
+        FlowError::Transform {
+            message: message.into(),
+        }
+    }
+
+    /// A failed analysis.
+    pub fn analysis(message: impl Into<String>) -> Self {
+        FlowError::Analysis {
+            message: message.into(),
+        }
+    }
+
+    /// A failed design generation.
+    pub fn codegen(message: impl Into<String>) -> Self {
+        FlowError::Codegen {
+            message: message.into(),
+        }
+    }
+
+    /// An out-of-range (or unresolvable) path selection at `branch`.
+    pub fn selection(branch: impl Into<String>, index: usize) -> Self {
+        FlowError::Selection {
+            branch: branch.into(),
+            index,
+        }
+    }
+
+    /// A failed cost/budget evaluation.
+    pub fn budget(message: impl Into<String>) -> Self {
+        FlowError::Budget {
+            message: message.into(),
+        }
+    }
+
+    /// The human-readable message (without the `flow error: ` prefix).
+    pub fn message(&self) -> String {
+        match self {
+            FlowError::Precondition { message }
+            | FlowError::Transform { message }
+            | FlowError::Analysis { message }
+            | FlowError::Codegen { message }
+            | FlowError::Budget { message } => message.clone(),
+            FlowError::Selection { branch, index } => {
+                format!("selection out of range: branch `{branch}` has no path {index}")
+            }
+        }
     }
 }
 
 impl fmt::Display for FlowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "flow error: {}", self.message)
+        write!(f, "flow error: {}", self.message())
     }
 }
 
@@ -36,25 +116,25 @@ impl std::error::Error for FlowError {}
 
 impl From<psa_artisan::transforms::TransformError> for FlowError {
     fn from(e: psa_artisan::transforms::TransformError) -> Self {
-        FlowError::new(e.to_string())
+        FlowError::transform(e.to_string())
     }
 }
 
 impl From<psa_artisan::edit::EditError> for FlowError {
     fn from(e: psa_artisan::edit::EditError) -> Self {
-        FlowError::new(e.to_string())
+        FlowError::transform(e.to_string())
     }
 }
 
 impl From<psa_analyses::AnalysisError> for FlowError {
     fn from(e: psa_analyses::AnalysisError) -> Self {
-        FlowError::new(e.to_string())
+        FlowError::analysis(e.to_string())
     }
 }
 
 impl From<psa_codegen::CodegenError> for FlowError {
     fn from(e: psa_codegen::CodegenError) -> Self {
-        FlowError::new(e.to_string())
+        FlowError::codegen(e.to_string())
     }
 }
 
@@ -96,98 +176,56 @@ pub struct Flow {
 impl Flow {
     /// An empty flow.
     pub fn new(name: impl Into<String>) -> Self {
-        Flow { name: name.into(), steps: Vec::new() }
+        Flow {
+            name: name.into(),
+            steps: Vec::new(),
+        }
     }
 
     /// Append a task (builder style).
-    pub fn task(mut self, task: impl Task + 'static) -> Self {
-        self.steps.push(Step::Task(Arc::new(task)));
+    pub fn task(self, task: impl Task + 'static) -> Self {
+        self.task_arc(Arc::new(task))
+    }
+
+    /// Append a pre-built shared task. Lets several flows (or several paths
+    /// of one flow) share a single task instance instead of constructing
+    /// duplicates.
+    pub fn task_arc(mut self, task: Arc<dyn Task>) -> Self {
+        self.steps.push(Step::Task(task));
         self
     }
 
     /// Append a branch point.
     pub fn branch(
-        mut self,
+        self,
         name: impl Into<String>,
         strategy: impl PsaStrategy + 'static,
+        paths: Vec<(String, Flow)>,
+    ) -> Self {
+        self.branch_arc(name, Arc::new(strategy), paths)
+    }
+
+    /// Append a branch point with a pre-built shared strategy.
+    pub fn branch_arc(
+        mut self,
+        name: impl Into<String>,
+        strategy: Arc<dyn PsaStrategy>,
         paths: Vec<(String, Flow)>,
     ) -> Self {
         self.steps.push(Step::Branch(BranchPoint {
             name: name.into(),
             paths,
-            strategy: Arc::new(strategy),
+            strategy,
         }));
         self
     }
 
-    /// Execute the flow against a context. Branch points clone the context
-    /// per selected path and merge the resulting designs and logs back.
+    /// Execute the flow against a context on the default engine (parallel
+    /// branch-path execution; see [`crate::engine::FlowEngine`]). Branch
+    /// points clone the context per selected path and merge the resulting
+    /// designs and trace back in path-index order.
     pub fn execute(&self, ctx: &mut FlowContext) -> Result<(), FlowError> {
-        for step in &self.steps {
-            match step {
-                Step::Task(task) => {
-                    let info = task.info();
-                    ctx.log(format!(
-                        "[{}] task `{}` ({}{})",
-                        self.name,
-                        info.name,
-                        info.class.code(),
-                        if info.dynamic { ", dynamic" } else { "" }
-                    ));
-                    task.run(ctx)?;
-                }
-                Step::Branch(bp) => {
-                    let selection = bp.strategy.select(bp, ctx)?;
-                    match selection {
-                        Selection::None => {
-                            ctx.log(format!(
-                                "[{}] branch `{}`: no path selected; flow terminates",
-                                self.name, bp.name
-                            ));
-                            return Ok(());
-                        }
-                        Selection::One(i) => {
-                            let (label, sub) = bp
-                                .paths
-                                .get(i)
-                                .ok_or_else(|| FlowError::new("selection out of range"))?;
-                            ctx.log(format!(
-                                "[{}] branch `{}`: selected path `{label}`",
-                                self.name, bp.name
-                            ));
-                            sub.execute(ctx)?;
-                        }
-                        Selection::Many(indices) => {
-                            let labels: Vec<&str> = indices
-                                .iter()
-                                .filter_map(|&i| bp.paths.get(i).map(|(l, _)| l.as_str()))
-                                .collect();
-                            ctx.log(format!(
-                                "[{}] branch `{}`: selected paths {labels:?}",
-                                self.name, bp.name
-                            ));
-                            for &i in &indices {
-                                let (_, sub) = bp
-                                    .paths
-                                    .get(i)
-                                    .ok_or_else(|| FlowError::new("selection out of range"))?;
-                                // Diverge: each path specialises its own
-                                // copy of the design state.
-                                let mut branch_ctx = ctx.clone();
-                                sub.execute(&mut branch_ctx)?;
-                                // Merge results back.
-                                ctx.designs = branch_ctx.designs;
-                                ctx.log = branch_ctx.log;
-                                // Note: AST/kernel state intentionally NOT
-                                // merged — sibling paths must not see each
-                                // other's specialisations.
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        Ok(())
+        crate::engine::FlowEngine::default().execute(self, ctx)
     }
 }
 
@@ -214,13 +252,20 @@ mod tests {
         fn name(&self) -> &str {
             "fixed"
         }
-        fn select(&self, _bp: &BranchPoint, _ctx: &mut FlowContext) -> Result<Selection, FlowError> {
+        fn select(
+            &self,
+            _bp: &BranchPoint,
+            _ctx: &mut FlowContext,
+        ) -> Result<Selection, FlowError> {
             Ok(self.0.clone())
         }
     }
 
     fn ctx() -> FlowContext {
-        FlowContext::new(Ast::from_source("int main() { return 0; }", "t").unwrap(), PsaParams::default())
+        FlowContext::new(
+            Ast::from_source("int main() { return 0; }", "t").unwrap(),
+            PsaParams::default(),
+        )
     }
 
     #[test]
@@ -228,7 +273,8 @@ mod tests {
         let flow = Flow::new("lin").task(Log("a")).task(Log("b"));
         let mut c = ctx();
         flow.execute(&mut c).unwrap();
-        let runs: Vec<&String> = c.log.iter().filter(|l| l.starts_with("ran ")).collect();
+        let lines = c.trace_lines();
+        let runs: Vec<&String> = lines.iter().filter(|l| l.starts_with("ran ")).collect();
         assert_eq!(runs, ["ran a", "ran b"]);
     }
 
@@ -244,8 +290,9 @@ mod tests {
         );
         let mut c = ctx();
         flow.execute(&mut c).unwrap();
-        assert!(c.log.iter().any(|l| l == "ran right"));
-        assert!(!c.log.iter().any(|l| l == "ran left"));
+        let lines = c.trace_lines();
+        assert!(lines.iter().any(|l| l == "ran right"));
+        assert!(!lines.iter().any(|l| l == "ran left"));
     }
 
     #[test]
@@ -260,20 +307,26 @@ mod tests {
         );
         let mut c = ctx();
         flow.execute(&mut c).unwrap();
-        assert!(c.log.iter().any(|l| l == "ran one"));
-        assert!(c.log.iter().any(|l| l == "ran two"));
+        let lines = c.trace_lines();
+        assert!(lines.iter().any(|l| l == "ran one"));
+        assert!(lines.iter().any(|l| l == "ran two"));
     }
 
     #[test]
     fn selection_none_terminates_the_flow() {
         let flow = Flow::new("f")
-            .branch("A", Fixed(Selection::None), vec![("p".into(), Flow::new("p").task(Log("x")))])
+            .branch(
+                "A",
+                Fixed(Selection::None),
+                vec![("p".into(), Flow::new("p").task(Log("x")))],
+            )
             .task(Log("after"));
         let mut c = ctx();
         flow.execute(&mut c).unwrap();
-        assert!(!c.log.iter().any(|l| l == "ran x"));
+        let lines = c.trace_lines();
+        assert!(!lines.iter().any(|l| l == "ran x"));
         assert!(
-            !c.log.iter().any(|l| l == "ran after"),
+            !lines.iter().any(|l| l == "ran after"),
             "termination skips the rest of the flow"
         );
     }
@@ -282,6 +335,38 @@ mod tests {
     fn out_of_range_selection_is_an_error() {
         let flow = Flow::new("f").branch("A", Fixed(Selection::One(7)), vec![]);
         let mut c = ctx();
-        assert!(flow.execute(&mut c).is_err());
+        let err = flow.execute(&mut c).unwrap_err();
+        assert_eq!(err, FlowError::selection("A", 7));
+        assert!(err.to_string().contains("selection out of range"), "{err}");
+    }
+
+    #[test]
+    fn shared_arc_tasks_appear_in_every_flow_that_uses_them() {
+        let shared: Arc<dyn Task> = Arc::new(Log("shared"));
+        let f1 = Flow::new("f1").task_arc(Arc::clone(&shared));
+        let f2 = Flow::new("f2").task_arc(Arc::clone(&shared));
+        // One instance, three owners (both flows + the local handle).
+        assert_eq!(Arc::strong_count(&shared), 3);
+        for f in [f1, f2] {
+            let mut c = ctx();
+            f.execute(&mut c).unwrap();
+            assert!(c.trace_lines().iter().any(|l| l == "ran shared"));
+        }
+    }
+
+    #[test]
+    fn error_display_keeps_the_legacy_prefix() {
+        assert_eq!(
+            FlowError::precondition("no kernel extracted yet").to_string(),
+            "flow error: no kernel extracted yet"
+        );
+        assert_eq!(
+            FlowError::transform("transform error: loop vanished").message(),
+            "transform error: loop vanished"
+        );
+        #[allow(deprecated)]
+        let shim = FlowError::new("legacy message");
+        assert_eq!(shim, FlowError::precondition("legacy message"));
+        assert_eq!(shim.to_string(), "flow error: legacy message");
     }
 }

@@ -4,11 +4,14 @@
 //! optimisation + DSE → design generation.
 
 use crate::context::{FlowContext, PsaParams};
+use crate::engine::FlowEngine;
 use crate::flow::{Flow, FlowError};
 use crate::report::{DeviceKind, FlowOutcome, TargetKind};
 use crate::strategy::{SelectAll, TargetSelect, PATH_CPU, PATH_FPGA, PATH_GPU};
+use crate::task::Task;
 use crate::tasks::{cpu, fpga, gpu, tindep};
 use psa_artisan::Ast;
+use std::sync::Arc;
 
 /// Informed (Fig. 3 strategy at branch point A) vs uninformed (all paths).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,10 +40,19 @@ fn gpu_device_path(device: DeviceKind) -> Flow {
         .task(gpu::GenerateHipDesign { device })
 }
 
-fn gpu_path() -> Flow {
+/// The SP transforms appear on both the GPU and the FPGA paths; one shared
+/// instance serves both (tasks are stateless `Send + Sync` objects).
+fn sp_transforms() -> (Arc<dyn Task>, Arc<dyn Task>) {
+    (
+        Arc::new(gpu::EmploySpMathFns),
+        Arc::new(gpu::EmploySpNumericLiterals),
+    )
+}
+
+fn gpu_path(sp_math: Arc<dyn Task>, sp_literals: Arc<dyn Task>) -> Flow {
     Flow::new("cpu+gpu")
-        .task(gpu::EmploySpMathFns)
-        .task(gpu::EmploySpNumericLiterals)
+        .task_arc(sp_math)
+        .task_arc(sp_literals)
         .task(gpu::EmploySpecialisedMathFns)
         .task(gpu::IntroduceSharedMemBuf)
         .task(gpu::EmployHipPinnedMemory)
@@ -63,17 +75,23 @@ fn fpga_device_path(device: DeviceKind, zero_copy: bool) -> Flow {
         .task(fpga::GenerateOneApiDesign { device })
 }
 
-fn fpga_path() -> Flow {
+fn fpga_path(sp_math: Arc<dyn Task>, sp_literals: Arc<dyn Task>) -> Flow {
     Flow::new("cpu+fpga")
         .task(fpga::UnrollFixedLoops)
-        .task(gpu::EmploySpMathFns)
-        .task(gpu::EmploySpNumericLiterals)
+        .task_arc(sp_math)
+        .task_arc(sp_literals)
         .branch(
             "C (FPGA device)",
             SelectAll,
             vec![
-                ("arria10".into(), fpga_device_path(DeviceKind::Arria10, false)),
-                ("stratix10".into(), fpga_device_path(DeviceKind::Stratix10, true)),
+                (
+                    "arria10".into(),
+                    fpga_device_path(DeviceKind::Arria10, false),
+                ),
+                (
+                    "stratix10".into(),
+                    fpga_device_path(DeviceKind::Stratix10, true),
+                ),
             ],
         )
 }
@@ -97,16 +115,22 @@ pub fn build_flow_with_strategy(
 ) -> Flow {
     let base = Flow::new("psa-flow")
         .task(tindep::IdentifyHotspotLoops)
-        .task(tindep::HotspotLoopExtraction { kernel_name: KERNEL_NAME.to_string() })
+        .task(tindep::HotspotLoopExtraction {
+            kernel_name: KERNEL_NAME.to_string(),
+        })
         .task(tindep::PointerAnalysis)
         .task(tindep::ArithmeticIntensityAnalysis)
         .task(tindep::DataInOutAnalysis)
         .task(tindep::LoopDependenceAnalysis)
         .task(tindep::LoopTripCountAnalysis)
         .task(tindep::RemoveArrayAccumulation);
+    let (sp_math, sp_literals) = sp_transforms();
     let paths = vec![
-        (PATH_GPU.to_string(), gpu_path()),
-        (PATH_FPGA.to_string(), fpga_path()),
+        (
+            PATH_GPU.to_string(),
+            gpu_path(Arc::clone(&sp_math), Arc::clone(&sp_literals)),
+        ),
+        (PATH_FPGA.to_string(), fpga_path(sp_math, sp_literals)),
         (PATH_CPU.to_string(), cpu_path()),
     ];
     base.branch(branch_name, strategy, paths)
@@ -119,31 +143,53 @@ pub fn full_psa_flow_with_strategy(
     strategy: impl crate::strategy::PsaStrategy + 'static,
     params: PsaParams,
 ) -> Result<FlowOutcome, FlowError> {
-    let ast = Ast::from_source(source, app_name)
-        .map_err(|e| FlowError::new(format!("parse error: {e}")))?;
-    let mut ctx = FlowContext::new(ast, params);
-    build_flow_with_strategy(strategy, "A (custom strategy)").execute(&mut ctx)?;
-    Ok(FlowOutcome {
-        app: app_name.to_string(),
-        reference_time_s: ctx.reference_time_s.unwrap_or(0.0),
-        designs: ctx.designs,
-        selected_target: ctx.selected_target,
-        log: ctx.log,
-    })
+    full_psa_flow_with_strategy_on(FlowEngine::default(), source, app_name, strategy, params)
 }
 
-/// Parse an application, run the full PSA-flow, and package the outcome.
+/// [`full_psa_flow_with_strategy`] on a caller-chosen engine.
+pub fn full_psa_flow_with_strategy_on(
+    engine: FlowEngine,
+    source: &str,
+    app_name: &str,
+    strategy: impl crate::strategy::PsaStrategy + 'static,
+    params: PsaParams,
+) -> Result<FlowOutcome, FlowError> {
+    let ast = Ast::from_source(source, app_name)
+        .map_err(|e| FlowError::precondition(format!("parse error: {e}")))?;
+    let mut ctx = FlowContext::new(ast, params);
+    engine.execute(
+        &build_flow_with_strategy(strategy, "A (custom strategy)"),
+        &mut ctx,
+    )?;
+    let selected_target = ctx.selected_target;
+    Ok(package_outcome(app_name, ctx, selected_target))
+}
+
+/// Parse an application, run the full PSA-flow on the default (parallel)
+/// engine, and package the outcome.
 pub fn full_psa_flow(
     source: &str,
     app_name: &str,
     mode: FlowMode,
     params: PsaParams,
 ) -> Result<FlowOutcome, FlowError> {
+    full_psa_flow_on(FlowEngine::default(), source, app_name, mode, params)
+}
+
+/// [`full_psa_flow`] on a caller-chosen engine
+/// ([`FlowEngine::sequential`] forces single-threaded execution).
+pub fn full_psa_flow_on(
+    engine: FlowEngine,
+    source: &str,
+    app_name: &str,
+    mode: FlowMode,
+    params: PsaParams,
+) -> Result<FlowOutcome, FlowError> {
     let ast = Ast::from_source(source, app_name)
-        .map_err(|e| FlowError::new(format!("parse error: {e}")))?;
+        .map_err(|e| FlowError::precondition(format!("parse error: {e}")))?;
     let mut ctx = FlowContext::new(ast, params);
     let flow = build_flow(mode);
-    flow.execute(&mut ctx)?;
+    engine.execute(&flow, &mut ctx)?;
 
     // The informed strategy records its decision (with evidence) in the
     // context at branch time — *before* target-specific transforms reshape
@@ -153,13 +199,22 @@ pub fn full_psa_flow(
         FlowMode::Informed => ctx.selected_target,
     };
 
-    Ok(FlowOutcome {
+    Ok(package_outcome(app_name, ctx, selected_target))
+}
+
+fn package_outcome(
+    app_name: &str,
+    ctx: FlowContext,
+    selected_target: Option<TargetKind>,
+) -> FlowOutcome {
+    FlowOutcome {
         app: app_name.to_string(),
         reference_time_s: ctx.reference_time_s.unwrap_or(0.0),
         designs: ctx.designs,
         selected_target,
-        log: ctx.log,
-    })
+        log: crate::trace::render_lines(&ctx.trace),
+        trace: ctx.trace,
+    }
 }
 
 /// Convenience: derive the selected target of an outcome's design set (the
@@ -187,7 +242,12 @@ mod tests {
         }";
         let outcome =
             full_psa_flow(src, "gpuapp", FlowMode::Informed, PsaParams::default()).unwrap();
-        assert_eq!(outcome.selected_target, Some(TargetKind::CpuGpu), "{:?}", outcome.log);
+        assert_eq!(
+            outcome.selected_target,
+            Some(TargetKind::CpuGpu),
+            "{:?}",
+            outcome.log
+        );
         assert_eq!(outcome.designs.len(), 2, "{:?}", outcome.log);
         let devices: Vec<DeviceKind> = outcome.designs.iter().map(|d| d.device).collect();
         assert!(devices.contains(&DeviceKind::Gtx1080Ti));
@@ -208,7 +268,12 @@ mod tests {
         }";
         let outcome =
             full_psa_flow(src, "memapp", FlowMode::Informed, PsaParams::default()).unwrap();
-        assert_eq!(outcome.selected_target, Some(TargetKind::MultiThreadCpu), "{:?}", outcome.log);
+        assert_eq!(
+            outcome.selected_target,
+            Some(TargetKind::MultiThreadCpu),
+            "{:?}",
+            outcome.log
+        );
         assert_eq!(outcome.designs.len(), 1);
         assert_eq!(outcome.designs[0].device, DeviceKind::Epyc7543);
     }

@@ -17,6 +17,11 @@
 //!   (Fig. 2), GPU blocksize DSE, OpenMP thread-count DSE;
 //! * [`flow`] — linear task sequences + [`flow::BranchPoint`]s with
 //!   pluggable [`strategy::PsaStrategy`] selectors;
+//! * [`engine`] — the [`engine::FlowEngine`] executor: parallel (default)
+//!   or sequential branch-path execution with identical outputs;
+//! * [`trace`] — the structured [`trace::TraceEvent`] tree the engine
+//!   records (task spans, branch decisions with evidence, DSE results),
+//!   with a renderer for the legacy human-readable lines and JSON export;
 //! * [`strategy`] — the Fig. 3 target-selection strategy (transfer-time vs
 //!   CPU-time, arithmetic-intensity threshold, parallel-outer and
 //!   fully-unrollable-inner tests, cost/budget feedback);
@@ -30,6 +35,7 @@
 
 pub mod context;
 pub mod dse;
+pub mod engine;
 pub mod flow;
 pub mod flows;
 pub mod related;
@@ -37,14 +43,17 @@ pub mod report;
 pub mod strategy;
 pub mod task;
 pub mod tasks;
+pub mod trace;
 pub mod work;
 
 pub use context::{FlowContext, PsaParams};
+pub use engine::{ExecMode, FlowEngine};
 pub use flow::{BranchPoint, Flow, FlowError, Selection, Step};
 pub use flows::{full_psa_flow, FlowMode};
 pub use report::{DesignArtifact, DeviceKind, FlowOutcome, TargetKind};
 pub use strategy::{PsaStrategy, TargetSelect};
 pub use task::{Task, TaskClass, TaskInfo};
+pub use trace::{DecisionEvidence, DseTrace, SelectionTrace, TraceEvent};
 
 #[cfg(test)]
 mod tests {

@@ -39,16 +39,86 @@ pub struct Approach {
 pub fn table2() -> Vec<Approach> {
     use Scope::*;
     vec![
-        Approach { name: "Cross-Platform Frameworks [1]-[3]", partition: false, map: false, optimise: false, multiple_targets: true, scope: FullApp },
-        Approach { name: "HeteroCL [10]", partition: false, map: false, optimise: true, multiple_targets: false, scope: Kernel },
-        Approach { name: "Halide [11]", partition: false, map: false, optimise: true, multiple_targets: false, scope: Kernel },
-        Approach { name: "Delite [12]", partition: false, map: false, optimise: true, multiple_targets: true, scope: FullApp },
-        Approach { name: "MLIR [13]", partition: false, map: false, optimise: true, multiple_targets: true, scope: FullApp },
-        Approach { name: "HLS DSE [14]-[16], [19]", partition: false, map: false, optimise: true, multiple_targets: false, scope: Kernel },
-        Approach { name: "StreamBlocks [20]", partition: true, map: false, optimise: false, multiple_targets: false, scope: FullApp },
-        Approach { name: "GenMat [21]", partition: false, map: true, optimise: true, multiple_targets: true, scope: Kernel },
-        Approach { name: "Design-Flow Patterns [5]", partition: true, map: false, optimise: true, multiple_targets: false, scope: FullApp },
-        Approach { name: "This Work", partition: true, map: true, optimise: true, multiple_targets: true, scope: FullApp },
+        Approach {
+            name: "Cross-Platform Frameworks [1]-[3]",
+            partition: false,
+            map: false,
+            optimise: false,
+            multiple_targets: true,
+            scope: FullApp,
+        },
+        Approach {
+            name: "HeteroCL [10]",
+            partition: false,
+            map: false,
+            optimise: true,
+            multiple_targets: false,
+            scope: Kernel,
+        },
+        Approach {
+            name: "Halide [11]",
+            partition: false,
+            map: false,
+            optimise: true,
+            multiple_targets: false,
+            scope: Kernel,
+        },
+        Approach {
+            name: "Delite [12]",
+            partition: false,
+            map: false,
+            optimise: true,
+            multiple_targets: true,
+            scope: FullApp,
+        },
+        Approach {
+            name: "MLIR [13]",
+            partition: false,
+            map: false,
+            optimise: true,
+            multiple_targets: true,
+            scope: FullApp,
+        },
+        Approach {
+            name: "HLS DSE [14]-[16], [19]",
+            partition: false,
+            map: false,
+            optimise: true,
+            multiple_targets: false,
+            scope: Kernel,
+        },
+        Approach {
+            name: "StreamBlocks [20]",
+            partition: true,
+            map: false,
+            optimise: false,
+            multiple_targets: false,
+            scope: FullApp,
+        },
+        Approach {
+            name: "GenMat [21]",
+            partition: false,
+            map: true,
+            optimise: true,
+            multiple_targets: true,
+            scope: Kernel,
+        },
+        Approach {
+            name: "Design-Flow Patterns [5]",
+            partition: true,
+            map: false,
+            optimise: true,
+            multiple_targets: false,
+            scope: FullApp,
+        },
+        Approach {
+            name: "This Work",
+            partition: true,
+            map: true,
+            optimise: true,
+            multiple_targets: true,
+            scope: FullApp,
+        },
     ]
 }
 

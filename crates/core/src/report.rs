@@ -1,5 +1,6 @@
 //! Flow outcomes: generated designs and their estimated performance.
 
+use crate::trace::TraceEvent;
 use serde::{Deserialize, Serialize};
 
 /// Target family (branch point A's alternatives).
@@ -108,8 +109,11 @@ pub struct FlowOutcome {
     /// The target family the informed strategy selected (None in
     /// uninformed mode or when the flow terminated without offloading).
     pub selected_target: Option<TargetKind>,
-    /// The flow's execution trace.
+    /// The flow's execution trace rendered as human-readable lines.
     pub log: Vec<String>,
+    /// The structured execution trace (task spans with durations, branch
+    /// decisions with evidence, DSE results). `log` is its rendering.
+    pub trace: Vec<TraceEvent>,
 }
 
 impl FlowOutcome {
@@ -130,7 +134,8 @@ impl FlowOutcome {
 
     /// Speedup of the best design vs the reference.
     pub fn auto_selected_speedup(&self) -> Option<f64> {
-        self.best_design().and_then(|d| d.speedup(self.reference_time_s))
+        self.best_design()
+            .and_then(|d| d.speedup(self.reference_time_s))
     }
 
     /// Look up a design by device.
@@ -168,6 +173,7 @@ mod tests {
             ],
             selected_target: Some(TargetKind::CpuGpu),
             log: vec![],
+            trace: vec![],
         };
         assert_eq!(outcome.best_design().unwrap().device, DeviceKind::Rtx2080Ti);
         assert!((outcome.auto_selected_speedup().unwrap() - 100.0).abs() < 1e-9);

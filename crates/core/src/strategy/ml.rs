@@ -87,7 +87,9 @@ impl KernelFeatures {
             outer_parallel: f64::from(u8::from(analysis.deps.outer_parallel())),
             has_inner_deps: f64::from(u8::from(!inner.is_empty())),
             inner_unrollable: f64::from(u8::from(
-                analysis.deps.inner_deps_fully_unrollable(ctx.params.full_unroll_limit),
+                analysis
+                    .deps
+                    .inner_deps_fully_unrollable(ctx.params.full_unroll_limit),
             )),
             gather_fraction: w.gather_fraction,
             reg_pressure: f64::from(w.regs_per_thread) / 255.0,
@@ -122,7 +124,12 @@ impl DecisionTree {
     pub fn classify(&self, f: &KernelFeatures) -> TargetKind {
         match self {
             DecisionTree::Leaf(t) => *t,
-            DecisionTree::Split { feature, threshold, low, high } => {
+            DecisionTree::Split {
+                feature,
+                threshold,
+                low,
+                high,
+            } => {
                 if f.as_array()[*feature] <= *threshold {
                     low.classify(f)
                 } else {
@@ -148,7 +155,12 @@ impl DecisionTree {
                 DecisionTree::Leaf(target) => {
                     out.push_str(&format!("{pad}→ {}\n", target.label()));
                 }
-                DecisionTree::Split { feature, threshold, low, high } => {
+                DecisionTree::Split {
+                    feature,
+                    threshold,
+                    low,
+                    high,
+                } => {
                     let name = KernelFeatures::names()[*feature];
                     out.push_str(&format!("{pad}if {name} <= {threshold:.3}:\n"));
                     go(low, depth + 1, out);
@@ -169,7 +181,11 @@ fn gini(examples: &[Example]) -> f64 {
     }
     let n = examples.len() as f64;
     let mut impurity = 1.0;
-    for target in [TargetKind::MultiThreadCpu, TargetKind::CpuGpu, TargetKind::CpuFpga] {
+    for target in [
+        TargetKind::MultiThreadCpu,
+        TargetKind::CpuGpu,
+        TargetKind::CpuFpga,
+    ] {
         let p = examples.iter().filter(|e| e.label == target).count() as f64 / n;
         impurity -= p * p;
     }
@@ -178,7 +194,11 @@ fn gini(examples: &[Example]) -> f64 {
 
 fn majority(examples: &[Example]) -> TargetKind {
     let mut best = (TargetKind::MultiThreadCpu, 0usize);
-    for target in [TargetKind::MultiThreadCpu, TargetKind::CpuGpu, TargetKind::CpuFpga] {
+    for target in [
+        TargetKind::MultiThreadCpu,
+        TargetKind::CpuGpu,
+        TargetKind::CpuFpga,
+    ] {
         let count = examples.iter().filter(|e| e.label == target).count();
         if count > best.1 {
             best = (target, count);
@@ -200,7 +220,10 @@ pub fn train(examples: &[Example], max_depth: usize) -> DecisionTree {
 
     let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, weighted gini)
     for feature in 0..FEATURE_COUNT {
-        let mut values: Vec<f64> = examples.iter().map(|e| e.features.as_array()[feature]).collect();
+        let mut values: Vec<f64> = examples
+            .iter()
+            .map(|e| e.features.as_array()[feature])
+            .collect();
         values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         values.dedup();
         for pair in values.windows(2) {
@@ -209,8 +232,7 @@ pub fn train(examples: &[Example], max_depth: usize) -> DecisionTree {
                 .iter()
                 .partition(|e| e.features.as_array()[feature] <= threshold);
             let n = examples.len() as f64;
-            let weighted =
-                gini(&low) * low.len() as f64 / n + gini(&high) * high.len() as f64 / n;
+            let weighted = gini(&low) * low.len() as f64 / n + gini(&high) * high.len() as f64 / n;
             if best.is_none_or(|(_, _, g)| weighted < g - 1e-12) {
                 best = Some((feature, threshold, weighted));
             }
@@ -241,7 +263,10 @@ pub fn accuracy(tree: &DecisionTree, examples: &[Example]) -> f64 {
     if examples.is_empty() {
         return 1.0;
     }
-    let hits = examples.iter().filter(|e| tree.classify(&e.features) == e.label).count();
+    let hits = examples
+        .iter()
+        .filter(|e| tree.classify(&e.features) == e.label)
+        .count();
     hits as f64 / examples.len() as f64
 }
 
@@ -281,7 +306,7 @@ impl PsaStrategy for MlTargetSelect {
             .paths
             .iter()
             .position(|(l, _)| l == label)
-            .ok_or_else(|| FlowError::new(format!("branch has no path `{label}`")))?;
+            .ok_or_else(|| FlowError::precondition(format!("branch has no path `{label}`")))?;
         Ok(Selection::One(idx))
     }
 }
@@ -308,11 +333,20 @@ mod tests {
         // without unrollable inner deps → GPU; with → FPGA.
         let mut out = Vec::new();
         for ai in [0.05, 0.1, 0.2, 0.3, 0.4] {
-            out.push(Example { features: feat(ai, 1.0, 0.0), label: TargetKind::MultiThreadCpu });
+            out.push(Example {
+                features: feat(ai, 1.0, 0.0),
+                label: TargetKind::MultiThreadCpu,
+            });
         }
         for ai in [0.8, 1.5, 3.0, 10.0] {
-            out.push(Example { features: feat(ai, 1.0, 0.0), label: TargetKind::CpuGpu });
-            out.push(Example { features: feat(ai, 1.0, 1.0), label: TargetKind::CpuFpga });
+            out.push(Example {
+                features: feat(ai, 1.0, 0.0),
+                label: TargetKind::CpuGpu,
+            });
+            out.push(Example {
+                features: feat(ai, 1.0, 1.0),
+                label: TargetKind::CpuFpga,
+            });
         }
         out
     }
@@ -323,7 +357,10 @@ mod tests {
         let tree = train(&data, 4);
         assert_eq!(accuracy(&tree, &data), 1.0, "{}", tree.render());
         // Held-out probes.
-        assert_eq!(tree.classify(&feat(0.15, 1.0, 0.0)), TargetKind::MultiThreadCpu);
+        assert_eq!(
+            tree.classify(&feat(0.15, 1.0, 0.0)),
+            TargetKind::MultiThreadCpu
+        );
         assert_eq!(tree.classify(&feat(5.0, 1.0, 0.0)), TargetKind::CpuGpu);
         assert_eq!(tree.classify(&feat(5.0, 1.0, 1.0)), TargetKind::CpuFpga);
     }
@@ -354,7 +391,10 @@ mod tests {
     fn render_names_features() {
         let tree = train(&toy_training_set(), 4);
         let text = tree.render();
-        assert!(text.contains("ai") || text.contains("inner_unrollable"), "{text}");
+        assert!(
+            text.contains("ai") || text.contains("inner_unrollable"),
+            "{text}"
+        );
         assert!(text.contains("CPU+GPU"), "{text}");
     }
 

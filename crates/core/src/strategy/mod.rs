@@ -9,6 +9,7 @@
 use crate::context::FlowContext;
 use crate::flow::{BranchPoint, FlowError, Selection};
 use crate::report::TargetKind;
+use crate::trace::DecisionEvidence;
 use crate::work::kernel_work;
 use psa_platform::{epyc_7543, rtx_2080_ti, stratix10, CpuModel, FpgaModel, GpuModel};
 
@@ -49,17 +50,28 @@ impl TargetSelect {
     /// The decision logic, separated for testability: returns the chosen
     /// target (or `None` = terminate) plus trace lines.
     pub fn decide(ctx: &FlowContext) -> Result<(Option<TargetKind>, Vec<String>), FlowError> {
+        let (target, log, _) = Self::decide_with_evidence(ctx)?;
+        Ok((target, log))
+    }
+
+    /// [`Self::decide`], additionally returning the measured quantities as
+    /// typed [`DecisionEvidence`] for the structured trace.
+    pub fn decide_with_evidence(
+        ctx: &FlowContext,
+    ) -> Result<(Option<TargetKind>, Vec<String>, DecisionEvidence), FlowError> {
         let mut log = Vec::new();
+        let mut ev = DecisionEvidence::default();
         let analysis = ctx.analysis()?;
 
         // Pointer analysis gate: aliasing pointer arguments veto every
         // parallelisation path.
+        ev.may_alias = Some(analysis.alias.may_alias);
         if analysis.alias.may_alias {
             log.push(format!(
                 "pointer analysis: arguments may alias ({} pair(s)); cannot parallelise — terminating",
                 analysis.alias.pairs.len()
             ));
-            return Ok((None, log));
+            return Ok((None, log, ev));
         }
 
         let w = kernel_work(ctx)?;
@@ -78,8 +90,13 @@ impl TargetSelect {
         log.push(format!(
             "offload test: T_data_transfer={t_transfer:.4e}s vs T_CPU={t_cpu:.4e}s; AI={ai:.3} FLOPs/B (X={x})"
         ));
+        ev.ai = Some(ai);
+        ev.ai_threshold = Some(x);
+        ev.t_transfer_s = Some(t_transfer);
+        ev.t_cpu_s = Some(t_cpu);
 
         let outer_parallel = analysis.deps.outer_parallel();
+        ev.outer_parallel = Some(outer_parallel);
         let worthwhile = t_transfer < t_cpu && ai > x;
         if !worthwhile {
             if t_transfer >= t_cpu {
@@ -90,23 +107,30 @@ impl TargetSelect {
             }
             return if outer_parallel {
                 log.push("outer hotspot loop is parallel → multi-thread CPU branch".into());
-                Ok((Some(TargetKind::MultiThreadCpu), log))
+                ev.chosen = Some(TargetKind::MultiThreadCpu.label().to_string());
+                Ok((Some(TargetKind::MultiThreadCpu), log, ev))
             } else {
                 log.push(
-                    "outer hotspot loop is not parallel → terminating without modification"
-                        .into(),
+                    "outer hotspot loop is not parallel → terminating without modification".into(),
                 );
-                Ok((None, log))
+                Ok((None, log, ev))
             };
         }
 
         // Offload: pick GPU or FPGA.
         let target = if outer_parallel {
             let inner = analysis.deps.inner_loops_with_deps();
+            ev.inner_dep_loops = Some(inner.len());
             if inner.is_empty() {
-                log.push("parallel outer loop, no dependence-carrying inner loops → CPU+GPU".into());
+                log.push(
+                    "parallel outer loop, no dependence-carrying inner loops → CPU+GPU".into(),
+                );
                 TargetKind::CpuGpu
-            } else if analysis.deps.inner_deps_fully_unrollable(ctx.params.full_unroll_limit) {
+            } else if analysis
+                .deps
+                .inner_deps_fully_unrollable(ctx.params.full_unroll_limit)
+            {
+                ev.inner_unrollable = Some(true);
                 log.push(format!(
                     "parallel outer loop; {} inner dep loop(s), all fixed-bound ≤ {} (fully unrollable) → CPU+FPGA",
                     inner.len(),
@@ -114,6 +138,7 @@ impl TargetSelect {
                 ));
                 TargetKind::CpuFpga
             } else {
+                ev.inner_unrollable = Some(false);
                 log.push(
                     "parallel outer loop; inner dep loops not fully unrollable → CPU+GPU".into(),
                 );
@@ -128,10 +153,12 @@ impl TargetSelect {
         if let Some(budget) = ctx.params.budget {
             let (chosen, cost_log) = Self::apply_budget(ctx, &w, target, budget)?;
             log.extend(cost_log);
-            return Ok((chosen, log));
+            ev.chosen = chosen.map(|t| t.label().to_string());
+            return Ok((chosen, log, ev));
         }
 
-        Ok((Some(target), log))
+        ev.chosen = Some(target.label().to_string());
+        Ok((Some(target), log, ev))
     }
 
     /// Estimate the per-run cost of each target and revise the selection if
@@ -181,11 +208,14 @@ impl TargetSelect {
         }
 
         // Revision: cheapest feasible target within budget.
-        let mut candidates: Vec<(TargetKind, f64)> =
-            [TargetKind::MultiThreadCpu, TargetKind::CpuGpu, TargetKind::CpuFpga]
-                .into_iter()
-                .filter_map(|t| cost_of(t).map(|c| (t, c)))
-                .collect();
+        let mut candidates: Vec<(TargetKind, f64)> = [
+            TargetKind::MultiThreadCpu,
+            TargetKind::CpuGpu,
+            TargetKind::CpuFpga,
+        ]
+        .into_iter()
+        .filter_map(|t| cost_of(t).map(|c| (t, c)))
+        .collect();
         candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         for (t, c) in candidates {
             if c <= budget {
@@ -204,12 +234,15 @@ impl PsaStrategy for TargetSelect {
     }
 
     fn select(&self, bp: &BranchPoint, ctx: &mut FlowContext) -> Result<Selection, FlowError> {
-        let (target, decision_log) = Self::decide(ctx)?;
+        let (target, decision_log, evidence) = Self::decide_with_evidence(ctx)?;
         for line in decision_log {
             ctx.log(format!("[PSA A] {line}"));
         }
+        ctx.record_decision(evidence);
         ctx.selected_target = target;
-        let Some(target) = target else { return Ok(Selection::None) };
+        let Some(target) = target else {
+            return Ok(Selection::None);
+        };
         let label = match target {
             TargetKind::MultiThreadCpu => PATH_CPU,
             TargetKind::CpuGpu => PATH_GPU,
@@ -219,7 +252,9 @@ impl PsaStrategy for TargetSelect {
             .paths
             .iter()
             .position(|(l, _)| l == label)
-            .ok_or_else(|| FlowError::new(format!("branch has no path labelled `{label}`")))?;
+            .ok_or_else(|| {
+                FlowError::precondition(format!("branch has no path labelled `{label}`"))
+            })?;
         Ok(Selection::One(idx))
     }
 }
@@ -318,7 +353,10 @@ mod tests {
         c.params.budget = Some(1e-30);
         let (t, log) = TargetSelect::decide(&c).unwrap();
         assert_eq!(t, None, "{log:?}");
-        assert!(log.iter().any(|l| l.contains("no target meets the budget")), "{log:?}");
+        assert!(
+            log.iter().any(|l| l.contains("no target meets the budget")),
+            "{log:?}"
+        );
         // Generous budget: selection unchanged.
         c.params.budget = Some(1e6);
         let (t, _) = TargetSelect::decide(&c).unwrap();
@@ -330,13 +368,13 @@ mod tests {
         use crate::flow::Flow;
         let bp = BranchPoint {
             name: "B".into(),
-            paths: vec![
-                ("a".into(), Flow::new("a")),
-                ("b".into(), Flow::new("b")),
-            ],
+            paths: vec![("a".into(), Flow::new("a")), ("b".into(), Flow::new("b"))],
             strategy: std::sync::Arc::new(SelectAll),
         };
         let mut c = ctx_for(COMPUTE_PAR, "knl");
-        assert_eq!(SelectAll.select(&bp, &mut c).unwrap(), Selection::Many(vec![0, 1]));
+        assert_eq!(
+            SelectAll.select(&bp, &mut c).unwrap(),
+            Selection::Many(vec![0, 1])
+        );
     }
 }

@@ -42,7 +42,11 @@ pub struct TaskInfo {
 
 impl TaskInfo {
     pub const fn new(name: &'static str, class: TaskClass, dynamic: bool) -> Self {
-        TaskInfo { name, class, dynamic }
+        TaskInfo {
+            name,
+            class,
+            dynamic,
+        }
     }
 }
 

@@ -7,6 +7,7 @@ use crate::dse::omp_threads_dse;
 use crate::flow::FlowError;
 use crate::report::{DesignArtifact, DeviceKind, TargetKind};
 use crate::task::{Task, TaskClass, TaskInfo};
+use crate::trace::{DseTrace, TraceEvent};
 use crate::work::kernel_work;
 use psa_artisan::{edit, query};
 use psa_platform::{epyc_7543, CpuModel};
@@ -29,16 +30,16 @@ impl Task for MultiThreadParallelLoops {
             .loops
             .iter()
             .find(|l| l.depth == 0)
-            .ok_or_else(|| FlowError::new("kernel has no outer loop"))?;
+            .ok_or_else(|| FlowError::precondition("kernel has no outer loop"))?;
         if !outer.parallel {
-            return Err(FlowError::new(
+            return Err(FlowError::precondition(
                 "outer loop carries dependences; refusing to parallelise",
             ));
         }
         let matches = query::loops(&ctx.ast.module, |l| l.function == kernel && l.is_outermost);
         let stmt = matches
             .first()
-            .ok_or_else(|| FlowError::new("outer loop not found"))?
+            .ok_or_else(|| FlowError::transform("outer loop not found"))?
             .stmt_id;
         edit::add_pragma(&mut ctx.ast.module, stmt, "omp parallel for")?;
         ctx.log("annotated kernel outer loop with `#pragma omp parallel for`".to_string());
@@ -60,10 +61,10 @@ impl Task for OmpNumThreadsDse {
         let model = CpuModel::new(epyc_7543());
         let dse = omp_threads_dse(&model, &w, ctx.params.omp_max_threads);
         ctx.tuned.threads = Some(dse.threads);
-        ctx.log(format!(
-            "OMP threads DSE: {} threads, estimated {:.3e}s",
-            dse.threads, dse.total_s
-        ));
+        ctx.push_event(TraceEvent::Dse(DseTrace::OmpThreads {
+            threads: dse.threads,
+            est_s: dse.total_s,
+        }));
         Ok(())
     }
 }
@@ -99,7 +100,9 @@ impl Task for GenerateOpenMpDesign {
             params: ctx.tuned,
             notes: vec![format!("OpenMP, {threads} threads")],
         });
-        ctx.log(format!("generated OpenMP design ({loc} LOC, est. {time:.3e}s)"));
+        ctx.log(format!(
+            "generated OpenMP design ({loc} LOC, est. {time:.3e}s)"
+        ));
         Ok(())
     }
 }
@@ -125,7 +128,11 @@ mod tests {
         let ast = Ast::from_source(APP, "t").unwrap();
         let mut ctx = FlowContext::new(ast, PsaParams::default());
         IdentifyHotspotLoops.run(&mut ctx).unwrap();
-        HotspotLoopExtraction { kernel_name: "knl".into() }.run(&mut ctx).unwrap();
+        HotspotLoopExtraction {
+            kernel_name: "knl".into(),
+        }
+        .run(&mut ctx)
+        .unwrap();
         ensure_analysis(&mut ctx).unwrap();
         ctx
     }
@@ -136,7 +143,11 @@ mod tests {
         MultiThreadParallelLoops.run(&mut ctx).unwrap();
         assert!(ctx.ast.export().contains("#pragma omp parallel for"));
         OmpNumThreadsDse.run(&mut ctx).unwrap();
-        assert_eq!(ctx.tuned.threads, Some(32), "compute-parallel work uses every core");
+        assert_eq!(
+            ctx.tuned.threads,
+            Some(32),
+            "compute-parallel work uses every core"
+        );
         GenerateOpenMpDesign.run(&mut ctx).unwrap();
         let d = &ctx.designs[0];
         assert_eq!(d.device, DeviceKind::Epyc7543);
@@ -157,7 +168,11 @@ mod tests {
         let ast = Ast::from_source(src, "t").unwrap();
         let mut ctx = FlowContext::new(ast, PsaParams::default());
         IdentifyHotspotLoops.run(&mut ctx).unwrap();
-        HotspotLoopExtraction { kernel_name: "knl".into() }.run(&mut ctx).unwrap();
+        HotspotLoopExtraction {
+            kernel_name: "knl".into(),
+        }
+        .run(&mut ctx)
+        .unwrap();
         let err = MultiThreadParallelLoops.run(&mut ctx).unwrap_err();
         assert!(err.to_string().contains("refusing to parallelise"));
     }

@@ -6,9 +6,10 @@ use crate::dse::unroll_until_overmap;
 use crate::flow::FlowError;
 use crate::report::{DesignArtifact, DeviceKind, TargetKind};
 use crate::task::{Task, TaskClass, TaskInfo};
+use crate::trace::{DseTrace, TraceEvent};
 use crate::work::kernel_work;
-use psa_artisan::{edit, query};
 use psa_artisan::transforms::unroll::fully_unroll;
+use psa_artisan::{edit, query};
 use psa_platform::{arria10, stratix10, FpgaModel, FpgaSpec};
 
 /// "Unroll Fixed Loops" (T): mark every fixed-bound inner loop with a full
@@ -35,7 +36,7 @@ impl Task for UnrollFixedLoops {
         for c in &candidates {
             // Idempotent: skip loops already carrying an unroll pragma.
             let stmt = query::find_stmt(&ctx.ast.module, c.stmt_id)
-                .ok_or_else(|| FlowError::new("loop vanished"))?;
+                .ok_or_else(|| FlowError::transform("loop vanished"))?;
             if stmt.pragmas.iter().any(|p| p.head() == "unroll") {
                 continue;
             }
@@ -43,7 +44,9 @@ impl Task for UnrollFixedLoops {
             total += 1;
         }
         if total > 0 {
-            ctx.log(format!("marked {total} fixed-bound inner loop(s) with #pragma unroll"));
+            ctx.log(format!(
+                "marked {total} fixed-bound inner loop(s) with #pragma unroll"
+            ));
         } else {
             ctx.log("no fixed-bound inner loops to unroll".to_string());
         }
@@ -73,12 +76,16 @@ impl Task for UnrollFixedLoopsFlatten {
                     && l.is_innermost
                     && l.static_trip_count.is_some_and(|t| t <= limit)
             });
-            let Some(target) = candidates.first() else { break };
+            let Some(target) = candidates.first() else {
+                break;
+            };
             let trips = fully_unroll(&mut ctx.ast.module, target.stmt_id)?;
             total += trips;
         }
         if total > 0 {
-            ctx.log(format!("unrolled fixed inner loops ({total} iterations flattened)"));
+            ctx.log(format!(
+                "unrolled fixed inner loops ({total} iterations flattened)"
+            ));
             reanalyze(ctx)?;
         } else {
             ctx.log("no fixed-bound inner loops to unroll".to_string());
@@ -106,7 +113,10 @@ fn spec_for(device: DeviceKind) -> Result<FpgaSpec, FlowError> {
     match device {
         DeviceKind::Arria10 => Ok(arria10()),
         DeviceKind::Stratix10 => Ok(stratix10()),
-        other => Err(FlowError::new(format!("{} is not an FPGA", other.label()))),
+        other => Err(FlowError::precondition(format!(
+            "{} is not an FPGA",
+            other.label()
+        ))),
     }
 }
 
@@ -132,19 +142,21 @@ impl Task for UnrollUntilOvermapDse {
                 self.device.label(),
                 dse.report.lut_util * 100.0
             );
-            ctx.log(format!("unroll DSE: {reason}"));
+            ctx.push_event(TraceEvent::Dse(DseTrace::UnrollOvermapped {
+                device: self.device.label().to_string(),
+                lut_util: dse.report.lut_util,
+            }));
             ctx.fpga_unsynthesizable = Some(reason);
             return Ok(());
         }
         ctx.tuned.unroll = Some(dse.factor);
         ctx.tuned.lut_util = Some(dse.report.lut_util);
-        ctx.log(format!(
-            "unroll DSE on {}: factor {} (LUT {:.0}%, {} partial compiles)",
-            self.device.label(),
-            dse.factor,
-            dse.report.lut_util * 100.0,
-            dse.iterations
-        ));
+        ctx.push_event(TraceEvent::Dse(DseTrace::Unroll {
+            device: self.device.label().to_string(),
+            factor: dse.factor,
+            lut_util: dse.report.lut_util,
+            iterations: dse.iterations,
+        }));
         Ok(())
     }
 }
@@ -204,7 +216,11 @@ impl Task for GenerateOneApiDesign {
         ctx.log(format!(
             "generated oneAPI design for {} ({loc} LOC{})",
             self.device.label(),
-            if synthesizable { "" } else { ", NOT synthesizable" }
+            if synthesizable {
+                ""
+            } else {
+                ", NOT synthesizable"
+            }
         ));
         Ok(())
     }
@@ -240,7 +256,11 @@ mod tests {
         let ast = Ast::from_source(APP, "t").unwrap();
         let mut ctx = FlowContext::new(ast, PsaParams::default());
         IdentifyHotspotLoops.run(&mut ctx).unwrap();
-        HotspotLoopExtraction { kernel_name: "knl".into() }.run(&mut ctx).unwrap();
+        HotspotLoopExtraction {
+            kernel_name: "knl".into(),
+        }
+        .run(&mut ctx)
+        .unwrap();
         ensure_analysis(&mut ctx).unwrap();
         ctx
     }
@@ -258,10 +278,8 @@ mod tests {
         let w = kernel_work(&ctx).unwrap();
         assert!(w.flat_pipeline);
         // Still executable.
-        let mut interp = psa_interp::Interpreter::new(
-            &ctx.ast.module,
-            psa_interp::RunConfig::default(),
-        );
+        let mut interp =
+            psa_interp::Interpreter::new(&ctx.ast.module, psa_interp::RunConfig::default());
         interp.run_main().unwrap();
     }
 
@@ -271,10 +289,8 @@ mod tests {
         UnrollFixedLoopsFlatten.run(&mut ctx).unwrap();
         let loops = query::loops(&ctx.ast.module, |l| l.function == "knl");
         assert_eq!(loops.len(), 1, "only the outer loop remains");
-        let mut interp = psa_interp::Interpreter::new(
-            &ctx.ast.module,
-            psa_interp::RunConfig::default(),
-        );
+        let mut interp =
+            psa_interp::Interpreter::new(&ctx.ast.module, psa_interp::RunConfig::default());
         interp.run_main().unwrap();
         let w = kernel_work(&ctx).unwrap();
         assert!(w.flat_pipeline);
@@ -289,13 +305,29 @@ mod tests {
 
         // A10 path.
         let mut a10 = ctx.clone();
-        UnrollUntilOvermapDse { device: DeviceKind::Arria10 }.run(&mut a10).unwrap();
-        GenerateOneApiDesign { device: DeviceKind::Arria10 }.run(&mut a10).unwrap();
+        UnrollUntilOvermapDse {
+            device: DeviceKind::Arria10,
+        }
+        .run(&mut a10)
+        .unwrap();
+        GenerateOneApiDesign {
+            device: DeviceKind::Arria10,
+        }
+        .run(&mut a10)
+        .unwrap();
         // S10 path with zero copy.
         let mut s10 = ctx.clone();
         ZeroCopyDataTransfer.run(&mut s10).unwrap();
-        UnrollUntilOvermapDse { device: DeviceKind::Stratix10 }.run(&mut s10).unwrap();
-        GenerateOneApiDesign { device: DeviceKind::Stratix10 }.run(&mut s10).unwrap();
+        UnrollUntilOvermapDse {
+            device: DeviceKind::Stratix10,
+        }
+        .run(&mut s10)
+        .unwrap();
+        GenerateOneApiDesign {
+            device: DeviceKind::Stratix10,
+        }
+        .run(&mut s10)
+        .unwrap();
 
         let da = &a10.designs[0];
         let ds = &s10.designs[0];
@@ -321,13 +353,31 @@ mod tests {
              for (int i = 0; i < n; i++) {{ {body} }} sink(s[0]); return 0; }}"
         );
         let ast = Ast::from_source(&src, "t").unwrap();
-        let mut ctx = FlowContext::new(ast, PsaParams { sp_safe: false, ..Default::default() });
+        let mut ctx = FlowContext::new(
+            ast,
+            PsaParams {
+                sp_safe: false,
+                ..Default::default()
+            },
+        );
         IdentifyHotspotLoops.run(&mut ctx).unwrap();
-        HotspotLoopExtraction { kernel_name: "knl".into() }.run(&mut ctx).unwrap();
+        HotspotLoopExtraction {
+            kernel_name: "knl".into(),
+        }
+        .run(&mut ctx)
+        .unwrap();
         UnrollFixedLoops.run(&mut ctx).unwrap();
-        UnrollUntilOvermapDse { device: DeviceKind::Arria10 }.run(&mut ctx).unwrap();
+        UnrollUntilOvermapDse {
+            device: DeviceKind::Arria10,
+        }
+        .run(&mut ctx)
+        .unwrap();
         assert!(ctx.fpga_unsynthesizable.is_some());
-        GenerateOneApiDesign { device: DeviceKind::Arria10 }.run(&mut ctx).unwrap();
+        GenerateOneApiDesign {
+            device: DeviceKind::Arria10,
+        }
+        .run(&mut ctx)
+        .unwrap();
         let d = &ctx.designs[0];
         assert!(!d.synthesizable);
         assert!(d.estimated_time_s.is_none());

@@ -6,6 +6,7 @@ use crate::dse::blocksize_dse;
 use crate::flow::FlowError;
 use crate::report::{DesignArtifact, DeviceKind, TargetKind};
 use crate::task::{Task, TaskClass, TaskInfo};
+use crate::trace::{DseTrace, TraceEvent};
 use crate::work::kernel_work;
 use psa_artisan::query;
 use psa_artisan::transforms::{mathopt, precision};
@@ -85,7 +86,7 @@ impl Task for IntroduceSharedMemBuf {
         let kernel = ctx.kernel_name()?.to_string();
         let module = &ctx.ast.module;
         let Some(func) = module.function(&kernel) else {
-            return Err(FlowError::new("kernel missing"));
+            return Err(FlowError::precondition("kernel missing"));
         };
         let ptr_params: Vec<String> = func
             .params
@@ -97,7 +98,9 @@ impl Task for IntroduceSharedMemBuf {
         // Find inner runtime-bound loops and the arrays read at [inner_var].
         let mut candidates: Vec<String> = Vec::new();
         for m in query::loops(module, |l| l.function == kernel && l.depth > 0) {
-            let Some(l) = query::find_loop(module, m.id) else { continue };
+            let Some(l) = query::find_loop(module, m.id) else {
+                continue;
+            };
             if l.static_trip_count().is_some() {
                 continue;
             }
@@ -114,7 +117,9 @@ impl Task for IntroduceSharedMemBuf {
         if !candidates.is_empty() {
             let analysis = ctx.analysis()?;
             for m in query::loops(&ctx.ast.module, |l| l.function == kernel && l.depth > 0) {
-                let Some(l) = query::find_loop(&ctx.ast.module, m.id) else { continue };
+                let Some(l) = query::find_loop(&ctx.ast.module, m.id) else {
+                    continue;
+                };
                 if l.static_trip_count().is_some() {
                     continue;
                 }
@@ -193,10 +198,19 @@ fn collect_var_indexed_reads(
     for stmt in &block.stmts {
         match &stmt.kind {
             StmtKind::Assign { value, .. } => {
-                Reads { var, ptr_params, out }.visit_expr(value);
+                Reads {
+                    var,
+                    ptr_params,
+                    out,
+                }
+                .visit_expr(value);
             }
             _ => {
-                let mut r = Reads { var, ptr_params, out };
+                let mut r = Reads {
+                    var,
+                    ptr_params,
+                    out,
+                };
                 psa_minicpp::visit::walk_stmt(&mut r, stmt);
             }
         }
@@ -222,7 +236,10 @@ fn spec_for(device: DeviceKind) -> Result<GpuSpec, FlowError> {
     match device {
         DeviceKind::Gtx1080Ti => Ok(gtx_1080_ti()),
         DeviceKind::Rtx2080Ti => Ok(rtx_2080_ti()),
-        other => Err(FlowError::new(format!("{} is not a GPU", other.label()))),
+        other => Err(FlowError::precondition(format!(
+            "{} is not a GPU",
+            other.label()
+        ))),
     }
 }
 
@@ -247,14 +264,13 @@ impl Task for BlocksizeDseTask {
         let dse = blocksize_dse(&model, &w, pinned);
         ctx.tuned.blocksize = Some(dse.blocksize);
         ctx.tuned.occupancy = Some(dse.occupancy);
-        ctx.log(format!(
-            "blocksize DSE on {}: {} threads/block (occupancy {:.2}, est. {:.3e}s, {} configs)",
-            self.device.label(),
-            dse.blocksize,
-            dse.occupancy,
-            dse.total_s,
-            dse.evaluated
-        ));
+        ctx.push_event(TraceEvent::Dse(DseTrace::Blocksize {
+            device: self.device.label().to_string(),
+            blocksize: dse.blocksize,
+            occupancy: dse.occupancy,
+            est_s: dse.total_s,
+            evaluated: dse.evaluated,
+        }));
         Ok(())
     }
 }
@@ -292,7 +308,11 @@ impl Task for GenerateHipDesign {
                 vec![format!(
                     "HIP blocksize {blocksize}, occupancy {:.2}{}",
                     e.occupancy,
-                    if e.regs_limited { " (register-limited)" } else { "" }
+                    if e.regs_limited {
+                        " (register-limited)"
+                    } else {
+                        ""
+                    }
                 )],
             ),
             None => (None, vec!["launch configuration infeasible".to_string()]),
@@ -343,7 +363,11 @@ mod tests {
         let ast = Ast::from_source(APP, "t").unwrap();
         let mut ctx = FlowContext::new(ast, PsaParams::default());
         IdentifyHotspotLoops.run(&mut ctx).unwrap();
-        HotspotLoopExtraction { kernel_name: "knl".into() }.run(&mut ctx).unwrap();
+        HotspotLoopExtraction {
+            kernel_name: "knl".into(),
+        }
+        .run(&mut ctx)
+        .unwrap();
         ensure_analysis(&mut ctx).unwrap();
         ctx
     }
@@ -364,7 +388,10 @@ mod tests {
         for d in &ctx.designs {
             assert!(d.synthesizable);
             assert!(d.source.contains("__global__"));
-            assert!(d.source.contains("hipHostRegister"), "pinned memory emitted");
+            assert!(
+                d.source.contains("hipHostRegister"),
+                "pinned memory emitted"
+            );
         }
     }
 

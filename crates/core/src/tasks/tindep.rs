@@ -19,7 +19,9 @@ impl Task for IdentifyHotspotLoops {
     fn run(&self, ctx: &mut FlowContext) -> Result<(), FlowError> {
         let report = psa_analyses::hotspot::detect_hotspots(&ctx.ast.module)?;
         let Some(hottest) = report.hottest() else {
-            return Err(FlowError::new("application contains no candidate loops"));
+            return Err(FlowError::precondition(
+                "application contains no candidate loops",
+            ));
         };
         ctx.log(format!(
             "hotspot: loop over `{}` in `{}` takes {:.1}% of execution ({} candidates timed)",
@@ -49,10 +51,10 @@ impl Task for HotspotLoopExtraction {
         let report = ctx
             .hotspot
             .as_ref()
-            .ok_or_else(|| FlowError::new("hotspot detection has not run"))?;
+            .ok_or_else(|| FlowError::precondition("hotspot detection has not run"))?;
         let hottest = report
             .hottest()
-            .ok_or_else(|| FlowError::new("no hotspot to extract"))?;
+            .ok_or_else(|| FlowError::precondition("no hotspot to extract"))?;
         let stmt_id = hottest.stmt_id;
         let extracted = psa_artisan::transforms::extract::extract_kernel(
             &mut ctx.ast.module,
@@ -87,7 +89,10 @@ impl Task for PointerAnalysis {
         ensure_analysis(ctx)?;
         let alias = ctx.analysis()?.alias.clone();
         ctx.log(if alias.may_alias {
-            format!("pointer analysis: {} aliasing pair(s) observed", alias.pairs.len())
+            format!(
+                "pointer analysis: {} aliasing pair(s) observed",
+                alias.pairs.len()
+            )
         } else {
             format!(
                 "pointer analysis: no aliasing across {} kernel call(s)",
@@ -113,7 +118,11 @@ impl Task for ArithmeticIntensityAnalysis {
         let x = ctx.params.ai_threshold;
         ctx.log(format!(
             "arithmetic intensity: {ai:.3} FLOPs/B static ({dynamic:.3} dynamic) — {}",
-            if ai < x { "memory-bound" } else { "compute-bound" }
+            if ai < x {
+                "memory-bound"
+            } else {
+                "compute-bound"
+            }
         ));
         Ok(())
     }
@@ -154,9 +163,17 @@ impl Task for LoopDependenceAnalysis {
         let deps = &ctx.analysis()?.deps;
         let line = format!(
             "dependence: outer {}; {} inner dep loop(s){}",
-            if deps.outer_parallel() { "parallel" } else { "NOT parallel" },
+            if deps.outer_parallel() {
+                "parallel"
+            } else {
+                "NOT parallel"
+            },
             deps.inner_loops_with_deps().len(),
-            if deps.inner_deps_fully_unrollable(64) { " (fully unrollable)" } else { "" }
+            if deps.inner_deps_fully_unrollable(64) {
+                " (fully unrollable)"
+            } else {
+                ""
+            }
         );
         ctx.log(line);
         Ok(())
@@ -201,7 +218,9 @@ impl Task for RemoveArrayAccumulation {
             total += remove_array_accumulation(&mut ctx.ast.module, m.stmt_id)?;
         }
         if total > 0 {
-            ctx.log(format!("reduction rewrite: hoisted {total} array accumulation(s)"));
+            ctx.log(format!(
+                "reduction rewrite: hoisted {total} array accumulation(s)"
+            ));
             reanalyze(ctx)?;
         } else {
             ctx.log("reduction rewrite: no eligible array accumulations".to_string());
@@ -234,7 +253,11 @@ mod tests {
         let ast = Ast::from_source(APP, "t").unwrap();
         let mut ctx = FlowContext::new(ast, PsaParams::default());
         IdentifyHotspotLoops.run(&mut ctx).unwrap();
-        HotspotLoopExtraction { kernel_name: "hotspot_0".into() }.run(&mut ctx).unwrap();
+        HotspotLoopExtraction {
+            kernel_name: "hotspot_0".into(),
+        }
+        .run(&mut ctx)
+        .unwrap();
         PointerAnalysis.run(&mut ctx).unwrap();
         ArithmeticIntensityAnalysis.run(&mut ctx).unwrap();
         DataInOutAnalysis.run(&mut ctx).unwrap();
@@ -249,9 +272,12 @@ mod tests {
         assert_eq!(ctx.kernel.as_deref(), Some("hotspot_0"));
         assert!(ctx.analysis.is_some());
         assert!(ctx.reference_time_s.unwrap() > 0.0);
-        assert!(ctx.log.iter().any(|l| l.contains("hotspot")));
-        assert!(ctx.log.iter().any(|l| l.contains("arithmetic intensity")));
-        assert!(ctx.log.iter().any(|l| l.contains("trip counts")));
+        assert!(ctx.trace_lines().iter().any(|l| l.contains("hotspot")));
+        assert!(ctx
+            .trace_lines()
+            .iter()
+            .any(|l| l.contains("arithmetic intensity")));
+        assert!(ctx.trace_lines().iter().any(|l| l.contains("trip counts")));
     }
 
     #[test]
@@ -263,17 +289,18 @@ mod tests {
         let inner_before = before.loops.iter().find(|l| l.depth == 1).unwrap();
         assert!(!inner_before.parallel);
         RemoveArrayAccumulation.run(&mut ctx).unwrap();
-        assert!(ctx.log.iter().any(|l| l.contains("hoisted 1")));
+        assert!(ctx.trace_lines().iter().any(|l| l.contains("hoisted 1")));
         // After: the accumulation goes through a scalar; the array write
         // moved out of the inner loop.
         let after = &ctx.analysis.as_ref().unwrap().deps;
         let inner_after = after.loops.iter().find(|l| l.depth == 1).unwrap();
-        assert!(inner_after.reduction_only || inner_after.parallel, "{inner_after:?}");
-        // Program still computes the same thing (kernel remains runnable).
-        let mut interp = psa_interp::Interpreter::new(
-            &ctx.ast.module,
-            psa_interp::RunConfig::default(),
+        assert!(
+            inner_after.reduction_only || inner_after.parallel,
+            "{inner_after:?}"
         );
+        // Program still computes the same thing (kernel remains runnable).
+        let mut interp =
+            psa_interp::Interpreter::new(&ctx.ast.module, psa_interp::RunConfig::default());
         interp.run_main().unwrap();
     }
 
@@ -281,7 +308,11 @@ mod tests {
     fn extraction_without_detection_errors() {
         let ast = Ast::from_source(APP, "t").unwrap();
         let mut ctx = FlowContext::new(ast, PsaParams::default());
-        let err = HotspotLoopExtraction { kernel_name: "k".into() }.run(&mut ctx).unwrap_err();
+        let err = HotspotLoopExtraction {
+            kernel_name: "k".into(),
+        }
+        .run(&mut ctx)
+        .unwrap_err();
         assert!(err.to_string().contains("hotspot detection"));
     }
 

@@ -18,10 +18,11 @@ pub fn kernel_work(ctx: &FlowContext) -> Result<KernelWork, FlowError> {
     let analysis = ctx.analysis()?;
     let module = &ctx.ast.module;
 
-    let ops = resources::op_counts(module, &kernel)
-        .ok_or_else(|| FlowError::new(format!("kernel `{kernel}` missing for op counts")))?;
+    let ops = resources::op_counts(module, &kernel).ok_or_else(|| {
+        FlowError::precondition(format!("kernel `{kernel}` missing for op counts"))
+    })?;
     let regs = resources::estimate_registers(module, &kernel)
-        .ok_or_else(|| FlowError::new("register estimation failed"))?;
+        .ok_or_else(|| FlowError::analysis("register estimation failed"))?;
     let fp64 = resources::kernel_uses_fp64(module, &kernel);
     let gather = resources::gather_fraction(module, &kernel);
 
@@ -56,7 +57,9 @@ pub fn kernel_work(ctx: &FlowContext) -> Result<KernelWork, FlowError> {
     // loop is fully unrollable (vacuously true when none remain).
     let inner_deps = analysis.deps.inner_loops_with_deps();
     let flat_pipeline = inner_deps.is_empty()
-        || analysis.deps.inner_deps_fully_unrollable(ctx.params.full_unroll_limit);
+        || analysis
+            .deps
+            .inner_deps_fully_unrollable(ctx.params.full_unroll_limit);
 
     let base = KernelWork {
         flops_fma: total_flops * (1.0 - sfu_frac),
@@ -115,13 +118,21 @@ mod tests {
         assert_eq!(w.pipeline_iters, 32.0);
         assert!(w.fp64);
         assert!(w.flat_pipeline, "elementwise kernel has no inner dep loops");
-        assert!(w.sfu_fraction() > 0.3, "exp-heavy kernel: {}", w.sfu_fraction());
+        assert!(
+            w.sfu_fraction() > 0.3,
+            "exp-heavy kernel: {}",
+            w.sfu_fraction()
+        );
     }
 
     #[test]
     fn scaling_applies() {
         let mut c = ctx();
-        c.params.scale = ScaleFactors { compute: 4.0, data: 2.0, threads: 2.0 };
+        c.params.scale = ScaleFactors {
+            compute: 4.0,
+            data: 2.0,
+            threads: 2.0,
+        };
         let w1 = {
             let mut c0 = c.clone();
             c0.params.scale = ScaleFactors::default();
@@ -130,11 +141,18 @@ mod tests {
         let w4 = kernel_work(&c).unwrap();
         assert!((w4.flops() / w1.flops() - 4.0).abs() < 1e-9);
         assert!((w4.threads / w1.threads - 2.0).abs() < 1e-9);
-        assert!((reference_time(&c).unwrap() / reference_time(&{
-            let mut c0 = c.clone();
-            c0.params.scale = ScaleFactors::default();
-            c0
-        }).unwrap() - 4.0).abs() < 1e-9);
+        assert!(
+            (reference_time(&c).unwrap()
+                / reference_time(&{
+                    let mut c0 = c.clone();
+                    c0.params.scale = ScaleFactors::default();
+                    c0
+                })
+                .unwrap()
+                - 4.0)
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]

@@ -59,7 +59,10 @@ mod tests {
 
     #[test]
     fn errors_render_with_location() {
-        let e = RuntimeError::Unbound { name: "x".into(), span: Span::point(3, 1) };
+        let e = RuntimeError::Unbound {
+            name: "x".into(),
+            span: Span::point(3, 1),
+        };
         assert_eq!(e.to_string(), "3:1: `x` is not bound");
         let e = RuntimeError::CycleBudgetExhausted { limit: 10 };
         assert!(e.to_string().contains("10"));

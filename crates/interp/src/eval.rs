@@ -52,7 +52,9 @@ struct Frame {
 
 impl Frame {
     fn new() -> Self {
-        Frame { scopes: vec![HashMap::new()] }
+        Frame {
+            scopes: vec![HashMap::new()],
+        }
     }
 
     fn push(&mut self) {
@@ -64,7 +66,10 @@ impl Frame {
     }
 
     fn define(&mut self, name: &str, value: Value) {
-        self.scopes.last_mut().expect("frame has a scope").insert(name.to_string(), value);
+        self.scopes
+            .last_mut()
+            .expect("frame has a scope")
+            .insert(name.to_string(), value);
     }
 
     fn get(&self, name: &str) -> Option<Value> {
@@ -161,13 +166,23 @@ impl<'m> Interpreter<'m> {
         }
         match intrinsics::lookup(name) {
             Some(intr) => self.call_intrinsic(name, intr, args, span),
-            None => Err(RuntimeError::Unbound { name: name.to_string(), span }),
+            None => Err(RuntimeError::Unbound {
+                name: name.to_string(),
+                span,
+            }),
         }
     }
 
-    fn call_user(&mut self, func: &'m Function, args: Vec<Value>, span: Span) -> RuntimeResult<Value> {
+    fn call_user(
+        &mut self,
+        func: &'m Function,
+        args: Vec<Value>,
+        span: Span,
+    ) -> RuntimeResult<Value> {
         if self.call_depth >= self.config.max_call_depth {
-            return Err(RuntimeError::StackOverflow { depth: self.config.max_call_depth });
+            return Err(RuntimeError::StackOverflow {
+                depth: self.config.max_call_depth,
+            });
         }
         if args.len() != func.params.len() {
             return Err(RuntimeError::Type {
@@ -303,15 +318,24 @@ impl<'m> Interpreter<'m> {
                 self.heap_count += 1;
                 let label = format!("heap#{}", self.heap_count);
                 let id = self.memory.alloc(scalar, n as usize, label);
-                Ok(Value::Ptr(Pointer { buffer: id, offset: 0 }))
+                Ok(Value::Ptr(Pointer {
+                    buffer: id,
+                    offset: 0,
+                }))
             }
             Intrinsic::FillRandom => {
                 let [p, n, seed] = args.as_slice() else {
                     return Err(bad("fill_random(ptr, n, seed)".into()));
                 };
-                let ptr = p.as_ptr().ok_or_else(|| bad("fill_random needs a pointer".into()))?;
-                let n = n.as_i64().ok_or_else(|| bad("fill_random needs a length".into()))?;
-                let seed = seed.as_i64().ok_or_else(|| bad("fill_random needs a seed".into()))?;
+                let ptr = p
+                    .as_ptr()
+                    .ok_or_else(|| bad("fill_random needs a pointer".into()))?;
+                let n = n
+                    .as_i64()
+                    .ok_or_else(|| bad("fill_random needs a length".into()))?;
+                let seed = seed
+                    .as_i64()
+                    .ok_or_else(|| bad("fill_random needs a seed".into()))?;
                 let mut rng = SplitMix64::new(seed as u64);
                 let watch = self.watch_depth > 0;
                 let elem_bytes = self.memory.elem_bytes(ptr.buffer);
@@ -322,7 +346,8 @@ impl<'m> Interpreter<'m> {
                         Scalar::Float => Value::Float(rng.next_f64() as f32),
                         _ => Value::Double(rng.next_f64()),
                     };
-                    self.memory.store(ptr.buffer, ptr.offset + i, v, span, watch)?;
+                    self.memory
+                        .store(ptr.buffer, ptr.offset + i, v, span, watch)?;
                     self.charge(self.config.cost_model.store)?;
                     self.profile.stores += 1;
                     self.profile.bytes_stored += elem_bytes;
@@ -360,7 +385,9 @@ impl<'m> Interpreter<'m> {
     fn charge(&mut self, cycles: u64) -> RuntimeResult<()> {
         self.profile.total_cycles += cycles;
         if self.profile.total_cycles > self.config.max_cycles {
-            return Err(RuntimeError::CycleBudgetExhausted { limit: self.config.max_cycles });
+            return Err(RuntimeError::CycleBudgetExhausted {
+                limit: self.config.max_cycles,
+            });
         }
         Ok(())
     }
@@ -393,7 +420,13 @@ impl<'m> Interpreter<'m> {
                     span: d.span,
                 })?;
             let id = self.memory.alloc(d.ty.scalar, len as usize, d.name.clone());
-            frame.define(&d.name, Value::Ptr(Pointer { buffer: id, offset: 0 }));
+            frame.define(
+                &d.name,
+                Value::Ptr(Pointer {
+                    buffer: id,
+                    offset: 0,
+                }),
+            );
             return Ok(());
         }
         let value = match &d.init {
@@ -406,7 +439,10 @@ impl<'m> Interpreter<'m> {
                 }
             }
             None => match (d.ty.is_pointer(), d.ty.scalar) {
-                (true, _) => Value::Ptr(Pointer { buffer: crate::BufferId(u32::MAX), offset: 0 }),
+                (true, _) => Value::Ptr(Pointer {
+                    buffer: crate::BufferId(u32::MAX),
+                    offset: 0,
+                }),
                 (_, Scalar::Int) => Value::Int(0),
                 (_, Scalar::Float) => Value::Float(0.0),
                 (_, Scalar::Double) => Value::Double(0.0),
@@ -469,17 +505,28 @@ impl<'m> Interpreter<'m> {
             frame.define(&l.var, init);
         } else if !frame.set(&l.var, init) {
             frame.pop();
-            return Err(RuntimeError::Unbound { name: l.var.clone(), span: l.span });
+            return Err(RuntimeError::Unbound {
+                name: l.var.clone(),
+                span: l.span,
+            });
         }
 
         let mut iterations = 0u64;
         let mut result = Flow::Normal;
         loop {
             // Condition: i <op> bound.
-            let i = frame.get(&l.var).expect("induction var bound").as_i64().unwrap_or(0);
-            let bound = self.eval(&l.bound, frame)?.as_i64().ok_or_else(|| {
-                RuntimeError::Type { message: "loop bound must be integral".into(), span: l.span }
-            })?;
+            let i = frame
+                .get(&l.var)
+                .expect("induction var bound")
+                .as_i64()
+                .unwrap_or(0);
+            let bound = self
+                .eval(&l.bound, frame)?
+                .as_i64()
+                .ok_or_else(|| RuntimeError::Type {
+                    message: "loop bound must be integral".into(),
+                    span: l.span,
+                })?;
             self.charge(self.config.cost_model.int_op + self.config.cost_model.branch)?;
             self.profile.int_ops += 1;
             let keep = match l.cond_op {
@@ -503,9 +550,13 @@ impl<'m> Interpreter<'m> {
                 }
             }
             // Step.
-            let step = self.eval(&l.step, frame)?.as_i64().ok_or_else(|| {
-                RuntimeError::Type { message: "loop step must be integral".into(), span: l.span }
-            })?;
+            let step = self
+                .eval(&l.step, frame)?
+                .as_i64()
+                .ok_or_else(|| RuntimeError::Type {
+                    message: "loop step must be integral".into(),
+                    span: l.span,
+                })?;
             let next = if l.step_negative { i - step } else { i + step };
             frame.set(&l.var, Value::Int(next));
             self.charge(self.config.cost_model.int_op)?;
@@ -573,46 +624,71 @@ impl<'m> Interpreter<'m> {
                 let new = match op.bin_op() {
                     None => rhs,
                     Some(bop) => {
-                        let old = frame.get(name).or_else(|| self.globals.get(name).copied()).ok_or_else(|| {
-                            RuntimeError::Unbound { name: name.clone(), span: target.span }
-                        })?;
+                        let old = frame
+                            .get(name)
+                            .or_else(|| self.globals.get(name).copied())
+                            .ok_or_else(|| RuntimeError::Unbound {
+                                name: name.clone(),
+                                span: target.span,
+                            })?;
                         self.apply_binary(bop, old, rhs, target.span)?
                     }
                 };
                 // Keep the variable's existing type (C assignment converts).
                 let converted = match frame.get(name).or_else(|| self.globals.get(name).copied()) {
-                    Some(Value::Int(_)) => Value::Int(new.as_i64().ok_or_else(|| {
-                        RuntimeError::Type { message: "cannot convert to int".into(), span: target.span }
-                    })?),
-                    Some(Value::Float(_)) => Value::Float(new.as_f64().ok_or_else(|| {
-                        RuntimeError::Type { message: "cannot convert to float".into(), span: target.span }
-                    })? as f32),
-                    Some(Value::Double(_)) => Value::Double(new.as_f64().ok_or_else(|| {
-                        RuntimeError::Type { message: "cannot convert to double".into(), span: target.span }
-                    })?),
-                    Some(Value::Bool(_)) => Value::Bool(new.truthy().ok_or_else(|| {
-                        RuntimeError::Type { message: "cannot convert to bool".into(), span: target.span }
-                    })?),
+                    Some(Value::Int(_)) => {
+                        Value::Int(new.as_i64().ok_or_else(|| RuntimeError::Type {
+                            message: "cannot convert to int".into(),
+                            span: target.span,
+                        })?)
+                    }
+                    Some(Value::Float(_)) => {
+                        Value::Float(new.as_f64().ok_or_else(|| RuntimeError::Type {
+                            message: "cannot convert to float".into(),
+                            span: target.span,
+                        })? as f32)
+                    }
+                    Some(Value::Double(_)) => {
+                        Value::Double(new.as_f64().ok_or_else(|| RuntimeError::Type {
+                            message: "cannot convert to double".into(),
+                            span: target.span,
+                        })?)
+                    }
+                    Some(Value::Bool(_)) => {
+                        Value::Bool(new.truthy().ok_or_else(|| RuntimeError::Type {
+                            message: "cannot convert to bool".into(),
+                            span: target.span,
+                        })?)
+                    }
                     _ => new,
                 };
                 if !frame.set(name, converted) {
                     if self.globals.contains_key(name) {
                         self.globals.insert(name.clone(), converted);
                     } else {
-                        return Err(RuntimeError::Unbound { name: name.clone(), span: target.span });
+                        return Err(RuntimeError::Unbound {
+                            name: name.clone(),
+                            span: target.span,
+                        });
                     }
                 }
                 Ok(())
             }
             ExprKind::Index { base, index } => {
-                let ptr = self.eval(base, frame)?.as_ptr().ok_or_else(|| RuntimeError::Type {
-                    message: "indexed value is not a pointer".into(),
-                    span: base.span,
-                })?;
-                let idx = self.eval(index, frame)?.as_i64().ok_or_else(|| RuntimeError::Type {
-                    message: "index is not integral".into(),
-                    span: index.span,
-                })?;
+                let ptr = self
+                    .eval(base, frame)?
+                    .as_ptr()
+                    .ok_or_else(|| RuntimeError::Type {
+                        message: "indexed value is not a pointer".into(),
+                        span: base.span,
+                    })?;
+                let idx = self
+                    .eval(index, frame)?
+                    .as_i64()
+                    .ok_or_else(|| RuntimeError::Type {
+                        message: "index is not integral".into(),
+                        span: index.span,
+                    })?;
                 self.charge(self.config.cost_model.int_op)?; // address arithmetic
                 self.profile.int_ops += 1;
                 let addr = ptr.offset + idx;
@@ -629,7 +705,8 @@ impl<'m> Interpreter<'m> {
                     }
                 };
                 let watch = self.watch_depth > 0;
-                self.memory.store(ptr.buffer, addr, new, target.span, watch)?;
+                self.memory
+                    .store(ptr.buffer, addr, new, target.span, watch)?;
                 self.charge(self.config.cost_model.store)?;
                 self.profile.stores += 1;
                 self.profile.bytes_stored += self.memory.elem_bytes(ptr.buffer);
@@ -658,33 +735,34 @@ impl<'m> Interpreter<'m> {
             ExprKind::Ident(name) => frame
                 .get(name)
                 .or_else(|| self.globals.get(name).copied())
-                .ok_or_else(|| RuntimeError::Unbound { name: name.clone(), span: e.span }),
+                .ok_or_else(|| RuntimeError::Unbound {
+                    name: name.clone(),
+                    span: e.span,
+                }),
             ExprKind::Unary { op, expr } => {
                 let v = self.eval(expr, frame)?;
                 match op {
-                    UnOp::Neg => {
-                        match v {
-                            Value::Int(x) => {
-                                self.charge(self.config.cost_model.int_op)?;
-                                self.profile.int_ops += 1;
-                                Ok(Value::Int(-x))
-                            }
-                            Value::Float(x) => {
-                                self.charge(self.config.cost_model.fp_op)?;
-                                self.profile.flops += 1;
-                                Ok(Value::Float(-x))
-                            }
-                            Value::Double(x) => {
-                                self.charge(self.config.cost_model.fp_op)?;
-                                self.profile.flops += 1;
-                                Ok(Value::Double(-x))
-                            }
-                            other => Err(RuntimeError::Type {
-                                message: format!("cannot negate {}", other.type_name()),
-                                span: e.span,
-                            }),
+                    UnOp::Neg => match v {
+                        Value::Int(x) => {
+                            self.charge(self.config.cost_model.int_op)?;
+                            self.profile.int_ops += 1;
+                            Ok(Value::Int(-x))
                         }
-                    }
+                        Value::Float(x) => {
+                            self.charge(self.config.cost_model.fp_op)?;
+                            self.profile.flops += 1;
+                            Ok(Value::Float(-x))
+                        }
+                        Value::Double(x) => {
+                            self.charge(self.config.cost_model.fp_op)?;
+                            self.profile.flops += 1;
+                            Ok(Value::Double(-x))
+                        }
+                        other => Err(RuntimeError::Type {
+                            message: format!("cannot negate {}", other.type_name()),
+                            span: e.span,
+                        }),
+                    },
                     UnOp::Not => {
                         let b = v.truthy().ok_or_else(|| RuntimeError::Type {
                             message: format!("cannot apply `!` to {}", v.type_name()),
@@ -724,20 +802,27 @@ impl<'m> Interpreter<'m> {
                 self.call_by_name(callee, values, e.span)
             }
             ExprKind::Index { base, index } => {
-                let ptr = self.eval(base, frame)?.as_ptr().ok_or_else(|| RuntimeError::Type {
-                    message: "indexed value is not a pointer".into(),
-                    span: base.span,
-                })?;
-                let idx = self.eval(index, frame)?.as_i64().ok_or_else(|| RuntimeError::Type {
-                    message: "index is not integral".into(),
-                    span: index.span,
-                })?;
+                let ptr = self
+                    .eval(base, frame)?
+                    .as_ptr()
+                    .ok_or_else(|| RuntimeError::Type {
+                        message: "indexed value is not a pointer".into(),
+                        span: base.span,
+                    })?;
+                let idx = self
+                    .eval(index, frame)?
+                    .as_i64()
+                    .ok_or_else(|| RuntimeError::Type {
+                        message: "index is not integral".into(),
+                        span: index.span,
+                    })?;
                 self.charge(self.config.cost_model.int_op + self.config.cost_model.load)?;
                 self.profile.int_ops += 1;
                 self.profile.loads += 1;
                 self.profile.bytes_loaded += self.memory.elem_bytes(ptr.buffer);
                 let watch = self.watch_depth > 0;
-                self.memory.load(ptr.buffer, ptr.offset + idx, e.span, watch)
+                self.memory
+                    .load(ptr.buffer, ptr.offset + idx, e.span, watch)
             }
             ExprKind::Cast { ty, expr } => {
                 let v = self.eval(expr, frame)?;
@@ -761,7 +846,10 @@ impl<'m> Interpreter<'m> {
                 self.charge(self.config.cost_model.int_op)?;
                 self.profile.int_ops += 1;
                 let delta = if op == BinOp::Add { off } else { -off };
-                return Ok(Value::Ptr(Pointer { buffer: p.buffer, offset: p.offset + delta }));
+                return Ok(Value::Ptr(Pointer {
+                    buffer: p.buffer,
+                    offset: p.offset + delta,
+                }));
             }
         }
         let pair = promote(&l, &r).ok_or_else(|| RuntimeError::Type {
@@ -898,8 +986,16 @@ mod tests {
 
     #[test]
     fn arithmetic_and_control_flow() {
-        assert_eq!(run_value("int main() { int s = 0; for (int i = 1; i <= 10; i++) { s += i; } return s; }"), Value::Int(55));
-        assert_eq!(run_value("int main() { int i = 0; while (i < 5) { i++; } return i; }"), Value::Int(5));
+        assert_eq!(
+            run_value(
+                "int main() { int s = 0; for (int i = 1; i <= 10; i++) { s += i; } return s; }"
+            ),
+            Value::Int(55)
+        );
+        assert_eq!(
+            run_value("int main() { int i = 0; while (i < 5) { i++; } return i; }"),
+            Value::Int(5)
+        );
         assert_eq!(
             run_value("int main() { int s = 0; for (int i = 0; i < 10; i++) { if (i % 2 == 0) { continue; } if (i > 6) { break; } s += i; } return s; }"),
             Value::Int(1 + 3 + 5)
@@ -919,7 +1015,9 @@ mod tests {
         let d = run_value("double acc(double x) { return x + 0.1; } int main() { double s = 0.0; for (int i = 0; i < 100; i++) { s = acc(s); } return (int)(s * 1000.0); }");
         let f = run_value("float acc(float x) { return x + 0.1f; } int main() { float s = 0.0f; for (int i = 0; i < 100; i++) { s = acc(s); } return (int)(s * 1000.0f); }");
         // Both near 10000, but not necessarily equal — and both must be close.
-        let (Value::Int(d), Value::Int(f)) = (d, f) else { panic!() };
+        let (Value::Int(d), Value::Int(f)) = (d, f) else {
+            panic!()
+        };
         assert!((d - 10000).abs() < 10, "{d}");
         assert!((f - 10000).abs() < 10, "{f}");
     }
@@ -968,8 +1066,7 @@ mod tests {
 
     #[test]
     fn timers_measure_nested_regions() {
-        let (_, p) = run(
-            "int main() {\
+        let (_, p) = run("int main() {\
                __psa_timer_start(1);\
                int s = 0;\
                __psa_timer_start(2);\
@@ -977,8 +1074,7 @@ mod tests {
                __psa_timer_stop(2);\
                __psa_timer_stop(1);\
                return s;\
-             }",
-        );
+             }");
         let t1 = p.timers[&1];
         let t2 = p.timers[&2];
         assert_eq!(t1.starts, 1);
@@ -994,7 +1090,10 @@ mod tests {
             "t",
         )
         .unwrap();
-        let config = RunConfig { watch_function: Some("knl".into()), ..Default::default() };
+        let config = RunConfig {
+            watch_function: Some("knl".into()),
+            ..Default::default()
+        };
         let mut interp = Interpreter::new(&m, config);
         interp.run_main().unwrap();
         let p = interp.profile();
@@ -1012,7 +1111,10 @@ mod tests {
     fn division_by_zero_is_an_error() {
         let m = parse_module("int main() { int a = 1; int b = 0; return a / b; }", "t").unwrap();
         let mut interp = Interpreter::new(&m, RunConfig::default());
-        assert!(matches!(interp.run_main(), Err(RuntimeError::DivideByZero { .. })));
+        assert!(matches!(
+            interp.run_main(),
+            Err(RuntimeError::DivideByZero { .. })
+        ));
     }
 
     #[test]
@@ -1023,13 +1125,19 @@ mod tests {
         )
         .unwrap();
         let mut interp = Interpreter::new(&m, RunConfig::default());
-        assert!(matches!(interp.run_main(), Err(RuntimeError::Memory { .. })));
+        assert!(matches!(
+            interp.run_main(),
+            Err(RuntimeError::Memory { .. })
+        ));
     }
 
     #[test]
     fn runaway_loops_hit_cycle_budget() {
         let m = parse_module("int main() { while (true) { } return 0; }", "t").unwrap();
-        let config = RunConfig { max_cycles: 10_000, ..Default::default() };
+        let config = RunConfig {
+            max_cycles: 10_000,
+            ..Default::default()
+        };
         let mut interp = Interpreter::new(&m, config);
         assert!(matches!(
             interp.run_main(),
@@ -1045,7 +1153,10 @@ mod tests {
         )
         .unwrap();
         let mut interp = Interpreter::new(&m, RunConfig::default());
-        assert!(matches!(interp.run_main(), Err(RuntimeError::StackOverflow { .. })));
+        assert!(matches!(
+            interp.run_main(),
+            Err(RuntimeError::StackOverflow { .. })
+        ));
     }
 
     #[test]
@@ -1066,7 +1177,10 @@ mod tests {
 
     #[test]
     fn math_intrinsics_work() {
-        assert_eq!(run_value("int main() { return (int)sqrt(256.0); }"), Value::Int(16));
+        assert_eq!(
+            run_value("int main() { return (int)sqrt(256.0); }"),
+            Value::Int(16)
+        );
         assert_eq!(
             run_value("int main() { return (int)(exp(0.0) + fmax(2.0, 3.0)); }"),
             Value::Int(4)
@@ -1087,7 +1201,9 @@ mod tests {
     fn user_functions_shadow_intrinsics() {
         // A user-defined `sqrt` takes precedence, like C linkage.
         assert_eq!(
-            run_value("double sqrt(double x) { return 99.0; } int main() { return (int)sqrt(4.0); }"),
+            run_value(
+                "double sqrt(double x) { return 99.0; } int main() { return (int)sqrt(4.0); }"
+            ),
             Value::Int(99)
         );
     }

@@ -70,7 +70,12 @@ impl MathOp {
     pub fn cost_class(self) -> MathCost {
         match self {
             MathOp::Sqrt | MathOp::Rsqrt => MathCost::Sqrt,
-            MathOp::Exp | MathOp::Log | MathOp::Pow | MathOp::Sin | MathOp::Cos | MathOp::Tanh
+            MathOp::Exp
+            | MathOp::Log
+            | MathOp::Pow
+            | MathOp::Sin
+            | MathOp::Cos
+            | MathOp::Tanh
             | MathOp::Erf => MathCost::Transcendental,
             MathOp::Fabs | MathOp::Fmin | MathOp::Fmax | MathOp::Floor | MathOp::Ceil => {
                 MathCost::Cheap
@@ -234,10 +239,14 @@ mod tests {
 
     #[test]
     fn lookup_resolves_precision_variants() {
-        let Some(Intrinsic::Math(f)) = lookup("sqrtf") else { panic!() };
+        let Some(Intrinsic::Math(f)) = lookup("sqrtf") else {
+            panic!()
+        };
         assert!(f.single);
         assert_eq!(f.op, MathOp::Sqrt);
-        let Some(Intrinsic::Math(f)) = lookup("exp") else { panic!() };
+        let Some(Intrinsic::Math(f)) = lookup("exp") else {
+            panic!()
+        };
         assert!(!f.single);
         assert!(lookup("not_a_fn").is_none());
     }
@@ -248,7 +257,9 @@ mod tests {
         assert_eq!(sp_variant("erf"), Some("erff"));
         assert_eq!(sp_variant("alloc_double"), None);
         // Every double-named math op maps to a name lookup() recognises.
-        for name in ["sqrt", "exp", "log", "pow", "sin", "cos", "tanh", "erf", "fabs", "fmin", "fmax"] {
+        for name in [
+            "sqrt", "exp", "log", "pow", "sin", "cos", "tanh", "erf", "fabs", "fmin", "fmax",
+        ] {
             let sp = sp_variant(name).unwrap();
             assert!(lookup(sp).is_some(), "{sp} must be a known intrinsic");
         }

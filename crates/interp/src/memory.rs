@@ -132,7 +132,11 @@ impl Memory {
             Scalar::Void => BufferData::Int(Vec::new()),
         };
         let id = BufferId(self.buffers.len() as u32);
-        self.buffers.push(Buffer { label: label.into(), data, kernel_access: AccessRange::default() });
+        self.buffers.push(Buffer {
+            label: label.into(),
+            data,
+            kernel_access: AccessRange::default(),
+        });
         id
     }
 
@@ -209,18 +213,18 @@ impl Memory {
             buf.kernel_access.record_write(i as u64);
         }
         let type_err = |need: &str| RuntimeError::Type {
-            message: format!("cannot store {} into {need} buffer `{}`", value.type_name(), buf.label),
+            message: format!(
+                "cannot store {} into {need} buffer `{}`",
+                value.type_name(),
+                buf.label
+            ),
             span,
         };
         match &mut buf.data {
             BufferData::Int(v) => v[i] = value.as_i64().ok_or_else(|| type_err("int"))?,
-            BufferData::Float(v) => {
-                v[i] = value.as_f64().ok_or_else(|| type_err("float"))? as f32
-            }
+            BufferData::Float(v) => v[i] = value.as_f64().ok_or_else(|| type_err("float"))? as f32,
             BufferData::Double(v) => v[i] = value.as_f64().ok_or_else(|| type_err("double"))?,
-            BufferData::Bool(v) => {
-                v[i] = value.truthy().ok_or_else(|| type_err("bool"))?
-            }
+            BufferData::Bool(v) => v[i] = value.truthy().ok_or_else(|| type_err("bool"))?,
         }
         Ok(())
     }
@@ -346,12 +350,27 @@ mod tests {
         let mut mem = Memory::new();
         let a = mem.alloc(Scalar::Double, 10, "a");
         let b = mem.alloc(Scalar::Double, 10, "b");
-        let pa = Pointer { buffer: a, offset: 0 };
-        let pb = Pointer { buffer: b, offset: 0 };
-        assert!(!mem.ranges_overlap(pa, 10, pb, 10), "distinct buffers never alias");
-        let pa2 = Pointer { buffer: a, offset: 5 };
+        let pa = Pointer {
+            buffer: a,
+            offset: 0,
+        };
+        let pb = Pointer {
+            buffer: b,
+            offset: 0,
+        };
+        assert!(
+            !mem.ranges_overlap(pa, 10, pb, 10),
+            "distinct buffers never alias"
+        );
+        let pa2 = Pointer {
+            buffer: a,
+            offset: 5,
+        };
         assert!(mem.ranges_overlap(pa, 10, pa2, 3));
-        assert!(!mem.ranges_overlap(pa, 5, pa2, 3), "disjoint subranges do not alias");
+        assert!(
+            !mem.ranges_overlap(pa, 5, pa2, 3),
+            "disjoint subranges do not alias"
+        );
     }
 
     #[test]

@@ -156,7 +156,9 @@ impl Profile {
         if self.total_cycles == 0 {
             return 0.0;
         }
-        self.loop_stats.get(&id).map_or(0.0, |s| s.cycles as f64 / self.total_cycles as f64)
+        self.loop_stats
+            .get(&id)
+            .map_or(0.0, |s| s.cycles as f64 / self.total_cycles as f64)
     }
 
     /// Merge per-timer results into (id → cycles), sorted by id, for stable
@@ -174,7 +176,10 @@ mod tests {
 
     #[test]
     fn arithmetic_intensity_handles_zero_bytes() {
-        let mut p = Profile { kernel_flops: 10, ..Default::default() };
+        let mut p = Profile {
+            kernel_flops: 10,
+            ..Default::default()
+        };
         assert!(p.kernel_arithmetic_intensity().is_infinite());
         p.kernel_bytes_loaded = 40;
         assert!((p.kernel_arithmetic_intensity() - 0.25).abs() < 1e-12);
@@ -183,25 +188,60 @@ mod tests {
     #[test]
     fn hottest_loop_breaks_ties_deterministically() {
         let mut p = Profile::default();
-        p.loop_stats.insert(NodeId(1), LoopStats { entries: 1, iterations: 5, cycles: 100 });
-        p.loop_stats.insert(NodeId(2), LoopStats { entries: 1, iterations: 5, cycles: 100 });
+        p.loop_stats.insert(
+            NodeId(1),
+            LoopStats {
+                entries: 1,
+                iterations: 5,
+                cycles: 100,
+            },
+        );
+        p.loop_stats.insert(
+            NodeId(2),
+            LoopStats {
+                entries: 1,
+                iterations: 5,
+                cycles: 100,
+            },
+        );
         // Equal cycles: the lower node id (earlier in source) wins.
         assert_eq!(p.hottest_loop().unwrap().0, NodeId(1));
-        p.loop_stats.insert(NodeId(3), LoopStats { entries: 1, iterations: 1, cycles: 200 });
+        p.loop_stats.insert(
+            NodeId(3),
+            LoopStats {
+                entries: 1,
+                iterations: 1,
+                cycles: 200,
+            },
+        );
         assert_eq!(p.hottest_loop().unwrap().0, NodeId(3));
     }
 
     #[test]
     fn loop_share_is_a_fraction() {
-        let mut p = Profile { total_cycles: 200, ..Default::default() };
-        p.loop_stats.insert(NodeId(7), LoopStats { entries: 1, iterations: 1, cycles: 50 });
+        let mut p = Profile {
+            total_cycles: 200,
+            ..Default::default()
+        };
+        p.loop_stats.insert(
+            NodeId(7),
+            LoopStats {
+                entries: 1,
+                iterations: 1,
+                cycles: 50,
+            },
+        );
         assert!((p.loop_share(NodeId(7)) - 0.25).abs() < 1e-12);
         assert_eq!(p.loop_share(NodeId(99)), 0.0);
     }
 
     #[test]
     fn mean_trip_count() {
-        let s = LoopStats { entries: 4, iterations: 40, cycles: 0 };
+        let s = LoopStats {
+            entries: 4,
+            iterations: 40,
+            cycles: 0,
+        };
         assert!((s.mean_trip_count() - 10.0).abs() < 1e-12);
         assert_eq!(LoopStats::default().mean_trip_count(), 0.0);
     }

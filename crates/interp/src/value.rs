@@ -154,7 +154,10 @@ mod tests {
             promote(&Value::Float(1.0), &Value::Double(2.0)),
             Some(Promoted::Double(1.0, 2.0))
         );
-        assert_eq!(promote(&Value::Int(1), &Value::Int(2)), Some(Promoted::Int(1, 2)));
+        assert_eq!(
+            promote(&Value::Int(1), &Value::Int(2)),
+            Some(Promoted::Int(1, 2))
+        );
         assert_eq!(promote(&Value::Unit, &Value::Int(1)), None);
     }
 
@@ -162,8 +165,7 @@ mod tests {
     fn float_stays_single_precision() {
         // 0.1f + 0.2f in f32 differs from the f64 result — the SP transform
         // is numerically observable.
-        let Promoted::Float(a, b) = promote(&Value::Float(0.1), &Value::Float(0.2)).unwrap()
-        else {
+        let Promoted::Float(a, b) = promote(&Value::Float(0.1), &Value::Float(0.2)).unwrap() else {
             panic!()
         };
         let sum32 = f64::from(a + b);

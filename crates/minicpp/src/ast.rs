@@ -83,11 +83,19 @@ pub struct Type {
 
 impl Type {
     pub const fn scalar(scalar: Scalar) -> Type {
-        Type { scalar, ptr: 0, is_const: false }
+        Type {
+            scalar,
+            ptr: 0,
+            is_const: false,
+        }
     }
 
     pub const fn pointer(scalar: Scalar) -> Type {
-        Type { scalar, ptr: 1, is_const: false }
+        Type {
+            scalar,
+            ptr: 1,
+            is_const: false,
+        }
     }
 
     pub fn with_const(mut self) -> Type {
@@ -148,11 +156,17 @@ pub enum BinOp {
 
 impl BinOp {
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
     }
 
     pub fn is_arith(self) -> bool {
-        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem)
+        matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem
+        )
     }
 
     pub fn symbol(self) -> &'static str {
@@ -278,7 +292,10 @@ impl Expr {
     pub fn as_int(&self) -> Option<i64> {
         match &self.kind {
             ExprKind::IntLit(v) => Some(*v),
-            ExprKind::Unary { op: UnOp::Neg, expr } => expr.as_int().map(|v| -v),
+            ExprKind::Unary {
+                op: UnOp::Neg,
+                expr,
+            } => expr.as_int().map(|v| -v),
             _ => None,
         }
     }
@@ -455,9 +472,10 @@ pub struct Function {
 }
 
 /// Top-level items.
-#[allow(clippy::large_enum_variant)] // modules hold few items; boxing
-                                     // functions would complicate every
-                                     // query for no measurable gain
+#[allow(clippy::large_enum_variant)]
+// modules hold few items; boxing
+// functions would complicate every
+// query for no measurable gain
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Item {
     Function(Function),
@@ -478,7 +496,11 @@ pub struct Module {
 impl Module {
     /// Create an empty module.
     pub fn new(name: impl Into<String>) -> Self {
-        Module { name: name.into(), items: Vec::new(), next_id: 0 }
+        Module {
+            name: name.into(),
+            items: Vec::new(),
+            next_id: 0,
+        }
     }
 
     /// Allocate a fresh node id.
@@ -619,8 +641,10 @@ pub fn refresh_expr_ids(next_id: &mut u32, expr: &mut Expr) {
             refresh_expr_ids(next_id, then);
             refresh_expr_ids(next_id, els);
         }
-        ExprKind::IntLit(_) | ExprKind::FloatLit { .. } | ExprKind::BoolLit(_) | ExprKind::Ident(_) => {
-        }
+        ExprKind::IntLit(_)
+        | ExprKind::FloatLit { .. }
+        | ExprKind::BoolLit(_)
+        | ExprKind::Ident(_) => {}
     }
 }
 
@@ -634,26 +658,41 @@ pub mod build {
     const PLACEHOLDER: NodeId = NodeId(u32::MAX);
 
     pub fn int(value: i64) -> Expr {
-        Expr { id: PLACEHOLDER, span: Span::SYNTHETIC, kind: ExprKind::IntLit(value) }
+        Expr {
+            id: PLACEHOLDER,
+            span: Span::SYNTHETIC,
+            kind: ExprKind::IntLit(value),
+        }
     }
 
     pub fn float(value: f64) -> Expr {
         Expr {
             id: PLACEHOLDER,
             span: Span::SYNTHETIC,
-            kind: ExprKind::FloatLit { value, single: false },
+            kind: ExprKind::FloatLit {
+                value,
+                single: false,
+            },
         }
     }
 
     pub fn ident(name: impl Into<String>) -> Expr {
-        Expr { id: PLACEHOLDER, span: Span::SYNTHETIC, kind: ExprKind::Ident(name.into()) }
+        Expr {
+            id: PLACEHOLDER,
+            span: Span::SYNTHETIC,
+            kind: ExprKind::Ident(name.into()),
+        }
     }
 
     pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
         Expr {
             id: PLACEHOLDER,
             span: Span::SYNTHETIC,
-            kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+            kind: ExprKind::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            },
         }
     }
 
@@ -661,7 +700,10 @@ pub mod build {
         Expr {
             id: PLACEHOLDER,
             span: Span::SYNTHETIC,
-            kind: ExprKind::Call { callee: callee.into(), args },
+            kind: ExprKind::Call {
+                callee: callee.into(),
+                args,
+            },
         }
     }
 
@@ -669,7 +711,10 @@ pub mod build {
         Expr {
             id: PLACEHOLDER,
             span: Span::SYNTHETIC,
-            kind: ExprKind::Index { base: Box::new(base), index: Box::new(idx) },
+            kind: ExprKind::Index {
+                base: Box::new(base),
+                index: Box::new(idx),
+            },
         }
     }
 
@@ -692,11 +737,19 @@ pub mod build {
     }
 
     pub fn pragma(text: impl Into<String>) -> Pragma {
-        Pragma { id: PLACEHOLDER, span: Span::SYNTHETIC, text: text.into() }
+        Pragma {
+            id: PLACEHOLDER,
+            span: Span::SYNTHETIC,
+            text: text.into(),
+        }
     }
 
     pub fn block(stmts: Vec<Stmt>) -> Block {
-        Block { id: PLACEHOLDER, span: Span::SYNTHETIC, stmts }
+        Block {
+            id: PLACEHOLDER,
+            span: Span::SYNTHETIC,
+            stmts,
+        }
     }
 }
 
@@ -742,8 +795,11 @@ mod tests {
 
     #[test]
     fn refresh_ids_makes_all_ids_unique() {
-        let mut m = parse_module("void f() { for (int i = 0; i < 4; i++) { int x = i; } }", "t")
-            .unwrap();
+        let mut m = parse_module(
+            "void f() { for (int i = 0; i < 4; i++) { int x = i; } }",
+            "t",
+        )
+        .unwrap();
         let mut stmt = match &m.function("f").unwrap().body.stmts[0].kind {
             StmtKind::For(_) => m.function("f").unwrap().body.stmts[0].clone(),
             _ => panic!(),
@@ -783,6 +839,9 @@ mod tests {
     fn type_display() {
         assert_eq!(Type::pointer(Scalar::Double).to_string(), "double*");
         assert_eq!(Type::INT.to_string(), "int");
-        assert_eq!(Type::pointer(Scalar::Float).with_const().to_string(), "const float*");
+        assert_eq!(
+            Type::pointer(Scalar::Float).with_const().to_string(),
+            "const float*"
+        );
     }
 }

@@ -19,7 +19,11 @@ pub struct Error {
 
 impl Error {
     pub fn new(module: impl Into<String>, span: Span, message: impl Into<String>) -> Self {
-        Error { module: module.into(), span, message: message.into() }
+        Error {
+            module: module.into(),
+            span,
+            message: message.into(),
+        }
     }
 }
 

@@ -274,10 +274,7 @@ impl<'a> Lexer<'a> {
                 }
             }
             other => {
-                return Err(self.error(
-                    start,
-                    format!("unexpected character `{}`", other as char),
-                ))
+                return Err(self.error(start, format!("unexpected character `{}`", other as char)))
             }
         };
         self.push(kind, start);
@@ -307,11 +304,26 @@ mod tests {
         assert_eq!(
             kinds("1.5 2.0f 3e2 4.5e-1f .25"),
             vec![
-                TokenKind::Float { value: 1.5, single: false },
-                TokenKind::Float { value: 2.0, single: true },
-                TokenKind::Float { value: 300.0, single: false },
-                TokenKind::Float { value: 0.45, single: true },
-                TokenKind::Float { value: 0.25, single: false },
+                TokenKind::Float {
+                    value: 1.5,
+                    single: false
+                },
+                TokenKind::Float {
+                    value: 2.0,
+                    single: true
+                },
+                TokenKind::Float {
+                    value: 300.0,
+                    single: false
+                },
+                TokenKind::Float {
+                    value: 0.45,
+                    single: true
+                },
+                TokenKind::Float {
+                    value: 0.25,
+                    single: false
+                },
                 TokenKind::Eof
             ]
         );
@@ -322,7 +334,13 @@ mod tests {
         // `2f` style literals appear after the SP-literal transform.
         assert_eq!(
             kinds("2f"),
-            vec![TokenKind::Float { value: 2.0, single: true }, TokenKind::Eof]
+            vec![
+                TokenKind::Float {
+                    value: 2.0,
+                    single: true
+                },
+                TokenKind::Eof
+            ]
         );
     }
 

@@ -14,7 +14,12 @@ use crate::token::{Token, TokenKind};
 /// Parse a full translation unit.
 pub fn parse_module(source: &str, name: &str) -> Result<Module> {
     let tokens = lex(source, name)?;
-    let mut parser = Parser { tokens, pos: 0, module: Module::new(name), name: name.to_string() };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        module: Module::new(name),
+        name: name.to_string(),
+    };
     parser.run()?;
     Ok(parser.module)
 }
@@ -55,7 +60,11 @@ impl Parser {
         if *self.peek() == kind {
             Ok(self.bump())
         } else {
-            Err(self.error(format!("expected {}, found {}", kind.describe(), self.peek())))
+            Err(self.error(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek()
+            )))
         }
     }
 
@@ -96,7 +105,11 @@ impl Parser {
             let text = text.clone();
             let span = self.span();
             self.bump();
-            pragmas.push(Pragma { id: self.fresh(), span, text });
+            pragmas.push(Pragma {
+                id: self.fresh(),
+                span,
+                text,
+            });
         }
         Ok(pragmas)
     }
@@ -140,7 +153,12 @@ impl Parser {
                     self.expect(TokenKind::RBracket)?;
                     ty.ptr += 1;
                 }
-                params.push(Param { id: self.fresh(), span: pspan, ty, name: pname });
+                params.push(Param {
+                    id: self.fresh(),
+                    span: pspan,
+                    ty,
+                    name: pname,
+                });
                 if !self.eat(TokenKind::Comma) {
                     break;
                 }
@@ -148,7 +166,15 @@ impl Parser {
         }
         self.expect(TokenKind::RParen)?;
         let body = self.parse_block()?;
-        Ok(Function { id: self.fresh(), span: start, pragmas, ret, name, params, body })
+        Ok(Function {
+            id: self.fresh(),
+            span: start,
+            pragmas,
+            ret,
+            name,
+            params,
+            body,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -182,7 +208,11 @@ impl Parser {
         while self.eat(TokenKind::Star) {
             ptr += 1;
         }
-        Ok(Type { scalar, ptr, is_const })
+        Ok(Type {
+            scalar,
+            ptr,
+            is_const,
+        })
     }
 
     fn parse_ident(&mut self) -> Result<String> {
@@ -212,7 +242,11 @@ impl Parser {
         }
         let end = self.span();
         self.expect(TokenKind::RBrace)?;
-        Ok(Block { id: self.fresh(), span: start.merge(end), stmts })
+        Ok(Block {
+            id: self.fresh(),
+            span: start.merge(end),
+            stmts,
+        })
     }
 
     /// Parse a statement; single statements after `if`/`for`/`while` headers
@@ -258,7 +292,12 @@ impl Parser {
                 kind
             }
         };
-        Ok(Stmt { id: self.fresh(), span: start, pragmas, kind })
+        Ok(Stmt {
+            id: self.fresh(),
+            span: start,
+            pragmas,
+            kind,
+        })
     }
 
     fn parse_decl_rest(&mut self, span: Span, ty: Type, name: String) -> Result<VarDecl> {
@@ -269,9 +308,19 @@ impl Parser {
         } else {
             None
         };
-        let init =
-            if self.eat(TokenKind::Assign) { Some(self.parse_expr()?) } else { None };
-        Ok(VarDecl { id: self.fresh(), span, ty, name, array_len, init })
+        let init = if self.eat(TokenKind::Assign) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(VarDecl {
+            id: self.fresh(),
+            span,
+            ty,
+            name,
+            array_len,
+            init,
+        })
     }
 
     fn parse_if(&mut self) -> Result<StmtKind> {
@@ -285,7 +334,11 @@ impl Parser {
                 // `else if` chains become a one-statement else block.
                 let stmt = self.parse_stmt()?;
                 let span = stmt.span;
-                Some(Block { id: self.fresh(), span, stmts: vec![stmt] })
+                Some(Block {
+                    id: self.fresh(),
+                    span,
+                    stmts: vec![stmt],
+                })
             } else {
                 Some(self.parse_stmt_as_block()?)
             }
@@ -310,7 +363,11 @@ impl Parser {
         } else {
             let stmt = self.parse_stmt()?;
             let span = stmt.span;
-            Ok(Block { id: self.fresh(), span, stmts: vec![stmt] })
+            Ok(Block {
+                id: self.fresh(),
+                span,
+                stmts: vec![stmt],
+            })
         }
     }
 
@@ -361,11 +418,25 @@ impl Parser {
         let (step, step_negative) = match self.peek().clone() {
             TokenKind::PlusPlus => {
                 self.bump();
-                (Expr { id: self.fresh(), span: start, kind: ExprKind::IntLit(1) }, false)
+                (
+                    Expr {
+                        id: self.fresh(),
+                        span: start,
+                        kind: ExprKind::IntLit(1),
+                    },
+                    false,
+                )
             }
             TokenKind::MinusMinus => {
                 self.bump();
-                (Expr { id: self.fresh(), span: start, kind: ExprKind::IntLit(1) }, true)
+                (
+                    Expr {
+                        id: self.fresh(),
+                        span: start,
+                        kind: ExprKind::IntLit(1),
+                    },
+                    true,
+                )
             }
             TokenKind::PlusAssign => {
                 self.bump();
@@ -408,14 +479,30 @@ impl Parser {
             TokenKind::PlusPlus => {
                 self.bump();
                 self.check_lvalue(&lhs)?;
-                let one = Expr { id: self.fresh(), span: lhs.span, kind: ExprKind::IntLit(1) };
-                return Ok(StmtKind::Assign { target: lhs, op: AssignOp::Add, value: one });
+                let one = Expr {
+                    id: self.fresh(),
+                    span: lhs.span,
+                    kind: ExprKind::IntLit(1),
+                };
+                return Ok(StmtKind::Assign {
+                    target: lhs,
+                    op: AssignOp::Add,
+                    value: one,
+                });
             }
             TokenKind::MinusMinus => {
                 self.bump();
                 self.check_lvalue(&lhs)?;
-                let one = Expr { id: self.fresh(), span: lhs.span, kind: ExprKind::IntLit(1) };
-                return Ok(StmtKind::Assign { target: lhs, op: AssignOp::Sub, value: one });
+                let one = Expr {
+                    id: self.fresh(),
+                    span: lhs.span,
+                    kind: ExprKind::IntLit(1),
+                };
+                return Ok(StmtKind::Assign {
+                    target: lhs,
+                    op: AssignOp::Sub,
+                    value: one,
+                });
             }
             _ => None,
         };
@@ -424,7 +511,11 @@ impl Parser {
                 self.bump();
                 self.check_lvalue(&lhs)?;
                 let value = self.parse_expr()?;
-                Ok(StmtKind::Assign { target: lhs, op, value })
+                Ok(StmtKind::Assign {
+                    target: lhs,
+                    op,
+                    value,
+                })
             }
             None => Ok(StmtKind::Expr(lhs)),
         }
@@ -434,7 +525,11 @@ impl Parser {
         if expr.lvalue_base().is_some() {
             Ok(())
         } else {
-            Err(Error::new(&self.name, expr.span, "assignment target is not an lvalue"))
+            Err(Error::new(
+                &self.name,
+                expr.span,
+                "assignment target is not an lvalue",
+            ))
         }
     }
 
@@ -557,7 +652,10 @@ impl Parser {
                 Ok(Expr {
                     id: self.fresh(),
                     span,
-                    kind: ExprKind::Unary { op: UnOp::Neg, expr: Box::new(expr) },
+                    kind: ExprKind::Unary {
+                        op: UnOp::Neg,
+                        expr: Box::new(expr),
+                    },
                 })
             }
             TokenKind::Not => {
@@ -566,7 +664,10 @@ impl Parser {
                 Ok(Expr {
                     id: self.fresh(),
                     span,
-                    kind: ExprKind::Unary { op: UnOp::Not, expr: Box::new(expr) },
+                    kind: ExprKind::Unary {
+                        op: UnOp::Not,
+                        expr: Box::new(expr),
+                    },
                 })
             }
             // Cast: `(` type `)` unary — distinguished from parenthesised
@@ -588,7 +689,10 @@ impl Parser {
                 Ok(Expr {
                     id: self.fresh(),
                     span,
-                    kind: ExprKind::Cast { ty, expr: Box::new(expr) },
+                    kind: ExprKind::Cast {
+                        ty,
+                        expr: Box::new(expr),
+                    },
                 })
             }
             _ => self.parse_postfix(),
@@ -605,7 +709,10 @@ impl Parser {
             expr = Expr {
                 id: self.fresh(),
                 span,
-                kind: ExprKind::Index { base: Box::new(expr), index: Box::new(index) },
+                kind: ExprKind::Index {
+                    base: Box::new(expr),
+                    index: Box::new(index),
+                },
             };
         }
         Ok(expr)
@@ -616,19 +723,35 @@ impl Parser {
         match self.peek().clone() {
             TokenKind::Int(v) => {
                 self.bump();
-                Ok(Expr { id: self.fresh(), span, kind: ExprKind::IntLit(v) })
+                Ok(Expr {
+                    id: self.fresh(),
+                    span,
+                    kind: ExprKind::IntLit(v),
+                })
             }
             TokenKind::Float { value, single } => {
                 self.bump();
-                Ok(Expr { id: self.fresh(), span, kind: ExprKind::FloatLit { value, single } })
+                Ok(Expr {
+                    id: self.fresh(),
+                    span,
+                    kind: ExprKind::FloatLit { value, single },
+                })
             }
             TokenKind::KwTrue => {
                 self.bump();
-                Ok(Expr { id: self.fresh(), span, kind: ExprKind::BoolLit(true) })
+                Ok(Expr {
+                    id: self.fresh(),
+                    span,
+                    kind: ExprKind::BoolLit(true),
+                })
             }
             TokenKind::KwFalse => {
                 self.bump();
-                Ok(Expr { id: self.fresh(), span, kind: ExprKind::BoolLit(false) })
+                Ok(Expr {
+                    id: self.fresh(),
+                    span,
+                    kind: ExprKind::BoolLit(false),
+                })
             }
             TokenKind::Ident(name) => {
                 self.bump();
@@ -643,9 +766,17 @@ impl Parser {
                         }
                     }
                     self.expect(TokenKind::RParen)?;
-                    Ok(Expr { id: self.fresh(), span, kind: ExprKind::Call { callee: name, args } })
+                    Ok(Expr {
+                        id: self.fresh(),
+                        span,
+                        kind: ExprKind::Call { callee: name, args },
+                    })
                 } else {
-                    Ok(Expr { id: self.fresh(), span, kind: ExprKind::Ident(name) })
+                    Ok(Expr {
+                        id: self.fresh(),
+                        span,
+                        kind: ExprKind::Ident(name),
+                    })
                 }
             }
             TokenKind::LParen => {
@@ -663,7 +794,11 @@ impl Parser {
         Expr {
             id: self.fresh(),
             span,
-            kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+            kind: ExprKind::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            },
         }
     }
 }
@@ -692,8 +827,15 @@ mod tests {
     fn precedence_mul_over_add() {
         let m = parse("void f() { int x = 1 + 2 * 3; }");
         let f = m.function("f").unwrap();
-        let StmtKind::Decl(d) = &f.body.stmts[0].kind else { panic!() };
-        let ExprKind::Binary { op: BinOp::Add, rhs, .. } = &d.init.as_ref().unwrap().kind else {
+        let StmtKind::Decl(d) = &f.body.stmts[0].kind else {
+            panic!()
+        };
+        let ExprKind::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = &d.init.as_ref().unwrap().kind
+        else {
             panic!("expected + at top");
         };
         assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
@@ -703,7 +845,9 @@ mod tests {
     fn precedence_relational_under_logical() {
         let m = parse("void f(int a, int b) { bool c = a < 1 && b > 2 || a == b; }");
         let f = m.function("f").unwrap();
-        let StmtKind::Decl(d) = &f.body.stmts[0].kind else { panic!() };
+        let StmtKind::Decl(d) = &f.body.stmts[0].kind else {
+            panic!()
+        };
         assert!(matches!(
             d.init.as_ref().unwrap().kind,
             ExprKind::Binary { op: BinOp::Or, .. }
@@ -714,7 +858,9 @@ mod tests {
     fn parses_canonical_for() {
         let m = parse("void f(int n) { for (int i = 0; i < n; i++) { } }");
         let f = m.function("f").unwrap();
-        let StmtKind::For(l) = &f.body.stmts[0].kind else { panic!() };
+        let StmtKind::For(l) = &f.body.stmts[0].kind else {
+            panic!()
+        };
         assert_eq!(l.var, "i");
         assert!(l.declares_var);
         assert_eq!(l.cond_op, BinOp::Lt);
@@ -726,7 +872,9 @@ mod tests {
     fn for_body_single_statement_becomes_block() {
         let m = parse("void f(double* a) { for (int i = 0; i < 4; i++) a[i] = 0.0; }");
         let f = m.function("f").unwrap();
-        let StmtKind::For(l) = &f.body.stmts[0].kind else { panic!() };
+        let StmtKind::For(l) = &f.body.stmts[0].kind else {
+            panic!()
+        };
         assert_eq!(l.body.stmts.len(), 1);
     }
 
@@ -734,8 +882,11 @@ mod tests {
     fn rejects_noncanonical_for() {
         assert!(parse_module("void f() { for (int i = 0; 1 < 2; i++) { } }", "t").is_err());
         assert!(parse_module("void f(int j) { for (int i = 0; i < 4; j++) { } }", "t").is_err());
-        assert!(parse_module("void f() { for (double x = 0.0; x < 1.0; x += 0.1) { } }", "t")
-            .is_err());
+        assert!(parse_module(
+            "void f() { for (double x = 0.0; x < 1.0; x += 0.1) { } }",
+            "t"
+        )
+        .is_err());
     }
 
     #[test]
@@ -758,10 +909,14 @@ mod tests {
     fn increment_statement_desugars() {
         let m = parse("void f() { int i = 0; i++; i--; i += 3; }");
         let f = m.function("f").unwrap();
-        let StmtKind::Assign { op, value, .. } = &f.body.stmts[1].kind else { panic!() };
+        let StmtKind::Assign { op, value, .. } = &f.body.stmts[1].kind else {
+            panic!()
+        };
         assert_eq!(*op, AssignOp::Add);
         assert_eq!(value.as_int(), Some(1));
-        let StmtKind::Assign { op, .. } = &f.body.stmts[2].kind else { panic!() };
+        let StmtKind::Assign { op, .. } = &f.body.stmts[2].kind else {
+            panic!()
+        };
         assert_eq!(*op, AssignOp::Sub);
     }
 
@@ -769,17 +924,29 @@ mod tests {
     fn parses_cast_and_paren_disambiguation() {
         let m = parse("void f(int n) { double x = (double)n; double y = (x + 1.0); }");
         let f = m.function("f").unwrap();
-        let StmtKind::Decl(d) = &f.body.stmts[0].kind else { panic!() };
-        assert!(matches!(d.init.as_ref().unwrap().kind, ExprKind::Cast { .. }));
-        let StmtKind::Decl(d) = &f.body.stmts[1].kind else { panic!() };
-        assert!(matches!(d.init.as_ref().unwrap().kind, ExprKind::Binary { .. }));
+        let StmtKind::Decl(d) = &f.body.stmts[0].kind else {
+            panic!()
+        };
+        assert!(matches!(
+            d.init.as_ref().unwrap().kind,
+            ExprKind::Cast { .. }
+        ));
+        let StmtKind::Decl(d) = &f.body.stmts[1].kind else {
+            panic!()
+        };
+        assert!(matches!(
+            d.init.as_ref().unwrap().kind,
+            ExprKind::Binary { .. }
+        ));
     }
 
     #[test]
     fn parses_ternary() {
         let m = parse("double f(double a) { return a > 0.0 ? a : -a; }");
         let f = m.function("f").unwrap();
-        let StmtKind::Return(Some(e)) = &f.body.stmts[0].kind else { panic!() };
+        let StmtKind::Return(Some(e)) = &f.body.stmts[0].kind else {
+            panic!()
+        };
         assert!(matches!(e.kind, ExprKind::Ternary { .. }));
     }
 
@@ -787,7 +954,9 @@ mod tests {
     fn parses_else_if_chain() {
         let m = parse("int f(int x) { if (x > 0) { return 1; } else if (x < 0) { return -1; } else { return 0; } }");
         let f = m.function("f").unwrap();
-        let StmtKind::If { els, .. } = &f.body.stmts[0].kind else { panic!() };
+        let StmtKind::If { els, .. } = &f.body.stmts[0].kind else {
+            panic!()
+        };
         let els = els.as_ref().unwrap();
         assert!(matches!(els.stmts[0].kind, StmtKind::If { .. }));
     }
@@ -796,7 +965,9 @@ mod tests {
     fn parses_local_array_decl() {
         let m = parse("void f() { double acc[3]; acc[0] = 1.0; }");
         let f = m.function("f").unwrap();
-        let StmtKind::Decl(d) = &f.body.stmts[0].kind else { panic!() };
+        let StmtKind::Decl(d) = &f.body.stmts[0].kind else {
+            panic!()
+        };
         assert_eq!(d.array_len.as_ref().unwrap().as_int(), Some(3));
     }
 

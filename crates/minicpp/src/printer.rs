@@ -67,7 +67,10 @@ const PREC_UNARY: u8 = 7;
 
 impl Printer {
     fn new() -> Self {
-        Printer { out: String::with_capacity(1024), indent: 0 }
+        Printer {
+            out: String::with_capacity(1024),
+            indent: 0,
+        }
     }
 
     fn line(&mut self, text: &str) {
@@ -86,8 +89,11 @@ impl Printer {
 
     fn function(&mut self, f: &Function) {
         self.pragmas(&f.pragmas);
-        let params: Vec<String> =
-            f.params.iter().map(|p| format!("{} {}", p.ty, p.name)).collect();
+        let params: Vec<String> = f
+            .params
+            .iter()
+            .map(|p| format!("{} {}", p.ty, p.name))
+            .collect();
         self.line(&format!("{} {}({}) {{", f.ret, f.name, params.join(", ")));
         self.indent += 1;
         for s in &f.body.stmts {
@@ -332,7 +338,8 @@ mod tests {
     #[test]
     fn respects_left_associativity() {
         // a - (b - c) must keep its parens; (a - b) - c must lose them.
-        let out = roundtrip("void f(int a, int b, int c) { int x = a - (b - c); int y = (a - b) - c; }");
+        let out =
+            roundtrip("void f(int a, int b, int c) { int x = a - (b - c); int y = (a - b) - c; }");
         assert!(out.contains("int x = a - (b - c);"), "{out}");
         assert!(out.contains("int y = a - b - c;"), "{out}");
         assert_stable("void f(int a, int b, int c) { int x = a - (b - c); }");
@@ -356,7 +363,9 @@ mod tests {
 
     #[test]
     fn prints_strided_and_descending_loops() {
-        assert_stable("void f(int n) { for (int i = n; i > 0; i--) { } for (int j = 0; j < n; j += 4) { } }");
+        assert_stable(
+            "void f(int n) { for (int i = n; i > 0; i--) { } for (int j = 0; j < n; j += 4) { } }",
+        );
         let out = roundtrip("void f(int n) { for (int j = 0; j < n; j += 4) { } }");
         assert!(out.contains("j += 4"), "{out}");
     }

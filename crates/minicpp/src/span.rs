@@ -22,12 +22,22 @@ pub struct Span {
 impl Span {
     /// A span covering a single point.
     pub fn point(line: u32, col: u32) -> Self {
-        Span { line, col, end_line: line, end_col: col }
+        Span {
+            line,
+            col,
+            end_line: line,
+            end_col: col,
+        }
     }
 
     /// The synthetic span used for nodes created by transforms rather than
     /// parsed from source.
-    pub const SYNTHETIC: Span = Span { line: 0, col: 0, end_line: 0, end_col: 0 };
+    pub const SYNTHETIC: Span = Span {
+        line: 0,
+        col: 0,
+        end_line: 0,
+        end_col: 0,
+    };
 
     /// True if this node was created by a transform, not parsed.
     pub fn is_synthetic(&self) -> bool {
@@ -48,13 +58,18 @@ impl Span {
         } else {
             (other.line, other.col)
         };
-        let (end_line, end_col) = if (self.end_line, self.end_col) >= (other.end_line, other.end_col)
-        {
-            (self.end_line, self.end_col)
-        } else {
-            (other.end_line, other.end_col)
-        };
-        Span { line, col, end_line, end_col }
+        let (end_line, end_col) =
+            if (self.end_line, self.end_col) >= (other.end_line, other.end_col) {
+                (self.end_line, self.end_col)
+            } else {
+                (other.end_line, other.end_col)
+            };
+        Span {
+            line,
+            col,
+            end_line,
+            end_col,
+        }
     }
 }
 
@@ -74,10 +89,28 @@ mod tests {
 
     #[test]
     fn merge_orders_endpoints() {
-        let a = Span { line: 1, col: 5, end_line: 1, end_col: 9 };
-        let b = Span { line: 3, col: 1, end_line: 4, end_col: 2 };
+        let a = Span {
+            line: 1,
+            col: 5,
+            end_line: 1,
+            end_col: 9,
+        };
+        let b = Span {
+            line: 3,
+            col: 1,
+            end_line: 4,
+            end_col: 2,
+        };
         let m = a.merge(b);
-        assert_eq!(m, Span { line: 1, col: 5, end_line: 4, end_col: 2 });
+        assert_eq!(
+            m,
+            Span {
+                line: 1,
+                col: 5,
+                end_line: 4,
+                end_col: 2
+            }
+        );
         assert_eq!(b.merge(a), m);
     }
 

@@ -16,7 +16,10 @@ pub enum TokenKind {
     /// Integer literal, e.g. `42`.
     Int(i64),
     /// Floating literal; `single` is true for `f`-suffixed literals (`1.0f`).
-    Float { value: f64, single: bool },
+    Float {
+        value: f64,
+        single: bool,
+    },
     /// Identifier or keyword candidate.
     Ident(String),
     /// A whole `#pragma ...` line (text after `#pragma`, trimmed).

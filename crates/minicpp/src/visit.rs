@@ -115,7 +115,10 @@ pub fn walk_expr<V: Visit>(v: &mut V, e: &Expr) {
             v.visit_expr(then);
             v.visit_expr(els);
         }
-        ExprKind::IntLit(_) | ExprKind::FloatLit { .. } | ExprKind::BoolLit(_) | ExprKind::Ident(_) => {}
+        ExprKind::IntLit(_)
+        | ExprKind::FloatLit { .. }
+        | ExprKind::BoolLit(_)
+        | ExprKind::Ident(_) => {}
     }
 }
 
@@ -222,7 +225,10 @@ pub fn walk_expr_mut<V: VisitMut>(v: &mut V, e: &mut Expr) {
             v.visit_expr_mut(then);
             v.visit_expr_mut(els);
         }
-        ExprKind::IntLit(_) | ExprKind::FloatLit { .. } | ExprKind::BoolLit(_) | ExprKind::Ident(_) => {}
+        ExprKind::IntLit(_)
+        | ExprKind::FloatLit { .. }
+        | ExprKind::BoolLit(_)
+        | ExprKind::Ident(_) => {}
     }
 }
 
@@ -259,7 +265,10 @@ pub fn collect_loops(f: &Function) -> Vec<(&ForLoop, usize)> {
             }
         }
     }
-    let mut c = Collector { depth: 0, loops: Vec::new() };
+    let mut c = Collector {
+        depth: 0,
+        loops: Vec::new(),
+    };
     c.block(&f.body);
     c.loops
 }
@@ -295,7 +304,11 @@ mod tests {
             "t",
         )
         .unwrap();
-        let mut c = Counter { exprs: 0, stmts: 0, fors: 0 };
+        let mut c = Counter {
+            exprs: 0,
+            stmts: 0,
+            fors: 0,
+        };
         c.visit_module(&m);
         assert_eq!(c.fors, 1);
         assert_eq!(c.stmts, 2); // for + assign

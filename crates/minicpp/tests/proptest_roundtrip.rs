@@ -22,7 +22,10 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
             inner.clone().prop_map(|e| Expr {
                 id: e.id,
                 span: Span::SYNTHETIC,
-                kind: ExprKind::Unary { op: UnOp::Neg, expr: Box::new(e) },
+                kind: ExprKind::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(e)
+                },
             }),
             (inner.clone(), inner.clone()).prop_map(|(c, t)| Expr {
                 id: c.id,
@@ -33,9 +36,7 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                     els: Box::new(c),
                 },
             }),
-            inner
-                .clone()
-                .prop_map(|e| build::call("fabs", vec![e])),
+            inner.clone().prop_map(|e| build::call("fabs", vec![e])),
             (inner.clone(), inner).prop_map(|(a, b)| build::call("fmax", vec![a, b])),
         ]
     })
@@ -59,9 +60,7 @@ fn arb_binop() -> impl Strategy<Value = BinOp> {
 /// Wrap an expression into a full module so it passes through the whole
 /// frontend.
 fn wrap(expr_text: &str) -> String {
-    format!(
-        "void f(double x, double y, double z, int n) {{ double r = {expr_text}; sink(r); }}"
-    )
+    format!("void f(double x, double y, double z, int n) {{ double r = {expr_text}; sink(r); }}")
 }
 
 proptest! {

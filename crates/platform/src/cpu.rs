@@ -116,7 +116,11 @@ mod tests {
     #[test]
     fn limited_parallelism_caps_threads() {
         let m = CpuModel::new(epyc_7543());
-        let w = KernelWork { cycles_1t: 84e9, threads: 4.0, ..Default::default() };
+        let w = KernelWork {
+            cycles_1t: 84e9,
+            threads: 4.0,
+            ..Default::default()
+        };
         let s = m.omp_speedup(&w, 32);
         assert!(s <= 4.5, "only 4 work items: {s}");
     }

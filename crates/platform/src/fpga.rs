@@ -63,8 +63,13 @@ pub enum FpgaTimeError {
 impl fmt::Display for FpgaTimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FpgaTimeError::NotSynthesizable { lut_util_at_unroll1 } => {
-                write!(f, "design not synthesizable: LUT utilisation {lut_util_at_unroll1} at unroll 1")
+            FpgaTimeError::NotSynthesizable {
+                lut_util_at_unroll1,
+            } => {
+                write!(
+                    f,
+                    "design not synthesizable: LUT utilisation {lut_util_at_unroll1} at unroll 1"
+                )
             }
         }
     }
@@ -102,7 +107,11 @@ impl FpgaModel {
         let luts_used = shell + ops.luts(fp64) * unroll as f64;
         let dsps_used = ops.dsps(fp64) * unroll as f64;
         let lut_util = luts_used / self.spec.luts as f64;
-        let dsp_util = if self.spec.dsps == 0 { 0.0 } else { dsps_used / self.spec.dsps as f64 };
+        let dsp_util = if self.spec.dsps == 0 {
+            0.0
+        } else {
+            dsps_used / self.spec.dsps as f64
+        };
         // Routing pressure erodes Fmax as the device fills.
         let pressure = (lut_util.max(dsp_util) - 0.5).max(0.0);
         let fmax_mhz = self.spec.clock_mhz * (1.0 - 0.3 * pressure);
@@ -165,7 +174,14 @@ impl FpgaModel {
             let t = transfer_bytes / (self.spec.pcie_gbs * 1e9) + 100e-6;
             (t, pipeline_s.max(ddr_s) + t + 200e-6)
         };
-        Ok(FpgaEstimate { pipeline_s, ddr_s, transfer_s, total_s, ii, report })
+        Ok(FpgaEstimate {
+            pipeline_s,
+            ddr_s,
+            transfer_s,
+            total_s,
+            ii,
+            report,
+        })
     }
 
     /// Total seconds, or an error for unsynthesizable designs.
@@ -246,7 +262,10 @@ mod tests {
     #[test]
     fn unrolling_does_not_help_shared_datapaths() {
         let m = FpgaModel::new(stratix10());
-        let w = KernelWork { flat_pipeline: false, ..flat_work(2.0) };
+        let w = KernelWork {
+            flat_pipeline: false,
+            ..flat_work(2.0)
+        };
         let t1 = m.estimate(&w, 1).unwrap();
         let t8 = m.estimate(&w, 8).unwrap();
         assert!((t8.pipeline_s - t1.pipeline_s).abs() / t1.pipeline_s < 1e-9);
@@ -268,13 +287,22 @@ mod tests {
         // Rush Larsen-like: ~65 fp64 transcendentals per iteration.
         let w = KernelWork {
             fp64: true,
-            ops: OpCounts { transcendental: 65.0, fp_add: 120.0, fp_mul: 80.0, mem_ops: 10.0, ..Default::default() },
+            ops: OpCounts {
+                transcendental: 65.0,
+                fp_add: 120.0,
+                fp_mul: 80.0,
+                mem_ops: 10.0,
+                ..Default::default()
+            },
             ..flat_work(0.0)
         };
         for spec in [arria10(), stratix10()] {
             let m = FpgaModel::new(spec);
             let err = m.total_time(&w, 1).unwrap_err();
-            assert!(matches!(err, FpgaTimeError::NotSynthesizable { .. }), "{err}");
+            assert!(
+                matches!(err, FpgaTimeError::NotSynthesizable { .. }),
+                "{err}"
+            );
         }
     }
 
@@ -290,7 +318,10 @@ mod tests {
 
     #[test]
     fn zero_copy_overlaps_transfers() {
-        let w = KernelWork { bytes_in: 4e9, ..flat_work(2.0) }; // large input
+        let w = KernelWork {
+            bytes_in: 4e9,
+            ..flat_work(2.0)
+        }; // large input
         let a10 = FpgaModel::new(arria10()).estimate(&w, 1).unwrap();
         // A10 serialises the transfer; its total must include it additively.
         assert!(a10.total_s >= a10.transfer_s + a10.pipeline_s.max(a10.ddr_s));

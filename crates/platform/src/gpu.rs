@@ -142,7 +142,8 @@ impl GpuModel {
     /// Total time; infinity when the configuration cannot launch (lets DSE
     /// sweeps compare uniformly).
     pub fn total_time(&self, w: &KernelWork, blocksize: u32, pinned: bool) -> Seconds {
-        self.estimate(w, blocksize, pinned).map_or(f64::INFINITY, |e| e.total_s)
+        self.estimate(w, blocksize, pinned)
+            .map_or(f64::INFINITY, |e| e.total_s)
     }
 }
 
@@ -189,19 +190,27 @@ mod tests {
         let (occ, limited) = g.occupancy(512, 255);
         assert_eq!(occ, 0.0);
         assert!(limited);
-        let w = KernelWork { regs_per_thread: 255, ..parallel_fp32_work() };
+        let w = KernelWork {
+            regs_per_thread: 255,
+            ..parallel_fp32_work()
+        };
         assert!(g.kernel_time(&w, 512).is_none());
         assert_eq!(g.total_time(&w, 512, true), f64::INFINITY);
     }
 
     #[test]
     fn register_pressure_hurts_pascal_more() {
-        let w = KernelWork { regs_per_thread: 255, ..parallel_fp32_work() };
+        let w = KernelWork {
+            regs_per_thread: 255,
+            ..parallel_fp32_work()
+        };
         let light = parallel_fp32_work();
         let turing = GpuModel::new(rtx_2080_ti());
         let pascal = GpuModel::new(gtx_1080_ti());
-        let slowdown_turing = turing.kernel_time(&w, 128).unwrap() / turing.kernel_time(&light, 128).unwrap();
-        let slowdown_pascal = pascal.kernel_time(&w, 128).unwrap() / pascal.kernel_time(&light, 128).unwrap();
+        let slowdown_turing =
+            turing.kernel_time(&w, 128).unwrap() / turing.kernel_time(&light, 128).unwrap();
+        let slowdown_pascal =
+            pascal.kernel_time(&w, 128).unwrap() / pascal.kernel_time(&light, 128).unwrap();
         assert!(
             slowdown_pascal > slowdown_turing,
             "pascal {slowdown_pascal} vs turing {slowdown_turing}"
@@ -212,7 +221,10 @@ mod tests {
     fn fp64_pays_a_heavy_penalty() {
         let g = GpuModel::new(rtx_2080_ti());
         let sp = parallel_fp32_work();
-        let dp = KernelWork { fp64: true, ..parallel_fp32_work() };
+        let dp = KernelWork {
+            fp64: true,
+            ..parallel_fp32_work()
+        };
         let ratio = g.kernel_time(&dp, 256).unwrap() / g.kernel_time(&sp, 256).unwrap();
         assert!(ratio > 4.0, "{ratio}");
     }
@@ -222,7 +234,10 @@ mod tests {
         let g = GpuModel::new(rtx_2080_ti());
         let full = parallel_fp32_work();
         // Same total work from only 2k threads.
-        let narrow = KernelWork { threads: 2_000.0, ..parallel_fp32_work() };
+        let narrow = KernelWork {
+            threads: 2_000.0,
+            ..parallel_fp32_work()
+        };
         assert!(g.kernel_time(&narrow, 256).unwrap() > 5.0 * g.kernel_time(&full, 256).unwrap());
     }
 
@@ -230,15 +245,29 @@ mod tests {
     fn undersaturated_grids_equalise_the_two_gpus() {
         // The Bezier effect: when neither GPU is saturated, their times
         // converge (clocks are near-identical).
-        let narrow = KernelWork { threads: 8_000.0, ..parallel_fp32_work() };
-        let t_turing = GpuModel::new(rtx_2080_ti()).kernel_time(&narrow, 128).unwrap();
-        let t_pascal = GpuModel::new(gtx_1080_ti()).kernel_time(&narrow, 128).unwrap();
+        let narrow = KernelWork {
+            threads: 8_000.0,
+            ..parallel_fp32_work()
+        };
+        let t_turing = GpuModel::new(rtx_2080_ti())
+            .kernel_time(&narrow, 128)
+            .unwrap();
+        let t_pascal = GpuModel::new(gtx_1080_ti())
+            .kernel_time(&narrow, 128)
+            .unwrap();
         let full = parallel_fp32_work();
-        let f_turing = GpuModel::new(rtx_2080_ti()).kernel_time(&full, 128).unwrap();
-        let f_pascal = GpuModel::new(gtx_1080_ti()).kernel_time(&full, 128).unwrap();
+        let f_turing = GpuModel::new(rtx_2080_ti())
+            .kernel_time(&full, 128)
+            .unwrap();
+        let f_pascal = GpuModel::new(gtx_1080_ti())
+            .kernel_time(&full, 128)
+            .unwrap();
         let narrow_gap = t_pascal / t_turing;
         let full_gap = f_pascal / f_turing;
-        assert!(narrow_gap < full_gap, "narrow {narrow_gap} vs saturated {full_gap}");
+        assert!(
+            narrow_gap < full_gap,
+            "narrow {narrow_gap} vs saturated {full_gap}"
+        );
     }
 
     #[test]

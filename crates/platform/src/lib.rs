@@ -35,7 +35,9 @@ pub mod resources;
 pub mod work;
 
 pub use cpu::CpuModel;
-pub use devices::{arria10, epyc_7543, gtx_1080_ti, rtx_2080_ti, stratix10, CpuSpec, FpgaSpec, GpuSpec};
+pub use devices::{
+    arria10, epyc_7543, gtx_1080_ti, rtx_2080_ti, stratix10, CpuSpec, FpgaSpec, GpuSpec,
+};
 pub use fpga::{FpgaModel, FpgaReport, FpgaTimeError};
 pub use gpu::GpuModel;
 pub use resources::OpCounts;

@@ -73,7 +73,11 @@ mod tests {
         // AdPredictor runs ~3.2× faster on the Stratix10 than the 2080 Ti
         // (32× vs 10× speedups): GPU only becomes more cost-effective when
         // the FPGA price exceeds 3.2× the GPU price.
-        let case = CostCase { app: "AdPredictor".into(), t_fpga_s: 1.0, t_gpu_s: 3.2 };
+        let case = CostCase {
+            app: "AdPredictor".into(),
+            t_fpga_s: 1.0,
+            t_gpu_s: 3.2,
+        };
         assert!((case.crossover_price_ratio() - 3.2).abs() < 1e-12);
         assert!(case.fpga_more_cost_effective(3.0));
         assert!(!case.fpga_more_cost_effective(3.5));
@@ -84,7 +88,11 @@ mod tests {
         // Bezier runs ~2.5× faster on the 2080 Ti (67× vs 27×): the FPGA
         // becomes more cost-effective when the GPU price exceeds ~2.5× the
         // FPGA price, i.e. price ratio below 1/2.5.
-        let case = CostCase { app: "Bezier".into(), t_fpga_s: 2.5, t_gpu_s: 1.0 };
+        let case = CostCase {
+            app: "Bezier".into(),
+            t_fpga_s: 2.5,
+            t_gpu_s: 1.0,
+        };
         let crossover = case.crossover_price_ratio();
         assert!((crossover - 0.4).abs() < 1e-12);
         assert!(case.fpga_more_cost_effective(0.3));
@@ -93,7 +101,11 @@ mod tests {
 
     #[test]
     fn relative_cost_is_linear_in_price_ratio() {
-        let case = CostCase { app: "x".into(), t_fpga_s: 2.0, t_gpu_s: 1.0 };
+        let case = CostCase {
+            app: "x".into(),
+            t_fpga_s: 2.0,
+            t_gpu_s: 1.0,
+        };
         let c1 = case.relative_cost(1.0);
         let c2 = case.relative_cost(2.0);
         assert!((c2 / c1 - 2.0).abs() < 1e-12);
@@ -106,7 +118,11 @@ mod tests {
         assert_eq!(ratios.last(), Some(&4.0));
         assert!(ratios.windows(2).all(|w| w[0] < w[1]));
         let study = CostStudy {
-            cases: vec![CostCase { app: "a".into(), t_fpga_s: 1.0, t_gpu_s: 1.0 }],
+            cases: vec![CostCase {
+                app: "a".into(),
+                t_fpga_s: 1.0,
+                t_gpu_s: 1.0,
+            }],
         };
         assert_eq!(study.table().len(), ratios.len());
     }

@@ -49,7 +49,8 @@ impl OpCounts {
     /// Estimated DSP blocks for one replica.
     pub fn dsps(&self, fp64: bool) -> f64 {
         let scale = if fp64 { 4.0 } else { 1.0 };
-        scale * (self.fp_mul * 1.0 + self.fp_div * 2.0 + self.sqrt * 2.0 + self.transcendental * 4.0)
+        scale
+            * (self.fp_mul * 1.0 + self.fp_div * 2.0 + self.sqrt * 2.0 + self.transcendental * 4.0)
     }
 
     /// Elementwise sum.
@@ -188,7 +189,9 @@ fn count_expr(e: &Expr, weight: f64, out: &mut OpCounts) {
 /// tables and CPU caches absorb them. Returns the weighted fraction in
 /// [0, 1].
 pub fn gather_fraction(module: &Module, kernel: &str) -> f64 {
-    let Some(func) = module.function(kernel) else { return 0.0 };
+    let Some(func) = module.function(kernel) else {
+        return 0.0;
+    };
 
     // Fixpoint: variables whose values derive from memory loads or modulo
     // arithmetic are "irregular".
@@ -406,7 +409,9 @@ pub fn estimate_registers(module: &Module, kernel: &str) -> Option<u32> {
 /// literals)? Drives the GPU FP64-throughput penalty and the FPGA datapath
 /// width.
 pub fn kernel_uses_fp64(module: &Module, kernel: &str) -> bool {
-    let Some(func) = module.function(kernel) else { return true };
+    let Some(func) = module.function(kernel) else {
+        return true;
+    };
     if func.params.iter().any(|p| p.ty.scalar == Scalar::Double) {
         return true;
     }
@@ -469,7 +474,11 @@ mod tests {
 
     #[test]
     fn fp64_datapaths_cost_more() {
-        let ops = OpCounts { fp_mul: 10.0, transcendental: 2.0, ..Default::default() };
+        let ops = OpCounts {
+            fp_mul: 10.0,
+            transcendental: 2.0,
+            ..Default::default()
+        };
         assert!(ops.luts(true) > 3.0 * ops.luts(false));
         assert!(ops.dsps(true) > ops.dsps(false));
     }
@@ -482,7 +491,8 @@ mod tests {
         )
         .unwrap();
         // A transcendental-soup kernel like Rush Larsen.
-        let mut big_src = String::from("void knl(double* s, int n) { for (int i = 0; i < n; i++) {");
+        let mut big_src =
+            String::from("void knl(double* s, int n) { for (int i = 0; i < n; i++) {");
         for g in 0..30 {
             big_src.push_str(&format!(
                 "double m{g} = exp(s[i] * 0.1) / (1.0 + exp(s[i] * 0.2)); double h{g} = exp(0.3 * s[i]); s[i] += m{g} * h{g};"
@@ -493,7 +503,10 @@ mod tests {
         let r_small = estimate_registers(&small, "knl").unwrap();
         let r_big = estimate_registers(&big, "knl").unwrap();
         assert!(r_small < 48, "{r_small}");
-        assert_eq!(r_big, MAX_REGS_PER_THREAD, "ODE-style kernels saturate the register file");
+        assert_eq!(
+            r_big, MAX_REGS_PER_THREAD,
+            "ODE-style kernels saturate the register file"
+        );
     }
 
     #[test]
@@ -552,9 +565,17 @@ mod tests {
 
     #[test]
     fn sfu_fraction_reflects_op_mix() {
-        let heavy = OpCounts { transcendental: 10.0, fp_add: 10.0, ..Default::default() };
+        let heavy = OpCounts {
+            transcendental: 10.0,
+            fp_add: 10.0,
+            ..Default::default()
+        };
         assert!(heavy.sfu_flop_fraction() > 0.8);
-        let light = OpCounts { fp_add: 100.0, sqrt: 1.0, ..Default::default() };
+        let light = OpCounts {
+            fp_add: 100.0,
+            sqrt: 1.0,
+            ..Default::default()
+        };
         assert!(light.sfu_flop_fraction() < 0.1);
     }
 }

@@ -43,7 +43,11 @@ fn main() {
             continue;
         };
 
-        let case = CostCase { app: bench.key.clone(), t_fpga_s: t_fpga, t_gpu_s: t_gpu };
+        let case = CostCase {
+            app: bench.key.clone(),
+            t_fpga_s: t_fpga,
+            t_gpu_s: t_gpu,
+        };
         let crossover = case.crossover_price_ratio();
         let faster = if t_fpga < t_gpu { "FPGA" } else { "GPU" };
         println!(

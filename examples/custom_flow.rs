@@ -32,7 +32,11 @@ impl Task for WatermarkKernel {
         let kernel = ctx.kernel_name()?.to_string();
         let loops = query::loops(&ctx.ast.module, |l| l.function == kernel && l.is_outermost);
         if let Some(outer) = loops.first() {
-            edit::add_pragma(&mut ctx.ast.module, outer.stmt_id, "psa generated-by custom-flow")?;
+            edit::add_pragma(
+                &mut ctx.ast.module,
+                outer.stmt_id,
+                "psa generated-by custom-flow",
+            )?;
         }
         ctx.log("watermarked kernel".to_string());
         Ok(())
@@ -56,7 +60,11 @@ impl PsaStrategy for BudgetStrategy {
         let gpu_time = GpuModel::new(rtx_2080_ti()).total_time(&w, 256, true);
         let (_, p_gpu, _) = ctx.params.hourly_prices;
         let gpu_cost = gpu_time / 3600.0 * p_gpu;
-        let pick = if gpu_cost <= self.budget_currency { "performance" } else { "energy-saver" };
+        let pick = if gpu_cost <= self.budget_currency {
+            "performance"
+        } else {
+            "energy-saver"
+        };
         ctx.log(format!(
             "budget strategy: GPU run would cost {gpu_cost:.3e}, budget {:.3e} → `{pick}`",
             self.budget_currency
@@ -65,7 +73,7 @@ impl PsaStrategy for BudgetStrategy {
             .paths
             .iter()
             .position(|(label, _)| label == pick)
-            .ok_or_else(|| FlowError::new("missing path"))?;
+            .ok_or_else(|| FlowError::precondition("missing path"))?;
         Ok(Selection::One(idx))
     }
 }
@@ -98,17 +106,25 @@ fn run_with_budget(budget: f64) {
         .task(gpu::EmploySpMathFns)
         .task(gpu::EmploySpNumericLiterals)
         .task(gpu::EmployHipPinnedMemory)
-        .task(gpu::BlocksizeDseTask { device: DeviceKind::Rtx2080Ti })
-        .task(gpu::GenerateHipDesign { device: DeviceKind::Rtx2080Ti });
+        .task(gpu::BlocksizeDseTask {
+            device: DeviceKind::Rtx2080Ti,
+        })
+        .task(gpu::GenerateHipDesign {
+            device: DeviceKind::Rtx2080Ti,
+        });
 
     let flow = Flow::new("custom-psa-flow")
         .task(tindep::IdentifyHotspotLoops)
-        .task(tindep::HotspotLoopExtraction { kernel_name: "my_kernel".into() })
+        .task(tindep::HotspotLoopExtraction {
+            kernel_name: "my_kernel".into(),
+        })
         .task(tindep::PointerAnalysis)
         .task(tindep::LoopDependenceAnalysis)
         .branch(
             "budget gate",
-            BudgetStrategy { budget_currency: budget },
+            BudgetStrategy {
+                budget_currency: budget,
+            },
             vec![
                 ("energy-saver".into(), energy_saver),
                 ("performance".into(), performance),
@@ -119,7 +135,11 @@ fn run_with_budget(budget: f64) {
     let mut ctx = FlowContext::new(ast, PsaParams::default());
     flow.execute(&mut ctx).expect("flow runs");
 
-    for line in ctx.log.iter().filter(|l| l.contains("budget strategy")) {
+    for line in ctx
+        .trace_lines()
+        .iter()
+        .filter(|l| l.contains("budget strategy"))
+    {
         println!("  {line}");
     }
     // The watermark pragma lives in the working AST (design generators emit

@@ -17,8 +17,8 @@ use psaflow::core::context::psa_benchsuite_shim::ScaleFactors;
 use psaflow::core::context::FlowContext;
 use psaflow::core::flows::full_psa_flow_with_strategy;
 use psaflow::core::strategy::ml::{self, Example, KernelFeatures, MlTargetSelect};
-use psaflow::core::tasks::tindep;
 use psaflow::core::task::Task;
+use psaflow::core::tasks::tindep;
 use psaflow::core::{full_psa_flow, FlowMode, PsaParams};
 
 fn params_for(bench: &benchsuite::Benchmark) -> PsaParams {
@@ -38,7 +38,11 @@ fn features_of(bench: &benchsuite::Benchmark) -> KernelFeatures {
     let ast = psaflow::artisan::Ast::from_source(&bench.source, &bench.key).unwrap();
     let mut ctx = FlowContext::new(ast, params_for(bench));
     tindep::IdentifyHotspotLoops.run(&mut ctx).unwrap();
-    tindep::HotspotLoopExtraction { kernel_name: "knl".into() }.run(&mut ctx).unwrap();
+    tindep::HotspotLoopExtraction {
+        kernel_name: "knl".into(),
+    }
+    .run(&mut ctx)
+    .unwrap();
     psaflow::core::tasks::ensure_analysis(&mut ctx).unwrap();
     KernelFeatures::from_context(&ctx).unwrap()
 }
@@ -50,9 +54,13 @@ fn main() {
     let mut examples = Vec::new();
     let mut truth = Vec::new();
     for bench in benchsuite::all() {
-        let outcome =
-            full_psa_flow(&bench.source, &bench.key, FlowMode::Uninformed, params_for(&bench))
-                .expect("uninformed flow");
+        let outcome = full_psa_flow(
+            &bench.source,
+            &bench.key,
+            FlowMode::Uninformed,
+            params_for(&bench),
+        )
+        .expect("uninformed flow");
         let best = outcome.best_design().expect("a design wins").target;
         let features = features_of(&bench);
         println!(
@@ -64,14 +72,24 @@ fn main() {
             features.inner_unrollable,
             features.gather_fraction
         );
-        examples.push(Example { features, label: best });
+        examples.push(Example {
+            features,
+            label: best,
+        });
         truth.push((bench, best));
     }
 
     // 2. Train.
     let tree = ml::train(&examples, 3);
-    println!("\nlearned tree ({} splits):\n{}", tree.splits(), tree.render());
-    println!("training accuracy: {:.0}%", ml::accuracy(&tree, &examples) * 100.0);
+    println!(
+        "\nlearned tree ({} splits):\n{}",
+        tree.splits(),
+        tree.render()
+    );
+    println!(
+        "training accuracy: {:.0}%",
+        ml::accuracy(&tree, &examples) * 100.0
+    );
 
     // 3. Deploy the tree at branch point A.
     println!("\ndeploying the learned strategy in the full flow:");
@@ -92,7 +110,11 @@ fn main() {
             bench.key,
             selected.label(),
             outcome.designs.len(),
-            if ok { "matches ground truth" } else { "MISMATCH" }
+            if ok {
+                "matches ground truth"
+            } else {
+                "MISMATCH"
+            }
         );
     }
     println!(

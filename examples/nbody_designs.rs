@@ -27,8 +27,8 @@ fn main() {
     };
 
     println!("Running the uninformed PSA-flow over {} …\n", bench.name);
-    let outcome = full_psa_flow(&bench.source, &bench.key, FlowMode::Uninformed, params)
-        .expect("flow runs");
+    let outcome =
+        full_psa_flow(&bench.source, &bench.key, FlowMode::Uninformed, params).expect("flow runs");
 
     let out_dir = Path::new("target/generated-designs");
     fs::create_dir_all(out_dir).expect("create output directory");

@@ -36,11 +36,15 @@ fn main() {
     // interpreter quickly; the *evaluation* workload the models price is
     // 128× larger (n ≈ 1M), declared via the scale factors.
     let params = PsaParams {
-        scale: ScaleFactors { compute: 128.0, data: 128.0, threads: 128.0 },
+        scale: ScaleFactors {
+            compute: 128.0,
+            data: 128.0,
+            threads: 128.0,
+        },
         ..PsaParams::default()
     };
-    let outcome = full_psa_flow(APP, "quickstart", FlowMode::Informed, params)
-        .expect("the PSA-flow runs");
+    let outcome =
+        full_psa_flow(APP, "quickstart", FlowMode::Informed, params).expect("the PSA-flow runs");
 
     println!("--- flow trace ---");
     for line in &outcome.log {

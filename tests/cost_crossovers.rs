@@ -17,9 +17,17 @@ fn cost_case(key: &str) -> Option<CostCase> {
         ..PsaParams::default()
     };
     let outcome = full_psa_flow(&bench.source, key, FlowMode::Uninformed, params).ok()?;
-    let t_fpga_s = outcome.design_for(DeviceKind::Stratix10)?.estimated_time_s?;
-    let t_gpu_s = outcome.design_for(DeviceKind::Rtx2080Ti)?.estimated_time_s?;
-    Some(CostCase { app: key.into(), t_fpga_s, t_gpu_s })
+    let t_fpga_s = outcome
+        .design_for(DeviceKind::Stratix10)?
+        .estimated_time_s?;
+    let t_gpu_s = outcome
+        .design_for(DeviceKind::Rtx2080Ti)?
+        .estimated_time_s?;
+    Some(CostCase {
+        app: key.into(),
+        t_fpga_s,
+        t_gpu_s,
+    })
 }
 
 #[test]
@@ -33,7 +41,10 @@ fn adpredictor_crossover_matches_the_paper() {
         (2.0..5.0).contains(&crossover),
         "AdPredictor crossover {crossover:.2} should sit near the paper's 3.2"
     );
-    assert!(case.fpga_more_cost_effective(1.0), "at equal prices the FPGA wins");
+    assert!(
+        case.fpga_more_cost_effective(1.0),
+        "at equal prices the FPGA wins"
+    );
     assert!(!case.fpga_more_cost_effective(crossover * 1.5));
 }
 

@@ -41,13 +41,21 @@ fn designs_carry_their_frameworks_idioms() {
         for d in &outcome.designs {
             match d.device {
                 DeviceKind::Epyc7543 => {
-                    assert!(d.source.contains("#pragma omp parallel for"), "{}", bench.key);
+                    assert!(
+                        d.source.contains("#pragma omp parallel for"),
+                        "{}",
+                        bench.key
+                    );
                     assert!(d.source.contains("omp_set_num_threads("), "{}", bench.key);
                 }
                 DeviceKind::Gtx1080Ti | DeviceKind::Rtx2080Ti => {
                     assert!(d.source.contains("__global__"), "{}", bench.key);
                     assert!(d.source.contains("hipLaunchKernelGGL"), "{}", bench.key);
-                    assert!(d.source.contains("hipHostRegister"), "{}: pinned", bench.key);
+                    assert!(
+                        d.source.contains("hipHostRegister"),
+                        "{}: pinned",
+                        bench.key
+                    );
                 }
                 DeviceKind::Arria10 => {
                     assert!(d.source.contains("single_task"), "{}", bench.key);
@@ -68,11 +76,17 @@ fn sp_transforms_show_up_in_gpu_designs_where_safe() {
     let (_, nbody) = run_uninformed("nbody");
     let hip = nbody.design_for(DeviceKind::Rtx2080Ti).unwrap();
     assert!(hip.source.contains("float"), "N-Body GPU kernel is SP");
-    assert!(hip.source.contains("rsqrtf(") || hip.source.contains("rsqrt("), "specialised math");
+    assert!(
+        hip.source.contains("rsqrtf(") || hip.source.contains("rsqrt("),
+        "specialised math"
+    );
 
     let (_, rl) = run_uninformed("rushlarsen");
     let hip = rl.design_for(DeviceKind::Rtx2080Ti).unwrap();
-    assert!(!hip.source.contains("expf("), "Rush Larsen must stay double precision");
+    assert!(
+        !hip.source.contains("expf("),
+        "Rush Larsen must stay double precision"
+    );
     assert!(hip.source.contains("exp("));
 }
 
@@ -89,8 +103,11 @@ fn fpga_designs_carry_the_dse_unroll_pragma() {
         );
     }
     // The fixed feature loop carries its full-unroll hint.
-    assert!(s10.source.contains("#pragma unroll\n") || s10.source.contains("#pragma unroll "),
-        "{}", s10.source);
+    assert!(
+        s10.source.contains("#pragma unroll\n") || s10.source.contains("#pragma unroll "),
+        "{}",
+        s10.source
+    );
 }
 
 #[test]
@@ -104,7 +121,11 @@ fn loc_orderings_match_table1() {
         let omp = loc(DeviceKind::Epyc7543).unwrap();
         let hip = loc(DeviceKind::Rtx2080Ti).unwrap();
         assert!(omp > reference, "{}: OMP adds code", bench.key);
-        assert!(hip > omp, "{}: HIP management exceeds OMP's pragmas", bench.key);
+        assert!(
+            hip > omp,
+            "{}: HIP management exceeds OMP's pragmas",
+            bench.key
+        );
         if let (Some(a10), Some(s10)) = (loc(DeviceKind::Arria10), loc(DeviceKind::Stratix10)) {
             assert!(s10 > a10, "{}: S10 {s10} vs A10 {a10}", bench.key);
             assert!(a10 > omp, "{}: oneAPI exceeds OMP", bench.key);
@@ -127,7 +148,10 @@ fn rushlarsen_has_the_smallest_relative_deltas() {
         delta(&rl, rl_ref, DeviceKind::Rtx2080Ti) < delta(&km, km_ref, DeviceKind::Rtx2080Ti) / 3.0,
         "Rush Larsen HIP delta must be far below K-Means'"
     );
-    assert!(delta(&rl, rl_ref, DeviceKind::Epyc7543) < 0.10, "RL OMP delta tiny");
+    assert!(
+        delta(&rl, rl_ref, DeviceKind::Epyc7543) < 0.10,
+        "RL OMP delta tiny"
+    );
 }
 
 #[test]

@@ -29,7 +29,9 @@ fn run(key: &str, mode: FlowMode) -> FlowOutcome {
 }
 
 fn speedup(outcome: &FlowOutcome, device: DeviceKind) -> Option<f64> {
-    outcome.design_for(device)?.speedup(outcome.reference_time_s)
+    outcome
+        .design_for(device)?
+        .speedup(outcome.reference_time_s)
 }
 
 #[test]
@@ -60,12 +62,9 @@ fn informed_selection_is_the_best_of_all_generated_designs() {
         let best = uninformed.best_design().expect("a best design exists");
         let informed_target = run(row.key, FlowMode::Informed).selected_target.unwrap();
         assert_eq!(
-            best.target,
-            informed_target,
+            best.target, informed_target,
             "{}: best uninformed design is on {:?} but informed chose {:?}",
-            row.key,
-            best.target,
-            informed_target
+            row.key, best.target, informed_target
         );
     }
 }
@@ -77,7 +76,11 @@ fn openmp_speedups_sit_near_the_core_count() {
     for row in paper::fig5() {
         let outcome = run(row.key, FlowMode::Uninformed);
         let omp = speedup(&outcome, DeviceKind::Epyc7543).expect("OMP design");
-        assert!((25.0..32.0).contains(&omp), "{}: OMP speedup {omp}", row.key);
+        assert!(
+            (25.0..32.0).contains(&omp),
+            "{}: OMP speedup {omp}",
+            row.key
+        );
     }
 }
 
@@ -116,10 +119,16 @@ fn rushlarsen_fpga_designs_are_not_synthesizable() {
     // current FPGA devices."
     let outcome = run("rushlarsen", FlowMode::Uninformed);
     for device in [DeviceKind::Arria10, DeviceKind::Stratix10] {
-        let d = outcome.design_for(device).expect("design text still generated");
+        let d = outcome
+            .design_for(device)
+            .expect("design text still generated");
         assert!(!d.synthesizable, "{:?} must overmap", device);
         assert!(d.estimated_time_s.is_none());
-        assert!(d.notes.iter().any(|n| n.contains("overmap")), "{:?}", d.notes);
+        assert!(
+            d.notes.iter().any(|n| n.contains("overmap")),
+            "{:?}",
+            d.notes
+        );
     }
 }
 
@@ -146,7 +155,10 @@ fn nbody_saturates_both_gpus_with_a_wide_gap() {
     // The FPGA designs barely beat a single CPU thread (1.1× / 1.4×).
     let a10 = speedup(&outcome, DeviceKind::Arria10).unwrap();
     let s10 = speedup(&outcome, DeviceKind::Stratix10).unwrap();
-    assert!(a10 < 4.0 && s10 < 6.0, "N-Body FPGA must crawl: {a10:.1}/{s10:.1}");
+    assert!(
+        a10 < 4.0 && s10 < 6.0,
+        "N-Body FPGA must crawl: {a10:.1}/{s10:.1}"
+    );
 }
 
 #[test]
@@ -157,7 +169,10 @@ fn bezier_leaves_both_gpus_unsaturated_and_close() {
     let g1080 = speedup(&outcome, DeviceKind::Gtx1080Ti).unwrap();
     let g2080 = speedup(&outcome, DeviceKind::Rtx2080Ti).unwrap();
     let gap = g2080 / g1080;
-    assert!((0.95..1.25).contains(&gap), "Bezier GPU gap {gap:.2} should be small");
+    assert!(
+        (0.95..1.25).contains(&gap),
+        "Bezier GPU gap {gap:.2} should be small"
+    );
 }
 
 #[test]
@@ -167,9 +182,16 @@ fn adpredictor_wins_on_the_stratix10() {
     let outcome = run("adpredictor", FlowMode::Uninformed);
     let s10 = speedup(&outcome, DeviceKind::Stratix10).unwrap();
     let best = outcome.best_design().unwrap();
-    assert_eq!(best.device, DeviceKind::Stratix10, "S10 must win: {s10:.1}x");
+    assert_eq!(
+        best.device,
+        DeviceKind::Stratix10,
+        "S10 must win: {s10:.1}x"
+    );
     let g2080 = speedup(&outcome, DeviceKind::Rtx2080Ti).unwrap();
-    assert!(g2080 < s10 / 2.0, "GPUs must trail badly: {g2080:.1} vs {s10:.1}");
+    assert!(
+        g2080 < s10 / 2.0,
+        "GPUs must trail badly: {g2080:.1} vs {s10:.1}"
+    );
 }
 
 #[test]
@@ -181,7 +203,10 @@ fn kmeans_is_memory_bound_and_stays_on_the_cpu() {
     assert_eq!(informed.selected_target, Some(TargetKind::MultiThreadCpu));
     assert_eq!(informed.designs.len(), 1, "CPU branch generates one design");
     let uninformed = run("kmeans", FlowMode::Uninformed);
-    assert_eq!(uninformed.best_design().unwrap().device, DeviceKind::Epyc7543);
+    assert_eq!(
+        uninformed.best_design().unwrap().device,
+        DeviceKind::Epyc7543
+    );
 }
 
 #[test]

@@ -1,0 +1,97 @@
+//! The parallel flow engine must be indistinguishable from the sequential
+//! one on every benchmark: same designs (sources, estimates, tuned
+//! parameters), same selected targets, same rendered trace — byte for
+//! byte. Wall-clock durations live only in the structured trace and are
+//! never rendered, so this comparison is exact.
+
+use psaflow::benchsuite;
+use psaflow::core::context::psa_benchsuite_shim;
+use psaflow::core::flows::full_psa_flow_on;
+use psaflow::core::{trace, FlowEngine, FlowMode, PsaParams};
+
+fn params_for(b: &benchsuite::Benchmark) -> PsaParams {
+    PsaParams {
+        sp_safe: b.sp_safe,
+        scale: psa_benchsuite_shim::ScaleFactors {
+            compute: b.scale.compute,
+            data: b.scale.data,
+            threads: b.scale.threads,
+        },
+        ..PsaParams::default()
+    }
+}
+
+#[test]
+fn parallel_engine_matches_sequential_on_all_benchmarks() {
+    for bench in benchsuite::all() {
+        for mode in [FlowMode::Informed, FlowMode::Uninformed] {
+            let par = full_psa_flow_on(
+                FlowEngine::parallel(),
+                &bench.source,
+                &bench.key,
+                mode,
+                params_for(&bench),
+            )
+            .unwrap_or_else(|e| panic!("{} {mode:?} (parallel): {e}", bench.key));
+            let seq = full_psa_flow_on(
+                FlowEngine::sequential(),
+                &bench.source,
+                &bench.key,
+                mode,
+                params_for(&bench),
+            )
+            .unwrap_or_else(|e| panic!("{} {mode:?} (sequential): {e}", bench.key));
+
+            let ctx = format!("{} {mode:?}", bench.key);
+            assert_eq!(par.log, seq.log, "{ctx}: rendered traces diverge");
+            assert_eq!(
+                par.selected_target, seq.selected_target,
+                "{ctx}: selected target"
+            );
+            assert_eq!(
+                par.reference_time_s, seq.reference_time_s,
+                "{ctx}: reference time"
+            );
+            assert_eq!(par.designs.len(), seq.designs.len(), "{ctx}: design count");
+            for (p, s) in par.designs.iter().zip(&seq.designs) {
+                assert_eq!(
+                    p.source, s.source,
+                    "{ctx}: design source for {:?}",
+                    p.device
+                );
+                // Everything else (estimates, params, notes, flags) via the
+                // full Debug form: identical computations give identical
+                // bits, so the formatted values match exactly.
+                assert_eq!(format!("{p:?}"), format!("{s:?}"), "{ctx}: design metadata");
+            }
+        }
+    }
+}
+
+#[test]
+fn outcome_log_is_the_rendering_of_the_structured_trace() {
+    let bench = &benchsuite::all()[0];
+    let outcome = full_psa_flow_on(
+        FlowEngine::parallel(),
+        &bench.source,
+        &bench.key,
+        FlowMode::Uninformed,
+        params_for(bench),
+    )
+    .unwrap();
+    assert_eq!(outcome.log, trace::render_lines(&outcome.trace));
+    let json = trace::to_json(&outcome.trace);
+    assert!(
+        json.starts_with('[') && json.ends_with(']'),
+        "JSON export well-formed"
+    );
+    assert!(
+        json.contains("\"kind\":\"task\""),
+        "trace carries task spans"
+    );
+    assert!(
+        json.contains("\"kind\":\"branch\""),
+        "trace carries branch events"
+    );
+    assert!(json.contains("\"wall_ns\""), "task spans carry durations");
+}

@@ -79,9 +79,13 @@ fn budget_feedback_revises_the_gpu_selection() {
             // The GPU run may genuinely be cheaper than the bound (it is
             // ~300× faster); in that case tighten until revision happens.
             params.budget = Some(1e-9);
-            let tight =
-                full_psa_flow(&bench.source, "nbody", FlowMode::Informed, params).unwrap();
-            assert_ne!(tight.selected_target, Some(TargetKind::CpuGpu), "{:?}", tight.log);
+            let tight = full_psa_flow(&bench.source, "nbody", FlowMode::Informed, params).unwrap();
+            assert_ne!(
+                tight.selected_target,
+                Some(TargetKind::CpuGpu),
+                "{:?}",
+                tight.log
+            );
         }
         Some(other) => {
             assert_eq!(other, TargetKind::MultiThreadCpu, "{:?}", constrained.log);
@@ -108,17 +112,28 @@ fn learned_strategy_matches_ground_truth_on_the_suite() {
     let mut examples = Vec::new();
     let mut truth = Vec::new();
     for bench in benchsuite::all() {
-        let outcome =
-            full_psa_flow(&bench.source, &bench.key, FlowMode::Uninformed, params_for(&bench))
-                .unwrap();
+        let outcome = full_psa_flow(
+            &bench.source,
+            &bench.key,
+            FlowMode::Uninformed,
+            params_for(&bench),
+        )
+        .unwrap();
         let best = outcome.best_design().unwrap().target;
         let ast = psaflow::artisan::Ast::from_source(&bench.source, &bench.key).unwrap();
         let mut ctx = FlowContext::new(ast, params_for(&bench));
         tindep::IdentifyHotspotLoops.run(&mut ctx).unwrap();
-        tindep::HotspotLoopExtraction { kernel_name: "knl".into() }.run(&mut ctx).unwrap();
+        tindep::HotspotLoopExtraction {
+            kernel_name: "knl".into(),
+        }
+        .run(&mut ctx)
+        .unwrap();
         psaflow::core::tasks::ensure_analysis(&mut ctx).unwrap();
         let features = KernelFeatures::from_context(&ctx).unwrap();
-        examples.push(Example { features, label: best });
+        examples.push(Example {
+            features,
+            label: best,
+        });
         truth.push((bench, best));
     }
     let tree = ml::train(&examples, 3);
@@ -141,8 +156,13 @@ fn flow_outcomes_serialize() {
     // Reports are serde-serializable artefacts (deployment pipelines store
     // them); round-trip through the serde data model via the derived impls.
     let bench = benchsuite::by_key("kmeans").unwrap();
-    let outcome =
-        full_psa_flow(&bench.source, "kmeans", FlowMode::Informed, params_for(&bench)).unwrap();
+    let outcome = full_psa_flow(
+        &bench.source,
+        "kmeans",
+        FlowMode::Informed,
+        params_for(&bench),
+    )
+    .unwrap();
     // Serialize into serde's generic token stream via Debug-compatible
     // checks: the derives are exercised by constructing a Vec of bytes
     // with a minimal hand-rolled serializer is overkill here — assert the
