@@ -10,7 +10,7 @@
 //! for observed executions: two arguments may alias iff they resolve into
 //! the same allocation.
 
-use crate::DynamicRun;
+use psa_interp::Profile;
 use serde::{Deserialize, Serialize};
 
 /// A pair of kernel pointer parameters observed sharing an allocation.
@@ -33,10 +33,10 @@ pub struct AliasReport {
     pub calls_observed: usize,
 }
 
-/// Analyse the recorded kernel calls of a dynamic run.
-pub fn analyze_from_run(run: &DynamicRun) -> AliasReport {
+/// Analyse the recorded kernel calls of a profiled run.
+pub fn analyze_from_run(profile: &Profile) -> AliasReport {
     let mut pairs = Vec::new();
-    for (call_index, args) in run.profile.kernel_arg_ptrs.iter().enumerate() {
+    for (call_index, args) in profile.kernel_arg_ptrs.iter().enumerate() {
         for i in 0..args.len() {
             for j in (i + 1)..args.len() {
                 let (ref name_a, ptr_a) = args[i];
@@ -62,7 +62,7 @@ pub fn analyze_from_run(run: &DynamicRun) -> AliasReport {
     AliasReport {
         may_alias: !pairs.is_empty(),
         pairs,
-        calls_observed: run.profile.kernel_arg_ptrs.len(),
+        calls_observed: profile.kernel_arg_ptrs.len(),
     }
 }
 
@@ -78,7 +78,7 @@ mod tests {
                    int main() { double* a = alloc_double(8); double* b = alloc_double(8); knl(a, b, 8); return 0; }";
         let m = parse_module(src, "t").unwrap();
         let run = dynamic_run(&m, "knl").unwrap();
-        let report = analyze_from_run(&run);
+        let report = analyze_from_run(&run.profile);
         assert!(!report.may_alias);
         assert_eq!(report.calls_observed, 1);
     }
@@ -89,7 +89,7 @@ mod tests {
                    int main() { double* a = alloc_double(8); knl(a, a + 4, 4); return 0; }";
         let m = parse_module(src, "t").unwrap();
         let run = dynamic_run(&m, "knl").unwrap();
-        let report = analyze_from_run(&run);
+        let report = analyze_from_run(&run.profile);
         assert!(report.may_alias);
         assert_eq!(report.pairs.len(), 1);
         assert_eq!(report.pairs[0].param_a, "a");
@@ -102,7 +102,7 @@ mod tests {
                    int main() { double* a = alloc_double(2); knl(a, a); knl(a, a); return 0; }";
         let m = parse_module(src, "t").unwrap();
         let run = dynamic_run(&m, "knl").unwrap();
-        let report = analyze_from_run(&run);
+        let report = analyze_from_run(&run.profile);
         assert!(report.may_alias);
         assert_eq!(report.pairs.len(), 1, "pair reported once across calls");
         assert_eq!(report.calls_observed, 2);
@@ -113,6 +113,6 @@ mod tests {
         let src = "void knl(int n) { sink(n); } int main() { knl(3); return 0; }";
         let m = parse_module(src, "t").unwrap();
         let run = dynamic_run(&m, "knl").unwrap();
-        assert!(!analyze_from_run(&run).may_alias);
+        assert!(!analyze_from_run(&run.profile).may_alias);
     }
 }

@@ -7,7 +7,7 @@
 //! direct measurement. The PSA strategy combines these bytes with device
 //! transfer bandwidths to estimate `T_data_transfer`.
 
-use crate::DynamicRun;
+use psa_interp::{Memory, Profile};
 use serde::{Deserialize, Serialize};
 
 /// Per-buffer footprint of the kernel.
@@ -43,13 +43,13 @@ impl DataMovementReport {
     }
 }
 
-/// Compute the report from a watched run.
-pub fn analyze_from_run(run: &DynamicRun) -> DataMovementReport {
+/// Compute the report from a watched run's profile and memory arena.
+pub fn analyze_from_run(profile: &Profile, memory: &Memory) -> DataMovementReport {
     let mut buffers = Vec::new();
     let mut total_in = 0u64;
     let mut total_out = 0u64;
-    for (id, buf) in run.memory.kernel_touched() {
-        let elem = run.memory.elem_bytes(id);
+    for (id, buf) in memory.kernel_touched() {
+        let elem = memory.elem_bytes(id);
         let acc = buf.kernel_access;
         let bytes_in = acc.read_extent() * elem;
         let bytes_out = acc.write_extent() * elem;
@@ -68,7 +68,7 @@ pub fn analyze_from_run(run: &DynamicRun) -> DataMovementReport {
         buffers,
         total_bytes_in: total_in,
         total_bytes_out: total_out,
-        calls: run.profile.kernel_calls,
+        calls: profile.kernel_calls,
     }
 }
 
@@ -84,7 +84,7 @@ mod tests {
                    int main() { double* a = alloc_double(32); double* b = alloc_double(32); fill_random(a, 32, 1); knl(a, b, 16); return 0; }";
         let m = parse_module(src, "t").unwrap();
         let run = dynamic_run(&m, "knl").unwrap();
-        let report = analyze_from_run(&run);
+        let report = analyze_from_run(&run.profile, &run.memory);
         // Only the first 16 elements of each buffer are touched.
         assert_eq!(report.total_bytes_in, 16 * 8);
         assert_eq!(report.total_bytes_out, 16 * 8);
@@ -98,7 +98,7 @@ mod tests {
                    int main() { double* a = alloc_double(8); knl(a, 8); return 0; }";
         let m = parse_module(src, "t").unwrap();
         let run = dynamic_run(&m, "knl").unwrap();
-        let report = analyze_from_run(&run);
+        let report = analyze_from_run(&run.profile, &run.memory);
         assert_eq!(report.total_bytes_in, 64);
         assert_eq!(report.total_bytes_out, 64);
         assert_eq!(report.buffers.len(), 1);
@@ -112,7 +112,7 @@ mod tests {
                    int main() { double* a = alloc_double(1024); fill_random(a, 1024, 2); knl(a); return 0; }";
         let m = parse_module(src, "t").unwrap();
         let run = dynamic_run(&m, "knl").unwrap();
-        let report = analyze_from_run(&run);
+        let report = analyze_from_run(&run.profile, &run.memory);
         // The 1024-element host fill must not appear in the kernel footprint.
         assert_eq!(report.total_bytes_in, 0);
         assert_eq!(report.total_bytes_out, 8);

@@ -110,6 +110,19 @@ pub fn detect_hotspots(module: &Module) -> Result<HotspotReport, AnalysisError> 
     })
 }
 
+/// Cached variant of [`detect_hotspots`], addressed by the module's
+/// structural fingerprint. The instrumented clone and its execution are
+/// skipped entirely on a hit; only the ranked report is stored.
+pub fn detect_hotspots_cached(
+    module: &Module,
+    cache: &psa_evalcache::EvalCache,
+) -> Result<std::sync::Arc<HotspotReport>, AnalysisError> {
+    let key = psa_evalcache::KeyBuilder::new("analyses/hotspots")
+        .u64(psa_minicpp::module_fingerprint(module))
+        .finish();
+    cache.try_get_or_compute(key, || detect_hotspots(module))
+}
+
 /// Detect the hottest loop and extract it into `kernel_name`, mutating
 /// `module` in place. Returns the extraction record and the detection
 /// report.

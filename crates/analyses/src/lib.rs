@@ -26,8 +26,11 @@ pub mod hotspot;
 pub mod intensity;
 pub mod tripcount;
 
+use psa_evalcache::{EvalCache, KeyBuilder};
+use psa_interp::{Memory, Profile, ProfiledRun, RunConfig};
 use psa_minicpp::Module;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Aggregated evidence about an extracted kernel, produced by running every
 /// target-independent analysis.
@@ -111,9 +114,46 @@ pub fn analyze_kernel(module: &Module, kernel: &str) -> Result<KernelAnalysis, A
     }
     // One instrumented run serves every dynamic analysis.
     let run = dynamic_run(module, kernel)?;
-    let alias = alias::analyze_from_run(&run);
-    let data = datamove::analyze_from_run(&run);
-    let trips = tripcount::analyze_from_run(module, kernel, &run);
+    aggregate(module, kernel, &run.profile, &run.memory)
+}
+
+/// Cached variant of [`analyze_kernel`].
+///
+/// Addressed by the module's structural fingerprint plus the kernel name,
+/// so the record is shared by every flow instance analysing the same
+/// program state — the engine's parallel branch paths and the bench
+/// harness's informed/uninformed pair all hit one entry. On a miss the
+/// underlying profiled execution itself goes through the cache
+/// ([`psa_interp::run_profiled_cached`]), so even a partially warm cache
+/// skips the expensive interpreter run.
+pub fn analyze_kernel_cached(
+    module: &Module,
+    kernel: &str,
+    cache: &EvalCache,
+) -> Result<Arc<KernelAnalysis>, AnalysisError> {
+    if module.function(kernel).is_none() {
+        return Err(AnalysisError::NotFound(format!("function `{kernel}`")));
+    }
+    let key = KeyBuilder::new("analyses/kernel")
+        .u64(psa_minicpp::module_fingerprint(module))
+        .str(kernel)
+        .finish();
+    cache.try_get_or_compute(key, || {
+        let run = dynamic_run_cached(module, kernel, cache)?;
+        aggregate(module, kernel, &run.profile, &run.memory)
+    })
+}
+
+/// Build the aggregated record from a completed watched execution.
+fn aggregate(
+    module: &Module,
+    kernel: &str,
+    profile: &Profile,
+    memory: &Memory,
+) -> Result<KernelAnalysis, AnalysisError> {
+    let alias = alias::analyze_from_run(profile);
+    let data = datamove::analyze_from_run(profile, memory);
+    let trips = tripcount::analyze_from_run(module, kernel, profile);
     let intensity = intensity::analyze(module, kernel)?;
     let deps = deps::analyze(module, kernel)?;
     Ok(KernelAnalysis {
@@ -123,10 +163,10 @@ pub fn analyze_kernel(module: &Module, kernel: &str) -> Result<KernelAnalysis, A
         data,
         deps,
         trips,
-        kernel_cycles: run.profile.kernel_cycles,
-        kernel_flops: run.profile.kernel_flops,
-        kernel_bytes_loaded: run.profile.kernel_bytes_loaded,
-        kernel_bytes_stored: run.profile.kernel_bytes_stored,
+        kernel_cycles: profile.kernel_cycles,
+        kernel_flops: profile.kernel_flops,
+        kernel_bytes_loaded: profile.kernel_bytes_loaded,
+        kernel_bytes_stored: profile.kernel_bytes_stored,
     })
 }
 
@@ -151,6 +191,27 @@ pub fn dynamic_run(module: &Module, kernel: &str) -> Result<DynamicRun, Analysis
         )));
     }
     Ok(DynamicRun { profile, memory })
+}
+
+/// Cached variant of [`dynamic_run`]: the watched execution is memoized in
+/// `cache` via [`psa_interp::run_profiled_cached`], keyed by the module
+/// fingerprint and the run configuration.
+pub fn dynamic_run_cached(
+    module: &Module,
+    kernel: &str,
+    cache: &EvalCache,
+) -> Result<Arc<ProfiledRun>, AnalysisError> {
+    let config = RunConfig {
+        watch_function: Some(kernel.to_string()),
+        ..Default::default()
+    };
+    let run = psa_interp::run_profiled_cached(module, config, cache)?;
+    if run.profile.kernel_calls == 0 {
+        return Err(AnalysisError::Structure(format!(
+            "`main` never called kernel `{kernel}`; dynamic analyses have nothing to observe"
+        )));
+    }
+    Ok(run)
 }
 
 #[cfg(test)]
@@ -190,6 +251,33 @@ mod tests {
             analyze_kernel(&m, "nope"),
             Err(AnalysisError::NotFound(_))
         ));
+    }
+
+    #[test]
+    fn cached_analysis_matches_uncached_and_hits_on_reuse() {
+        let m = parse_module(APP, "t").unwrap();
+        let cache = EvalCache::new();
+        let uncached = analyze_kernel(&m, "knl").unwrap();
+        let first = analyze_kernel_cached(&m, "knl", &cache).unwrap();
+        // Identical record via either path (Debug form covers every field).
+        assert_eq!(format!("{uncached:?}"), format!("{first:?}"));
+        let warm = cache.stats();
+        let second = analyze_kernel_cached(&m, "knl", &cache).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "second lookup is a hit");
+        assert_eq!(cache.stats().since(&warm).misses, 0);
+        assert!(cache.stats().hits > warm.hits);
+    }
+
+    #[test]
+    fn structurally_different_modules_do_not_share_entries() {
+        let m1 = parse_module(APP, "t").unwrap();
+        // Same program scaled differently: n = 32 instead of 64.
+        let m2 = parse_module(&APP.replace("int n = 64;", "int n = 32;"), "t").unwrap();
+        let cache = EvalCache::new();
+        let a1 = analyze_kernel_cached(&m1, "knl", &cache).unwrap();
+        let a2 = analyze_kernel_cached(&m2, "knl", &cache).unwrap();
+        assert_ne!(a1.kernel_cycles, a2.kernel_cycles);
+        assert_eq!(cache.stats().hits, 0, "distinct content, distinct keys");
     }
 
     #[test]

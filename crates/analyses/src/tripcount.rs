@@ -6,8 +6,8 @@
 //! a profiled run parameterises the platform models (e.g. GPU thread count
 //! = outer trips, FPGA pipeline fill = inner trips).
 
-use crate::DynamicRun;
 use psa_artisan::query;
+use psa_interp::Profile;
 use psa_minicpp::{Module, NodeId};
 use serde::{Deserialize, Serialize};
 
@@ -51,17 +51,12 @@ impl TripCountReport {
     }
 }
 
-/// Join static loop structure with the dynamic run's per-loop statistics.
-pub fn analyze_from_run(module: &Module, kernel: &str, run: &DynamicRun) -> TripCountReport {
+/// Join static loop structure with the profiled run's per-loop statistics.
+pub fn analyze_from_run(module: &Module, kernel: &str, profile: &Profile) -> TripCountReport {
     let loops = query::loops(module, |l| l.function == kernel)
         .into_iter()
         .map(|m| {
-            let stats = run
-                .profile
-                .loop_stats
-                .get(&m.id)
-                .copied()
-                .unwrap_or_default();
+            let stats = profile.loop_stats.get(&m.id).copied().unwrap_or_default();
             LoopTrips {
                 id: m.id,
                 var: m.var,
@@ -92,7 +87,7 @@ mod tests {
                    int main() { double* a = alloc_double(64); knl(a, 16); return 0; }";
         let m = parse_module(src, "t").unwrap();
         let run = dynamic_run(&m, "knl").unwrap();
-        let report = analyze_from_run(&m, "knl", &run);
+        let report = analyze_from_run(&m, "knl", &run.profile);
         assert_eq!(report.loops.len(), 2);
         let outer = &report.loops[0];
         assert_eq!(outer.depth, 0);
@@ -113,7 +108,7 @@ mod tests {
                    int main() { double* a = alloc_double(32); knl(a, 8); knl(a, 24); return 0; }";
         let m = parse_module(src, "t").unwrap();
         let run = dynamic_run(&m, "knl").unwrap();
-        let report = analyze_from_run(&m, "knl", &run);
+        let report = analyze_from_run(&m, "knl", &run.profile);
         let outer = &report.loops[0];
         assert_eq!(outer.entries, 2);
         assert_eq!(outer.iterations, 32);
@@ -126,7 +121,7 @@ mod tests {
                    int main() { double* a = alloc_double(8); for (int k = 0; k < 3; k++) { knl(a); } return 0; }";
         let m = parse_module(src, "t").unwrap();
         let run = dynamic_run(&m, "knl").unwrap();
-        let report = analyze_from_run(&m, "knl", &run);
+        let report = analyze_from_run(&m, "knl", &run.profile);
         assert_eq!(report.loops.len(), 1);
         assert_eq!(report.loops[0].var, "i");
     }

@@ -55,6 +55,14 @@ impl Ast {
         print_module(&self.module)
     }
 
+    /// Stable structural fingerprint of the module — the content address
+    /// the evaluation cache keys dynamic results by. Ignores node ids and
+    /// spans, so re-parsing the exported source preserves it while any
+    /// transform produces a fresh one.
+    pub fn fingerprint(&self) -> u64 {
+        psa_minicpp::module_fingerprint(&self.module)
+    }
+
     /// Lines of code of the exported design — the paper's productivity
     /// metric (Table I). Counts non-blank lines.
     pub fn loc(&self) -> usize {

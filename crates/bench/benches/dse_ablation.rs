@@ -44,9 +44,10 @@ fn bench_unroll_schedules(c: &mut Criterion) {
     group.bench_function("doubling", |b| {
         let src =
             "void knl(double* a, int n) { for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0; } }";
+        let cache = psaflow_core::EvalCache::disabled();
         b.iter(|| {
             let mut m = parse_module(src, "t").unwrap();
-            psaflow_core::dse::unroll_until_overmap(&mut m, "knl", &model, &w).unwrap()
+            psaflow_core::dse::unroll_until_overmap(&mut m, "knl", &model, &w, &cache).unwrap()
         })
     });
 
@@ -124,7 +125,8 @@ fn bench_blocksize_sweeps(c: &mut Criterion) {
     let w = flat_work();
 
     group.bench_function("pow2_candidates", |b| {
-        b.iter(|| psaflow_core::dse::blocksize_dse(&model, &w, true))
+        let cache = psaflow_core::EvalCache::disabled();
+        b.iter(|| psaflow_core::dse::blocksize_dse(&model, &w, true, &cache))
     });
 
     group.bench_function("dense_warp_multiples", |b| {

@@ -2,25 +2,34 @@
 //! designs vs the unoptimised single-thread CPU reference, paper vs
 //! measured, plus the informed PSA's target selections.
 
-use psa_bench::{fmt_speedup, run_all_on};
+use psa_bench::{fmt_speedup, run_all_cached_on};
 use psa_benchsuite::paper;
-use psaflow_core::FlowEngine;
+use psaflow_core::{EvalCache, FlowEngine};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
     // `--sequential` forces the single-threaded engine and runs the
     // benchmarks one at a time — the timing baseline for the parallel
-    // default. Outputs are byte-identical either way.
+    // default. `--no-cache` swaps the shared evaluation cache for a
+    // pass-through — the memoisation baseline. Stdout is byte-identical
+    // under every combination; only the stderr timing summary differs.
     let sequential = std::env::args().any(|a| a == "--sequential");
+    let no_cache = std::env::args().any(|a| a == "--no-cache");
     let engine = if sequential {
         FlowEngine::sequential()
     } else {
         FlowEngine::parallel()
     };
+    let cache = Arc::new(if no_cache {
+        EvalCache::disabled()
+    } else {
+        EvalCache::new()
+    });
     println!("Fig. 5 — Hotspot speedups vs 1-thread CPU reference");
     println!("(paper value → measured value; informed PSA selection marked)\n");
     let started = Instant::now();
-    let results = run_all_on(engine).expect("flows run");
+    let results = run_all_cached_on(engine, Arc::clone(&cache)).expect("flows run");
     let elapsed = started.elapsed();
 
     println!(
@@ -69,8 +78,41 @@ fn main() {
     }
 
     eprintln!(
-        "\nall flows completed in {:.2}s ({} engine)",
+        "\nall flows completed in {:.2}s ({} engine{})",
         elapsed.as_secs_f64(),
-        if sequential { "sequential" } else { "parallel" }
+        if sequential { "sequential" } else { "parallel" },
+        if no_cache { ", cache disabled" } else { "" }
+    );
+
+    let cold = cache.stats();
+    if no_cache {
+        return;
+    }
+    eprintln!(
+        "eval cache (cold sweep): {} hits / {} misses ({:.1}% hit rate), {} entries",
+        cold.hits,
+        cold.misses,
+        cold.hit_rate() * 100.0,
+        cold.entries
+    );
+
+    // A second sweep over the warmed cache shows the steady-state cost of
+    // re-running the experiments: every profiled run and model estimate is
+    // already memoised. Results are discarded — they are bit-identical to
+    // the first sweep — so stdout stays untouched.
+    let warm_started = Instant::now();
+    let warm_results = run_all_cached_on(engine, Arc::clone(&cache)).expect("warm flows run");
+    let warm_elapsed = warm_started.elapsed();
+    assert_eq!(warm_results.len(), results.len(), "warm sweep row count");
+    let warm = cache.stats().since(&cold);
+    eprintln!(
+        "eval cache (warm sweep): {} hits / {} misses ({:.1}% hit rate); \
+         cold {:.2}s → warm {:.2}s ({:.1}x)",
+        warm.hits,
+        warm.misses,
+        warm.hit_rate() * 100.0,
+        elapsed.as_secs_f64(),
+        warm_elapsed.as_secs_f64(),
+        elapsed.as_secs_f64() / warm_elapsed.as_secs_f64().max(1e-9)
     );
 }

@@ -6,7 +6,9 @@ use psa_analyses::hotspot::HotspotReport;
 use psa_analyses::KernelAnalysis;
 use psa_artisan::Ast;
 use psa_benchsuite_shim::ScaleFactors;
+use psa_evalcache::EvalCache;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Re-exported scale factors without depending on the benchmark suite
 /// (applications outside the suite pass their own).
@@ -107,6 +109,12 @@ pub struct FlowContext {
     pub reference_time_s: Option<f64>,
     /// Designs produced so far.
     pub designs: Vec<DesignArtifact>,
+    /// The shared content-addressed evaluation cache: profiled runs,
+    /// analysis aggregates and platform-model estimates are memoized here,
+    /// keyed by structural AST fingerprint plus workload/config content.
+    /// Cloned contexts (branch paths) share the same cache through the
+    /// `Arc`, so sibling paths and re-runs reuse each other's evaluations.
+    pub cache: Arc<EvalCache>,
     /// Structured trace of what the flow did (mirrors the paper's narrative
     /// of which branch was taken and why). Read it through [`Self::trace`]
     /// or [`Self::trace_lines`]; the engine owns its tree structure.
@@ -117,8 +125,16 @@ pub struct FlowContext {
 }
 
 impl FlowContext {
-    /// Start a flow over a parsed application.
+    /// Start a flow over a parsed application with a fresh enabled
+    /// evaluation cache.
     pub fn new(ast: Ast, params: PsaParams) -> Self {
+        Self::with_cache(ast, params, Arc::new(EvalCache::new()))
+    }
+
+    /// Start a flow sharing a caller-owned evaluation cache (e.g. one cache
+    /// across an informed and an uninformed run of the same application, or
+    /// [`EvalCache::disabled`] to force every evaluation to recompute).
+    pub fn with_cache(ast: Ast, params: PsaParams, cache: Arc<EvalCache>) -> Self {
         FlowContext {
             ast,
             kernel: None,
@@ -132,6 +148,7 @@ impl FlowContext {
             params,
             reference_time_s: None,
             designs: Vec::new(),
+            cache,
             trace: Vec::new(),
             pending_decision: None,
         }

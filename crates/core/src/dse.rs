@@ -13,6 +13,7 @@
 
 use crate::flow::FlowError;
 use psa_artisan::{edit, query};
+use psa_evalcache::EvalCache;
 use psa_minicpp::Module;
 use psa_platform::{CpuModel, FpgaModel, FpgaReport, GpuModel, KernelWork};
 
@@ -30,11 +31,17 @@ pub struct UnrollDse {
 /// Run the Fig. 2 `unroll_until_overmap` DSE against the kernel's outermost
 /// loop, leaving the winning `#pragma unroll` factor instrumented in the
 /// AST (the exported design carries it, exactly like `app_out.cpp`).
+///
+/// Every simulated partial compile goes through `cache`, so repeated sweeps
+/// over the same workload (sibling branch paths, informed/uninformed pairs,
+/// or the final design-generation estimate) reuse the reports instead of
+/// recomputing them.
 pub fn unroll_until_overmap(
     module: &mut Module,
     kernel: &str,
     model: &FpgaModel,
     work: &KernelWork,
+    cache: &EvalCache,
 ) -> Result<UnrollDse, FlowError> {
     // query(∀loop, fn ∈ ast: loop.isForStmt ∧ fn.name = kernel ∧
     //       fn.encloses(loop) ∧ loop.is_outermost)
@@ -48,7 +55,7 @@ pub fn unroll_until_overmap(
         // The pipeline shares one datapath across runtime-bound inner
         // iterations; replication is structurally impossible, so the DSE
         // reports factor 1 after a single probe.
-        let report = model.hls_report(&work.ops, work.fp64, 1);
+        let report = model.hls_report_cached(&work.ops, work.fp64, 1, cache);
         return Ok(UnrollDse {
             factor: 1,
             report,
@@ -58,7 +65,7 @@ pub fn unroll_until_overmap(
 
     let mut n: u64 = 2;
     let mut best: u64 = 1;
-    let mut best_report = model.hls_report(&work.ops, work.fp64, 1);
+    let mut best_report = model.hls_report_cached(&work.ops, work.fp64, 1, cache);
     let mut iterations = 1u32;
     if best_report.overmapped {
         // Even the un-unrolled design overmaps: the caller decides how to
@@ -73,7 +80,7 @@ pub fn unroll_until_overmap(
         // instrument(before, loop, #pragma unroll $n)
         edit::set_unroll_pragma(module, outer, n)?;
         // report ⇐ exec(ast): the simulated partial compile.
-        let report = model.hls_report(&work.ops, work.fp64, n);
+        let report = model.hls_report_cached(&work.ops, work.fp64, n, cache);
         iterations += 1;
         let overmap = report.overmapped; // report.LUT ≥ 0.9
         if overmap || n > (1 << 20) {
@@ -113,11 +120,16 @@ pub const BLOCKSIZE_CANDIDATES: [u32; 6] = [32, 64, 128, 256, 512, 1024];
 /// concurrently; the winner is then chosen by scanning the results in
 /// candidate order, which makes the tie-breaking identical to a sequential
 /// sweep.
-pub fn blocksize_dse(model: &GpuModel, work: &KernelWork, pinned: bool) -> BlocksizeDse {
+pub fn blocksize_dse(
+    model: &GpuModel,
+    work: &KernelWork,
+    pinned: bool,
+    cache: &EvalCache,
+) -> BlocksizeDse {
     let estimates: Vec<_> = crossbeam::thread::scope(|s| {
         let handles: Vec<_> = BLOCKSIZE_CANDIDATES
             .iter()
-            .map(|&b| s.spawn(move |_| model.estimate(work, b, pinned)))
+            .map(|&b| s.spawn(move |_| model.estimate_cached(work, b, pinned, cache)))
             .collect();
         handles
             .into_iter()
@@ -162,7 +174,12 @@ pub struct ThreadsDse {
 
 /// Sweep thread counts 1, 2, 4, … up to `max_threads` (plus the physical
 /// core count) and keep the fastest.
-pub fn omp_threads_dse(model: &CpuModel, work: &KernelWork, max_threads: u32) -> ThreadsDse {
+pub fn omp_threads_dse(
+    model: &CpuModel,
+    work: &KernelWork,
+    max_threads: u32,
+    cache: &EvalCache,
+) -> ThreadsDse {
     let mut candidates: Vec<u32> = std::iter::successors(Some(1u32), |t| {
         let next = t * 2;
         (next <= max_threads).then_some(next)
@@ -178,7 +195,7 @@ pub fn omp_threads_dse(model: &CpuModel, work: &KernelWork, max_threads: u32) ->
     let times: Vec<f64> = crossbeam::thread::scope(|s| {
         let handles: Vec<_> = candidates
             .iter()
-            .map(|&t| s.spawn(move |_| model.time_openmp(work, t)))
+            .map(|&t| s.spawn(move |_| model.time_openmp_cached(work, t, cache)))
             .collect();
         handles
             .into_iter()
@@ -240,7 +257,7 @@ mod tests {
         let mut m = parse_module(KNL, "t").unwrap();
         let model = FpgaModel::new(arria10());
         let w = flat_work();
-        let dse = unroll_until_overmap(&mut m, "knl", &model, &w).unwrap();
+        let dse = unroll_until_overmap(&mut m, "knl", &model, &w, &EvalCache::new()).unwrap();
         assert!(dse.factor >= 2, "{dse:?}");
         assert!(!dse.report.overmapped);
         // One factor further must overmap.
@@ -258,8 +275,22 @@ mod tests {
         let w = flat_work();
         let mut m1 = parse_module(KNL, "t").unwrap();
         let mut m2 = parse_module(KNL, "t").unwrap();
-        let a10 = unroll_until_overmap(&mut m1, "knl", &FpgaModel::new(arria10()), &w).unwrap();
-        let s10 = unroll_until_overmap(&mut m2, "knl", &FpgaModel::new(stratix10()), &w).unwrap();
+        let a10 = unroll_until_overmap(
+            &mut m1,
+            "knl",
+            &FpgaModel::new(arria10()),
+            &w,
+            &EvalCache::new(),
+        )
+        .unwrap();
+        let s10 = unroll_until_overmap(
+            &mut m2,
+            "knl",
+            &FpgaModel::new(stratix10()),
+            &w,
+            &EvalCache::new(),
+        )
+        .unwrap();
         assert!(
             s10.factor > a10.factor,
             "s10 {} vs a10 {}",
@@ -280,7 +311,14 @@ mod tests {
             },
             ..flat_work()
         };
-        let dse = unroll_until_overmap(&mut m, "knl", &FpgaModel::new(arria10()), &w).unwrap();
+        let dse = unroll_until_overmap(
+            &mut m,
+            "knl",
+            &FpgaModel::new(arria10()),
+            &w,
+            &EvalCache::new(),
+        )
+        .unwrap();
         assert_eq!(dse.factor, 0, "overmapped at unroll 1");
         assert!(dse.report.overmapped);
         assert!(!psa_minicpp::print_module(&m).contains("#pragma unroll"));
@@ -293,7 +331,14 @@ mod tests {
             flat_pipeline: false,
             ..flat_work()
         };
-        let dse = unroll_until_overmap(&mut m, "knl", &FpgaModel::new(stratix10()), &w).unwrap();
+        let dse = unroll_until_overmap(
+            &mut m,
+            "knl",
+            &FpgaModel::new(stratix10()),
+            &w,
+            &EvalCache::new(),
+        )
+        .unwrap();
         assert_eq!(dse.factor, 1);
     }
 
@@ -301,7 +346,7 @@ mod tests {
     fn blocksize_dse_picks_a_feasible_fast_config() {
         let model = GpuModel::new(rtx_2080_ti());
         let w = flat_work();
-        let dse = blocksize_dse(&model, &w, true);
+        let dse = blocksize_dse(&model, &w, true, &EvalCache::new());
         assert!(BLOCKSIZE_CANDIDATES.contains(&dse.blocksize));
         assert!(dse.total_s.is_finite());
         // It must be at least as good as every candidate.
@@ -317,7 +362,7 @@ mod tests {
             regs_per_thread: 255,
             ..flat_work()
         };
-        let dse = blocksize_dse(&model, &w, true);
+        let dse = blocksize_dse(&model, &w, true, &EvalCache::new());
         // 255 regs × 512 threads exceeds the register file.
         assert!(dse.blocksize <= 256, "{dse:?}");
         assert!(dse.total_s.is_finite());
@@ -331,8 +376,8 @@ mod tests {
             regs_per_thread: 128,
             ..flat_work()
         };
-        let a = blocksize_dse(&GpuModel::new(gtx_1080_ti()), &w, true);
-        let b = blocksize_dse(&GpuModel::new(gtx_1080_ti()), &w, true);
+        let a = blocksize_dse(&GpuModel::new(gtx_1080_ti()), &w, true, &EvalCache::new());
+        let b = blocksize_dse(&GpuModel::new(gtx_1080_ti()), &w, true, &EvalCache::new());
         assert_eq!(a, b, "deterministic");
     }
 
@@ -340,7 +385,7 @@ mod tests {
     fn omp_dse_selects_all_cores_for_parallel_compute() {
         let model = CpuModel::new(epyc_7543());
         let w = flat_work();
-        let dse = omp_threads_dse(&model, &w, 64);
+        let dse = omp_threads_dse(&model, &w, 64, &EvalCache::new());
         assert_eq!(dse.threads, 32, "maximum useful threads = physical cores");
     }
 
@@ -351,7 +396,7 @@ mod tests {
             threads: 2.0,
             ..flat_work()
         };
-        let dse = omp_threads_dse(&model, &w, 64);
+        let dse = omp_threads_dse(&model, &w, 64, &EvalCache::new());
         assert!(dse.threads <= 4, "{dse:?}");
     }
 }

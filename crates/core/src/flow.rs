@@ -39,7 +39,10 @@ pub enum FlowError {
 }
 
 impl FlowError {
-    /// Build an untyped error.
+    /// Build an untyped error. Compatibility shim for pre-typed-error
+    /// callers; hidden from docs so new code reaches for the typed
+    /// constructors instead.
+    #[doc(hidden)]
     #[deprecated(note = "use a typed constructor: `FlowError::precondition`, \
                          `::transform`, `::analysis`, `::codegen`, `::selection` or `::budget`")]
     pub fn new(message: impl Into<String>) -> Self {
@@ -364,9 +367,7 @@ mod tests {
             FlowError::transform("transform error: loop vanished").message(),
             "transform error: loop vanished"
         );
-        #[allow(deprecated)]
-        let shim = FlowError::new("legacy message");
-        assert_eq!(shim, FlowError::precondition("legacy message"));
-        assert_eq!(shim.to_string(), "flow error: legacy message");
+        let legacy = FlowError::precondition("legacy message");
+        assert_eq!(legacy.to_string(), "flow error: legacy message");
     }
 }

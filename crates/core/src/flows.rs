@@ -10,7 +10,9 @@ use crate::report::{DeviceKind, FlowOutcome, TargetKind};
 use crate::strategy::{SelectAll, TargetSelect, PATH_CPU, PATH_FPGA, PATH_GPU};
 use crate::task::Task;
 use crate::tasks::{cpu, fpga, gpu, tindep};
+use crate::trace::TraceEvent;
 use psa_artisan::Ast;
+use psa_evalcache::EvalCache;
 use std::sync::Arc;
 
 /// Informed (Fig. 3 strategy at branch point A) vs uninformed (all paths).
@@ -154,13 +156,36 @@ pub fn full_psa_flow_with_strategy_on(
     strategy: impl crate::strategy::PsaStrategy + 'static,
     params: PsaParams,
 ) -> Result<FlowOutcome, FlowError> {
+    full_psa_flow_with_strategy_cached_on(
+        engine,
+        source,
+        app_name,
+        strategy,
+        params,
+        Arc::new(EvalCache::new()),
+    )
+}
+
+/// [`full_psa_flow_with_strategy_on`] with a caller-provided evaluation
+/// cache — pass the same `Arc` across flows to reuse profiled runs and
+/// model estimates between them.
+pub fn full_psa_flow_with_strategy_cached_on(
+    engine: FlowEngine,
+    source: &str,
+    app_name: &str,
+    strategy: impl crate::strategy::PsaStrategy + 'static,
+    params: PsaParams,
+    cache: Arc<EvalCache>,
+) -> Result<FlowOutcome, FlowError> {
     let ast = Ast::from_source(source, app_name)
         .map_err(|e| FlowError::precondition(format!("parse error: {e}")))?;
-    let mut ctx = FlowContext::new(ast, params);
+    let mut ctx = FlowContext::with_cache(ast, params, cache);
+    let before = ctx.cache.stats();
     engine.execute(
         &build_flow_with_strategy(strategy, "A (custom strategy)"),
         &mut ctx,
     )?;
+    push_cache_stats(&mut ctx, &before);
     let selected_target = ctx.selected_target;
     Ok(package_outcome(app_name, ctx, selected_target))
 }
@@ -185,11 +210,36 @@ pub fn full_psa_flow_on(
     mode: FlowMode,
     params: PsaParams,
 ) -> Result<FlowOutcome, FlowError> {
+    full_psa_flow_cached_on(
+        engine,
+        source,
+        app_name,
+        mode,
+        params,
+        Arc::new(EvalCache::new()),
+    )
+}
+
+/// [`full_psa_flow_on`] with a caller-provided evaluation cache. Every
+/// path of this flow shares the cache (branch contexts clone the `Arc`),
+/// and passing the same cache to several flows — e.g. an informed and an
+/// uninformed run over the same application — lets later flows hit the
+/// profiled runs and model estimates warmed by earlier ones.
+pub fn full_psa_flow_cached_on(
+    engine: FlowEngine,
+    source: &str,
+    app_name: &str,
+    mode: FlowMode,
+    params: PsaParams,
+    cache: Arc<EvalCache>,
+) -> Result<FlowOutcome, FlowError> {
     let ast = Ast::from_source(source, app_name)
         .map_err(|e| FlowError::precondition(format!("parse error: {e}")))?;
-    let mut ctx = FlowContext::new(ast, params);
+    let mut ctx = FlowContext::with_cache(ast, params, cache);
     let flow = build_flow(mode);
+    let before = ctx.cache.stats();
     engine.execute(&flow, &mut ctx)?;
+    push_cache_stats(&mut ctx, &before);
 
     // The informed strategy records its decision (with evidence) in the
     // context at branch time — *before* target-specific transforms reshape
@@ -200,6 +250,19 @@ pub fn full_psa_flow_on(
     };
 
     Ok(package_outcome(app_name, ctx, selected_target))
+}
+
+/// Record this flow's share of cache activity as a structured (never
+/// rendered) trace event.
+fn push_cache_stats(ctx: &mut FlowContext, before: &psa_evalcache::CacheStats) {
+    let delta = ctx.cache.stats().since(before);
+    ctx.push_event(TraceEvent::CacheStats {
+        flow: "psa-flow".to_string(),
+        hits: delta.hits,
+        misses: delta.misses,
+        evictions: delta.evictions,
+        entries: delta.entries,
+    });
 }
 
 fn package_outcome(

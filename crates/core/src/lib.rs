@@ -29,6 +29,12 @@
 //!   and uninformed modes;
 //! * [`work`] — builds the platform models' workload record from analysis
 //!   evidence;
+//! * evaluation caching — every expensive evaluation (profiled interpreter
+//!   runs, dynamic analyses, platform-model estimates) goes through a
+//!   shared content-addressed [`EvalCache`] held on the
+//!   [`context::FlowContext`]; keys combine the AST's structural
+//!   fingerprint with workload/config parameters, so transformed programs
+//!   never collide with their ancestors and repeated evaluations are free;
 //! * [`report`] — flow outcomes: generated designs, estimated times,
 //!   speedups vs the single-thread reference;
 //! * [`related`] — the Table II capability matrix, encoded as data.
@@ -50,6 +56,7 @@ pub use context::{FlowContext, PsaParams};
 pub use engine::{ExecMode, FlowEngine};
 pub use flow::{BranchPoint, Flow, FlowError, Selection, Step};
 pub use flows::{full_psa_flow, FlowMode};
+pub use psa_evalcache::{CacheKey, CacheStats, EvalCache, KeyBuilder};
 pub use report::{DesignArtifact, DeviceKind, FlowOutcome, TargetKind};
 pub use strategy::{PsaStrategy, TargetSelect};
 pub use task::{Task, TaskClass, TaskInfo};

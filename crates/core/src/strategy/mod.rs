@@ -173,15 +173,16 @@ impl TargetSelect {
         let cost_of = |target: TargetKind| -> Option<f64> {
             match target {
                 TargetKind::MultiThreadCpu => {
-                    let t = CpuModel::new(epyc_7543()).time_openmp(w, 32);
+                    let t = CpuModel::new(epyc_7543()).time_openmp_cached(w, 32, &ctx.cache);
                     Some(t / 3600.0 * p_cpu)
                 }
                 TargetKind::CpuGpu => {
-                    let t = GpuModel::new(rtx_2080_ti()).total_time(w, 256, true);
+                    let t =
+                        GpuModel::new(rtx_2080_ti()).total_time_cached(w, 256, true, &ctx.cache);
                     t.is_finite().then(|| t / 3600.0 * p_gpu)
                 }
                 TargetKind::CpuFpga => FpgaModel::new(stratix10())
-                    .total_time(w, 1)
+                    .total_time_cached(w, 1, &ctx.cache)
                     .ok()
                     .map(|t| t / 3600.0 * p_fpga),
             }

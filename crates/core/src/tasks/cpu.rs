@@ -59,7 +59,7 @@ impl Task for OmpNumThreadsDse {
         ensure_analysis(ctx)?;
         let w = kernel_work(ctx)?;
         let model = CpuModel::new(epyc_7543());
-        let dse = omp_threads_dse(&model, &w, ctx.params.omp_max_threads);
+        let dse = omp_threads_dse(&model, &w, ctx.params.omp_max_threads, &ctx.cache);
         ctx.tuned.threads = Some(dse.threads);
         ctx.push_event(TraceEvent::Dse(DseTrace::OmpThreads {
             threads: dse.threads,
@@ -88,7 +88,8 @@ impl Task for GenerateOpenMpDesign {
         )?;
         let w = kernel_work(ctx)?;
         let model = CpuModel::new(epyc_7543());
-        let time = model.time_openmp(&w, threads);
+        // A hit when the DSE already probed this thread count.
+        let time = model.time_openmp_cached(&w, threads, &ctx.cache);
         let loc = design.loc();
         ctx.designs.push(DesignArtifact {
             target: TargetKind::MultiThreadCpu,

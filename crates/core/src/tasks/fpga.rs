@@ -135,7 +135,8 @@ impl Task for UnrollUntilOvermapDse {
         let kernel = ctx.kernel_name()?.to_string();
         let w = kernel_work(ctx)?;
         let model = FpgaModel::new(spec_for(self.device)?);
-        let dse = unroll_until_overmap(&mut ctx.ast.module, &kernel, &model, &w)?;
+        let cache = std::sync::Arc::clone(&ctx.cache);
+        let dse = unroll_until_overmap(&mut ctx.ast.module, &kernel, &model, &w, &cache)?;
         if dse.factor == 0 {
             let reason = format!(
                 "design overmaps {} at unroll 1 (LUT {:.0}%)",
@@ -189,7 +190,8 @@ impl Task for GenerateOneApiDesign {
         } else {
             let w = kernel_work(ctx)?;
             let model = FpgaModel::new(spec_for(self.device)?);
-            match model.estimate(&w, unroll) {
+            // Reuses the HLS reports the unroll DSE warmed for this device.
+            match model.estimate_cached(&w, unroll, &ctx.cache) {
                 Ok(e) => (
                     Some(e.total_s),
                     true,

@@ -261,7 +261,7 @@ impl Task for BlocksizeDseTask {
         // sweep with a representative mid-size work and re-evaluate the
         // winner exactly.
         let w = gpu_effective_work(ctx, 256)?;
-        let dse = blocksize_dse(&model, &w, pinned);
+        let dse = blocksize_dse(&model, &w, pinned, &ctx.cache);
         ctx.tuned.blocksize = Some(dse.blocksize);
         ctx.tuned.occupancy = Some(dse.occupancy);
         ctx.push_event(TraceEvent::Dse(DseTrace::Blocksize {
@@ -300,7 +300,8 @@ impl Task for GenerateHipDesign {
 
         let w = gpu_effective_work(ctx, blocksize)?;
         let model = GpuModel::new(spec_for(self.device)?);
-        let est = model.estimate(&w, blocksize, pinned);
+        // A hit when the DSE swept this exact configuration.
+        let est = model.estimate_cached(&w, blocksize, pinned, &ctx.cache);
         let loc = design.loc();
         let (time, notes) = match est {
             Some(e) => (

@@ -18,23 +18,29 @@ use crate::flow::FlowError;
 
 /// Run (or reuse) the bundled target-independent analyses over the current
 /// kernel. Dynamic analyses execute the program once; every analysis task
-/// shares that run.
+/// shares that run, and the run itself is memoized in the flow's shared
+/// evaluation cache (keyed by the module's structural fingerprint), so
+/// sibling branch paths and repeated flows over the same program state skip
+/// the instrumented execution entirely.
 pub fn ensure_analysis(ctx: &mut FlowContext) -> Result<(), FlowError> {
     if ctx.analysis.is_some() {
         return Ok(());
     }
     let kernel = ctx.kernel_name()?.to_string();
-    let analysis = psa_analyses::analyze_kernel(&ctx.ast.module, &kernel)?;
-    ctx.analysis = Some(analysis);
+    let analysis = psa_analyses::analyze_kernel_cached(&ctx.ast.module, &kernel, &ctx.cache)?;
+    ctx.analysis = Some((*analysis).clone());
     if ctx.reference_time_s.is_none() {
         ctx.reference_time_s = Some(crate::work::reference_time(ctx)?);
     }
     Ok(())
 }
 
-/// Invalidate cached analysis after a semantics-relevant AST rewrite and
-/// re-run it (transforms like reduction removal or loop unrolling change
-/// the dependence structure the strategy reads).
+/// Invalidate the context's analysis record after a semantics-relevant AST
+/// rewrite and re-run it (transforms like reduction removal or loop
+/// unrolling change the dependence structure the strategy reads). The
+/// evaluation cache needs no invalidation: the rewritten AST has a new
+/// structural fingerprint, so the re-analysis addresses a different entry
+/// by construction.
 pub fn reanalyze(ctx: &mut FlowContext) -> Result<(), FlowError> {
     ctx.analysis = None;
     ensure_analysis(ctx)

@@ -17,7 +17,8 @@ impl Task for IdentifyHotspotLoops {
     }
 
     fn run(&self, ctx: &mut FlowContext) -> Result<(), FlowError> {
-        let report = psa_analyses::hotspot::detect_hotspots(&ctx.ast.module)?;
+        let report = psa_analyses::hotspot::detect_hotspots_cached(&ctx.ast.module, &ctx.cache)?;
+        let report = (*report).clone();
         let Some(hottest) = report.hottest() else {
             return Err(FlowError::precondition(
                 "application contains no candidate loops",

@@ -64,6 +64,24 @@ pub enum TraceEvent {
     },
     /// A design-space-exploration result.
     Dse(DseTrace),
+    /// Evaluation-cache summary for one flow run: how the shared
+    /// content-addressed cache behaved while the flow executed. Recorded in
+    /// the structured trace (JSON export) but deliberately *not* rendered
+    /// into the legacy lines — hit/miss counts legitimately differ between
+    /// parallel and sequential engines (concurrent misses on the same key
+    /// both count), and rendered traces must stay byte-identical.
+    CacheStats {
+        /// Name of the flow the summary belongs to.
+        flow: String,
+        /// Cache hits while the flow ran.
+        hits: u64,
+        /// Cache misses while the flow ran.
+        misses: u64,
+        /// FIFO evictions while the flow ran.
+        evictions: u64,
+        /// Live entries at the end of the run.
+        entries: u64,
+    },
 }
 
 /// The selection a strategy made, mirroring [`crate::flow::Selection`] but
@@ -223,6 +241,9 @@ fn render_event(event: &TraceEvent, out: &mut Vec<String>) {
             }
         }
         TraceEvent::Dse(dse) => out.push(dse.render()),
+        // Cache statistics are engine-schedule-dependent (see the variant
+        // doc); like task wall-clocks they are recorded but never rendered.
+        TraceEvent::CacheStats { .. } => {}
     }
 }
 
@@ -377,6 +398,20 @@ fn write_event(s: &mut String, event: &TraceEvent) {
                 }
             }
             s.push('}');
+        }
+        TraceEvent::CacheStats {
+            flow,
+            hits,
+            misses,
+            evictions,
+            entries,
+        } => {
+            s.push_str("{\"kind\":\"cache-stats\",\"flow\":");
+            write_str(s, flow);
+            let _ = write!(
+                s,
+                ",\"hits\":{hits},\"misses\":{misses},\"evictions\":{evictions},\"entries\":{entries}}}"
+            );
         }
     }
 }
@@ -571,6 +606,29 @@ mod tests {
             json,
             "[{\"kind\":\"note\",\"text\":\"say \\\"hi\\\"\\n\"},\
              {\"kind\":\"dse\",\"dse\":\"omp-threads\",\"threads\":8,\"est_s\":0.25}]"
+        );
+    }
+
+    #[test]
+    fn cache_stats_export_to_json_but_never_render() {
+        let events = vec![
+            note("before"),
+            TraceEvent::CacheStats {
+                flow: "psa-flow".into(),
+                hits: 12,
+                misses: 3,
+                evictions: 0,
+                entries: 3,
+            },
+        ];
+        assert_eq!(render_lines(&events), vec!["before"]);
+        let json = to_json(&events);
+        assert!(
+            json.contains(
+                "{\"kind\":\"cache-stats\",\"flow\":\"psa-flow\",\
+                 \"hits\":12,\"misses\":3,\"evictions\":0,\"entries\":3}"
+            ),
+            "{json}"
         );
     }
 

@@ -1,0 +1,464 @@
+//! # psa-evalcache — content-addressed evaluation cache
+//!
+//! PSA-flows re-execute the same expensive evaluations constantly: the
+//! dynamic analyses interpret the whole program, `unroll_until_overmap`
+//! runs an analytic partial-compile per unroll doubling, and the benchmark
+//! harness pushes every application through the informed *and* uninformed
+//! flow, which share identical target-independent analysis work. This
+//! crate provides the shared memoization layer those seams thread through:
+//!
+//! * [`EvalCache`] — a thread-safe, type-erased, bounded store. One
+//!   instance is shared (via `Arc`) by every cloned per-path context of a
+//!   flow and across flow instances in the bench harness.
+//! * [`CacheKey`] — content address: a short `domain` discriminator (which
+//!   evaluation) plus a 64-bit content hash (of what). Keys are built with
+//!   [`KeyBuilder`] from stable inputs only — AST structural fingerprints,
+//!   `f64::to_bits` of model parameters, spec fields — never from node
+//!   ids, spans or addresses, so equal content always maps to equal keys
+//!   and mutated content to fresh ones (invalidation by construction).
+//! * [`Fnv64`] — the FNV-1a hasher behind every key and fingerprint.
+//!   `std`'s default hasher is randomized per process; FNV-1a is fixed, so
+//!   fingerprints are reproducible across runs and machines.
+//!
+//! Correctness stance: every cached computation is deterministic in its
+//! key, so a hit returns bit-identical data to a recompute. Two threads
+//! racing on the same absent key may both compute (the lock is *not* held
+//! during compute, which also keeps re-entrant cached calls deadlock-free);
+//! both arrive at the same value and one insert wins. Hit/miss *counts*
+//! therefore depend on scheduling, but cached *values* never do — which is
+//! exactly why the flow engine's byte-identical-output invariant keeps
+//! holding with the cache enabled.
+
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// FNV-1a 64-bit hasher: deterministic across processes (unlike
+/// `std::collections::hash_map::RandomState`), trivially small, and good
+/// enough dispersion for content addressing.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv64 {
+    pub fn new() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Hasher for Fnv64 {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// Hash any `Hash` value through [`Fnv64`] — the deterministic counterpart
+/// of `BuildHasher::hash_one`.
+pub fn fnv64_of<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = Fnv64::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// A content address: which evaluation (`domain`) of what content (`hash`).
+///
+/// The domain keeps structurally equal inputs to *different* evaluations
+/// (say, an FPGA report and a GPU estimate over the same workload) from
+/// colliding, and doubles as a human-readable label when debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    pub domain: &'static str,
+    pub hash: u64,
+}
+
+impl CacheKey {
+    pub fn new(domain: &'static str, hash: u64) -> Self {
+        CacheKey { domain, hash }
+    }
+}
+
+/// Builds a [`CacheKey`] from heterogeneous stable inputs.
+///
+/// Floats are keyed by `to_bits`, so `-0.0` and `0.0` (and different NaN
+/// payloads) are distinct keys — harmlessly conservative: at worst the
+/// cache recomputes something it could have shared.
+#[derive(Debug, Clone)]
+pub struct KeyBuilder {
+    domain: &'static str,
+    h: Fnv64,
+}
+
+impl KeyBuilder {
+    pub fn new(domain: &'static str) -> Self {
+        let mut h = Fnv64::new();
+        domain.hash(&mut h);
+        KeyBuilder { domain, h }
+    }
+
+    pub fn u64(mut self, v: u64) -> Self {
+        v.hash(&mut self.h);
+        self
+    }
+
+    pub fn u32(mut self, v: u32) -> Self {
+        v.hash(&mut self.h);
+        self
+    }
+
+    pub fn i64(mut self, v: i64) -> Self {
+        v.hash(&mut self.h);
+        self
+    }
+
+    pub fn f64(mut self, v: f64) -> Self {
+        v.to_bits().hash(&mut self.h);
+        self
+    }
+
+    pub fn bool(mut self, v: bool) -> Self {
+        v.hash(&mut self.h);
+        self
+    }
+
+    pub fn str(mut self, v: &str) -> Self {
+        v.hash(&mut self.h);
+        self
+    }
+
+    pub fn finish(self) -> CacheKey {
+        CacheKey::new(self.domain, self.h.finish())
+    }
+}
+
+/// Point-in-time cache counters. Deltas between two snapshots (see
+/// [`CacheStats::since`]) give per-flow or per-phase figures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of lookups; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter deltas accumulated since `earlier` (entries stays absolute).
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            entries: self.entries,
+        }
+    }
+}
+
+type Stored = Arc<dyn Any + Send + Sync>;
+
+#[derive(Default)]
+struct Store {
+    map: HashMap<CacheKey, Stored>,
+    /// Insertion order for FIFO eviction once `capacity` is exceeded.
+    order: VecDeque<CacheKey>,
+}
+
+/// Thread-safe, content-addressed, bounded (FIFO-evicting) store of
+/// evaluation results.
+///
+/// Values are type-erased behind `Arc<dyn Any>`; the typed accessors
+/// ([`EvalCache::get_or_compute`] / [`EvalCache::try_get_or_compute`])
+/// recover the concrete type. The lock is released while the computation
+/// runs, so cached computations may themselves call back into the cache.
+///
+/// [`EvalCache::disabled`] builds a no-op instance: every lookup computes,
+/// nothing is stored, all counters stay zero. This is the `--no-cache`
+/// baseline — semantically identical by construction.
+pub struct EvalCache {
+    /// `None` = disabled (pass-through) mode.
+    store: Option<Mutex<Store>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Plenty for the full benchmark suite (a few hundred distinct
+/// evaluations) while bounding memory for open-ended DSE sweeps.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+impl EvalCache {
+    /// An enabled cache with [`DEFAULT_CAPACITY`].
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// An enabled cache holding at most `capacity` entries (≥ 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        EvalCache {
+            store: Some(Mutex::new(Store::default())),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// A pass-through cache: always computes, never stores, never counts.
+    pub fn disabled() -> Self {
+        EvalCache {
+            store: None,
+            capacity: 0,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Current counters (all zero for a disabled cache).
+    pub fn stats(&self) -> CacheStats {
+        let entries = match &self.store {
+            Some(m) => m.lock().expect("evalcache poisoned").map.len() as u64,
+            None => 0,
+        };
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+
+    fn lookup<T: Send + Sync + 'static>(&self, key: CacheKey) -> Option<Arc<T>> {
+        let store = self.store.as_ref()?;
+        let found = store
+            .lock()
+            .expect("evalcache poisoned")
+            .map
+            .get(&key)
+            .cloned();
+        match found.and_then(|v| v.downcast::<T>().ok()) {
+            Some(t) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(t)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn insert(&self, key: CacheKey, value: Stored) {
+        let Some(store) = &self.store else { return };
+        let mut s = store.lock().expect("evalcache poisoned");
+        if s.map.insert(key, value).is_none() {
+            // New key (a concurrent loser overwriting an identical value
+            // re-uses the existing order slot).
+            s.order.push_back(key);
+            while s.map.len() > self.capacity {
+                if let Some(oldest) = s.order.pop_front() {
+                    s.map.remove(&oldest);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Return the cached value for `key`, computing and storing it on a
+    /// miss. The computation MUST be deterministic in the key: concurrent
+    /// misses on the same key may both run `compute`, and either (equal)
+    /// result may be the one that sticks.
+    pub fn get_or_compute<T, F>(&self, key: CacheKey, compute: F) -> Arc<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        if let Some(hit) = self.lookup::<T>(key) {
+            return hit;
+        }
+        let value = Arc::new(compute());
+        self.insert(key, value.clone());
+        value
+    }
+
+    /// Fallible variant of [`EvalCache::get_or_compute`]: only `Ok` results
+    /// are stored, so a transient failure is retried on the next lookup.
+    pub fn try_get_or_compute<T, E, F>(&self, key: CacheKey, compute: F) -> Result<Arc<T>, E>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> Result<T, E>,
+    {
+        if let Some(hit) = self.lookup::<T>(key) {
+            return Ok(hit);
+        }
+        let value = Arc::new(compute()?);
+        self.insert(key, value.clone());
+        Ok(value)
+    }
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        EvalCache::new()
+    }
+}
+
+impl std::fmt::Debug for EvalCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalCache")
+            .field("enabled", &self.is_enabled())
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv64_is_deterministic_and_discriminating() {
+        assert_eq!(fnv64_of("abc"), fnv64_of("abc"));
+        assert_ne!(fnv64_of("abc"), fnv64_of("abd"));
+        // Known FNV-1a vector: empty input hashes to the offset basis.
+        let mut h = Fnv64::new();
+        h.write(&[]);
+        assert_eq!(h.finish(), FNV_OFFSET);
+    }
+
+    #[test]
+    fn key_builder_orders_and_separates_domains() {
+        let a = KeyBuilder::new("d1").u64(1).f64(2.0).finish();
+        let b = KeyBuilder::new("d1").u64(1).f64(2.0).finish();
+        let c = KeyBuilder::new("d2").u64(1).f64(2.0).finish();
+        let d = KeyBuilder::new("d1").f64(2.0).u64(1).finish();
+        assert_eq!(a, b);
+        assert_ne!(a, c, "same content, different domains");
+        assert_ne!(a, d, "field order is part of the address");
+    }
+
+    #[test]
+    fn hit_returns_same_arc_and_counts() {
+        let cache = EvalCache::new();
+        let key = KeyBuilder::new("t").u64(7).finish();
+        let first = cache.get_or_compute(key, || 42u64);
+        let second = cache.get_or_compute(key, || unreachable!("must hit"));
+        assert!(Arc::ptr_eq(&first, &second));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_cache_always_computes_and_never_counts() {
+        let cache = EvalCache::disabled();
+        let key = KeyBuilder::new("t").u64(7).finish();
+        let mut calls = 0;
+        for _ in 0..3 {
+            let v = cache.get_or_compute(key, || {
+                calls += 1;
+                calls
+            });
+            assert_eq!(*v, calls);
+        }
+        assert_eq!(calls, 3);
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert!(!cache.is_enabled());
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = EvalCache::new();
+        let key = KeyBuilder::new("t").u64(1).finish();
+        let err: Result<Arc<u64>, &str> = cache.try_get_or_compute(key, || Err("boom"));
+        assert_eq!(err.unwrap_err(), "boom");
+        let ok = cache
+            .try_get_or_compute(key, || Ok::<u64, &str>(9))
+            .unwrap();
+        assert_eq!(*ok, 9);
+        let hit = cache
+            .try_get_or_compute(key, || Err::<u64, &str>("must hit"))
+            .unwrap();
+        assert_eq!(*hit, 9);
+    }
+
+    #[test]
+    fn fifo_eviction_respects_capacity() {
+        let cache = EvalCache::with_capacity(2);
+        let key = |i: u64| KeyBuilder::new("t").u64(i).finish();
+        for i in 0..3 {
+            cache.get_or_compute(key(i), move || i);
+        }
+        let s = cache.stats();
+        assert_eq!((s.entries, s.evictions), (2, 1));
+        // Key 0 was evicted (FIFO): looking it up recomputes.
+        let v = cache.get_or_compute(key(0), || 100u64);
+        assert_eq!(*v, 100);
+        // Keys 1 and 2 survive... key 1 was evicted by re-inserting key 0.
+        let v2 = cache.get_or_compute::<u64, _>(key(2), || unreachable!("still cached"));
+        assert_eq!(*v2, 2);
+    }
+
+    #[test]
+    fn concurrent_misses_converge_on_one_value() {
+        let cache = Arc::new(EvalCache::new());
+        let key = KeyBuilder::new("t").u64(11).finish();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || *cache.get_or_compute(key, || 5u64))
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 5);
+        }
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 8);
+        assert_eq!(s.entries, 1);
+    }
+
+    #[test]
+    fn stats_since_subtracts_counters() {
+        let cache = EvalCache::new();
+        let key = KeyBuilder::new("t").u64(1).finish();
+        cache.get_or_compute(key, || 1u64);
+        let snap = cache.stats();
+        cache.get_or_compute(key, || 1u64);
+        cache.get_or_compute(key, || 1u64);
+        let delta = cache.stats().since(&snap);
+        assert_eq!((delta.hits, delta.misses), (2, 0));
+    }
+}

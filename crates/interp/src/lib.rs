@@ -37,6 +37,78 @@ pub use memory::{BufferId, Memory};
 pub use profile::{CostModel, LoopStats, Profile};
 pub use value::{Pointer, Value};
 
+use psa_evalcache::{EvalCache, KeyBuilder};
+use psa_minicpp::Module;
+use std::sync::Arc;
+
+/// The artefacts of one completed profiled execution: `main`'s return
+/// value, the profile (virtual clock, FLOP/byte counters, per-loop stats)
+/// and the final memory arena (per-buffer kernel access ranges).
+#[derive(Debug)]
+pub struct ProfiledRun {
+    pub result: Value,
+    pub profile: Profile,
+    pub memory: Memory,
+}
+
+impl RunConfig {
+    /// Deterministic content hash of every field that influences execution
+    /// results — the config part of a profiled run's cache address.
+    pub fn content_hash(&self) -> u64 {
+        let c = &self.cost_model;
+        psa_evalcache::fnv64_of(&(
+            (
+                c.int_op,
+                c.int_mul,
+                c.int_div,
+                c.fp_op,
+                c.fp_div,
+                c.sqrt,
+                c.transcendental,
+            ),
+            (
+                c.load,
+                c.store,
+                c.branch,
+                c.call,
+                c.transcendental_flops,
+                c.sqrt_flops,
+            ),
+            self.max_cycles,
+            self.max_call_depth as u64,
+            self.watch_function.as_deref(),
+        ))
+    }
+}
+
+/// Execute `main` under `config`, memoized in `cache`.
+///
+/// The address is the module's structural fingerprint plus the config's
+/// content hash, so a hit is guaranteed to replay a bit-identical
+/// execution (the interpreter is deterministic). Failed runs are not
+/// cached. This is the seam every dynamic analysis reaches the
+/// interpreter through when a cache is in play.
+pub fn run_profiled_cached(
+    module: &Module,
+    config: RunConfig,
+    cache: &EvalCache,
+) -> RuntimeResult<Arc<ProfiledRun>> {
+    let key = KeyBuilder::new("interp/profiled-run")
+        .u64(psa_minicpp::module_fingerprint(module))
+        .u64(config.content_hash())
+        .finish();
+    cache.try_get_or_compute(key, || {
+        let mut interp = Interpreter::new(module, config);
+        let result = interp.run_main()?;
+        let (profile, memory) = interp.into_parts();
+        Ok(ProfiledRun {
+            result,
+            profile,
+            memory,
+        })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

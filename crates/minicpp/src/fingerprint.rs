@@ -1,0 +1,321 @@
+//! Stable structural fingerprint of MiniC++ ASTs.
+//!
+//! [`module_fingerprint`] reduces a [`Module`] to a 64-bit FNV-1a hash of
+//! its *structure*: node kinds, operators, names, literal values (floats
+//! by `to_bits`), types, pragma text and the module name. It deliberately
+//! ignores [`NodeId`](crate::ast::NodeId)s, [`Span`](crate::span::Span)s
+//! and the module's id counter — those change under re-parsing and
+//! instrumentation without changing meaning — so two ASTs that
+//! pretty-print to the same program fingerprint identically, while any
+//! transform that edits the tree (pragma insertion, literal rewriting,
+//! loop restructuring) lands on a fresh fingerprint.
+//!
+//! That property is what makes the fingerprint a *content address* for the
+//! evaluation cache: a cache entry keyed by fingerprint never needs
+//! explicit invalidation, because mutated content stops mapping to it.
+//!
+//! Every list is hashed length-first and every node kind carries a
+//! distinct tag byte, so differently-shaped trees cannot collide by
+//! concatenation ambiguity (e.g. two statements vs one nested block).
+
+use crate::ast::{
+    Block, Expr, ExprKind, ForLoop, Function, Item, Module, Param, Pragma, Stmt, StmtKind, VarDecl,
+};
+use psa_evalcache::Fnv64;
+use std::hash::{Hash, Hasher};
+
+/// The structural 64-bit fingerprint of `module`.
+pub fn module_fingerprint(module: &Module) -> u64 {
+    let mut fp = Fp(Fnv64::new());
+    fp.module(module);
+    fp.0.finish()
+}
+
+struct Fp(Fnv64);
+
+impl Fp {
+    fn tag(&mut self, t: u8) {
+        t.hash(&mut self.0);
+    }
+
+    fn hash<T: Hash + ?Sized>(&mut self, v: &T) {
+        v.hash(&mut self.0);
+    }
+
+    fn len(&mut self, n: usize) {
+        (n as u64).hash(&mut self.0);
+    }
+
+    fn module(&mut self, m: &Module) {
+        self.tag(0x4d); // 'M'
+        self.hash(m.name.as_str());
+        self.len(m.items.len());
+        for item in &m.items {
+            match item {
+                Item::Function(f) => {
+                    self.tag(1);
+                    self.function(f);
+                }
+                Item::Global(s) => {
+                    self.tag(2);
+                    self.stmt(s);
+                }
+            }
+        }
+    }
+
+    fn function(&mut self, f: &Function) {
+        self.tag(0x46); // 'F'
+        self.pragmas(&f.pragmas);
+        self.hash(&f.ret);
+        self.hash(f.name.as_str());
+        self.len(f.params.len());
+        for p in &f.params {
+            self.param(p);
+        }
+        self.block(&f.body);
+    }
+
+    fn param(&mut self, p: &Param) {
+        self.tag(0x50); // 'P'
+        self.hash(&p.ty);
+        self.hash(p.name.as_str());
+    }
+
+    fn pragmas(&mut self, pragmas: &[Pragma]) {
+        self.len(pragmas.len());
+        for p in pragmas {
+            self.hash(p.text.as_str());
+        }
+    }
+
+    fn block(&mut self, b: &Block) {
+        self.tag(0x42); // 'B'
+        self.len(b.stmts.len());
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        self.pragmas(&s.pragmas);
+        match &s.kind {
+            StmtKind::Decl(d) => {
+                self.tag(1);
+                self.var_decl(d);
+            }
+            StmtKind::Assign { target, op, value } => {
+                self.tag(2);
+                self.expr(target);
+                self.hash(op);
+                self.expr(value);
+            }
+            StmtKind::Expr(e) => {
+                self.tag(3);
+                self.expr(e);
+            }
+            StmtKind::If { cond, then, els } => {
+                self.tag(4);
+                self.expr(cond);
+                self.block(then);
+                match els {
+                    Some(b) => {
+                        self.tag(1);
+                        self.block(b);
+                    }
+                    None => self.tag(0),
+                }
+            }
+            StmtKind::For(f) => {
+                self.tag(5);
+                self.for_loop(f);
+            }
+            StmtKind::While { cond, body } => {
+                self.tag(6);
+                self.expr(cond);
+                self.block(body);
+            }
+            StmtKind::Return(e) => {
+                self.tag(7);
+                match e {
+                    Some(e) => {
+                        self.tag(1);
+                        self.expr(e);
+                    }
+                    None => self.tag(0),
+                }
+            }
+            StmtKind::Break => self.tag(8),
+            StmtKind::Continue => self.tag(9),
+            StmtKind::Block(b) => {
+                self.tag(10);
+                self.block(b);
+            }
+        }
+    }
+
+    fn var_decl(&mut self, d: &VarDecl) {
+        self.tag(0x44); // 'D'
+        self.hash(&d.ty);
+        self.hash(d.name.as_str());
+        match &d.array_len {
+            Some(e) => {
+                self.tag(1);
+                self.expr(e);
+            }
+            None => self.tag(0),
+        }
+        match &d.init {
+            Some(e) => {
+                self.tag(1);
+                self.expr(e);
+            }
+            None => self.tag(0),
+        }
+    }
+
+    fn for_loop(&mut self, f: &ForLoop) {
+        self.tag(0x4c); // 'L'
+        self.hash(&f.declares_var);
+        self.hash(f.var.as_str());
+        self.expr(&f.init);
+        self.hash(&f.cond_op);
+        self.expr(&f.bound);
+        self.expr(&f.step);
+        self.hash(&f.step_negative);
+        self.block(&f.body);
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::IntLit(v) => {
+                self.tag(1);
+                self.hash(v);
+            }
+            ExprKind::FloatLit { value, single } => {
+                self.tag(2);
+                self.hash(&value.to_bits());
+                self.hash(single);
+            }
+            ExprKind::BoolLit(v) => {
+                self.tag(3);
+                self.hash(v);
+            }
+            ExprKind::Ident(name) => {
+                self.tag(4);
+                self.hash(name.as_str());
+            }
+            ExprKind::Unary { op, expr } => {
+                self.tag(5);
+                self.hash(op);
+                self.expr(expr);
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                self.tag(6);
+                self.hash(op);
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            ExprKind::Call { callee, args } => {
+                self.tag(7);
+                self.hash(callee.as_str());
+                self.len(args.len());
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            ExprKind::Index { base, index } => {
+                self.tag(8);
+                self.expr(base);
+                self.expr(index);
+            }
+            ExprKind::Cast { ty, expr } => {
+                self.tag(9);
+                self.hash(ty);
+                self.expr(expr);
+            }
+            ExprKind::Ternary { cond, then, els } => {
+                self.tag(10);
+                self.expr(cond);
+                self.expr(then);
+                self.expr(els);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+    use crate::printer::print_module;
+
+    fn fp(src: &str) -> u64 {
+        module_fingerprint(&parse_module(src, "fp-test").expect("parses"))
+    }
+
+    #[test]
+    fn identical_sources_fingerprint_identically() {
+        let src = "int main() { int n = 4; for (int i = 0; i < n; i++) { sink(i); } return 0; }";
+        assert_eq!(fp(src), fp(src));
+    }
+
+    #[test]
+    fn node_ids_and_spans_do_not_matter() {
+        // Same structure, very different spans/ids (whitespace + reparse
+        // after printing).
+        let a = parse_module(
+            "int main() { double x = 1.5; sink(x); return 0; }",
+            "fp-test",
+        )
+        .unwrap();
+        let b = parse_module(
+            "int main() {\n\n    double x = 1.5;\n    sink(x);\n    return 0;\n}\n",
+            "fp-test",
+        )
+        .unwrap();
+        assert_eq!(module_fingerprint(&a), module_fingerprint(&b));
+        let reparsed = parse_module(&print_module(&a), "fp-test").unwrap();
+        assert_ne!(a.next_id, 0);
+        assert_eq!(module_fingerprint(&a), module_fingerprint(&reparsed));
+    }
+
+    #[test]
+    fn module_name_is_part_of_the_address() {
+        let a = parse_module("int main() { return 0; }", "app-a").unwrap();
+        let b = parse_module("int main() { return 0; }", "app-b").unwrap();
+        assert_ne!(module_fingerprint(&a), module_fingerprint(&b));
+    }
+
+    #[test]
+    fn structural_changes_change_the_fingerprint() {
+        let base = "int main() { double x = 1.0; sink(x); return 0; }";
+        for variant in [
+            "int main() { double x = 2.0; sink(x); return 0; }", // literal value
+            "int main() { float x = 1.0; sink(x); return 0; }",  // type
+            "int main() { double y = 1.0; sink(y); return 0; }", // name
+            "int main() { double x = 1.0; sink(x); sink(x); return 0; }", // extra stmt
+            "int main() { double x = -1.0; sink(x); return 0; }", // unary op
+        ] {
+            assert_ne!(fp(base), fp(variant), "{variant}");
+        }
+    }
+
+    #[test]
+    fn pragmas_are_content() {
+        let plain = "int main() { for (int i = 0; i < 8; i++) { sink(i); } return 0; }";
+        let pragma =
+            "int main() { #pragma omp parallel for\nfor (int i = 0; i < 8; i++) { sink(i); } return 0; }";
+        assert_ne!(fp(plain), fp(pragma));
+    }
+
+    #[test]
+    fn sp_literal_flag_is_content() {
+        // `1.0` vs `1.0f` print differently and must key differently even
+        // though the f64 payload is equal.
+        assert_ne!(
+            fp("int main() { sink(1.0); return 0; }"),
+            fp("int main() { sink(1.0f); return 0; }")
+        );
+    }
+}

@@ -25,6 +25,7 @@
 
 pub mod ast;
 pub mod error;
+pub mod fingerprint;
 pub mod lexer;
 pub mod parser;
 pub mod printer;
@@ -37,6 +38,7 @@ pub use ast::{
     StmtKind, Type, UnOp, VarDecl,
 };
 pub use error::{Error, Result};
+pub use fingerprint::module_fingerprint;
 pub use parser::parse_module;
 pub use printer::print_module;
 pub use span::Span;

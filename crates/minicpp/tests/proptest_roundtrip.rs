@@ -123,3 +123,34 @@ proptest! {
         prop_assert_eq!(canon, tight);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The structural fingerprint survives a pretty-print → re-parse
+    /// round-trip: the evaluation cache may only key on structure, never on
+    /// node ids, spans, or surface syntax.
+    #[test]
+    fn fingerprint_is_stable_under_reprinting(e in arb_expr()) {
+        let text = psa_minicpp::printer::print_expr(&e);
+        let src = wrap(&text);
+        let m1 = parse_module(&src, "p").expect("parses");
+        let m2 = parse_module(&print_module(&m1), "p").expect("reparses");
+        prop_assert_eq!(
+            psa_minicpp::module_fingerprint(&m1),
+            psa_minicpp::module_fingerprint(&m2)
+        );
+    }
+
+    /// Structurally different programs fingerprint differently (here: a
+    /// changed literal — the smallest structural edit a transform can make).
+    #[test]
+    fn fingerprint_distinguishes_structural_edits(v in -1000i64..1000) {
+        let a = parse_module(&wrap(&v.to_string()), "p").unwrap();
+        let b = parse_module(&wrap(&(v + 1).to_string()), "p").unwrap();
+        prop_assert_ne!(
+            psa_minicpp::module_fingerprint(&a),
+            psa_minicpp::module_fingerprint(&b)
+        );
+    }
+}

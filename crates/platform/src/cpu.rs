@@ -4,6 +4,7 @@
 use crate::devices::CpuSpec;
 use crate::work::KernelWork;
 use crate::Seconds;
+use psa_evalcache::{EvalCache, KeyBuilder};
 
 /// Analytic multicore CPU model.
 #[derive(Debug, Clone)]
@@ -45,6 +46,18 @@ impl CpuModel {
         // access traffic.
         let memory = (w.bytes_in + w.bytes_out) / (self.spec.mem_bw_gbs * 1e9);
         compute.max(memory)
+    }
+
+    /// Cached [`CpuModel::time_openmp`], addressed by device spec, workload
+    /// content and thread count — one entry serves every flow instance (and
+    /// every OMP-DSE sweep) probing the same configuration.
+    pub fn time_openmp_cached(&self, w: &KernelWork, threads: u32, cache: &EvalCache) -> Seconds {
+        let key = KeyBuilder::new("platform/cpu-omp")
+            .u64(self.spec.content_hash())
+            .u64(w.content_hash())
+            .u32(threads)
+            .finish();
+        *cache.get_or_compute(key, || self.time_openmp(w, threads))
     }
 
     /// Speedup of `threads`-way OpenMP over single-thread.

@@ -101,6 +101,65 @@ impl FpgaSpec {
     pub fn usable_luts(&self) -> f64 {
         self.luts as f64 * (1.0 - self.shell_overhead)
     }
+
+    /// Deterministic content hash of every model-relevant field — the
+    /// device part of a cached evaluation's address.
+    pub fn content_hash(&self) -> u64 {
+        psa_evalcache::fnv64_of(&(
+            self.name.as_str(),
+            self.luts,
+            self.dsps,
+            self.clock_mhz.to_bits(),
+            self.mem_bw_gbs.to_bits(),
+            self.pcie_gbs.to_bits(),
+            self.usm_zero_copy,
+            self.shell_overhead.to_bits(),
+            self.overmap_threshold.to_bits(),
+        ))
+    }
+}
+
+impl CpuSpec {
+    /// Deterministic content hash of every model-relevant field — the
+    /// device part of a cached evaluation's address.
+    pub fn content_hash(&self) -> u64 {
+        psa_evalcache::fnv64_of(&(
+            self.name.as_str(),
+            self.cores,
+            self.clock_ghz.to_bits(),
+            self.ipc.to_bits(),
+            self.mem_bw_gbs.to_bits(),
+            self.omp_base_eff.to_bits(),
+            self.omp_eff_slope.to_bits(),
+        ))
+    }
+}
+
+impl GpuSpec {
+    /// Deterministic content hash of every model-relevant field — the
+    /// device part of a cached evaluation's address.
+    pub fn content_hash(&self) -> u64 {
+        psa_evalcache::fnv64_of(&(
+            (
+                self.name.as_str(),
+                self.sms,
+                self.cores_per_sm,
+                self.clock_ghz.to_bits(),
+                self.regs_per_sm,
+                self.max_threads_per_sm,
+                self.sfu_per_sm,
+            ),
+            (
+                self.fp64_ratio.to_bits(),
+                self.mem_bw_gbs.to_bits(),
+                self.pcie_gbs.to_bits(),
+                self.pinned_factor.to_bits(),
+                self.arch_eff.to_bits(),
+                self.occupancy_knee.to_bits(),
+                self.launch_overhead_s.to_bits(),
+            ),
+        ))
+    }
 }
 
 /// AMD EPYC 7543, 32 cores @ 2.8 GHz — the paper's CPU host.

@@ -25,6 +25,7 @@ use crate::devices::FpgaSpec;
 use crate::resources::OpCounts;
 use crate::work::KernelWork;
 use crate::Seconds;
+use psa_evalcache::{EvalCache, KeyBuilder};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -138,9 +139,66 @@ impl FpgaModel {
         }
     }
 
+    /// Cached [`FpgaModel::hls_report`]: the analytic partial compile is
+    /// memoized by device spec, datapath op counts, precision and unroll
+    /// factor — exactly the inputs the report is a pure function of. The
+    /// unroll DSE's doubling probes and the subsequent estimate's clamping
+    /// probes all land on these entries.
+    pub fn hls_report_cached(
+        &self,
+        ops: &OpCounts,
+        fp64: bool,
+        unroll: u64,
+        cache: &EvalCache,
+    ) -> FpgaReport {
+        let key = KeyBuilder::new("platform/fpga-hls")
+            .u64(self.spec.content_hash())
+            .u64(ops.content_hash())
+            .bool(fp64)
+            .u64(unroll.max(1))
+            .finish();
+        *cache.get_or_compute(key, || self.hls_report(ops, fp64, unroll))
+    }
+
     /// Full timing estimate at the given unroll factor.
     pub fn estimate(&self, w: &KernelWork, unroll: u64) -> Result<FpgaEstimate, FpgaTimeError> {
-        let base = self.hls_report(&w.ops, w.fp64, 1);
+        self.estimate_via(w, unroll, &|u| self.hls_report(&w.ops, w.fp64, u))
+    }
+
+    /// Cached [`FpgaModel::estimate`]: the whole breakdown is memoized by
+    /// spec, workload and unroll, and on a miss the resource probes go
+    /// through [`FpgaModel::hls_report_cached`], so entries warmed by the
+    /// unroll DSE are reused. Unsynthesizable verdicts are recomputed (only
+    /// successes are stored) but still hit the cached unroll-1 report.
+    pub fn estimate_cached(
+        &self,
+        w: &KernelWork,
+        unroll: u64,
+        cache: &EvalCache,
+    ) -> Result<FpgaEstimate, FpgaTimeError> {
+        let key = KeyBuilder::new("platform/fpga-estimate")
+            .u64(self.spec.content_hash())
+            .u64(w.content_hash())
+            .u64(unroll)
+            .finish();
+        cache
+            .try_get_or_compute(key, || {
+                self.estimate_via(w, unroll, &|u| {
+                    self.hls_report_cached(&w.ops, w.fp64, u, cache)
+                })
+            })
+            .map(|e| *e)
+    }
+
+    /// The estimate algorithm, parameterised over the report source so the
+    /// cached and uncached paths share one implementation.
+    fn estimate_via(
+        &self,
+        w: &KernelWork,
+        unroll: u64,
+        report_at: &dyn Fn(u64) -> FpgaReport,
+    ) -> Result<FpgaEstimate, FpgaTimeError> {
+        let base = report_at(1);
         if base.overmapped {
             return Err(FpgaTimeError::NotSynthesizable {
                 lut_util_at_unroll1: format!("{:.0}%", base.lut_util * 100.0),
@@ -151,10 +209,10 @@ impl FpgaModel {
         // unrolling entirely: HLS cannot replicate a pipeline whose inner
         // loop bounds are unknown, so the pragma neither helps nor costs.
         let mut fit = if w.flat_pipeline { unroll.max(1) } else { 1 };
-        while fit > 1 && self.hls_report(&w.ops, w.fp64, fit).overmapped {
+        while fit > 1 && report_at(fit).overmapped {
             fit /= 2;
         }
-        let report = self.hls_report(&w.ops, w.fp64, fit);
+        let report = report_at(fit);
 
         let ii = self.initiation_interval(w);
         let replicas = if w.flat_pipeline { fit as f64 } else { 1.0 };
@@ -187,6 +245,16 @@ impl FpgaModel {
     /// Total seconds, or an error for unsynthesizable designs.
     pub fn total_time(&self, w: &KernelWork, unroll: u64) -> Result<Seconds, FpgaTimeError> {
         Ok(self.estimate(w, unroll)?.total_s)
+    }
+
+    /// Cached [`FpgaModel::total_time`].
+    pub fn total_time_cached(
+        &self,
+        w: &KernelWork,
+        unroll: u64,
+        cache: &EvalCache,
+    ) -> Result<Seconds, FpgaTimeError> {
+        Ok(self.estimate_cached(w, unroll, cache)?.total_s)
     }
 }
 

@@ -20,6 +20,7 @@
 use crate::devices::GpuSpec;
 use crate::work::KernelWork;
 use crate::Seconds;
+use psa_evalcache::{EvalCache, KeyBuilder};
 use serde::{Deserialize, Serialize};
 
 /// FLOP-equivalents per native SFU operation (the work measures count a
@@ -139,10 +140,42 @@ impl GpuModel {
         })
     }
 
+    /// Cached [`GpuModel::estimate`], addressed by device spec, workload
+    /// content and launch configuration. Un-launchable configurations are
+    /// cached too (the stored value is the `Option`), so blocksize sweeps
+    /// never re-probe a known-bad point.
+    pub fn estimate_cached(
+        &self,
+        w: &KernelWork,
+        blocksize: u32,
+        pinned: bool,
+        cache: &EvalCache,
+    ) -> Option<GpuEstimate> {
+        let key = KeyBuilder::new("platform/gpu-estimate")
+            .u64(self.spec.content_hash())
+            .u64(w.content_hash())
+            .u32(blocksize)
+            .bool(pinned)
+            .finish();
+        *cache.get_or_compute(key, || self.estimate(w, blocksize, pinned))
+    }
+
     /// Total time; infinity when the configuration cannot launch (lets DSE
     /// sweeps compare uniformly).
     pub fn total_time(&self, w: &KernelWork, blocksize: u32, pinned: bool) -> Seconds {
         self.estimate(w, blocksize, pinned)
+            .map_or(f64::INFINITY, |e| e.total_s)
+    }
+
+    /// Cached [`GpuModel::total_time`].
+    pub fn total_time_cached(
+        &self,
+        w: &KernelWork,
+        blocksize: u32,
+        pinned: bool,
+        cache: &EvalCache,
+    ) -> Seconds {
+        self.estimate_cached(w, blocksize, pinned, cache)
             .map_or(f64::INFINITY, |e| e.total_s)
     }
 }

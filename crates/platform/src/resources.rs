@@ -77,6 +77,20 @@ impl OpCounts {
             sfu / (sfu + fma)
         }
     }
+
+    /// Deterministic content hash of the counts (floats by `to_bits`) —
+    /// the datapath part of a cached HLS report's address.
+    pub fn content_hash(&self) -> u64 {
+        psa_evalcache::fnv64_of(&(
+            self.fp_add.to_bits(),
+            self.fp_mul.to_bits(),
+            self.fp_div.to_bits(),
+            self.sqrt.to_bits(),
+            self.transcendental.to_bits(),
+            self.int_ops.to_bits(),
+            self.mem_ops.to_bits(),
+        ))
+    }
 }
 
 /// Extract op counts for function `kernel`.

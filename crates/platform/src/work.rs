@@ -68,6 +68,30 @@ impl KernelWork {
         }
     }
 
+    /// Deterministic content hash of the whole record (floats by
+    /// `to_bits`) — the workload part of a cached estimate's address.
+    pub fn content_hash(&self) -> u64 {
+        psa_evalcache::fnv64_of(&(
+            (
+                self.flops_fma.to_bits(),
+                self.flops_sfu.to_bits(),
+                self.cycles_1t.to_bits(),
+                self.bytes_mem.to_bits(),
+                self.gather_fraction.to_bits(),
+                self.bytes_in.to_bits(),
+                self.bytes_out.to_bits(),
+            ),
+            (
+                self.threads.to_bits(),
+                self.pipeline_iters.to_bits(),
+                self.fp64,
+                self.regs_per_thread,
+                self.flat_pipeline,
+            ),
+            self.ops.content_hash(),
+        ))
+    }
+
     /// Scale the workload-dependent measures from the analysis workload to
     /// the evaluation workload: `compute` multiplies FLOPs/cycles/bytes_mem/
     /// pipeline iterations, `data` multiplies transfer bytes, `threads`

@@ -11,6 +11,7 @@
 //!
 //! | Crate | Role |
 //! |-------|------|
+//! | [`evalcache`] | content-addressed evaluation cache shared across flows |
 //! | [`minicpp`] | the MiniC++ application language (lexer/parser/AST/printer) |
 //! | [`interp`] | deterministic interpreter + profiling (dynamic analyses substrate) |
 //! | [`artisan`] | meta-programming layer: query, instrument, transform |
@@ -44,6 +45,7 @@ pub use psa_analyses as analyses;
 pub use psa_artisan as artisan;
 pub use psa_benchsuite as benchsuite;
 pub use psa_codegen as codegen;
+pub use psa_evalcache as evalcache;
 pub use psa_interp as interp;
 pub use psa_minicpp as minicpp;
 pub use psa_platform as platform;

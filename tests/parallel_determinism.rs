@@ -6,8 +6,9 @@
 
 use psaflow::benchsuite;
 use psaflow::core::context::psa_benchsuite_shim;
-use psaflow::core::flows::full_psa_flow_on;
-use psaflow::core::{trace, FlowEngine, FlowMode, PsaParams};
+use psaflow::core::flows::{full_psa_flow_cached_on, full_psa_flow_on};
+use psaflow::core::{trace, EvalCache, FlowEngine, FlowMode, PsaParams};
+use std::sync::Arc;
 
 fn params_for(b: &benchsuite::Benchmark) -> PsaParams {
     PsaParams {
@@ -66,6 +67,60 @@ fn parallel_engine_matches_sequential_on_all_benchmarks() {
             }
         }
     }
+}
+
+/// The evaluation cache must be semantically invisible: a flow over a live
+/// shared cache (even one pre-warmed by a previous flow) produces exactly
+/// the designs and rendered trace of a flow with caching disabled.
+#[test]
+fn cache_never_changes_designs_or_rendered_traces() {
+    let live = Arc::new(EvalCache::new());
+    for bench in benchsuite::all() {
+        for mode in [FlowMode::Informed, FlowMode::Uninformed] {
+            let cached = full_psa_flow_cached_on(
+                FlowEngine::parallel(),
+                &bench.source,
+                &bench.key,
+                mode,
+                params_for(&bench),
+                Arc::clone(&live),
+            )
+            .unwrap_or_else(|e| panic!("{} {mode:?} (cached): {e}", bench.key));
+            let uncached = full_psa_flow_cached_on(
+                FlowEngine::parallel(),
+                &bench.source,
+                &bench.key,
+                mode,
+                params_for(&bench),
+                Arc::new(EvalCache::disabled()),
+            )
+            .unwrap_or_else(|e| panic!("{} {mode:?} (uncached): {e}", bench.key));
+
+            let ctx = format!("{} {mode:?}", bench.key);
+            assert_eq!(cached.log, uncached.log, "{ctx}: rendered traces diverge");
+            assert_eq!(
+                cached.selected_target, uncached.selected_target,
+                "{ctx}: selected target"
+            );
+            assert_eq!(
+                cached.reference_time_s, uncached.reference_time_s,
+                "{ctx}: reference time"
+            );
+            assert_eq!(
+                cached.designs.len(),
+                uncached.designs.len(),
+                "{ctx}: design count"
+            );
+            for (c, u) in cached.designs.iter().zip(&uncached.designs) {
+                assert_eq!(format!("{c:?}"), format!("{u:?}"), "{ctx}: design");
+            }
+        }
+    }
+    // The second mode of every benchmark reruns over state the first mode
+    // warmed — the shared cache must actually have been exercised.
+    let stats = live.stats();
+    assert!(stats.hits > 0, "shared cache saw no hits: {stats:?}");
+    assert!(stats.entries > 0, "shared cache stored nothing: {stats:?}");
 }
 
 #[test]
