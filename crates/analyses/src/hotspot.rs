@@ -11,7 +11,7 @@
 use crate::AnalysisError;
 use psa_artisan::transforms::extract::{extract_kernel, ExtractedKernel};
 use psa_artisan::{edit, query};
-use psa_interp::{Interpreter, RunConfig};
+use psa_interp::RunConfig;
 use psa_minicpp::{Module, NodeId};
 use serde::{Deserialize, Serialize};
 
@@ -80,9 +80,8 @@ pub fn detect_hotspots(module: &Module) -> Result<HotspotReport, AnalysisError> 
             .map_err(|e| AnalysisError::Structure(e.to_string()))?;
     }
 
-    let mut interp = Interpreter::new(&instrumented, RunConfig::default());
-    interp.run_main()?;
-    let profile = interp.profile();
+    let run = psa_interp::run_main_profiled(&instrumented, RunConfig::default())?;
+    let profile = &run.profile;
     let total_cycles = profile.total_cycles;
 
     let mut out: Vec<HotspotCandidate> = candidates
@@ -181,7 +180,7 @@ mod tests {
 
     #[test]
     fn detect_and_extract_produces_runnable_module() {
-        use psa_interp::Value;
+        use psa_interp::{Interpreter, Value};
         let reference = {
             let m = parse_module(APP, "t").unwrap();
             Interpreter::new(&m, RunConfig::default())

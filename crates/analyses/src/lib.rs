@@ -182,9 +182,8 @@ pub fn dynamic_run(module: &Module, kernel: &str) -> Result<DynamicRun, Analysis
         watch_function: Some(kernel.to_string()),
         ..Default::default()
     };
-    let mut interp = psa_interp::Interpreter::new(module, config);
-    interp.run_main()?;
-    let (profile, memory) = interp.into_parts();
+    let run = psa_interp::run_main_profiled(module, config)?;
+    let (profile, memory) = (run.profile, run.memory);
     if profile.kernel_calls == 0 {
         return Err(AnalysisError::Structure(format!(
             "`main` never called kernel `{kernel}`; dynamic analyses have nothing to observe"

@@ -1,0 +1,119 @@
+//! Interpreter-throughput benchmark: profiled execution of all five
+//! benchsuite applications under both engines (tree walker vs bytecode VM).
+//!
+//! Hand-timed harness (`harness = false`) rather than criterion: each
+//! sample is a full cold `run_main_profiled` (compile + execute for the
+//! VM, so its bytecode compilation cost is *included* — the speedup
+//! numbers are end-to-end, not warm-VM flattery). Emits machine-readable
+//! results to `BENCH_interp.json` at the workspace root.
+//!
+//! Run with: `cargo bench -p psa-bench --bench interp_throughput`
+
+use psa_interp::{Engine, RunConfig};
+use psa_minicpp::parse_module;
+use std::time::Instant;
+
+const SAMPLES: usize = 7;
+
+struct Row {
+    key: String,
+    cycles: u64,
+    tree_ms: f64,
+    vm_ms: f64,
+}
+
+fn median_ms(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn time_engine(module: &psa_minicpp::Module, engine: Engine) -> (f64, u64) {
+    let config = || RunConfig {
+        engine,
+        ..RunConfig::default()
+    };
+    // Warmup (also validates the run).
+    let run = psa_interp::run_main_profiled(module, config()).expect("benchmark runs");
+    let cycles = run.profile.total_cycles;
+    let samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            let r = psa_interp::run_main_profiled(module, config()).expect("benchmark runs");
+            let elapsed = start.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(r.profile.total_cycles, cycles, "non-deterministic run");
+            elapsed
+        })
+        .collect();
+    (median_ms(samples), cycles)
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    println!(
+        "{:<14} {:>14} {:>12} {:>12} {:>9}",
+        "benchmark", "virtual cycles", "tree ms", "vm ms", "speedup"
+    );
+    for bench in psa_benchsuite::all() {
+        let module = parse_module(&bench.source, &bench.key).expect("parses");
+        let (tree_ms, tree_cycles) = time_engine(&module, Engine::Tree);
+        let (vm_ms, vm_cycles) = time_engine(&module, Engine::Vm);
+        assert_eq!(tree_cycles, vm_cycles, "{}: engines diverged", bench.key);
+        println!(
+            "{:<14} {:>14} {:>12.3} {:>12.3} {:>8.2}x",
+            bench.key,
+            tree_cycles,
+            tree_ms,
+            vm_ms,
+            tree_ms / vm_ms
+        );
+        rows.push(Row {
+            key: bench.key.clone(),
+            cycles: tree_cycles,
+            tree_ms,
+            vm_ms,
+        });
+    }
+
+    let total_tree: f64 = rows.iter().map(|r| r.tree_ms).sum();
+    let total_vm: f64 = rows.iter().map(|r| r.vm_ms).sum();
+    let geomean: f64 =
+        (rows.iter().map(|r| (r.tree_ms / r.vm_ms).ln()).sum::<f64>() / rows.len() as f64).exp();
+    println!(
+        "{:<14} {:>14} {:>12.3} {:>12.3} {:>8.2}x  (geomean {:.2}x)",
+        "total",
+        "",
+        total_tree,
+        total_vm,
+        total_tree / total_vm,
+        geomean
+    );
+
+    // Machine-readable record (hand-formatted; the compat serde shim has no
+    // serializer for ad-hoc structs and this keeps the schema explicit).
+    let mut json = String::from("{\n  \"benchmark\": \"interp_throughput\",\n");
+    json.push_str("  \"unit\": \"ms_median_of_7_cold_runs\",\n  \"apps\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"key\": \"{}\", \"virtual_cycles\": {}, \"tree_ms\": {:.3}, \"vm_ms\": {:.3}, \"speedup\": {:.2}}}{}\n",
+            r.key,
+            r.cycles,
+            r.tree_ms,
+            r.vm_ms,
+            r.tree_ms / r.vm_ms,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"total_tree_ms\": {:.3},\n  \"total_vm_ms\": {:.3},\n  \"total_speedup\": {:.2},\n  \"geomean_speedup\": {:.2}\n}}\n",
+        total_tree,
+        total_vm,
+        total_tree / total_vm,
+        geomean
+    ));
+
+    // Workspace root = two levels above this crate's manifest.
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = format!("{root}/BENCH_interp.json");
+    std::fs::write(&path, json).expect("write BENCH_interp.json");
+    println!("wrote {path}");
+}

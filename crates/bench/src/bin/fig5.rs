@@ -14,8 +14,22 @@ fn main() {
     // default. `--no-cache` swaps the shared evaluation cache for a
     // pass-through — the memoisation baseline. Stdout is byte-identical
     // under every combination; only the stderr timing summary differs.
+    // `--engine=tree|vm` pins the interpreter engine for every profiled
+    // run (the default is the VM; `PSA_INTERP_ENGINE` works too). Stdout
+    // must be byte-identical either way — CI diffs the two.
     let sequential = std::env::args().any(|a| a == "--sequential");
     let no_cache = std::env::args().any(|a| a == "--no-cache");
+    for arg in std::env::args() {
+        let interp_engine = match arg.as_str() {
+            "--engine=tree" => psa_interp::Engine::Tree,
+            "--engine=vm" => psa_interp::Engine::Vm,
+            _ => continue,
+        };
+        assert!(
+            psa_interp::set_default_engine(interp_engine),
+            "engine already selected"
+        );
+    }
     let engine = if sequential {
         FlowEngine::sequential()
     } else {

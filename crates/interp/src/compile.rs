@@ -1,0 +1,840 @@
+//! One-pass compiler: MiniC++ AST → flat bytecode for the [`crate::vm::Vm`].
+//!
+//! The lowering buys three things the tree-walker pays for on every visit:
+//!
+//! * **slot-resolved locals** — [`psa_minicpp::scopes`] turns the runtime
+//!   scope-chain walk into a compile-time frame index, so variable access is
+//!   `locals[base + slot]` with zero hashing and zero string traffic;
+//! * **pre-bound call targets** — every call site is resolved once to a
+//!   user-function index or an [`Intrinsic`], following the tree-walker's
+//!   lookup order (user functions shadow intrinsics);
+//! * **baked cycle costs** — each instruction carries the virtual-cycle
+//!   charge the cost model assigns it, computed here so the interpreter
+//!   loop never consults (or clones) the [`CostModel`].
+//!
+//! Costs that the tree-walker charges as one combined `charge()` call (the
+//! for-loop test's `int_op + branch`, an indexed load's `int_op + load`)
+//! are baked combined too, so the two engines' virtual clocks agree at
+//! every instruction boundary, including the exact cycle at which a budget
+//! exhaustion triggers.
+//!
+//! Names that do not resolve — unbound identifiers, assignment to a
+//! non-lvalue — compile to [`Insn::Raise`] carrying the exact
+//! [`RuntimeError`] the tree-walker would produce at that point, placed so
+//! that any side effects sequenced before the error still happen.
+
+use crate::error::RuntimeError;
+use crate::eval::RunConfig;
+use crate::intrinsics::{self, Intrinsic};
+use crate::profile::CostModel;
+use crate::value::{Pointer, Value};
+use psa_minicpp::ast::*;
+use psa_minicpp::scopes::{resolve_function, SlotMap};
+use psa_minicpp::Span;
+use std::collections::HashMap;
+
+/// Resolved target of one call site.
+#[derive(Debug, Clone)]
+pub(crate) enum CallTarget {
+    /// Index into [`Program::funcs`].
+    User(u16),
+    Intrinsic(Intrinsic),
+    /// Neither a user function nor an intrinsic: unbound at runtime.
+    Unknown,
+}
+
+/// One static call site: target plus the argument count and span of the
+/// call expression (arity errors are reported by the callee at runtime).
+#[derive(Debug, Clone)]
+pub(crate) struct CallSite {
+    pub name: Box<str>,
+    pub target: CallTarget,
+    pub argc: usize,
+    pub span: Span,
+}
+
+/// A compiled function parameter (binding still coerces at call time).
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledParam {
+    pub name: String,
+    pub ty: Type,
+    pub span: Span,
+}
+
+/// One compiled function body.
+#[derive(Debug)]
+pub(crate) struct CompiledFn {
+    pub name: String,
+    pub params: Vec<CompiledParam>,
+    /// Frame slots this function needs (includes the parameters).
+    pub locals: usize,
+    /// Baked `config.watch_function == name`.
+    pub watched: bool,
+    pub code: Vec<Insn>,
+}
+
+/// A whole module, compiled.
+#[derive(Debug)]
+pub struct Program {
+    pub(crate) funcs: Vec<CompiledFn>,
+    /// First definition wins, like [`Module::function`].
+    pub(crate) fn_by_name: HashMap<String, u16>,
+    /// Global variable names, one entry per distinct name (redeclaration
+    /// reuses the slot, mirroring the tree-walker's by-name map).
+    pub(crate) global_names: Vec<Box<str>>,
+    /// Initialiser chunk for module globals; runs once before `main`.
+    pub(crate) globals_init: Vec<Insn>,
+    pub(crate) globals_init_locals: usize,
+    pub(crate) call_sites: Vec<CallSite>,
+}
+
+/// Bytecode instructions. `cost` fields are virtual cycles baked from the
+/// cost model at compile time.
+#[derive(Debug, Clone)]
+pub(crate) enum Insn {
+    /// Push a constant.
+    Const(Value),
+    /// Duplicate the top of stack.
+    Dup,
+    /// Swap the top two stack values.
+    Swap,
+    /// Discard the top of stack (expression statements).
+    Pop,
+    /// Push `locals[base + slot]`.
+    LoadLocal(u16),
+    /// Pop into `locals[base + slot]` (declaration: no conversion).
+    StoreLocal(u16),
+    /// Push global `gidx`; unbound error if not yet initialised.
+    LoadGlobal { gidx: u16, span: Span },
+    /// Copy a just-initialised local into its global slot (init chunk).
+    CopyLocalToGlobal { slot: u16, gidx: u16 },
+    /// Pop and assign to a local with C assignment conversion.
+    AssignLocal { slot: u16, span: Span },
+    /// Pop and assign to a global with C assignment conversion; unbound
+    /// error if the global is not yet initialised.
+    AssignGlobal { gidx: u16, span: Span },
+    /// Pop, coerce to `ty` (declaration initialiser — no charge).
+    Coerce { ty: Type, span: Span },
+    /// Pop, charge `cost`, coerce to `ty` (cast expression).
+    Cast { ty: Type, cost: u64, span: Span },
+    /// Unary operator (charging inside `ops::apply_unary`).
+    Un { op: UnOp, span: Span },
+    /// Binary operator; pops rhs then lhs.
+    Bin { op: BinOp, span: Span },
+    /// Binary operator; pops lhs then rhs (compound assignment, where the
+    /// old value is computed after — and stacked above — the rhs).
+    BinRev { op: BinOp, span: Span },
+    /// Unconditional jump.
+    Jump(u32),
+    /// Pop a condition: charge, truthiness-check, jump if false.
+    JumpIfFalse { target: u32, cost: u64, span: Span },
+    /// `&&`: pop lhs condition (charge + check); on false push `false` and
+    /// jump past the rhs.
+    AndShort { target: u32, cost: u64, span: Span },
+    /// `||`: pop lhs condition (charge + check); on true push `true` and
+    /// jump past the rhs.
+    OrShort { target: u32, cost: u64, span: Span },
+    /// Pop a condition (charge + check), push it as a `Bool` (rhs of a
+    /// short-circuit operator).
+    ToBool { cost: u64, span: Span },
+    /// Indexed load `base[index]`: pops index then base. `cost` combines
+    /// address arithmetic and the load.
+    Index {
+        cost: u64,
+        base_span: Span,
+        index_span: Span,
+        span: Span,
+    },
+    /// Address of `base[index]` as a pointer: pops index then base.
+    /// `cost` is the address arithmetic.
+    IndexAddr {
+        cost: u64,
+        base_span: Span,
+        index_span: Span,
+    },
+    /// Pop a pointer, push the element it addresses (compound assignment
+    /// read; load first, charge after, like the tree-walker).
+    LoadElem { cost: u64, span: Span },
+    /// Pop value then pointer, store through it.
+    StoreElem { cost: u64, span: Span },
+    /// Pop a length, allocate a named buffer, push the pointer.
+    AllocArray {
+        scalar: Scalar,
+        name: Box<str>,
+        span: Span,
+    },
+    /// Call through `call_sites[idx]`; arguments are on the stack.
+    Call(u32),
+    /// A math intrinsic called with the correct arity: arguments popped
+    /// straight off the stack, cycle cost and FLOP count baked at compile
+    /// time. `name` feeds the tree-walker's error messages.
+    MathCall {
+        f: intrinsics::MathFn,
+        cycles: u64,
+        flops: u64,
+        name: Box<str>,
+        span: Span,
+    },
+    /// Return (popping the value if `has_value`), recording stats for any
+    /// loops still open in this frame.
+    Ret { has_value: bool },
+    /// Open a loop-stats context for loop `id`.
+    LoopEnter { id: NodeId },
+    /// Close the innermost loop context and record its stats.
+    LoopExit,
+    /// Pop the init value, int-check it, bind the induction variable.
+    /// `bound == false` raises the tree-walker's unbound error instead.
+    ForInit {
+        slot: u16,
+        bound: bool,
+        name: Box<str>,
+        span: Span,
+    },
+    /// Pop the bound, charge, compare against the induction variable and
+    /// either count an iteration or jump to `exit`. Also latches the
+    /// iteration's start value of the induction variable.
+    ForTest {
+        slot: u16,
+        cond_op: BinOp,
+        exit: u32,
+        cost: u64,
+        span: Span,
+    },
+    /// Pop the step, advance the induction variable from its latched
+    /// start-of-iteration value, charge.
+    ForStep {
+        slot: u16,
+        negative: bool,
+        cost: u64,
+        span: Span,
+    },
+    /// Pop the condition, charge, check; count an iteration or jump out.
+    WhileTest { exit: u32, cost: u64, span: Span },
+    /// Raise a pre-built runtime error (unbound name, non-lvalue target).
+    Raise(Box<RuntimeError>),
+}
+
+impl Program {
+    /// Compile a module. `config` supplies the cost model baked into
+    /// instructions and the watched-function name baked into functions.
+    pub fn compile(module: &Module, config: &RunConfig) -> Program {
+        let mut fn_by_name: HashMap<String, u16> = HashMap::new();
+        let mut fn_items: Vec<&Function> = Vec::new();
+        for item in &module.items {
+            if let Item::Function(f) = item {
+                if !fn_by_name.contains_key(&f.name) {
+                    fn_by_name.insert(f.name.clone(), fn_items.len() as u16);
+                    fn_items.push(f);
+                }
+            }
+        }
+
+        // Global slots: one per distinct name, first occurrence fixes the
+        // index (redeclaration writes the same slot, like a by-name map).
+        let mut global_idx: HashMap<String, u16> = HashMap::new();
+        let mut global_names: Vec<Box<str>> = Vec::new();
+        for item in &module.items {
+            if let Item::Global(stmt) = item {
+                if let StmtKind::Decl(d) = &stmt.kind {
+                    global_idx.entry(d.name.clone()).or_insert_with(|| {
+                        global_names.push(d.name.clone().into_boxed_str());
+                        (global_names.len() - 1) as u16
+                    });
+                }
+            }
+        }
+
+        let mut call_sites = Vec::new();
+
+        // The globals-initialiser chunk mirrors `Interpreter::init_globals`:
+        // one shared frame, each declaration compiled in order, its value
+        // copied to the global slot immediately (so later initialisers can
+        // observe earlier globals through their frame slots).
+        let mut init = Compiler {
+            cm: &config.cost_model,
+            fn_by_name: &fn_by_name,
+            global_idx: &global_idx,
+            call_sites: &mut call_sites,
+            names: NameResolution::InitChunk {
+                scope: HashMap::new(),
+                next_slot: 0,
+            },
+            code: Vec::new(),
+            loops: Vec::new(),
+        };
+        for item in &module.items {
+            if let Item::Global(stmt) = item {
+                if let StmtKind::Decl(d) = &stmt.kind {
+                    let slot = init.compile_decl(d);
+                    let gidx = global_idx[&d.name];
+                    init.code.push(Insn::CopyLocalToGlobal { slot, gidx });
+                }
+            }
+        }
+        init.code.push(Insn::Ret { has_value: false });
+        let globals_init = std::mem::take(&mut init.code);
+        let globals_init_locals = match &init.names {
+            NameResolution::InitChunk { next_slot, .. } => *next_slot as usize,
+            _ => unreachable!(),
+        };
+        drop(init);
+
+        let mut funcs = Vec::with_capacity(fn_items.len());
+        for f in &fn_items {
+            let slots = resolve_function(f);
+            let mut c = Compiler {
+                cm: &config.cost_model,
+                fn_by_name: &fn_by_name,
+                global_idx: &global_idx,
+                call_sites: &mut call_sites,
+                names: NameResolution::Func(&slots),
+                code: Vec::new(),
+                loops: Vec::new(),
+            };
+            c.compile_block(&f.body);
+            c.code.push(Insn::Ret { has_value: false });
+            let code = std::mem::take(&mut c.code);
+            drop(c);
+            funcs.push(CompiledFn {
+                name: f.name.clone(),
+                params: f
+                    .params
+                    .iter()
+                    .map(|p| CompiledParam {
+                        name: p.name.clone(),
+                        ty: p.ty,
+                        span: p.span,
+                    })
+                    .collect(),
+                locals: slots.locals,
+                watched: config.watch_function.as_deref() == Some(f.name.as_str()),
+                code,
+            });
+        }
+
+        Program {
+            funcs,
+            fn_by_name,
+            global_names,
+            globals_init,
+            globals_init_locals,
+            call_sites,
+        }
+    }
+}
+
+/// How the compiler maps identifier uses to slots.
+enum NameResolution<'a> {
+    /// Inside a function: the precomputed per-`NodeId` slot map.
+    Func(&'a SlotMap),
+    /// Inside the globals-init chunk: a by-name scope built as declarations
+    /// are compiled (later initialisers see earlier declarations).
+    InitChunk {
+        scope: HashMap<String, u16>,
+        next_slot: u16,
+    },
+}
+
+struct Compiler<'a> {
+    cm: &'a CostModel,
+    fn_by_name: &'a HashMap<String, u16>,
+    global_idx: &'a HashMap<String, u16>,
+    call_sites: &'a mut Vec<CallSite>,
+    names: NameResolution<'a>,
+    code: Vec<Insn>,
+    /// Innermost-last stack of open loops, holding jump indices to patch.
+    loops: Vec<OpenLoop>,
+}
+
+#[derive(Default)]
+struct OpenLoop {
+    breaks: Vec<usize>,
+    continues: Vec<usize>,
+}
+
+impl<'a> Compiler<'a> {
+    fn pc(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    /// Slot an identifier use reads, if it is a local here.
+    fn ident_slot(&self, e: &Expr, name: &str) -> Option<u16> {
+        match &self.names {
+            NameResolution::Func(slots) => slots.ident_slot(e.id),
+            NameResolution::InitChunk { scope, .. } => scope.get(name).copied(),
+        }
+    }
+
+    /// Slot a declaration writes (allocating one in the init chunk, where a
+    /// redeclared name reuses its slot like a by-name map overwrite).
+    fn decl_slot(&mut self, d: &VarDecl) -> u16 {
+        match &mut self.names {
+            NameResolution::Func(slots) => slots
+                .decl_slot(d.id)
+                .expect("declaration resolved by scope analysis"),
+            NameResolution::InitChunk { scope, next_slot } => {
+                *scope.entry(d.name.clone()).or_insert_with(|| {
+                    let s = *next_slot;
+                    *next_slot += 1;
+                    s
+                })
+            }
+        }
+    }
+
+    fn unbound(&mut self, name: &str, span: Span) {
+        self.code.push(Insn::Raise(Box::new(RuntimeError::Unbound {
+            name: name.to_string(),
+            span,
+        })));
+    }
+
+    // --------------------------------------------------------------
+    // Statements
+    // --------------------------------------------------------------
+
+    fn compile_block(&mut self, b: &Block) {
+        for stmt in &b.stmts {
+            self.compile_stmt(stmt);
+        }
+    }
+
+    fn compile_stmt(&mut self, stmt: &Stmt) {
+        match &stmt.kind {
+            StmtKind::Decl(d) => {
+                self.compile_decl(d);
+            }
+            StmtKind::Assign { target, op, value } => self.compile_assign(target, *op, value),
+            StmtKind::Expr(e) => {
+                self.compile_expr(e);
+                self.code.push(Insn::Pop);
+            }
+            StmtKind::If { cond, then, els } => {
+                self.compile_expr(cond);
+                let test = self.code.len();
+                self.code.push(Insn::JumpIfFalse {
+                    target: 0,
+                    cost: self.cm.branch,
+                    span: cond.span,
+                });
+                self.compile_block(then);
+                match els {
+                    Some(els) => {
+                        let skip_else = self.code.len();
+                        self.code.push(Insn::Jump(0));
+                        let else_pc = self.pc();
+                        self.patch_jump(test, else_pc);
+                        self.compile_block(els);
+                        let end = self.pc();
+                        self.patch_jump(skip_else, end);
+                    }
+                    None => {
+                        let end = self.pc();
+                        self.patch_jump(test, end);
+                    }
+                }
+            }
+            StmtKind::For(l) => self.compile_for(l),
+            StmtKind::While { cond, body } => self.compile_while(stmt.id, cond, body),
+            StmtKind::Return(e) => match e {
+                Some(e) => {
+                    self.compile_expr(e);
+                    self.code.push(Insn::Ret { has_value: true });
+                }
+                None => self.code.push(Insn::Ret { has_value: false }),
+            },
+            StmtKind::Break => match self.loops.last_mut() {
+                Some(l) => {
+                    l.breaks.push(self.code.len());
+                    self.code.push(Insn::Jump(0));
+                }
+                // `break` outside any loop: the tree-walker's `Flow::Break`
+                // propagates out of the function body, returning unit.
+                None => self.code.push(Insn::Ret { has_value: false }),
+            },
+            StmtKind::Continue => match self.loops.last_mut() {
+                Some(l) => {
+                    l.continues.push(self.code.len());
+                    self.code.push(Insn::Jump(0));
+                }
+                None => self.code.push(Insn::Ret { has_value: false }),
+            },
+            StmtKind::Block(b) => self.compile_block(b),
+        }
+    }
+
+    /// Compile a declaration; returns the slot it wrote.
+    fn compile_decl(&mut self, d: &VarDecl) -> u16 {
+        if let Some(len_expr) = &d.array_len {
+            self.compile_expr(len_expr);
+            let slot = self.decl_slot(d);
+            self.code.push(Insn::AllocArray {
+                scalar: d.ty.scalar,
+                name: d.name.clone().into_boxed_str(),
+                span: d.span,
+            });
+            self.code.push(Insn::StoreLocal(slot));
+            return slot;
+        }
+        match &d.init {
+            Some(init) => {
+                self.compile_expr(init);
+                if !d.ty.is_pointer() {
+                    self.code.push(Insn::Coerce {
+                        ty: d.ty,
+                        span: d.span,
+                    });
+                }
+            }
+            None => {
+                let v = match (d.ty.is_pointer(), d.ty.scalar) {
+                    (true, _) => Value::Ptr(Pointer {
+                        buffer: crate::BufferId(u32::MAX),
+                        offset: 0,
+                    }),
+                    (_, Scalar::Int) => Value::Int(0),
+                    (_, Scalar::Float) => Value::Float(0.0),
+                    (_, Scalar::Double) => Value::Double(0.0),
+                    (_, Scalar::Bool) => Value::Bool(false),
+                    (_, Scalar::Void) => Value::Unit,
+                };
+                self.code.push(Insn::Const(v));
+            }
+        }
+        let slot = self.decl_slot(d);
+        self.code.push(Insn::StoreLocal(slot));
+        slot
+    }
+
+    fn compile_assign(&mut self, target: &Expr, op: AssignOp, value: &Expr) {
+        match &target.kind {
+            ExprKind::Ident(name) => {
+                // The rhs is evaluated first in all cases.
+                self.compile_expr(value);
+                let slot = self.ident_slot(target, name);
+                let gidx = match slot {
+                    Some(_) => None,
+                    None => self.global_idx.get(name).copied(),
+                };
+                if slot.is_none() && gidx.is_none() {
+                    // Never bound: the tree-walker reports unbound after
+                    // evaluating the rhs (compound fails at the old-value
+                    // read, simple at the final set — same error).
+                    self.unbound(name, target.span);
+                    return;
+                }
+                if let Some(bop) = op.bin_op() {
+                    match (slot, gidx) {
+                        (Some(s), _) => self.code.push(Insn::LoadLocal(s)),
+                        (None, Some(g)) => self.code.push(Insn::LoadGlobal {
+                            gidx: g,
+                            span: target.span,
+                        }),
+                        _ => unreachable!(),
+                    }
+                    self.code.push(Insn::BinRev {
+                        op: bop,
+                        span: target.span,
+                    });
+                }
+                match (slot, gidx) {
+                    (Some(s), _) => self.code.push(Insn::AssignLocal {
+                        slot: s,
+                        span: target.span,
+                    }),
+                    (None, Some(g)) => self.code.push(Insn::AssignGlobal {
+                        gidx: g,
+                        span: target.span,
+                    }),
+                    _ => unreachable!(),
+                }
+            }
+            ExprKind::Index { base, index } => {
+                self.compile_expr(base);
+                self.compile_expr(index);
+                self.code.push(Insn::IndexAddr {
+                    cost: self.cm.int_op,
+                    base_span: base.span,
+                    index_span: index.span,
+                });
+                match op.bin_op() {
+                    None => {
+                        self.compile_expr(value);
+                    }
+                    Some(bop) => {
+                        // [ptr] → [ptr ptr rhs] → [ptr rhs ptr] →
+                        // [ptr rhs old] → [ptr new]; rhs evaluates before
+                        // the old value loads, like the tree-walker.
+                        self.code.push(Insn::Dup);
+                        self.compile_expr(value);
+                        self.code.push(Insn::Swap);
+                        self.code.push(Insn::LoadElem {
+                            cost: self.cm.load,
+                            span: target.span,
+                        });
+                        self.code.push(Insn::BinRev {
+                            op: bop,
+                            span: target.span,
+                        });
+                    }
+                }
+                self.code.push(Insn::StoreElem {
+                    cost: self.cm.store,
+                    span: target.span,
+                });
+            }
+            _ => {
+                // Not an lvalue: the tree-walker errors without evaluating
+                // either side.
+                self.code.push(Insn::Raise(Box::new(RuntimeError::Type {
+                    message: "assignment target is not an lvalue".into(),
+                    span: target.span,
+                })));
+            }
+        }
+    }
+
+    fn compile_for(&mut self, l: &ForLoop) {
+        self.code.push(Insn::LoopEnter { id: l.id });
+        self.compile_expr(&l.init);
+        let (slot, bound) = match &self.names {
+            NameResolution::Func(slots) => {
+                let v = slots.for_var(l.id).expect("for loop resolved");
+                (v.slot, v.bound)
+            }
+            NameResolution::InitChunk { scope, next_slot } => {
+                // Globals are initialised by declarations only; a loop here
+                // can only appear inside nested expressions, which MiniC++
+                // does not allow — but resolve defensively by name.
+                match scope.get(&l.var) {
+                    Some(&s) => (s, true),
+                    None => (*next_slot, false),
+                }
+            }
+        };
+        self.code.push(Insn::ForInit {
+            slot,
+            bound,
+            name: l.var.clone().into_boxed_str(),
+            span: l.span,
+        });
+        self.loops.push(OpenLoop::default());
+        let top = self.pc();
+        self.compile_expr(&l.bound);
+        let test = self.code.len();
+        self.code.push(Insn::ForTest {
+            slot,
+            cond_op: l.cond_op,
+            exit: 0,
+            cost: self.cm.int_op + self.cm.branch,
+            span: l.span,
+        });
+        self.compile_block(&l.body);
+        let step_pc = self.pc();
+        self.compile_expr(&l.step);
+        self.code.push(Insn::ForStep {
+            slot,
+            negative: l.step_negative,
+            cost: self.cm.int_op,
+            span: l.span,
+        });
+        self.code.push(Insn::Jump(top));
+        let exit = self.pc();
+        self.code.push(Insn::LoopExit);
+        self.patch_jump(test, exit);
+        let open = self.loops.pop().expect("loop open");
+        for pc in open.breaks {
+            self.patch_jump(pc, exit);
+        }
+        for pc in open.continues {
+            self.patch_jump(pc, step_pc);
+        }
+    }
+
+    fn compile_while(&mut self, id: NodeId, cond: &Expr, body: &Block) {
+        self.code.push(Insn::LoopEnter { id });
+        self.loops.push(OpenLoop::default());
+        let top = self.pc();
+        self.compile_expr(cond);
+        let test = self.code.len();
+        self.code.push(Insn::WhileTest {
+            exit: 0,
+            cost: self.cm.branch,
+            span: cond.span,
+        });
+        self.compile_block(body);
+        self.code.push(Insn::Jump(top));
+        let exit = self.pc();
+        self.code.push(Insn::LoopExit);
+        self.patch_jump(test, exit);
+        let open = self.loops.pop().expect("loop open");
+        for pc in open.breaks {
+            self.patch_jump(pc, exit);
+        }
+        for pc in open.continues {
+            self.patch_jump(pc, top);
+        }
+    }
+
+    fn patch_jump(&mut self, at: usize, to: u32) {
+        match &mut self.code[at] {
+            Insn::Jump(t) => *t = to,
+            Insn::JumpIfFalse { target, .. }
+            | Insn::AndShort { target, .. }
+            | Insn::OrShort { target, .. } => *target = to,
+            Insn::ForTest { exit, .. } | Insn::WhileTest { exit, .. } => *exit = to,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    // --------------------------------------------------------------
+    // Expressions
+    // --------------------------------------------------------------
+
+    fn compile_expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::IntLit(v) => self.code.push(Insn::Const(Value::Int(*v))),
+            ExprKind::FloatLit { value, single } => self.code.push(Insn::Const(if *single {
+                Value::Float(*value as f32)
+            } else {
+                Value::Double(*value)
+            })),
+            ExprKind::BoolLit(b) => self.code.push(Insn::Const(Value::Bool(*b))),
+            ExprKind::Ident(name) => match self.ident_slot(e, name) {
+                Some(slot) => self.code.push(Insn::LoadLocal(slot)),
+                None => match self.global_idx.get(name) {
+                    Some(&gidx) => self.code.push(Insn::LoadGlobal { gidx, span: e.span }),
+                    None => self.unbound(name, e.span),
+                },
+            },
+            ExprKind::Unary { op, expr } => {
+                self.compile_expr(expr);
+                self.code.push(Insn::Un {
+                    op: *op,
+                    span: e.span,
+                });
+            }
+            ExprKind::Binary { op, lhs, rhs } => match op {
+                BinOp::And => {
+                    self.compile_expr(lhs);
+                    let short = self.code.len();
+                    self.code.push(Insn::AndShort {
+                        target: 0,
+                        cost: self.cm.branch,
+                        span: lhs.span,
+                    });
+                    self.compile_expr(rhs);
+                    self.code.push(Insn::ToBool {
+                        cost: self.cm.branch,
+                        span: rhs.span,
+                    });
+                    let end = self.pc();
+                    self.patch_jump(short, end);
+                }
+                BinOp::Or => {
+                    self.compile_expr(lhs);
+                    let short = self.code.len();
+                    self.code.push(Insn::OrShort {
+                        target: 0,
+                        cost: self.cm.branch,
+                        span: lhs.span,
+                    });
+                    self.compile_expr(rhs);
+                    self.code.push(Insn::ToBool {
+                        cost: self.cm.branch,
+                        span: rhs.span,
+                    });
+                    let end = self.pc();
+                    self.patch_jump(short, end);
+                }
+                _ => {
+                    self.compile_expr(lhs);
+                    self.compile_expr(rhs);
+                    self.code.push(Insn::Bin {
+                        op: *op,
+                        span: e.span,
+                    });
+                }
+            },
+            ExprKind::Call { callee, args } => {
+                for a in args {
+                    self.compile_expr(a);
+                }
+                // Tree-walker lookup order: user functions shadow
+                // intrinsics; unknown names are unbound at call time.
+                let target = match self.fn_by_name.get(callee) {
+                    Some(&idx) => CallTarget::User(idx),
+                    None => match intrinsics::lookup(callee) {
+                        Some(i) => CallTarget::Intrinsic(i),
+                        None => CallTarget::Unknown,
+                    },
+                };
+                // Arity-correct math calls get a dedicated instruction with
+                // the cost-class lookup resolved now; wrong-arity calls fall
+                // through to the generic path for its exact error.
+                if let CallTarget::Intrinsic(Intrinsic::Math(f)) = target {
+                    if args.len() == f.op.arity() {
+                        let (cycles, flops) = match f.op.cost_class() {
+                            intrinsics::MathCost::Cheap => (self.cm.fp_op, 1),
+                            intrinsics::MathCost::Sqrt => (self.cm.sqrt, self.cm.sqrt_flops),
+                            intrinsics::MathCost::Transcendental => {
+                                (self.cm.transcendental, self.cm.transcendental_flops)
+                            }
+                        };
+                        self.code.push(Insn::MathCall {
+                            f,
+                            cycles,
+                            flops,
+                            name: callee.clone().into_boxed_str(),
+                            span: e.span,
+                        });
+                        return;
+                    }
+                }
+                let site = self.call_sites.len() as u32;
+                self.call_sites.push(CallSite {
+                    name: callee.clone().into_boxed_str(),
+                    target,
+                    argc: args.len(),
+                    span: e.span,
+                });
+                self.code.push(Insn::Call(site));
+            }
+            ExprKind::Index { base, index } => {
+                self.compile_expr(base);
+                self.compile_expr(index);
+                self.code.push(Insn::Index {
+                    cost: self.cm.int_op + self.cm.load,
+                    base_span: base.span,
+                    index_span: index.span,
+                    span: e.span,
+                });
+            }
+            ExprKind::Cast { ty, expr } => {
+                self.compile_expr(expr);
+                self.code.push(Insn::Cast {
+                    ty: *ty,
+                    cost: self.cm.fp_op,
+                    span: e.span,
+                });
+            }
+            ExprKind::Ternary { cond, then, els } => {
+                self.compile_expr(cond);
+                let test = self.code.len();
+                self.code.push(Insn::JumpIfFalse {
+                    target: 0,
+                    cost: self.cm.branch,
+                    span: cond.span,
+                });
+                self.compile_expr(then);
+                let skip_else = self.code.len();
+                self.code.push(Insn::Jump(0));
+                let else_pc = self.pc();
+                self.patch_jump(test, else_pc);
+                self.compile_expr(els);
+                let end = self.pc();
+                self.patch_jump(skip_else, end);
+            }
+        }
+    }
+}

@@ -5,13 +5,56 @@
 //! so `break`/`continue`/`return` propagate as an internal `Flow` value.
 
 use crate::error::{RuntimeError, RuntimeResult};
-use crate::intrinsics::{self, Intrinsic, MathCost, SplitMix64};
+use crate::intrinsics::{self, Intrinsic};
 use crate::memory::Memory;
+use crate::ops::{self, BinCosts, IntrinsicCtx};
 use crate::profile::{CostModel, Profile};
-use crate::value::{promote, Pointer, Promoted, Value};
+use crate::value::{Pointer, Value};
 use psa_minicpp::ast::*;
 use psa_minicpp::Span;
 use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Which execution engine runs the program.
+///
+/// Both engines produce bit-identical observables (results, profiles,
+/// memory, errors) — the choice only affects host-side wall-clock time, so
+/// it deliberately does **not** participate in [`RunConfig::content_hash`]
+/// and cached artefacts are engine-invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Compile to slot-resolved bytecode and run on the VM (fast path).
+    Vm,
+    /// Walk the AST directly (reference semantics / differential oracle).
+    Tree,
+}
+
+static DEFAULT_ENGINE: OnceLock<Engine> = OnceLock::new();
+
+impl Engine {
+    /// The process-wide default engine: whatever was pinned first by
+    /// [`set_default_engine`], else `PSA_INTERP_ENGINE=tree` from the
+    /// environment, else the VM.
+    pub fn default_engine() -> Engine {
+        *DEFAULT_ENGINE.get_or_init(|| match std::env::var("PSA_INTERP_ENGINE") {
+            Ok(v) if v == "tree" => Engine::Tree,
+            _ => Engine::Vm,
+        })
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::default_engine()
+    }
+}
+
+/// Pin the process-wide default engine (e.g. from a `--engine` CLI flag)
+/// before any `RunConfig::default()` is built. Returns `false` if the
+/// default was already resolved — first caller wins.
+pub fn set_default_engine(engine: Engine) -> bool {
+    DEFAULT_ENGINE.set(engine).is_ok()
+}
 
 /// Interpreter configuration.
 #[derive(Debug, Clone)]
@@ -24,6 +67,9 @@ pub struct RunConfig {
     /// Function whose execution is traced for kernel-scoped metrics
     /// (data-in/out, kernel FLOPs/bytes, per-buffer access ranges).
     pub watch_function: Option<String>,
+    /// Execution engine. Semantically invisible (see [`Engine`]); excluded
+    /// from the cache key.
+    pub engine: Engine,
 }
 
 impl Default for RunConfig {
@@ -33,6 +79,7 @@ impl Default for RunConfig {
             max_cycles: 20_000_000_000,
             max_call_depth: 128,
             watch_function: None,
+            engine: Engine::default(),
         }
     }
 }
@@ -94,6 +141,9 @@ pub struct Interpreter<'m> {
     pub memory: Memory,
     profile: Profile,
     config: RunConfig,
+    /// Operator costs copied out of the cost model once — the binop/unop
+    /// hot paths must not clone the full [`CostModel`] per operation.
+    bin_costs: BinCosts,
     watch_depth: usize,
     call_depth: usize,
     timer_stack: Vec<(i64, u64)>,
@@ -104,11 +154,13 @@ pub struct Interpreter<'m> {
 
 impl<'m> Interpreter<'m> {
     pub fn new(module: &'m Module, config: RunConfig) -> Self {
+        let bin_costs = BinCosts::of(&config.cost_model);
         Interpreter {
             module,
             memory: Memory::new(),
             profile: Profile::default(),
             config,
+            bin_costs,
             watch_depth: 0,
             call_depth: 0,
             timer_stack: Vec::new(),
@@ -165,7 +217,7 @@ impl<'m> Interpreter<'m> {
             return self.call_user(func, args, span);
         }
         match intrinsics::lookup(name) {
-            Some(intr) => self.call_intrinsic(name, intr, args, span),
+            Some(intr) => self.call_intrinsic(name, intr, &args, span),
             None => Err(RuntimeError::Unbound {
                 name: name.to_string(),
                 span,
@@ -247,149 +299,30 @@ impl<'m> Interpreter<'m> {
     }
 
     fn coerce(&self, value: Value, ty: Type, span: Span) -> RuntimeResult<Value> {
-        if ty.is_pointer() {
-            return match value {
-                Value::Ptr(_) => Ok(value),
-                other => Err(RuntimeError::Type {
-                    message: format!("expected pointer, got {}", other.type_name()),
-                    span,
-                }),
-            };
-        }
-        let err = || RuntimeError::Type {
-            message: format!("cannot coerce {} to {}", value.type_name(), ty),
-            span,
-        };
-        match ty.scalar {
-            Scalar::Int => Ok(Value::Int(value.as_i64().ok_or_else(err)?)),
-            Scalar::Double => Ok(Value::Double(value.as_f64().ok_or_else(err)?)),
-            Scalar::Float => Ok(Value::Float(value.as_f64().ok_or_else(err)? as f32)),
-            Scalar::Bool => Ok(Value::Bool(value.truthy().ok_or_else(err)?)),
-            Scalar::Void => Ok(Value::Unit),
-        }
+        ops::coerce(value, ty, span)
     }
 
     fn call_intrinsic(
         &mut self,
         name: &str,
         intr: Intrinsic,
-        args: Vec<Value>,
+        args: &[Value],
         span: Span,
     ) -> RuntimeResult<Value> {
-        let bad = |msg: String| RuntimeError::Intrinsic { message: msg, span };
-        match intr {
-            Intrinsic::Math(f) => {
-                let arity = f.op.arity();
-                if args.len() != arity {
-                    return Err(bad(format!("`{name}` expects {arity} argument(s)")));
-                }
-                let a = args[0]
-                    .as_f64()
-                    .ok_or_else(|| bad(format!("`{name}` needs a numeric argument")))?;
-                let b = if arity == 2 {
-                    args[1]
-                        .as_f64()
-                        .ok_or_else(|| bad(format!("`{name}` needs numeric arguments")))?
-                } else {
-                    0.0
-                };
-                let cm = &self.config.cost_model;
-                let (cycles, flops) = match f.op.cost_class() {
-                    MathCost::Cheap => (cm.fp_op, 1),
-                    MathCost::Sqrt => (cm.sqrt, cm.sqrt_flops),
-                    MathCost::Transcendental => (cm.transcendental, cm.transcendental_flops),
-                };
-                self.charge(cycles)?;
-                self.profile.flops += flops;
-                Ok(if f.single {
-                    Value::Float(f.op.eval_f32(a as f32, b as f32))
-                } else {
-                    Value::Double(f.op.eval_f64(a, b))
-                })
-            }
-            Intrinsic::Alloc(scalar) => {
-                let n = args
-                    .first()
-                    .and_then(Value::as_i64)
-                    .ok_or_else(|| bad("alloc needs an integer length".into()))?;
-                if n < 0 {
-                    return Err(bad(format!("negative allocation length {n}")));
-                }
-                self.heap_count += 1;
-                let label = format!("heap#{}", self.heap_count);
-                let id = self.memory.alloc(scalar, n as usize, label);
-                Ok(Value::Ptr(Pointer {
-                    buffer: id,
-                    offset: 0,
-                }))
-            }
-            Intrinsic::FillRandom => {
-                let [p, n, seed] = args.as_slice() else {
-                    return Err(bad("fill_random(ptr, n, seed)".into()));
-                };
-                let ptr = p
-                    .as_ptr()
-                    .ok_or_else(|| bad("fill_random needs a pointer".into()))?;
-                let n = n
-                    .as_i64()
-                    .ok_or_else(|| bad("fill_random needs a length".into()))?;
-                let seed = seed
-                    .as_i64()
-                    .ok_or_else(|| bad("fill_random needs a seed".into()))?;
-                let mut rng = SplitMix64::new(seed as u64);
-                let watch = self.watch_depth > 0;
-                let elem_bytes = self.memory.elem_bytes(ptr.buffer);
-                for i in 0..n {
-                    let v = match self.memory.buffer(ptr.buffer).data.scalar() {
-                        Scalar::Int => Value::Int((rng.next_u64() >> 33) as i64),
-                        Scalar::Bool => Value::Bool(rng.next_u64() & 1 == 1),
-                        Scalar::Float => Value::Float(rng.next_f64() as f32),
-                        _ => Value::Double(rng.next_f64()),
-                    };
-                    self.memory
-                        .store(ptr.buffer, ptr.offset + i, v, span, watch)?;
-                    self.charge(self.config.cost_model.store)?;
-                    self.profile.stores += 1;
-                    self.profile.bytes_stored += elem_bytes;
-                }
-                Ok(Value::Unit)
-            }
-            Intrinsic::TimerStart => {
-                let id = args
-                    .first()
-                    .and_then(Value::as_i64)
-                    .ok_or_else(|| bad("__psa_timer_start(id)".into()))?;
-                self.timer_stack.push((id, self.profile.total_cycles));
-                Ok(Value::Unit)
-            }
-            Intrinsic::TimerStop => {
-                let id = args
-                    .first()
-                    .and_then(Value::as_i64)
-                    .ok_or_else(|| bad("__psa_timer_stop(id)".into()))?;
-                let pos = self
-                    .timer_stack
-                    .iter()
-                    .rposition(|(tid, _)| *tid == id)
-                    .ok_or_else(|| bad(format!("timer {id} stopped without start")))?;
-                let (_, start) = self.timer_stack.remove(pos);
-                let t = self.profile.timers.entry(id).or_default();
-                t.starts += 1;
-                t.cycles += self.profile.total_cycles - start;
-                Ok(Value::Unit)
-            }
-            Intrinsic::Sink => Ok(Value::Unit),
-        }
+        let mut ctx = IntrinsicCtx {
+            profile: &mut self.profile,
+            memory: &mut self.memory,
+            cost_model: &self.config.cost_model,
+            max_cycles: self.config.max_cycles,
+            timer_stack: &mut self.timer_stack,
+            heap_count: &mut self.heap_count,
+            watch: self.watch_depth > 0,
+        };
+        ops::exec_intrinsic(&mut ctx, name, intr, args, span)
     }
 
     fn charge(&mut self, cycles: u64) -> RuntimeResult<()> {
-        self.profile.total_cycles += cycles;
-        if self.profile.total_cycles > self.config.max_cycles {
-            return Err(RuntimeError::CycleBudgetExhausted {
-                limit: self.config.max_cycles,
-            });
-        }
-        Ok(())
+        ops::charge(&mut self.profile, self.config.max_cycles, cycles)
     }
 
     // ------------------------------------------------------------------
@@ -635,33 +568,8 @@ impl<'m> Interpreter<'m> {
                     }
                 };
                 // Keep the variable's existing type (C assignment converts).
-                let converted = match frame.get(name).or_else(|| self.globals.get(name).copied()) {
-                    Some(Value::Int(_)) => {
-                        Value::Int(new.as_i64().ok_or_else(|| RuntimeError::Type {
-                            message: "cannot convert to int".into(),
-                            span: target.span,
-                        })?)
-                    }
-                    Some(Value::Float(_)) => {
-                        Value::Float(new.as_f64().ok_or_else(|| RuntimeError::Type {
-                            message: "cannot convert to float".into(),
-                            span: target.span,
-                        })? as f32)
-                    }
-                    Some(Value::Double(_)) => {
-                        Value::Double(new.as_f64().ok_or_else(|| RuntimeError::Type {
-                            message: "cannot convert to double".into(),
-                            span: target.span,
-                        })?)
-                    }
-                    Some(Value::Bool(_)) => {
-                        Value::Bool(new.truthy().ok_or_else(|| RuntimeError::Type {
-                            message: "cannot convert to bool".into(),
-                            span: target.span,
-                        })?)
-                    }
-                    _ => new,
-                };
+                let current = frame.get(name).or_else(|| self.globals.get(name).copied());
+                let converted = ops::convert_assign(current, new, target.span)?;
                 if !frame.set(name, converted) {
                     if self.globals.contains_key(name) {
                         self.globals.insert(name.clone(), converted);
@@ -741,37 +649,14 @@ impl<'m> Interpreter<'m> {
                 }),
             ExprKind::Unary { op, expr } => {
                 let v = self.eval(expr, frame)?;
-                match op {
-                    UnOp::Neg => match v {
-                        Value::Int(x) => {
-                            self.charge(self.config.cost_model.int_op)?;
-                            self.profile.int_ops += 1;
-                            Ok(Value::Int(-x))
-                        }
-                        Value::Float(x) => {
-                            self.charge(self.config.cost_model.fp_op)?;
-                            self.profile.flops += 1;
-                            Ok(Value::Float(-x))
-                        }
-                        Value::Double(x) => {
-                            self.charge(self.config.cost_model.fp_op)?;
-                            self.profile.flops += 1;
-                            Ok(Value::Double(-x))
-                        }
-                        other => Err(RuntimeError::Type {
-                            message: format!("cannot negate {}", other.type_name()),
-                            span: e.span,
-                        }),
-                    },
-                    UnOp::Not => {
-                        let b = v.truthy().ok_or_else(|| RuntimeError::Type {
-                            message: format!("cannot apply `!` to {}", v.type_name()),
-                            span: e.span,
-                        })?;
-                        self.charge(self.config.cost_model.int_op)?;
-                        Ok(Value::Bool(!b))
-                    }
-                }
+                ops::apply_unary(
+                    &mut self.profile,
+                    self.config.max_cycles,
+                    self.bin_costs,
+                    *op,
+                    v,
+                    e.span,
+                )
             }
             ExprKind::Binary { op, lhs, rhs } => match op {
                 BinOp::And => {
@@ -840,130 +725,15 @@ impl<'m> Interpreter<'m> {
     }
 
     fn apply_binary(&mut self, op: BinOp, l: Value, r: Value, span: Span) -> RuntimeResult<Value> {
-        // Pointer arithmetic: ptr ± int.
-        if let (Value::Ptr(p), Some(off)) = (&l, r.as_i64()) {
-            if matches!(op, BinOp::Add | BinOp::Sub) && !r.is_floating() {
-                self.charge(self.config.cost_model.int_op)?;
-                self.profile.int_ops += 1;
-                let delta = if op == BinOp::Add { off } else { -off };
-                return Ok(Value::Ptr(Pointer {
-                    buffer: p.buffer,
-                    offset: p.offset + delta,
-                }));
-            }
-        }
-        let pair = promote(&l, &r).ok_or_else(|| RuntimeError::Type {
-            message: format!(
-                "cannot apply `{}` to {} and {}",
-                op.symbol(),
-                l.type_name(),
-                r.type_name()
-            ),
+        ops::apply_binary(
+            &mut self.profile,
+            self.config.max_cycles,
+            self.bin_costs,
+            op,
+            l,
+            r,
             span,
-        })?;
-        let cm = self.config.cost_model.clone();
-        match pair {
-            Promoted::Int(a, b) => {
-                let cost = match op {
-                    BinOp::Mul => cm.int_mul,
-                    BinOp::Div | BinOp::Rem => cm.int_div,
-                    _ => cm.int_op,
-                };
-                self.charge(cost)?;
-                self.profile.int_ops += 1;
-                Ok(match op {
-                    BinOp::Add => Value::Int(a.wrapping_add(b)),
-                    BinOp::Sub => Value::Int(a.wrapping_sub(b)),
-                    BinOp::Mul => Value::Int(a.wrapping_mul(b)),
-                    BinOp::Div => {
-                        if b == 0 {
-                            return Err(RuntimeError::DivideByZero { span });
-                        }
-                        Value::Int(a.wrapping_div(b))
-                    }
-                    BinOp::Rem => {
-                        if b == 0 {
-                            return Err(RuntimeError::DivideByZero { span });
-                        }
-                        Value::Int(a.wrapping_rem(b))
-                    }
-                    BinOp::Lt => Value::Bool(a < b),
-                    BinOp::Le => Value::Bool(a <= b),
-                    BinOp::Gt => Value::Bool(a > b),
-                    BinOp::Ge => Value::Bool(a >= b),
-                    BinOp::Eq => Value::Bool(a == b),
-                    BinOp::Ne => Value::Bool(a != b),
-                    BinOp::And | BinOp::Or => unreachable!("short-circuited"),
-                })
-            }
-            Promoted::Float(a, b) => self.apply_fp(op, f64::from(a), f64::from(b), true, span),
-            Promoted::Double(a, b) => self.apply_fp(op, a, b, false, span),
-        }
-    }
-
-    fn apply_fp(
-        &mut self,
-        op: BinOp,
-        a: f64,
-        b: f64,
-        single: bool,
-        span: Span,
-    ) -> RuntimeResult<Value> {
-        let cm = &self.config.cost_model;
-        let (cost, is_flop) = match op {
-            BinOp::Div => (cm.fp_div, true),
-            BinOp::Add | BinOp::Sub | BinOp::Mul => (cm.fp_op, true),
-            _ => (cm.fp_op, false),
-        };
-        self.charge(cost)?;
-        if is_flop {
-            self.profile.flops += 1;
-        }
-        if op.is_comparison() {
-            let res = match op {
-                BinOp::Lt => a < b,
-                BinOp::Le => a <= b,
-                BinOp::Gt => a > b,
-                BinOp::Ge => a >= b,
-                BinOp::Eq => a == b,
-                BinOp::Ne => a != b,
-                _ => unreachable!(),
-            };
-            return Ok(Value::Bool(res));
-        }
-        let value = if single {
-            let (a, b) = (a as f32, b as f32);
-            let r = match op {
-                BinOp::Add => a + b,
-                BinOp::Sub => a - b,
-                BinOp::Mul => a * b,
-                BinOp::Div => a / b,
-                BinOp::Rem => a % b,
-                _ => {
-                    return Err(RuntimeError::Type {
-                        message: format!("`{}` not defined on floats", op.symbol()),
-                        span,
-                    })
-                }
-            };
-            Value::Float(r)
-        } else {
-            let r = match op {
-                BinOp::Add => a + b,
-                BinOp::Sub => a - b,
-                BinOp::Mul => a * b,
-                BinOp::Div => a / b,
-                BinOp::Rem => a % b,
-                _ => {
-                    return Err(RuntimeError::Type {
-                        message: format!("`{}` not defined on doubles", op.symbol()),
-                        span,
-                    })
-                }
-            };
-            Value::Double(r)
-        };
-        Ok(value)
+        )
     }
 }
 
@@ -1215,6 +985,104 @@ mod tests {
                 "int main() { int s = 0; for (int i = 0; i < 3; i++) { for (int j = 0; j < 10; j++) { if (j == 1) { break; } s += 1; } } return s; }"
             ),
             Value::Int(3)
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Frame scope semantics. The VM's compile-time slot resolution
+    // (psa_minicpp::scopes) must replicate exactly these rules; these tests
+    // pin them at the source.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn frame_inner_scope_shadows_outer() {
+        let mut f = Frame::new();
+        f.define("x", Value::Int(1));
+        f.push();
+        f.define("x", Value::Int(2));
+        assert_eq!(f.get("x"), Some(Value::Int(2)));
+        f.pop();
+        assert_eq!(f.get("x"), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn frame_set_writes_through_to_the_nearest_binding() {
+        let mut f = Frame::new();
+        f.define("x", Value::Int(1));
+        f.push();
+        // No inner `x`: assignment reaches the outer binding...
+        assert!(f.set("x", Value::Int(5)));
+        f.pop();
+        assert_eq!(f.get("x"), Some(Value::Int(5)));
+        // ...but once an inner scope shadows, the outer one is untouchable.
+        f.push();
+        f.define("x", Value::Int(9));
+        assert!(f.set("x", Value::Int(7)));
+        assert_eq!(f.get("x"), Some(Value::Int(7)));
+        f.pop();
+        assert_eq!(f.get("x"), Some(Value::Int(5)));
+    }
+
+    #[test]
+    fn frame_set_fails_on_unknown_names() {
+        let mut f = Frame::new();
+        assert!(!f.set("nope", Value::Int(0)));
+    }
+
+    #[test]
+    fn frame_redefine_in_same_scope_overwrites() {
+        let mut f = Frame::new();
+        f.define("x", Value::Int(1));
+        f.define("x", Value::Double(2.0));
+        assert_eq!(f.get("x"), Some(Value::Double(2.0)));
+        f.pop();
+        assert_eq!(f.get("x"), None);
+    }
+
+    #[test]
+    fn shadowing_program_reads_each_binding_in_its_scope() {
+        // Executable version of the Frame tests: inner declaration shadows,
+        // assignment inside targets the inner binding, the outer value
+        // survives.
+        assert_eq!(
+            run_value("int main() { int x = 1; { int x = 10; x += 5; } { x += 2; } return x; }"),
+            Value::Int(3)
+        );
+    }
+
+    #[test]
+    fn decl_initialiser_sees_the_outer_binding() {
+        assert_eq!(
+            run_value("int main() { int x = 3; { int x = x * 7; return x; } }"),
+            Value::Int(21)
+        );
+    }
+
+    #[test]
+    fn for_induction_variable_is_loop_scoped() {
+        // `i` declared by the loop header vanishes after the loop; a
+        // same-named outer variable is untouched.
+        assert_eq!(
+            run_value("int main() { int i = 100; for (int i = 0; i < 3; i++) { } return i; }"),
+            Value::Int(100)
+        );
+    }
+
+    #[test]
+    fn non_declaring_for_mutates_the_enclosing_variable() {
+        assert_eq!(
+            run_value("int main() { int i = 0; for (i = 0; i < 7; i++) { } return i; }"),
+            Value::Int(7)
+        );
+    }
+
+    #[test]
+    fn loop_body_declarations_reset_each_iteration() {
+        assert_eq!(
+            run_value(
+                "int main() { int s = 0; for (int i = 0; i < 4; i++) { int t = 1; t += i; s += t; } return s; }"
+            ),
+            Value::Int(10)
         );
     }
 }

@@ -24,18 +24,23 @@
 //!   byte-accurate per-buffer read/write ranges are recorded (data-movement
 //!   analysis).
 
+pub mod compile;
 pub mod error;
 pub mod eval;
 pub mod intrinsics;
 pub mod memory;
+mod ops;
 pub mod profile;
 pub mod value;
+pub mod vm;
 
+pub use compile::Program;
 pub use error::{RuntimeError, RuntimeResult};
-pub use eval::{Interpreter, RunConfig};
+pub use eval::{set_default_engine, Engine, Interpreter, RunConfig};
 pub use memory::{BufferId, Memory};
 pub use profile::{CostModel, LoopStats, Profile};
 pub use value::{Pointer, Value};
+pub use vm::Vm;
 
 use psa_evalcache::{EvalCache, KeyBuilder};
 use psa_minicpp::Module;
@@ -81,13 +86,43 @@ impl RunConfig {
     }
 }
 
+/// Execute `main` under `config` on the engine `config.engine` selects,
+/// returning the full [`ProfiledRun`] artefacts. Both engines are
+/// observationally identical, so callers need not care which one ran.
+pub fn run_main_profiled(module: &Module, config: RunConfig) -> RuntimeResult<ProfiledRun> {
+    match config.engine {
+        Engine::Vm => {
+            let mut vm = Vm::new(module, config);
+            let result = vm.run_main()?;
+            let (profile, memory) = vm.into_parts();
+            Ok(ProfiledRun {
+                result,
+                profile,
+                memory,
+            })
+        }
+        Engine::Tree => {
+            let mut interp = Interpreter::new(module, config);
+            let result = interp.run_main()?;
+            let (profile, memory) = interp.into_parts();
+            Ok(ProfiledRun {
+                result,
+                profile,
+                memory,
+            })
+        }
+    }
+}
+
 /// Execute `main` under `config`, memoized in `cache`.
 ///
 /// The address is the module's structural fingerprint plus the config's
 /// content hash, so a hit is guaranteed to replay a bit-identical
-/// execution (the interpreter is deterministic). Failed runs are not
-/// cached. This is the seam every dynamic analysis reaches the
-/// interpreter through when a cache is in play.
+/// execution (the interpreter is deterministic). The engine is *not* part
+/// of the address: VM and tree runs produce the same artefacts, so their
+/// cache entries are interchangeable. Failed runs are not cached. This is
+/// the seam every dynamic analysis reaches the interpreter through when a
+/// cache is in play.
 pub fn run_profiled_cached(
     module: &Module,
     config: RunConfig,
@@ -97,16 +132,7 @@ pub fn run_profiled_cached(
         .u64(psa_minicpp::module_fingerprint(module))
         .u64(config.content_hash())
         .finish();
-    cache.try_get_or_compute(key, || {
-        let mut interp = Interpreter::new(module, config);
-        let result = interp.run_main()?;
-        let (profile, memory) = interp.into_parts();
-        Ok(ProfiledRun {
-            result,
-            profile,
-            memory,
-        })
-    })
+    cache.try_get_or_compute(key, || run_main_profiled(module, config))
 }
 
 #[cfg(test)]

@@ -103,7 +103,7 @@ impl AccessRange {
 
 /// One allocation: a label (for reports), data, and kernel-scoped access
 /// tracking.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Buffer {
     pub label: String,
     pub data: BufferData,
@@ -112,7 +112,7 @@ pub struct Buffer {
 }
 
 /// The arena of all live allocations.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, PartialEq)]
 pub struct Memory {
     buffers: Vec<Buffer>,
 }

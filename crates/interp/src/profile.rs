@@ -96,7 +96,7 @@ pub struct TimerStats {
 }
 
 /// Everything the interpreter measures during one run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Profile {
     /// Total virtual cycles.
     pub total_cycles: u64,

@@ -1,0 +1,733 @@
+//! The bytecode VM: the fast execution engine.
+//!
+//! Executes a [`Program`] produced by [`crate::compile`]. The inner loop is
+//! a `match` over flat instructions — variable access is a vector index,
+//! call targets are pre-bound, cycle costs are baked into the instructions —
+//! but every observable (results, virtual clock, counters, per-loop stats,
+//! memory provenance, kernel tracing, errors) is bit-identical to the
+//! tree-walking [`crate::Interpreter`]. The differential tests in
+//! `tests/engine_differential.rs` and the workspace proptests enforce that.
+//!
+//! Frames share one `locals` vector (`base`-offset per call) and one operand
+//! stack. Loop bookkeeping lives on an explicit context stack so `return`
+//! can record per-loop stats for every loop it unwinds, innermost first,
+//! exactly as nested `exec_for` returns do in the tree-walker.
+
+use crate::compile::{CallTarget, Insn, Program};
+use crate::error::{RuntimeError, RuntimeResult};
+use crate::eval::RunConfig;
+use crate::intrinsics::{self, Intrinsic};
+use crate::memory::Memory;
+use crate::ops::{self, BinCosts, IntrinsicCtx};
+use crate::profile::Profile;
+use crate::value::{Pointer, Value};
+use psa_minicpp::ast::{BinOp, Module, NodeId};
+use psa_minicpp::Span;
+use std::sync::Arc;
+
+/// Per-loop bookkeeping while the loop is running.
+struct LoopCtx {
+    id: NodeId,
+    start_cycles: u64,
+    iters: u64,
+    /// The induction variable's value at the top of the current iteration;
+    /// the step advances from here even if the body reassigned the
+    /// variable (tree-walker semantics).
+    cur_i: i64,
+}
+
+/// The VM. Same construction and observation API as [`crate::Interpreter`].
+pub struct Vm {
+    program: Arc<Program>,
+    /// The memory arena, public so harnesses can set up and inspect data.
+    pub memory: Memory,
+    profile: Profile,
+    config: RunConfig,
+    bin_costs: BinCosts,
+    globals: Vec<Option<Value>>,
+    stack: Vec<Value>,
+    locals: Vec<Value>,
+    loop_ctxs: Vec<LoopCtx>,
+    watch_depth: usize,
+    call_depth: usize,
+    timer_stack: Vec<(i64, u64)>,
+    kernel_snapshot: Option<(u64, u64, u64, u64)>,
+    heap_count: u32,
+}
+
+impl Vm {
+    /// Compile `module` and set up a VM to run it under `config`.
+    pub fn new(module: &Module, config: RunConfig) -> Self {
+        let program = Arc::new(Program::compile(module, &config));
+        Vm::with_program(program, config)
+    }
+
+    /// Reuse an already-compiled program (it must have been compiled with a
+    /// config agreeing on `cost_model` and `watch_function`).
+    pub fn with_program(program: Arc<Program>, config: RunConfig) -> Self {
+        let bin_costs = BinCosts::of(&config.cost_model);
+        let globals = vec![None; program.global_names.len()];
+        Vm {
+            program,
+            memory: Memory::new(),
+            profile: Profile::default(),
+            config,
+            bin_costs,
+            globals,
+            stack: Vec::new(),
+            locals: Vec::new(),
+            loop_ctxs: Vec::new(),
+            watch_depth: 0,
+            call_depth: 0,
+            timer_stack: Vec::new(),
+            kernel_snapshot: None,
+            heap_count: 0,
+        }
+    }
+
+    /// The accumulated profile.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// Consume the VM, returning profile and memory.
+    pub fn into_parts(self) -> (Profile, Memory) {
+        (self.profile, self.memory)
+    }
+
+    /// Execute module globals then `main()`.
+    pub fn run_main(&mut self) -> RuntimeResult<Value> {
+        self.init_globals()?;
+        self.call_by_name("main", Vec::new(), Span::SYNTHETIC)
+    }
+
+    /// Initialise module-level globals (idempotent).
+    pub fn init_globals(&mut self) -> RuntimeResult<()> {
+        if self.globals.iter().any(|g| g.is_some()) {
+            return Ok(());
+        }
+        let program = Arc::clone(&self.program);
+        let base = self.locals.len();
+        let stack_len = self.stack.len();
+        self.locals
+            .resize(base + program.globals_init_locals, Value::Unit);
+        let loop_base = self.loop_ctxs.len();
+        let result = self.exec(&program, &program.globals_init, base, loop_base);
+        self.locals.truncate(base);
+        self.stack.truncate(stack_len);
+        result.map(|_| ())
+    }
+
+    /// Call a function by name with pre-built argument values.
+    pub fn call_by_name(
+        &mut self,
+        name: &str,
+        args: Vec<Value>,
+        span: Span,
+    ) -> RuntimeResult<Value> {
+        let program = Arc::clone(&self.program);
+        if let Some(&fidx) = program.fn_by_name.get(name) {
+            let argc = args.len();
+            self.stack.extend(args);
+            return self.call_user(&program, fidx, argc, span);
+        }
+        match intrinsics::lookup(name) {
+            Some(intr) => self.call_intrinsic(name, intr, &args, span),
+            None => Err(RuntimeError::Unbound {
+                name: name.to_string(),
+                span,
+            }),
+        }
+    }
+
+    fn charge(&mut self, cycles: u64) -> RuntimeResult<()> {
+        ops::charge(&mut self.profile, self.config.max_cycles, cycles)
+    }
+
+    /// Call a user function whose `argc` arguments sit on top of the
+    /// operand stack (they are consumed). Reading them in place avoids a
+    /// per-call argument `Vec` — the dominant allocation in call-heavy
+    /// programs. On error the arguments may be left behind; every enclosing
+    /// frame truncates its operand region during unwinding, and errors
+    /// abort the run, so this is unobservable.
+    fn call_user(
+        &mut self,
+        program: &Program,
+        fidx: u16,
+        argc: usize,
+        span: Span,
+    ) -> RuntimeResult<Value> {
+        let func = &program.funcs[fidx as usize];
+        if self.call_depth >= self.config.max_call_depth {
+            return Err(RuntimeError::StackOverflow {
+                depth: self.config.max_call_depth,
+            });
+        }
+        if argc != func.params.len() {
+            return Err(RuntimeError::Type {
+                message: format!(
+                    "`{}` expects {} arguments, got {}",
+                    func.name,
+                    func.params.len(),
+                    argc
+                ),
+                span,
+            });
+        }
+        self.charge(self.config.cost_model.call)?;
+
+        let watched = func.watched;
+        if watched {
+            if self.watch_depth == 0 {
+                self.kernel_snapshot = Some((
+                    self.profile.total_cycles,
+                    self.profile.flops,
+                    self.profile.bytes_loaded,
+                    self.profile.bytes_stored,
+                ));
+            }
+            self.watch_depth += 1;
+            self.profile.kernel_calls += 1;
+        }
+        self.call_depth += 1;
+
+        let base = self.locals.len();
+        self.locals.resize(base + func.locals, Value::Unit);
+        let at = self.stack.len() - argc;
+        let mut ptr_args: Vec<(String, Pointer)> = Vec::new();
+        for (i, param) in func.params.iter().enumerate() {
+            // A coercion error propagates without unwinding the watch/call
+            // bookkeeping, like the tree-walker's `?` inside `call_user`.
+            let coerced = ops::coerce(self.stack[at + i], param.ty, param.span)?;
+            if watched && self.watch_depth == 1 {
+                if let Value::Ptr(p) = coerced {
+                    ptr_args.push((param.name.clone(), p));
+                }
+            }
+            self.locals[base + i] = coerced;
+        }
+        self.stack.truncate(at);
+        if watched && self.watch_depth == 1 {
+            self.profile.kernel_arg_ptrs.push(ptr_args);
+        }
+
+        let loop_base = self.loop_ctxs.len();
+        let stack_len = self.stack.len();
+        let result = self.exec(program, &func.code, base, loop_base);
+        self.locals.truncate(base);
+        if result.is_err() {
+            self.stack.truncate(stack_len);
+        }
+
+        self.call_depth -= 1;
+        if watched {
+            self.watch_depth -= 1;
+            if self.watch_depth == 0 {
+                let (c0, f0, l0, s0) = self.kernel_snapshot.take().expect("snapshot set on entry");
+                self.profile.kernel_cycles += self.profile.total_cycles - c0;
+                self.profile.kernel_flops += self.profile.flops - f0;
+                self.profile.kernel_bytes_loaded += self.profile.bytes_loaded - l0;
+                self.profile.kernel_bytes_stored += self.profile.bytes_stored - s0;
+            }
+        }
+        result
+    }
+
+    fn call_intrinsic(
+        &mut self,
+        name: &str,
+        intr: Intrinsic,
+        args: &[Value],
+        span: Span,
+    ) -> RuntimeResult<Value> {
+        let mut ctx = IntrinsicCtx {
+            profile: &mut self.profile,
+            memory: &mut self.memory,
+            cost_model: &self.config.cost_model,
+            max_cycles: self.config.max_cycles,
+            timer_stack: &mut self.timer_stack,
+            heap_count: &mut self.heap_count,
+            watch: self.watch_depth > 0,
+        };
+        ops::exec_intrinsic(&mut ctx, name, intr, args, span)
+    }
+
+    /// Record stats for the innermost open loop and close it.
+    fn record_loop_exit(&mut self) {
+        let ctx = self.loop_ctxs.pop().expect("open loop context");
+        let stats = self.profile.loop_stats.entry(ctx.id).or_default();
+        stats.entries += 1;
+        stats.iterations += ctx.iters;
+        stats.cycles += self.profile.total_cycles - ctx.start_cycles;
+    }
+
+    /// The interpreter loop: execute `code` with frame locals at `base`.
+    /// Returns the chunk's return value (`Unit` when control falls off a
+    /// `Ret { has_value: false }`).
+    fn exec(
+        &mut self,
+        program: &Program,
+        code: &[Insn],
+        base: usize,
+        loop_base: usize,
+    ) -> RuntimeResult<Value> {
+        let max_cycles = self.config.max_cycles;
+        let costs = self.bin_costs;
+        let mut pc = 0usize;
+        while pc < code.len() {
+            match &code[pc] {
+                Insn::Const(v) => self.stack.push(*v),
+                Insn::Dup => {
+                    let v = *self.stack.last().expect("dup operand");
+                    self.stack.push(v);
+                }
+                Insn::Swap => {
+                    let n = self.stack.len();
+                    self.stack.swap(n - 1, n - 2);
+                }
+                Insn::Pop => {
+                    self.stack.pop();
+                }
+                Insn::LoadLocal(slot) => self.stack.push(self.locals[base + *slot as usize]),
+                Insn::StoreLocal(slot) => {
+                    let v = self.stack.pop().expect("store operand");
+                    self.locals[base + *slot as usize] = v;
+                }
+                Insn::LoadGlobal { gidx, span } => {
+                    let v = self.globals[*gidx as usize].ok_or_else(|| RuntimeError::Unbound {
+                        name: program.global_names[*gidx as usize].to_string(),
+                        span: *span,
+                    })?;
+                    self.stack.push(v);
+                }
+                Insn::CopyLocalToGlobal { slot, gidx } => {
+                    self.globals[*gidx as usize] = Some(self.locals[base + *slot as usize]);
+                }
+                Insn::AssignLocal { slot, span } => {
+                    let new = self.stack.pop().expect("assign operand");
+                    let cur = self.locals[base + *slot as usize];
+                    self.locals[base + *slot as usize] =
+                        ops::convert_assign(Some(cur), new, *span)?;
+                }
+                Insn::AssignGlobal { gidx, span } => {
+                    let new = self.stack.pop().expect("assign operand");
+                    match self.globals[*gidx as usize] {
+                        Some(cur) => {
+                            self.globals[*gidx as usize] =
+                                Some(ops::convert_assign(Some(cur), new, *span)?);
+                        }
+                        None => {
+                            return Err(RuntimeError::Unbound {
+                                name: program.global_names[*gidx as usize].to_string(),
+                                span: *span,
+                            })
+                        }
+                    }
+                }
+                Insn::Coerce { ty, span } => {
+                    let v = self.stack.pop().expect("coerce operand");
+                    self.stack.push(ops::coerce(v, *ty, *span)?);
+                }
+                Insn::Cast { ty, cost, span } => {
+                    let v = self.stack.pop().expect("cast operand");
+                    ops::charge(&mut self.profile, max_cycles, *cost)?;
+                    self.stack.push(ops::coerce(v, *ty, *span)?);
+                }
+                Insn::Un { op, span } => {
+                    let v = self.stack.pop().expect("unary operand");
+                    let r = ops::apply_unary(&mut self.profile, max_cycles, costs, *op, v, *span)?;
+                    self.stack.push(r);
+                }
+                Insn::Bin { op, span } => {
+                    let r = self.stack.pop().expect("binary rhs");
+                    let l = self.stack.pop().expect("binary lhs");
+                    let v =
+                        ops::apply_binary(&mut self.profile, max_cycles, costs, *op, l, r, *span)?;
+                    self.stack.push(v);
+                }
+                Insn::BinRev { op, span } => {
+                    let l = self.stack.pop().expect("binary lhs");
+                    let r = self.stack.pop().expect("binary rhs");
+                    let v =
+                        ops::apply_binary(&mut self.profile, max_cycles, costs, *op, l, r, *span)?;
+                    self.stack.push(v);
+                }
+                Insn::Jump(target) => {
+                    pc = *target as usize;
+                    continue;
+                }
+                Insn::JumpIfFalse { target, cost, span } => {
+                    let v = self.stack.pop().expect("condition");
+                    ops::charge(&mut self.profile, max_cycles, *cost)?;
+                    let b = v.truthy().ok_or_else(|| RuntimeError::Type {
+                        message: format!("condition is not boolean-testable ({})", v.type_name()),
+                        span: *span,
+                    })?;
+                    if !b {
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                Insn::AndShort { target, cost, span } => {
+                    let v = self.stack.pop().expect("condition");
+                    ops::charge(&mut self.profile, max_cycles, *cost)?;
+                    let b = v.truthy().ok_or_else(|| RuntimeError::Type {
+                        message: format!("condition is not boolean-testable ({})", v.type_name()),
+                        span: *span,
+                    })?;
+                    if !b {
+                        self.stack.push(Value::Bool(false));
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                Insn::OrShort { target, cost, span } => {
+                    let v = self.stack.pop().expect("condition");
+                    ops::charge(&mut self.profile, max_cycles, *cost)?;
+                    let b = v.truthy().ok_or_else(|| RuntimeError::Type {
+                        message: format!("condition is not boolean-testable ({})", v.type_name()),
+                        span: *span,
+                    })?;
+                    if b {
+                        self.stack.push(Value::Bool(true));
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                Insn::ToBool { cost, span } => {
+                    let v = self.stack.pop().expect("condition");
+                    ops::charge(&mut self.profile, max_cycles, *cost)?;
+                    let b = v.truthy().ok_or_else(|| RuntimeError::Type {
+                        message: format!("condition is not boolean-testable ({})", v.type_name()),
+                        span: *span,
+                    })?;
+                    self.stack.push(Value::Bool(b));
+                }
+                Insn::Index {
+                    cost,
+                    base_span,
+                    index_span,
+                    span,
+                } => {
+                    let idx_v = self.stack.pop().expect("index");
+                    let base_v = self.stack.pop().expect("indexed base");
+                    let ptr = base_v.as_ptr().ok_or_else(|| RuntimeError::Type {
+                        message: "indexed value is not a pointer".into(),
+                        span: *base_span,
+                    })?;
+                    let idx = idx_v.as_i64().ok_or_else(|| RuntimeError::Type {
+                        message: "index is not integral".into(),
+                        span: *index_span,
+                    })?;
+                    ops::charge(&mut self.profile, max_cycles, *cost)?;
+                    self.profile.int_ops += 1;
+                    self.profile.loads += 1;
+                    self.profile.bytes_loaded += self.memory.elem_bytes(ptr.buffer);
+                    let watch = self.watch_depth > 0;
+                    let v = self
+                        .memory
+                        .load(ptr.buffer, ptr.offset + idx, *span, watch)?;
+                    self.stack.push(v);
+                }
+                Insn::IndexAddr {
+                    cost,
+                    base_span,
+                    index_span,
+                } => {
+                    let idx_v = self.stack.pop().expect("index");
+                    let base_v = self.stack.pop().expect("indexed base");
+                    let ptr = base_v.as_ptr().ok_or_else(|| RuntimeError::Type {
+                        message: "indexed value is not a pointer".into(),
+                        span: *base_span,
+                    })?;
+                    let idx = idx_v.as_i64().ok_or_else(|| RuntimeError::Type {
+                        message: "index is not integral".into(),
+                        span: *index_span,
+                    })?;
+                    ops::charge(&mut self.profile, max_cycles, *cost)?;
+                    self.profile.int_ops += 1;
+                    self.stack.push(Value::Ptr(Pointer {
+                        buffer: ptr.buffer,
+                        offset: ptr.offset + idx,
+                    }));
+                }
+                Insn::LoadElem { cost, span } => {
+                    let p = self
+                        .stack
+                        .pop()
+                        .and_then(|v| v.as_ptr())
+                        .expect("element address");
+                    let watch = self.watch_depth > 0;
+                    // Load first, charge after — tree-walker order for the
+                    // compound-assignment read.
+                    let old = self.memory.load(p.buffer, p.offset, *span, watch)?;
+                    ops::charge(&mut self.profile, max_cycles, *cost)?;
+                    self.profile.loads += 1;
+                    self.profile.bytes_loaded += self.memory.elem_bytes(p.buffer);
+                    self.stack.push(old);
+                }
+                Insn::StoreElem { cost, span } => {
+                    let v = self.stack.pop().expect("store value");
+                    let p = self
+                        .stack
+                        .pop()
+                        .and_then(|v| v.as_ptr())
+                        .expect("element address");
+                    let watch = self.watch_depth > 0;
+                    self.memory.store(p.buffer, p.offset, v, *span, watch)?;
+                    ops::charge(&mut self.profile, max_cycles, *cost)?;
+                    self.profile.stores += 1;
+                    self.profile.bytes_stored += self.memory.elem_bytes(p.buffer);
+                }
+                Insn::AllocArray { scalar, name, span } => {
+                    let len_v = self.stack.pop().expect("array length");
+                    let len =
+                        len_v
+                            .as_i64()
+                            .filter(|&n| n >= 0)
+                            .ok_or_else(|| RuntimeError::Type {
+                                message: format!(
+                                    "array length of `{name}` must be a non-negative int"
+                                ),
+                                span: *span,
+                            })?;
+                    let id = self.memory.alloc(*scalar, len as usize, name.to_string());
+                    self.stack.push(Value::Ptr(Pointer {
+                        buffer: id,
+                        offset: 0,
+                    }));
+                }
+                Insn::Call(site) => {
+                    let site = &program.call_sites[*site as usize];
+                    let v = match &site.target {
+                        CallTarget::User(fidx) => {
+                            self.call_user(program, *fidx, site.argc, site.span)?
+                        }
+                        CallTarget::Intrinsic(intr) => {
+                            // Arguments are read in place off the operand
+                            // stack; the ctx borrows disjoint fields so the
+                            // slice stays valid.
+                            let at = self.stack.len() - site.argc;
+                            let mut ctx = IntrinsicCtx {
+                                profile: &mut self.profile,
+                                memory: &mut self.memory,
+                                cost_model: &self.config.cost_model,
+                                max_cycles,
+                                timer_stack: &mut self.timer_stack,
+                                heap_count: &mut self.heap_count,
+                                watch: self.watch_depth > 0,
+                            };
+                            let v = ops::exec_intrinsic(
+                                &mut ctx,
+                                &site.name,
+                                *intr,
+                                &self.stack[at..],
+                                site.span,
+                            )?;
+                            self.stack.truncate(at);
+                            v
+                        }
+                        CallTarget::Unknown => {
+                            return Err(RuntimeError::Unbound {
+                                name: site.name.to_string(),
+                                span: site.span,
+                            })
+                        }
+                    };
+                    self.stack.push(v);
+                }
+                Insn::MathCall {
+                    f,
+                    cycles,
+                    flops,
+                    name,
+                    span,
+                } => {
+                    // Same check order as `ops::exec_intrinsic`: first
+                    // argument, second argument, then charge.
+                    let two = f.op.arity() == 2;
+                    let b_v = if two { self.stack.pop() } else { None };
+                    let a_v = self.stack.pop().expect("math argument");
+                    let a = a_v.as_f64().ok_or_else(|| RuntimeError::Intrinsic {
+                        message: format!("`{name}` needs a numeric argument"),
+                        span: *span,
+                    })?;
+                    let b = match b_v {
+                        Some(v) => v.as_f64().ok_or_else(|| RuntimeError::Intrinsic {
+                            message: format!("`{name}` needs numeric arguments"),
+                            span: *span,
+                        })?,
+                        None => 0.0,
+                    };
+                    ops::charge(&mut self.profile, max_cycles, *cycles)?;
+                    self.profile.flops += *flops;
+                    self.stack.push(if f.single {
+                        Value::Float(f.op.eval_f32(a as f32, b as f32))
+                    } else {
+                        Value::Double(f.op.eval_f64(a, b))
+                    });
+                }
+                Insn::Ret { has_value } => {
+                    let v = if *has_value {
+                        self.stack.pop().expect("return value")
+                    } else {
+                        Value::Unit
+                    };
+                    while self.loop_ctxs.len() > loop_base {
+                        self.record_loop_exit();
+                    }
+                    return Ok(v);
+                }
+                Insn::LoopEnter { id } => self.loop_ctxs.push(LoopCtx {
+                    id: *id,
+                    start_cycles: self.profile.total_cycles,
+                    iters: 0,
+                    cur_i: 0,
+                }),
+                Insn::LoopExit => self.record_loop_exit(),
+                Insn::ForInit {
+                    slot,
+                    bound,
+                    name,
+                    span,
+                } => {
+                    let v = self.stack.pop().expect("loop init");
+                    let i = v.as_i64().ok_or_else(|| RuntimeError::Type {
+                        message: format!("loop init for `{name}` must be integral"),
+                        span: *span,
+                    })?;
+                    if !*bound {
+                        return Err(RuntimeError::Unbound {
+                            name: name.to_string(),
+                            span: *span,
+                        });
+                    }
+                    self.locals[base + *slot as usize] = Value::Int(i);
+                }
+                Insn::ForTest {
+                    slot,
+                    cond_op,
+                    exit,
+                    cost,
+                    span,
+                } => {
+                    let i = self.locals[base + *slot as usize].as_i64().unwrap_or(0);
+                    let bound_v = self.stack.pop().expect("loop bound");
+                    let bound = bound_v.as_i64().ok_or_else(|| RuntimeError::Type {
+                        message: "loop bound must be integral".into(),
+                        span: *span,
+                    })?;
+                    ops::charge(&mut self.profile, max_cycles, *cost)?;
+                    self.profile.int_ops += 1;
+                    let keep = match cond_op {
+                        BinOp::Lt => i < bound,
+                        BinOp::Le => i <= bound,
+                        BinOp::Gt => i > bound,
+                        BinOp::Ge => i >= bound,
+                        BinOp::Ne => i != bound,
+                        _ => false,
+                    };
+                    let ctx = self.loop_ctxs.last_mut().expect("open loop context");
+                    ctx.cur_i = i;
+                    if keep {
+                        ctx.iters += 1;
+                    } else {
+                        pc = *exit as usize;
+                        continue;
+                    }
+                }
+                Insn::ForStep {
+                    slot,
+                    negative,
+                    cost,
+                    span,
+                } => {
+                    let v = self.stack.pop().expect("loop step");
+                    let step = v.as_i64().ok_or_else(|| RuntimeError::Type {
+                        message: "loop step must be integral".into(),
+                        span: *span,
+                    })?;
+                    let i = self.loop_ctxs.last().expect("open loop context").cur_i;
+                    let next = if *negative { i - step } else { i + step };
+                    self.locals[base + *slot as usize] = Value::Int(next);
+                    ops::charge(&mut self.profile, max_cycles, *cost)?;
+                    self.profile.int_ops += 1;
+                }
+                Insn::WhileTest { exit, cost, span } => {
+                    let v = self.stack.pop().expect("condition");
+                    ops::charge(&mut self.profile, max_cycles, *cost)?;
+                    let b = v.truthy().ok_or_else(|| RuntimeError::Type {
+                        message: format!("condition is not boolean-testable ({})", v.type_name()),
+                        span: *span,
+                    })?;
+                    if b {
+                        self.loop_ctxs.last_mut().expect("open loop context").iters += 1;
+                    } else {
+                        pc = *exit as usize;
+                        continue;
+                    }
+                }
+                Insn::Raise(err) => return Err((**err).clone()),
+            }
+            pc += 1;
+        }
+        Ok(Value::Unit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_minicpp::parse_module;
+
+    fn run_vm(src: &str) -> (Value, Profile) {
+        let m = parse_module(src, "t").unwrap();
+        let mut vm = Vm::new(&m, RunConfig::default());
+        let v = vm.run_main().unwrap();
+        let (p, _) = vm.into_parts();
+        (v, p)
+    }
+
+    #[test]
+    fn basic_arithmetic_and_loops() {
+        let (v, p) =
+            run_vm("int main() { int s = 0; for (int i = 1; i <= 10; i++) { s += i; } return s; }");
+        assert_eq!(v, Value::Int(55));
+        assert!(p.total_cycles > 0);
+        assert_eq!(p.loop_stats.len(), 1);
+        assert_eq!(p.loop_stats.values().next().unwrap().iterations, 10);
+    }
+
+    #[test]
+    fn globals_functions_and_memory() {
+        let (v, _) = run_vm(
+            "int scale = 3;\
+             int mul(int x) { return x * scale; }\
+             int main() {\
+               double* a = alloc_double(4);\
+               for (int i = 0; i < 4; i++) { a[i] = (double)mul(i); }\
+               double s = 0.0;\
+               for (int i = 0; i < 4; i++) { s += a[i]; }\
+               return (int)s;\
+             }",
+        );
+        assert_eq!(v, Value::Int(18));
+    }
+
+    #[test]
+    fn return_from_nested_loops_records_stats() {
+        let (v, p) = run_vm(
+            "int main() {\
+               for (int i = 0; i < 10; i++) {\
+                 for (int j = 0; j < 10; j++) {\
+                   if (i * 10 + j == 23) { return i * 10 + j; }\
+                 }\
+               }\
+               return -1;\
+             }",
+        );
+        assert_eq!(v, Value::Int(23));
+        // Both loops have stats despite the early return.
+        assert_eq!(p.loop_stats.len(), 2);
+    }
+}

@@ -3,7 +3,7 @@
 //! accounting matches the static trip-count algebra.
 
 use proptest::prelude::*;
-use psa_interp::{Interpreter, RunConfig, Value};
+use psa_interp::{Engine, Interpreter, RunConfig, Value};
 use psa_minicpp::parse_module;
 
 fn run_int(src: &str) -> i64 {
@@ -134,5 +134,45 @@ proptest! {
         prop_assert_eq!(p.kernel_bytes_loaded, 8 * n as u64);
         prop_assert_eq!(p.kernel_bytes_stored, 8 * n as u64);
         prop_assert!(p.kernel_cycles <= p.total_cycles);
+    }
+
+    /// Differential: the bytecode VM and the tree walker agree on the
+    /// result and the complete profile of randomized programs mixing
+    /// shadowed locals, nested loops, function calls, and array traffic.
+    #[test]
+    fn vm_matches_tree_walker(
+        n in 1usize..48,
+        seed in 0i64..1_000_000,
+        bias in -50i64..50,
+        step in 1i64..5,
+    ) {
+        let src = format!(
+            "int scale(int x) {{ int x2 = x * 2; {{ int x = x2 + {bias}; x2 = x; }} return x2; }}\
+             int main() {{\
+               double* a = alloc_double({n});\
+               fill_random(a, {n}, {seed});\
+               double s = 0.0;\
+               int acc = 0;\
+               for (int i = 0; i < {n}; i += {step}) {{\
+                 double t = a[i] * 0.5;\
+                 s += sqrt(t + 1.0);\
+                 acc += scale(i);\
+                 int j = 0;\
+                 while (j < 3) {{ j++; if (j == 2 && i % 2 == 0) {{ break; }} }}\
+                 acc += j;\
+               }}\
+               a[0] = s;\
+               return acc + (int)(s * 512.0);\
+             }}"
+        );
+        let m = parse_module(&src, "p").unwrap();
+        let run = |engine| {
+            psa_interp::run_main_profiled(&m, RunConfig { engine, ..Default::default() }).unwrap()
+        };
+        let tree = run(Engine::Tree);
+        let vm = run(Engine::Vm);
+        prop_assert_eq!(format!("{:?}", tree.result), format!("{:?}", vm.result));
+        prop_assert_eq!(&tree.profile, &vm.profile);
+        prop_assert_eq!(format!("{:?}", tree.memory), format!("{:?}", vm.memory));
     }
 }

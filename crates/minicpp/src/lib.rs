@@ -29,6 +29,7 @@ pub mod fingerprint;
 pub mod lexer;
 pub mod parser;
 pub mod printer;
+pub mod scopes;
 pub mod span;
 pub mod token;
 pub mod visit;

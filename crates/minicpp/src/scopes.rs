@@ -1,0 +1,409 @@
+//! Compile-time scope analysis: lexical names → frame slots.
+//!
+//! The interpreter's tree-walking evaluator resolves every variable at
+//! runtime through a stack of `HashMap<String, Value>` scopes. Because
+//! MiniC++ has structured control flow only (no `goto`), the scope a name
+//! resolves to is fully determined by its position in the tree — so the
+//! same resolution can be done once, ahead of execution, assigning each
+//! declaration a dense index ("slot") into a flat per-call frame.
+//!
+//! [`resolve_function`] walks a function in exactly the order the evaluator
+//! executes it and records, keyed by [`NodeId`]:
+//!
+//! * for every `Ident` expression, the slot it reads (or "free", meaning
+//!   the name is not a local at that point — a global or unbound);
+//! * for every declaration, the slot it writes;
+//! * for every `for` loop, the slot of its induction variable.
+//!
+//! Scoping rules mirrored from the evaluator:
+//!
+//! * parameters live in the frame's outermost scope;
+//! * every block (function body, `if`/loop bodies, bare `{}`) opens a scope;
+//! * a `for` header opens its own scope *around* the body (the induction
+//!   variable of `for (int i = ...)` is not visible after the loop);
+//! * a declaration's initialiser is resolved *before* the name is bound
+//!   (`int x = x + 1;` reads the outer `x`, or is unbound);
+//! * a `for (i = ...)` that does not declare its variable resolves `i`
+//!   against enclosing *local* scopes only — the evaluator's `Frame::set`
+//!   never falls through to globals.
+//!
+//! Slots are never reused across sibling scopes. That wastes a few frame
+//! entries but guarantees every slot is written by its declaration before
+//! any use can read it (declarations dominate uses in structured code).
+
+use crate::ast::*;
+use std::collections::HashMap;
+
+/// The induction-variable binding of one `for` loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForVar {
+    /// Slot of the induction variable. When `bound` is false this is a
+    /// hidden slot the loop can never actually reach (initialisation fails
+    /// with an unbound-name error first), kept so downstream consumers
+    /// always have a valid frame index.
+    pub slot: u16,
+    /// Whether the variable resolved to a local binding. `false` means the
+    /// non-declaring loop named a variable that is not a local — running it
+    /// is an unbound-name error, never a fall-through to globals.
+    pub bound: bool,
+}
+
+/// Resolution results for one function; see module docs.
+#[derive(Debug, Clone, Default)]
+pub struct SlotMap {
+    /// Total frame slots the function needs (params + every declaration).
+    pub locals: usize,
+    idents: HashMap<NodeId, u16>,
+    decls: HashMap<NodeId, u16>,
+    for_vars: HashMap<NodeId, ForVar>,
+}
+
+impl SlotMap {
+    /// Slot an `Ident` expression reads, or `None` if the name is free
+    /// (global or unbound) at that point.
+    pub fn ident_slot(&self, id: NodeId) -> Option<u16> {
+        self.idents.get(&id).copied()
+    }
+
+    /// Slot a declaration ([`VarDecl::id`]) writes.
+    pub fn decl_slot(&self, id: NodeId) -> Option<u16> {
+        self.decls.get(&id).copied()
+    }
+
+    /// Induction-variable binding of a `for` loop ([`ForLoop::id`]).
+    pub fn for_var(&self, id: NodeId) -> Option<ForVar> {
+        self.for_vars.get(&id).copied()
+    }
+}
+
+/// Resolve every name in `f` to a frame slot. Parameters occupy slots
+/// `0..params.len()` in declaration order.
+pub fn resolve_function(f: &Function) -> SlotMap {
+    let mut r = Resolver::default();
+    r.scopes.push(HashMap::new());
+    for p in &f.params {
+        r.declare(&p.name);
+    }
+    r.block(&f.body);
+    r.map.locals = r.next_slot as usize;
+    r.map
+}
+
+#[derive(Default)]
+struct Resolver {
+    scopes: Vec<HashMap<String, u16>>,
+    next_slot: u16,
+    map: SlotMap,
+}
+
+impl Resolver {
+    fn declare(&mut self, name: &str) -> u16 {
+        let slot = self.next_slot;
+        assert!(slot != u16::MAX, "function exceeds 65534 local slots");
+        self.next_slot += 1;
+        self.scopes
+            .last_mut()
+            .expect("resolver has a scope")
+            .insert(name.to_string(), slot);
+        slot
+    }
+
+    fn lookup(&self, name: &str) -> Option<u16> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn block(&mut self, b: &Block) {
+        self.scopes.push(HashMap::new());
+        for stmt in &b.stmts {
+            self.stmt(stmt);
+        }
+        self.scopes.pop();
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        match &stmt.kind {
+            StmtKind::Decl(d) => self.decl(d),
+            StmtKind::Assign { target, value, .. } => {
+                self.expr(target);
+                self.expr(value);
+            }
+            StmtKind::Expr(e) => self.expr(e),
+            StmtKind::If { cond, then, els } => {
+                self.expr(cond);
+                self.block(then);
+                if let Some(els) = els {
+                    self.block(els);
+                }
+            }
+            StmtKind::For(l) => {
+                self.scopes.push(HashMap::new());
+                // The init expression is resolved before the variable binds.
+                self.expr(&l.init);
+                let var = if l.declares_var {
+                    ForVar {
+                        slot: self.declare(&l.var),
+                        bound: true,
+                    }
+                } else {
+                    match self.lookup(&l.var) {
+                        Some(slot) => ForVar { slot, bound: true },
+                        None => {
+                            // Hidden slot; see `ForVar::slot`.
+                            let slot = self.next_slot;
+                            self.next_slot += 1;
+                            ForVar { slot, bound: false }
+                        }
+                    }
+                };
+                self.map.for_vars.insert(l.id, var);
+                // Bound and step are re-evaluated each iteration inside the
+                // header scope (the body's scope has been popped by then).
+                self.expr(&l.bound);
+                self.expr(&l.step);
+                self.block(&l.body);
+                self.scopes.pop();
+            }
+            StmtKind::While { cond, body } => {
+                self.expr(cond);
+                self.block(body);
+            }
+            StmtKind::Return(e) => {
+                if let Some(e) = e {
+                    self.expr(e);
+                }
+            }
+            StmtKind::Break | StmtKind::Continue => {}
+            StmtKind::Block(b) => self.block(b),
+        }
+    }
+
+    fn decl(&mut self, d: &VarDecl) {
+        if let Some(len) = &d.array_len {
+            self.expr(len);
+        }
+        if let Some(init) = &d.init {
+            self.expr(init);
+        }
+        let slot = self.declare(&d.name);
+        self.map.decls.insert(d.id, slot);
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Ident(name) => {
+                if let Some(slot) = self.lookup(name) {
+                    self.map.idents.insert(e.id, slot);
+                }
+            }
+            ExprKind::Unary { expr, .. } => self.expr(expr),
+            ExprKind::Binary { lhs, rhs, .. } => {
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            ExprKind::Call { args, .. } => {
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            ExprKind::Index { base, index } => {
+                self.expr(base);
+                self.expr(index);
+            }
+            ExprKind::Cast { expr, .. } => self.expr(expr),
+            ExprKind::Ternary { cond, then, els } => {
+                self.expr(cond);
+                self.expr(then);
+                self.expr(els);
+            }
+            ExprKind::IntLit(_) | ExprKind::FloatLit { .. } | ExprKind::BoolLit(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+
+    fn resolve(src: &str, func: &str) -> (Module, SlotMap) {
+        let m = parse_module(src, "t").unwrap();
+        let map = resolve_function(m.function(func).unwrap());
+        (m, map)
+    }
+
+    /// Every Ident expression named `name` in the function, in source order.
+    fn ident_ids(f: &Function, name: &str) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        collect_idents(&f.body, name, &mut out);
+        out
+    }
+
+    fn collect_idents(b: &Block, name: &str, out: &mut Vec<NodeId>) {
+        fn expr(e: &Expr, name: &str, out: &mut Vec<NodeId>) {
+            match &e.kind {
+                ExprKind::Ident(n) if n == name => out.push(e.id),
+                ExprKind::Ident(_) => {}
+                ExprKind::Unary { expr: x, .. } | ExprKind::Cast { expr: x, .. } => {
+                    expr(x, name, out)
+                }
+                ExprKind::Binary { lhs, rhs, .. } => {
+                    expr(lhs, name, out);
+                    expr(rhs, name, out);
+                }
+                ExprKind::Call { args, .. } => args.iter().for_each(|a| expr(a, name, out)),
+                ExprKind::Index { base, index } => {
+                    expr(base, name, out);
+                    expr(index, name, out);
+                }
+                ExprKind::Ternary { cond, then, els } => {
+                    expr(cond, name, out);
+                    expr(then, name, out);
+                    expr(els, name, out);
+                }
+                _ => {}
+            }
+        }
+        for s in &b.stmts {
+            match &s.kind {
+                StmtKind::Decl(d) => {
+                    if let Some(e) = &d.array_len {
+                        expr(e, name, out);
+                    }
+                    if let Some(e) = &d.init {
+                        expr(e, name, out);
+                    }
+                }
+                StmtKind::Assign { target, value, .. } => {
+                    expr(target, name, out);
+                    expr(value, name, out);
+                }
+                StmtKind::Expr(e) => expr(e, name, out),
+                StmtKind::If { cond, then, els } => {
+                    expr(cond, name, out);
+                    collect_idents(then, name, out);
+                    if let Some(els) = els {
+                        collect_idents(els, name, out);
+                    }
+                }
+                StmtKind::For(l) => {
+                    expr(&l.init, name, out);
+                    expr(&l.bound, name, out);
+                    expr(&l.step, name, out);
+                    collect_idents(&l.body, name, out);
+                }
+                StmtKind::While { cond, body } => {
+                    expr(cond, name, out);
+                    collect_idents(body, name, out);
+                }
+                StmtKind::Return(Some(e)) => expr(e, name, out),
+                StmtKind::Block(b) => collect_idents(b, name, out),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn params_take_the_first_slots() {
+        let (m, map) = resolve("int f(int a, double b) { return a; }", "f");
+        let f = m.function("f").unwrap();
+        let a_ref = ident_ids(f, "a")[0];
+        assert_eq!(map.ident_slot(a_ref), Some(0));
+        assert_eq!(map.locals, 2);
+    }
+
+    #[test]
+    fn inner_scope_shadows_outer() {
+        let src = "int f() { int x = 1; { int x = 2; x = x + 1; } return x; }";
+        let (m, map) = resolve(src, "f");
+        let f = m.function("f").unwrap();
+        let refs = ident_ids(f, "x");
+        // refs: inner `x =`, inner `x + 1`, outer `return x`.
+        let inner_assign = map.ident_slot(refs[0]).unwrap();
+        let inner_read = map.ident_slot(refs[1]).unwrap();
+        let outer_read = map.ident_slot(refs[2]).unwrap();
+        assert_eq!(inner_assign, inner_read);
+        assert_ne!(inner_assign, outer_read);
+        assert_eq!(map.locals, 2);
+    }
+
+    #[test]
+    fn initialiser_resolves_before_the_name_binds() {
+        let src = "int f() { int x = 1; { int x = x + 1; return x; } }";
+        let (m, map) = resolve(src, "f");
+        let f = m.function("f").unwrap();
+        let refs = ident_ids(f, "x");
+        // `x + 1` in the init reads the OUTER x; `return x` reads the inner.
+        assert_ne!(map.ident_slot(refs[0]), map.ident_slot(refs[1]));
+    }
+
+    #[test]
+    fn for_variable_scopes_to_the_loop() {
+        let src = "int f() { int s = 0; for (int i = 0; i < 4; i++) { s = s + i; } return s; }";
+        let (m, map) = resolve(src, "f");
+        let f = m.function("f").unwrap();
+        let StmtKind::For(l) = &f.body.stmts[1].kind else {
+            panic!("expected for");
+        };
+        let var = map.for_var(l.id).unwrap();
+        assert!(var.bound);
+        // `i < 4` in the header and `s + i` in the body read the same slot.
+        for id in ident_ids(f, "i") {
+            assert_eq!(map.ident_slot(id), Some(var.slot));
+        }
+    }
+
+    #[test]
+    fn non_declaring_for_binds_to_enclosing_local() {
+        let src = "int f() { int i = 9; for (i = 0; i < 4; i++) { } return i; }";
+        let (m, map) = resolve(src, "f");
+        let f = m.function("f").unwrap();
+        let StmtKind::For(l) = &f.body.stmts[1].kind else {
+            panic!("expected for");
+        };
+        let var = map.for_var(l.id).unwrap();
+        assert!(var.bound);
+        let decl_slot = match &f.body.stmts[0].kind {
+            StmtKind::Decl(d) => map.decl_slot(d.id).unwrap(),
+            _ => panic!(),
+        };
+        assert_eq!(var.slot, decl_slot);
+    }
+
+    #[test]
+    fn non_declaring_for_over_unknown_name_is_unbound() {
+        let src = "int f() { for (q = 0; q < 4; q++) { } return 0; }";
+        let (m, map) = resolve(src, "f");
+        let f = m.function("f").unwrap();
+        let StmtKind::For(l) = &f.body.stmts[0].kind else {
+            panic!("expected for");
+        };
+        assert!(!map.for_var(l.id).unwrap().bound);
+    }
+
+    #[test]
+    fn free_names_stay_unresolved() {
+        let (m, map) = resolve("int f() { return g; }", "f");
+        let f = m.function("f").unwrap();
+        let g_ref = ident_ids(f, "g")[0];
+        assert_eq!(map.ident_slot(g_ref), None);
+    }
+
+    #[test]
+    fn sibling_scopes_get_distinct_slots() {
+        // No slot reuse: each declaration gets its own index.
+        let src = "int f() { { int a = 1; } { int b = 2; } return 0; }";
+        let (m, map) = resolve(src, "f");
+        let f = m.function("f").unwrap();
+        let mut slots = Vec::new();
+        for s in &f.body.stmts {
+            if let StmtKind::Block(b) = &s.kind {
+                if let StmtKind::Decl(d) = &b.stmts[0].kind {
+                    slots.push(map.decl_slot(d.id).unwrap());
+                }
+            }
+        }
+        assert_eq!(slots.len(), 2);
+        assert_ne!(slots[0], slots[1]);
+        assert_eq!(map.locals, 2);
+    }
+}

@@ -1,0 +1,71 @@
+//! Tier-1: the bytecode VM reproduces the tree walker's profiled runs on
+//! every benchsuite application — identical results, virtual clocks,
+//! counters, and memory arenas, with and without kernel watching.
+//!
+//! This is the acceptance gate for the VM engine: the whole design flow
+//! (hotspot ranking, offload tests, Fig. 5 numbers) reads these artefacts,
+//! so any divergence here would silently change the paper's results.
+
+use psaflow::analyses::hotspot::detect_and_extract;
+use psaflow::benchsuite;
+use psaflow::interp::{self, Engine, ProfiledRun, RunConfig};
+use psaflow::minicpp::{parse_module, Module};
+
+fn run(module: &Module, engine: Engine, watch: Option<&str>) -> ProfiledRun {
+    let config = RunConfig {
+        engine,
+        watch_function: watch.map(String::from),
+        ..RunConfig::default()
+    };
+    interp::run_main_profiled(module, config).expect("benchmark runs")
+}
+
+fn assert_identical(name: &str, tree: &ProfiledRun, vm: &ProfiledRun) {
+    assert_eq!(
+        format!("{:?}", tree.result),
+        format!("{:?}", vm.result),
+        "{name}: result diverged"
+    );
+    assert_eq!(tree.profile, vm.profile, "{name}: profile diverged");
+    assert_eq!(
+        format!("{:?}", tree.memory),
+        format!("{:?}", vm.memory),
+        "{name}: memory arena diverged"
+    );
+}
+
+/// All five paper benchmarks produce bit-identical `ProfiledRun` artefacts
+/// under both engines.
+#[test]
+fn benchmarks_profile_identically_under_both_engines() {
+    for bench in benchsuite::all() {
+        let m = parse_module(&bench.source, &bench.key).expect("benchmark parses");
+        let tree = run(&m, Engine::Tree, None);
+        let vm = run(&m, Engine::Vm, None);
+        assert_identical(&bench.key, &tree, &vm);
+        assert!(
+            tree.profile.total_cycles > 0,
+            "{}: trivial run proves nothing",
+            bench.key
+        );
+    }
+}
+
+/// With the hottest loop extracted and watched — the configuration every
+/// dynamic analysis uses — kernel-scoped accounting (cycles, FLOPs, access
+/// ranges, argument pointers) also agrees exactly.
+#[test]
+fn watched_kernels_profile_identically_under_both_engines() {
+    for bench in benchsuite::all() {
+        let mut m = parse_module(&bench.source, &bench.key).expect("benchmark parses");
+        detect_and_extract(&mut m, "diff_knl").expect("hotspot extraction");
+        let tree = run(&m, Engine::Tree, Some("diff_knl"));
+        let vm = run(&m, Engine::Vm, Some("diff_knl"));
+        assert_identical(&bench.key, &tree, &vm);
+        assert!(
+            tree.profile.kernel_calls > 0,
+            "{}: kernel never executed",
+            bench.key
+        );
+    }
+}
