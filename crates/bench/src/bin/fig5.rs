@@ -2,6 +2,7 @@
 //! designs vs the unoptimised single-thread CPU reference, paper vs
 //! measured, plus the informed PSA's target selections.
 
+use psa_bench::obsout::ObsArgs;
 use psa_bench::{fmt_speedup, run_all_cached_on};
 use psa_benchsuite::paper;
 use psaflow_core::{EvalCache, FlowEngine};
@@ -17,6 +18,10 @@ fn main() {
     // `--engine=tree|vm` pins the interpreter engine for every profiled
     // run (the default is the VM; `PSA_INTERP_ENGINE` works too). Stdout
     // must be byte-identical either way — CI diffs the two.
+    // `--trace-out` / `--metrics-out` / `--profile-out` write observability
+    // artefacts to files; parsed up front so metrics collection is live
+    // before any flow runs. Stdout stays byte-identical regardless.
+    let obs = ObsArgs::parse();
     let sequential = std::env::args().any(|a| a == "--sequential");
     let no_cache = std::env::args().any(|a| a == "--no-cache");
     for arg in std::env::args() {
@@ -99,34 +104,40 @@ fn main() {
     );
 
     let cold = cache.stats();
-    if no_cache {
-        return;
-    }
-    eprintln!(
-        "eval cache (cold sweep): {} hits / {} misses ({:.1}% hit rate), {} entries",
-        cold.hits,
-        cold.misses,
-        cold.hit_rate() * 100.0,
-        cold.entries
-    );
+    if !no_cache {
+        eprintln!(
+            "eval cache (cold sweep): {} hits / {} misses ({:.1}% hit rate), {} entries",
+            cold.hits,
+            cold.misses,
+            cold.hit_rate() * 100.0,
+            cold.entries
+        );
 
-    // A second sweep over the warmed cache shows the steady-state cost of
-    // re-running the experiments: every profiled run and model estimate is
-    // already memoised. Results are discarded — they are bit-identical to
-    // the first sweep — so stdout stays untouched.
-    let warm_started = Instant::now();
-    let warm_results = run_all_cached_on(engine, Arc::clone(&cache)).expect("warm flows run");
-    let warm_elapsed = warm_started.elapsed();
-    assert_eq!(warm_results.len(), results.len(), "warm sweep row count");
-    let warm = cache.stats().since(&cold);
-    eprintln!(
-        "eval cache (warm sweep): {} hits / {} misses ({:.1}% hit rate); \
-         cold {:.2}s → warm {:.2}s ({:.1}x)",
-        warm.hits,
-        warm.misses,
-        warm.hit_rate() * 100.0,
-        elapsed.as_secs_f64(),
-        warm_elapsed.as_secs_f64(),
-        elapsed.as_secs_f64() / warm_elapsed.as_secs_f64().max(1e-9)
-    );
+        // A second sweep over the warmed cache shows the steady-state cost
+        // of re-running the experiments: every profiled run and model
+        // estimate is already memoised. Results are discarded — they are
+        // bit-identical to the first sweep — so stdout stays untouched.
+        let warm_started = Instant::now();
+        let warm_results = run_all_cached_on(engine, Arc::clone(&cache)).expect("warm flows run");
+        let warm_elapsed = warm_started.elapsed();
+        assert_eq!(warm_results.len(), results.len(), "warm sweep row count");
+        let warm = cache.stats().since(&cold);
+        eprintln!(
+            "eval cache (warm sweep): {} hits / {} misses ({:.1}% hit rate); \
+             cold {:.2}s → warm {:.2}s ({:.1}x)",
+            warm.hits,
+            warm.misses,
+            warm.hit_rate() * 100.0,
+            elapsed.as_secs_f64(),
+            warm_elapsed.as_secs_f64(),
+            elapsed.as_secs_f64() / warm_elapsed.as_secs_f64().max(1e-9)
+        );
+    }
+
+    let traces: Vec<(&str, &[psaflow_core::TraceEvent])> = results
+        .iter()
+        .map(|(row, outcome)| (row.key.as_str(), outcome.trace.as_slice()))
+        .collect();
+    obs.write_artifacts(&traces)
+        .expect("write observability artefacts");
 }

@@ -6,11 +6,13 @@
 //! The three applications with both designs and meaningful crossovers are
 //! AdPredictor, Bezier, and K-Means.
 
+use psa_bench::obsout::ObsArgs;
 use psa_bench::run_all;
 use psa_platform::pricing::{fig6_price_ratios, CostCase, CostStudy};
 use psaflow_core::DeviceKind;
 
 fn main() {
+    let obs = ObsArgs::parse();
     println!("Fig. 6 — Relative cost of FPGA (Stratix10) vs GPU (2080 Ti) execution");
     println!("cost_FPGA / cost_GPU at price ratio p = price_FPGA / price_GPU\n");
 
@@ -72,6 +74,13 @@ fn main() {
             );
         }
     }
+
+    let traces: Vec<(&str, &[psaflow_core::TraceEvent])> = results
+        .iter()
+        .map(|(row, outcome)| (row.key.as_str(), outcome.trace.as_slice()))
+        .collect();
+    obs.write_artifacts(&traces)
+        .expect("write observability artefacts");
 }
 
 fn format_ratio(r: f64) -> String {

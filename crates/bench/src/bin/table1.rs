@@ -6,12 +6,14 @@
 //! LOC." Unsynthesizable designs (Rush Larsen's FPGA variants) are excluded
 //! exactly as the paper excludes them.
 
+use psa_bench::obsout::ObsArgs;
 use psa_bench::{params_for, run_all};
 use psa_benchsuite::paper;
 use psa_minicpp::canonicalise;
 use psaflow_core::DeviceKind;
 
 fn main() {
+    let obs = ObsArgs::parse();
     println!("Table I — Added LOC per generated design vs reference");
     println!("(cells: paper% → measured%)\n");
 
@@ -111,4 +113,11 @@ fn main() {
         }
     }
     println!("\n(paper averages: OMP +2%, HIP +36%, oneAPI A10 +57%, S10 +81%, total +212%)");
+
+    let traces: Vec<(&str, &[psaflow_core::TraceEvent])> = results
+        .iter()
+        .map(|(row, outcome)| (row.key.as_str(), outcome.trace.as_slice()))
+        .collect();
+    obs.write_artifacts(&traces)
+        .expect("write observability artefacts");
 }

@@ -5,9 +5,11 @@
 //! the "This Work" row by pointing at the concrete subsystems implementing
 //! each capability.
 
+use psa_bench::obsout::ObsArgs;
 use psaflow_core::related;
 
 fn main() {
+    let obs = ObsArgs::parse();
     println!("Table II — Design-approach capability matrix\n");
     print!("{}", related::render_table2());
 
@@ -17,4 +19,8 @@ fn main() {
     println!("  O (optimise):  transform + DSE tasks per target (psaflow-core::tasks, ::dse)");
     println!("  Multi-target:  OpenMP CPU, HIP GPUs, oneAPI FPGAs from one source");
     println!("  Scope:         full applications (host code regenerated around the kernel)");
+
+    // Table II runs no flows; the artefacts are valid but empty.
+    obs.write_artifacts(&[])
+        .expect("write observability artefacts");
 }

@@ -56,6 +56,7 @@ pub fn unroll_until_overmap(
         // iterations; replication is structurally impossible, so the DSE
         // reports factor 1 after a single probe.
         let report = model.hls_report_cached(&work.ops, work.fp64, 1, cache);
+        psa_obs::counter_add("psa_dse_evaluations_total", &[("dse", "unroll")], 1);
         return Ok(UnrollDse {
             factor: 1,
             report,
@@ -70,6 +71,11 @@ pub fn unroll_until_overmap(
     if best_report.overmapped {
         // Even the un-unrolled design overmaps: the caller decides how to
         // report the unsynthesizable design; the pragma is not inserted.
+        psa_obs::counter_add(
+            "psa_dse_evaluations_total",
+            &[("dse", "unroll")],
+            u64::from(iterations),
+        );
         return Ok(UnrollDse {
             factor: 0,
             report: best_report,
@@ -92,6 +98,11 @@ pub fn unroll_until_overmap(
     }
     // design.export: leave the last *fitting* factor in the source.
     edit::set_unroll_pragma(module, outer, best)?;
+    psa_obs::counter_add(
+        "psa_dse_evaluations_total",
+        &[("dse", "unroll")],
+        u64::from(iterations),
+    );
     Ok(UnrollDse {
         factor: best,
         report: best_report,
@@ -162,6 +173,11 @@ pub fn blocksize_dse(
     }
     let mut out = best.expect("at least blocksize 32 always launches");
     out.evaluated = evaluated;
+    psa_obs::counter_add(
+        "psa_dse_evaluations_total",
+        &[("dse", "blocksize")],
+        u64::from(evaluated),
+    );
     out
 }
 
@@ -204,6 +220,11 @@ pub fn omp_threads_dse(
     })
     .expect("thread sweep scope");
 
+    psa_obs::counter_add(
+        "psa_dse_evaluations_total",
+        &[("dse", "omp-threads")],
+        candidates.len() as u64,
+    );
     let mut best = ThreadsDse {
         threads: 1,
         total_s: f64::INFINITY,

@@ -91,6 +91,12 @@ impl FlowEngine {
         let t0 = Instant::now();
         let result = task.run(ctx);
         let wall_ns = t0.elapsed().as_nanos() as u64;
+        psa_obs::counter_add(
+            "psa_flow_tasks_total",
+            &[("task", info.name), ("class", info.class.code())],
+            1,
+        );
+        psa_obs::observe("psa_flow_task_wall_ns", &[("task", info.name)], wall_ns);
         let events = ctx.trace.split_off(start);
         let virtual_s = dse_virtual_s(&events);
         ctx.trace.push(TraceEvent::Task {
@@ -137,6 +143,16 @@ impl FlowEngine {
             ctx.trace.extend(evidence);
             return Err(FlowError::selection(&bp.name, bad));
         }
+        psa_obs::counter_add(
+            "psa_flow_branches_total",
+            &[("branch", &bp.name), ("strategy", bp.strategy.name())],
+            1,
+        );
+        psa_obs::counter_add(
+            "psa_flow_paths_total",
+            &[("branch", &bp.name)],
+            indices.len() as u64,
+        );
 
         let push_branch =
             |ctx: &mut FlowContext, selection: SelectionTrace, paths: Vec<PathTrace>| {

@@ -39,18 +39,6 @@ pub enum FlowError {
 }
 
 impl FlowError {
-    /// Build an untyped error. Compatibility shim for pre-typed-error
-    /// callers; hidden from docs so new code reaches for the typed
-    /// constructors instead.
-    #[doc(hidden)]
-    #[deprecated(note = "use a typed constructor: `FlowError::precondition`, \
-                         `::transform`, `::analysis`, `::codegen`, `::selection` or `::budget`")]
-    pub fn new(message: impl Into<String>) -> Self {
-        FlowError::Precondition {
-            message: message.into(),
-        }
-    }
-
     /// Missing or inconsistent flow state.
     pub fn precondition(message: impl Into<String>) -> Self {
         FlowError::Precondition {

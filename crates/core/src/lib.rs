@@ -44,6 +44,7 @@ pub mod dse;
 pub mod engine;
 pub mod flow;
 pub mod flows;
+pub mod obs_export;
 pub mod related;
 pub mod report;
 pub mod strategy;

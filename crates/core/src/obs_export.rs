@@ -1,0 +1,289 @@
+//! Export a recorded [`TraceEvent`] tree as a Perfetto / Chrome
+//! `trace_event` timeline.
+//!
+//! The engine's trace is a *tree* with per-span wall-clock durations but no
+//! absolute timestamps (parallel paths overlap in real time, and rendered
+//! traces must stay schedule-independent). This module synthesises a
+//! deterministic timeline from the durations alone:
+//!
+//! * a cursor walks each track; a task span opens at the cursor and closes
+//!   at `max(cursor + wall_ns, end of its children)`, so nested spans always
+//!   fit inside their parent;
+//! * every branch path gets its **own track** (`tid`), opened at the moment
+//!   the branch decided — so paths that executed concurrently render as
+//!   side-by-side tracks exactly like they ran;
+//! * notes, DSE results and cache summaries become thread-scoped instant
+//!   events at the cursor.
+//!
+//! The synthesised timeline is therefore a *logical* one: span widths are
+//! real measured durations, but siblings on one track are laid end-to-end
+//! rather than at their true absolute offsets. Per-track timestamps are
+//! monotone and `B`/`E` pairs balanced by construction (property-tested in
+//! `tests/perfetto_trace.rs`).
+
+use crate::trace::{SelectionTrace, TraceEvent};
+use psa_obs::perfetto::{ArgValue, TraceBuilder};
+
+/// Append one flow run's trace to `tb` as process `pid` (named
+/// `process_name`). The flow's main line is tid 0; each branch path opens a
+/// fresh tid within the same pid.
+pub fn export_trace(tb: &mut TraceBuilder, pid: u32, process_name: &str, events: &[TraceEvent]) {
+    tb.process_name(pid, process_name);
+    tb.thread_name(pid, 0, "flow");
+    let mut next_tid = 1u32;
+    walk(tb, pid, 0, 0, events, &mut next_tid);
+}
+
+/// Walk `events` on track `(pid, tid)` starting at `t` ns; returns the
+/// cursor after the last event.
+fn walk(
+    tb: &mut TraceBuilder,
+    pid: u32,
+    tid: u32,
+    mut t: u64,
+    events: &[TraceEvent],
+    next_tid: &mut u32,
+) -> u64 {
+    for event in events {
+        t = emit(tb, pid, tid, t, event, next_tid);
+    }
+    t
+}
+
+fn emit(
+    tb: &mut TraceBuilder,
+    pid: u32,
+    tid: u32,
+    t: u64,
+    event: &TraceEvent,
+    next_tid: &mut u32,
+) -> u64 {
+    match event {
+        TraceEvent::Note { text } => {
+            tb.instant(pid, tid, t, text, vec![]);
+            t
+        }
+        TraceEvent::Task {
+            flow,
+            name,
+            class,
+            dynamic,
+            wall_ns,
+            virtual_s,
+            events,
+        } => {
+            let mut args = vec![
+                ("flow".into(), ArgValue::from(flow.as_str())),
+                ("class".into(), ArgValue::from(class.as_str())),
+                ("dynamic".into(), ArgValue::from(*dynamic)),
+            ];
+            if let Some(v) = virtual_s {
+                args.push(("virtual_s".into(), ArgValue::from(*v)));
+            }
+            tb.begin(pid, tid, t, name, args);
+            let inner_end = walk(tb, pid, tid, t, events, next_tid);
+            let end = t.saturating_add(*wall_ns).max(inner_end);
+            tb.end(pid, tid, end);
+            end
+        }
+        TraceEvent::Branch {
+            flow,
+            branch,
+            strategy,
+            evidence,
+            decision,
+            selection,
+            paths,
+        } => {
+            let mut args = vec![
+                ("flow".into(), ArgValue::from(flow.as_str())),
+                ("strategy".into(), ArgValue::from(strategy.as_str())),
+                (
+                    "selection".into(),
+                    ArgValue::from(selection_text(selection)),
+                ),
+            ];
+            if let Some(chosen) = decision.as_ref().and_then(|d| d.chosen.as_deref()) {
+                args.push(("chosen".into(), ArgValue::from(chosen)));
+            }
+            tb.begin(pid, tid, t, &format!("branch {branch}"), args);
+            let decided = walk(tb, pid, tid, t, evidence, next_tid);
+            // Each followed path renders on its own fresh track, opened at
+            // the decision point — concurrent paths show as parallel tracks.
+            let mut end = decided;
+            for path in paths {
+                let ptid = *next_tid;
+                *next_tid += 1;
+                tb.thread_name(pid, ptid, &format!("path {}: {}", path.index, path.label));
+                tb.begin(
+                    pid,
+                    ptid,
+                    decided,
+                    &format!("path {}", path.label),
+                    vec![("branch".into(), ArgValue::from(branch.as_str()))],
+                );
+                let pend = walk(tb, pid, ptid, decided, &path.events, next_tid);
+                tb.end(pid, ptid, pend);
+                end = end.max(pend);
+            }
+            tb.end(pid, tid, end);
+            end
+        }
+        TraceEvent::Dse(dse) => {
+            tb.instant(pid, tid, t, &dse.render(), vec![]);
+            t
+        }
+        TraceEvent::CacheStats {
+            flow,
+            hits,
+            misses,
+            evictions,
+            entries,
+        } => {
+            tb.instant(
+                pid,
+                tid,
+                t,
+                "cache-stats",
+                vec![
+                    ("flow".into(), ArgValue::from(flow.as_str())),
+                    ("hits".into(), ArgValue::from(*hits)),
+                    ("misses".into(), ArgValue::from(*misses)),
+                    ("evictions".into(), ArgValue::from(*evictions)),
+                    ("entries".into(), ArgValue::from(*entries)),
+                ],
+            );
+            t
+        }
+    }
+}
+
+fn selection_text(selection: &SelectionTrace) -> String {
+    match selection {
+        SelectionTrace::None => "none".to_string(),
+        SelectionTrace::One { label, .. } => label.clone(),
+        SelectionTrace::Many { labels, .. } => labels.join(", "),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::PathTrace;
+    use psa_obs::json;
+
+    fn note(text: &str) -> TraceEvent {
+        TraceEvent::Note { text: text.into() }
+    }
+
+    fn sample_tree() -> Vec<TraceEvent> {
+        vec![TraceEvent::Branch {
+            flow: "f".into(),
+            branch: "B".into(),
+            strategy: "all".into(),
+            evidence: vec![note("evidence")],
+            decision: None,
+            selection: SelectionTrace::Many {
+                indices: vec![0, 1],
+                labels: vec!["p0".into(), "p1".into()],
+            },
+            paths: vec![
+                PathTrace {
+                    index: 0,
+                    label: "p0".into(),
+                    events: vec![TraceEvent::Task {
+                        flow: "f".into(),
+                        name: "slow".into(),
+                        class: "CG".into(),
+                        dynamic: false,
+                        wall_ns: 5_000,
+                        virtual_s: Some(1.5),
+                        events: vec![note("inner")],
+                    }],
+                },
+                PathTrace {
+                    index: 1,
+                    label: "p1".into(),
+                    events: vec![],
+                },
+            ],
+        }]
+    }
+
+    #[test]
+    fn branch_paths_render_on_distinct_tracks() {
+        let mut tb = TraceBuilder::new();
+        export_trace(&mut tb, 1, "run", &sample_tree());
+        let parsed = json::parse(&tb.to_json()).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_array().unwrap();
+        let tids: std::collections::BTreeSet<u64> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() != Some("M"))
+            .map(|e| e.get("tid").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(tids.len(), 3, "flow track + one track per path: {tids:?}");
+    }
+
+    #[test]
+    fn spans_balance_and_contain_their_children() {
+        let mut tb = TraceBuilder::new();
+        export_trace(&mut tb, 1, "run", &sample_tree());
+        let parsed = json::parse(&tb.to_json()).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_array().unwrap();
+        let mut depth: std::collections::HashMap<u64, i64> = Default::default();
+        let mut last_ts: std::collections::HashMap<u64, f64> = Default::default();
+        for e in events {
+            let ph = e.get("ph").unwrap().as_str().unwrap();
+            if ph == "M" {
+                continue;
+            }
+            let tid = e.get("tid").unwrap().as_u64().unwrap();
+            let ts = e.get("ts").unwrap().as_f64().unwrap();
+            let prev = last_ts.entry(tid).or_insert(f64::NEG_INFINITY);
+            assert!(ts >= *prev, "timestamps monotone per track");
+            *prev = ts;
+            match ph {
+                "B" => *depth.entry(tid).or_insert(0) += 1,
+                "E" => {
+                    let d = depth.entry(tid).or_insert(0);
+                    *d -= 1;
+                    assert!(*d >= 0, "E without matching B");
+                }
+                _ => {}
+            }
+        }
+        assert!(
+            depth.values().all(|&d| d == 0),
+            "unbalanced spans: {depth:?}"
+        );
+    }
+
+    #[test]
+    fn task_span_width_is_its_wall_clock() {
+        let mut tb = TraceBuilder::new();
+        export_trace(
+            &mut tb,
+            7,
+            "run",
+            &[TraceEvent::Task {
+                flow: "f".into(),
+                name: "t".into(),
+                class: "A".into(),
+                dynamic: true,
+                wall_ns: 2_500,
+                virtual_s: None,
+                events: vec![],
+            }],
+        );
+        let parsed = json::parse(&tb.to_json()).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_array().unwrap();
+        let spans: Vec<&json::Json> = events
+            .iter()
+            .filter(|e| matches!(e.get("ph").unwrap().as_str(), Some("B" | "E")))
+            .collect();
+        assert_eq!(spans.len(), 2);
+        let width = spans[1].get("ts").unwrap().as_f64().unwrap()
+            - spans[0].get("ts").unwrap().as_f64().unwrap();
+        assert!((width - 2.5).abs() < 1e-9, "2500 ns = 2.5 µs, got {width}");
+    }
+}

@@ -1,0 +1,215 @@
+//! Property tests for the Perfetto exporter: for *arbitrary* [`TraceEvent`]
+//! trees, `obs_export::export_trace` must emit JSON that parses, and whose
+//! per-track event stream is well-formed — timestamps non-decreasing in
+//! emission order, every `E` closing an open `B`, and every track balanced
+//! at the end. These invariants are exactly what chrome://tracing and
+//! Perfetto require to render the file without dropping events.
+
+use proptest::prelude::*;
+use psa_obs::json::{self, Json};
+use psa_obs::perfetto::TraceBuilder;
+use psaflow_core::obs_export::export_trace;
+use psaflow_core::trace::PathTrace;
+use psaflow_core::{DseTrace, SelectionTrace, TraceEvent};
+use std::collections::HashMap;
+
+/// Pick up to three children out of a tuple draw — the shim has no
+/// collection strategy, so variable-length vectors are sampled this way.
+fn children(n: usize, a: TraceEvent, b: TraceEvent, c: TraceEvent) -> Vec<TraceEvent> {
+    let mut all = vec![a, b, c];
+    all.truncate(n);
+    all
+}
+
+fn leaf_strategy() -> BoxedStrategy<TraceEvent> {
+    prop_oneof![
+        (0usize..6).prop_map(|i| TraceEvent::Note {
+            text: format!("note-{i}"),
+        }),
+        (1u32..65, 0.0f64..10.0)
+            .prop_map(|(threads, est_s)| TraceEvent::Dse(DseTrace::OmpThreads { threads, est_s })),
+        (0u64..1000, 0u64..1000, 0u64..10, 0u64..100).prop_map(
+            |(hits, misses, evictions, entries)| TraceEvent::CacheStats {
+                flow: "prop".into(),
+                hits,
+                misses,
+                evictions,
+                entries,
+            }
+        ),
+    ]
+    .boxed()
+}
+
+/// Arbitrary trees: leaves plus recursive Task spans (wall_ns bounded at
+/// 10^12 ns so cursor sums stay far from u64 overflow) and Branch events
+/// with up to two followed paths.
+fn tree_strategy() -> BoxedStrategy<TraceEvent> {
+    leaf_strategy().prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            inner.clone(),
+            (
+                0usize..4,
+                inner.clone(),
+                inner.clone(),
+                inner.clone(),
+                0u64..1_000_000_000_000,
+                any::<bool>(),
+            )
+                .prop_map(|(n, a, b, c, wall_ns, dynamic)| TraceEvent::Task {
+                    flow: "prop".into(),
+                    name: format!("task-{n}"),
+                    class: "T".into(),
+                    dynamic,
+                    wall_ns,
+                    virtual_s: if dynamic { Some(1.25) } else { None },
+                    events: children(n, a, b, c),
+                }),
+            (
+                0usize..3,
+                inner.clone(),
+                inner.clone(),
+                0usize..3,
+                inner.clone(),
+                inner,
+            )
+                .prop_map(|(ne, e1, e2, np, p1, p2)| {
+                    let evidence = {
+                        let mut v = vec![e1, e2];
+                        v.truncate(ne);
+                        v
+                    };
+                    let path_events = {
+                        let mut v = vec![p1, p2];
+                        v.truncate(np);
+                        v
+                    };
+                    let paths: Vec<PathTrace> = path_events
+                        .into_iter()
+                        .enumerate()
+                        .map(|(index, ev)| PathTrace {
+                            index,
+                            label: format!("p{index}"),
+                            events: vec![ev],
+                        })
+                        .collect();
+                    let selection = match paths.len() {
+                        0 => SelectionTrace::None,
+                        1 => SelectionTrace::One {
+                            index: 0,
+                            label: "p0".into(),
+                        },
+                        _ => SelectionTrace::Many {
+                            indices: (0..paths.len()).collect(),
+                            labels: paths.iter().map(|p| p.label.clone()).collect(),
+                        },
+                    };
+                    TraceEvent::Branch {
+                        flow: "prop".into(),
+                        branch: "B".into(),
+                        strategy: "prop-strategy".into(),
+                        evidence,
+                        decision: None,
+                        selection,
+                        paths,
+                    }
+                }),
+        ]
+    })
+}
+
+/// Forest of up to three top-level events, the shape `FlowOutcome::trace`
+/// actually has.
+fn forest_strategy() -> BoxedStrategy<Vec<TraceEvent>> {
+    (0usize..4, tree_strategy(), tree_strategy(), tree_strategy())
+        .prop_map(|(n, a, b, c)| children(n, a, b, c))
+        .boxed()
+}
+
+fn trace_events(parsed: &Json) -> &[Json] {
+    parsed
+        .get("traceEvents")
+        .expect("traceEvents key")
+        .as_array()
+        .expect("traceEvents is an array")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn exported_json_parses_and_tracks_are_well_formed(forest in forest_strategy()) {
+        let mut tb = TraceBuilder::new();
+        export_trace(&mut tb, 1, "prop-run", &forest);
+        let text = tb.to_json();
+        let parsed = json::parse(&text).expect("exporter output parses as JSON");
+
+        // Per-(pid, tid) track simulation: ts non-decreasing in array
+        // order, B pushes, E pops a non-empty stack, balanced at the end.
+        let mut depth: HashMap<(u64, u64), i64> = HashMap::new();
+        let mut last_ts: HashMap<(u64, u64), f64> = HashMap::new();
+        for e in trace_events(&parsed) {
+            let ph = e.get("ph").expect("ph").as_str().expect("ph is a string");
+            if ph == "M" {
+                continue; // metadata carries no timestamp ordering
+            }
+            let pid = e.get("pid").expect("pid").as_u64().expect("pid u64");
+            let tid = e.get("tid").expect("tid").as_u64().expect("tid u64");
+            let ts = e.get("ts").expect("ts").as_f64().expect("ts f64");
+            let track = (pid, tid);
+            let prev = last_ts.entry(track).or_insert(f64::NEG_INFINITY);
+            prop_assert!(
+                ts >= *prev,
+                "timestamps regress on track {track:?}: {ts} after {prev}"
+            );
+            *prev = ts;
+            match ph {
+                "B" => *depth.entry(track).or_insert(0) += 1,
+                "E" => {
+                    let d = depth.entry(track).or_insert(0);
+                    *d -= 1;
+                    prop_assert!(*d >= 0, "E without open B on track {track:?}");
+                }
+                "i" => {}
+                other => prop_assert!(false, "unexpected phase {other:?}"),
+            }
+        }
+        for (track, d) in &depth {
+            prop_assert_eq!(*d, 0, "track {:?} left {} spans open", track, d);
+        }
+    }
+
+    #[test]
+    fn every_span_and_instant_lies_inside_its_enclosing_span(forest in forest_strategy()) {
+        let mut tb = TraceBuilder::new();
+        export_trace(&mut tb, 1, "prop-run", &forest);
+        let parsed = json::parse(&tb.to_json()).expect("parses");
+
+        // Nesting check: because per-track timestamps are monotone and
+        // B/E balance, a child span's whole extent sits within its
+        // parent's. Verify directly by tracking open-B timestamps.
+        let mut open: HashMap<(u64, u64), Vec<f64>> = HashMap::new();
+        for e in trace_events(&parsed) {
+            let ph = e.get("ph").expect("ph").as_str().expect("string");
+            if ph == "M" {
+                continue;
+            }
+            let pid = e.get("pid").expect("pid").as_u64().expect("u64");
+            let tid = e.get("tid").expect("tid").as_u64().expect("u64");
+            let ts = e.get("ts").expect("ts").as_f64().expect("f64");
+            let stack = open.entry((pid, tid)).or_default();
+            match ph {
+                "B" => stack.push(ts),
+                "E" => {
+                    let began = stack.pop().expect("E closes an open B");
+                    prop_assert!(ts >= began, "span ends before it begins");
+                }
+                _ => {
+                    if let Some(&began) = stack.last() {
+                        prop_assert!(ts >= began, "instant precedes enclosing span");
+                    }
+                }
+            }
+        }
+    }
+}

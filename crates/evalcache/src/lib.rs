@@ -269,10 +269,12 @@ impl EvalCache {
         match found.and_then(|v| v.downcast::<T>().ok()) {
             Some(t) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                psa_obs::counter_add("psa_evalcache_hits_total", &[("domain", key.domain)], 1);
                 Some(t)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                psa_obs::counter_add("psa_evalcache_misses_total", &[("domain", key.domain)], 1);
                 None
             }
         }
@@ -289,11 +291,17 @@ impl EvalCache {
                 if let Some(oldest) = s.order.pop_front() {
                     s.map.remove(&oldest);
                     self.evictions.fetch_add(1, Ordering::Relaxed);
+                    psa_obs::counter_add(
+                        "psa_evalcache_evictions_total",
+                        &[("domain", oldest.domain)],
+                        1,
+                    );
                 } else {
                     break;
                 }
             }
         }
+        psa_obs::gauge_set("psa_evalcache_entries", &[], s.map.len() as f64);
     }
 
     /// Return the cached value for `key`, computing and storing it on a

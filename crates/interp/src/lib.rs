@@ -33,6 +33,7 @@ mod ops;
 pub mod profile;
 pub mod value;
 pub mod vm;
+pub mod vmprof;
 
 pub use compile::Program;
 pub use error::{RuntimeError, RuntimeResult};
@@ -41,6 +42,7 @@ pub use memory::{BufferId, Memory};
 pub use profile::{CostModel, LoopStats, Profile};
 pub use value::{Pointer, Value};
 pub use vm::Vm;
+pub use vmprof::{FrameKey, FrameRow, VmProfile, VmProfiler};
 
 use psa_evalcache::{EvalCache, KeyBuilder};
 use psa_minicpp::Module;
@@ -112,6 +114,31 @@ pub fn run_main_profiled(module: &Module, config: RunConfig) -> RuntimeResult<Pr
             })
         }
     }
+}
+
+/// Execute `main` on the bytecode VM with the frame profiler attached,
+/// returning the usual [`ProfiledRun`] artefacts plus the aggregated
+/// [`VmProfile`]. Profiling is observation-only: result, profile and memory
+/// are identical to an unprofiled run (enforced by `tests/vm_profiler.rs`).
+pub fn run_main_profiled_vm_with_profile(
+    module: &Module,
+    config: RunConfig,
+) -> RuntimeResult<(ProfiledRun, VmProfile)> {
+    let mut vm = Vm::new(module, config);
+    vm.enable_profiling();
+    let result = vm.run_main()?;
+    let vm_profile = vm
+        .take_vm_profile(&module.name)
+        .expect("profiling enabled above");
+    let (profile, memory) = vm.into_parts();
+    Ok((
+        ProfiledRun {
+            result,
+            profile,
+            memory,
+        },
+        vm_profile,
+    ))
 }
 
 /// Execute `main` under `config`, memoized in `cache`.

@@ -21,6 +21,7 @@ use crate::memory::Memory;
 use crate::ops::{self, BinCosts, IntrinsicCtx};
 use crate::profile::Profile;
 use crate::value::{Pointer, Value};
+use crate::vmprof::{FrameKey, VmProfile, VmProfiler};
 use psa_minicpp::ast::{BinOp, Module, NodeId};
 use psa_minicpp::Span;
 use std::sync::Arc;
@@ -53,6 +54,14 @@ pub struct Vm {
     timer_stack: Vec<(i64, u64)>,
     kernel_snapshot: Option<(u64, u64, u64, u64)>,
     heap_count: u32,
+    /// Instructions dispatched and user calls made, for the metrics
+    /// registry. Deliberately NOT part of [`Profile`]: profiles are
+    /// compared bit-for-bit between engines and the tree-walker has no
+    /// dispatch counter.
+    dispatches: u64,
+    calls: u64,
+    /// Frame profiler; `None` (the default) costs nothing on the hot path.
+    profiler: Option<Box<VmProfiler>>,
 }
 
 impl Vm {
@@ -82,7 +91,32 @@ impl Vm {
             timer_stack: Vec::new(),
             kernel_snapshot: None,
             heap_count: 0,
+            dispatches: 0,
+            calls: 0,
+            profiler: None,
         }
+    }
+
+    /// Attach a fresh frame profiler; subsequent runs attribute virtual
+    /// cycles and wall time to `(function, loop)` frames.
+    pub fn enable_profiling(&mut self) {
+        self.profiler = Some(Box::new(VmProfiler::new()));
+    }
+
+    /// Detach the profiler and aggregate its report. `root` names the
+    /// outermost frame (conventionally the module name).
+    pub fn take_vm_profile(&mut self, root: &str) -> Option<VmProfile> {
+        self.profiler.take().map(|p| p.finish(&self.program, root))
+    }
+
+    /// Instructions dispatched by this VM so far.
+    pub fn dispatches(&self) -> u64 {
+        self.dispatches
+    }
+
+    /// User-function calls made by this VM so far.
+    pub fn calls(&self) -> u64 {
+        self.calls
     }
 
     /// The accumulated profile.
@@ -97,8 +131,21 @@ impl Vm {
 
     /// Execute module globals then `main()`.
     pub fn run_main(&mut self) -> RuntimeResult<Value> {
-        self.init_globals()?;
-        self.call_by_name("main", Vec::new(), Span::SYNTHETIC)
+        let (d0, c0) = (self.dispatches, self.calls);
+        if let Some(p) = self.profiler.as_mut() {
+            p.enter(FrameKey::Root, self.profile.total_cycles);
+        }
+        let result = self
+            .init_globals()
+            .and_then(|()| self.call_by_name("main", Vec::new(), Span::SYNTHETIC));
+        if let Some(p) = self.profiler.as_mut() {
+            // Unwinds every frame an error path abandoned, too.
+            p.exit_to(0, self.profile.total_cycles);
+        }
+        psa_obs::counter_add("psa_vm_runs_total", &[], 1);
+        psa_obs::counter_add("psa_vm_dispatches_total", &[], self.dispatches - d0);
+        psa_obs::counter_add("psa_vm_calls_total", &[], self.calls - c0);
+        result
     }
 
     /// Initialise module-level globals (idempotent).
@@ -175,6 +222,11 @@ impl Vm {
             });
         }
         self.charge(self.config.cost_model.call)?;
+        self.calls += 1;
+        let prof_depth = self.profiler.as_ref().map(|p| p.depth());
+        if let Some(p) = self.profiler.as_mut() {
+            p.enter(FrameKey::Func(fidx), self.profile.total_cycles);
+        }
 
         let watched = func.watched;
         if watched {
@@ -230,6 +282,13 @@ impl Vm {
                 self.profile.kernel_bytes_stored += self.profile.bytes_stored - s0;
             }
         }
+        if let Some(depth) = prof_depth {
+            if let Some(p) = self.profiler.as_mut() {
+                // `exit_to` (not a single `exit`): an error mid-frame leaves
+                // loop frames open; unwind them with the call frame.
+                p.exit_to(depth, self.profile.total_cycles);
+            }
+        }
         result
     }
 
@@ -259,6 +318,9 @@ impl Vm {
         stats.entries += 1;
         stats.iterations += ctx.iters;
         stats.cycles += self.profile.total_cycles - ctx.start_cycles;
+        if let Some(p) = self.profiler.as_mut() {
+            p.exit(self.profile.total_cycles);
+        }
     }
 
     /// The interpreter loop: execute `code` with frame locals at `base`.
@@ -275,6 +337,7 @@ impl Vm {
         let costs = self.bin_costs;
         let mut pc = 0usize;
         while pc < code.len() {
+            self.dispatches += 1;
             match &code[pc] {
                 Insn::Const(v) => self.stack.push(*v),
                 Insn::Dup => {
@@ -578,12 +641,17 @@ impl Vm {
                     }
                     return Ok(v);
                 }
-                Insn::LoopEnter { id } => self.loop_ctxs.push(LoopCtx {
-                    id: *id,
-                    start_cycles: self.profile.total_cycles,
-                    iters: 0,
-                    cur_i: 0,
-                }),
+                Insn::LoopEnter { id } => {
+                    self.loop_ctxs.push(LoopCtx {
+                        id: *id,
+                        start_cycles: self.profile.total_cycles,
+                        iters: 0,
+                        cur_i: 0,
+                    });
+                    if let Some(p) = self.profiler.as_mut() {
+                        p.enter(FrameKey::Loop(*id), self.profile.total_cycles);
+                    }
+                }
                 Insn::LoopExit => self.record_loop_exit(),
                 Insn::ForInit {
                     slot,

@@ -1,0 +1,445 @@
+//! The metrics registry: named, labelled, atomic instruments.
+//!
+//! Three instrument kinds, all lock-free on the update path:
+//!
+//! * [`Counter`] — monotone `u64`;
+//! * [`Gauge`] — an `f64` snapshot (stored as bits in an `AtomicU64`);
+//! * [`Histogram`] — log₂-bucketed `u64` observations (65 buckets: one for
+//!   zero, one per bit width), plus exact sum and count. Log-scale buckets
+//!   make one histogram serve values from nanoseconds to minutes without
+//!   per-metric bound configuration.
+//!
+//! The registry itself is a mutex-guarded map from `(name, sorted labels)`
+//! to the instrument; the lock is only taken to *look up* an instrument,
+//! never while updating one. [`MetricsRegistry::render_prometheus`] writes
+//! the whole registry in the Prometheus text exposition format with a
+//! stable (sorted) order, so output is diffable across runs.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotone counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Bucket count: one zero bucket plus one per `u64` bit width.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log₂-scale histogram of `u64` observations. Bucket `i ≥ 1` holds
+/// values in `[2^(i-1), 2^i)`; bucket 0 holds zero.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Index of the bucket holding `v`.
+    pub fn bucket_index(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// The inclusive upper bound of bucket `i` (`2^i − 1`; saturates at
+    /// `u64::MAX` for the last bucket).
+    pub fn bucket_bound(i: usize) -> u64 {
+        if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    pub fn observe(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket (non-cumulative) counts.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// Lookup key: metric name plus its sorted label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct MetricId {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A thread-safe collection of named, labelled instruments.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    instruments: Mutex<HashMap<MetricId, Instrument>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn id(name: &str, labels: &[(&str, &str)]) -> MetricId {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricId {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    fn get_or_insert(&self, name: &str, labels: &[(&str, &str)], make: Instrument) -> Instrument {
+        let id = Self::id(name, labels);
+        let mut map = self.instruments.lock().expect("metrics registry poisoned");
+        let slot = map.entry(id).or_insert(make);
+        slot.clone()
+    }
+
+    /// The counter `name{labels}`, creating it on first use.
+    ///
+    /// # Panics
+    /// If the same name+labels was previously registered as another kind.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.get_or_insert(name, labels, Instrument::Counter(Arc::default())) {
+            Instrument::Counter(c) => c,
+            other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// The gauge `name{labels}`, creating it on first use.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.get_or_insert(name, labels, Instrument::Gauge(Arc::default())) {
+            Instrument::Gauge(g) => g,
+            other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// The histogram `name{labels}`, creating it on first use.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        match self.get_or_insert(name, labels, Instrument::Histogram(Arc::default())) {
+            Instrument::Histogram(h) => h,
+            other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Serialise every instrument in the Prometheus text exposition format
+    /// (sorted by name, then label set, so output order is stable).
+    pub fn render_prometheus(&self) -> String {
+        let mut entries: Vec<(MetricId, Instrument)> = {
+            let map = self.instruments.lock().expect("metrics registry poisoned");
+            map.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+        };
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        // `entries` outlives the loop; borrow names from it for the TYPE
+        // header dedup.
+        let entries_ref = &entries;
+        for (id, instrument) in entries_ref {
+            if last_name != Some(id.name.as_str()) {
+                let _ = writeln!(out, "# TYPE {} {}", id.name, instrument.kind());
+                last_name = Some(id.name.as_str());
+            }
+            match instrument {
+                Instrument::Counter(c) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        id.name,
+                        render_labels(&id.labels, &[]),
+                        c.get()
+                    );
+                }
+                Instrument::Gauge(g) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        id.name,
+                        render_labels(&id.labels, &[]),
+                        fmt_f64(g.get())
+                    );
+                }
+                Instrument::Histogram(h) => {
+                    let counts = h.bucket_counts();
+                    let mut cumulative = 0u64;
+                    for (i, c) in counts.iter().enumerate() {
+                        cumulative += c;
+                        // Skip interior empty buckets to keep output small;
+                        // always emit +Inf below.
+                        if *c == 0 {
+                            continue;
+                        }
+                        let le = Histogram::bucket_bound(i).to_string();
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            id.name,
+                            render_labels(&id.labels, &[("le", &le)]),
+                            cumulative
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        id.name,
+                        render_labels(&id.labels, &[("le", "+Inf")]),
+                        h.count()
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        id.name,
+                        render_labels(&id.labels, &[]),
+                        h.sum()
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        id.name,
+                        render_labels(&id.labels, &[]),
+                        h.count()
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render `{k="v",...}` from the metric's own labels plus extras (the
+/// histogram's `le`); empty label sets render as nothing.
+fn render_labels(labels: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    let mut push = |out: &mut String, k: &str, v: &str| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    };
+    for (k, v) in labels {
+        push(&mut out, k, v);
+    }
+    for (k, v) in extra {
+        push(&mut out, k, v);
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let r = MetricsRegistry::new();
+        r.counter("hits_total", &[("domain", "a")]).add(3);
+        r.counter("hits_total", &[("domain", "a")]).inc();
+        r.counter("hits_total", &[("domain", "b")]).inc();
+        assert_eq!(r.counter("hits_total", &[("domain", "a")]).get(), 4);
+        assert_eq!(r.counter("hits_total", &[("domain", "b")]).get(), 1);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let r = MetricsRegistry::new();
+        r.counter("m", &[("a", "1"), ("b", "2")]).inc();
+        r.counter("m", &[("b", "2"), ("a", "1")]).inc();
+        assert_eq!(r.counter("m", &[("a", "1"), ("b", "2")]).get(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_bound(0), 0);
+        assert_eq!(Histogram::bucket_bound(1), 1);
+        assert_eq!(Histogram::bucket_bound(2), 3);
+        assert_eq!(Histogram::bucket_bound(64), u64::MAX);
+
+        let h = Histogram::default();
+        for v in [0, 1, 2, 3, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1006);
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 1, "zero bucket");
+        assert_eq!(counts[1], 1, "value 1");
+        assert_eq!(counts[2], 2, "values 2 and 3");
+        assert_eq!(counts[10], 1, "value 1000 in [512, 1024)");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        r.counter("m", &[]).inc();
+        r.gauge("m", &[]);
+    }
+
+    /// The satellite-task round-trip test: populate a registry, render the
+    /// Prometheus text, parse it back, and recover every counter value.
+    #[test]
+    fn prometheus_text_round_trips_counter_values() {
+        let r = MetricsRegistry::new();
+        r.counter("psa_cache_hits_total", &[("domain", "interp/run")])
+            .add(17);
+        r.counter("psa_cache_hits_total", &[("domain", "platform/gpu")])
+            .add(3);
+        r.counter("psa_vm_dispatches_total", &[]).add(123_456_789);
+        r.gauge("psa_entries", &[]).set(42.0);
+
+        let text = r.render_prometheus();
+        let mut parsed: HashMap<String, f64> = HashMap::new();
+        for line in text.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("value separator");
+            parsed.insert(series.to_string(), value.parse().expect("numeric value"));
+        }
+        assert_eq!(
+            parsed["psa_cache_hits_total{domain=\"interp/run\"}"] as u64,
+            17
+        );
+        assert_eq!(
+            parsed["psa_cache_hits_total{domain=\"platform/gpu\"}"] as u64,
+            3
+        );
+        assert_eq!(parsed["psa_vm_dispatches_total"] as u64, 123_456_789);
+        assert_eq!(parsed["psa_entries"], 42.0);
+        // TYPE headers appear once per metric name.
+        assert_eq!(
+            text.matches("# TYPE psa_cache_hits_total counter").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn prometheus_histogram_exposition_is_cumulative() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("lat_ns", &[]);
+        h.observe(1);
+        h.observe(2);
+        h.observe(3);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE lat_ns histogram"), "{text}");
+        assert!(text.contains("lat_ns_bucket{le=\"1\"} 1"), "{text}");
+        assert!(text.contains("lat_ns_bucket{le=\"3\"} 3"), "{text}");
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("lat_ns_sum 6"), "{text}");
+        assert!(text.contains("lat_ns_count 3"), "{text}");
+    }
+}

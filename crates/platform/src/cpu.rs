@@ -29,6 +29,11 @@ impl CpuModel {
     /// with thread count); memory-bound kernels saturate at the socket's
     /// DRAM bandwidth (roofline).
     pub fn time_openmp(&self, w: &KernelWork, threads: u32) -> Seconds {
+        psa_obs::counter_add(
+            "psa_platform_estimates_total",
+            &[("model", "cpu-omp"), ("device", &self.spec.name)],
+            1,
+        );
         let threads = threads.max(1);
         let hw = threads.min(self.spec.cores) as f64;
         // Oversubscription beyond physical cores only adds scheduling noise.

@@ -103,6 +103,11 @@ impl FpgaModel {
     /// Produce the "partial compile" resource report for a datapath of
     /// `ops` replicated `unroll` times.
     pub fn hls_report(&self, ops: &OpCounts, fp64: bool, unroll: u64) -> FpgaReport {
+        psa_obs::counter_add(
+            "psa_platform_estimates_total",
+            &[("model", "fpga-hls"), ("device", &self.spec.name)],
+            1,
+        );
         let unroll = unroll.max(1);
         let shell = self.spec.luts as f64 * self.spec.shell_overhead;
         let luts_used = shell + ops.luts(fp64) * unroll as f64;

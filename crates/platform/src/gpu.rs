@@ -128,6 +128,11 @@ impl GpuModel {
     /// Full estimate (kernel + transfers) for one launch configuration.
     /// `None` when the blocksize cannot launch.
     pub fn estimate(&self, w: &KernelWork, blocksize: u32, pinned: bool) -> Option<GpuEstimate> {
+        psa_obs::counter_add(
+            "psa_platform_estimates_total",
+            &[("model", "gpu-estimate"), ("device", &self.spec.name)],
+            1,
+        );
         let kernel_s = self.kernel_time(w, blocksize)?;
         let transfer_s = self.transfer_time(w, pinned);
         let (occupancy, regs_limited) = self.occupancy(blocksize, w.regs_per_thread);

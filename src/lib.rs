@@ -20,6 +20,7 @@
 //! | [`codegen`] | OpenMP / HIP / oneAPI design generators |
 //! | [`core`] | PSA-flows: tasks, branch points, strategies, DSE |
 //! | [`benchsuite`] | the paper's five benchmarks |
+//! | [`obs`] | metrics registry + Perfetto trace export (observability) |
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,7 @@ pub use psa_codegen as codegen;
 pub use psa_evalcache as evalcache;
 pub use psa_interp as interp;
 pub use psa_minicpp as minicpp;
+pub use psa_obs as obs;
 pub use psa_platform as platform;
 pub use psaflow_core as core;
 

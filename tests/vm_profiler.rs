@@ -1,0 +1,115 @@
+//! Tier-1: the VM profiler is a pure observer. On every benchsuite
+//! application, enabling profiling changes nothing observable — result,
+//! profile and memory arena stay bit-identical to an unprofiled VM run —
+//! and the profiler's accounting reconciles exactly: per-frame self-cycles
+//! sum to the run's total virtual clock, with no cycle counted twice and
+//! none dropped.
+
+use psaflow::benchsuite;
+use psaflow::interp::{self, Engine, ProfiledRun, RunConfig, VmProfile};
+use psaflow::minicpp::{parse_module, Module};
+
+fn vm_config() -> RunConfig {
+    RunConfig {
+        engine: Engine::Vm,
+        ..RunConfig::default()
+    }
+}
+
+fn parse(key: &str, source: &str) -> Module {
+    parse_module(source, key).expect("benchmark parses")
+}
+
+fn run_plain(module: &Module) -> ProfiledRun {
+    interp::run_main_profiled(module, vm_config()).expect("benchmark runs")
+}
+
+fn run_profiled(module: &Module) -> (ProfiledRun, VmProfile) {
+    interp::run_main_profiled_vm_with_profile(module, vm_config()).expect("benchmark runs")
+}
+
+/// Profiling is invisible: the profiled run's artefacts are bit-identical
+/// to the plain VM run's on all five benchmarks.
+#[test]
+fn profiling_changes_nothing_observable() {
+    for bench in benchsuite::all() {
+        let module = parse(&bench.key, &bench.source);
+        let plain = run_plain(&module);
+        let (profiled, _) = run_profiled(&module);
+        assert_eq!(
+            format!("{:?}", plain.result),
+            format!("{:?}", profiled.result),
+            "{}: result diverged under profiling",
+            bench.key
+        );
+        assert_eq!(
+            plain.profile, profiled.profile,
+            "{}: profile diverged under profiling",
+            bench.key
+        );
+        assert_eq!(
+            format!("{:?}", plain.memory),
+            format!("{:?}", profiled.memory),
+            "{}: memory arena diverged under profiling",
+            bench.key
+        );
+    }
+}
+
+/// The profiler's virtual-cycle accounting reconciles exactly: frame
+/// self-cycles sum to the profiler's total, which equals the run's own
+/// virtual clock.
+#[test]
+fn profiler_cycles_reconcile_with_the_virtual_clock() {
+    for bench in benchsuite::all() {
+        let module = parse(&bench.key, &bench.source);
+        let (run, vm_profile) = run_profiled(&module);
+
+        let self_sum: u64 = vm_profile.rows.iter().map(|r| r.self_cycles).sum();
+        assert_eq!(
+            self_sum, vm_profile.total_cycles,
+            "{}: per-frame self-cycles must sum to the profiled total",
+            bench.key
+        );
+        assert_eq!(
+            vm_profile.total_cycles, run.profile.total_cycles,
+            "{}: profiler total must equal the run's virtual clock",
+            bench.key
+        );
+
+        // Inclusive time can never be narrower than self time, and the
+        // root frame's inclusive time covers the whole run.
+        for row in &vm_profile.rows {
+            assert!(
+                row.total_cycles >= row.self_cycles,
+                "{}: {} total < self",
+                bench.key,
+                row.name
+            );
+        }
+        let root = vm_profile
+            .rows
+            .iter()
+            .find(|r| r.name == module.name)
+            .expect("root frame present");
+        assert_eq!(
+            root.total_cycles, vm_profile.total_cycles,
+            "{}: root inclusive time covers the run",
+            bench.key
+        );
+
+        // The collapsed-stack rendering covers every counted cycle, so a
+        // flamegraph built from it has the right total width.
+        let collapsed_sum: u64 = vm_profile.collapsed.iter().map(|(_, c)| *c).sum();
+        assert_eq!(
+            collapsed_sum, vm_profile.total_cycles,
+            "{}: collapsed stacks must cover all self cycles",
+            bench.key
+        );
+        assert!(
+            !vm_profile.collapsed.is_empty(),
+            "{}: collapsed stacks empty",
+            bench.key
+        );
+    }
+}
