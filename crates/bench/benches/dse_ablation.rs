@@ -126,7 +126,7 @@ fn bench_blocksize_sweeps(c: &mut Criterion) {
 
     group.bench_function("pow2_candidates", |b| {
         let cache = psaflow_core::EvalCache::disabled();
-        b.iter(|| psaflow_core::dse::blocksize_dse(&model, &w, true, &cache))
+        b.iter(|| psaflow_core::dse::blocksize_dse(&model, &w, true, &cache).unwrap())
     });
 
     group.bench_function("dense_warp_multiples", |b| {

@@ -2,6 +2,7 @@
 //! designs vs the unoptimised single-thread CPU reference, paper vs
 //! measured, plus the informed PSA's target selections.
 
+use psa_bench::faultargs::{run_or_exit, FaultArgs};
 use psa_bench::obsout::ObsArgs;
 use psa_bench::{fmt_speedup, run_all_cached_on};
 use psa_benchsuite::paper;
@@ -21,7 +22,12 @@ fn main() {
     // `--trace-out` / `--metrics-out` / `--profile-out` write observability
     // artefacts to files; parsed up front so metrics collection is live
     // before any flow runs. Stdout stays byte-identical regardless.
+    // `--fail-policy` / `--fault-plan` / `--task-deadline-ms` /
+    // `--flow-deadline-ms` configure fault tolerance; with no fault plan
+    // installed stdout is byte-identical under every policy (failure
+    // reports go to stderr only).
     let obs = ObsArgs::parse();
+    let faults = FaultArgs::parse();
     let sequential = std::env::args().any(|a| a == "--sequential");
     let no_cache = std::env::args().any(|a| a == "--no-cache");
     for arg in std::env::args() {
@@ -35,11 +41,11 @@ fn main() {
             "engine already selected"
         );
     }
-    let engine = if sequential {
+    let engine = faults.engine(if sequential {
         FlowEngine::sequential()
     } else {
         FlowEngine::parallel()
-    };
+    });
     let cache = Arc::new(if no_cache {
         EvalCache::disabled()
     } else {
@@ -48,8 +54,9 @@ fn main() {
     println!("Fig. 5 — Hotspot speedups vs 1-thread CPU reference");
     println!("(paper value → measured value; informed PSA selection marked)\n");
     let started = Instant::now();
-    let results = run_all_cached_on(engine, Arc::clone(&cache)).expect("flows run");
+    let results = run_or_exit(run_all_cached_on(engine, Arc::clone(&cache)));
     let elapsed = started.elapsed();
+    faults.report_failures(&results);
 
     println!(
         "{:<14} {:>16} {:>16} {:>16} {:>16} {:>16} {:>16}   informed target",
@@ -118,7 +125,7 @@ fn main() {
         // estimate is already memoised. Results are discarded — they are
         // bit-identical to the first sweep — so stdout stays untouched.
         let warm_started = Instant::now();
-        let warm_results = run_all_cached_on(engine, Arc::clone(&cache)).expect("warm flows run");
+        let warm_results = run_or_exit(run_all_cached_on(engine, Arc::clone(&cache)));
         let warm_elapsed = warm_started.elapsed();
         assert_eq!(warm_results.len(), results.len(), "warm sweep row count");
         let warm = cache.stats().since(&cold);

@@ -6,18 +6,21 @@
 //! LOC." Unsynthesizable designs (Rush Larsen's FPGA variants) are excluded
 //! exactly as the paper excludes them.
 
+use psa_bench::faultargs::{run_or_exit, FaultArgs};
 use psa_bench::obsout::ObsArgs;
-use psa_bench::{params_for, run_all};
+use psa_bench::{params_for, run_all_on};
 use psa_benchsuite::paper;
 use psa_minicpp::canonicalise;
-use psaflow_core::DeviceKind;
+use psaflow_core::{DeviceKind, FlowEngine};
 
 fn main() {
     let obs = ObsArgs::parse();
+    let faults = FaultArgs::parse();
     println!("Table I — Added LOC per generated design vs reference");
     println!("(cells: paper% → measured%)\n");
 
-    let results = run_all().expect("flows run");
+    let results = run_or_exit(run_all_on(faults.engine(FlowEngine::default())));
+    faults.report_failures(&results);
     println!(
         "{:<14} {:>7} {:>14} {:>14} {:>14} {:>14} {:>14} {:>16}",
         "App",

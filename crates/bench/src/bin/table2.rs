@@ -5,11 +5,15 @@
 //! the "This Work" row by pointing at the concrete subsystems implementing
 //! each capability.
 
+use psa_bench::faultargs::FaultArgs;
 use psa_bench::obsout::ObsArgs;
 use psaflow_core::related;
 
 fn main() {
     let obs = ObsArgs::parse();
+    // Parsed for interface uniformity; Table II runs no flows, so the
+    // policy and plan never engage.
+    let _faults = FaultArgs::parse();
     println!("Table II — Design-approach capability matrix\n");
     print!("{}", related::render_table2());
 

@@ -1,0 +1,114 @@
+//! Fault-tolerance flags for the experiment binaries.
+//!
+//! Every binary accepts four optional flags:
+//!
+//! * `--fail-policy=<spec>` — the engine's [`FailurePolicy`]:
+//!   `failfast` (default), `degrade`, or `retry[:attempts[:base_ms[:factor]]]`;
+//! * `--fault-plan=<spec>` — install a deterministic [`FaultPlan`]
+//!   (grammar: `seed=N; <seam>:<site>[@n|@~p]=error[:kind[:msg]]|panic[:msg]|delay:ms`,
+//!   clauses `;`-separated) as the process-global plan before any flow runs;
+//! * `--task-deadline-ms=<ms>` / `--flow-deadline-ms=<ms>` — wall-clock
+//!   deadlines enforced by the engine ([`FlowError::Timeout`] on breach).
+//!
+//! Without `--fault-plan` no fault ever fires, and with the default policy
+//! the engine behaves exactly as before this subsystem existed: **stdout is
+//! byte-identical with and without `--fail-policy=degrade`** when no plan
+//! is installed (CI diffs the two). Failure reports go to stderr only.
+//!
+//! [`FlowError::Timeout`]: psaflow_core::FlowError
+
+use psa_faults::FaultPlan;
+use psaflow_core::{FailurePolicy, FlowEngine, FlowOutcome};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The parsed fault-tolerance flags.
+#[derive(Debug, Default)]
+pub struct FaultArgs {
+    pub policy: Option<FailurePolicy>,
+    pub plan: Option<Arc<FaultPlan>>,
+    pub task_deadline: Option<Duration>,
+    pub flow_deadline: Option<Duration>,
+}
+
+impl FaultArgs {
+    /// Parse the flags from `std::env::args` and install the fault plan
+    /// (if any) as the process-global plan. Must run before any flow
+    /// executes. Malformed specs abort with a message on stderr.
+    pub fn parse() -> Self {
+        let mut out = FaultArgs::default();
+        for arg in std::env::args() {
+            if let Some(spec) = arg.strip_prefix("--fail-policy=") {
+                out.policy = Some(FailurePolicy::parse(spec).unwrap_or_else(|e| die(&e)));
+            } else if let Some(spec) = arg.strip_prefix("--fault-plan=") {
+                let plan = Arc::new(FaultPlan::parse(spec).unwrap_or_else(|e| die(&e)));
+                psa_faults::install(Arc::clone(&plan));
+                out.plan = Some(plan);
+            } else if let Some(ms) = arg.strip_prefix("--task-deadline-ms=") {
+                out.task_deadline = Some(Duration::from_millis(parse_ms(ms)));
+            } else if let Some(ms) = arg.strip_prefix("--flow-deadline-ms=") {
+                out.flow_deadline = Some(Duration::from_millis(parse_ms(ms)));
+            }
+        }
+        out
+    }
+
+    /// Apply the parsed policy and deadlines to an engine. With no flags
+    /// this is the identity — the engine keeps its legacy configuration.
+    pub fn engine(&self, mut engine: FlowEngine) -> FlowEngine {
+        if let Some(policy) = self.policy {
+            engine = engine.with_policy(policy);
+        }
+        if let Some(d) = self.task_deadline {
+            engine = engine.with_task_deadline(d);
+        }
+        if let Some(d) = self.flow_deadline {
+            engine = engine.with_flow_deadline(d);
+        }
+        engine
+    }
+
+    /// Print the failure log of every outcome to **stderr** (stdout must
+    /// stay byte-identical when nothing failed — and nothing can fail
+    /// unless a fault plan is active). Returns the number of degraded
+    /// paths reported.
+    pub fn report_failures(&self, results: &[(crate::MeasuredRow, FlowOutcome)]) -> usize {
+        let mut n = 0;
+        for (row, outcome) in results {
+            for failure in &outcome.failures {
+                eprintln!("[{}] {}", row.key, failure.render());
+                n += 1;
+            }
+        }
+        if let Some(plan) = &self.plan {
+            eprintln!(
+                "fault plan (seed {}): {} rule(s), {} fault(s) injected, {} path(s) degraded",
+                plan.seed(),
+                plan.rules().len(),
+                plan.fired(),
+                n
+            );
+        }
+        n
+    }
+}
+
+fn parse_ms(s: &str) -> u64 {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("invalid deadline (milliseconds): `{s}`")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
+/// Unwrap a flow-runner result, exiting with a clean stderr message on
+/// failure (an injected fault under `failfast` is an expected outcome of a
+/// fault-injection session, not a harness panic).
+pub fn run_or_exit<T>(r: Result<T, String>) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("flow execution failed: {e}");
+        std::process::exit(3)
+    })
+}

@@ -1,12 +1,13 @@
 //! The shared state a design-flow threads through its tasks.
 
-use crate::report::{DesignArtifact, DesignParams, TargetKind};
+use crate::report::{DesignArtifact, DesignParams, PathFailure, TargetKind};
 use crate::trace::{DecisionEvidence, TraceEvent};
 use psa_analyses::hotspot::HotspotReport;
 use psa_analyses::KernelAnalysis;
 use psa_artisan::Ast;
 use psa_benchsuite_shim::ScaleFactors;
 use psa_evalcache::EvalCache;
+use psa_faults::FaultPlan;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -115,6 +116,15 @@ pub struct FlowContext {
     /// Cloned contexts (branch paths) share the same cache through the
     /// `Arc`, so sibling paths and re-runs reuse each other's evaluations.
     pub cache: Arc<EvalCache>,
+    /// Paths dropped so far under
+    /// [`crate::engine::FailurePolicy::DegradePaths`]; the engine merges
+    /// sub-path failures back in branch order, then path-index order.
+    pub failures: Vec<PathFailure>,
+    /// Context-local fault-injection plan consulted at the engine's probe
+    /// seams before the process-global ambient plan (`psa_faults::install`).
+    /// Branch-path clones share the plan (and its occurrence counters)
+    /// through the `Arc`. `None` (the default) costs one pointer check.
+    pub faults: Option<Arc<FaultPlan>>,
     /// Structured trace of what the flow did (mirrors the paper's narrative
     /// of which branch was taken and why). Read it through [`Self::trace`]
     /// or [`Self::trace_lines`]; the engine owns its tree structure.
@@ -149,9 +159,34 @@ impl FlowContext {
             reference_time_s: None,
             designs: Vec::new(),
             cache,
+            failures: Vec::new(),
+            faults: None,
             trace: Vec::new(),
             pending_decision: None,
         }
+    }
+
+    /// Attach a context-local fault-injection plan (builder style). Used by
+    /// tests and the fault-soak harness; the `--fault-plan=` CLI flag
+    /// installs a process-global plan instead.
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Probe a fault-injection seam: the context-local plan if one is
+    /// attached, else the process-global ambient plan. The site name is
+    /// only built when some plan is installed, so the disabled path costs
+    /// one pointer check plus one relaxed atomic load.
+    pub fn probe_fault(
+        &self,
+        seam: psa_faults::Seam,
+        site: impl FnOnce() -> String,
+    ) -> Option<psa_faults::FaultAction> {
+        if let Some(plan) = &self.faults {
+            return plan.probe(seam, &site());
+        }
+        psa_faults::probe(seam, site)
     }
 
     /// Append a free-form trace line (recorded as a [`TraceEvent::Note`]).

@@ -136,18 +136,25 @@ pub fn blocksize_dse(
     work: &KernelWork,
     pinned: bool,
     cache: &EvalCache,
-) -> BlocksizeDse {
+) -> Result<BlocksizeDse, FlowError> {
     let estimates: Vec<_> = crossbeam::thread::scope(|s| {
         let handles: Vec<_> = BLOCKSIZE_CANDIDATES
             .iter()
             .map(|&b| s.spawn(move |_| model.estimate_cached(work, b, pinned, cache)))
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("GPU estimate does not panic"))
-            .collect()
+        // Join every handle eagerly (a short-circuiting collect would drop
+        // unjoined handles, making the scope panic with a generic payload),
+        // then surface the first panic by candidate order.
+        let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        joined.into_iter().collect::<Result<Vec<_>, _>>()
     })
-    .expect("blocksize sweep scope");
+    .unwrap_or_else(Err)
+    .map_err(|p| {
+        FlowError::internal(format!(
+            "blocksize sweep worker panicked: {}",
+            crate::engine::panic_message(p)
+        ))
+    })?;
 
     let mut best: Option<BlocksizeDse> = None;
     let mut evaluated = 0;
@@ -171,14 +178,20 @@ pub fn blocksize_dse(
             best = Some(cand);
         }
     }
-    let mut out = best.expect("at least blocksize 32 always launches");
+    let mut out = best.ok_or_else(|| {
+        FlowError::analysis(format!(
+            "no blocksize in {BLOCKSIZE_CANDIDATES:?} can launch this kernel \
+             ({} regs/thread) on {}",
+            work.regs_per_thread, model.spec.name
+        ))
+    })?;
     out.evaluated = evaluated;
     psa_obs::counter_add(
         "psa_dse_evaluations_total",
         &[("dse", "blocksize")],
         u64::from(evaluated),
     );
-    out
+    Ok(out)
 }
 
 /// Result of the OpenMP thread-count DSE.
@@ -195,7 +208,7 @@ pub fn omp_threads_dse(
     work: &KernelWork,
     max_threads: u32,
     cache: &EvalCache,
-) -> ThreadsDse {
+) -> Result<ThreadsDse, FlowError> {
     let mut candidates: Vec<u32> = std::iter::successors(Some(1u32), |t| {
         let next = t * 2;
         (next <= max_threads).then_some(next)
@@ -213,12 +226,18 @@ pub fn omp_threads_dse(
             .iter()
             .map(|&t| s.spawn(move |_| model.time_openmp_cached(work, t, cache)))
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("CPU estimate does not panic"))
-            .collect()
+        // Join eagerly, as in `blocksize_dse`: dropped unjoined handles
+        // would replace a worker's panic payload with the scope's own.
+        let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        joined.into_iter().collect::<Result<Vec<_>, _>>()
     })
-    .expect("thread sweep scope");
+    .unwrap_or_else(Err)
+    .map_err(|p| {
+        FlowError::internal(format!(
+            "OMP thread sweep worker panicked: {}",
+            crate::engine::panic_message(p)
+        ))
+    })?;
 
     psa_obs::counter_add(
         "psa_dse_evaluations_total",
@@ -237,7 +256,7 @@ pub fn omp_threads_dse(
             };
         }
     }
-    best
+    Ok(best)
 }
 
 #[cfg(test)]
@@ -367,7 +386,7 @@ mod tests {
     fn blocksize_dse_picks_a_feasible_fast_config() {
         let model = GpuModel::new(rtx_2080_ti());
         let w = flat_work();
-        let dse = blocksize_dse(&model, &w, true, &EvalCache::new());
+        let dse = blocksize_dse(&model, &w, true, &EvalCache::new()).unwrap();
         assert!(BLOCKSIZE_CANDIDATES.contains(&dse.blocksize));
         assert!(dse.total_s.is_finite());
         // It must be at least as good as every candidate.
@@ -383,7 +402,7 @@ mod tests {
             regs_per_thread: 255,
             ..flat_work()
         };
-        let dse = blocksize_dse(&model, &w, true, &EvalCache::new());
+        let dse = blocksize_dse(&model, &w, true, &EvalCache::new()).unwrap();
         // 255 regs × 512 threads exceeds the register file.
         assert!(dse.blocksize <= 256, "{dse:?}");
         assert!(dse.total_s.is_finite());
@@ -397,8 +416,8 @@ mod tests {
             regs_per_thread: 128,
             ..flat_work()
         };
-        let a = blocksize_dse(&GpuModel::new(gtx_1080_ti()), &w, true, &EvalCache::new());
-        let b = blocksize_dse(&GpuModel::new(gtx_1080_ti()), &w, true, &EvalCache::new());
+        let a = blocksize_dse(&GpuModel::new(gtx_1080_ti()), &w, true, &EvalCache::new()).unwrap();
+        let b = blocksize_dse(&GpuModel::new(gtx_1080_ti()), &w, true, &EvalCache::new()).unwrap();
         assert_eq!(a, b, "deterministic");
     }
 
@@ -406,7 +425,7 @@ mod tests {
     fn omp_dse_selects_all_cores_for_parallel_compute() {
         let model = CpuModel::new(epyc_7543());
         let w = flat_work();
-        let dse = omp_threads_dse(&model, &w, 64, &EvalCache::new());
+        let dse = omp_threads_dse(&model, &w, 64, &EvalCache::new()).unwrap();
         assert_eq!(dse.threads, 32, "maximum useful threads = physical cores");
     }
 
@@ -417,7 +436,7 @@ mod tests {
             threads: 2.0,
             ..flat_work()
         };
-        let dse = omp_threads_dse(&model, &w, 64, &EvalCache::new());
+        let dse = omp_threads_dse(&model, &w, 64, &EvalCache::new()).unwrap();
         assert!(dse.threads <= 4, "{dse:?}");
     }
 }

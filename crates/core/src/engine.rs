@@ -18,11 +18,43 @@
 //! [`FlowEngine::sequential`] is the escape hatch that runs the same
 //! algorithm inline on one thread (used by the determinism tests and
 //! useful when debugging a flow).
+//!
+//! ## Fault tolerance
+//!
+//! Real design-flows wrap flaky external toolchains, so the engine is
+//! hardened against failing *and panicking* paths:
+//!
+//! * every task `run` (and every strategy `select`) executes under
+//!   `catch_unwind`; a panic becomes [`FlowError::Internal`] instead of
+//!   unwinding through the engine, so one crashing path can never discard
+//!   its siblings' completed traces;
+//! * a [`FailurePolicy`] decides what a failing `Many`-path does to the
+//!   sweep: [`FailurePolicy::FailFast`] (default) propagates the first
+//!   error by path index exactly as before, [`FailurePolicy::DegradePaths`]
+//!   drops the injured path with a [`TraceEvent::PathFailed`] record and a
+//!   [`PathFailure`] log entry while the survivors' designs still merge in
+//!   index order, and [`FailurePolicy::Retry`] re-runs failing *transient*
+//!   tasks with a deterministic virtual backoff (recorded in the trace,
+//!   never slept);
+//! * optional per-task and per-flow wall-clock deadlines convert overlong
+//!   runs into [`FlowError::Timeout`], enforced at the task-span seam so
+//!   the recorded trace stays well-formed;
+//! * named fault-injection seams (`psa-faults`) can force any of the above
+//!   deterministically — off by default, one relaxed atomic load when
+//!   disabled.
+//!
+//! With no faults injected and the default `FailFast` policy, the engine's
+//! observable behaviour — designs, rendered traces, errors — is
+//! byte-identical to the unhardened engine (CI-gated).
 
 use crate::context::FlowContext;
 use crate::flow::{BranchPoint, Flow, FlowError, Selection, Step};
+use crate::report::PathFailure;
+use crate::task::TaskInfo;
 use crate::trace::{DseTrace, PathTrace, SelectionTrace, TraceEvent};
-use std::time::Instant;
+use psa_faults::{FaultAction, Seam};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 /// How branch paths selected by `Selection::Many` are executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,10 +66,103 @@ pub enum ExecMode {
     Sequential,
 }
 
-/// Executes flows. `Default` is the parallel engine.
+/// Deterministic exponential backoff schedule for [`FailurePolicy::Retry`].
+/// The delays are *virtual*: recorded in the trace as `backoff_ms` but
+/// never slept, so retrying stays deterministic and free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// Backoff before the first retry, milliseconds.
+    pub base_ms: u64,
+    /// Multiplier applied per further retry.
+    pub factor: u64,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff {
+            base_ms: 10,
+            factor: 2,
+        }
+    }
+}
+
+impl Backoff {
+    /// The virtual delay before 1-based retry `attempt`:
+    /// `base_ms · factor^(attempt-1)`, saturating.
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        self.base_ms
+            .saturating_mul(self.factor.saturating_pow(attempt.saturating_sub(1)))
+    }
+}
+
+/// What the engine does when a task or `Many`-branch path fails.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum FailurePolicy {
+    /// Propagate the first failure (by path index); the legacy behaviour
+    /// and the default.
+    #[default]
+    FailFast,
+    /// Drop a failing `Many`-path — recording [`TraceEvent::PathFailed`]
+    /// and a [`PathFailure`] log entry — and keep the surviving paths'
+    /// designs, which merge in index order byte-identically to a fault-free
+    /// run. Failures outside a `Many` branch still propagate.
+    DegradePaths,
+    /// Re-run a failing task marked [`TaskInfo::transient`] up to
+    /// `attempts` times in total, recording each retry with its virtual
+    /// backoff; a task still failing after the last attempt propagates as
+    /// under `FailFast`.
+    Retry { attempts: u32, backoff: Backoff },
+}
+
+impl FailurePolicy {
+    /// Parse a `--fail-policy=` CLI value: `failfast`, `degrade`, or
+    /// `retry[:attempts[:base_ms[:factor]]]` (defaults `retry:3:10:2`).
+    pub fn parse(s: &str) -> Result<FailurePolicy, String> {
+        let mut parts = s.split(':');
+        let head = parts.next().unwrap_or_default();
+        match head {
+            "failfast" => Ok(FailurePolicy::FailFast),
+            "degrade" => Ok(FailurePolicy::DegradePaths),
+            "retry" => {
+                let mut num = |default: u64| -> Result<u64, String> {
+                    match parts.next() {
+                        None => Ok(default),
+                        Some(p) => p.parse().map_err(|_| format!("bad retry field `{p}`")),
+                    }
+                };
+                let attempts = num(3)? as u32;
+                let base_ms = num(10)?;
+                let factor = num(2)?;
+                if attempts == 0 {
+                    return Err("retry needs at least 1 attempt".to_string());
+                }
+                Ok(FailurePolicy::Retry {
+                    attempts,
+                    backoff: Backoff { base_ms, factor },
+                })
+            }
+            other => Err(format!(
+                "unknown failure policy `{other}` (expected failfast|degrade|retry[:n[:ms[:f]]])"
+            )),
+        }
+    }
+}
+
+/// Deadline state threaded through one `execute` call tree (the flow
+/// deadline is anchored once, when the run starts).
+#[derive(Debug, Clone, Copy)]
+struct RunState {
+    flow_deadline_at: Option<Instant>,
+}
+
+/// Executes flows. `Default` is the parallel engine with `FailFast` and no
+/// deadlines.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FlowEngine {
     mode: ExecMode,
+    policy: FailurePolicy,
+    task_deadline: Option<Duration>,
+    flow_deadline: Option<Duration>,
 }
 
 impl FlowEngine {
@@ -45,6 +170,7 @@ impl FlowEngine {
     pub fn parallel() -> Self {
         FlowEngine {
             mode: ExecMode::Parallel,
+            ..FlowEngine::default()
         }
     }
 
@@ -52,6 +178,7 @@ impl FlowEngine {
     pub fn sequential() -> Self {
         FlowEngine {
             mode: ExecMode::Sequential,
+            ..FlowEngine::default()
         }
     }
 
@@ -60,13 +187,51 @@ impl FlowEngine {
         self.mode
     }
 
+    /// This engine's failure policy.
+    pub fn policy(&self) -> FailurePolicy {
+        self.policy
+    }
+
+    /// Set the failure policy (builder style).
+    pub fn with_policy(mut self, policy: FailurePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Set a wall-clock deadline for each individual task. A task whose
+    /// `run` outlives it fails with [`FlowError::Timeout`] (checked when
+    /// the task returns — tasks have no cancellation points).
+    pub fn with_task_deadline(mut self, deadline: Duration) -> Self {
+        self.task_deadline = Some(deadline);
+        self
+    }
+
+    /// Set a wall-clock deadline for each whole `execute` call. Checked
+    /// between steps: no task starts once the deadline has passed.
+    pub fn with_flow_deadline(mut self, deadline: Duration) -> Self {
+        self.flow_deadline = Some(deadline);
+        self
+    }
+
     /// Run `flow` to completion against `ctx`.
     pub fn execute(&self, flow: &Flow, ctx: &mut FlowContext) -> Result<(), FlowError> {
+        let state = RunState {
+            flow_deadline_at: self.flow_deadline.map(|d| Instant::now() + d),
+        };
+        self.execute_inner(flow, ctx, state)
+    }
+
+    fn execute_inner(
+        &self,
+        flow: &Flow,
+        ctx: &mut FlowContext,
+        state: RunState,
+    ) -> Result<(), FlowError> {
         for step in &flow.steps {
             match step {
-                Step::Task(task) => self.run_task(flow, task.as_ref(), ctx)?,
+                Step::Task(task) => self.run_task(flow, task.as_ref(), ctx, state)?,
                 Step::Branch(bp) => {
-                    if !self.run_branch(flow, bp, ctx)? {
+                    if !self.run_branch(flow, bp, ctx, state)? {
                         // The strategy selected no path: this flow level
                         // terminates without running its remaining steps.
                         return Ok(());
@@ -78,19 +243,72 @@ impl FlowEngine {
     }
 
     /// Run one task, wrapping everything it records into a
-    /// [`TraceEvent::Task`] span (also on error, so the trace stays
-    /// well-formed).
+    /// [`TraceEvent::Task`] span (also on error or panic, so the trace
+    /// stays well-formed). Retries transient tasks under
+    /// [`FailurePolicy::Retry`] and enforces both deadlines.
     fn run_task(
         &self,
         flow: &Flow,
         task: &dyn crate::task::Task,
         ctx: &mut FlowContext,
+        state: RunState,
     ) -> Result<(), FlowError> {
         let info = task.info();
+        // Flow deadline: checked between steps, before the span opens — a
+        // task never starts once the whole-flow budget is spent.
+        if let Some(at) = state.flow_deadline_at {
+            if Instant::now() >= at {
+                psa_obs::counter_add("psa_flow_timeouts_total", &[("scope", "flow")], 1);
+                return Err(FlowError::timeout(format!(
+                    "flow `{}` deadline elapsed before task `{}`",
+                    flow.name, info.name
+                )));
+            }
+        }
         let start = ctx.trace.len();
         let t0 = Instant::now();
-        let result = task.run(ctx);
+        let max_attempts = match (self.policy, info.transient) {
+            (FailurePolicy::Retry { attempts, .. }, true) => attempts.max(1),
+            _ => 1,
+        };
+        let mut result = attempt_task(flow, task, &info, ctx);
+        let mut attempt = 1u32;
+        while attempt < max_attempts {
+            let err = match &result {
+                Err(e) if e.is_transient() => e.clone(),
+                _ => break,
+            };
+            let backoff_ms = match self.policy {
+                FailurePolicy::Retry { backoff, .. } => backoff.delay_ms(attempt),
+                _ => 0,
+            };
+            ctx.trace.push(TraceEvent::TaskRetry {
+                flow: flow.name.clone(),
+                task: info.name.to_string(),
+                attempt,
+                backoff_ms,
+                error: err.message(),
+            });
+            psa_obs::counter_add("psa_flow_task_retries_total", &[("task", info.name)], 1);
+            attempt += 1;
+            result = attempt_task(flow, task, &info, ctx);
+        }
         let wall_ns = t0.elapsed().as_nanos() as u64;
+        // Task deadline: the span's wall-clock converts an overlong run
+        // into a typed timeout once the task hands control back.
+        if result.is_ok() {
+            if let Some(limit) = self.task_deadline {
+                if t0.elapsed() > limit {
+                    psa_obs::counter_add("psa_flow_timeouts_total", &[("scope", "task")], 1);
+                    result = Err(FlowError::timeout(format!(
+                        "task `{}` ran {}ms, over its {}ms deadline",
+                        info.name,
+                        t0.elapsed().as_millis(),
+                        limit.as_millis()
+                    )));
+                }
+            }
+        }
         psa_obs::counter_add(
             "psa_flow_tasks_total",
             &[("task", info.name), ("class", info.class.code())],
@@ -118,9 +336,32 @@ impl FlowEngine {
         flow: &Flow,
         bp: &BranchPoint,
         ctx: &mut FlowContext,
+        state: RunState,
     ) -> Result<bool, FlowError> {
         let start = ctx.trace.len();
-        let selected = bp.strategy.select(bp, ctx);
+        // The select seam: fault-injectable and panic-isolated like a task
+        // run — a panicking strategy surfaces as a typed internal error.
+        let selected = catch_unwind(AssertUnwindSafe(|| {
+            match ctx.probe_fault(Seam::Select, || format!("{}/{}", flow.name, bp.name)) {
+                None => {}
+                Some(FaultAction::Delay { ms }) => {
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                Some(FaultAction::Error { kind, message }) => {
+                    return Err(FlowError::injected(&kind, message));
+                }
+                Some(FaultAction::Panic { message }) => panic!("injected fault: {message}"),
+            }
+            bp.strategy.select(bp, ctx)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(FlowError::internal(format!(
+                "strategy `{}` panicked at branch `{}`: {}",
+                bp.strategy.name(),
+                bp.name,
+                panic_message(payload)
+            )))
+        });
         let evidence = ctx.trace.split_off(start);
         let decision = ctx.pending_decision.take();
         let selected = match selected {
@@ -176,7 +417,7 @@ impl FlowEngine {
                 let (label, subflow) = &bp.paths[index];
                 // A single path continues on the live context: its state
                 // (AST edits, tuned parameters) persists past the branch.
-                let result = self.execute(subflow, ctx);
+                let result = self.execute_inner(subflow, ctx, state);
                 let events = ctx.trace.split_off(start);
                 let path = PathTrace {
                     index,
@@ -195,11 +436,11 @@ impl FlowEngine {
             }
             Selection::Many(_) => {
                 let labels: Vec<String> = indices.iter().map(|&i| bp.paths[i].0.clone()).collect();
-                let outcome = self.run_many(bp, ctx, &indices);
-                let (paths, first_err) = match outcome {
-                    Ok(v) => v,
-                    Err(payload) => std::panic::resume_unwind(payload),
-                };
+                // run_many never unwinds: path panics are converted to
+                // typed errors, so completed sibling traces always attach
+                // to the branch event below — even when the error then
+                // propagates under `FailFast`.
+                let (paths, first_err) = self.run_many(flow, bp, ctx, &indices, state);
                 push_branch(ctx, SelectionTrace::Many { indices, labels }, paths);
                 match first_err {
                     Some(e) => Err(e),
@@ -211,41 +452,93 @@ impl FlowEngine {
 
     /// Execute the selected paths of a `Many` branch, each on a clone of
     /// `ctx`, and merge design suffixes back into `ctx` in index order.
-    /// Returns the per-path traces plus the first (by index) path error;
-    /// `Err` carries the first (by index) panic payload.
-    #[allow(clippy::type_complexity)]
+    /// Returns the per-path traces plus the first (by index) propagating
+    /// path error. Never unwinds: path panics arrive here already converted
+    /// to [`FlowError::Internal`], so sibling traces are always preserved.
     fn run_many(
         &self,
+        flow: &Flow,
         bp: &BranchPoint,
         ctx: &mut FlowContext,
         indices: &[usize],
-    ) -> Result<(Vec<PathTrace>, Option<FlowError>), Box<dyn std::any::Any + Send>> {
+        state: RunState,
+    ) -> (Vec<PathTrace>, Option<FlowError>) {
         let mut paths = Vec::with_capacity(indices.len());
-        let mut first_err = None;
+        let mut first_err: Option<FlowError> = None;
+
+        // One merge step: fold a finished path's context back into the
+        // parent according to the failure policy. `merge_designs` is false
+        // once fail-fast has latched an earlier error (legacy semantics:
+        // paths after the first failure keep their traces, not designs).
+        let mut merge = |ctx: &mut FlowContext,
+                         first_err: &mut Option<FlowError>,
+                         index: usize,
+                         res: Result<(), FlowError>,
+                         mut pctx: FlowContext,
+                         base_designs: usize| {
+            let label = &bp.paths[index].0;
+            let suffix = pctx.designs.split_off(base_designs);
+            let mut events = std::mem::take(&mut pctx.trace);
+            // Failures degraded inside the path (nested branches) bubble
+            // up into the parent's failure log, before the path's own.
+            ctx.failures.append(&mut pctx.failures);
+            match res {
+                Ok(()) => {
+                    if first_err.is_none() {
+                        ctx.designs.extend(suffix);
+                    }
+                }
+                Err(e) => match self.policy {
+                    FailurePolicy::DegradePaths => {
+                        psa_obs::counter_add(
+                            "psa_flow_path_failures_total",
+                            &[("branch", &bp.name)],
+                            1,
+                        );
+                        events.push(TraceEvent::PathFailed {
+                            flow: flow.name.clone(),
+                            branch: bp.name.clone(),
+                            index,
+                            label: label.clone(),
+                            error: e.clone(),
+                        });
+                        ctx.failures.push(PathFailure {
+                            flow: flow.name.clone(),
+                            branch: bp.name.clone(),
+                            index,
+                            label: label.clone(),
+                            error: e,
+                        });
+                    }
+                    _ => {
+                        if first_err.is_none() {
+                            *first_err = Some(e);
+                        }
+                    }
+                },
+            }
+            paths.push(PathTrace {
+                index,
+                label: label.clone(),
+                events,
+            });
+        };
 
         match self.mode {
             ExecMode::Sequential => {
                 for &index in indices {
-                    let (label, subflow) = &bp.paths[index];
+                    let subflow = &bp.paths[index].1;
                     // The clone carries designs merged from earlier
                     // siblings; only what THIS path appends is its suffix.
                     let base_designs = ctx.designs.len();
                     let mut pctx = path_context(ctx);
-                    let res = self.execute(subflow, &mut pctx);
-                    let suffix = pctx.designs.split_off(base_designs);
-                    paths.push(PathTrace {
-                        index,
-                        label: label.clone(),
-                        events: pctx.trace,
-                    });
-                    match res {
-                        Ok(()) => ctx.designs.extend(suffix),
-                        Err(e) => {
-                            // As in the legacy engine: stop at the first
-                            // failing path; earlier paths' designs stay.
-                            first_err = Some(e);
-                            break;
-                        }
+                    let res = self.run_path(subflow, &mut pctx, state, &bp.paths[index].0);
+                    let failed = res.is_err();
+                    merge(ctx, &mut first_err, index, res, pctx, base_designs);
+                    if failed && self.policy != FailurePolicy::DegradePaths {
+                        // As in the legacy engine: stop at the first
+                        // failing path; earlier paths' designs stay.
+                        break;
                     }
                 }
             }
@@ -258,45 +551,120 @@ impl FlowEngine {
                     let handles: Vec<_> = indices
                         .iter()
                         .map(|&index| {
-                            let subflow = &bp.paths[index].1;
+                            let (label, subflow) = &bp.paths[index];
                             let mut pctx = path_context(ctx);
                             s.spawn(move |_| {
-                                let res = engine.execute(subflow, &mut pctx);
+                                let res = engine.run_path(subflow, &mut pctx, state, label);
                                 (res, pctx)
                             })
                         })
-                        .collect();
-                    // Join in spawn (= index) order; each Err carries that
-                    // path's panic payload.
-                    handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
-                })?;
-                for (&index, join_result) in indices.iter().zip(joined) {
-                    let (res, mut pctx) = join_result?;
-                    let suffix = pctx.designs.split_off(base_designs);
-                    paths.push(PathTrace {
-                        index,
-                        label: bp.paths[index].0.clone(),
-                        events: pctx.trace,
-                    });
-                    if first_err.is_none() {
-                        match res {
-                            Ok(()) => ctx.designs.extend(suffix),
-                            Err(e) => first_err = Some(e),
-                        }
-                    }
+                        .collect::<Vec<_>>();
+                    // Join in spawn (= index) order. `run_path` converts
+                    // panics, so a join error means the engine itself
+                    // unwound; synthesise an empty-path failure rather
+                    // than re-raising and losing the siblings.
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            h.join().unwrap_or_else(|payload| {
+                                (
+                                    Err(FlowError::internal(format!(
+                                        "branch path worker panicked: {}",
+                                        panic_message(payload)
+                                    ))),
+                                    path_context(ctx),
+                                )
+                            })
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .unwrap_or_default();
+                if joined.len() != indices.len() {
+                    // Only reachable if the scope closure itself panicked.
+                    first_err = Some(FlowError::internal(
+                        "branch execution scope failed to produce per-path results",
+                    ));
+                }
+                for (&index, (res, pctx)) in indices.iter().zip(joined) {
+                    merge(ctx, &mut first_err, index, res, pctx, base_designs);
                 }
             }
         }
-        Ok((paths, first_err))
+        (paths, first_err)
+    }
+
+    /// Run one branch path's sub-flow with a panic backstop: any unwind
+    /// that escapes the task/select seams (i.e. a bug in the engine or a
+    /// non-send panic site) still becomes a typed error for this path
+    /// instead of tearing down the sweep.
+    fn run_path(
+        &self,
+        subflow: &Flow,
+        pctx: &mut FlowContext,
+        state: RunState,
+        label: &str,
+    ) -> Result<(), FlowError> {
+        match catch_unwind(AssertUnwindSafe(|| {
+            self.execute_inner(subflow, pctx, state)
+        })) {
+            Ok(r) => r,
+            Err(payload) => Err(FlowError::internal(format!(
+                "path `{label}` panicked: {}",
+                panic_message(payload)
+            ))),
+        }
+    }
+}
+
+/// One attempt at a task's `run`: the fault-probe for the task seam plus a
+/// `catch_unwind` converting panics (injected or genuine) into
+/// [`FlowError::Internal`].
+fn attempt_task(
+    flow: &Flow,
+    task: &dyn crate::task::Task,
+    info: &TaskInfo,
+    ctx: &mut FlowContext,
+) -> Result<(), FlowError> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        match ctx.probe_fault(Seam::Task, || format!("{}/{}", flow.name, info.name)) {
+            None => {}
+            Some(FaultAction::Delay { ms }) => std::thread::sleep(Duration::from_millis(ms)),
+            Some(FaultAction::Error { kind, message }) => {
+                return Err(FlowError::injected(&kind, message));
+            }
+            Some(FaultAction::Panic { message }) => panic!("injected fault: {message}"),
+        }
+        task.run(ctx)
+    }));
+    outcome.unwrap_or_else(|payload| {
+        Err(FlowError::internal(format!(
+            "task `{}` panicked: {}",
+            info.name,
+            panic_message(payload)
+        )))
+    })
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
 /// Clone of the context a branch path starts from: full state, empty trace
-/// (the path's events are collected separately and re-attached in order).
+/// and failure log (the path's events and failures are collected separately
+/// and re-attached / re-merged in order — inheriting the parent's would
+/// duplicate them at the merge).
 fn path_context(ctx: &FlowContext) -> FlowContext {
     let mut c = ctx.clone();
     c.trace = Vec::new();
     c.pending_decision = None;
+    c.failures = Vec::new();
     c
 }
 
@@ -462,6 +830,405 @@ mod tests {
         assert_eq!(err, FlowError::transform("induced failure"));
         // The successful path before the failure still merged its design.
         assert_eq!(c.designs.len(), 1);
+    }
+
+    struct Panicking;
+    impl Task for Panicking {
+        fn info(&self) -> TaskInfo {
+            TaskInfo::new("panicking", TaskClass::Transform, false)
+        }
+        fn run(&self, _ctx: &mut FlowContext) -> Result<(), FlowError> {
+            panic!("boom")
+        }
+    }
+
+    /// Fails (transiently) as long as its shared fuse is non-zero.
+    struct Flaky(std::sync::Arc<std::sync::atomic::AtomicU32>);
+    impl Task for Flaky {
+        fn info(&self) -> TaskInfo {
+            TaskInfo::new("flaky", TaskClass::Transform, false).transient()
+        }
+        fn run(&self, ctx: &mut FlowContext) -> Result<(), FlowError> {
+            use std::sync::atomic::Ordering;
+            if self.0.load(Ordering::SeqCst) > 0 {
+                self.0.fetch_sub(1, Ordering::SeqCst);
+                return Err(FlowError::transform("transient glitch"));
+            }
+            ctx.log("flaky succeeded");
+            Ok(())
+        }
+    }
+
+    struct PickOne(usize);
+    impl PsaStrategy for PickOne {
+        fn name(&self) -> &str {
+            "pick-one"
+        }
+        fn select(
+            &self,
+            _bp: &BranchPoint,
+            _ctx: &mut FlowContext,
+        ) -> Result<Selection, FlowError> {
+            Ok(Selection::One(self.0))
+        }
+    }
+
+    struct PickNone;
+    impl PsaStrategy for PickNone {
+        fn name(&self) -> &str {
+            "pick-none"
+        }
+        fn select(
+            &self,
+            _bp: &BranchPoint,
+            _ctx: &mut FlowContext,
+        ) -> Result<Selection, FlowError> {
+            Ok(Selection::None)
+        }
+    }
+
+    /// A Many branch with an ok / panicking / ok path layout.
+    fn panicking_fan_out() -> Flow {
+        Flow::new("outer").branch(
+            "B",
+            All,
+            vec![
+                ("left".into(), Flow::new("left").task(Emit("left", 10))),
+                ("bad".into(), Flow::new("bad").task(Panicking)),
+                ("right".into(), Flow::new("right").task(Emit("right", 0))),
+            ],
+        )
+    }
+
+    fn branch_paths(c: &FlowContext) -> &[PathTrace] {
+        match &c.trace()[0] {
+            TraceEvent::Branch { paths, .. } => paths,
+            other => panic!("expected a branch event, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panicking_path_fails_fast_with_sibling_traces_intact() {
+        let flow = panicking_fan_out();
+        let mut c = ctx();
+        let err = FlowEngine::parallel().execute(&flow, &mut c).unwrap_err();
+        match &err {
+            FlowError::Internal { message } => {
+                assert!(message.contains("panicked"), "{message}");
+                assert!(message.contains("boom"), "{message}");
+            }
+            other => panic!("expected an internal error, got {other:?}"),
+        }
+        // The branch event still recorded, with every sibling's trace.
+        let paths = branch_paths(&c);
+        assert_eq!(paths.len(), 3);
+        assert!(paths[0].events.iter().any(|e| matches!(
+            e,
+            TraceEvent::Task { name, .. } if name == "left"
+        )));
+    }
+
+    #[test]
+    fn degrade_drops_panicking_path_and_keeps_survivors_in_order() {
+        let flow = panicking_fan_out();
+        for engine in [FlowEngine::parallel(), FlowEngine::sequential()] {
+            let mut c = ctx();
+            engine
+                .with_policy(FailurePolicy::DegradePaths)
+                .execute(&flow, &mut c)
+                .unwrap();
+            let sources: Vec<&str> = c.designs.iter().map(|d| d.source.as_str()).collect();
+            assert_eq!(sources, ["// left", "// right"], "survivors in index order");
+            assert_eq!(c.failures.len(), 1);
+            let f = &c.failures[0];
+            assert_eq!(
+                (f.branch.as_str(), f.index, f.label.as_str()),
+                ("B", 1, "bad")
+            );
+            assert!(matches!(&f.error, FlowError::Internal { .. }));
+            // The injured path's trace ends with the PathFailed record.
+            let paths = branch_paths(&c);
+            assert!(matches!(
+                paths[1].events.last(),
+                Some(TraceEvent::PathFailed { index: 1, .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn degrade_is_bytewise_identical_across_engines() {
+        let flow = panicking_fan_out();
+        let run = |engine: FlowEngine| {
+            let mut c = ctx();
+            engine
+                .with_policy(FailurePolicy::DegradePaths)
+                .execute(&flow, &mut c)
+                .unwrap();
+            c
+        };
+        let par = run(FlowEngine::parallel());
+        let seq = run(FlowEngine::sequential());
+        assert_eq!(par.trace_lines(), seq.trace_lines());
+        assert_eq!(
+            par.failures
+                .iter()
+                .map(PathFailure::render)
+                .collect::<Vec<_>>(),
+            seq.failures
+                .iter()
+                .map(PathFailure::render)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn retry_reruns_transient_task_with_virtual_backoff() {
+        let fuse = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(2));
+        let flow = Flow::new("f").task(Flaky(std::sync::Arc::clone(&fuse)));
+        let mut c = ctx();
+        FlowEngine::sequential()
+            .with_policy(FailurePolicy::parse("retry:3").unwrap())
+            .execute(&flow, &mut c)
+            .unwrap();
+        let TraceEvent::Task { events, .. } = &c.trace()[0] else {
+            panic!("expected a task span");
+        };
+        let backoffs: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::TaskRetry {
+                    attempt,
+                    backoff_ms,
+                    ..
+                } => {
+                    assert!(*attempt >= 1);
+                    Some(*backoff_ms)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(backoffs, [10, 20], "exponential virtual backoff recorded");
+    }
+
+    #[test]
+    fn retry_exhaustion_propagates_the_last_error() {
+        let fuse = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(10));
+        let flow = Flow::new("f").task(Flaky(std::sync::Arc::clone(&fuse)));
+        let mut c = ctx();
+        let err = FlowEngine::sequential()
+            .with_policy(FailurePolicy::parse("retry:3").unwrap())
+            .execute(&flow, &mut c)
+            .unwrap_err();
+        assert_eq!(err, FlowError::transform("transient glitch"));
+        // 3 attempts total: the fuse burned exactly thrice.
+        assert_eq!(fuse.load(std::sync::atomic::Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn retry_skips_tasks_not_marked_transient() {
+        let flow = Flow::new("f").task(Failing);
+        let mut c = ctx();
+        let err = FlowEngine::sequential()
+            .with_policy(FailurePolicy::parse("retry:5").unwrap())
+            .execute(&flow, &mut c)
+            .unwrap_err();
+        assert_eq!(err, FlowError::transform("induced failure"));
+        let TraceEvent::Task { events, .. } = &c.trace()[0] else {
+            panic!("expected a task span");
+        };
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::TaskRetry { .. })),
+            "non-transient tasks never retry"
+        );
+    }
+
+    #[test]
+    fn task_deadline_converts_overlong_runs_into_timeouts() {
+        let flow = Flow::new("f").task(Emit("slow", 25));
+        let mut c = ctx();
+        let err = FlowEngine::sequential()
+            .with_task_deadline(Duration::from_millis(1))
+            .execute(&flow, &mut c)
+            .unwrap_err();
+        assert!(
+            matches!(&err, FlowError::Timeout { what } if what.contains("task `slow`")),
+            "{err:?}"
+        );
+        // The span is still recorded (the task did run to completion).
+        assert!(matches!(&c.trace()[0], TraceEvent::Task { .. }));
+    }
+
+    #[test]
+    fn flow_deadline_stops_before_the_next_task() {
+        let flow = Flow::new("f")
+            .task(Emit("first", 25))
+            .task(Emit("second", 0));
+        let mut c = ctx();
+        let err = FlowEngine::sequential()
+            .with_flow_deadline(Duration::from_millis(5))
+            .execute(&flow, &mut c)
+            .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                FlowError::Timeout { what }
+                    if what.contains("flow `f`") && what.contains("task `second`")
+            ),
+            "{err:?}"
+        );
+        // The first task ran; the second never started.
+        assert_eq!(c.designs.len(), 1);
+    }
+
+    #[test]
+    fn out_of_range_selection_is_a_typed_error_in_parallel() {
+        let flow = Flow::new("f").branch("B", PickOne(99), vec![("only".into(), Flow::new("p"))]);
+        let mut c = ctx();
+        let err = FlowEngine::parallel().execute(&flow, &mut c).unwrap_err();
+        assert_eq!(err, FlowError::selection("B", 99));
+    }
+
+    #[test]
+    fn selection_none_terminates_the_flow_level_in_parallel() {
+        let flow = Flow::new("f")
+            .branch("B", PickNone, vec![("only".into(), Flow::new("p"))])
+            .task(Emit("after", 0));
+        let mut c = ctx();
+        FlowEngine::parallel().execute(&flow, &mut c).unwrap();
+        assert!(
+            c.designs.is_empty(),
+            "steps after a None selection never run"
+        );
+        assert!(matches!(
+            &c.trace()[0],
+            TraceEvent::Branch {
+                selection: SelectionTrace::None,
+                ..
+            }
+        ));
+    }
+
+    /// Outer Many branch whose middle path holds a nested Many branch with
+    /// one failing inner path.
+    fn nested_failing_fan_out() -> Flow {
+        Flow::new("outer").branch(
+            "B",
+            All,
+            vec![
+                ("left".into(), Flow::new("left").task(Emit("left", 0))),
+                (
+                    "nested".into(),
+                    Flow::new("nested").branch(
+                        "C",
+                        All,
+                        vec![
+                            ("inner-bad".into(), Flow::new("ib").task(Failing)),
+                            ("inner-good".into(), Flow::new("ig").task(Emit("inner", 0))),
+                        ],
+                    ),
+                ),
+                ("right".into(), Flow::new("right").task(Emit("right", 0))),
+            ],
+        )
+    }
+
+    #[test]
+    fn nested_many_inner_failure_under_each_policy() {
+        let flow = nested_failing_fan_out();
+        for mode in [FlowEngine::parallel(), FlowEngine::sequential()] {
+            // FailFast and Retry (inner task is not transient): the inner
+            // error propagates through both branch levels.
+            for policy in [
+                FailurePolicy::FailFast,
+                FailurePolicy::parse("retry:3").unwrap(),
+            ] {
+                let mut c = ctx();
+                let err = mode.with_policy(policy).execute(&flow, &mut c).unwrap_err();
+                assert_eq!(err, FlowError::transform("induced failure"));
+            }
+            // DegradePaths: only the inner-bad path is dropped; its failure
+            // bubbles into the outer context's log.
+            let mut c = ctx();
+            mode.with_policy(FailurePolicy::DegradePaths)
+                .execute(&flow, &mut c)
+                .unwrap();
+            let sources: Vec<&str> = c.designs.iter().map(|d| d.source.as_str()).collect();
+            assert_eq!(sources, ["// left", "// inner", "// right"]);
+            assert_eq!(c.failures.len(), 1);
+            assert_eq!(c.failures[0].branch, "C");
+            assert_eq!(c.failures[0].label, "inner-bad");
+        }
+    }
+
+    #[test]
+    fn failure_policy_parse_forms() {
+        assert_eq!(
+            FailurePolicy::parse("failfast"),
+            Ok(FailurePolicy::FailFast)
+        );
+        assert_eq!(
+            FailurePolicy::parse("degrade"),
+            Ok(FailurePolicy::DegradePaths)
+        );
+        assert_eq!(
+            FailurePolicy::parse("retry"),
+            Ok(FailurePolicy::Retry {
+                attempts: 3,
+                backoff: Backoff {
+                    base_ms: 10,
+                    factor: 2
+                }
+            })
+        );
+        assert_eq!(
+            FailurePolicy::parse("retry:5:100:3"),
+            Ok(FailurePolicy::Retry {
+                attempts: 5,
+                backoff: Backoff {
+                    base_ms: 100,
+                    factor: 3
+                }
+            })
+        );
+        assert!(FailurePolicy::parse("retry:0").is_err());
+        assert!(FailurePolicy::parse("retry:x").is_err());
+        assert!(FailurePolicy::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn injected_task_fault_is_deterministic_and_policy_scoped() {
+        use psa_faults::{FaultPlan, Seam};
+        let plan = std::sync::Arc::new(FaultPlan::new(42).fail(
+            Seam::Task,
+            "left/left",
+            "transform",
+            "injected left failure",
+        ));
+        let flow = Flow::new("outer")
+            .branch(
+                "B",
+                All,
+                vec![
+                    ("left".into(), Flow::new("left").task(Emit("left", 0))),
+                    ("right".into(), Flow::new("right").task(Emit("right", 0))),
+                ],
+            )
+            .task(Emit("after", 0));
+        let mut c = ctx().with_faults(std::sync::Arc::clone(&plan));
+        let err = FlowEngine::parallel().execute(&flow, &mut c).unwrap_err();
+        assert_eq!(err, FlowError::transform("injected left failure"));
+        assert_eq!(plan.fired(), 1);
+        // Degrade: same plan, same site — the sweep survives.
+        let mut c = ctx().with_faults(std::sync::Arc::clone(&plan));
+        FlowEngine::parallel()
+            .with_policy(FailurePolicy::DegradePaths)
+            .execute(&flow, &mut c)
+            .unwrap();
+        let sources: Vec<&str> = c.designs.iter().map(|d| d.source.as_str()).collect();
+        assert_eq!(sources, ["// right", "// after"]);
+        assert_eq!(plan.fired(), 2);
     }
 
     #[test]

@@ -36,6 +36,12 @@ pub enum FlowError {
     Selection { branch: String, index: usize },
     /// Cost/budget evaluation failed.
     Budget { message: String },
+    /// A task or path panicked (or another engine-internal invariant
+    /// broke); the panic was caught at the task-span seam and converted so
+    /// one crashing path cannot abort a whole sweep.
+    Internal { message: String },
+    /// A task or flow wall-clock deadline elapsed.
+    Timeout { what: String },
 }
 
 impl FlowError {
@@ -82,6 +88,46 @@ impl FlowError {
         }
     }
 
+    /// A caught panic or broken engine invariant.
+    pub fn internal(message: impl Into<String>) -> Self {
+        FlowError::Internal {
+            message: message.into(),
+        }
+    }
+
+    /// An elapsed task or flow deadline. `what` names the deadline that
+    /// fired, e.g. ``task `Blocksize DSE` exceeded 10ms``.
+    pub fn timeout(what: impl Into<String>) -> Self {
+        FlowError::Timeout { what: what.into() }
+    }
+
+    /// Build the error a fault-injection rule asked for: `kind` is one of
+    /// the constructor names (`precondition`, `transform`, `analysis`,
+    /// `codegen`, `budget`, `timeout`, `internal`); anything else maps to
+    /// `Internal` so injected faults are always representable.
+    pub fn injected(kind: &str, message: impl Into<String>) -> Self {
+        let message = message.into();
+        match kind {
+            "precondition" => FlowError::precondition(message),
+            "transform" => FlowError::transform(message),
+            "analysis" => FlowError::analysis(message),
+            "codegen" => FlowError::codegen(message),
+            "budget" => FlowError::budget(message),
+            "timeout" => FlowError::timeout(message),
+            _ => FlowError::internal(message),
+        }
+    }
+
+    /// Whether a retry could plausibly clear this error: panics and
+    /// timeouts model flaky external toolchains; selection and
+    /// precondition errors are deterministic logic bugs.
+    pub fn is_transient(&self) -> bool {
+        !matches!(
+            self,
+            FlowError::Selection { .. } | FlowError::Precondition { .. }
+        )
+    }
+
     /// The human-readable message (without the `flow error: ` prefix).
     pub fn message(&self) -> String {
         match self {
@@ -89,10 +135,12 @@ impl FlowError {
             | FlowError::Transform { message }
             | FlowError::Analysis { message }
             | FlowError::Codegen { message }
-            | FlowError::Budget { message } => message.clone(),
+            | FlowError::Budget { message }
+            | FlowError::Internal { message } => message.clone(),
             FlowError::Selection { branch, index } => {
                 format!("selection out of range: branch `{branch}` has no path {index}")
             }
+            FlowError::Timeout { what } => format!("deadline exceeded: {what}"),
         }
     }
 }

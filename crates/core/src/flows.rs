@@ -233,9 +233,29 @@ pub fn full_psa_flow_cached_on(
     params: PsaParams,
     cache: Arc<EvalCache>,
 ) -> Result<FlowOutcome, FlowError> {
+    full_psa_flow_faulted_on(engine, source, app_name, mode, params, cache, None)
+}
+
+/// [`full_psa_flow_cached_on`] with an optional **context-local** fault
+/// plan: the plan travels with the [`FlowContext`] (and its per-path
+/// clones), so concurrent flows carrying different plans never interfere —
+/// unlike the process-global [`psa_faults::install`]. This is the
+/// deterministic soak-test entry point.
+pub fn full_psa_flow_faulted_on(
+    engine: FlowEngine,
+    source: &str,
+    app_name: &str,
+    mode: FlowMode,
+    params: PsaParams,
+    cache: Arc<EvalCache>,
+    faults: Option<Arc<psa_faults::FaultPlan>>,
+) -> Result<FlowOutcome, FlowError> {
     let ast = Ast::from_source(source, app_name)
         .map_err(|e| FlowError::precondition(format!("parse error: {e}")))?;
     let mut ctx = FlowContext::with_cache(ast, params, cache);
+    if let Some(plan) = faults {
+        ctx = ctx.with_faults(plan);
+    }
     let flow = build_flow(mode);
     let before = ctx.cache.stats();
     engine.execute(&flow, &mut ctx)?;
@@ -277,6 +297,7 @@ fn package_outcome(
         selected_target,
         log: crate::trace::render_lines(&ctx.trace),
         trace: ctx.trace,
+        failures: ctx.failures,
     }
 }
 

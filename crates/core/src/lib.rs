@@ -54,11 +54,11 @@ pub mod trace;
 pub mod work;
 
 pub use context::{FlowContext, PsaParams};
-pub use engine::{ExecMode, FlowEngine};
+pub use engine::{Backoff, ExecMode, FailurePolicy, FlowEngine};
 pub use flow::{BranchPoint, Flow, FlowError, Selection, Step};
 pub use flows::{full_psa_flow, FlowMode};
 pub use psa_evalcache::{CacheKey, CacheStats, EvalCache, KeyBuilder};
-pub use report::{DesignArtifact, DeviceKind, FlowOutcome, TargetKind};
+pub use report::{DesignArtifact, DeviceKind, FlowOutcome, PathFailure, TargetKind};
 pub use strategy::{PsaStrategy, TargetSelect};
 pub use task::{Task, TaskClass, TaskInfo};
 pub use trace::{DecisionEvidence, DseTrace, SelectionTrace, TraceEvent};

@@ -155,6 +155,50 @@ fn emit(
             );
             t
         }
+        TraceEvent::PathFailed {
+            flow,
+            branch,
+            index,
+            label,
+            error,
+        } => {
+            tb.instant(
+                pid,
+                tid,
+                t,
+                "path-failed",
+                vec![
+                    ("flow".into(), ArgValue::from(flow.as_str())),
+                    ("branch".into(), ArgValue::from(branch.as_str())),
+                    ("index".into(), ArgValue::from(*index as u64)),
+                    ("label".into(), ArgValue::from(label.as_str())),
+                    ("error".into(), ArgValue::from(error.message().as_str())),
+                ],
+            );
+            t
+        }
+        TraceEvent::TaskRetry {
+            flow,
+            task,
+            attempt,
+            backoff_ms,
+            error,
+        } => {
+            tb.instant(
+                pid,
+                tid,
+                t,
+                "task-retry",
+                vec![
+                    ("flow".into(), ArgValue::from(flow.as_str())),
+                    ("task".into(), ArgValue::from(task.as_str())),
+                    ("attempt".into(), ArgValue::from(*attempt as u64)),
+                    ("backoff_ms".into(), ArgValue::from(*backoff_ms)),
+                    ("error".into(), ArgValue::from(error.as_str())),
+                ],
+            );
+            t
+        }
     }
 }
 

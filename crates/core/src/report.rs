@@ -1,5 +1,6 @@
 //! Flow outcomes: generated designs and their estimated performance.
 
+use crate::flow::FlowError;
 use crate::trace::TraceEvent;
 use serde::{Deserialize, Serialize};
 
@@ -97,6 +98,39 @@ impl DesignArtifact {
     }
 }
 
+/// One `Many`-branch path that failed and was dropped under
+/// [`crate::engine::FailurePolicy::DegradePaths`]. The flow's failure log
+/// is the report-side view of the [`crate::trace::TraceEvent::PathFailed`]
+/// records embedded in the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathFailure {
+    /// Name of the flow whose branch degraded.
+    pub flow: String,
+    /// Branch-point name.
+    pub branch: String,
+    /// Index of the failed path.
+    pub index: usize,
+    /// The failed path's label.
+    pub label: String,
+    /// Why the path failed.
+    pub error: FlowError,
+}
+
+impl PathFailure {
+    /// One-line human-readable summary (what `fig5 --fail-policy=degrade`
+    /// prints to stderr per dropped path).
+    pub fn render(&self) -> String {
+        format!(
+            "[{}] branch `{}`: path {} `{}` failed: {}",
+            self.flow,
+            self.branch,
+            self.index,
+            self.label,
+            self.error.message()
+        )
+    }
+}
+
 /// The final product of running a PSA-flow.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FlowOutcome {
@@ -114,6 +148,11 @@ pub struct FlowOutcome {
     /// The structured execution trace (task spans with durations, branch
     /// decisions with evidence, DSE results). `log` is its rendering.
     pub trace: Vec<TraceEvent>,
+    /// Paths dropped under `FailurePolicy::DegradePaths`, in the order the
+    /// engine recorded them (branch order, then path-index order). Empty on
+    /// a clean run and always empty under `FailFast` (the first failure
+    /// aborts the flow instead).
+    pub failures: Vec<PathFailure>,
 }
 
 impl FlowOutcome {
@@ -174,6 +213,7 @@ mod tests {
             selected_target: Some(TargetKind::CpuGpu),
             log: vec![],
             trace: vec![],
+            failures: vec![],
         };
         assert_eq!(outcome.best_design().unwrap().device, DeviceKind::Rtx2080Ti);
         assert!((outcome.auto_selected_speedup().unwrap() - 100.0).abs() < 1e-9);

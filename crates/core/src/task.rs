@@ -38,6 +38,11 @@ pub struct TaskInfo {
     pub class: TaskClass,
     /// ⚡ — requires program execution.
     pub dynamic: bool,
+    /// Whether a failure of this task is plausibly transient (it wraps a
+    /// flaky external toolchain — profilers, vendor compilers, HLS runs).
+    /// Only transient tasks are re-run under
+    /// [`crate::engine::FailurePolicy::Retry`].
+    pub transient: bool,
 }
 
 impl TaskInfo {
@@ -46,7 +51,14 @@ impl TaskInfo {
             name,
             class,
             dynamic,
+            transient: false,
         }
+    }
+
+    /// Mark the task's failures as transient (builder style).
+    pub const fn transient(mut self) -> Self {
+        self.transient = true;
+        self
     }
 }
 

@@ -59,7 +59,7 @@ impl Task for OmpNumThreadsDse {
         ensure_analysis(ctx)?;
         let w = kernel_work(ctx)?;
         let model = CpuModel::new(epyc_7543());
-        let dse = omp_threads_dse(&model, &w, ctx.params.omp_max_threads, &ctx.cache);
+        let dse = omp_threads_dse(&model, &w, ctx.params.omp_max_threads, &ctx.cache)?;
         ctx.tuned.threads = Some(dse.threads);
         ctx.push_event(TraceEvent::Dse(DseTrace::OmpThreads {
             threads: dse.threads,

@@ -261,7 +261,7 @@ impl Task for BlocksizeDseTask {
         // sweep with a representative mid-size work and re-evaluate the
         // winner exactly.
         let w = gpu_effective_work(ctx, 256)?;
-        let dse = blocksize_dse(&model, &w, pinned, &ctx.cache);
+        let dse = blocksize_dse(&model, &w, pinned, &ctx.cache)?;
         ctx.tuned.blocksize = Some(dse.blocksize);
         ctx.tuned.occupancy = Some(dse.occupancy);
         ctx.push_event(TraceEvent::Dse(DseTrace::Blocksize {

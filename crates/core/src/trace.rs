@@ -15,6 +15,7 @@
 //!   consumption. The encoder is hand-rolled because the in-tree `serde`
 //!   compat shim is marker-only (see `compat/serde`).
 
+use crate::flow::FlowError;
 use std::fmt::Write as _;
 
 /// One node of a flow's execution trace.
@@ -81,6 +82,39 @@ pub enum TraceEvent {
         evictions: u64,
         /// Live entries at the end of the run.
         entries: u64,
+    },
+    /// A `Many`-branch path that failed and was dropped under
+    /// [`crate::engine::FailurePolicy::DegradePaths`] (or failed under
+    /// `FailFast`, where the error also propagates). Appended to the
+    /// injured path's own event list so the rendered trace shows exactly
+    /// where the sweep degraded.
+    PathFailed {
+        /// Name of the flow the branch belongs to.
+        flow: String,
+        /// Branch-point name.
+        branch: String,
+        /// Index of the failed path.
+        index: usize,
+        /// The failed path's label.
+        label: String,
+        /// Why the path failed.
+        error: FlowError,
+    },
+    /// One retry of a transient task under
+    /// [`crate::engine::FailurePolicy::Retry`]. Recorded inside the task's
+    /// span; `backoff_ms` is the *virtual* backoff (deterministic, never
+    /// slept).
+    TaskRetry {
+        /// Name of the flow the task ran in.
+        flow: String,
+        /// The retried task's name.
+        task: String,
+        /// 1-based retry number.
+        attempt: u32,
+        /// Virtual backoff before this retry, milliseconds.
+        backoff_ms: u64,
+        /// Message of the error the previous attempt failed with.
+        error: String,
     },
 }
 
@@ -244,6 +278,25 @@ fn render_event(event: &TraceEvent, out: &mut Vec<String>) {
         // Cache statistics are engine-schedule-dependent (see the variant
         // doc); like task wall-clocks they are recorded but never rendered.
         TraceEvent::CacheStats { .. } => {}
+        TraceEvent::PathFailed {
+            flow,
+            branch,
+            index,
+            label,
+            error,
+        } => out.push(format!(
+            "[{flow}] branch `{branch}`: path {index} `{label}` failed: {}",
+            error.message()
+        )),
+        TraceEvent::TaskRetry {
+            flow,
+            task,
+            attempt,
+            backoff_ms,
+            error,
+        } => out.push(format!(
+            "[{flow}] task `{task}` retry {attempt} after {backoff_ms}ms (virtual): {error}"
+        )),
     }
 }
 
@@ -412,6 +465,41 @@ fn write_event(s: &mut String, event: &TraceEvent) {
                 s,
                 ",\"hits\":{hits},\"misses\":{misses},\"evictions\":{evictions},\"entries\":{entries}}}"
             );
+        }
+        TraceEvent::PathFailed {
+            flow,
+            branch,
+            index,
+            label,
+            error,
+        } => {
+            s.push_str("{\"kind\":\"path-failed\",\"flow\":");
+            write_str(s, flow);
+            s.push_str(",\"branch\":");
+            write_str(s, branch);
+            let _ = write!(s, ",\"index\":{index},\"label\":");
+            write_str(s, label);
+            s.push_str(",\"error\":");
+            write_str(s, &error.message());
+            s.push('}');
+        }
+        TraceEvent::TaskRetry {
+            flow,
+            task,
+            attempt,
+            backoff_ms,
+            error,
+        } => {
+            s.push_str("{\"kind\":\"task-retry\",\"flow\":");
+            write_str(s, flow);
+            s.push_str(",\"task\":");
+            write_str(s, task);
+            let _ = write!(
+                s,
+                ",\"attempt\":{attempt},\"backoff_ms\":{backoff_ms},\"error\":"
+            );
+            write_str(s, error);
+            s.push('}');
         }
     }
 }

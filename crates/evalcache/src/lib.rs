@@ -313,6 +313,10 @@ impl EvalCache {
         T: Send + Sync + 'static,
         F: FnOnce() -> T,
     {
+        // Fault-injection seam: a rule targeting `cache:<domain>` can delay
+        // or fail this lookup deterministically (one relaxed load when no
+        // plan is installed).
+        psa_faults::apply(psa_faults::Seam::Cache, || key.domain.to_string());
         if let Some(hit) = self.lookup::<T>(key) {
             return hit;
         }
@@ -328,6 +332,7 @@ impl EvalCache {
         T: Send + Sync + 'static,
         F: FnOnce() -> Result<T, E>,
     {
+        psa_faults::apply(psa_faults::Seam::Cache, || key.domain.to_string());
         if let Some(hit) = self.lookup::<T>(key) {
             return Ok(hit);
         }

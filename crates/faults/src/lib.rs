@@ -1,0 +1,536 @@
+//! # psa-faults — deterministic, seeded fault injection
+//!
+//! The test substrate for the flow engine's resilience layer. A
+//! [`FaultPlan`] is an immutable list of rules that decide, at **named
+//! seams** of the meta-programming stack, whether to force a typed error,
+//! a panic, or an artificial delay:
+//!
+//! | seam | where it is probed | actions honoured |
+//! |------|--------------------|------------------|
+//! | `task` | `FlowEngine::run_task`, site `"{flow}/{task}"` | error, panic, delay |
+//! | `select` | strategy `select` at a branch point, site `"{flow}/{branch}"` | error, panic, delay |
+//! | `estimate` | platform-model cached estimates, site `"{family}/{device}"` | panic, delay (error escalates to panic) |
+//! | `cache` | `EvalCache::get_or_compute`, site = key domain | panic, delay (error escalates to panic) |
+//!
+//! Faults are **off by default and zero-cost when disabled**: every probe
+//! site first checks one relaxed atomic load (mirroring `psa-obs`), and the
+//! site-name string is only built after that check passes.
+//!
+//! ## Determinism
+//!
+//! A plan never consults a clock or an OS random source. A rule fires
+//! based on the probe's *site name* and its *occurrence index* at that
+//! site (a per-rule counter), optionally gated by a seeded hash for
+//! probabilistic rules — `splitmix64(seed ⊕ fnv64(site) ⊕ occurrence)`.
+//! Probes issued from a single thread of execution therefore fire
+//! identically run after run. When the same site name is probed
+//! concurrently from sibling branch paths, the *occurrence order* is
+//! schedule-dependent; plans that must behave identically under the
+//! parallel and sequential engines should target site names that are
+//! unique per path (flow names embed the device, e.g.
+//! `gpu-rtx-2080-ti/Generate HIP Design`) or use `Occurrence::Always`.
+//!
+//! ## Plan specification strings
+//!
+//! [`FaultPlan::parse`] accepts the `--fault-plan=` CLI grammar: clauses
+//! separated by `;`.
+//!
+//! ```text
+//! seed=42; task:gpu-rtx=error:codegen:injected vendor failure; cache:profile@3=delay:5
+//! ```
+//!
+//! * `seed=<u64>` — seed for probabilistic rules (default 0);
+//! * `<seam>:<site-substring>[@<occurrence>]=<action>` where
+//!   `<occurrence>` is `<n>` (fire on the n-th matching probe only, 1-based)
+//!   or `~<p>` (fire with probability `p`, seeded), default every probe; and
+//!   `<action>` is `error[:<kind>[:<message>]]`, `panic[:<message>]` or
+//!   `delay:<millis>`. An empty site substring matches every site of the
+//!   seam.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// A named injection point category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Seam {
+    /// A flow task's `run`.
+    Task,
+    /// A strategy's `select` at a branch point.
+    Select,
+    /// A platform-model estimate (HLS report, GPU/CPU time model).
+    Estimate,
+    /// An evaluation-cache lookup.
+    Cache,
+}
+
+impl Seam {
+    /// The spec-string name of the seam.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Seam::Task => "task",
+            Seam::Select => "select",
+            Seam::Estimate => "estimate",
+            Seam::Cache => "cache",
+        }
+    }
+
+    fn from_code(s: &str) -> Option<Seam> {
+        match s {
+            "task" => Some(Seam::Task),
+            "select" => Some(Seam::Select),
+            "estimate" => Some(Seam::Estimate),
+            "cache" => Some(Seam::Cache),
+            _ => None,
+        }
+    }
+}
+
+/// What an armed rule does when it fires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultAction {
+    /// Force a typed error. `kind` names a `FlowError` constructor
+    /// (`precondition`, `transform`, `analysis`, `codegen`, `budget`,
+    /// `timeout`, `internal`); consumers map it to their error type. At
+    /// seams without a `Result` in the signature this escalates to a panic
+    /// (which the engine converts back into a typed internal error).
+    Error { kind: String, message: String },
+    /// Panic with the given message.
+    Panic { message: String },
+    /// Sleep for the given number of milliseconds before proceeding
+    /// (simulates a slow external toolchain; pairs with deadlines).
+    Delay { ms: u64 },
+}
+
+/// When a matching rule fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Occurrence {
+    /// Every matching probe.
+    Always,
+    /// Only the n-th matching probe at a given site (1-based).
+    Nth(u64),
+    /// Each matching probe independently with probability `p`, decided by
+    /// the seeded hash of (site, occurrence index) — deterministic for a
+    /// fixed plan and probe sequence.
+    Rate(f64),
+}
+
+/// One matching rule of a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRule {
+    pub seam: Seam,
+    /// Substring the probe's site name must contain (empty = every site).
+    pub site: String,
+    pub occurrence: Occurrence,
+    pub action: FaultAction,
+}
+
+/// A deterministic fault-injection plan.
+///
+/// Immutable after construction apart from its per-site occurrence
+/// counters; share it via `Arc` (contexts cloned at branch points share the
+/// same counters, as do the global-install consumers).
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<FaultRule>,
+    /// Occurrence counters keyed by (rule index, site name).
+    counters: Mutex<HashMap<(usize, String), u64>>,
+    /// Total number of faults fired by this plan.
+    fired: AtomicU64,
+}
+
+impl FaultPlan {
+    /// An empty plan (no rules ever fire) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Append a rule (builder style).
+    pub fn with_rule(mut self, rule: FaultRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Convenience builder: force a typed error at every probe of `seam`
+    /// whose site contains `site`.
+    pub fn fail(self, seam: Seam, site: &str, kind: &str, message: &str) -> Self {
+        self.with_rule(FaultRule {
+            seam,
+            site: site.to_string(),
+            occurrence: Occurrence::Always,
+            action: FaultAction::Error {
+                kind: kind.to_string(),
+                message: message.to_string(),
+            },
+        })
+    }
+
+    /// Convenience builder: panic at every probe of `seam` whose site
+    /// contains `site`.
+    pub fn panic_at(self, seam: Seam, site: &str, message: &str) -> Self {
+        self.with_rule(FaultRule {
+            seam,
+            site: site.to_string(),
+            occurrence: Occurrence::Always,
+            action: FaultAction::Panic {
+                message: message.to_string(),
+            },
+        })
+    }
+
+    /// The seed driving every probabilistic (`@~p`) occurrence decision.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The number of faults this plan has fired so far.
+    pub fn fired(&self) -> u64 {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// The plan's rules.
+    pub fn rules(&self) -> &[FaultRule] {
+        &self.rules
+    }
+
+    /// Probe a seam: returns the action of the first rule that fires, if
+    /// any. Every matching rule's occurrence counter for `site` advances,
+    /// fired or not.
+    pub fn probe(&self, seam: Seam, site: &str) -> Option<FaultAction> {
+        if self.rules.is_empty() {
+            return None;
+        }
+        let mut hit = None;
+        let mut counters = self.counters.lock().expect("fault counters poisoned");
+        for (i, rule) in self.rules.iter().enumerate() {
+            if rule.seam != seam || !site.contains(rule.site.as_str()) {
+                continue;
+            }
+            let n = counters
+                .entry((i, site.to_string()))
+                .and_modify(|c| *c += 1)
+                .or_insert(1);
+            let fires = match rule.occurrence {
+                Occurrence::Always => true,
+                Occurrence::Nth(k) => *n == k,
+                Occurrence::Rate(p) => unit_fraction(self.seed ^ fnv64(site), *n) < p,
+            };
+            if fires && hit.is_none() {
+                hit = Some(rule.action.clone());
+            }
+        }
+        drop(counters);
+        if hit.is_some() {
+            self.fired.fetch_add(1, Ordering::Relaxed);
+            psa_obs::counter_add("psa_faults_injected_total", &[("seam", seam.code())], 1);
+        }
+        hit
+    }
+
+    /// Parse a plan from the `--fault-plan=` spec grammar (see the crate
+    /// docs). Returns a human-readable error for malformed specs.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new(0);
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            if let Some(seed) = clause.strip_prefix("seed=") {
+                plan.seed = seed
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad seed `{seed}`"))?;
+                continue;
+            }
+            let (lhs, action) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("clause `{clause}` has no `=<action>`"))?;
+            let (seam, site_occ) = lhs
+                .split_once(':')
+                .ok_or_else(|| format!("clause `{clause}` has no `<seam>:` prefix"))?;
+            let seam = Seam::from_code(seam.trim())
+                .ok_or_else(|| format!("unknown seam `{}` in `{clause}`", seam.trim()))?;
+            let (site, occurrence) = match site_occ.rsplit_once('@') {
+                None => (site_occ.to_string(), Occurrence::Always),
+                Some((site, occ)) => {
+                    let occ = occ.trim();
+                    let occurrence = if let Some(p) = occ.strip_prefix('~') {
+                        let p: f64 = p.parse().map_err(|_| format!("bad rate `{occ}`"))?;
+                        if !(0.0..=1.0).contains(&p) {
+                            return Err(format!("rate `{occ}` outside [0, 1]"));
+                        }
+                        Occurrence::Rate(p)
+                    } else {
+                        Occurrence::Nth(occ.parse().map_err(|_| format!("bad occurrence `{occ}`"))?)
+                    };
+                    (site.to_string(), occurrence)
+                }
+            };
+            plan.rules.push(FaultRule {
+                seam,
+                site,
+                occurrence,
+                action: parse_action(action.trim())?,
+            });
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_action(action: &str) -> Result<FaultAction, String> {
+    let (head, rest) = match action.split_once(':') {
+        Some((h, r)) => (h, Some(r)),
+        None => (action, None),
+    };
+    match head {
+        "error" => {
+            let (kind, message) = match rest {
+                None => ("internal".to_string(), "injected fault".to_string()),
+                Some(r) => match r.split_once(':') {
+                    Some((k, m)) => (k.to_string(), m.to_string()),
+                    None => (r.to_string(), "injected fault".to_string()),
+                },
+            };
+            Ok(FaultAction::Error { kind, message })
+        }
+        "panic" => Ok(FaultAction::Panic {
+            message: rest.unwrap_or("injected panic").to_string(),
+        }),
+        "delay" => {
+            let ms = rest.ok_or("delay needs `:<millis>`")?;
+            Ok(FaultAction::Delay {
+                ms: ms.parse().map_err(|_| format!("bad delay `{ms}`"))?,
+            })
+        }
+        other => Err(format!("unknown action `{other}`")),
+    }
+}
+
+/// FNV-1a over a site name.
+fn fnv64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A deterministic value in [0, 1) for (site hash, occurrence index).
+fn unit_fraction(site_hash: u64, occurrence: u64) -> f64 {
+    let mut x = site_hash ^ occurrence.wrapping_mul(0x9E3779B97F4A7C15);
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+// ---------------------------------------------------------------------------
+// Ambient (process-global) plan — the `--fault-plan=` CLI surface.
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn slot() -> &'static RwLock<Option<Arc<FaultPlan>>> {
+    static SLOT: std::sync::OnceLock<RwLock<Option<Arc<FaultPlan>>>> = std::sync::OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+/// Install `plan` as the process-global ambient plan. Probe sites with no
+/// context-local plan consult it.
+pub fn install(plan: Arc<FaultPlan>) {
+    *slot().write().expect("fault plan slot poisoned") = Some(plan);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Remove the ambient plan; every probe returns to the zero-cost path.
+pub fn clear() {
+    ENABLED.store(false, Ordering::Relaxed);
+    *slot().write().expect("fault plan slot poisoned") = None;
+}
+
+/// Whether an ambient plan is installed (one relaxed load).
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The installed ambient plan, if any.
+pub fn active() -> Option<Arc<FaultPlan>> {
+    if !enabled() {
+        return None;
+    }
+    slot().read().expect("fault plan slot poisoned").clone()
+}
+
+/// Probe the ambient plan. `site` is only invoked when a plan is installed,
+/// so disabled probes never allocate.
+pub fn probe(seam: Seam, site: impl FnOnce() -> String) -> Option<FaultAction> {
+    let plan = active()?;
+    plan.probe(seam, &site())
+}
+
+/// Probe-and-apply for seams whose signatures cannot carry an error:
+/// delays sleep, errors and panics panic (the flow engine's task-seam
+/// `catch_unwind` converts the panic into a typed internal error).
+pub fn apply(seam: Seam, site: impl FnOnce() -> String) {
+    match probe(seam, site) {
+        None => {}
+        Some(FaultAction::Delay { ms }) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+        Some(FaultAction::Panic { message }) => panic!("injected fault: {message}"),
+        Some(FaultAction::Error { kind, message }) => {
+            panic!("injected fault ({kind}): {message}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let plan = FaultPlan::new(7);
+        assert_eq!(plan.probe(Seam::Task, "psa-flow/Pointer Analysis"), None);
+        assert_eq!(plan.fired(), 0);
+    }
+
+    #[test]
+    fn substring_site_matching_by_seam() {
+        let plan = FaultPlan::new(0).fail(Seam::Task, "gpu-rtx", "codegen", "boom");
+        assert_eq!(plan.probe(Seam::Task, "cpu-omp/OMP Num. Threads DSE"), None);
+        assert_eq!(plan.probe(Seam::Select, "gpu-rtx-2080-ti/B"), None);
+        assert_eq!(
+            plan.probe(Seam::Task, "gpu-rtx-2080-ti/Generate HIP Design"),
+            Some(FaultAction::Error {
+                kind: "codegen".into(),
+                message: "boom".into()
+            })
+        );
+        assert_eq!(plan.fired(), 1);
+    }
+
+    #[test]
+    fn nth_occurrence_fires_exactly_once_per_site() {
+        let plan = FaultPlan::new(0).with_rule(FaultRule {
+            seam: Seam::Cache,
+            site: "profile".into(),
+            occurrence: Occurrence::Nth(2),
+            action: FaultAction::Delay { ms: 1 },
+        });
+        assert_eq!(plan.probe(Seam::Cache, "profile"), None);
+        assert!(plan.probe(Seam::Cache, "profile").is_some());
+        assert_eq!(plan.probe(Seam::Cache, "profile"), None);
+        // A different site has its own counter.
+        assert_eq!(plan.probe(Seam::Cache, "profile-b"), None);
+        assert!(plan.probe(Seam::Cache, "profile-b").is_some());
+    }
+
+    #[test]
+    fn rate_rules_are_deterministic_in_seed_site_and_occurrence() {
+        let mk = |seed| {
+            FaultPlan::new(seed).with_rule(FaultRule {
+                seam: Seam::Estimate,
+                site: String::new(),
+                occurrence: Occurrence::Rate(0.5),
+                action: FaultAction::Panic {
+                    message: "flaky".into(),
+                },
+            })
+        };
+        let fires = |plan: &FaultPlan| -> Vec<bool> {
+            (0..64)
+                .map(|_| plan.probe(Seam::Estimate, "gpu/RTX 2080 Ti").is_some())
+                .collect()
+        };
+        let a = fires(&mk(42));
+        let b = fires(&mk(42));
+        assert_eq!(a, b, "same seed, same site, same sequence");
+        let c = fires(&mk(43));
+        assert_ne!(a, c, "a different seed reshuffles the firing pattern");
+        let hits = a.iter().filter(|&&f| f).count();
+        assert!((10..=54).contains(&hits), "rate 0.5 over 64 draws: {hits}");
+    }
+
+    #[test]
+    fn parse_round_trips_the_readme_example() {
+        let plan = FaultPlan::parse(
+            "seed=42; task:gpu-rtx=error:codegen:injected vendor failure; \
+             cache:profile@3=delay:5; select:B (GPU device)@~0.25=panic:lost decision",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.rules.len(), 3);
+        assert_eq!(
+            plan.rules[0].action,
+            FaultAction::Error {
+                kind: "codegen".into(),
+                message: "injected vendor failure".into()
+            }
+        );
+        assert_eq!(plan.rules[1].occurrence, Occurrence::Nth(3));
+        assert_eq!(plan.rules[1].action, FaultAction::Delay { ms: 5 });
+        assert_eq!(plan.rules[2].occurrence, Occurrence::Rate(0.25));
+        assert_eq!(plan.rules[2].seam, Seam::Select);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(FaultPlan::parse("task=error").is_err(), "no seam");
+        assert!(FaultPlan::parse("task:x").is_err(), "no action");
+        assert!(FaultPlan::parse("warp:x=panic").is_err(), "unknown seam");
+        assert!(
+            FaultPlan::parse("task:x=explode").is_err(),
+            "unknown action"
+        );
+        assert!(FaultPlan::parse("task:x@~1.5=panic").is_err(), "bad rate");
+        assert!(FaultPlan::parse("task:x=delay").is_err(), "delay w/o ms");
+        assert!(FaultPlan::parse("seed=nope").is_err(), "bad seed");
+    }
+
+    #[test]
+    fn error_action_defaults() {
+        let plan = FaultPlan::parse("task:x=error").unwrap();
+        assert_eq!(
+            plan.rules[0].action,
+            FaultAction::Error {
+                kind: "internal".into(),
+                message: "injected fault".into()
+            }
+        );
+        let plan = FaultPlan::parse("task:x=error:budget").unwrap();
+        assert_eq!(
+            plan.rules[0].action,
+            FaultAction::Error {
+                kind: "budget".into(),
+                message: "injected fault".into()
+            }
+        );
+    }
+
+    #[test]
+    fn ambient_plan_install_probe_clear() {
+        // Single test exercising the global slot (other tests use plan-local
+        // probes to stay hermetic).
+        assert!(!enabled());
+        assert_eq!(probe(Seam::Task, || unreachable!("disabled probe")), None);
+        install(Arc::new(FaultPlan::new(0).fail(
+            Seam::Task,
+            "only-this-site",
+            "transform",
+            "x",
+        )));
+        assert!(enabled());
+        assert!(probe(Seam::Task, || "a/only-this-site".into()).is_some());
+        assert_eq!(probe(Seam::Task, || "other".into()), None);
+        clear();
+        assert!(!enabled());
+        assert_eq!(probe(Seam::Task, || unreachable!("cleared probe")), None);
+    }
+}

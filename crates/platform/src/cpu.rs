@@ -57,6 +57,10 @@ impl CpuModel {
     /// content and thread count — one entry serves every flow instance (and
     /// every OMP-DSE sweep) probing the same configuration.
     pub fn time_openmp_cached(&self, w: &KernelWork, threads: u32, cache: &EvalCache) -> Seconds {
+        // Fault-injection seam for the (simulated) profiled OpenMP run.
+        psa_faults::apply(psa_faults::Seam::Estimate, || {
+            format!("cpu-omp/{}", self.spec.name)
+        });
         let key = KeyBuilder::new("platform/cpu-omp")
             .u64(self.spec.content_hash())
             .u64(w.content_hash())

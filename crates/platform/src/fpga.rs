@@ -156,6 +156,10 @@ impl FpgaModel {
         unroll: u64,
         cache: &EvalCache,
     ) -> FpgaReport {
+        // Fault-injection seam for the (simulated) HLS partial compile.
+        psa_faults::apply(psa_faults::Seam::Estimate, || {
+            format!("fpga-hls/{}", self.spec.name)
+        });
         let key = KeyBuilder::new("platform/fpga-hls")
             .u64(self.spec.content_hash())
             .u64(ops.content_hash())

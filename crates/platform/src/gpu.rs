@@ -156,6 +156,10 @@ impl GpuModel {
         pinned: bool,
         cache: &EvalCache,
     ) -> Option<GpuEstimate> {
+        // Fault-injection seam for the (simulated) vendor GPU model probe.
+        psa_faults::apply(psa_faults::Seam::Estimate, || {
+            format!("gpu-estimate/{}", self.spec.name)
+        });
         let key = KeyBuilder::new("platform/gpu-estimate")
             .u64(self.spec.content_hash())
             .u64(w.content_hash())

@@ -12,6 +12,7 @@
 //! | Crate | Role |
 //! |-------|------|
 //! | [`evalcache`] | content-addressed evaluation cache shared across flows |
+//! | [`faults`] | deterministic fault-injection plans (robustness testing) |
 //! | [`minicpp`] | the MiniC++ application language (lexer/parser/AST/printer) |
 //! | [`interp`] | deterministic interpreter + profiling (dynamic analyses substrate) |
 //! | [`artisan`] | meta-programming layer: query, instrument, transform |
@@ -47,6 +48,7 @@ pub use psa_artisan as artisan;
 pub use psa_benchsuite as benchsuite;
 pub use psa_codegen as codegen;
 pub use psa_evalcache as evalcache;
+pub use psa_faults as faults;
 pub use psa_interp as interp;
 pub use psa_minicpp as minicpp;
 pub use psa_obs as obs;
