@@ -14,12 +14,21 @@ use psa_minicpp::canonicalise;
 use psaflow_core::{DeviceKind, FlowEngine};
 
 fn main() {
+    // `--sequential` forces the single-threaded reference scheduler (one
+    // benchmark at a time, every flow graph in stable topological order).
+    // Stdout is byte-identical to the parallel default — CI diffs the two.
     let obs = ObsArgs::parse();
     let faults = FaultArgs::parse();
+    let sequential = std::env::args().any(|a| a == "--sequential");
     println!("Table I — Added LOC per generated design vs reference");
     println!("(cells: paper% → measured%)\n");
 
-    let results = run_or_exit(run_all_on(faults.engine(FlowEngine::default())));
+    let engine = faults.engine(if sequential {
+        FlowEngine::sequential()
+    } else {
+        FlowEngine::default()
+    });
+    let results = run_or_exit(run_all_on(engine));
     faults.report_failures(&results);
     println!(
         "{:<14} {:>7} {:>14} {:>14} {:>14} {:>14} {:>14} {:>16}",

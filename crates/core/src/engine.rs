@@ -1,68 +1,82 @@
 //! The flow execution engine.
 //!
-//! [`FlowEngine`] walks a [`Flow`]'s steps against a [`FlowContext`],
-//! recording a structured [`TraceEvent`] tree as it goes. Branch points
-//! whose strategy selects *many* paths execute those paths concurrently
-//! (one scoped thread per path, each on its own cloned context) and merge
-//! the results back **in path-index order**, so the produced designs and
-//! the rendered trace are byte-identical to a sequential run:
+//! Since the flow-graph redesign, [`FlowEngine`] executes a
+//! [`FlowGraph`]: a dependency DAG of modules and branch points
+//! ([`crate::graph`]). The linear [`Flow`] API still works —
+//! [`FlowEngine::execute`] converts the chain to a graph
+//! ([`Flow::graph`]) and runs it through the same scheduler.
 //!
-//! * tasks only ever *append* designs — they never read `ctx.designs` —
-//!   so per-path design suffixes concatenated in index order reproduce the
-//!   sequential merge exactly;
-//! * sibling paths are isolated: each starts from a clone of the context
-//!   at the branch and none sees another's AST edits, designs or trace;
-//! * wall-clock durations are recorded in the trace but not rendered, so
-//!   rendered parallel and sequential traces compare equal.
+//! ## Scheduling and determinism
 //!
-//! [`FlowEngine::sequential`] is the escape hatch that runs the same
-//! algorithm inline on one thread (used by the determinism tests and
-//! useful when debugging a flow).
+//! Independent nodes run concurrently on a work-stealing executor
+//! ([`crate::sched`]); [`ExecMode::Sequential`] runs the same node
+//! closure over the stable topological order on one thread. Observable
+//! output is byte-identical under both (CI-gated), because nothing
+//! order-sensitive depends on execution timing:
+//!
+//! * every node runs on a private context whose *accumulator channels*
+//!   (trace, designs, path failures) start empty; the per-node deltas are
+//!   concatenated in **stable topological order** afterwards — tasks only
+//!   ever append designs and never read `ctx.designs` (the engine
+//!   invariant since PR 1), so delta concatenation reproduces the chain
+//!   engine's in-place accumulation exactly;
+//! * a node with several dependencies materialises its input context by
+//!   the **latest-writer-per-port** join plan ([`crate::graph`]), a
+//!   function of the graph's structure alone;
+//! * a failing node does not stop the scheduler — every non-skipped node
+//!   still runs, then assembly keeps exactly the deltas of nodes at topo
+//!   positions up to and including the **first error in topological
+//!   order** and propagates that error, so an error run's output is also
+//!   schedule-independent;
+//! * `Selection::Many` branch paths execute concurrently (one scoped
+//!   thread per path, each on a cloned context) and merge back **in
+//!   path-index order**, exactly as before the redesign;
+//! * wall-clock durations are recorded in the trace but never rendered.
 //!
 //! ## Fault tolerance
 //!
-//! Real design-flows wrap flaky external toolchains, so the engine is
-//! hardened against failing *and panicking* paths:
+//! The hardening semantics carry over from the chain engine unchanged:
 //!
-//! * every task `run` (and every strategy `select`) executes under
-//!   `catch_unwind`; a panic becomes [`FlowError::Internal`] instead of
-//!   unwinding through the engine, so one crashing path can never discard
-//!   its siblings' completed traces;
+//! * every module `run` (and every strategy `select`) executes under
+//!   `catch_unwind`; a panic becomes [`FlowError::Internal`];
 //! * a [`FailurePolicy`] decides what a failing `Many`-path does to the
 //!   sweep: [`FailurePolicy::FailFast`] (default) propagates the first
-//!   error by path index exactly as before, [`FailurePolicy::DegradePaths`]
-//!   drops the injured path with a [`TraceEvent::PathFailed`] record and a
-//!   [`PathFailure`] log entry while the survivors' designs still merge in
-//!   index order, and [`FailurePolicy::Retry`] re-runs failing *transient*
-//!   tasks with a deterministic virtual backoff (recorded in the trace,
-//!   never slept);
+//!   error by path index, [`FailurePolicy::DegradePaths`] drops the
+//!   injured path with a [`TraceEvent::PathFailed`] record and a
+//!   [`PathFailure`] log entry while the survivors' designs still merge
+//!   in index order, and [`FailurePolicy::Retry`] re-runs failing
+//!   *transient* modules with a deterministic virtual backoff. Node
+//!   failures outside a `Many` branch propagate under every policy;
 //! * optional per-task and per-flow wall-clock deadlines convert overlong
-//!   runs into [`FlowError::Timeout`], enforced at the task-span seam so
-//!   the recorded trace stays well-formed;
-//! * named fault-injection seams (`psa-faults`) can force any of the above
-//!   deterministically — off by default, one relaxed atomic load when
-//!   disabled.
-//!
-//! With no faults injected and the default `FailFast` policy, the engine's
-//! observable behaviour — designs, rendered traces, errors — is
-//! byte-identical to the unhardened engine (CI-gated).
+//!   runs into [`FlowError::Timeout`], enforced at the module-span seam;
+//! * named fault-injection seams (`psa-faults`) address DAG sites as
+//!   `{flow}/{module}` and `{flow}/{branch}` — unchanged from the chain
+//!   engine, so existing fault plans keep firing.
 
 use crate::context::FlowContext;
-use crate::flow::{BranchPoint, Flow, FlowError, Selection, Step};
-use crate::report::PathFailure;
+use crate::flow::{BranchPoint, Flow, FlowError, Selection};
+use crate::graph::{FlowGraph, GraphNode};
+use crate::ports::{self, Port};
+use crate::report::{DesignArtifact, PathFailure};
+use crate::sched;
 use crate::task::TaskInfo;
 use crate::trace::{DseTrace, PathTrace, SelectionTrace, TraceEvent};
 use psa_faults::{FaultAction, Seam};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// How branch paths selected by `Selection::Many` are executed.
+/// How independent graph nodes (and `Selection::Many` branch paths) are
+/// executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecMode {
-    /// One scoped thread per selected path (the default).
+    /// Work-stealing node execution, one scoped thread per selected branch
+    /// path (the default).
     #[default]
     Parallel,
-    /// All paths inline on the calling thread, in index order.
+    /// The reference scheduler: every node inline on the calling thread,
+    /// in stable topological order; branch paths in index order.
     Sequential,
 }
 
@@ -95,7 +109,7 @@ impl Backoff {
     }
 }
 
-/// What the engine does when a task or `Many`-branch path fails.
+/// What the engine does when a module or `Many`-branch path fails.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum FailurePolicy {
     /// Propagate the first failure (by path index); the legacy behaviour
@@ -107,9 +121,9 @@ pub enum FailurePolicy {
     /// designs, which merge in index order byte-identically to a fault-free
     /// run. Failures outside a `Many` branch still propagate.
     DegradePaths,
-    /// Re-run a failing task marked [`TaskInfo::transient`] up to
+    /// Re-run a failing module marked [`TaskInfo::transient`] up to
     /// `attempts` times in total, recording each retry with its virtual
-    /// backoff; a task still failing after the last attempt propagates as
+    /// backoff; a module still failing after the last attempt propagates as
     /// under `FailFast`.
     Retry { attempts: u32, backoff: Backoff },
 }
@@ -155,14 +169,50 @@ struct RunState {
     flow_deadline_at: Option<Instant>,
 }
 
-/// Executes flows. `Default` is the parallel engine with `FailFast` and no
-/// deadlines.
+/// Executes flow graphs. `Default` is the parallel engine with `FailFast`
+/// and no deadlines.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FlowEngine {
     mode: ExecMode,
     policy: FailurePolicy,
     task_deadline: Option<Duration>,
     flow_deadline: Option<Duration>,
+    /// Worker-pool size override; `None` = available parallelism.
+    workers: Option<usize>,
+}
+
+/// What one graph node left behind: its value-state context (taken by its
+/// last consumer or the final join), its accumulator deltas, and how it
+/// ended. The assembly step stitches the deltas together in stable
+/// topological order.
+struct NodeOutcome {
+    /// Value state after the node ran; `None` once moved out, or for a
+    /// skipped node.
+    ctx: Option<FlowContext>,
+    trace: Vec<TraceEvent>,
+    designs: Vec<DesignArtifact>,
+    failures: Vec<PathFailure>,
+    error: Option<FlowError>,
+    /// The node never ran: some dependency was skipped, terminated, or
+    /// failed.
+    skipped: bool,
+    /// A branch strategy selected no path here; all dependents are skipped
+    /// ("the design-flow terminates without modifying the input").
+    terminated: bool,
+}
+
+impl NodeOutcome {
+    fn skipped() -> Self {
+        NodeOutcome {
+            ctx: None,
+            trace: Vec::new(),
+            designs: Vec::new(),
+            failures: Vec::new(),
+            error: None,
+            skipped: true,
+            terminated: false,
+        }
+    }
 }
 
 impl FlowEngine {
@@ -174,7 +224,7 @@ impl FlowEngine {
         }
     }
 
-    /// The single-threaded engine.
+    /// The single-threaded reference engine.
     pub fn sequential() -> Self {
         FlowEngine {
             mode: ExecMode::Sequential,
@@ -182,7 +232,7 @@ impl FlowEngine {
         }
     }
 
-    /// This engine's branch-path execution mode.
+    /// This engine's execution mode.
     pub fn mode(&self) -> ExecMode {
         self.mode
     }
@@ -198,70 +248,263 @@ impl FlowEngine {
         self
     }
 
-    /// Set a wall-clock deadline for each individual task. A task whose
+    /// Set a wall-clock deadline for each individual module. A module whose
     /// `run` outlives it fails with [`FlowError::Timeout`] (checked when
-    /// the task returns — tasks have no cancellation points).
+    /// the module returns — modules have no cancellation points).
     pub fn with_task_deadline(mut self, deadline: Duration) -> Self {
         self.task_deadline = Some(deadline);
         self
     }
 
     /// Set a wall-clock deadline for each whole `execute` call. Checked
-    /// between steps: no task starts once the deadline has passed.
+    /// before each module starts: no module starts once the deadline has
+    /// passed.
     pub fn with_flow_deadline(mut self, deadline: Duration) -> Self {
         self.flow_deadline = Some(deadline);
         self
     }
 
-    /// Run `flow` to completion against `ctx`.
+    /// Pin the parallel engine's worker-pool size instead of deriving it
+    /// from `available_parallelism` (still capped by graph width, and
+    /// ignored by the sequential engine). Determinism tests use this to
+    /// exercise the work-stealing scheduler even on single-CPU hosts.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Run a linear [`Flow`] to completion against `ctx` (the chain is
+    /// converted to its [`FlowGraph`] and scheduled like any other graph).
     pub fn execute(&self, flow: &Flow, ctx: &mut FlowContext) -> Result<(), FlowError> {
+        self.execute_graph(&flow.graph(), ctx)
+    }
+
+    /// Run a [`FlowGraph`] to completion against `ctx`.
+    pub fn execute_graph(&self, graph: &FlowGraph, ctx: &mut FlowContext) -> Result<(), FlowError> {
         let state = RunState {
             flow_deadline_at: self.flow_deadline.map(|d| Instant::now() + d),
         };
-        self.execute_inner(flow, ctx, state)
+        self.run_graph(graph, ctx, state)
     }
 
-    fn execute_inner(
+    /// Execute `graph` against a live context: run every node on a private
+    /// delta context, then append the deltas to `ctx`'s channels in stable
+    /// topological order and adopt the final value state. Also the
+    /// recursion point for branch-path sub-graphs.
+    fn run_graph(
         &self,
-        flow: &Flow,
+        graph: &FlowGraph,
         ctx: &mut FlowContext,
         state: RunState,
     ) -> Result<(), FlowError> {
-        for step in &flow.steps {
-            match step {
-                Step::Task(task) => self.run_task(flow, task.as_ref(), ctx, state)?,
-                Step::Branch(bp) => {
-                    if !self.run_branch(flow, bp, ctx, state)? {
-                        // The strategy selected no path: this flow level
-                        // terminates without running its remaining steps.
-                        return Ok(());
-                    }
+        let n = graph.len();
+        if n == 0 {
+            return Ok(());
+        }
+        let entry = value_state(ctx);
+        // Remaining consumers per node: when the last one claims a
+        // predecessor's context it takes (moves) it instead of cloning, so
+        // a chain-shaped graph threads one context end to end, clone-free.
+        let consumers: Vec<AtomicUsize> = (0..n)
+            .map(|i| AtomicUsize::new(graph.succs(i).len()))
+            .collect();
+        let exec = |i: usize, slots: &[Mutex<Option<NodeOutcome>>]| -> NodeOutcome {
+            // Backstop: exec_node's seams already catch panics; if the
+            // engine itself unwinds, fail the node rather than the pool.
+            catch_unwind(AssertUnwindSafe(|| {
+                self.exec_node(graph, i, &entry, slots, &consumers, state)
+            }))
+            .unwrap_or_else(|payload| NodeOutcome {
+                ctx: None,
+                trace: Vec::new(),
+                designs: Vec::new(),
+                failures: Vec::new(),
+                error: Some(FlowError::internal(format!(
+                    "node `{}` scheduling panicked: {}",
+                    graph.node_name(i),
+                    panic_message(payload)
+                ))),
+                skipped: false,
+                terminated: false,
+            })
+        };
+
+        let workers = match self.mode {
+            ExecMode::Sequential => 1,
+            ExecMode::Parallel => self
+                .workers
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|p| p.get())
+                        .unwrap_or(1)
+                })
+                .min(graph.width()),
+        };
+        let mut outcomes: Vec<NodeOutcome> = if workers <= 1 {
+            sched::run_sequential(n, graph.topo(), exec)
+        } else {
+            let indegree: Vec<usize> = (0..n).map(|i| graph.deps(i).len()).collect();
+            let succs: Vec<Vec<usize>> = (0..n).map(|i| graph.succs(i).to_vec()).collect();
+            sched::run_work_stealing(n, &succs, &indegree, workers, exec)
+        }
+        .into_iter()
+        .map(|o| o.expect("scheduler fills every slot"))
+        .collect();
+
+        // Assembly: concatenate per-node deltas in stable topological
+        // order. On failure, keep everything up to and including the first
+        // error's topo position (matching the chain engine, where nothing
+        // after a failing step runs), then propagate that error.
+        let first_err: Option<(usize, FlowError)> = graph
+            .topo()
+            .iter()
+            .enumerate()
+            .find_map(|(pos, &i)| outcomes[i].error.clone().map(|e| (pos, e)));
+        for (pos, &i) in graph.topo().iter().enumerate() {
+            if let Some((err_pos, _)) = &first_err {
+                if pos > *err_pos {
+                    break;
                 }
             }
+            let o = &mut outcomes[i];
+            if o.skipped {
+                continue;
+            }
+            ctx.trace.append(&mut o.trace);
+            ctx.designs.append(&mut o.designs);
+            ctx.failures.append(&mut o.failures);
         }
+        if let Some((_, e)) = first_err {
+            return Err(e);
+        }
+
+        // Final value state: a virtual sink join over the *effective
+        // terminals* — non-skipped nodes none of whose dependents ran.
+        let terminals: Vec<usize> = (0..n)
+            .filter(|&i| {
+                !outcomes[i].skipped && graph.succs(i).iter().all(|&s| outcomes[s].skipped)
+            })
+            .collect();
+        let plan = graph.join_plan(&terminals);
+        let base = plan
+            .base
+            .expect("root nodes never skip: some terminal exists");
+        let mut fin = outcomes[base]
+            .ctx
+            .take()
+            .expect("terminal contexts are never consumed");
+        for (p, set) in &plan.imports {
+            let src = outcomes[*p]
+                .ctx
+                .as_ref()
+                .expect("terminal contexts are never consumed");
+            for port in set.iter() {
+                ports::copy_port(&mut fin, src, port);
+            }
+        }
+        adopt_value_state(ctx, fin);
         Ok(())
     }
 
-    /// Run one task, wrapping everything it records into a
-    /// [`TraceEvent::Task`] span (also on error or panic, so the trace
-    /// stays well-formed). Retries transient tasks under
-    /// [`FailurePolicy::Retry`] and enforces both deadlines.
-    fn run_task(
+    /// Execute one graph node: decide skip, materialise the input context
+    /// from predecessor slots (join plan + take-when-last-consumer), run
+    /// the module or branch, and drain the accumulator deltas.
+    fn exec_node(
         &self,
-        flow: &Flow,
-        task: &dyn crate::task::Task,
+        graph: &FlowGraph,
+        i: usize,
+        entry: &FlowContext,
+        slots: &[Mutex<Option<NodeOutcome>>],
+        consumers: &[AtomicUsize],
+        state: RunState,
+    ) -> NodeOutcome {
+        let deps = graph.deps(i);
+        let skip = deps.iter().any(|&d| {
+            let slot = sched::lock(&slots[d]);
+            let o = slot.as_ref().expect("scheduler runs dependencies first");
+            o.skipped || o.terminated || o.error.is_some()
+        });
+        if skip {
+            // Still release the claims so sibling consumers can take.
+            for &d in deps {
+                consumers[d].fetch_sub(1, Ordering::AcqRel);
+            }
+            return NodeOutcome::skipped();
+        }
+
+        let mut input: Option<FlowContext> = if deps.is_empty() {
+            Some(entry.clone())
+        } else {
+            None
+        };
+        let plan = graph.join_plan(deps);
+        for &d in deps {
+            // The slot lock serialises copy/take with the consumer-count
+            // decrement: a consumer that observes itself last (fetch_sub
+            // returns 1) knows every sibling has already copied.
+            let mut slot = sched::lock(&slots[d]);
+            let last = consumers[d].fetch_sub(1, Ordering::AcqRel) == 1;
+            let o = slot.as_mut().expect("scheduler runs dependencies first");
+            if Some(d) == plan.base {
+                let ctx = if last { o.ctx.take() } else { o.ctx.clone() };
+                input = Some(ctx.expect("non-skipped dependency keeps its context"));
+            } else if let Some((_, set)) = plan.imports.iter().find(|(p, _)| *p == d) {
+                let src = o
+                    .ctx
+                    .as_ref()
+                    .expect("non-skipped dependency keeps its context");
+                let dst = input
+                    .as_mut()
+                    .expect("the join base is the smallest dependency, visited first");
+                for port in set.iter() {
+                    ports::copy_port(dst, src, port);
+                }
+            }
+        }
+        let mut input = input.expect("every non-root node has a join base");
+
+        let (result, terminated) = match &graph.nodes[i].kind {
+            GraphNode::Module(m) => (
+                self.run_module(&graph.name, m.as_ref(), &mut input, state),
+                false,
+            ),
+            GraphNode::Branch(bp) => match self.run_branch(&graph.name, bp, &mut input, state) {
+                Ok(continues) => (Ok(()), !continues),
+                Err(e) => (Err(e), false),
+            },
+        };
+
+        NodeOutcome {
+            trace: std::mem::take(&mut input.trace),
+            designs: std::mem::take(&mut input.designs),
+            failures: std::mem::take(&mut input.failures),
+            error: result.err(),
+            ctx: Some(input),
+            skipped: false,
+            terminated,
+        }
+    }
+
+    /// Run one module, wrapping everything it records into a
+    /// [`TraceEvent::Task`] span (also on error or panic, so the trace
+    /// stays well-formed). Retries transient modules under
+    /// [`FailurePolicy::Retry`] and enforces both deadlines.
+    fn run_module(
+        &self,
+        flow_name: &str,
+        module: &dyn crate::task::Module,
         ctx: &mut FlowContext,
         state: RunState,
     ) -> Result<(), FlowError> {
-        let info = task.info();
-        // Flow deadline: checked between steps, before the span opens — a
-        // task never starts once the whole-flow budget is spent.
+        let info = module.info();
+        // Flow deadline: checked before the span opens — a module never
+        // starts once the whole-flow budget is spent.
         if let Some(at) = state.flow_deadline_at {
             if Instant::now() >= at {
                 psa_obs::counter_add("psa_flow_timeouts_total", &[("scope", "flow")], 1);
                 return Err(FlowError::timeout(format!(
                     "flow `{}` deadline elapsed before task `{}`",
-                    flow.name, info.name
+                    flow_name, info.name
                 )));
             }
         }
@@ -271,7 +514,7 @@ impl FlowEngine {
             (FailurePolicy::Retry { attempts, .. }, true) => attempts.max(1),
             _ => 1,
         };
-        let mut result = attempt_task(flow, task, &info, ctx);
+        let mut result = attempt_module(flow_name, module, &info, ctx);
         let mut attempt = 1u32;
         while attempt < max_attempts {
             let err = match &result {
@@ -283,7 +526,7 @@ impl FlowEngine {
                 _ => 0,
             };
             ctx.trace.push(TraceEvent::TaskRetry {
-                flow: flow.name.clone(),
+                flow: flow_name.to_string(),
                 task: info.name.to_string(),
                 attempt,
                 backoff_ms,
@@ -291,11 +534,11 @@ impl FlowEngine {
             });
             psa_obs::counter_add("psa_flow_task_retries_total", &[("task", info.name)], 1);
             attempt += 1;
-            result = attempt_task(flow, task, &info, ctx);
+            result = attempt_module(flow_name, module, &info, ctx);
         }
         let wall_ns = t0.elapsed().as_nanos() as u64;
         // Task deadline: the span's wall-clock converts an overlong run
-        // into a typed timeout once the task hands control back.
+        // into a typed timeout once the module hands control back.
         if result.is_ok() {
             if let Some(limit) = self.task_deadline {
                 if t0.elapsed() > limit {
@@ -318,7 +561,7 @@ impl FlowEngine {
         let events = ctx.trace.split_off(start);
         let virtual_s = dse_virtual_s(&events);
         ctx.trace.push(TraceEvent::Task {
-            flow: flow.name.clone(),
+            flow: flow_name.to_string(),
             name: info.name.to_string(),
             class: info.class.code().to_string(),
             dynamic: info.dynamic,
@@ -330,19 +573,19 @@ impl FlowEngine {
     }
 
     /// Run one branch point. Returns `Ok(false)` when the strategy selected
-    /// no path (the enclosing flow terminates).
+    /// no path (every dependent of the branch node is skipped).
     fn run_branch(
         &self,
-        flow: &Flow,
+        flow_name: &str,
         bp: &BranchPoint,
         ctx: &mut FlowContext,
         state: RunState,
     ) -> Result<bool, FlowError> {
         let start = ctx.trace.len();
-        // The select seam: fault-injectable and panic-isolated like a task
-        // run — a panicking strategy surfaces as a typed internal error.
+        // The select seam: fault-injectable and panic-isolated like a
+        // module run — a panicking strategy surfaces as a typed error.
         let selected = catch_unwind(AssertUnwindSafe(|| {
-            match ctx.probe_fault(Seam::Select, || format!("{}/{}", flow.name, bp.name)) {
+            match ctx.probe_fault(Seam::Select, || format!("{}/{}", flow_name, bp.name)) {
                 None => {}
                 Some(FaultAction::Delay { ms }) => {
                     std::thread::sleep(Duration::from_millis(ms));
@@ -398,7 +641,7 @@ impl FlowEngine {
         let push_branch =
             |ctx: &mut FlowContext, selection: SelectionTrace, paths: Vec<PathTrace>| {
                 ctx.trace.push(TraceEvent::Branch {
-                    flow: flow.name.clone(),
+                    flow: flow_name.to_string(),
                     branch: bp.name.clone(),
                     strategy: bp.strategy.name().to_string(),
                     evidence,
@@ -414,10 +657,10 @@ impl FlowEngine {
                 Ok(false)
             }
             Selection::One(index) => {
-                let (label, subflow) = &bp.paths[index];
+                let (label, subgraph) = &bp.paths[index];
                 // A single path continues on the live context: its state
                 // (AST edits, tuned parameters) persists past the branch.
-                let result = self.execute_inner(subflow, ctx, state);
+                let result = self.run_graph(subgraph, ctx, state);
                 let events = ctx.trace.split_off(start);
                 let path = PathTrace {
                     index,
@@ -440,7 +683,7 @@ impl FlowEngine {
                 // typed errors, so completed sibling traces always attach
                 // to the branch event below — even when the error then
                 // propagates under `FailFast`.
-                let (paths, first_err) = self.run_many(flow, bp, ctx, &indices, state);
+                let (paths, first_err) = self.run_many(flow_name, bp, ctx, &indices, state);
                 push_branch(ctx, SelectionTrace::Many { indices, labels }, paths);
                 match first_err {
                     Some(e) => Err(e),
@@ -457,7 +700,7 @@ impl FlowEngine {
     /// to [`FlowError::Internal`], so sibling traces are always preserved.
     fn run_many(
         &self,
-        flow: &Flow,
+        flow_name: &str,
         bp: &BranchPoint,
         ctx: &mut FlowContext,
         indices: &[usize],
@@ -496,14 +739,14 @@ impl FlowEngine {
                             1,
                         );
                         events.push(TraceEvent::PathFailed {
-                            flow: flow.name.clone(),
+                            flow: flow_name.to_string(),
                             branch: bp.name.clone(),
                             index,
                             label: label.clone(),
                             error: e.clone(),
                         });
                         ctx.failures.push(PathFailure {
-                            flow: flow.name.clone(),
+                            flow: flow_name.to_string(),
                             branch: bp.name.clone(),
                             index,
                             label: label.clone(),
@@ -527,12 +770,12 @@ impl FlowEngine {
         match self.mode {
             ExecMode::Sequential => {
                 for &index in indices {
-                    let subflow = &bp.paths[index].1;
+                    let subgraph = &bp.paths[index].1;
                     // The clone carries designs merged from earlier
                     // siblings; only what THIS path appends is its suffix.
                     let base_designs = ctx.designs.len();
                     let mut pctx = path_context(ctx);
-                    let res = self.run_path(subflow, &mut pctx, state, &bp.paths[index].0);
+                    let res = self.run_path(subgraph, &mut pctx, state, &bp.paths[index].0);
                     let failed = res.is_err();
                     merge(ctx, &mut first_err, index, res, pctx, base_designs);
                     if failed && self.policy != FailurePolicy::DegradePaths {
@@ -551,10 +794,10 @@ impl FlowEngine {
                     let handles: Vec<_> = indices
                         .iter()
                         .map(|&index| {
-                            let (label, subflow) = &bp.paths[index];
+                            let (label, subgraph) = &bp.paths[index];
                             let mut pctx = path_context(ctx);
                             s.spawn(move |_| {
-                                let res = engine.run_path(subflow, &mut pctx, state, label);
+                                let res = engine.run_path(subgraph, &mut pctx, state, label);
                                 (res, pctx)
                             })
                         })
@@ -593,20 +836,18 @@ impl FlowEngine {
         (paths, first_err)
     }
 
-    /// Run one branch path's sub-flow with a panic backstop: any unwind
-    /// that escapes the task/select seams (i.e. a bug in the engine or a
+    /// Run one branch path's sub-graph with a panic backstop: any unwind
+    /// that escapes the module/select seams (i.e. a bug in the engine or a
     /// non-send panic site) still becomes a typed error for this path
     /// instead of tearing down the sweep.
     fn run_path(
         &self,
-        subflow: &Flow,
+        subgraph: &FlowGraph,
         pctx: &mut FlowContext,
         state: RunState,
         label: &str,
     ) -> Result<(), FlowError> {
-        match catch_unwind(AssertUnwindSafe(|| {
-            self.execute_inner(subflow, pctx, state)
-        })) {
+        match catch_unwind(AssertUnwindSafe(|| self.run_graph(subgraph, pctx, state))) {
             Ok(r) => r,
             Err(payload) => Err(FlowError::internal(format!(
                 "path `{label}` panicked: {}",
@@ -616,17 +857,18 @@ impl FlowEngine {
     }
 }
 
-/// One attempt at a task's `run`: the fault-probe for the task seam plus a
-/// `catch_unwind` converting panics (injected or genuine) into
-/// [`FlowError::Internal`].
-fn attempt_task(
-    flow: &Flow,
-    task: &dyn crate::task::Task,
+/// One attempt at a module's `run`: the fault-probe for the task seam plus
+/// a `catch_unwind` converting panics (injected or genuine) into
+/// [`FlowError::Internal`]. Fault sites keep the chain-era
+/// `{flow}/{module}` shape.
+fn attempt_module(
+    flow_name: &str,
+    module: &dyn crate::task::Module,
     info: &TaskInfo,
     ctx: &mut FlowContext,
 ) -> Result<(), FlowError> {
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        match ctx.probe_fault(Seam::Task, || format!("{}/{}", flow.name, info.name)) {
+        match ctx.probe_fault(Seam::Task, || format!("{}/{}", flow_name, info.name)) {
             None => {}
             Some(FaultAction::Delay { ms }) => std::thread::sleep(Duration::from_millis(ms)),
             Some(FaultAction::Error { kind, message }) => {
@@ -634,7 +876,7 @@ fn attempt_task(
             }
             Some(FaultAction::Panic { message }) => panic!("injected fault: {message}"),
         }
-        task.run(ctx)
+        module.run(ctx)
     }));
     outcome.unwrap_or_else(|payload| {
         Err(FlowError::internal(format!(
@@ -668,7 +910,27 @@ fn path_context(ctx: &FlowContext) -> FlowContext {
     c
 }
 
-/// The estimated execution time a task's DSE settled on, if it ran one.
+/// Clone of a context's *value state* only: the accumulator channels start
+/// empty, so a node records pure deltas.
+fn value_state(ctx: &FlowContext) -> FlowContext {
+    let mut c = ctx.clone();
+    c.trace = Vec::new();
+    c.designs = Vec::new();
+    c.failures = Vec::new();
+    c
+}
+
+/// Move a finished graph run's value state into the live context (the
+/// channels were already appended during assembly; the cache `Arc` is the
+/// same one the run shared).
+fn adopt_value_state(dst: &mut FlowContext, src: FlowContext) {
+    for port in Port::ALL {
+        ports::copy_port(dst, &src, port);
+    }
+    dst.pending_decision = src.pending_decision;
+}
+
+/// The estimated execution time a module's DSE settled on, if it ran one.
 fn dse_virtual_s(events: &[TraceEvent]) -> Option<f64> {
     let mut v = None;
     for e in events {
@@ -750,19 +1012,19 @@ mod tests {
             "B",
             All,
             vec![
-                ("slow".into(), Flow::new("slow").task(Emit("slow", 30))),
+                ("slow".into(), Flow::new("slow").then(Emit("slow", 30))),
                 (
                     "nested".into(),
                     Flow::new("nested").branch(
                         "C",
                         All,
                         vec![
-                            ("n-slow".into(), Flow::new("ns").task(Emit("n-slow", 20))),
-                            ("n-fast".into(), Flow::new("nf").task(Emit("n-fast", 0))),
+                            ("n-slow".into(), Flow::new("ns").then(Emit("n-slow", 20))),
+                            ("n-fast".into(), Flow::new("nf").then(Emit("n-fast", 0))),
                         ],
                     ),
                 ),
-                ("fast".into(), Flow::new("fast").task(Emit("fast", 0))),
+                ("fast".into(), Flow::new("fast").then(Emit("fast", 0))),
             ],
         )
     }
@@ -817,11 +1079,11 @@ mod tests {
             "B",
             All,
             vec![
-                ("ok".into(), Flow::new("ok").task(Emit("ok", 20))),
-                ("bad".into(), Flow::new("bad").task(Failing)),
+                ("ok".into(), Flow::new("ok").then(Emit("ok", 20))),
+                ("bad".into(), Flow::new("bad").then(Failing)),
                 (
                     "late-bad".into(),
-                    Flow::new("lb").task(Emit("x", 0)).task(Failing),
+                    Flow::new("lb").then(Emit("x", 0)).then(Failing),
                 ),
             ],
         );
@@ -893,9 +1155,9 @@ mod tests {
             "B",
             All,
             vec![
-                ("left".into(), Flow::new("left").task(Emit("left", 10))),
-                ("bad".into(), Flow::new("bad").task(Panicking)),
-                ("right".into(), Flow::new("right").task(Emit("right", 0))),
+                ("left".into(), Flow::new("left").then(Emit("left", 10))),
+                ("bad".into(), Flow::new("bad").then(Panicking)),
+                ("right".into(), Flow::new("right").then(Emit("right", 0))),
             ],
         )
     }
@@ -984,7 +1246,7 @@ mod tests {
     #[test]
     fn retry_reruns_transient_task_with_virtual_backoff() {
         let fuse = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(2));
-        let flow = Flow::new("f").task(Flaky(std::sync::Arc::clone(&fuse)));
+        let flow = Flow::new("f").then(Flaky(std::sync::Arc::clone(&fuse)));
         let mut c = ctx();
         FlowEngine::sequential()
             .with_policy(FailurePolicy::parse("retry:3").unwrap())
@@ -1013,7 +1275,7 @@ mod tests {
     #[test]
     fn retry_exhaustion_propagates_the_last_error() {
         let fuse = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(10));
-        let flow = Flow::new("f").task(Flaky(std::sync::Arc::clone(&fuse)));
+        let flow = Flow::new("f").then(Flaky(std::sync::Arc::clone(&fuse)));
         let mut c = ctx();
         let err = FlowEngine::sequential()
             .with_policy(FailurePolicy::parse("retry:3").unwrap())
@@ -1026,7 +1288,7 @@ mod tests {
 
     #[test]
     fn retry_skips_tasks_not_marked_transient() {
-        let flow = Flow::new("f").task(Failing);
+        let flow = Flow::new("f").then(Failing);
         let mut c = ctx();
         let err = FlowEngine::sequential()
             .with_policy(FailurePolicy::parse("retry:5").unwrap())
@@ -1046,7 +1308,7 @@ mod tests {
 
     #[test]
     fn task_deadline_converts_overlong_runs_into_timeouts() {
-        let flow = Flow::new("f").task(Emit("slow", 25));
+        let flow = Flow::new("f").then(Emit("slow", 25));
         let mut c = ctx();
         let err = FlowEngine::sequential()
             .with_task_deadline(Duration::from_millis(1))
@@ -1063,8 +1325,8 @@ mod tests {
     #[test]
     fn flow_deadline_stops_before_the_next_task() {
         let flow = Flow::new("f")
-            .task(Emit("first", 25))
-            .task(Emit("second", 0));
+            .then(Emit("first", 25))
+            .then(Emit("second", 0));
         let mut c = ctx();
         let err = FlowEngine::sequential()
             .with_flow_deadline(Duration::from_millis(5))
@@ -1094,7 +1356,7 @@ mod tests {
     fn selection_none_terminates_the_flow_level_in_parallel() {
         let flow = Flow::new("f")
             .branch("B", PickNone, vec![("only".into(), Flow::new("p"))])
-            .task(Emit("after", 0));
+            .then(Emit("after", 0));
         let mut c = ctx();
         FlowEngine::parallel().execute(&flow, &mut c).unwrap();
         assert!(
@@ -1117,19 +1379,19 @@ mod tests {
             "B",
             All,
             vec![
-                ("left".into(), Flow::new("left").task(Emit("left", 0))),
+                ("left".into(), Flow::new("left").then(Emit("left", 0))),
                 (
                     "nested".into(),
                     Flow::new("nested").branch(
                         "C",
                         All,
                         vec![
-                            ("inner-bad".into(), Flow::new("ib").task(Failing)),
-                            ("inner-good".into(), Flow::new("ig").task(Emit("inner", 0))),
+                            ("inner-bad".into(), Flow::new("ib").then(Failing)),
+                            ("inner-good".into(), Flow::new("ig").then(Emit("inner", 0))),
                         ],
                     ),
                 ),
-                ("right".into(), Flow::new("right").task(Emit("right", 0))),
+                ("right".into(), Flow::new("right").then(Emit("right", 0))),
             ],
         )
     }
@@ -1211,11 +1473,11 @@ mod tests {
                 "B",
                 All,
                 vec![
-                    ("left".into(), Flow::new("left").task(Emit("left", 0))),
-                    ("right".into(), Flow::new("right").task(Emit("right", 0))),
+                    ("left".into(), Flow::new("left").then(Emit("left", 0))),
+                    ("right".into(), Flow::new("right").then(Emit("right", 0))),
                 ],
             )
-            .task(Emit("after", 0));
+            .then(Emit("after", 0));
         let mut c = ctx().with_faults(std::sync::Arc::clone(&plan));
         let err = FlowEngine::parallel().execute(&flow, &mut c).unwrap_err();
         assert_eq!(err, FlowError::transform("injected left failure"));
@@ -1233,7 +1495,7 @@ mod tests {
 
     #[test]
     fn task_spans_record_wall_clock_but_do_not_render_it() {
-        let flow = Flow::new("f").task(Emit("only", 5));
+        let flow = Flow::new("f").then(Emit("only", 5));
         let mut c = ctx();
         FlowEngine::sequential().execute(&flow, &mut c).unwrap();
         match &c.trace()[0] {

@@ -7,10 +7,18 @@
 //! requiring decisions… facilitated by programmatic, customizable PSA at
 //! branch points." (§II-B)
 //!
+//! Since the flow-graph redesign, [`Flow`] is a thin chain-shaped frontend
+//! over [`crate::graph::GraphBuilder`]: [`Flow::graph`] converts the chain
+//! to a [`FlowGraph`] (each step depending on the previous one) and
+//! execution always goes through the graph engine. Use
+//! [`crate::graph::GraphBuilder`] directly when steps are *not* totally
+//! ordered — independent nodes then run concurrently.
+//!
 //! Execution lives in [`crate::engine::FlowEngine`]; [`Flow::execute`] runs
 //! on the default (parallel) engine.
 
 use crate::context::FlowContext;
+use crate::graph::{FlowGraph, GraphBuilder, NodeId};
 use crate::strategy::PsaStrategy;
 use crate::task::Task;
 use std::fmt;
@@ -190,23 +198,29 @@ pub enum Selection {
     None,
 }
 
-/// A divergence point with an automated selector.
+/// A divergence point with an automated selector. Since the flow-graph
+/// redesign the alternative paths are sub-*graphs* — chain-built paths
+/// are converted on the way in by [`Flow::branch`].
+#[derive(Clone)]
 pub struct BranchPoint {
     /// Name shown in traces, e.g. "A (target mapping)".
     pub name: String,
-    /// Labelled alternative sub-flows.
-    pub paths: Vec<(String, Flow)>,
+    /// Labelled alternative sub-graphs.
+    pub paths: Vec<(String, FlowGraph)>,
     /// The PSA strategy deciding which paths are taken.
     pub strategy: Arc<dyn PsaStrategy>,
 }
 
-/// One step of a flow.
+/// One step of a linear flow.
+#[derive(Clone)]
 pub enum Step {
     Task(Arc<dyn Task>),
     Branch(BranchPoint),
 }
 
-/// A composable design-flow: an ordered list of steps.
+/// A composable linear design-flow: an ordered list of steps, and the
+/// chain-shaped frontend to [`FlowGraph`] (see [`Flow::graph`]).
+#[derive(Clone)]
 pub struct Flow {
     pub name: String,
     pub steps: Vec<Step>,
@@ -221,31 +235,32 @@ impl Flow {
         }
     }
 
-    /// Append a task (builder style).
-    pub fn task(self, task: impl Task + 'static) -> Self {
-        self.task_arc(Arc::new(task))
+    /// Append a module (builder style).
+    pub fn then(self, module: impl Task + 'static) -> Self {
+        self.then_shared(Arc::new(module))
     }
 
-    /// Append a pre-built shared task. Lets several flows (or several paths
-    /// of one flow) share a single task instance instead of constructing
-    /// duplicates.
-    pub fn task_arc(mut self, task: Arc<dyn Task>) -> Self {
-        self.steps.push(Step::Task(task));
+    /// Append a pre-built shared module. Lets several flows (or several
+    /// paths of one flow) share a single module instance instead of
+    /// constructing duplicates.
+    pub fn then_shared(mut self, module: Arc<dyn Task>) -> Self {
+        self.steps.push(Step::Task(module));
         self
     }
 
-    /// Append a branch point.
+    /// Append a branch point. The chain-built path flows are converted to
+    /// sub-graphs here.
     pub fn branch(
         self,
         name: impl Into<String>,
         strategy: impl PsaStrategy + 'static,
         paths: Vec<(String, Flow)>,
     ) -> Self {
-        self.branch_arc(name, Arc::new(strategy), paths)
+        self.branch_shared(name, Arc::new(strategy), paths)
     }
 
     /// Append a branch point with a pre-built shared strategy.
-    pub fn branch_arc(
+    pub fn branch_shared(
         mut self,
         name: impl Into<String>,
         strategy: Arc<dyn PsaStrategy>,
@@ -253,16 +268,59 @@ impl Flow {
     ) -> Self {
         self.steps.push(Step::Branch(BranchPoint {
             name: name.into(),
-            paths,
+            paths: paths
+                .into_iter()
+                .map(|(label, flow)| (label, flow.graph()))
+                .collect(),
             strategy,
         }));
         self
     }
 
+    /// Pre-redesign name of [`Flow::then`].
+    #[deprecated(note = "renamed to `then`")]
+    pub fn task(self, task: impl Task + 'static) -> Self {
+        self.then(task)
+    }
+
+    /// Pre-redesign name of [`Flow::then_shared`].
+    #[deprecated(note = "renamed to `then_shared`")]
+    pub fn task_arc(self, task: Arc<dyn Task>) -> Self {
+        self.then_shared(task)
+    }
+
+    /// Pre-redesign name of [`Flow::branch_shared`].
+    #[deprecated(note = "renamed to `branch_shared`")]
+    pub fn branch_arc(
+        self,
+        name: impl Into<String>,
+        strategy: Arc<dyn PsaStrategy>,
+        paths: Vec<(String, Flow)>,
+    ) -> Self {
+        self.branch_shared(name, strategy, paths)
+    }
+
+    /// The chain's graph form: each step depends on the previous one. The
+    /// entry context is mid-flow state, so every port counts as seeded —
+    /// a linear chain always validates.
+    pub fn graph(&self) -> FlowGraph {
+        let mut b = GraphBuilder::new(self.name.clone()).seed_all();
+        let mut prev: Option<NodeId> = None;
+        for step in &self.steps {
+            let deps: Vec<NodeId> = prev.into_iter().collect();
+            prev = Some(match step {
+                Step::Task(t) => b.add_shared_after(Arc::clone(t), &deps),
+                Step::Branch(bp) => b.branch_point_after(bp.clone(), &deps),
+            });
+        }
+        b.finish().expect("a linear chain always validates")
+    }
+
     /// Execute the flow against a context on the default engine (parallel
-    /// branch-path execution; see [`crate::engine::FlowEngine`]). Branch
-    /// points clone the context per selected path and merge the resulting
-    /// designs and trace back in path-index order.
+    /// execution of independent nodes and branch paths; see
+    /// [`crate::engine::FlowEngine`]). Branch points clone the context per
+    /// selected path and merge the resulting designs and trace back in
+    /// path-index order.
     pub fn execute(&self, ctx: &mut FlowContext) -> Result<(), FlowError> {
         crate::engine::FlowEngine::default().execute(self, ctx)
     }
@@ -309,7 +367,7 @@ mod tests {
 
     #[test]
     fn linear_flow_runs_in_order() {
-        let flow = Flow::new("lin").task(Log("a")).task(Log("b"));
+        let flow = Flow::new("lin").then(Log("a")).then(Log("b"));
         let mut c = ctx();
         flow.execute(&mut c).unwrap();
         let lines = c.trace_lines();
@@ -323,8 +381,8 @@ mod tests {
             "A",
             Fixed(Selection::One(1)),
             vec![
-                ("left".into(), Flow::new("l").task(Log("left"))),
-                ("right".into(), Flow::new("r").task(Log("right"))),
+                ("left".into(), Flow::new("l").then(Log("left"))),
+                ("right".into(), Flow::new("r").then(Log("right"))),
             ],
         );
         let mut c = ctx();
@@ -340,8 +398,8 @@ mod tests {
             "B",
             Fixed(Selection::Many(vec![0, 1])),
             vec![
-                ("d1".into(), Flow::new("1").task(Log("one"))),
-                ("d2".into(), Flow::new("2").task(Log("two"))),
+                ("d1".into(), Flow::new("1").then(Log("one"))),
+                ("d2".into(), Flow::new("2").then(Log("two"))),
             ],
         );
         let mut c = ctx();
@@ -357,9 +415,9 @@ mod tests {
             .branch(
                 "A",
                 Fixed(Selection::None),
-                vec![("p".into(), Flow::new("p").task(Log("x")))],
+                vec![("p".into(), Flow::new("p").then(Log("x")))],
             )
-            .task(Log("after"));
+            .then(Log("after"));
         let mut c = ctx();
         flow.execute(&mut c).unwrap();
         let lines = c.trace_lines();
@@ -382,8 +440,8 @@ mod tests {
     #[test]
     fn shared_arc_tasks_appear_in_every_flow_that_uses_them() {
         let shared: Arc<dyn Task> = Arc::new(Log("shared"));
-        let f1 = Flow::new("f1").task_arc(Arc::clone(&shared));
-        let f2 = Flow::new("f2").task_arc(Arc::clone(&shared));
+        let f1 = Flow::new("f1").then_shared(Arc::clone(&shared));
+        let f2 = Flow::new("f2").then_shared(Arc::clone(&shared));
         // One instance, three owners (both flows + the local handle).
         assert_eq!(Arc::strong_count(&shared), 3);
         for f in [f1, f2] {
@@ -391,6 +449,43 @@ mod tests {
             f.execute(&mut c).unwrap();
             assert!(c.trace_lines().iter().any(|l| l == "ran shared"));
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_builder_names_still_work() {
+        let shared: Arc<dyn Task> = Arc::new(Log("shared"));
+        let flow = Flow::new("legacy")
+            .task(Log("a"))
+            .task_arc(shared)
+            .branch_arc(
+                "A",
+                Arc::new(Fixed(Selection::One(0))),
+                vec![("p".into(), Flow::new("p").then(Log("p")))],
+            );
+        let mut c = ctx();
+        flow.execute(&mut c).unwrap();
+        let lines = c.trace_lines();
+        for expected in ["ran a", "ran shared", "ran p"] {
+            assert!(lines.iter().any(|l| l == expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn chain_graph_is_a_path_through_every_step() {
+        let flow = Flow::new("lin").then(Log("a")).then(Log("b")).branch(
+            "A",
+            Fixed(Selection::None),
+            vec![],
+        );
+        let g = flow.graph();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.topo(), [0, 1, 2]);
+        assert_eq!(g.deps(0), [] as [usize; 0]);
+        assert_eq!(g.deps(1), [0]);
+        assert_eq!(g.deps(2), [1]);
+        assert_eq!(g.width(), 1, "chains schedule on the calling thread");
+        assert_eq!(g.node_name(2), "A");
     }
 
     #[test]

@@ -2,10 +2,22 @@
 //! tasks → branch point A (target mapping) → target-specific tasks →
 //! device-level branch points B (GPUs) and C (FPGAs) → device-specific
 //! optimisation + DSE → design generation.
+//!
+//! Two equivalent representations are built here:
+//!
+//! * [`build_flow`] — the legacy chain form (every step totally ordered);
+//! * [`build_graph`] — the native [`FlowGraph`] form, where the five
+//!   analysis evidence tasks fan out concurrently from
+//!   [`tindep::ComputeKernelAnalysis`].
+//!
+//! Both produce byte-identical traces (the graph's stable topological
+//! order equals the chain order); the `full_psa_flow*` entry points run
+//! the graph form.
 
 use crate::context::{FlowContext, PsaParams};
 use crate::engine::FlowEngine;
 use crate::flow::{Flow, FlowError};
+use crate::graph::{FlowGraph, GraphBuilder};
 use crate::report::{DeviceKind, FlowOutcome, TargetKind};
 use crate::strategy::{SelectAll, TargetSelect, PATH_CPU, PATH_FPGA, PATH_GPU};
 use crate::task::Task;
@@ -31,15 +43,15 @@ pub const KERNEL_NAME: &str = "psa_kernel";
 
 fn cpu_path() -> Flow {
     Flow::new("cpu-omp")
-        .task(cpu::MultiThreadParallelLoops)
-        .task(cpu::OmpNumThreadsDse)
-        .task(cpu::GenerateOpenMpDesign)
+        .then(cpu::MultiThreadParallelLoops)
+        .then(cpu::OmpNumThreadsDse)
+        .then(cpu::GenerateOpenMpDesign)
 }
 
 fn gpu_device_path(device: DeviceKind) -> Flow {
     Flow::new(format!("gpu-{}", device.label()))
-        .task(gpu::BlocksizeDseTask { device })
-        .task(gpu::GenerateHipDesign { device })
+        .then(gpu::BlocksizeDseTask { device })
+        .then(gpu::GenerateHipDesign { device })
 }
 
 /// The SP transforms appear on both the GPU and the FPGA paths; one shared
@@ -53,11 +65,11 @@ fn sp_transforms() -> (Arc<dyn Task>, Arc<dyn Task>) {
 
 fn gpu_path(sp_math: Arc<dyn Task>, sp_literals: Arc<dyn Task>) -> Flow {
     Flow::new("cpu+gpu")
-        .task_arc(sp_math)
-        .task_arc(sp_literals)
-        .task(gpu::EmploySpecialisedMathFns)
-        .task(gpu::IntroduceSharedMemBuf)
-        .task(gpu::EmployHipPinnedMemory)
+        .then_shared(sp_math)
+        .then_shared(sp_literals)
+        .then(gpu::EmploySpecialisedMathFns)
+        .then(gpu::IntroduceSharedMemBuf)
+        .then(gpu::EmployHipPinnedMemory)
         .branch(
             "B (GPU device)",
             SelectAll,
@@ -71,17 +83,17 @@ fn gpu_path(sp_math: Arc<dyn Task>, sp_literals: Arc<dyn Task>) -> Flow {
 fn fpga_device_path(device: DeviceKind, zero_copy: bool) -> Flow {
     let mut flow = Flow::new(format!("fpga-{}", device.label()));
     if zero_copy {
-        flow = flow.task(fpga::ZeroCopyDataTransfer);
+        flow = flow.then(fpga::ZeroCopyDataTransfer);
     }
-    flow.task(fpga::UnrollUntilOvermapDse { device })
-        .task(fpga::GenerateOneApiDesign { device })
+    flow.then(fpga::UnrollUntilOvermapDse { device })
+        .then(fpga::GenerateOneApiDesign { device })
 }
 
 fn fpga_path(sp_math: Arc<dyn Task>, sp_literals: Arc<dyn Task>) -> Flow {
     Flow::new("cpu+fpga")
-        .task(fpga::UnrollFixedLoops)
-        .task_arc(sp_math)
-        .task_arc(sp_literals)
+        .then(fpga::UnrollFixedLoops)
+        .then_shared(sp_math)
+        .then_shared(sp_literals)
         .branch(
             "C (FPGA device)",
             SelectAll,
@@ -98,7 +110,20 @@ fn fpga_path(sp_math: Arc<dyn Task>, sp_literals: Arc<dyn Task>) -> Flow {
         )
 }
 
-/// Assemble the Fig. 4 PSA-flow.
+/// The branch-A paths (shared between the chain and graph forms).
+fn branch_a_paths() -> Vec<(String, Flow)> {
+    let (sp_math, sp_literals) = sp_transforms();
+    vec![
+        (
+            PATH_GPU.to_string(),
+            gpu_path(Arc::clone(&sp_math), Arc::clone(&sp_literals)),
+        ),
+        (PATH_FPGA.to_string(), fpga_path(sp_math, sp_literals)),
+        (PATH_CPU.to_string(), cpu_path()),
+    ]
+}
+
+/// Assemble the Fig. 4 PSA-flow in its legacy chain form.
 pub fn build_flow(mode: FlowMode) -> Flow {
     match mode {
         FlowMode::Informed => build_flow_with_strategy(TargetSelect, "A (target mapping)"),
@@ -108,34 +133,71 @@ pub fn build_flow(mode: FlowMode) -> Flow {
     }
 }
 
-/// Assemble the Fig. 4 PSA-flow with a *custom* strategy at branch point A
-/// — how alternative deciders (e.g. the learned
+/// Assemble the Fig. 4 PSA-flow (chain form) with a *custom* strategy at
+/// branch point A — how alternative deciders (e.g. the learned
 /// [`crate::strategy::ml::MlTargetSelect`]) plug into the standard flow.
 pub fn build_flow_with_strategy(
     strategy: impl crate::strategy::PsaStrategy + 'static,
     branch_name: &str,
 ) -> Flow {
     let base = Flow::new("psa-flow")
-        .task(tindep::IdentifyHotspotLoops)
-        .task(tindep::HotspotLoopExtraction {
+        .then(tindep::IdentifyHotspotLoops)
+        .then(tindep::HotspotLoopExtraction {
             kernel_name: KERNEL_NAME.to_string(),
         })
-        .task(tindep::PointerAnalysis)
-        .task(tindep::ArithmeticIntensityAnalysis)
-        .task(tindep::DataInOutAnalysis)
-        .task(tindep::LoopDependenceAnalysis)
-        .task(tindep::LoopTripCountAnalysis)
-        .task(tindep::RemoveArrayAccumulation);
-    let (sp_math, sp_literals) = sp_transforms();
-    let paths = vec![
-        (
-            PATH_GPU.to_string(),
-            gpu_path(Arc::clone(&sp_math), Arc::clone(&sp_literals)),
-        ),
-        (PATH_FPGA.to_string(), fpga_path(sp_math, sp_literals)),
-        (PATH_CPU.to_string(), cpu_path()),
+        .then(tindep::ComputeKernelAnalysis)
+        .then(tindep::PointerAnalysis)
+        .then(tindep::ArithmeticIntensityAnalysis)
+        .then(tindep::DataInOutAnalysis)
+        .then(tindep::LoopDependenceAnalysis)
+        .then(tindep::LoopTripCountAnalysis)
+        .then(tindep::RemoveArrayAccumulation);
+    base.branch(branch_name, strategy, branch_a_paths())
+}
+
+/// Assemble the Fig. 4 PSA-flow in its native graph form.
+pub fn build_graph(mode: FlowMode) -> FlowGraph {
+    match mode {
+        FlowMode::Informed => build_graph_with_strategy(TargetSelect, "A (target mapping)"),
+        FlowMode::Uninformed => {
+            build_graph_with_strategy(SelectAll, "A (target mapping, all paths)")
+        }
+    }
+}
+
+/// Assemble the Fig. 4 PSA-flow as a [`FlowGraph`]: hotspot detection →
+/// kernel extraction → analysis computation → the five evidence tasks
+/// **fanned out concurrently** (they only read the analysis record) → the
+/// reduction rewrite → branch point A. The insertion order equals the
+/// chain order, so the stable topological order — and therefore the trace
+/// — is byte-identical to [`build_flow_with_strategy`].
+pub fn build_graph_with_strategy(
+    strategy: impl crate::strategy::PsaStrategy + 'static,
+    branch_name: &str,
+) -> FlowGraph {
+    let mut b = GraphBuilder::new("psa-flow");
+    let h = b.add(tindep::IdentifyHotspotLoops);
+    let x = b.add_after(
+        tindep::HotspotLoopExtraction {
+            kernel_name: KERNEL_NAME.to_string(),
+        },
+        &[h],
+    );
+    let ka = b.add_after(tindep::ComputeKernelAnalysis, &[x]);
+    let evidence = [
+        b.add_after(tindep::PointerAnalysis, &[ka]),
+        b.add_after(tindep::ArithmeticIntensityAnalysis, &[ka]),
+        b.add_after(tindep::DataInOutAnalysis, &[ka]),
+        b.add_after(tindep::LoopDependenceAnalysis, &[ka]),
+        b.add_after(tindep::LoopTripCountAnalysis, &[ka]),
     ];
-    base.branch(branch_name, strategy, paths)
+    let ra = b.add_after(tindep::RemoveArrayAccumulation, &evidence);
+    let paths = branch_a_paths()
+        .into_iter()
+        .map(|(label, flow)| (label, flow.graph()))
+        .collect();
+    b.branch_after(branch_name, Arc::new(strategy), paths, &[ra]);
+    b.finish().expect("the Fig. 4 flow graph validates")
 }
 
 /// Run the full flow with a custom branch-A strategy.
@@ -181,8 +243,8 @@ pub fn full_psa_flow_with_strategy_cached_on(
         .map_err(|e| FlowError::precondition(format!("parse error: {e}")))?;
     let mut ctx = FlowContext::with_cache(ast, params, cache);
     let before = ctx.cache.stats();
-    engine.execute(
-        &build_flow_with_strategy(strategy, "A (custom strategy)"),
+    engine.execute_graph(
+        &build_graph_with_strategy(strategy, "A (custom strategy)"),
         &mut ctx,
     )?;
     push_cache_stats(&mut ctx, &before);
@@ -256,9 +318,9 @@ pub fn full_psa_flow_faulted_on(
     if let Some(plan) = faults {
         ctx = ctx.with_faults(plan);
     }
-    let flow = build_flow(mode);
+    let graph = build_graph(mode);
     let before = ctx.cache.stats();
-    engine.execute(&flow, &mut ctx)?;
+    engine.execute_graph(&graph, &mut ctx)?;
     push_cache_stats(&mut ctx, &before);
 
     // The informed strategy records its decision (with evidence) in the

@@ -1,0 +1,710 @@
+//! Flow graphs: dependency DAGs of modules with typed ports.
+//!
+//! A [`FlowGraph`] is the engine's first-class flow representation. Nodes
+//! are [`Module`]s or [`crate::flow::BranchPoint`]s; edges are explicit
+//! dependencies. The linear [`crate::flow::Flow`] API is a thin
+//! chain-shaped frontend over [`GraphBuilder`]
+//! (see [`crate::flow::Flow::graph`]).
+//!
+//! ## Validation (construct time)
+//!
+//! [`GraphBuilder::finish`] rejects malformed graphs with a typed
+//! [`GraphError`]:
+//!
+//! * **cycles** — dependencies must form a DAG;
+//! * **dangling inputs** — a declared input port must be produced by some
+//!   ancestor or seeded into the initial context;
+//! * **duplicate outputs** — two *unordered* nodes declaring the same
+//!   output port would make the merged value depend on scheduling; an
+//!   explicit dependency between them resolves the ambiguity.
+//!
+//! ## Determinism
+//!
+//! Everything order-sensitive is fixed at build time, independent of
+//! execution timing:
+//!
+//! * the **stable topological order** ([`FlowGraph::topo`]) is Kahn's
+//!   algorithm breaking ties by smallest node id (= insertion order), so
+//!   trace spans, designs and failures always assemble in the same order;
+//! * **join inputs** are materialised from predecessors by the
+//!   latest-writer-per-port rule over declared ports ([`JoinPlan`]), a
+//!   function of the graph's structure alone.
+
+use crate::flow::BranchPoint;
+use crate::ports::{ModulePorts, Port, PortSet};
+use crate::task::Module;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Handle to a node added to a [`GraphBuilder`] (and, after `finish`, an
+/// index into the built [`FlowGraph`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The node's index in insertion order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// What a graph node executes.
+#[derive(Clone)]
+pub enum GraphNode {
+    /// A design-flow module (task).
+    Module(Arc<dyn Module>),
+    /// A branch point: strategy-selected alternative sub-graphs.
+    Branch(BranchPoint),
+}
+
+impl GraphNode {
+    /// The node's display name (module repository name or branch name).
+    pub fn name(&self) -> String {
+        match self {
+            GraphNode::Module(m) => m.info().name.to_string(),
+            GraphNode::Branch(bp) => bp.name.clone(),
+        }
+    }
+
+    /// The node's dataflow signature. Branch points are opaque: their
+    /// strategy and `Selection::One` live-path semantics may touch any
+    /// slot.
+    pub fn ports(&self) -> ModulePorts {
+        match self {
+            GraphNode::Module(m) => m.ports(),
+            GraphNode::Branch(_) => ModulePorts::opaque(),
+        }
+    }
+}
+
+#[derive(Clone)]
+pub(crate) struct Node {
+    pub(crate) kind: GraphNode,
+    /// Sorted, deduplicated predecessor indices.
+    pub(crate) deps: Vec<usize>,
+}
+
+/// Why a [`GraphBuilder`] refused to build a [`FlowGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The dependency edges contain a cycle through `node`.
+    Cycle { node: String },
+    /// `node` declares input `port`, but no ancestor produces it and the
+    /// builder's seed set does not contain it.
+    DanglingInput { node: String, port: Port },
+    /// `first` and `second` both declare output `port` with no dependency
+    /// ordering between them — the merged value would depend on
+    /// scheduling.
+    DuplicateOutput {
+        port: Port,
+        first: String,
+        second: String,
+    },
+    /// A `NodeId` passed as a dependency does not belong to this builder.
+    UnknownDependency { node: String, dep: usize },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Cycle { node } => {
+                write!(f, "graph error: dependency cycle through node `{node}`")
+            }
+            GraphError::DanglingInput { node, port } => write!(
+                f,
+                "graph error: node `{node}` reads port `{}` but no ancestor writes it \
+                 and it is not seeded",
+                port.name()
+            ),
+            GraphError::DuplicateOutput {
+                port,
+                first,
+                second,
+            } => write!(
+                f,
+                "graph error: unordered nodes `{first}` and `{second}` both write port `{}`",
+                port.name()
+            ),
+            GraphError::UnknownDependency { node, dep } => write!(
+                f,
+                "graph error: node `{node}` depends on unknown node index {dep}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// How a node's input context is materialised from its predecessors:
+/// clone `base`'s result, then for each `(pred, ports)` overlay the
+/// listed port slots from that predecessor's result. Computed by the
+/// latest-writer rule, so it is a function of graph structure only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct JoinPlan {
+    /// Predecessor whose result context the input starts from (`None` for
+    /// root nodes, which fork the entry context).
+    pub(crate) base: Option<usize>,
+    /// Overlays, ascending by predecessor id.
+    pub(crate) imports: Vec<(usize, PortSet)>,
+}
+
+/// A dense bitset over node indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Bits(Vec<u64>);
+
+impl Bits {
+    fn new(n: usize) -> Self {
+        Bits(vec![0; n.div_ceil(64)])
+    }
+    fn set(&mut self, i: usize) {
+        self.0[i / 64] |= 1 << (i % 64);
+    }
+    pub(crate) fn get(&self, i: usize) -> bool {
+        self.0[i / 64] & (1 << (i % 64)) != 0
+    }
+    fn union_with(&mut self, other: &Bits) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a |= b;
+        }
+    }
+}
+
+/// A validated dependency DAG of modules and branch points, with a stable
+/// topological order and per-node dataflow metadata.
+#[derive(Clone)]
+pub struct FlowGraph {
+    pub name: String,
+    pub(crate) nodes: Vec<Node>,
+    /// Successor lists (sorted ascending).
+    pub(crate) succs: Vec<Vec<usize>>,
+    /// Stable topological order: Kahn's algorithm, smallest id first.
+    pub(crate) topo: Vec<usize>,
+    /// Ancestor sets (transitive predecessors, excluding the node).
+    pub(crate) anc: Vec<Bits>,
+    /// Declared (or opaque = ALL) write set per node.
+    pub(crate) writes: Vec<PortSet>,
+}
+
+impl fmt::Debug for FlowGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("FlowGraph");
+        d.field("name", &self.name);
+        let nodes: Vec<String> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| format!("{i}:{} <- {:?}", n.kind.name(), n.deps))
+            .collect();
+        d.field("nodes", &nodes).field("topo", &self.topo).finish()
+    }
+}
+
+impl FlowGraph {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The stable topological order (node indices).
+    pub fn topo(&self) -> &[usize] {
+        &self.topo
+    }
+
+    /// A node's predecessors (sorted ascending).
+    pub fn deps(&self, node: usize) -> &[usize] {
+        &self.nodes[node].deps
+    }
+
+    /// A node's successors (sorted ascending).
+    pub fn succs(&self, node: usize) -> &[usize] {
+        &self.succs[node]
+    }
+
+    /// A node's display name.
+    pub fn node_name(&self, node: usize) -> String {
+        self.nodes[node].kind.name()
+    }
+
+    /// Whether `ancestor` is a (transitive) predecessor of `node`.
+    pub fn is_ancestor(&self, ancestor: usize, node: usize) -> bool {
+        self.anc[node].get(ancestor)
+    }
+
+    /// An upper bound on useful scheduler parallelism: the widest
+    /// dependency level (nodes whose longest dependency chain has equal
+    /// length can run together). Chains have width 1, so the engine runs
+    /// them on the calling thread even in parallel mode.
+    pub fn width(&self) -> usize {
+        let n = self.nodes.len();
+        let mut level = vec![0usize; n];
+        let mut count = vec![0usize; n];
+        let mut width = 0;
+        for &i in &self.topo {
+            let l = self.nodes[i]
+                .deps
+                .iter()
+                .map(|&d| level[d] + 1)
+                .max()
+                .unwrap_or(0);
+            level[i] = l;
+            count[l] += 1;
+            width = width.max(count[l]);
+        }
+        width
+    }
+
+    /// The join plan materialising an input context from `preds` (must be
+    /// sorted ascending; used per node, and at runtime for the virtual
+    /// sink over effective terminal nodes).
+    pub(crate) fn join_plan(&self, preds: &[usize]) -> JoinPlan {
+        let Some(&base) = preds.first() else {
+            return JoinPlan {
+                base: None,
+                imports: Vec::new(),
+            };
+        };
+        if preds.len() == 1 {
+            return JoinPlan {
+                base: Some(base),
+                imports: Vec::new(),
+            };
+        }
+        // Closure of each pred, including itself.
+        let contains = |pred: usize, node: usize| pred == node || self.anc[pred].get(node);
+        let mut imports: Vec<(usize, PortSet)> = Vec::new();
+        for port in Port::ALL {
+            // Writers of `port` among the union of pred closures.
+            let mut writers: Vec<usize> = Vec::new();
+            for i in 0..self.nodes.len() {
+                if self.writes[i].contains(port) && preds.iter().any(|&p| contains(p, i)) {
+                    writers.push(i);
+                }
+            }
+            if writers.is_empty() {
+                continue; // seed/entry value; any pred (the base) carries it
+            }
+            // Maximal (unsuperseded) writers; in a validated graph declared
+            // writers are totally ordered, so ties only involve opaque
+            // nodes — broken deterministically by highest node id.
+            let source = *writers
+                .iter()
+                .filter(|&&w| !writers.iter().any(|&w2| w2 != w && self.anc[w2].get(w)))
+                .max()
+                .expect("non-empty writer set has a maximal element");
+            // The first pred whose closure holds the final writer already
+            // carries the value; prefer the base so no overlay is needed.
+            let supplier = *preds
+                .iter()
+                .find(|&&p| contains(p, source))
+                .expect("source writer lies in some pred's closure");
+            if supplier != base {
+                match imports.iter_mut().find(|(p, _)| *p == supplier) {
+                    Some((_, set)) => set.insert(port),
+                    None => imports.push((supplier, PortSet::of(&[port]))),
+                }
+            }
+        }
+        imports.sort_by_key(|(p, _)| *p);
+        JoinPlan {
+            base: Some(base),
+            imports,
+        }
+    }
+}
+
+/// Builds and validates a [`FlowGraph`].
+pub struct GraphBuilder {
+    name: String,
+    nodes: Vec<Node>,
+    seeds: PortSet,
+}
+
+impl GraphBuilder {
+    /// Start a graph. The default seed set is `{ast, params}` — what
+    /// [`crate::context::FlowContext::new`] provides.
+    pub fn new(name: impl Into<String>) -> Self {
+        GraphBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+            seeds: PortSet::of(&[Port::Ast, Port::Params]),
+        }
+    }
+
+    /// Override the seed set: ports the entry context is assumed to
+    /// provide (dangling-input checking treats them as always available).
+    pub fn with_seeds(mut self, seeds: &[Port]) -> Self {
+        self.seeds = PortSet::of(seeds);
+        self
+    }
+
+    /// Assume every port is seeded. Used for chain conversions and branch
+    /// path graphs, whose entry context is mid-flow state.
+    pub fn seed_all(mut self) -> Self {
+        self.seeds = PortSet::ALL;
+        self
+    }
+
+    /// Add a root module (no dependencies).
+    pub fn add(&mut self, module: impl Module + 'static) -> NodeId {
+        self.add_shared_after(Arc::new(module), &[])
+    }
+
+    /// Add a module depending on `deps`.
+    pub fn add_after(&mut self, module: impl Module + 'static, deps: &[NodeId]) -> NodeId {
+        self.add_shared_after(Arc::new(module), deps)
+    }
+
+    /// Add a pre-built shared module depending on `deps`.
+    pub fn add_shared_after(&mut self, module: Arc<dyn Module>, deps: &[NodeId]) -> NodeId {
+        self.push(GraphNode::Module(module), deps)
+    }
+
+    /// Add a branch point whose paths are sub-graphs, depending on `deps`.
+    pub fn branch_after(
+        &mut self,
+        name: impl Into<String>,
+        strategy: Arc<dyn crate::strategy::PsaStrategy>,
+        paths: Vec<(String, FlowGraph)>,
+        deps: &[NodeId],
+    ) -> NodeId {
+        self.branch_point_after(
+            BranchPoint {
+                name: name.into(),
+                paths,
+                strategy,
+            },
+            deps,
+        )
+    }
+
+    /// Add a pre-built [`BranchPoint`] depending on `deps` (used by the
+    /// chain-to-graph conversion, which already holds branch points).
+    pub fn branch_point_after(&mut self, bp: BranchPoint, deps: &[NodeId]) -> NodeId {
+        self.push(GraphNode::Branch(bp), deps)
+    }
+
+    /// Add an explicit ordering edge: `node` additionally depends on
+    /// `on`. Useful to serialise side-effecting modules the port system
+    /// cannot see — and the only way to (erroneously) close a cycle,
+    /// which `finish` then reports.
+    pub fn depends(&mut self, node: NodeId, on: NodeId) {
+        self.nodes[node.0].deps.push(on.0);
+    }
+
+    fn push(&mut self, kind: GraphNode, deps: &[NodeId]) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            kind,
+            deps: deps.iter().map(|d| d.0).collect(),
+        });
+        id
+    }
+
+    /// Validate and build. See the module docs for the checks performed.
+    pub fn finish(self) -> Result<FlowGraph, GraphError> {
+        let GraphBuilder {
+            name,
+            mut nodes,
+            seeds,
+        } = self;
+        let n = nodes.len();
+
+        // Dependency sanity + normalisation.
+        for node in &mut nodes {
+            let node_name = node.kind.name();
+            node.deps.sort_unstable();
+            node.deps.dedup();
+            if let Some(&bad) = node.deps.iter().find(|&&d| d >= n) {
+                return Err(GraphError::UnknownDependency {
+                    node: node_name,
+                    dep: bad,
+                });
+            }
+        }
+
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut indegree: Vec<usize> = vec![0; n];
+        for (i, node) in nodes.iter().enumerate() {
+            indegree[i] = node.deps.len();
+            for &d in &node.deps {
+                succs[d].push(i);
+            }
+        }
+        for s in &mut succs {
+            s.sort_unstable();
+        }
+
+        // Stable topological order: Kahn, smallest ready id first.
+        let mut heap: BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+            .filter(|&i| indegree[i] == 0)
+            .map(std::cmp::Reverse)
+            .collect();
+        let mut topo = Vec::with_capacity(n);
+        let mut remaining = indegree.clone();
+        while let Some(std::cmp::Reverse(i)) = heap.pop() {
+            topo.push(i);
+            for &s in &succs[i] {
+                remaining[s] -= 1;
+                if remaining[s] == 0 {
+                    heap.push(std::cmp::Reverse(s));
+                }
+            }
+        }
+        if topo.len() != n {
+            let stuck = (0..n)
+                .find(|&i| remaining[i] > 0)
+                .expect("some node remains on a cycle");
+            return Err(GraphError::Cycle {
+                node: nodes[stuck].kind.name(),
+            });
+        }
+
+        // Ancestor closures, in topo order.
+        let mut anc: Vec<Bits> = (0..n).map(|_| Bits::new(n)).collect();
+        for &i in &topo {
+            let deps = nodes[i].deps.clone();
+            for d in deps {
+                let pred = anc[d].clone();
+                anc[i].union_with(&pred);
+                anc[i].set(d);
+            }
+        }
+
+        let ports: Vec<ModulePorts> = nodes.iter().map(|node| node.kind.ports()).collect();
+        let writes: Vec<PortSet> = ports.iter().map(ModulePorts::write_set).collect();
+
+        // Duplicate outputs: two declared, unordered writers of one port.
+        for a in 0..n {
+            if !ports[a].is_declared() {
+                continue;
+            }
+            for b in (a + 1)..n {
+                if !ports[b].is_declared() {
+                    continue;
+                }
+                let shared = writes[a].intersection(writes[b]);
+                if shared.is_empty() || anc[b].get(a) || anc[a].get(b) {
+                    continue;
+                }
+                let port = shared.iter().next().expect("non-empty intersection");
+                return Err(GraphError::DuplicateOutput {
+                    port,
+                    first: nodes[a].kind.name(),
+                    second: nodes[b].kind.name(),
+                });
+            }
+        }
+
+        // Dangling inputs: a declared read must come from an ancestor's
+        // writes or the seed set.
+        for i in 0..n {
+            if !ports[i].is_declared() {
+                continue;
+            }
+            let mut avail = seeds;
+            for (a, w) in writes.iter().enumerate().take(n) {
+                if anc[i].get(a) {
+                    avail = avail.union(*w);
+                }
+            }
+            let missing = ports[i].read_set().difference(avail);
+            if let Some(port) = missing.iter().next() {
+                return Err(GraphError::DanglingInput {
+                    node: nodes[i].kind.name(),
+                    port,
+                });
+            }
+        }
+
+        Ok(FlowGraph {
+            name,
+            nodes,
+            succs,
+            topo,
+            anc,
+            writes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FlowContext;
+    use crate::flow::FlowError;
+    use crate::task::{TaskClass, TaskInfo};
+
+    /// A module with a declared signature and no behaviour.
+    struct Typed(&'static str, ModulePorts);
+    impl Module for Typed {
+        fn info(&self) -> TaskInfo {
+            TaskInfo::new(self.0, TaskClass::Analysis, false)
+        }
+        fn ports(&self) -> ModulePorts {
+            self.1
+        }
+        fn run(&self, _ctx: &mut FlowContext) -> Result<(), FlowError> {
+            Ok(())
+        }
+    }
+
+    fn writer(name: &'static str, port: Port) -> Typed {
+        Typed(name, ModulePorts::new().writes(&[port]))
+    }
+
+    fn reader(name: &'static str, port: Port) -> Typed {
+        Typed(name, ModulePorts::new().reads(&[port]))
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut b = GraphBuilder::new("g");
+        let x = b.add(writer("x", Port::Hotspot));
+        let y = b.add_after(reader("y", Port::Hotspot), &[x]);
+        b.depends(x, y); // closes x -> y -> x
+        assert_eq!(
+            b.finish().unwrap_err(),
+            GraphError::Cycle {
+                node: "x".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn dangling_input_is_detected() {
+        let mut b = GraphBuilder::new("g");
+        // Reads `kernel`, which nothing writes and the default seed set
+        // (`{ast, params}`) does not provide.
+        b.add(reader("needs-kernel", Port::Kernel));
+        assert_eq!(
+            b.finish().unwrap_err(),
+            GraphError::DanglingInput {
+                node: "needs-kernel".to_string(),
+                port: Port::Kernel
+            }
+        );
+    }
+
+    #[test]
+    fn dangling_input_is_satisfied_by_ancestors_or_seeds() {
+        // Ancestor write satisfies the read…
+        let mut b = GraphBuilder::new("g");
+        let w = b.add(writer("w", Port::Kernel));
+        b.add_after(reader("r", Port::Kernel), &[w]);
+        assert!(b.finish().is_ok());
+        // …and so does a widened seed set, with no writer at all.
+        let mut b = GraphBuilder::new("g").with_seeds(&[Port::Kernel]);
+        b.add(reader("r", Port::Kernel));
+        assert!(b.finish().is_ok());
+        // A *sibling* (unordered) write does not.
+        let mut b = GraphBuilder::new("g");
+        b.add(writer("w", Port::Kernel));
+        b.add(reader("r", Port::Kernel));
+        assert!(matches!(b.finish(), Err(GraphError::DanglingInput { .. })));
+    }
+
+    #[test]
+    fn duplicate_unordered_outputs_are_detected() {
+        let mut b = GraphBuilder::new("g");
+        b.add(writer("first", Port::Analysis));
+        b.add(writer("second", Port::Analysis));
+        assert_eq!(
+            b.finish().unwrap_err(),
+            GraphError::DuplicateOutput {
+                port: Port::Analysis,
+                first: "first".to_string(),
+                second: "second".to_string()
+            }
+        );
+        // An explicit ordering edge resolves the ambiguity.
+        let mut b = GraphBuilder::new("g");
+        let f = b.add(writer("first", Port::Analysis));
+        b.add_after(writer("second", Port::Analysis), &[f]);
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn unknown_dependency_is_detected() {
+        let mut other = GraphBuilder::new("other");
+        let _ = other.add(writer("a", Port::Hotspot));
+        let foreign = other.add(writer("b", Port::Kernel));
+        let mut b = GraphBuilder::new("g");
+        // `foreign` (index 1) does not exist in `b` (one node: index 0).
+        b.add_shared_after(Arc::new(writer("x", Port::Hotspot)), &[foreign]);
+        assert_eq!(
+            b.finish().unwrap_err(),
+            GraphError::UnknownDependency {
+                node: "x".to_string(),
+                dep: 1
+            }
+        );
+    }
+
+    #[test]
+    fn topo_order_is_stable_and_respects_dependencies() {
+        // Diamond with an extra independent node inserted in the middle:
+        //   0 -> {1, 2} -> 4, plus independent 3.
+        let mut b = GraphBuilder::new("g").seed_all();
+        let a = b.add(writer("a", Port::Hotspot));
+        let l = b.add_after(writer("l", Port::Kernel), &[a]);
+        let r = b.add_after(writer("r", Port::Analysis), &[a]);
+        let _i = b.add(writer("i", Port::Tuned));
+        let _j = b.add_after(reader("j", Port::Kernel), &[l, r]);
+        let g = b.finish().unwrap();
+        assert_eq!(g.topo(), [0, 1, 2, 3, 4], "smallest ready id first");
+        assert!(g.is_ancestor(0, 4));
+        assert!(!g.is_ancestor(3, 4));
+        assert_eq!(g.deps(4), [1, 2]);
+        assert_eq!(g.succs(0), [1, 2]);
+    }
+
+    #[test]
+    fn join_plan_picks_the_latest_writer_per_port() {
+        // a writes Kernel; left rewrites Kernel; right writes Analysis;
+        // join(left, right). Kernel must come from `left` (the base), NOT
+        // be clobbered by right's closure (which contains a's stale write);
+        // Analysis must be imported from `right`.
+        let mut b = GraphBuilder::new("g").seed_all();
+        let a = b.add(writer("a", Port::Kernel));
+        let l = b.add_after(writer("left", Port::Kernel), &[a]);
+        let r = b.add_after(writer("right", Port::Analysis), &[a]);
+        let j = b.add_after(reader("join", Port::Kernel), &[l, r]);
+        let g = b.finish().unwrap();
+        let plan = g.join_plan(g.deps(j.0));
+        assert_eq!(plan.base, Some(l.0));
+        assert_eq!(plan.imports, vec![(r.0, PortSet::of(&[Port::Analysis]))]);
+    }
+
+    #[test]
+    fn join_plan_single_pred_needs_no_imports() {
+        let mut b = GraphBuilder::new("g").seed_all();
+        let a = b.add(writer("a", Port::Kernel));
+        let c = b.add_after(reader("c", Port::Kernel), &[a]);
+        let g = b.finish().unwrap();
+        let plan = g.join_plan(g.deps(c.0));
+        assert_eq!(plan.base, Some(a.0));
+        assert!(plan.imports.is_empty());
+        assert_eq!(g.join_plan(&[]).base, None);
+    }
+
+    #[test]
+    fn graph_error_messages_are_actionable() {
+        let e = GraphError::DanglingInput {
+            node: "r".into(),
+            port: Port::Kernel,
+        };
+        assert!(e.to_string().contains("reads port `kernel`"), "{e}");
+        let e = GraphError::DuplicateOutput {
+            port: Port::Analysis,
+            first: "a".into(),
+            second: "b".into(),
+        };
+        assert!(e.to_string().contains("both write port `analysis`"), "{e}");
+    }
+}

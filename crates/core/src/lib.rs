@@ -15,10 +15,18 @@
 //!   (target-independent, CPU, GPU, FPGA task groups);
 //! * [`dse`] — the **O**-class DSE meta-programs: `unroll-until-overmap`
 //!   (Fig. 2), GPU blocksize DSE, OpenMP thread-count DSE;
-//! * [`flow`] — linear task sequences + [`flow::BranchPoint`]s with
-//!   pluggable [`strategy::PsaStrategy`] selectors;
-//! * [`engine`] — the [`engine::FlowEngine`] executor: parallel (default)
-//!   or sequential branch-path execution with identical outputs;
+//! * [`ports`] — typed module ports: the declared dataflow signature
+//!   ([`ports::ModulePorts`]) connecting modules through named
+//!   [`context::FlowContext`] slots;
+//! * [`graph`] — flows as first-class dependency DAGs:
+//!   [`graph::FlowGraph`] built and validated by [`graph::GraphBuilder`]
+//!   (cycle / dangling-input / duplicate-output detection);
+//! * [`flow`] — the chain-shaped frontend: linear task sequences +
+//!   [`flow::BranchPoint`]s with pluggable [`strategy::PsaStrategy`]
+//!   selectors, converted to graphs by [`flow::Flow::graph`];
+//! * [`engine`] — the [`engine::FlowEngine`] executor: work-stealing
+//!   parallel (default) or sequential reference scheduling with
+//!   byte-identical outputs;
 //! * [`trace`] — the structured [`trace::TraceEvent`] tree the engine
 //!   records (task spans, branch decisions with evidence, DSE results),
 //!   with a renderer for the legacy human-readable lines and JSON export;
@@ -44,7 +52,10 @@ pub mod dse;
 pub mod engine;
 pub mod flow;
 pub mod flows;
+pub mod graph;
 pub mod obs_export;
+pub mod ports;
+pub mod prelude;
 pub mod related;
 pub mod report;
 pub mod strategy;
@@ -53,14 +64,18 @@ pub mod tasks;
 pub mod trace;
 pub mod work;
 
+pub(crate) mod sched;
+
 pub use context::{FlowContext, PsaParams};
 pub use engine::{Backoff, ExecMode, FailurePolicy, FlowEngine};
 pub use flow::{BranchPoint, Flow, FlowError, Selection, Step};
 pub use flows::{full_psa_flow, FlowMode};
+pub use graph::{FlowGraph, GraphBuilder, GraphError, GraphNode, NodeId};
+pub use ports::{ModulePorts, Port, PortSet};
 pub use psa_evalcache::{CacheKey, CacheStats, EvalCache, KeyBuilder};
 pub use report::{DesignArtifact, DeviceKind, FlowOutcome, PathFailure, TargetKind};
 pub use strategy::{PsaStrategy, TargetSelect};
-pub use task::{Task, TaskClass, TaskInfo};
+pub use task::{Module, ModuleInfo, Task, TaskClass, TaskInfo};
 pub use trace::{DecisionEvidence, DseTrace, SelectionTrace, TraceEvent};
 
 #[cfg(test)]

@@ -274,8 +274,10 @@ mod tests {
         export_trace(&mut tb, 1, "run", &sample_tree());
         let parsed = json::parse(&tb.to_json()).unwrap();
         let events = parsed.get("traceEvents").unwrap().as_array().unwrap();
-        let mut depth: std::collections::HashMap<u64, i64> = Default::default();
-        let mut last_ts: std::collections::HashMap<u64, f64> = Default::default();
+        // BTreeMap, not HashMap: `depth` is rendered in the failure message
+        // below, and diagnostic output must not depend on hash order.
+        let mut depth: std::collections::BTreeMap<u64, i64> = Default::default();
+        let mut last_ts: std::collections::BTreeMap<u64, f64> = Default::default();
         for e in events {
             let ph = e.get("ph").unwrap().as_str().unwrap();
             if ph == "M" {
@@ -329,5 +331,67 @@ mod tests {
         let width = spans[1].get("ts").unwrap().as_f64().unwrap()
             - spans[0].get("ts").unwrap().as_f64().unwrap();
         assert!((width - 2.5).abs() < 1e-9, "2500 ns = 2.5 µs, got {width}");
+    }
+
+    /// Ordering regression: every map that feeds exported artefacts is
+    /// either a tree (trace events), a `BTreeMap`, or explicitly sorted —
+    /// so the export of a parallel DAG run is byte-identical to the export
+    /// of the sequential reference, durations aside. With wall clocks
+    /// zeroed, the equality is exact.
+    #[test]
+    fn export_order_is_schedule_independent() {
+        use crate::context::{FlowContext, PsaParams};
+        use crate::engine::FlowEngine;
+        use crate::flows::{build_graph, FlowMode};
+        use psa_artisan::Ast;
+
+        fn zero_walls(events: &mut [TraceEvent]) {
+            for e in events {
+                match e {
+                    TraceEvent::Task {
+                        wall_ns, events, ..
+                    } => {
+                        *wall_ns = 0;
+                        zero_walls(events);
+                    }
+                    TraceEvent::Branch {
+                        evidence, paths, ..
+                    } => {
+                        zero_walls(evidence);
+                        for p in paths {
+                            zero_walls(&mut p.events);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        let source = "int main() {\
+            int n = 96;\
+            double* a = alloc_double(n);\
+            double* b = alloc_double(n);\
+            fill_random(a, n, 3);\
+            for (int i = 0; i < n; i++) { b[i] = exp(a[i]) * 1.5; }\
+            sink(b[0]);\
+            return 0;\
+        }";
+        let run = |engine: FlowEngine| -> String {
+            let mut ctx =
+                FlowContext::new(Ast::from_source(source, "t").unwrap(), PsaParams::default());
+            engine
+                .execute_graph(&build_graph(FlowMode::Uninformed), &mut ctx)
+                .unwrap();
+            let mut events = ctx.trace().to_vec();
+            zero_walls(&mut events);
+            let mut tb = TraceBuilder::new();
+            export_trace(&mut tb, 1, "run", &events);
+            tb.to_json()
+        };
+        assert_eq!(
+            run(FlowEngine::parallel().with_workers(4)),
+            run(FlowEngine::sequential()),
+            "exported timeline depends on schedule"
+        );
     }
 }

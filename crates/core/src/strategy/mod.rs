@@ -369,7 +369,10 @@ mod tests {
         use crate::flow::Flow;
         let bp = BranchPoint {
             name: "B".into(),
-            paths: vec![("a".into(), Flow::new("a")), ("b".into(), Flow::new("b"))],
+            paths: vec![
+                ("a".into(), Flow::new("a").graph()),
+                ("b".into(), Flow::new("b").graph()),
+            ],
             strategy: std::sync::Arc::new(SelectAll),
         };
         let mut c = ctx_for(COMPUTE_PAR, "knl");

@@ -3,6 +3,7 @@
 use super::{ensure_analysis, reanalyze};
 use crate::context::FlowContext;
 use crate::flow::FlowError;
+use crate::ports::{ModulePorts, Port};
 use crate::task::{Task, TaskClass, TaskInfo};
 use psa_artisan::query;
 use psa_artisan::transforms::reduction::remove_array_accumulation;
@@ -14,6 +15,12 @@ pub struct IdentifyHotspotLoops;
 impl Task for IdentifyHotspotLoops {
     fn info(&self) -> TaskInfo {
         TaskInfo::new("Identify Hotspot Loops", TaskClass::Analysis, true)
+    }
+
+    fn ports(&self) -> ModulePorts {
+        ModulePorts::new()
+            .reads(&[Port::Ast, Port::Params])
+            .writes(&[Port::Hotspot])
     }
 
     fn run(&self, ctx: &mut FlowContext) -> Result<(), FlowError> {
@@ -48,6 +55,14 @@ impl Task for HotspotLoopExtraction {
         TaskInfo::new("Hotspot Loop Extraction", TaskClass::Transform, false)
     }
 
+    fn ports(&self) -> ModulePorts {
+        // Writes `analysis` because outlining invalidates any prior record
+        // (it resets the slot so later readers recompute).
+        ModulePorts::new()
+            .reads(&[Port::Ast, Port::Hotspot])
+            .writes(&[Port::Ast, Port::Kernel, Port::Analysis])
+    }
+
     fn run(&self, ctx: &mut FlowContext) -> Result<(), FlowError> {
         let report = ctx
             .hotspot
@@ -78,12 +93,51 @@ impl Task for HotspotLoopExtraction {
     }
 }
 
+/// "Compute Kernel Analysis" (A ⚡): materialise the bundled
+/// target-independent analyses (and the single-thread reference time) for
+/// the extracted kernel. Records no log lines of its own — the evidence
+/// tasks below render the findings — but giving the computation its own
+/// graph node makes those evidence tasks *read-only*, so a [`FlowGraph`]
+/// can fan them out concurrently.
+///
+/// [`FlowGraph`]: crate::graph::FlowGraph
+pub struct ComputeKernelAnalysis;
+
+impl Task for ComputeKernelAnalysis {
+    fn info(&self) -> TaskInfo {
+        TaskInfo::new("Compute Kernel Analysis", TaskClass::Analysis, true)
+    }
+
+    fn ports(&self) -> ModulePorts {
+        ModulePorts::new()
+            .reads(&[Port::Ast, Port::Kernel, Port::Params])
+            .writes(&[Port::Analysis, Port::ReferenceTime])
+    }
+
+    fn run(&self, ctx: &mut FlowContext) -> Result<(), FlowError> {
+        ensure_analysis(ctx)
+    }
+}
+
 /// "Pointer Analysis" (A ⚡).
 pub struct PointerAnalysis;
+
+/// The evidence tasks' shared signature: they render findings from the
+/// analysis record and write nothing. (Their `ensure_analysis` call is a
+/// lazy materialisation of the declared `analysis` input — in a validated
+/// graph an Analysis-writing ancestor such as [`ComputeKernelAnalysis`]
+/// has already run, so it never fires.)
+fn evidence_ports() -> ModulePorts {
+    ModulePorts::new().reads(&[Port::Ast, Port::Kernel, Port::Analysis, Port::Params])
+}
 
 impl Task for PointerAnalysis {
     fn info(&self) -> TaskInfo {
         TaskInfo::new("Pointer Analysis", TaskClass::Analysis, true)
+    }
+
+    fn ports(&self) -> ModulePorts {
+        evidence_ports()
     }
 
     fn run(&self, ctx: &mut FlowContext) -> Result<(), FlowError> {
@@ -112,6 +166,10 @@ impl Task for ArithmeticIntensityAnalysis {
         TaskInfo::new("Arithmetic Intensity Analysis", TaskClass::Analysis, false)
     }
 
+    fn ports(&self) -> ModulePorts {
+        evidence_ports()
+    }
+
     fn run(&self, ctx: &mut FlowContext) -> Result<(), FlowError> {
         ensure_analysis(ctx)?;
         let a = ctx.analysis()?;
@@ -137,6 +195,10 @@ impl Task for DataInOutAnalysis {
         TaskInfo::new("Data In/Out Analysis", TaskClass::Analysis, true)
     }
 
+    fn ports(&self) -> ModulePorts {
+        evidence_ports()
+    }
+
     fn run(&self, ctx: &mut FlowContext) -> Result<(), FlowError> {
         ensure_analysis(ctx)?;
         let data = &ctx.analysis()?.data;
@@ -157,6 +219,10 @@ pub struct LoopDependenceAnalysis;
 impl Task for LoopDependenceAnalysis {
     fn info(&self) -> TaskInfo {
         TaskInfo::new("Loop Dependence Analysis", TaskClass::Analysis, false)
+    }
+
+    fn ports(&self) -> ModulePorts {
+        evidence_ports()
     }
 
     fn run(&self, ctx: &mut FlowContext) -> Result<(), FlowError> {
@@ -189,6 +255,10 @@ impl Task for LoopTripCountAnalysis {
         TaskInfo::new("Loop Trip-Count Analysis", TaskClass::Analysis, true)
     }
 
+    fn ports(&self) -> ModulePorts {
+        evidence_ports()
+    }
+
     fn run(&self, ctx: &mut FlowContext) -> Result<(), FlowError> {
         ensure_analysis(ctx)?;
         let trips = &ctx.analysis()?.trips;
@@ -209,6 +279,14 @@ pub struct RemoveArrayAccumulation;
 impl Task for RemoveArrayAccumulation {
     fn info(&self) -> TaskInfo {
         TaskInfo::new("Remove Array += Dependency", TaskClass::Transform, false)
+    }
+
+    fn ports(&self) -> ModulePorts {
+        // Rewrites re-run the analysis, so the record (and, lazily, the
+        // reference time) count as outputs.
+        ModulePorts::new()
+            .reads(&[Port::Ast, Port::Kernel, Port::Analysis, Port::Params])
+            .writes(&[Port::Ast, Port::Analysis, Port::ReferenceTime])
     }
 
     fn run(&self, ctx: &mut FlowContext) -> Result<(), FlowError> {

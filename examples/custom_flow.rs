@@ -97,29 +97,29 @@ int main() {
 fn run_with_budget(budget: f64) {
     println!("--- budget = {budget:.1e} currency units per run ---");
     let energy_saver = Flow::new("energy-saver")
-        .task(WatermarkKernel)
-        .task(cpu::MultiThreadParallelLoops)
-        .task(cpu::OmpNumThreadsDse)
-        .task(cpu::GenerateOpenMpDesign);
+        .then(WatermarkKernel)
+        .then(cpu::MultiThreadParallelLoops)
+        .then(cpu::OmpNumThreadsDse)
+        .then(cpu::GenerateOpenMpDesign);
     let performance = Flow::new("performance")
-        .task(WatermarkKernel)
-        .task(gpu::EmploySpMathFns)
-        .task(gpu::EmploySpNumericLiterals)
-        .task(gpu::EmployHipPinnedMemory)
-        .task(gpu::BlocksizeDseTask {
+        .then(WatermarkKernel)
+        .then(gpu::EmploySpMathFns)
+        .then(gpu::EmploySpNumericLiterals)
+        .then(gpu::EmployHipPinnedMemory)
+        .then(gpu::BlocksizeDseTask {
             device: DeviceKind::Rtx2080Ti,
         })
-        .task(gpu::GenerateHipDesign {
+        .then(gpu::GenerateHipDesign {
             device: DeviceKind::Rtx2080Ti,
         });
 
     let flow = Flow::new("custom-psa-flow")
-        .task(tindep::IdentifyHotspotLoops)
-        .task(tindep::HotspotLoopExtraction {
+        .then(tindep::IdentifyHotspotLoops)
+        .then(tindep::HotspotLoopExtraction {
             kernel_name: "my_kernel".into(),
         })
-        .task(tindep::PointerAnalysis)
-        .task(tindep::LoopDependenceAnalysis)
+        .then(tindep::PointerAnalysis)
+        .then(tindep::LoopDependenceAnalysis)
         .branch(
             "budget gate",
             BudgetStrategy {

@@ -22,12 +22,14 @@ fn params_for(b: &benchsuite::Benchmark) -> PsaParams {
     }
 }
 
-#[test]
-fn parallel_engine_matches_sequential_on_all_benchmarks() {
+/// One full sweep: every benchmark × both flow modes, DAG-scheduled with a
+/// pinned multi-worker pool (so work stealing is exercised even on
+/// single-CPU hosts) against the single-threaded reference scheduler.
+fn assert_dag_matches_sequential_reference() {
     for bench in benchsuite::all() {
         for mode in [FlowMode::Informed, FlowMode::Uninformed] {
             let par = full_psa_flow_on(
-                FlowEngine::parallel(),
+                FlowEngine::parallel().with_workers(4),
                 &bench.source,
                 &bench.key,
                 mode,
@@ -66,6 +68,84 @@ fn parallel_engine_matches_sequential_on_all_benchmarks() {
                 assert_eq!(format!("{p:?}"), format!("{s:?}"), "{ctx}: design metadata");
             }
         }
+    }
+}
+
+#[test]
+fn parallel_engine_matches_sequential_on_all_benchmarks() {
+    assert_dag_matches_sequential_reference();
+}
+
+/// The same sweep must hold under *both* interpreter engines. The engine
+/// default is process-global (`OnceLock`), so each engine gets a child
+/// process: re-run this test binary with `PSA_INTERP_ENGINE` pinned and
+/// only the ignored child test selected.
+#[test]
+fn dag_determinism_holds_under_both_interp_engines() {
+    let exe = std::env::current_exe().expect("test binary path");
+    for engine in ["tree", "vm"] {
+        let status = std::process::Command::new(&exe)
+            .args([
+                "--exact",
+                "dag_vs_sequential_child",
+                "--include-ignored",
+                "--test-threads=1",
+            ])
+            .env("PSA_INTERP_ENGINE", engine)
+            .status()
+            .expect("spawn child sweep");
+        assert!(
+            status.success(),
+            "DAG determinism broke under the {engine} interp engine"
+        );
+    }
+}
+
+#[test]
+#[ignore = "child of dag_determinism_holds_under_both_interp_engines"]
+fn dag_vs_sequential_child() {
+    assert_dag_matches_sequential_reference();
+}
+
+/// The legacy chain builder and the native graph builder describe the same
+/// Fig. 4 flow: executing either representation produces byte-identical
+/// rendered traces and designs.
+#[test]
+fn chain_and_graph_forms_are_byte_identical() {
+    use psaflow::artisan::Ast;
+    use psaflow::core::context::FlowContext;
+    use psaflow::core::flows::{build_flow, build_graph};
+
+    let bench = &benchsuite::all()[0];
+    for mode in [FlowMode::Informed, FlowMode::Uninformed] {
+        let make_ctx = || {
+            FlowContext::new(
+                Ast::from_source(&bench.source, &bench.key).expect("benchmark parses"),
+                params_for(bench),
+            )
+        };
+        let engine = FlowEngine::parallel().with_workers(4);
+        let mut chain_ctx = make_ctx();
+        engine
+            .execute(&build_flow(mode), &mut chain_ctx)
+            .unwrap_or_else(|e| panic!("{mode:?} (chain): {e}"));
+        let mut graph_ctx = make_ctx();
+        engine
+            .execute_graph(&build_graph(mode), &mut graph_ctx)
+            .unwrap_or_else(|e| panic!("{mode:?} (graph): {e}"));
+        assert_eq!(
+            chain_ctx.trace_lines(),
+            graph_ctx.trace_lines(),
+            "{mode:?}: rendered traces diverge between chain and graph forms"
+        );
+        let sources = |c: &FlowContext| -> Vec<String> {
+            c.designs.iter().map(|d| d.source.clone()).collect()
+        };
+        assert_eq!(
+            sources(&chain_ctx),
+            sources(&graph_ctx),
+            "{mode:?}: designs"
+        );
     }
 }
 
