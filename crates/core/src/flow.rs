@@ -277,29 +277,6 @@ impl Flow {
         self
     }
 
-    /// Pre-redesign name of [`Flow::then`].
-    #[deprecated(note = "renamed to `then`")]
-    pub fn task(self, task: impl Task + 'static) -> Self {
-        self.then(task)
-    }
-
-    /// Pre-redesign name of [`Flow::then_shared`].
-    #[deprecated(note = "renamed to `then_shared`")]
-    pub fn task_arc(self, task: Arc<dyn Task>) -> Self {
-        self.then_shared(task)
-    }
-
-    /// Pre-redesign name of [`Flow::branch_shared`].
-    #[deprecated(note = "renamed to `branch_shared`")]
-    pub fn branch_arc(
-        self,
-        name: impl Into<String>,
-        strategy: Arc<dyn PsaStrategy>,
-        paths: Vec<(String, Flow)>,
-    ) -> Self {
-        self.branch_shared(name, strategy, paths)
-    }
-
     /// The chain's graph form: each step depends on the previous one. The
     /// entry context is mid-flow state, so every port counts as seeded —
     /// a linear chain always validates.
@@ -448,26 +425,6 @@ mod tests {
             let mut c = ctx();
             f.execute(&mut c).unwrap();
             assert!(c.trace_lines().iter().any(|l| l == "ran shared"));
-        }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_builder_names_still_work() {
-        let shared: Arc<dyn Task> = Arc::new(Log("shared"));
-        let flow = Flow::new("legacy")
-            .task(Log("a"))
-            .task_arc(shared)
-            .branch_arc(
-                "A",
-                Arc::new(Fixed(Selection::One(0))),
-                vec![("p".into(), Flow::new("p").then(Log("p")))],
-            );
-        let mut c = ctx();
-        flow.execute(&mut c).unwrap();
-        let lines = c.trace_lines();
-        for expected in ["ran a", "ran shared", "ran p"] {
-            assert!(lines.iter().any(|l| l == expected), "missing {expected}");
         }
     }
 

@@ -1,16 +1,37 @@
-//! One-pass compiler: MiniC++ AST → flat bytecode for the [`crate::vm::Vm`].
+//! One-pass compiler: MiniC++ AST → register-addressed code for the
+//! [`crate::vm::Vm`].
 //!
-//! The lowering buys three things the tree-walker pays for on every visit:
+//! The lowering targets a **register machine**: every instruction names its
+//! source and destination registers explicitly, so the interpreter loop
+//! moves no operand-stack traffic at all. A function's register file is
 //!
-//! * **slot-resolved locals** — [`psa_minicpp::scopes`] turns the runtime
-//!   scope-chain walk into a compile-time frame index, so variable access is
-//!   `locals[base + slot]` with zero hashing and zero string traffic;
+//! ```text
+//! [ 0 .. locals )          frame slots, assigned by psa_minicpp::scopes
+//! [ locals .. regs )       expression temporaries, stack-disciplined
+//! ```
+//!
+//! Locals are already slot-resolved by [`psa_minicpp::scopes`], so register
+//! allocation reduces to handing out temporaries above the slots: each
+//! expression node frees its operands' temporaries and claims the lowest
+//! free register for its result (reads always happen before the write, so
+//! `dst` may alias an operand). A local variable read compiles to *nothing*
+//! — the slot itself is the operand register.
+//!
+//! On top of the flat lowering the lowering buys, in order:
+//!
 //! * **pre-bound call targets** — every call site is resolved once to a
 //!   user-function index or an [`Intrinsic`], following the tree-walker's
 //!   lookup order (user functions shadow intrinsics);
 //! * **baked cycle costs** — each instruction carries the virtual-cycle
 //!   charge the cost model assigns it, computed here so the interpreter
-//!   loop never consults (or clones) the [`CostModel`].
+//!   loop never consults (or clones) the [`CostModel`];
+//! * **immediate operands** — a literal operand of a binary op is baked
+//!   into the instruction ([`Insn::BinImm`]/[`Insn::BinImmRev`]) instead of
+//!   being materialised through a register;
+//! * **superinstructions** — a peephole pass ([`crate::peephole`]) fuses
+//!   hot adjacent pairs (compare+branch, load+binop, binop+assign,
+//!   step+jump) into single dispatches, reusing the combined cycle charges
+//!   this module already bakes.
 //!
 //! Costs that the tree-walker charges as one combined `charge()` call (the
 //! for-loop test's `int_op + branch`, an indexed load's `int_op + load`)
@@ -26,6 +47,8 @@
 use crate::error::RuntimeError;
 use crate::eval::RunConfig;
 use crate::intrinsics::{self, Intrinsic};
+use crate::ops;
+use crate::peephole;
 use crate::profile::CostModel;
 use crate::value::{Pointer, Value};
 use psa_minicpp::ast::*;
@@ -53,6 +76,18 @@ pub(crate) struct CallSite {
     pub span: Span,
 }
 
+/// An interned source span: index into [`Program::spans`].
+///
+/// Spans are only consumed on cold paths — error construction and
+/// watch-mode provenance — but a [`Span`] is 16 bytes and the fused
+/// superinstructions carry up to five of them, which bloated [`Insn`] to
+/// 128 bytes and made the bytecode stream through L1 on every loop
+/// iteration. Interning cuts each span field to 4 bytes; handlers resolve
+/// through the side table with a single indexed load whose result is dead
+/// on the happy path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SpanId(pub u32);
+
 /// A compiled function parameter (binding still coerces at call time).
 #[derive(Debug, Clone)]
 pub(crate) struct CompiledParam {
@@ -66,8 +101,9 @@ pub(crate) struct CompiledParam {
 pub(crate) struct CompiledFn {
     pub name: String,
     pub params: Vec<CompiledParam>,
-    /// Frame slots this function needs (includes the parameters).
-    pub locals: usize,
+    /// Total frame registers: named local slots (parameters first) in
+    /// `0..locals`, then the expression-temporary high-water mark.
+    pub regs: usize,
     /// Baked `config.watch_function == name`.
     pub watched: bool,
     pub code: Vec<Insn>,
@@ -84,140 +120,466 @@ pub struct Program {
     pub(crate) global_names: Vec<Box<str>>,
     /// Initialiser chunk for module globals; runs once before `main`.
     pub(crate) globals_init: Vec<Insn>,
-    pub(crate) globals_init_locals: usize,
+    /// Frame registers the initialiser chunk needs.
+    pub(crate) globals_init_regs: usize,
     pub(crate) call_sites: Vec<CallSite>,
+    /// Interned [`Span`] side table; [`SpanId`]s in instructions index it.
+    pub(crate) spans: Vec<Span>,
 }
 
-/// Bytecode instructions. `cost` fields are virtual cycles baked from the
-/// cost model at compile time.
+/// Register-addressed instructions. Register operands (`dst`, `src`, `l`,
+/// `r`, …) are `u16` indices into the current frame's register file; `cost`
+/// fields are virtual cycles baked from the cost model at compile time.
+///
+/// The variants after [`Insn::Raise`] are **superinstructions**: they are
+/// never emitted by the compiler directly, only by the peephole pass in
+/// [`crate::peephole`], and each one performs exactly the observable steps
+/// of the pair it replaces.
 #[derive(Debug, Clone)]
 pub(crate) enum Insn {
-    /// Push a constant.
-    Const(Value),
-    /// Duplicate the top of stack.
-    Dup,
-    /// Swap the top two stack values.
-    Swap,
-    /// Discard the top of stack (expression statements).
-    Pop,
-    /// Push `locals[base + slot]`.
-    LoadLocal(u16),
-    /// Pop into `locals[base + slot]` (declaration: no conversion).
-    StoreLocal(u16),
-    /// Push global `gidx`; unbound error if not yet initialised.
-    LoadGlobal { gidx: u16, span: Span },
+    /// `dst = v`.
+    Const { dst: u16, v: Value },
+    /// `dst = src` (pointer declarations, ternary/short-circuit results).
+    Copy { dst: u16, src: u16 },
+    /// `dst = global[gidx]`; unbound error if not yet initialised.
+    LoadGlobal { dst: u16, gidx: u16, span: SpanId },
     /// Copy a just-initialised local into its global slot (init chunk).
-    CopyLocalToGlobal { slot: u16, gidx: u16 },
-    /// Pop and assign to a local with C assignment conversion.
-    AssignLocal { slot: u16, span: Span },
-    /// Pop and assign to a global with C assignment conversion; unbound
+    CopyToGlobal { gidx: u16, src: u16 },
+    /// Assign `src` to a local with C assignment conversion.
+    AssignLocal { slot: u16, src: u16, span: SpanId },
+    /// Assign `src` to a global with C assignment conversion; unbound
     /// error if the global is not yet initialised.
-    AssignGlobal { gidx: u16, span: Span },
-    /// Pop, coerce to `ty` (declaration initialiser — no charge).
-    Coerce { ty: Type, span: Span },
-    /// Pop, charge `cost`, coerce to `ty` (cast expression).
-    Cast { ty: Type, cost: u64, span: Span },
+    AssignGlobal { gidx: u16, src: u16, span: SpanId },
+    /// `dst = coerce(src, ty)` (declaration initialiser — no charge).
+    Coerce {
+        dst: u16,
+        src: u16,
+        ty: Type,
+        span: SpanId,
+    },
+    /// Charge `cost`, then `dst = coerce(src, ty)` (cast expression).
+    Cast {
+        dst: u16,
+        src: u16,
+        ty: Type,
+        cost: u64,
+        span: SpanId,
+    },
     /// Unary operator (charging inside `ops::apply_unary`).
-    Un { op: UnOp, span: Span },
-    /// Binary operator; pops rhs then lhs.
-    Bin { op: BinOp, span: Span },
-    /// Binary operator; pops lhs then rhs (compound assignment, where the
-    /// old value is computed after — and stacked above — the rhs).
-    BinRev { op: BinOp, span: Span },
+    Un {
+        op: UnOp,
+        dst: u16,
+        src: u16,
+        span: SpanId,
+    },
+    /// `dst = l op r`.
+    Bin {
+        op: BinOp,
+        dst: u16,
+        l: u16,
+        r: u16,
+        span: SpanId,
+    },
+    /// `dst = l op imm` (literal right operand baked in).
+    BinImm {
+        op: BinOp,
+        dst: u16,
+        l: u16,
+        imm: Value,
+        span: SpanId,
+    },
+    /// `dst = imm op r` (literal left operand baked in).
+    BinImmRev {
+        op: BinOp,
+        dst: u16,
+        imm: Value,
+        r: u16,
+        span: SpanId,
+    },
     /// Unconditional jump.
     Jump(u32),
-    /// Pop a condition: charge, truthiness-check, jump if false.
-    JumpIfFalse { target: u32, cost: u64, span: Span },
-    /// `&&`: pop lhs condition (charge + check); on false push `false` and
-    /// jump past the rhs.
-    AndShort { target: u32, cost: u64, span: Span },
-    /// `||`: pop lhs condition (charge + check); on true push `true` and
-    /// jump past the rhs.
-    OrShort { target: u32, cost: u64, span: Span },
-    /// Pop a condition (charge + check), push it as a `Bool` (rhs of a
-    /// short-circuit operator).
-    ToBool { cost: u64, span: Span },
-    /// Indexed load `base[index]`: pops index then base. `cost` combines
-    /// address arithmetic and the load.
+    /// Charge, truthiness-check `src`, jump if false.
+    JumpIfFalse {
+        src: u16,
+        target: u32,
+        cost: u64,
+        span: SpanId,
+    },
+    /// `&&`: charge + check `src`; on false `dst = false` and jump past
+    /// the rhs.
+    AndShort {
+        src: u16,
+        dst: u16,
+        target: u32,
+        cost: u64,
+        span: SpanId,
+    },
+    /// `||`: charge + check `src`; on true `dst = true` and jump past the
+    /// rhs.
+    OrShort {
+        src: u16,
+        dst: u16,
+        target: u32,
+        cost: u64,
+        span: SpanId,
+    },
+    /// Charge + check `src`, `dst = Bool(it)` (rhs of a short-circuit).
+    ToBool {
+        dst: u16,
+        src: u16,
+        cost: u64,
+        span: SpanId,
+    },
+    /// Indexed load `dst = base[idx]`. `cost` combines address arithmetic
+    /// and the load (`int_op + load`), exactly the tree-walker's one
+    /// combined charge.
     Index {
+        dst: u16,
+        base: u16,
+        idx: u16,
         cost: u64,
-        base_span: Span,
-        index_span: Span,
-        span: Span,
+        base_span: SpanId,
+        index_span: SpanId,
+        span: SpanId,
     },
-    /// Address of `base[index]` as a pointer: pops index then base.
-    /// `cost` is the address arithmetic.
+    /// `dst = &base[idx]` as a pointer. `cost` is the address arithmetic.
     IndexAddr {
+        dst: u16,
+        base: u16,
+        idx: u16,
         cost: u64,
-        base_span: Span,
-        index_span: Span,
+        base_span: SpanId,
+        index_span: SpanId,
     },
-    /// Pop a pointer, push the element it addresses (compound assignment
-    /// read; load first, charge after, like the tree-walker).
-    LoadElem { cost: u64, span: Span },
-    /// Pop value then pointer, store through it.
-    StoreElem { cost: u64, span: Span },
-    /// Pop a length, allocate a named buffer, push the pointer.
+    /// `dst = *addr` (compound assignment read; load first, charge after,
+    /// like the tree-walker).
+    LoadElem {
+        dst: u16,
+        addr: u16,
+        cost: u64,
+        span: SpanId,
+    },
+    /// `*addr = src`.
+    StoreElem {
+        addr: u16,
+        src: u16,
+        cost: u64,
+        span: SpanId,
+    },
+    /// Allocate a named buffer of `regs[len]` elements; `dst` gets the
+    /// pointer.
     AllocArray {
+        dst: u16,
+        len: u16,
         scalar: Scalar,
         name: Box<str>,
-        span: Span,
+        span: SpanId,
     },
-    /// Call through `call_sites[idx]`; arguments are on the stack.
-    Call(u32),
-    /// A math intrinsic called with the correct arity: arguments popped
-    /// straight off the stack, cycle cost and FLOP count baked at compile
-    /// time. `name` feeds the tree-walker's error messages.
+    /// Call through `call_sites[site]`; arguments occupy the contiguous
+    /// registers `first_arg..first_arg + argc`, the result lands in `dst`.
+    Call { dst: u16, site: u32, first_arg: u16 },
+    /// A math intrinsic called with the correct arity: `a`/`b` are argument
+    /// registers (`b` unused for unary ops), cycle cost and FLOP count
+    /// baked at compile time. `name` feeds the tree-walker's error
+    /// messages.
     MathCall {
+        dst: u16,
+        a: u16,
+        b: u16,
         f: intrinsics::MathFn,
         cycles: u64,
         flops: u64,
         name: Box<str>,
-        span: Span,
+        span: SpanId,
     },
-    /// Return (popping the value if `has_value`), recording stats for any
-    /// loops still open in this frame.
-    Ret { has_value: bool },
+    /// Return (`regs[src]` if `has_value`), recording stats for any loops
+    /// still open in this frame.
+    Ret { src: u16, has_value: bool },
     /// Open a loop-stats context for loop `id`.
     LoopEnter { id: NodeId },
     /// Close the innermost loop context and record its stats.
     LoopExit,
-    /// Pop the init value, int-check it, bind the induction variable.
-    /// `bound == false` raises the tree-walker's unbound error instead.
+    /// Int-check `regs[src]`, bind the induction variable. `bound == false`
+    /// raises the tree-walker's unbound error instead (after the check).
     ForInit {
         slot: u16,
+        src: u16,
         bound: bool,
         name: Box<str>,
-        span: Span,
+        span: SpanId,
     },
-    /// Pop the bound, charge, compare against the induction variable and
+    /// Charge, compare the induction variable against `regs[bound]` and
     /// either count an iteration or jump to `exit`. Also latches the
     /// iteration's start value of the induction variable.
     ForTest {
         slot: u16,
+        bound: u16,
         cond_op: BinOp,
         exit: u32,
         cost: u64,
-        span: Span,
+        span: SpanId,
     },
-    /// Pop the step, advance the induction variable from its latched
-    /// start-of-iteration value, charge.
+    /// Advance the induction variable from its latched start-of-iteration
+    /// value by `regs[step]`, charge.
     ForStep {
         slot: u16,
+        step: u16,
         negative: bool,
         cost: u64,
-        span: Span,
+        span: SpanId,
     },
-    /// Pop the condition, charge, check; count an iteration or jump out.
-    WhileTest { exit: u32, cost: u64, span: Span },
+    /// Charge, check `regs[src]`; count an iteration or jump out.
+    WhileTest {
+        src: u16,
+        exit: u32,
+        cost: u64,
+        span: SpanId,
+    },
     /// Raise a pre-built runtime error (unbound name, non-lvalue target).
     Raise(Box<RuntimeError>),
+
+    // ------------------------------------------------------------------
+    // Superinstructions (emitted only by the peephole pass).
+    // ------------------------------------------------------------------
+    /// Fused comparison + conditional branch (`Bin` cmp + `JumpIfFalse`).
+    /// One combined charge of compare + branch cost — observably identical
+    /// to the pair (see `crate::peephole` for the argument).
+    CmpBranch {
+        op: BinOp,
+        l: u16,
+        r: u16,
+        target: u32,
+        branch_cost: u64,
+        cmp_span: SpanId,
+        br_span: SpanId,
+    },
+    /// Fused immediate comparison + conditional branch.
+    CmpImmBranch {
+        op: BinOp,
+        l: u16,
+        imm: Value,
+        target: u32,
+        branch_cost: u64,
+        cmp_span: SpanId,
+        br_span: SpanId,
+    },
+    /// Fused comparison + while test (`Bin` cmp + `WhileTest`).
+    CmpWhile {
+        op: BinOp,
+        l: u16,
+        r: u16,
+        exit: u32,
+        branch_cost: u64,
+        cmp_span: SpanId,
+        br_span: SpanId,
+    },
+    /// Fused immediate comparison + while test.
+    CmpImmWhile {
+        op: BinOp,
+        l: u16,
+        imm: Value,
+        exit: u32,
+        branch_cost: u64,
+        cmp_span: SpanId,
+        br_span: SpanId,
+    },
+    /// Fused binop + local assignment (`Bin` + `AssignLocal`): covers both
+    /// `x = a op b` and the compound `x op= e` lowering.
+    BinAssign {
+        op: BinOp,
+        slot: u16,
+        l: u16,
+        r: u16,
+        span: SpanId,
+        asg_span: SpanId,
+    },
+    /// Fused immediate binop + local assignment.
+    BinImmAssign {
+        op: BinOp,
+        slot: u16,
+        l: u16,
+        imm: Value,
+        span: SpanId,
+        asg_span: SpanId,
+    },
+    /// Fused indexed load + binop (`Index` + `Bin` whose left operand is
+    /// the loaded value): `dst = base[idx] op r`.
+    IndexBin {
+        op: BinOp,
+        dst: u16,
+        base: u16,
+        idx: u16,
+        r: u16,
+        cost: u64,
+        base_span: SpanId,
+        index_span: SpanId,
+        load_span: SpanId,
+        span: SpanId,
+    },
+    /// Fused indexed load + immediate binop: `dst = base[idx] op imm`.
+    IndexBinImm {
+        op: BinOp,
+        dst: u16,
+        base: u16,
+        idx: u16,
+        imm: Value,
+        cost: u64,
+        base_span: SpanId,
+        index_span: SpanId,
+        load_span: SpanId,
+        span: SpanId,
+    },
+    /// Fused for-step + back-edge jump (`ForStep` + `Jump`).
+    ForStepJump {
+        slot: u16,
+        step: u16,
+        negative: bool,
+        cost: u64,
+        span: SpanId,
+        target: u32,
+    },
+    /// Fused binop + declaration coercion (`Bin` + `Coerce` of the result):
+    /// `dst = coerce(l op r, ty)`. `Coerce` never charges, so the fusion
+    /// only removes a dispatch and a dead temporary write.
+    BinCoerce {
+        op: BinOp,
+        dst: u16,
+        l: u16,
+        r: u16,
+        ty: Type,
+        span: SpanId,
+        co_span: SpanId,
+    },
+    /// Fused immediate binop + declaration coercion.
+    BinImmCoerce {
+        op: BinOp,
+        dst: u16,
+        l: u16,
+        imm: Value,
+        ty: Type,
+        span: SpanId,
+        co_span: SpanId,
+    },
+    /// Fused indexed load + declaration coercion:
+    /// `dst = coerce(base[idx], ty)`.
+    IndexCoerce {
+        dst: u16,
+        base: u16,
+        idx: u16,
+        cost: u64,
+        ty: Type,
+        base_span: SpanId,
+        index_span: SpanId,
+        span: SpanId,
+        co_span: SpanId,
+    },
+    /// Fused math intrinsic + declaration coercion.
+    MathCallCoerce {
+        dst: u16,
+        a: u16,
+        b: u16,
+        f: intrinsics::MathFn,
+        cycles: u64,
+        flops: u64,
+        name: Box<str>,
+        ty: Type,
+        span: SpanId,
+        co_span: SpanId,
+    },
+    /// Fused [`Insn::IndexBin`] + declaration coercion (forms on the
+    /// second peephole pass, once `Index` + `Bin` have already fused).
+    IndexBinCoerce {
+        op: BinOp,
+        dst: u16,
+        base: u16,
+        idx: u16,
+        r: u16,
+        cost: u64,
+        ty: Type,
+        base_span: SpanId,
+        index_span: SpanId,
+        load_span: SpanId,
+        span: SpanId,
+        co_span: SpanId,
+    },
+    /// A maximal run of straight-line instructions executed as one
+    /// dispatch. Formed by the peephole's final blocking pass from
+    /// consecutive arithmetic / memory instructions none of which (except
+    /// the first) is a jump target. Each step runs through the *same*
+    /// `step_arith` implementation the dispatch loop uses, so a block is
+    /// observably identical to its steps — it only removes the dispatch
+    /// overhead between them.
+    ArithBlock(Box<[Insn]>),
+    /// Fused [`Insn::IndexBinImm`] + declaration coercion (second pass).
+    IndexBinImmCoerce {
+        op: BinOp,
+        dst: u16,
+        base: u16,
+        idx: u16,
+        imm: Value,
+        cost: u64,
+        ty: Type,
+        base_span: SpanId,
+        index_span: SpanId,
+        load_span: SpanId,
+        span: SpanId,
+        co_span: SpanId,
+    },
+    /// Fused pair of immediate binops where the second consumes the
+    /// first's single-use temporary: `dst = (l op1 imm1) op2 imm2`.
+    /// Executes both `apply_binary` calls in order (identical charges and
+    /// identical error behaviour); only the dead temporary write is
+    /// elided. Covers the ubiquitous affine address form `i * N + k` and
+    /// chained scalings like `c * v - 1.0`.
+    BinImm2 {
+        op1: BinOp,
+        op2: BinOp,
+        dst: u16,
+        l: u16,
+        imm1: Value,
+        imm2: Value,
+        span1: SpanId,
+        span2: SpanId,
+    },
+    /// Fused immediate binop + unary math intrinsic consuming its
+    /// single-use temporary: `dst = f(l op imm)` (`rev` flips the binop
+    /// operands: `f(imm op l)`). Only formed when `imm` is floating and
+    /// `op` is `+ - * /`, which makes the binop's result always numeric —
+    /// so the intrinsic's non-numeric-argument error (the only consumer
+    /// of the call's source name) is unreachable and the name need not be
+    /// carried. `cycles`/`flops` are the intrinsic's baked charges
+    /// (verified to fit `u32` at fusion time).
+    MathCallImm {
+        op: BinOp,
+        rev: bool,
+        dst: u16,
+        l: u16,
+        imm: Value,
+        f: intrinsics::MathFn,
+        cycles: u32,
+        flops: u32,
+        bin_span: SpanId,
+    },
 }
 
 impl Program {
-    /// Compile a module. `config` supplies the cost model baked into
-    /// instructions and the watched-function name baked into functions.
+    /// Compile a module, including the superinstruction peephole pass.
+    /// `config` supplies the cost model baked into instructions and the
+    /// watched-function name baked into functions.
     pub fn compile(module: &Module, config: &RunConfig) -> Program {
+        Program::compile_with(module, config, true)
+    }
+
+    /// Compile without the peephole pass: the plain one-instruction-per-
+    /// operation register lowering. This is the reference bytecode the
+    /// differential proptests run as the middle semantics between the tree
+    /// walker and the fused fast path (the fused program must be
+    /// observationally identical to both).
+    pub fn compile_unfused(module: &Module, config: &RunConfig) -> Program {
+        Program::compile_with(module, config, false)
+    }
+
+    fn compile_with(module: &Module, config: &RunConfig, fuse: bool) -> Program {
         let mut fn_by_name: HashMap<String, u16> = HashMap::new();
         let mut fn_items: Vec<&Function> = Vec::new();
         for item in &module.items {
@@ -245,56 +607,75 @@ impl Program {
         }
 
         let mut call_sites = Vec::new();
+        let mut spans = SpanInterner::default();
 
         // The globals-initialiser chunk mirrors `Interpreter::init_globals`:
         // one shared frame, each declaration compiled in order, its value
         // copied to the global slot immediately (so later initialisers can
-        // observe earlier globals through their frame slots).
+        // observe earlier globals through their frame slots). Temporaries
+        // live above the per-name slots, of which there are at most one per
+        // distinct global name.
+        let init_first_temp = global_names.len() as u16;
         let mut init = Compiler {
             cm: &config.cost_model,
             fn_by_name: &fn_by_name,
             global_idx: &global_idx,
             call_sites: &mut call_sites,
+            spans: &mut spans,
             names: NameResolution::InitChunk {
                 scope: HashMap::new(),
                 next_slot: 0,
             },
             code: Vec::new(),
             loops: Vec::new(),
+            temp_top: init_first_temp,
+            max_regs: init_first_temp,
         };
         for item in &module.items {
             if let Item::Global(stmt) = item {
                 if let StmtKind::Decl(d) = &stmt.kind {
                     let slot = init.compile_decl(d);
                     let gidx = global_idx[&d.name];
-                    init.code.push(Insn::CopyLocalToGlobal { slot, gidx });
+                    init.code.push(Insn::CopyToGlobal { gidx, src: slot });
                 }
             }
         }
-        init.code.push(Insn::Ret { has_value: false });
-        let globals_init = std::mem::take(&mut init.code);
-        let globals_init_locals = match &init.names {
-            NameResolution::InitChunk { next_slot, .. } => *next_slot as usize,
-            _ => unreachable!(),
-        };
-        drop(init);
+        init.code.push(Insn::Ret {
+            src: 0,
+            has_value: false,
+        });
+        let mut globals_init = std::mem::take(&mut init.code);
+        let globals_init_regs = init.max_regs as usize;
+        if fuse {
+            globals_init = peephole::fuse(globals_init, init_first_temp);
+        }
 
         let mut funcs = Vec::with_capacity(fn_items.len());
         for f in &fn_items {
             let slots = resolve_function(f);
+            let first_temp = slots.locals as u16;
             let mut c = Compiler {
                 cm: &config.cost_model,
                 fn_by_name: &fn_by_name,
                 global_idx: &global_idx,
                 call_sites: &mut call_sites,
+                spans: &mut spans,
                 names: NameResolution::Func(&slots),
                 code: Vec::new(),
                 loops: Vec::new(),
+                temp_top: first_temp,
+                max_regs: first_temp,
             };
             c.compile_block(&f.body);
-            c.code.push(Insn::Ret { has_value: false });
-            let code = std::mem::take(&mut c.code);
-            drop(c);
+            c.code.push(Insn::Ret {
+                src: 0,
+                has_value: false,
+            });
+            let mut code = std::mem::take(&mut c.code);
+            let regs = c.max_regs as usize;
+            if fuse {
+                code = peephole::fuse(code, first_temp);
+            }
             funcs.push(CompiledFn {
                 name: f.name.clone(),
                 params: f
@@ -306,10 +687,21 @@ impl Program {
                         span: p.span,
                     })
                     .collect(),
-                locals: slots.locals,
+                regs,
                 watched: config.watch_function.as_deref() == Some(f.name.as_str()),
                 code,
             });
+        }
+
+        let spans = spans.spans;
+        verify_code(
+            &globals_init,
+            globals_init_regs,
+            &call_sites,
+            global_names.len(),
+        );
+        for f in &funcs {
+            verify_code(&f.code, f.regs, &call_sites, global_names.len());
         }
 
         Program {
@@ -317,8 +709,180 @@ impl Program {
             fn_by_name,
             global_names,
             globals_init,
-            globals_init_locals,
+            globals_init_regs,
             call_sites,
+            spans,
+        }
+    }
+}
+
+/// Verify that every register (and global-slot) operand of every
+/// instruction addresses a slot inside a frame of `nregs` registers. The
+/// VM dispatch loop reads frame registers without per-access bounds checks
+/// on the strength of this check, so it runs unconditionally — it is
+/// linear in code size and a negligible fraction of compile time. Any
+/// violation is a compiler bug and panics immediately.
+fn verify_code(code: &[Insn], nregs: usize, call_sites: &[CallSite], global_count: usize) {
+    let chk = |r: u16| {
+        assert!(
+            (r as usize) < nregs,
+            "register operand {r} outside frame of {nregs}: compiler bug"
+        )
+    };
+    let gchk = |g: u16| {
+        assert!(
+            (g as usize) < global_count,
+            "global operand {g} outside {global_count} slots: compiler bug"
+        )
+    };
+    for insn in code {
+        match insn {
+            Insn::Const { dst, .. } => chk(*dst),
+            Insn::Copy { dst, src } => {
+                chk(*dst);
+                chk(*src);
+            }
+            Insn::LoadGlobal { dst, gidx, .. } => {
+                chk(*dst);
+                gchk(*gidx);
+            }
+            Insn::CopyToGlobal { gidx, src } => {
+                gchk(*gidx);
+                chk(*src);
+            }
+            Insn::AssignLocal { slot, src, .. } => {
+                chk(*slot);
+                chk(*src);
+            }
+            Insn::AssignGlobal { gidx, src, .. } => {
+                gchk(*gidx);
+                chk(*src);
+            }
+            Insn::Coerce { dst, src, .. }
+            | Insn::Cast { dst, src, .. }
+            | Insn::Un { dst, src, .. }
+            | Insn::ToBool { dst, src, .. } => {
+                chk(*dst);
+                chk(*src);
+            }
+            Insn::Bin { dst, l, r, .. } => {
+                chk(*dst);
+                chk(*l);
+                chk(*r);
+            }
+            Insn::BinImm { dst, l, .. } => {
+                chk(*dst);
+                chk(*l);
+            }
+            Insn::BinImmRev { dst, r, .. } => {
+                chk(*dst);
+                chk(*r);
+            }
+            Insn::Jump(_) | Insn::LoopEnter { .. } | Insn::LoopExit | Insn::Raise(_) => {}
+            Insn::JumpIfFalse { src, .. } | Insn::WhileTest { src, .. } => chk(*src),
+            Insn::AndShort { src, dst, .. } | Insn::OrShort { src, dst, .. } => {
+                chk(*src);
+                chk(*dst);
+            }
+            Insn::Index { dst, base, idx, .. } | Insn::IndexAddr { dst, base, idx, .. } => {
+                chk(*dst);
+                chk(*base);
+                chk(*idx);
+            }
+            Insn::LoadElem { dst, addr, .. } => {
+                chk(*dst);
+                chk(*addr);
+            }
+            Insn::StoreElem { addr, src, .. } => {
+                chk(*addr);
+                chk(*src);
+            }
+            Insn::AllocArray { dst, len, .. } => {
+                chk(*dst);
+                chk(*len);
+            }
+            Insn::Call {
+                dst,
+                site,
+                first_arg,
+            } => {
+                chk(*dst);
+                let argc = call_sites[*site as usize].argc;
+                if argc > 0 {
+                    chk(*first_arg);
+                    chk(*first_arg + argc as u16 - 1);
+                }
+            }
+            Insn::MathCall { dst, a, b, f, .. } | Insn::MathCallCoerce { dst, a, b, f, .. } => {
+                chk(*dst);
+                chk(*a);
+                if f.op.arity() == 2 {
+                    chk(*b);
+                }
+            }
+            Insn::Ret { src, has_value } => {
+                if *has_value {
+                    chk(*src);
+                }
+            }
+            Insn::ForInit { slot, src, .. } => {
+                chk(*slot);
+                chk(*src);
+            }
+            Insn::ForTest { slot, bound, .. } => {
+                chk(*slot);
+                chk(*bound);
+            }
+            Insn::ForStep { slot, step, .. } | Insn::ForStepJump { slot, step, .. } => {
+                chk(*slot);
+                chk(*step);
+            }
+            Insn::CmpBranch { l, r, .. } | Insn::CmpWhile { l, r, .. } => {
+                chk(*l);
+                chk(*r);
+            }
+            Insn::CmpImmBranch { l, .. } | Insn::CmpImmWhile { l, .. } => chk(*l),
+            Insn::BinAssign { slot, l, r, .. } => {
+                chk(*slot);
+                chk(*l);
+                chk(*r);
+            }
+            Insn::BinImmAssign { slot, l, .. } => {
+                chk(*slot);
+                chk(*l);
+            }
+            Insn::IndexBin {
+                dst, base, idx, r, ..
+            }
+            | Insn::IndexBinCoerce {
+                dst, base, idx, r, ..
+            } => {
+                chk(*dst);
+                chk(*base);
+                chk(*idx);
+                chk(*r);
+            }
+            Insn::IndexBinImm { dst, base, idx, .. }
+            | Insn::IndexBinImmCoerce { dst, base, idx, .. }
+            | Insn::IndexCoerce { dst, base, idx, .. } => {
+                chk(*dst);
+                chk(*base);
+                chk(*idx);
+            }
+            Insn::BinCoerce { dst, l, r, .. } => {
+                chk(*dst);
+                chk(*l);
+                chk(*r);
+            }
+            Insn::BinImmCoerce { dst, l, .. } => {
+                chk(*dst);
+                chk(*l);
+            }
+            Insn::BinImm2 { dst, l, .. } | Insn::MathCallImm { dst, l, .. } => {
+                chk(*dst);
+                chk(*l);
+            }
+            Insn::ArithBlock(steps) => verify_code(steps, nregs, call_sites, global_count),
         }
     }
 }
@@ -340,10 +904,32 @@ struct Compiler<'a> {
     fn_by_name: &'a HashMap<String, u16>,
     global_idx: &'a HashMap<String, u16>,
     call_sites: &'a mut Vec<CallSite>,
+    spans: &'a mut SpanInterner,
     names: NameResolution<'a>,
     code: Vec<Insn>,
     /// Innermost-last stack of open loops, holding jump indices to patch.
     loops: Vec<OpenLoop>,
+    /// Next free temporary register (slots live below the initial value).
+    temp_top: u16,
+    /// Register-file high-water mark.
+    max_regs: u16,
+}
+
+/// Builds [`Program::spans`]: interns each distinct [`Span`] once.
+#[derive(Default)]
+struct SpanInterner {
+    spans: Vec<Span>,
+    by_span: HashMap<Span, SpanId>,
+}
+
+impl SpanInterner {
+    fn intern(&mut self, s: Span) -> SpanId {
+        *self.by_span.entry(s).or_insert_with(|| {
+            let id = SpanId(u32::try_from(self.spans.len()).expect("span table overflow"));
+            self.spans.push(s);
+            id
+        })
+    }
 }
 
 #[derive(Default)]
@@ -352,9 +938,39 @@ struct OpenLoop {
     continues: Vec<usize>,
 }
 
+/// A literal's runtime value, if the expression is a literal (used to bake
+/// immediate operands; literal evaluation has no observable effects, so
+/// folding it into the consuming instruction is exact).
+fn lit_value(e: &Expr) -> Option<Value> {
+    match &e.kind {
+        ExprKind::IntLit(v) => Some(Value::Int(*v)),
+        ExprKind::FloatLit { value, single } => Some(if *single {
+            Value::Float(*value as f32)
+        } else {
+            Value::Double(*value)
+        }),
+        ExprKind::BoolLit(b) => Some(Value::Bool(*b)),
+        _ => None,
+    }
+}
+
 impl<'a> Compiler<'a> {
     fn pc(&self) -> u32 {
         self.code.len() as u32
+    }
+
+    /// Intern a span for an instruction operand.
+    fn sp(&mut self, s: Span) -> SpanId {
+        self.spans.intern(s)
+    }
+
+    /// Claim the next temporary register.
+    fn temp(&mut self) -> u16 {
+        let t = self.temp_top;
+        assert!(t != u16::MAX, "function exceeds 65534 registers");
+        self.temp_top += 1;
+        self.max_regs = self.max_regs.max(self.temp_top);
+        t
     }
 
     /// Slot an identifier use reads, if it is a local here.
@@ -406,17 +1022,22 @@ impl<'a> Compiler<'a> {
             }
             StmtKind::Assign { target, op, value } => self.compile_assign(target, *op, value),
             StmtKind::Expr(e) => {
+                let mark = self.temp_top;
                 self.compile_expr(e);
-                self.code.push(Insn::Pop);
+                self.temp_top = mark;
             }
             StmtKind::If { cond, then, els } => {
-                self.compile_expr(cond);
+                let mark = self.temp_top;
+                let c = self.compile_expr(cond);
+                self.temp_top = mark;
                 let test = self.code.len();
-                self.code.push(Insn::JumpIfFalse {
+                let insn = Insn::JumpIfFalse {
+                    src: c,
                     target: 0,
                     cost: self.cm.branch,
-                    span: cond.span,
-                });
+                    span: self.sp(cond.span),
+                };
+                self.code.push(insn);
                 self.compile_block(then);
                 match els {
                     Some(els) => {
@@ -438,10 +1059,18 @@ impl<'a> Compiler<'a> {
             StmtKind::While { cond, body } => self.compile_while(stmt.id, cond, body),
             StmtKind::Return(e) => match e {
                 Some(e) => {
-                    self.compile_expr(e);
-                    self.code.push(Insn::Ret { has_value: true });
+                    let mark = self.temp_top;
+                    let r = self.compile_expr(e);
+                    self.temp_top = mark;
+                    self.code.push(Insn::Ret {
+                        src: r,
+                        has_value: true,
+                    });
                 }
-                None => self.code.push(Insn::Ret { has_value: false }),
+                None => self.code.push(Insn::Ret {
+                    src: 0,
+                    has_value: false,
+                }),
             },
             StmtKind::Break => match self.loops.last_mut() {
                 Some(l) => {
@@ -450,14 +1079,20 @@ impl<'a> Compiler<'a> {
                 }
                 // `break` outside any loop: the tree-walker's `Flow::Break`
                 // propagates out of the function body, returning unit.
-                None => self.code.push(Insn::Ret { has_value: false }),
+                None => self.code.push(Insn::Ret {
+                    src: 0,
+                    has_value: false,
+                }),
             },
             StmtKind::Continue => match self.loops.last_mut() {
                 Some(l) => {
                     l.continues.push(self.code.len());
                     self.code.push(Insn::Jump(0));
                 }
-                None => self.code.push(Insn::Ret { has_value: false }),
+                None => self.code.push(Insn::Ret {
+                    src: 0,
+                    has_value: false,
+                }),
             },
             StmtKind::Block(b) => self.compile_block(b),
         }
@@ -465,26 +1100,54 @@ impl<'a> Compiler<'a> {
 
     /// Compile a declaration; returns the slot it wrote.
     fn compile_decl(&mut self, d: &VarDecl) -> u16 {
+        let mark = self.temp_top;
         if let Some(len_expr) = &d.array_len {
-            self.compile_expr(len_expr);
+            let len = self.compile_expr(len_expr);
             let slot = self.decl_slot(d);
-            self.code.push(Insn::AllocArray {
+            self.temp_top = mark;
+            let insn = Insn::AllocArray {
+                dst: slot,
+                len,
                 scalar: d.ty.scalar,
                 name: d.name.clone().into_boxed_str(),
-                span: d.span,
-            });
-            self.code.push(Insn::StoreLocal(slot));
+                span: self.sp(d.span),
+            };
+            self.code.push(insn);
             return slot;
         }
         match &d.init {
             Some(init) => {
-                self.compile_expr(init);
-                if !d.ty.is_pointer() {
-                    self.code.push(Insn::Coerce {
-                        ty: d.ty,
-                        span: d.span,
-                    });
+                // A literal initialiser coerces at compile time: literals
+                // are always coercible scalars and coercion charges
+                // nothing, so the fold is exact.
+                if let Some(v) = lit_value(init) {
+                    let folded = if d.ty.is_pointer() {
+                        Ok(v)
+                    } else {
+                        ops::coerce(v, d.ty, d.span)
+                    };
+                    if let Ok(v) = folded {
+                        let slot = self.decl_slot(d);
+                        self.code.push(Insn::Const { dst: slot, v });
+                        return slot;
+                    }
                 }
+                let r = self.compile_expr(init);
+                let slot = self.decl_slot(d);
+                self.temp_top = mark;
+                if d.ty.is_pointer() {
+                    // Pointer declarations store without conversion.
+                    self.code.push(Insn::Copy { dst: slot, src: r });
+                } else {
+                    let insn = Insn::Coerce {
+                        dst: slot,
+                        src: r,
+                        ty: d.ty,
+                        span: self.sp(d.span),
+                    };
+                    self.code.push(insn);
+                }
+                slot
             }
             None => {
                 let v = match (d.ty.is_pointer(), d.ty.scalar) {
@@ -498,19 +1161,19 @@ impl<'a> Compiler<'a> {
                     (_, Scalar::Bool) => Value::Bool(false),
                     (_, Scalar::Void) => Value::Unit,
                 };
-                self.code.push(Insn::Const(v));
+                let slot = self.decl_slot(d);
+                self.code.push(Insn::Const { dst: slot, v });
+                slot
             }
         }
-        let slot = self.decl_slot(d);
-        self.code.push(Insn::StoreLocal(slot));
-        slot
     }
 
     fn compile_assign(&mut self, target: &Expr, op: AssignOp, value: &Expr) {
+        let mark = self.temp_top;
         match &target.kind {
             ExprKind::Ident(name) => {
                 // The rhs is evaluated first in all cases.
-                self.compile_expr(value);
+                let r = self.compile_expr(value);
                 let slot = self.ident_slot(target, name);
                 let gidx = match slot {
                     Some(_) => None,
@@ -521,67 +1184,130 @@ impl<'a> Compiler<'a> {
                     // evaluating the rhs (compound fails at the old-value
                     // read, simple at the final set — same error).
                     self.unbound(name, target.span);
+                    self.temp_top = mark;
                     return;
                 }
-                if let Some(bop) = op.bin_op() {
-                    match (slot, gidx) {
-                        (Some(s), _) => self.code.push(Insn::LoadLocal(s)),
-                        (None, Some(g)) => self.code.push(Insn::LoadGlobal {
-                            gidx: g,
-                            span: target.span,
-                        }),
+                match op.bin_op() {
+                    None => match (slot, gidx) {
+                        (Some(s), _) => {
+                            let insn = Insn::AssignLocal {
+                                slot: s,
+                                src: r,
+                                span: self.sp(target.span),
+                            };
+                            self.code.push(insn);
+                        }
+                        (None, Some(g)) => {
+                            let insn = Insn::AssignGlobal {
+                                gidx: g,
+                                src: r,
+                                span: self.sp(target.span),
+                            };
+                            self.code.push(insn);
+                        }
                         _ => unreachable!(),
-                    }
-                    self.code.push(Insn::BinRev {
-                        op: bop,
-                        span: target.span,
-                    });
-                }
-                match (slot, gidx) {
-                    (Some(s), _) => self.code.push(Insn::AssignLocal {
-                        slot: s,
-                        span: target.span,
-                    }),
-                    (None, Some(g)) => self.code.push(Insn::AssignGlobal {
-                        gidx: g,
-                        span: target.span,
-                    }),
-                    _ => unreachable!(),
+                    },
+                    Some(bop) => match (slot, gidx) {
+                        (Some(s), _) => {
+                            let t = self.temp();
+                            let insn = Insn::Bin {
+                                op: bop,
+                                dst: t,
+                                l: s,
+                                r,
+                                span: self.sp(target.span),
+                            };
+                            self.code.push(insn);
+                            let insn = Insn::AssignLocal {
+                                slot: s,
+                                src: t,
+                                span: self.sp(target.span),
+                            };
+                            self.code.push(insn);
+                        }
+                        (None, Some(g)) => {
+                            let old = self.temp();
+                            let insn = Insn::LoadGlobal {
+                                dst: old,
+                                gidx: g,
+                                span: self.sp(target.span),
+                            };
+                            self.code.push(insn);
+                            let t = self.temp();
+                            let insn = Insn::Bin {
+                                op: bop,
+                                dst: t,
+                                l: old,
+                                r,
+                                span: self.sp(target.span),
+                            };
+                            self.code.push(insn);
+                            let insn = Insn::AssignGlobal {
+                                gidx: g,
+                                src: t,
+                                span: self.sp(target.span),
+                            };
+                            self.code.push(insn);
+                        }
+                        _ => unreachable!(),
+                    },
                 }
             }
             ExprKind::Index { base, index } => {
-                self.compile_expr(base);
-                self.compile_expr(index);
-                self.code.push(Insn::IndexAddr {
+                let b = self.compile_expr(base);
+                let i = self.compile_expr(index);
+                self.temp_top = mark;
+                let addr = self.temp();
+                let insn = Insn::IndexAddr {
+                    dst: addr,
+                    base: b,
+                    idx: i,
                     cost: self.cm.int_op,
-                    base_span: base.span,
-                    index_span: index.span,
-                });
+                    base_span: self.sp(base.span),
+                    index_span: self.sp(index.span),
+                };
+                self.code.push(insn);
                 match op.bin_op() {
                     None => {
-                        self.compile_expr(value);
+                        let r = self.compile_expr(value);
+                        let insn = Insn::StoreElem {
+                            addr,
+                            src: r,
+                            cost: self.cm.store,
+                            span: self.sp(target.span),
+                        };
+                        self.code.push(insn);
                     }
                     Some(bop) => {
-                        // [ptr] → [ptr ptr rhs] → [ptr rhs ptr] →
-                        // [ptr rhs old] → [ptr new]; rhs evaluates before
-                        // the old value loads, like the tree-walker.
-                        self.code.push(Insn::Dup);
-                        self.compile_expr(value);
-                        self.code.push(Insn::Swap);
-                        self.code.push(Insn::LoadElem {
+                        // The rhs evaluates before the old value loads,
+                        // like the tree-walker.
+                        let r = self.compile_expr(value);
+                        let old = self.temp();
+                        let insn = Insn::LoadElem {
+                            dst: old,
+                            addr,
                             cost: self.cm.load,
-                            span: target.span,
-                        });
-                        self.code.push(Insn::BinRev {
+                            span: self.sp(target.span),
+                        };
+                        self.code.push(insn);
+                        let t = self.temp();
+                        let insn = Insn::Bin {
                             op: bop,
-                            span: target.span,
-                        });
+                            dst: t,
+                            l: old,
+                            r,
+                            span: self.sp(target.span),
+                        };
+                        self.code.push(insn);
+                        let insn = Insn::StoreElem {
+                            addr,
+                            src: t,
+                            cost: self.cm.store,
+                            span: self.sp(target.span),
+                        };
+                        self.code.push(insn);
                     }
                 }
-                self.code.push(Insn::StoreElem {
-                    cost: self.cm.store,
-                    span: target.span,
-                });
             }
             _ => {
                 // Not an lvalue: the tree-walker errors without evaluating
@@ -592,11 +1318,34 @@ impl<'a> Compiler<'a> {
                 })));
             }
         }
+        self.temp_top = mark;
+    }
+
+    /// A loop-header operand (bound or step) that can be pinned to one
+    /// register for the whole loop: a literal (materialised once — literal
+    /// evaluation has no observable effects) or a local (the slot itself;
+    /// reading it per iteration sees reassignments exactly like the
+    /// tree-walker's per-iteration evaluation). Globals and compound
+    /// expressions return `None` and are re-evaluated every iteration.
+    fn pinned_loop_operand(&mut self, e: &Expr) -> Option<u16> {
+        if let Some(v) = lit_value(e) {
+            let t = self.temp();
+            self.code.push(Insn::Const { dst: t, v });
+            return Some(t);
+        }
+        if let ExprKind::Ident(name) = &e.kind {
+            if let Some(slot) = self.ident_slot(e, name) {
+                return Some(slot);
+            }
+        }
+        None
     }
 
     fn compile_for(&mut self, l: &ForLoop) {
         self.code.push(Insn::LoopEnter { id: l.id });
-        self.compile_expr(&l.init);
+        let mark = self.temp_top;
+        let init = self.compile_expr(&l.init);
+        self.temp_top = mark;
         let (slot, bound) = match &self.names {
             NameResolution::Func(slots) => {
                 let v = slots.for_var(l.id).expect("for loop resolved");
@@ -612,32 +1361,57 @@ impl<'a> Compiler<'a> {
                 }
             }
         };
-        self.code.push(Insn::ForInit {
+        let insn = Insn::ForInit {
             slot,
+            src: init,
             bound,
             name: l.var.clone().into_boxed_str(),
-            span: l.span,
-        });
+            span: self.sp(l.span),
+        };
+        self.code.push(insn);
         self.loops.push(OpenLoop::default());
+        // Pin pure bound/step operands outside the loop; their registers
+        // stay live for the whole loop (temp_top is not reset until exit).
+        let pinned_bound = self.pinned_loop_operand(&l.bound);
+        let pinned_step = self.pinned_loop_operand(&l.step);
+        let loop_mark = self.temp_top;
         let top = self.pc();
-        self.compile_expr(&l.bound);
+        let bound_reg = match pinned_bound {
+            Some(r) => r,
+            None => {
+                let r = self.compile_expr(&l.bound);
+                self.temp_top = loop_mark;
+                r
+            }
+        };
         let test = self.code.len();
-        self.code.push(Insn::ForTest {
+        let insn = Insn::ForTest {
             slot,
+            bound: bound_reg,
             cond_op: l.cond_op,
             exit: 0,
             cost: self.cm.int_op + self.cm.branch,
-            span: l.span,
-        });
+            span: self.sp(l.span),
+        };
+        self.code.push(insn);
         self.compile_block(&l.body);
         let step_pc = self.pc();
-        self.compile_expr(&l.step);
-        self.code.push(Insn::ForStep {
+        let step_reg = match pinned_step {
+            Some(r) => r,
+            None => {
+                let r = self.compile_expr(&l.step);
+                self.temp_top = loop_mark;
+                r
+            }
+        };
+        let insn = Insn::ForStep {
             slot,
+            step: step_reg,
             negative: l.step_negative,
             cost: self.cm.int_op,
-            span: l.span,
-        });
+            span: self.sp(l.span),
+        };
+        self.code.push(insn);
         self.code.push(Insn::Jump(top));
         let exit = self.pc();
         self.code.push(Insn::LoopExit);
@@ -649,19 +1423,24 @@ impl<'a> Compiler<'a> {
         for pc in open.continues {
             self.patch_jump(pc, step_pc);
         }
+        self.temp_top = mark;
     }
 
     fn compile_while(&mut self, id: NodeId, cond: &Expr, body: &Block) {
         self.code.push(Insn::LoopEnter { id });
         self.loops.push(OpenLoop::default());
+        let mark = self.temp_top;
         let top = self.pc();
-        self.compile_expr(cond);
+        let c = self.compile_expr(cond);
+        self.temp_top = mark;
         let test = self.code.len();
-        self.code.push(Insn::WhileTest {
+        let insn = Insn::WhileTest {
+            src: c,
             exit: 0,
             cost: self.cm.branch,
-            span: cond.span,
-        });
+            span: self.sp(cond.span),
+        };
+        self.code.push(insn);
         self.compile_block(body);
         self.code.push(Insn::Jump(top));
         let exit = self.pc();
@@ -691,150 +1470,296 @@ impl<'a> Compiler<'a> {
     // Expressions
     // --------------------------------------------------------------
 
-    fn compile_expr(&mut self, e: &Expr) {
+    /// Compile an expression; returns the register holding its value. The
+    /// result register is either a local slot (identifier reads compile to
+    /// nothing), or the lowest temporary that was free on entry — operand
+    /// temporaries are released before the result register is claimed, so
+    /// nested expressions reuse a small register window. Aliasing between
+    /// the result and an operand is safe: every instruction reads all of
+    /// its sources before writing its destination.
+    fn compile_expr(&mut self, e: &Expr) -> u16 {
         match &e.kind {
-            ExprKind::IntLit(v) => self.code.push(Insn::Const(Value::Int(*v))),
-            ExprKind::FloatLit { value, single } => self.code.push(Insn::Const(if *single {
-                Value::Float(*value as f32)
-            } else {
-                Value::Double(*value)
-            })),
-            ExprKind::BoolLit(b) => self.code.push(Insn::Const(Value::Bool(*b))),
+            ExprKind::IntLit(_) | ExprKind::FloatLit { .. } | ExprKind::BoolLit(_) => {
+                let v = lit_value(e).expect("literal");
+                let dst = self.temp();
+                self.code.push(Insn::Const { dst, v });
+                dst
+            }
             ExprKind::Ident(name) => match self.ident_slot(e, name) {
-                Some(slot) => self.code.push(Insn::LoadLocal(slot)),
+                Some(slot) => slot,
                 None => match self.global_idx.get(name) {
-                    Some(&gidx) => self.code.push(Insn::LoadGlobal { gidx, span: e.span }),
-                    None => self.unbound(name, e.span),
+                    Some(&gidx) => {
+                        let dst = self.temp();
+                        let insn = Insn::LoadGlobal {
+                            dst,
+                            gidx,
+                            span: self.sp(e.span),
+                        };
+                        self.code.push(insn);
+                        dst
+                    }
+                    None => {
+                        self.unbound(name, e.span);
+                        // Unreachable at runtime; claim a register so the
+                        // enclosing expression still has an operand index.
+                        self.temp()
+                    }
                 },
             },
             ExprKind::Unary { op, expr } => {
-                self.compile_expr(expr);
-                self.code.push(Insn::Un {
+                let mark = self.temp_top;
+                let src = self.compile_expr(expr);
+                self.temp_top = mark;
+                let dst = self.temp();
+                let insn = Insn::Un {
                     op: *op,
-                    span: e.span,
-                });
+                    dst,
+                    src,
+                    span: self.sp(e.span),
+                };
+                self.code.push(insn);
+                dst
             }
             ExprKind::Binary { op, lhs, rhs } => match op {
-                BinOp::And => {
-                    self.compile_expr(lhs);
-                    let short = self.code.len();
-                    self.code.push(Insn::AndShort {
-                        target: 0,
-                        cost: self.cm.branch,
-                        span: lhs.span,
-                    });
-                    self.compile_expr(rhs);
-                    self.code.push(Insn::ToBool {
-                        cost: self.cm.branch,
-                        span: rhs.span,
-                    });
-                    let end = self.pc();
-                    self.patch_jump(short, end);
-                }
-                BinOp::Or => {
-                    self.compile_expr(lhs);
-                    let short = self.code.len();
-                    self.code.push(Insn::OrShort {
-                        target: 0,
-                        cost: self.cm.branch,
-                        span: lhs.span,
-                    });
-                    self.compile_expr(rhs);
-                    self.code.push(Insn::ToBool {
-                        cost: self.cm.branch,
-                        span: rhs.span,
-                    });
-                    let end = self.pc();
-                    self.patch_jump(short, end);
-                }
+                BinOp::And => self.compile_short_circuit(true, lhs, rhs),
+                BinOp::Or => self.compile_short_circuit(false, lhs, rhs),
                 _ => {
-                    self.compile_expr(lhs);
-                    self.compile_expr(rhs);
-                    self.code.push(Insn::Bin {
+                    let mark = self.temp_top;
+                    // Bake a literal operand into the instruction. A
+                    // literal evaluates without observable effects, so for
+                    // a literal lhs, skipping straight to the rhs preserves
+                    // evaluation order exactly.
+                    if let Some(imm) = lit_value(rhs) {
+                        let l = self.compile_expr(lhs);
+                        self.temp_top = mark;
+                        let dst = self.temp();
+                        let insn = Insn::BinImm {
+                            op: *op,
+                            dst,
+                            l,
+                            imm,
+                            span: self.sp(e.span),
+                        };
+                        self.code.push(insn);
+                        return dst;
+                    }
+                    if let Some(imm) = lit_value(lhs) {
+                        let r = self.compile_expr(rhs);
+                        self.temp_top = mark;
+                        let dst = self.temp();
+                        let insn = Insn::BinImmRev {
+                            op: *op,
+                            dst,
+                            imm,
+                            r,
+                            span: self.sp(e.span),
+                        };
+                        self.code.push(insn);
+                        return dst;
+                    }
+                    let l = self.compile_expr(lhs);
+                    let r = self.compile_expr(rhs);
+                    self.temp_top = mark;
+                    let dst = self.temp();
+                    let insn = Insn::Bin {
                         op: *op,
-                        span: e.span,
-                    });
+                        dst,
+                        l,
+                        r,
+                        span: self.sp(e.span),
+                    };
+                    self.code.push(insn);
+                    dst
                 }
             },
-            ExprKind::Call { callee, args } => {
-                for a in args {
-                    self.compile_expr(a);
-                }
-                // Tree-walker lookup order: user functions shadow
-                // intrinsics; unknown names are unbound at call time.
-                let target = match self.fn_by_name.get(callee) {
-                    Some(&idx) => CallTarget::User(idx),
-                    None => match intrinsics::lookup(callee) {
-                        Some(i) => CallTarget::Intrinsic(i),
-                        None => CallTarget::Unknown,
-                    },
-                };
-                // Arity-correct math calls get a dedicated instruction with
-                // the cost-class lookup resolved now; wrong-arity calls fall
-                // through to the generic path for its exact error.
-                if let CallTarget::Intrinsic(Intrinsic::Math(f)) = target {
-                    if args.len() == f.op.arity() {
-                        let (cycles, flops) = match f.op.cost_class() {
-                            intrinsics::MathCost::Cheap => (self.cm.fp_op, 1),
-                            intrinsics::MathCost::Sqrt => (self.cm.sqrt, self.cm.sqrt_flops),
-                            intrinsics::MathCost::Transcendental => {
-                                (self.cm.transcendental, self.cm.transcendental_flops)
-                            }
-                        };
-                        self.code.push(Insn::MathCall {
-                            f,
-                            cycles,
-                            flops,
-                            name: callee.clone().into_boxed_str(),
-                            span: e.span,
-                        });
-                        return;
-                    }
-                }
-                let site = self.call_sites.len() as u32;
-                self.call_sites.push(CallSite {
-                    name: callee.clone().into_boxed_str(),
-                    target,
-                    argc: args.len(),
-                    span: e.span,
-                });
-                self.code.push(Insn::Call(site));
-            }
+            ExprKind::Call { callee, args } => self.compile_call(e, callee, args),
             ExprKind::Index { base, index } => {
-                self.compile_expr(base);
-                self.compile_expr(index);
-                self.code.push(Insn::Index {
+                let mark = self.temp_top;
+                let b = self.compile_expr(base);
+                let i = self.compile_expr(index);
+                self.temp_top = mark;
+                let dst = self.temp();
+                let insn = Insn::Index {
+                    dst,
+                    base: b,
+                    idx: i,
                     cost: self.cm.int_op + self.cm.load,
-                    base_span: base.span,
-                    index_span: index.span,
-                    span: e.span,
-                });
+                    base_span: self.sp(base.span),
+                    index_span: self.sp(index.span),
+                    span: self.sp(e.span),
+                };
+                self.code.push(insn);
+                dst
             }
             ExprKind::Cast { ty, expr } => {
-                self.compile_expr(expr);
-                self.code.push(Insn::Cast {
+                let mark = self.temp_top;
+                let src = self.compile_expr(expr);
+                self.temp_top = mark;
+                let dst = self.temp();
+                let insn = Insn::Cast {
+                    dst,
+                    src,
                     ty: *ty,
                     cost: self.cm.fp_op,
-                    span: e.span,
-                });
+                    span: self.sp(e.span),
+                };
+                self.code.push(insn);
+                dst
             }
             ExprKind::Ternary { cond, then, els } => {
-                self.compile_expr(cond);
+                let mark = self.temp_top;
+                let c = self.compile_expr(cond);
+                self.temp_top = mark;
+                let dst = self.temp();
                 let test = self.code.len();
-                self.code.push(Insn::JumpIfFalse {
+                let insn = Insn::JumpIfFalse {
+                    src: c,
                     target: 0,
                     cost: self.cm.branch,
-                    span: cond.span,
-                });
-                self.compile_expr(then);
+                    span: self.sp(cond.span),
+                };
+                self.code.push(insn);
+                let tr = self.compile_expr(then);
+                if tr != dst {
+                    self.code.push(Insn::Copy { dst, src: tr });
+                }
+                self.temp_top = dst + 1;
                 let skip_else = self.code.len();
                 self.code.push(Insn::Jump(0));
                 let else_pc = self.pc();
                 self.patch_jump(test, else_pc);
-                self.compile_expr(els);
+                let er = self.compile_expr(els);
+                if er != dst {
+                    self.code.push(Insn::Copy { dst, src: er });
+                }
+                self.temp_top = dst + 1;
                 let end = self.pc();
                 self.patch_jump(skip_else, end);
+                dst
             }
         }
+    }
+
+    /// `&&` / `||` lower to short-circuiting control flow with a dedicated
+    /// result register both paths write.
+    fn compile_short_circuit(&mut self, is_and: bool, lhs: &Expr, rhs: &Expr) -> u16 {
+        let mark = self.temp_top;
+        let l = self.compile_expr(lhs);
+        self.temp_top = mark;
+        let dst = self.temp();
+        let short = self.code.len();
+        if is_and {
+            let insn = Insn::AndShort {
+                src: l,
+                dst,
+                target: 0,
+                cost: self.cm.branch,
+                span: self.sp(lhs.span),
+            };
+            self.code.push(insn);
+        } else {
+            let insn = Insn::OrShort {
+                src: l,
+                dst,
+                target: 0,
+                cost: self.cm.branch,
+                span: self.sp(lhs.span),
+            };
+            self.code.push(insn);
+        }
+        let r = self.compile_expr(rhs);
+        let insn = Insn::ToBool {
+            dst,
+            src: r,
+            cost: self.cm.branch,
+            span: self.sp(rhs.span),
+        };
+        self.code.push(insn);
+        self.temp_top = dst + 1;
+        let end = self.pc();
+        self.patch_jump(short, end);
+        dst
+    }
+
+    fn compile_call(&mut self, e: &Expr, callee: &str, args: &[Expr]) -> u16 {
+        // Tree-walker lookup order: user functions shadow intrinsics;
+        // unknown names are unbound at call time.
+        let target = match self.fn_by_name.get(callee) {
+            Some(&idx) => CallTarget::User(idx),
+            None => match intrinsics::lookup(callee) {
+                Some(i) => CallTarget::Intrinsic(i),
+                None => CallTarget::Unknown,
+            },
+        };
+        // Arity-correct math calls get a dedicated instruction with the
+        // cost-class lookup resolved now; the arguments can live in any
+        // registers (including local slots directly). Wrong-arity calls
+        // fall through to the generic path for its exact error.
+        if let CallTarget::Intrinsic(Intrinsic::Math(f)) = target {
+            if args.len() == f.op.arity() {
+                let mark = self.temp_top;
+                let a = self.compile_expr(&args[0]);
+                let b = if f.op.arity() == 2 {
+                    self.compile_expr(&args[1])
+                } else {
+                    a
+                };
+                self.temp_top = mark;
+                let dst = self.temp();
+                let (cycles, flops) = match f.op.cost_class() {
+                    intrinsics::MathCost::Cheap => (self.cm.fp_op, 1),
+                    intrinsics::MathCost::Sqrt => (self.cm.sqrt, self.cm.sqrt_flops),
+                    intrinsics::MathCost::Transcendental => {
+                        (self.cm.transcendental, self.cm.transcendental_flops)
+                    }
+                };
+                let insn = Insn::MathCall {
+                    dst,
+                    a,
+                    b,
+                    f,
+                    cycles,
+                    flops,
+                    name: callee.to_string().into_boxed_str(),
+                    span: self.sp(e.span),
+                };
+                self.code.push(insn);
+                return dst;
+            }
+        }
+        // Generic calls need their arguments in contiguous registers: each
+        // argument is compiled straight into its position (expressions land
+        // there naturally; bare locals are copied in).
+        let mark = self.temp_top;
+        let first_arg = mark;
+        for (i, a) in args.iter().enumerate() {
+            let want = first_arg + i as u16;
+            self.temp_top = want;
+            let r = self.compile_expr(a);
+            if r != want {
+                self.temp_top = want;
+                let w = self.temp();
+                debug_assert_eq!(w, want);
+                self.code.push(Insn::Copy { dst: want, src: r });
+            } else {
+                self.temp_top = want + 1;
+                self.max_regs = self.max_regs.max(self.temp_top);
+            }
+        }
+        self.temp_top = mark;
+        let dst = self.temp();
+        let site = self.call_sites.len() as u32;
+        self.call_sites.push(CallSite {
+            name: callee.to_string().into_boxed_str(),
+            target,
+            argc: args.len(),
+            span: e.span,
+        });
+        self.code.push(Insn::Call {
+            dst,
+            site,
+            first_arg,
+        });
+        dst
     }
 }

@@ -90,7 +90,7 @@ impl MathOp {
             MathOp::Rsqrt => 1.0 / a.sqrt(),
             MathOp::Exp => a.exp(),
             MathOp::Log => a.ln(),
-            MathOp::Pow => a.powf(b),
+            MathOp::Pow => pow_f64(a, b),
             MathOp::Sin => a.sin(),
             MathOp::Cos => a.cos(),
             MathOp::Tanh => a.tanh(),
@@ -110,7 +110,7 @@ impl MathOp {
             MathOp::Rsqrt => 1.0 / a.sqrt(),
             MathOp::Exp => a.exp(),
             MathOp::Log => a.ln(),
-            MathOp::Pow => a.powf(b),
+            MathOp::Pow => pow_f32(a, b),
             MathOp::Sin => a.sin(),
             MathOp::Cos => a.cos(),
             MathOp::Tanh => a.tanh(),
@@ -134,6 +134,30 @@ pub enum MathCost {
 
 /// Abramowitz & Stegun 7.1.26 rational approximation of erf, max abs error
 /// 1.5e-7 — plenty for AdPredictor's probit updates.
+/// `pow` with a fast path for small integral exponents: generated kernels
+/// overwhelmingly raise to squares and small Bernstein powers, where
+/// `powi`'s repeated squaring is an order of magnitude cheaper than the
+/// general `powf`. Both engines share this routine, so they stay
+/// bit-identical to each other.
+#[inline]
+pub fn pow_f64(a: f64, b: f64) -> f64 {
+    if b.trunc() == b && (-32.0..=32.0).contains(&b) {
+        a.powi(b as i32)
+    } else {
+        a.powf(b)
+    }
+}
+
+/// Single-precision counterpart of [`pow_f64`].
+#[inline]
+pub fn pow_f32(a: f32, b: f32) -> f32 {
+    if b.trunc() == b && (-32.0..=32.0).contains(&b) {
+        a.powi(b as i32)
+    } else {
+        a.powf(b)
+    }
+}
+
 pub fn erf_approx(x: f64) -> f64 {
     let sign = if x < 0.0 { -1.0 } else { 1.0 };
     let x = x.abs();

@@ -30,6 +30,7 @@ pub mod eval;
 pub mod intrinsics;
 pub mod memory;
 mod ops;
+mod peephole;
 pub mod profile;
 pub mod value;
 pub mod vm;
@@ -114,6 +115,25 @@ pub fn run_main_profiled(module: &Module, config: RunConfig) -> RuntimeResult<Pr
             })
         }
     }
+}
+
+/// Execute `main` on the bytecode VM from an already-compiled [`Program`],
+/// returning the same [`ProfiledRun`] artefacts as [`run_main_profiled`].
+///
+/// This is the compile-once/run-many entry point: design-space exploration
+/// evaluates the same description under many configurations and analyses,
+/// so bytecode compilation is paid once per description, not once per run.
+/// `config` must agree with the compiling config on `cost_model` and
+/// `watch_function` (both are baked into the bytecode).
+pub fn run_compiled(program: &Arc<Program>, config: RunConfig) -> RuntimeResult<ProfiledRun> {
+    let mut vm = Vm::with_program(Arc::clone(program), config);
+    let result = vm.run_main()?;
+    let (profile, memory) = vm.into_parts();
+    Ok(ProfiledRun {
+        result,
+        profile,
+        memory,
+    })
 }
 
 /// Execute `main` on the bytecode VM with the frame profiler attached,

@@ -158,26 +158,33 @@ impl Memory {
     }
 
     /// Element size in bytes of a buffer.
+    #[inline]
     pub fn elem_bytes(&self, id: BufferId) -> u64 {
         self.buffer(id).data.scalar().size_bytes()
     }
 
-    fn check(&self, id: BufferId, idx: i64, span: Span) -> RuntimeResult<usize> {
-        let buf = &self.buffers[id.0 as usize];
+    /// Bounds-check `idx` against `buf` (cold error path kept out of line).
+    #[inline]
+    fn check(buf: &Buffer, idx: i64, span: Span) -> RuntimeResult<usize> {
         if idx < 0 || (idx as usize) >= buf.data.len() {
-            return Err(RuntimeError::Memory {
-                message: format!(
-                    "index {idx} out of bounds for `{}` (len {})",
-                    buf.label,
-                    buf.data.len()
-                ),
-                span,
-            });
+            #[cold]
+            fn oob(buf: &Buffer, idx: i64, span: Span) -> RuntimeError {
+                RuntimeError::Memory {
+                    message: format!(
+                        "index {idx} out of bounds for `{}` (len {})",
+                        buf.label,
+                        buf.data.len()
+                    ),
+                    span,
+                }
+            }
+            return Err(oob(buf, idx, span));
         }
         Ok(idx as usize)
     }
 
     /// Load an element, recording kernel access when `watch` is set.
+    #[inline]
     pub fn load(
         &mut self,
         id: BufferId,
@@ -185,20 +192,24 @@ impl Memory {
         span: Span,
         watch: bool,
     ) -> RuntimeResult<crate::Value> {
-        let i = self.check(id, idx, span)?;
         let buf = &mut self.buffers[id.0 as usize];
+        let i = Self::check(buf, idx, span)?;
         if watch {
             buf.kernel_access.record_read(i as u64);
         }
-        Ok(match &buf.data {
-            BufferData::Int(v) => crate::Value::Int(v[i]),
-            BufferData::Float(v) => crate::Value::Float(v[i]),
-            BufferData::Double(v) => crate::Value::Double(v[i]),
-            BufferData::Bool(v) => crate::Value::Bool(v[i]),
+        // SAFETY: `check` above proved `i < buf.data.len()`.
+        Ok(unsafe {
+            match &buf.data {
+                BufferData::Int(v) => crate::Value::Int(*v.get_unchecked(i)),
+                BufferData::Float(v) => crate::Value::Float(*v.get_unchecked(i)),
+                BufferData::Double(v) => crate::Value::Double(*v.get_unchecked(i)),
+                BufferData::Bool(v) => crate::Value::Bool(*v.get_unchecked(i)),
+            }
         })
     }
 
     /// Store an element with C-style conversion to the buffer's type.
+    #[inline]
     pub fn store(
         &mut self,
         id: BufferId,
@@ -207,8 +218,8 @@ impl Memory {
         span: Span,
         watch: bool,
     ) -> RuntimeResult<()> {
-        let i = self.check(id, idx, span)?;
         let buf = &mut self.buffers[id.0 as usize];
+        let i = Self::check(buf, idx, span)?;
         if watch {
             buf.kernel_access.record_write(i as u64);
         }
@@ -220,11 +231,23 @@ impl Memory {
             ),
             span,
         };
-        match &mut buf.data {
-            BufferData::Int(v) => v[i] = value.as_i64().ok_or_else(|| type_err("int"))?,
-            BufferData::Float(v) => v[i] = value.as_f64().ok_or_else(|| type_err("float"))? as f32,
-            BufferData::Double(v) => v[i] = value.as_f64().ok_or_else(|| type_err("double"))?,
-            BufferData::Bool(v) => v[i] = value.truthy().ok_or_else(|| type_err("bool"))?,
+        // SAFETY: `check` above proved `i < buf.data.len()`.
+        unsafe {
+            match &mut buf.data {
+                BufferData::Int(v) => {
+                    *v.get_unchecked_mut(i) = value.as_i64().ok_or_else(|| type_err("int"))?
+                }
+                BufferData::Float(v) => {
+                    *v.get_unchecked_mut(i) =
+                        value.as_f64().ok_or_else(|| type_err("float"))? as f32
+                }
+                BufferData::Double(v) => {
+                    *v.get_unchecked_mut(i) = value.as_f64().ok_or_else(|| type_err("double"))?
+                }
+                BufferData::Bool(v) => {
+                    *v.get_unchecked_mut(i) = value.truthy().ok_or_else(|| type_err("bool"))?
+                }
+            }
         }
         Ok(())
     }

@@ -44,7 +44,7 @@ impl BinCosts {
 }
 
 /// Advance the virtual clock, failing once the budget is exhausted.
-#[inline]
+#[inline(always)]
 pub(crate) fn charge(profile: &mut Profile, max_cycles: u64, cycles: u64) -> RuntimeResult<()> {
     profile.total_cycles += cycles;
     if profile.total_cycles > max_cycles {
@@ -55,6 +55,7 @@ pub(crate) fn charge(profile: &mut Profile, max_cycles: u64, cycles: u64) -> Run
 
 /// Coerce a value to a declared type (parameter binding, casts, scalar
 /// declaration initialisers).
+#[inline(always)]
 pub(crate) fn coerce(value: Value, ty: Type, span: Span) -> RuntimeResult<Value> {
     if ty.is_pointer() {
         return match value {
@@ -80,6 +81,7 @@ pub(crate) fn coerce(value: Value, ty: Type, span: Span) -> RuntimeResult<Value>
 
 /// C assignment conversion: the assigned value adopts the variable's current
 /// runtime type. `current` of `None`, `Ptr` or `Unit` leaves `new` unchanged.
+#[inline(always)]
 pub(crate) fn convert_assign(
     current: Option<Value>,
     new: Value,
@@ -110,6 +112,7 @@ pub(crate) fn convert_assign(
 
 /// Unary operator semantics. `Neg` type-dispatches before charging; `Not`
 /// type-checks, then charges an int op *without* counting it as one.
+#[inline(always)]
 pub(crate) fn apply_unary(
     profile: &mut Profile,
     max_cycles: u64,
@@ -153,6 +156,7 @@ pub(crate) fn apply_unary(
 
 /// Binary operator semantics (everything except `&&`/`||`, which both
 /// engines lower to short-circuiting control flow).
+#[inline(always)]
 pub(crate) fn apply_binary(
     profile: &mut Profile,
     max_cycles: u64,
@@ -162,6 +166,28 @@ pub(crate) fn apply_binary(
     r: Value,
     span: Span,
 ) -> RuntimeResult<Value> {
+    // Typed fast path: double arithmetic, by far the hottest case. Exactly
+    // the generic route's charge + FLOP accounting (via `apply_fp`, which
+    // has no error path for these four ops), minus the promote dispatch.
+    if let (Value::Double(a), Value::Double(b)) = (l, r) {
+        let (cost, fast) = match op {
+            BinOp::Add | BinOp::Sub | BinOp::Mul => (costs.fp_op, true),
+            BinOp::Div => (costs.fp_div, true),
+            _ => (0, false),
+        };
+        if fast {
+            charge(profile, max_cycles, cost)?;
+            profile.flops += 1;
+            let r = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => a / b,
+                _ => unreachable!(),
+            };
+            return Ok(Value::Double(r));
+        }
+    }
     // Pointer arithmetic: ptr ± int.
     if let (Value::Ptr(p), Some(off)) = (&l, r.as_i64()) {
         if matches!(op, BinOp::Add | BinOp::Sub) && !r.is_floating() {
@@ -232,6 +258,7 @@ pub(crate) fn apply_binary(
 }
 
 #[allow(clippy::too_many_arguments)]
+#[inline(always)]
 fn apply_fp(
     profile: &mut Profile,
     max_cycles: u64,

@@ -1,19 +1,23 @@
-//! The bytecode VM: the fast execution engine.
+//! The register VM: the fast execution engine.
 //!
 //! Executes a [`Program`] produced by [`crate::compile`]. The inner loop is
-//! a `match` over flat instructions — variable access is a vector index,
-//! call targets are pre-bound, cycle costs are baked into the instructions —
-//! but every observable (results, virtual clock, counters, per-loop stats,
-//! memory provenance, kernel tracing, errors) is bit-identical to the
-//! tree-walking [`crate::Interpreter`]. The differential tests in
-//! `tests/engine_differential.rs` and the workspace proptests enforce that.
+//! a `match` over register-addressed instructions — every operand names a
+//! frame register, so the hot path moves no operand-stack traffic at all;
+//! call targets are pre-bound and cycle costs are baked into the
+//! instructions. Hot adjacent pairs are fused into superinstructions by
+//! [`crate::peephole`]. Every observable (results, virtual clock, counters,
+//! per-loop stats, memory provenance, kernel tracing, errors) is
+//! bit-identical to the tree-walking [`crate::Interpreter`]. The
+//! differential tests in `tests/engine_differential.rs` and the workspace
+//! proptests enforce that.
 //!
-//! Frames share one `locals` vector (`base`-offset per call) and one operand
-//! stack. Loop bookkeeping lives on an explicit context stack so `return`
-//! can record per-loop stats for every loop it unwinds, innermost first,
-//! exactly as nested `exec_for` returns do in the tree-walker.
+//! Frames share one `regs` vector (`base`-offset per call): registers
+//! `[0, locals)` are the function's named slots, the rest its expression
+//! temporaries. Loop bookkeeping lives on an explicit context stack so
+//! `return` can record per-loop stats for every loop it unwinds, innermost
+//! first, exactly as nested `exec_for` returns do in the tree-walker.
 
-use crate::compile::{CallTarget, Insn, Program};
+use crate::compile::{CallTarget, Insn, Program, SpanId};
 use crate::error::{RuntimeError, RuntimeResult};
 use crate::eval::RunConfig;
 use crate::intrinsics::{self, Intrinsic};
@@ -37,6 +41,81 @@ struct LoopCtx {
     cur_i: i64,
 }
 
+/// Code-chunk id inside a [`Program`]: a function index, or the module's
+/// globals-initialisation chunk.
+const GLOBALS_CHUNK: u32 = u32::MAX;
+
+fn code_of(program: &Program, id: u32) -> &[Insn] {
+    if id == GLOBALS_CHUNK {
+        &program.globals_init
+    } else {
+        &program.funcs[id as usize].code
+    }
+}
+
+/// A suspended caller activation on the VM's explicit call stack. User
+/// calls do not recurse into the host stack — MiniC++ `max_call_depth`
+/// would otherwise be bounded by Rust's thread stack — so each `Call`
+/// pushes one of these and the dispatch loop continues in the callee.
+struct Frame {
+    /// Caller chunk / resume point.
+    ret_code: u32,
+    ret_pc: usize,
+    ret_base: usize,
+    ret_loop_base: usize,
+    /// Absolute register receiving the callee's return value.
+    ret_dst: usize,
+    /// The *callee* activation this frame suspended into, for its epilogue
+    /// (frame truncation, watch/profiler unwind) on return or error.
+    callee_base: usize,
+    watched: bool,
+    prof_depth: Option<usize>,
+}
+
+/// Why a dispatch chunk stopped: the activation returned, or it needs a
+/// user call performed by the trampoline in [`Vm::exec`].
+enum StepOut {
+    Return(Value),
+    Call {
+        fidx: u16,
+        /// Absolute index of the first argument register.
+        args_at: usize,
+        argc: usize,
+        span: Span,
+        /// Absolute destination register for the result.
+        dst: usize,
+        resume_pc: usize,
+    },
+}
+
+/// Integer comparison for the fused compare+branch fast path.
+#[inline(always)]
+fn cmp_int(op: BinOp, a: i64, b: i64) -> bool {
+    match op {
+        BinOp::Lt => a < b,
+        BinOp::Le => a <= b,
+        BinOp::Gt => a > b,
+        BinOp::Ge => a >= b,
+        BinOp::Eq => a == b,
+        BinOp::Ne => a != b,
+        _ => unreachable!("fused comparison"),
+    }
+}
+
+/// Float comparison for the fused compare+branch fast path.
+#[inline(always)]
+fn cmp_f64(op: BinOp, a: f64, b: f64) -> bool {
+    match op {
+        BinOp::Lt => a < b,
+        BinOp::Le => a <= b,
+        BinOp::Gt => a > b,
+        BinOp::Ge => a >= b,
+        BinOp::Eq => a == b,
+        BinOp::Ne => a != b,
+        _ => unreachable!("fused comparison"),
+    }
+}
+
 /// The VM. Same construction and observation API as [`crate::Interpreter`].
 pub struct Vm {
     program: Arc<Program>,
@@ -46,8 +125,8 @@ pub struct Vm {
     config: RunConfig,
     bin_costs: BinCosts,
     globals: Vec<Option<Value>>,
-    stack: Vec<Value>,
-    locals: Vec<Value>,
+    /// All frames' register files, `base`-offset per call.
+    regs: Vec<Value>,
     loop_ctxs: Vec<LoopCtx>,
     watch_depth: usize,
     call_depth: usize,
@@ -83,8 +162,7 @@ impl Vm {
             config,
             bin_costs,
             globals,
-            stack: Vec::new(),
-            locals: Vec::new(),
+            regs: Vec::new(),
             loop_ctxs: Vec::new(),
             watch_depth: 0,
             call_depth: 0,
@@ -154,14 +232,12 @@ impl Vm {
             return Ok(());
         }
         let program = Arc::clone(&self.program);
-        let base = self.locals.len();
-        let stack_len = self.stack.len();
-        self.locals
-            .resize(base + program.globals_init_locals, Value::Unit);
+        let base = self.regs.len();
+        self.regs
+            .resize(base + program.globals_init_regs, Value::Unit);
         let loop_base = self.loop_ctxs.len();
-        let result = self.exec(&program, &program.globals_init, base, loop_base);
-        self.locals.truncate(base);
-        self.stack.truncate(stack_len);
+        let result = self.exec(&program, GLOBALS_CHUNK, base, loop_base);
+        self.regs.truncate(base);
         result.map(|_| ())
     }
 
@@ -175,8 +251,11 @@ impl Vm {
         let program = Arc::clone(&self.program);
         if let Some(&fidx) = program.fn_by_name.get(name) {
             let argc = args.len();
-            self.stack.extend(args);
-            return self.call_user(&program, fidx, argc, span);
+            let at = self.regs.len();
+            self.regs.extend(args);
+            let result = self.call_user(&program, fidx, at, argc, span);
+            self.regs.truncate(at);
+            return result;
         }
         match intrinsics::lookup(name) {
             Some(intr) => self.call_intrinsic(name, intr, &args, span),
@@ -191,19 +270,39 @@ impl Vm {
         ops::charge(&mut self.profile, self.config.max_cycles, cycles)
     }
 
-    /// Call a user function whose `argc` arguments sit on top of the
-    /// operand stack (they are consumed). Reading them in place avoids a
-    /// per-call argument `Vec` — the dominant allocation in call-heavy
-    /// programs. On error the arguments may be left behind; every enclosing
-    /// frame truncates its operand region during unwinding, and errors
-    /// abort the run, so this is unobservable.
+    /// Call a user function whose `argc` arguments sit in registers
+    /// `args_at..args_at + argc` (absolute indices — the caller's frame, or
+    /// a scratch region appended by [`Vm::call_by_name`]). They are read in
+    /// place: no per-call argument `Vec`, the dominant allocation in
+    /// call-heavy programs.
     fn call_user(
         &mut self,
         program: &Program,
         fidx: u16,
+        args_at: usize,
         argc: usize,
         span: Span,
     ) -> RuntimeResult<Value> {
+        let (base, watched, prof_depth) = self.call_prologue(program, fidx, args_at, argc, span)?;
+        let loop_base = self.loop_ctxs.len();
+        let result = self.exec(program, u32::from(fidx), base, loop_base);
+        self.call_epilogue(base, watched, prof_depth);
+        result
+    }
+
+    /// Everything a user call does before its body runs: depth and arity
+    /// checks, the call charge, profiler/watch entry, frame allocation and
+    /// parameter coercion. Returns the callee's frame base plus the state
+    /// [`Vm::call_epilogue`] needs. A coercion error propagates *without*
+    /// the epilogue, like the tree-walker's `?` inside its `call_user`.
+    fn call_prologue(
+        &mut self,
+        program: &Program,
+        fidx: u16,
+        args_at: usize,
+        argc: usize,
+        span: Span,
+    ) -> RuntimeResult<(usize, bool, Option<usize>)> {
         let func = &program.funcs[fidx as usize];
         if self.call_depth >= self.config.max_call_depth {
             return Err(RuntimeError::StackOverflow {
@@ -243,34 +342,29 @@ impl Vm {
         }
         self.call_depth += 1;
 
-        let base = self.locals.len();
-        self.locals.resize(base + func.locals, Value::Unit);
-        let at = self.stack.len() - argc;
+        let base = self.regs.len();
+        self.regs.resize(base + func.regs, Value::Unit);
         let mut ptr_args: Vec<(String, Pointer)> = Vec::new();
         for (i, param) in func.params.iter().enumerate() {
-            // A coercion error propagates without unwinding the watch/call
-            // bookkeeping, like the tree-walker's `?` inside `call_user`.
-            let coerced = ops::coerce(self.stack[at + i], param.ty, param.span)?;
+            let coerced = ops::coerce(self.regs[args_at + i], param.ty, param.span)?;
             if watched && self.watch_depth == 1 {
                 if let Value::Ptr(p) = coerced {
                     ptr_args.push((param.name.clone(), p));
                 }
             }
-            self.locals[base + i] = coerced;
+            self.regs[base + i] = coerced;
         }
-        self.stack.truncate(at);
         if watched && self.watch_depth == 1 {
             self.profile.kernel_arg_ptrs.push(ptr_args);
         }
+        Ok((base, watched, prof_depth))
+    }
 
-        let loop_base = self.loop_ctxs.len();
-        let stack_len = self.stack.len();
-        let result = self.exec(program, &func.code, base, loop_base);
-        self.locals.truncate(base);
-        if result.is_err() {
-            self.stack.truncate(stack_len);
-        }
-
+    /// Everything a user call does after its body stops, whether it
+    /// returned or errored: frame truncation, watch-window aggregation and
+    /// profiler unwind.
+    fn call_epilogue(&mut self, base: usize, watched: bool, prof_depth: Option<usize>) {
+        self.regs.truncate(base);
         self.call_depth -= 1;
         if watched {
             self.watch_depth -= 1;
@@ -289,7 +383,81 @@ impl Vm {
                 p.exit_to(depth, self.profile.total_cycles);
             }
         }
-        result
+    }
+
+    /// The call trampoline: runs chunk `entry` to completion, performing
+    /// user calls on an explicit [`Frame`] stack so MiniC++ call depth
+    /// never consumes host stack. Errors unwind every suspended
+    /// activation's epilogue, innermost first — exactly what nested host
+    /// recursion through [`Vm::call_user`] would have done.
+    fn exec(
+        &mut self,
+        program: &Program,
+        entry: u32,
+        base: usize,
+        loop_base: usize,
+    ) -> RuntimeResult<Value> {
+        let mut frames: Vec<Frame> = Vec::new();
+        let mut cur_code = entry;
+        let mut cur_base = base;
+        let mut cur_loop_base = loop_base;
+        let mut cur_pc = 0usize;
+        loop {
+            let code = code_of(program, cur_code);
+            let step = self.run_chunk(program, code, cur_base, cur_loop_base, cur_pc);
+            match step {
+                Ok(StepOut::Return(v)) => match frames.pop() {
+                    None => return Ok(v),
+                    Some(fr) => {
+                        self.call_epilogue(fr.callee_base, fr.watched, fr.prof_depth);
+                        self.regs[fr.ret_dst] = v;
+                        cur_code = fr.ret_code;
+                        cur_base = fr.ret_base;
+                        cur_loop_base = fr.ret_loop_base;
+                        cur_pc = fr.ret_pc;
+                    }
+                },
+                Ok(StepOut::Call {
+                    fidx,
+                    args_at,
+                    argc,
+                    span,
+                    dst,
+                    resume_pc,
+                }) => match self.call_prologue(program, fidx, args_at, argc, span) {
+                    Ok((callee_base, watched, prof_depth)) => {
+                        frames.push(Frame {
+                            ret_code: cur_code,
+                            ret_pc: resume_pc,
+                            ret_base: cur_base,
+                            ret_loop_base: cur_loop_base,
+                            ret_dst: dst,
+                            callee_base,
+                            watched,
+                            prof_depth,
+                        });
+                        cur_code = u32::from(fidx);
+                        cur_base = callee_base;
+                        cur_loop_base = self.loop_ctxs.len();
+                        cur_pc = 0;
+                    }
+                    Err(e) => {
+                        // The failed callee never entered, so it gets no
+                        // epilogue; every suspended caller does.
+                        while let Some(fr) = frames.pop() {
+                            self.call_epilogue(fr.callee_base, fr.watched, fr.prof_depth);
+                        }
+                        return Err(e);
+                    }
+                },
+                Err(e) => {
+                    while let Some(fr) = frames.pop() {
+                        self.call_epilogue(fr.callee_base, fr.watched, fr.prof_depth);
+                    }
+                    return Err(e);
+                }
+            }
+        }
     }
 
     fn call_intrinsic(
@@ -311,239 +479,175 @@ impl Vm {
         ops::exec_intrinsic(&mut ctx, name, intr, args, span)
     }
 
-    /// Record stats for the innermost open loop and close it.
-    fn record_loop_exit(&mut self) {
-        let ctx = self.loop_ctxs.pop().expect("open loop context");
-        let stats = self.profile.loop_stats.entry(ctx.id).or_default();
-        stats.entries += 1;
-        stats.iterations += ctx.iters;
-        stats.cycles += self.profile.total_cycles - ctx.start_cycles;
-        if let Some(p) = self.profiler.as_mut() {
-            p.exit(self.profile.total_cycles);
-        }
-    }
-
-    /// The interpreter loop: execute `code` with frame locals at `base`.
-    /// Returns the chunk's return value (`Unit` when control falls off a
-    /// `Ret { has_value: false }`).
-    fn exec(
+    /// The interpreter loop: dispatch `code` with frame registers at `base`
+    /// until the activation returns or requests a user call (performed by
+    /// the [`Vm::exec`] trampoline, which then resumes this chunk).
+    fn run_chunk(
         &mut self,
         program: &Program,
         code: &[Insn],
         base: usize,
         loop_base: usize,
-    ) -> RuntimeResult<Value> {
-        let max_cycles = self.config.max_cycles;
+        start_pc: usize,
+    ) -> RuntimeResult<StepOut> {
+        // Split `self` into disjoint borrows once: the dispatch loop then
+        // addresses the register file, profile and counters directly, so
+        // the optimiser can keep their pointers in machine registers
+        // instead of reloading through `&mut self` after every handler.
         let costs = self.bin_costs;
-        let mut pc = 0usize;
-        while pc < code.len() {
-            self.dispatches += 1;
-            match &code[pc] {
-                Insn::Const(v) => self.stack.push(*v),
-                Insn::Dup => {
-                    let v = *self.stack.last().expect("dup operand");
-                    self.stack.push(v);
+        let Vm {
+            regs,
+            profile,
+            memory,
+            config,
+            globals,
+            loop_ctxs,
+            watch_depth,
+            timer_stack,
+            heap_count,
+            dispatches,
+            profiler,
+            ..
+        } = self;
+        let frame = &mut regs.as_mut_slice()[base..];
+        let max_cycles = config.max_cycles;
+        // The watch window only toggles at call boundaries, which suspend
+        // this chunk, so one snapshot per chunk entry is exact.
+        let watch = *watch_depth > 0;
+        let spans = program.spans.as_slice();
+        let mut pc = start_pc;
+        while let Some(insn) = code.get(pc) {
+            *dispatches += 1;
+            match insn {
+                // Straight-line instructions: one shared implementation
+                // (`step_arith`) serves both this dispatch loop and the
+                // batched `ArithBlock` form below.
+                insn @ (Insn::Const { .. }
+                | Insn::Copy { .. }
+                | Insn::AssignLocal { .. }
+                | Insn::Coerce { .. }
+                | Insn::Cast { .. }
+                | Insn::Un { .. }
+                | Insn::Bin { .. }
+                | Insn::BinImm { .. }
+                | Insn::BinImmRev { .. }
+                | Insn::ToBool { .. }
+                | Insn::Index { .. }
+                | Insn::IndexAddr { .. }
+                | Insn::LoadElem { .. }
+                | Insn::StoreElem { .. }
+                | Insn::MathCall { .. }
+                | Insn::BinAssign { .. }
+                | Insn::BinImmAssign { .. }
+                | Insn::IndexBin { .. }
+                | Insn::IndexBinImm { .. }
+                | Insn::BinCoerce { .. }
+                | Insn::BinImmCoerce { .. }
+                | Insn::IndexCoerce { .. }
+                | Insn::MathCallCoerce { .. }
+                | Insn::IndexBinCoerce { .. }
+                | Insn::IndexBinImmCoerce { .. }
+                | Insn::BinImm2 { .. }
+                | Insn::MathCallImm { .. }) => step_arith(
+                    insn, frame, profile, memory, costs, max_cycles, watch, spans,
+                )?,
+                Insn::ArithBlock(steps) => {
+                    for s in steps.iter() {
+                        step_arith(s, frame, profile, memory, costs, max_cycles, watch, spans)?;
+                    }
                 }
-                Insn::Swap => {
-                    let n = self.stack.len();
-                    self.stack.swap(n - 1, n - 2);
-                }
-                Insn::Pop => {
-                    self.stack.pop();
-                }
-                Insn::LoadLocal(slot) => self.stack.push(self.locals[base + *slot as usize]),
-                Insn::StoreLocal(slot) => {
-                    let v = self.stack.pop().expect("store operand");
-                    self.locals[base + *slot as usize] = v;
-                }
-                Insn::LoadGlobal { gidx, span } => {
-                    let v = self.globals[*gidx as usize].ok_or_else(|| RuntimeError::Unbound {
+                Insn::LoadGlobal { dst, gidx, span } => {
+                    let v = globals[*gidx as usize].ok_or_else(|| RuntimeError::Unbound {
                         name: program.global_names[*gidx as usize].to_string(),
-                        span: *span,
+                        span: sp(spans, *span),
                     })?;
-                    self.stack.push(v);
+                    *reg_mut(frame, *dst) = v;
                 }
-                Insn::CopyLocalToGlobal { slot, gidx } => {
-                    self.globals[*gidx as usize] = Some(self.locals[base + *slot as usize]);
+                Insn::CopyToGlobal { gidx, src } => {
+                    globals[*gidx as usize] = Some(reg(frame, *src));
                 }
-                Insn::AssignLocal { slot, span } => {
-                    let new = self.stack.pop().expect("assign operand");
-                    let cur = self.locals[base + *slot as usize];
-                    self.locals[base + *slot as usize] =
-                        ops::convert_assign(Some(cur), new, *span)?;
-                }
-                Insn::AssignGlobal { gidx, span } => {
-                    let new = self.stack.pop().expect("assign operand");
-                    match self.globals[*gidx as usize] {
+                Insn::AssignGlobal { gidx, src, span } => {
+                    let new = reg(frame, *src);
+                    match globals[*gidx as usize] {
                         Some(cur) => {
-                            self.globals[*gidx as usize] =
-                                Some(ops::convert_assign(Some(cur), new, *span)?);
+                            globals[*gidx as usize] =
+                                Some(ops::convert_assign(Some(cur), new, sp(spans, *span))?);
                         }
                         None => {
                             return Err(RuntimeError::Unbound {
                                 name: program.global_names[*gidx as usize].to_string(),
-                                span: *span,
+                                span: sp(spans, *span),
                             })
                         }
                     }
-                }
-                Insn::Coerce { ty, span } => {
-                    let v = self.stack.pop().expect("coerce operand");
-                    self.stack.push(ops::coerce(v, *ty, *span)?);
-                }
-                Insn::Cast { ty, cost, span } => {
-                    let v = self.stack.pop().expect("cast operand");
-                    ops::charge(&mut self.profile, max_cycles, *cost)?;
-                    self.stack.push(ops::coerce(v, *ty, *span)?);
-                }
-                Insn::Un { op, span } => {
-                    let v = self.stack.pop().expect("unary operand");
-                    let r = ops::apply_unary(&mut self.profile, max_cycles, costs, *op, v, *span)?;
-                    self.stack.push(r);
-                }
-                Insn::Bin { op, span } => {
-                    let r = self.stack.pop().expect("binary rhs");
-                    let l = self.stack.pop().expect("binary lhs");
-                    let v =
-                        ops::apply_binary(&mut self.profile, max_cycles, costs, *op, l, r, *span)?;
-                    self.stack.push(v);
-                }
-                Insn::BinRev { op, span } => {
-                    let l = self.stack.pop().expect("binary lhs");
-                    let r = self.stack.pop().expect("binary rhs");
-                    let v =
-                        ops::apply_binary(&mut self.profile, max_cycles, costs, *op, l, r, *span)?;
-                    self.stack.push(v);
                 }
                 Insn::Jump(target) => {
                     pc = *target as usize;
                     continue;
                 }
-                Insn::JumpIfFalse { target, cost, span } => {
-                    let v = self.stack.pop().expect("condition");
-                    ops::charge(&mut self.profile, max_cycles, *cost)?;
-                    let b = v.truthy().ok_or_else(|| RuntimeError::Type {
-                        message: format!("condition is not boolean-testable ({})", v.type_name()),
-                        span: *span,
-                    })?;
-                    if !b {
-                        pc = *target as usize;
-                        continue;
-                    }
-                }
-                Insn::AndShort { target, cost, span } => {
-                    let v = self.stack.pop().expect("condition");
-                    ops::charge(&mut self.profile, max_cycles, *cost)?;
-                    let b = v.truthy().ok_or_else(|| RuntimeError::Type {
-                        message: format!("condition is not boolean-testable ({})", v.type_name()),
-                        span: *span,
-                    })?;
-                    if !b {
-                        self.stack.push(Value::Bool(false));
-                        pc = *target as usize;
-                        continue;
-                    }
-                }
-                Insn::OrShort { target, cost, span } => {
-                    let v = self.stack.pop().expect("condition");
-                    ops::charge(&mut self.profile, max_cycles, *cost)?;
-                    let b = v.truthy().ok_or_else(|| RuntimeError::Type {
-                        message: format!("condition is not boolean-testable ({})", v.type_name()),
-                        span: *span,
-                    })?;
-                    if b {
-                        self.stack.push(Value::Bool(true));
-                        pc = *target as usize;
-                        continue;
-                    }
-                }
-                Insn::ToBool { cost, span } => {
-                    let v = self.stack.pop().expect("condition");
-                    ops::charge(&mut self.profile, max_cycles, *cost)?;
-                    let b = v.truthy().ok_or_else(|| RuntimeError::Type {
-                        message: format!("condition is not boolean-testable ({})", v.type_name()),
-                        span: *span,
-                    })?;
-                    self.stack.push(Value::Bool(b));
-                }
-                Insn::Index {
+                Insn::JumpIfFalse {
+                    src,
+                    target,
                     cost,
-                    base_span,
-                    index_span,
                     span,
                 } => {
-                    let idx_v = self.stack.pop().expect("index");
-                    let base_v = self.stack.pop().expect("indexed base");
-                    let ptr = base_v.as_ptr().ok_or_else(|| RuntimeError::Type {
-                        message: "indexed value is not a pointer".into(),
-                        span: *base_span,
+                    let v = reg(frame, *src);
+                    ops::charge(&mut *profile, max_cycles, *cost)?;
+                    let b = v.truthy().ok_or_else(|| RuntimeError::Type {
+                        message: format!("condition is not boolean-testable ({})", v.type_name()),
+                        span: sp(spans, *span),
                     })?;
-                    let idx = idx_v.as_i64().ok_or_else(|| RuntimeError::Type {
-                        message: "index is not integral".into(),
-                        span: *index_span,
-                    })?;
-                    ops::charge(&mut self.profile, max_cycles, *cost)?;
-                    self.profile.int_ops += 1;
-                    self.profile.loads += 1;
-                    self.profile.bytes_loaded += self.memory.elem_bytes(ptr.buffer);
-                    let watch = self.watch_depth > 0;
-                    let v = self
-                        .memory
-                        .load(ptr.buffer, ptr.offset + idx, *span, watch)?;
-                    self.stack.push(v);
+                    if !b {
+                        pc = *target as usize;
+                        continue;
+                    }
                 }
-                Insn::IndexAddr {
+                Insn::AndShort {
+                    src,
+                    dst,
+                    target,
                     cost,
-                    base_span,
-                    index_span,
+                    span,
                 } => {
-                    let idx_v = self.stack.pop().expect("index");
-                    let base_v = self.stack.pop().expect("indexed base");
-                    let ptr = base_v.as_ptr().ok_or_else(|| RuntimeError::Type {
-                        message: "indexed value is not a pointer".into(),
-                        span: *base_span,
+                    let v = reg(frame, *src);
+                    ops::charge(&mut *profile, max_cycles, *cost)?;
+                    let b = v.truthy().ok_or_else(|| RuntimeError::Type {
+                        message: format!("condition is not boolean-testable ({})", v.type_name()),
+                        span: sp(spans, *span),
                     })?;
-                    let idx = idx_v.as_i64().ok_or_else(|| RuntimeError::Type {
-                        message: "index is not integral".into(),
-                        span: *index_span,
+                    if !b {
+                        *reg_mut(frame, *dst) = Value::Bool(false);
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                Insn::OrShort {
+                    src,
+                    dst,
+                    target,
+                    cost,
+                    span,
+                } => {
+                    let v = reg(frame, *src);
+                    ops::charge(&mut *profile, max_cycles, *cost)?;
+                    let b = v.truthy().ok_or_else(|| RuntimeError::Type {
+                        message: format!("condition is not boolean-testable ({})", v.type_name()),
+                        span: sp(spans, *span),
                     })?;
-                    ops::charge(&mut self.profile, max_cycles, *cost)?;
-                    self.profile.int_ops += 1;
-                    self.stack.push(Value::Ptr(Pointer {
-                        buffer: ptr.buffer,
-                        offset: ptr.offset + idx,
-                    }));
+                    if b {
+                        *reg_mut(frame, *dst) = Value::Bool(true);
+                        pc = *target as usize;
+                        continue;
+                    }
                 }
-                Insn::LoadElem { cost, span } => {
-                    let p = self
-                        .stack
-                        .pop()
-                        .and_then(|v| v.as_ptr())
-                        .expect("element address");
-                    let watch = self.watch_depth > 0;
-                    // Load first, charge after — tree-walker order for the
-                    // compound-assignment read.
-                    let old = self.memory.load(p.buffer, p.offset, *span, watch)?;
-                    ops::charge(&mut self.profile, max_cycles, *cost)?;
-                    self.profile.loads += 1;
-                    self.profile.bytes_loaded += self.memory.elem_bytes(p.buffer);
-                    self.stack.push(old);
-                }
-                Insn::StoreElem { cost, span } => {
-                    let v = self.stack.pop().expect("store value");
-                    let p = self
-                        .stack
-                        .pop()
-                        .and_then(|v| v.as_ptr())
-                        .expect("element address");
-                    let watch = self.watch_depth > 0;
-                    self.memory.store(p.buffer, p.offset, v, *span, watch)?;
-                    ops::charge(&mut self.profile, max_cycles, *cost)?;
-                    self.profile.stores += 1;
-                    self.profile.bytes_stored += self.memory.elem_bytes(p.buffer);
-                }
-                Insn::AllocArray { scalar, name, span } => {
-                    let len_v = self.stack.pop().expect("array length");
+                Insn::AllocArray {
+                    dst,
+                    len,
+                    scalar,
+                    name,
+                    span,
+                } => {
+                    let len_v = reg(frame, *len);
                     let len =
                         len_v
                             .as_i64()
@@ -552,43 +656,53 @@ impl Vm {
                                 message: format!(
                                     "array length of `{name}` must be a non-negative int"
                                 ),
-                                span: *span,
+                                span: sp(spans, *span),
                             })?;
-                    let id = self.memory.alloc(*scalar, len as usize, name.to_string());
-                    self.stack.push(Value::Ptr(Pointer {
+                    let id = memory.alloc(*scalar, len as usize, name.to_string());
+                    *reg_mut(frame, *dst) = Value::Ptr(Pointer {
                         buffer: id,
                         offset: 0,
-                    }));
+                    });
                 }
-                Insn::Call(site) => {
+                Insn::Call {
+                    dst,
+                    site,
+                    first_arg,
+                } => {
                     let site = &program.call_sites[*site as usize];
+                    let at = base + *first_arg as usize;
+                    let args_from = *first_arg as usize;
                     let v = match &site.target {
                         CallTarget::User(fidx) => {
-                            self.call_user(program, *fidx, site.argc, site.span)?
+                            return Ok(StepOut::Call {
+                                fidx: *fidx,
+                                args_at: at,
+                                argc: site.argc,
+                                span: site.span,
+                                dst: base + *dst as usize,
+                                resume_pc: pc + 1,
+                            });
                         }
                         CallTarget::Intrinsic(intr) => {
-                            // Arguments are read in place off the operand
-                            // stack; the ctx borrows disjoint fields so the
-                            // slice stays valid.
-                            let at = self.stack.len() - site.argc;
+                            // Arguments are read in place from the caller's
+                            // registers; the ctx borrows disjoint fields so
+                            // the slice stays valid.
                             let mut ctx = IntrinsicCtx {
-                                profile: &mut self.profile,
-                                memory: &mut self.memory,
-                                cost_model: &self.config.cost_model,
+                                profile: &mut *profile,
+                                memory: &mut *memory,
+                                cost_model: &config.cost_model,
                                 max_cycles,
-                                timer_stack: &mut self.timer_stack,
-                                heap_count: &mut self.heap_count,
-                                watch: self.watch_depth > 0,
+                                timer_stack: &mut *timer_stack,
+                                heap_count: &mut *heap_count,
+                                watch,
                             };
-                            let v = ops::exec_intrinsic(
+                            ops::exec_intrinsic(
                                 &mut ctx,
                                 &site.name,
                                 *intr,
-                                &self.stack[at..],
+                                &frame[args_from..args_from + site.argc],
                                 site.span,
-                            )?;
-                            self.stack.truncate(at);
-                            v
+                            )?
                         }
                         CallTarget::Unknown => {
                             return Err(RuntimeError::Unbound {
@@ -597,96 +711,67 @@ impl Vm {
                             })
                         }
                     };
-                    self.stack.push(v);
+                    *reg_mut(frame, *dst) = v;
                 }
-                Insn::MathCall {
-                    f,
-                    cycles,
-                    flops,
-                    name,
-                    span,
-                } => {
-                    // Same check order as `ops::exec_intrinsic`: first
-                    // argument, second argument, then charge.
-                    let two = f.op.arity() == 2;
-                    let b_v = if two { self.stack.pop() } else { None };
-                    let a_v = self.stack.pop().expect("math argument");
-                    let a = a_v.as_f64().ok_or_else(|| RuntimeError::Intrinsic {
-                        message: format!("`{name}` needs a numeric argument"),
-                        span: *span,
-                    })?;
-                    let b = match b_v {
-                        Some(v) => v.as_f64().ok_or_else(|| RuntimeError::Intrinsic {
-                            message: format!("`{name}` needs numeric arguments"),
-                            span: *span,
-                        })?,
-                        None => 0.0,
-                    };
-                    ops::charge(&mut self.profile, max_cycles, *cycles)?;
-                    self.profile.flops += *flops;
-                    self.stack.push(if f.single {
-                        Value::Float(f.op.eval_f32(a as f32, b as f32))
-                    } else {
-                        Value::Double(f.op.eval_f64(a, b))
-                    });
-                }
-                Insn::Ret { has_value } => {
+                Insn::Ret { src, has_value } => {
                     let v = if *has_value {
-                        self.stack.pop().expect("return value")
+                        reg(frame, *src)
                     } else {
                         Value::Unit
                     };
-                    while self.loop_ctxs.len() > loop_base {
-                        self.record_loop_exit();
+                    while loop_ctxs.len() > loop_base {
+                        record_loop_exit(profile, loop_ctxs, profiler);
                     }
-                    return Ok(v);
+                    return Ok(StepOut::Return(v));
                 }
                 Insn::LoopEnter { id } => {
-                    self.loop_ctxs.push(LoopCtx {
+                    loop_ctxs.push(LoopCtx {
                         id: *id,
-                        start_cycles: self.profile.total_cycles,
+                        start_cycles: profile.total_cycles,
                         iters: 0,
                         cur_i: 0,
                     });
-                    if let Some(p) = self.profiler.as_mut() {
-                        p.enter(FrameKey::Loop(*id), self.profile.total_cycles);
+                    if let Some(p) = profiler.as_mut() {
+                        p.enter(FrameKey::Loop(*id), profile.total_cycles);
                     }
                 }
-                Insn::LoopExit => self.record_loop_exit(),
+                Insn::LoopExit => record_loop_exit(profile, loop_ctxs, profiler),
                 Insn::ForInit {
                     slot,
+                    src,
                     bound,
                     name,
                     span,
                 } => {
-                    let v = self.stack.pop().expect("loop init");
+                    let v = reg(frame, *src);
                     let i = v.as_i64().ok_or_else(|| RuntimeError::Type {
                         message: format!("loop init for `{name}` must be integral"),
-                        span: *span,
+                        span: sp(spans, *span),
                     })?;
                     if !*bound {
                         return Err(RuntimeError::Unbound {
                             name: name.to_string(),
-                            span: *span,
+                            span: sp(spans, *span),
                         });
                     }
-                    self.locals[base + *slot as usize] = Value::Int(i);
+                    *reg_mut(frame, *slot) = Value::Int(i);
                 }
                 Insn::ForTest {
                     slot,
+                    bound,
                     cond_op,
                     exit,
                     cost,
                     span,
                 } => {
-                    let i = self.locals[base + *slot as usize].as_i64().unwrap_or(0);
-                    let bound_v = self.stack.pop().expect("loop bound");
+                    let i = reg(frame, *slot).as_i64().unwrap_or(0);
+                    let bound_v = reg(frame, *bound);
                     let bound = bound_v.as_i64().ok_or_else(|| RuntimeError::Type {
                         message: "loop bound must be integral".into(),
-                        span: *span,
+                        span: sp(spans, *span),
                     })?;
-                    ops::charge(&mut self.profile, max_cycles, *cost)?;
-                    self.profile.int_ops += 1;
+                    ops::charge(&mut *profile, max_cycles, *cost)?;
+                    profile.int_ops += 1;
                     let keep = match cond_op {
                         BinOp::Lt => i < bound,
                         BinOp::Le => i <= bound,
@@ -695,7 +780,7 @@ impl Vm {
                         BinOp::Ne => i != bound,
                         _ => false,
                     };
-                    let ctx = self.loop_ctxs.last_mut().expect("open loop context");
+                    let ctx = loop_ctxs.last_mut().expect("open loop context");
                     ctx.cur_i = i;
                     if keep {
                         ctx.iters += 1;
@@ -706,41 +791,905 @@ impl Vm {
                 }
                 Insn::ForStep {
                     slot,
+                    step,
                     negative,
                     cost,
                     span,
                 } => {
-                    let v = self.stack.pop().expect("loop step");
+                    let v = reg(frame, *step);
                     let step = v.as_i64().ok_or_else(|| RuntimeError::Type {
                         message: "loop step must be integral".into(),
-                        span: *span,
+                        span: sp(spans, *span),
                     })?;
-                    let i = self.loop_ctxs.last().expect("open loop context").cur_i;
+                    let i = loop_ctxs.last().expect("open loop context").cur_i;
                     let next = if *negative { i - step } else { i + step };
-                    self.locals[base + *slot as usize] = Value::Int(next);
-                    ops::charge(&mut self.profile, max_cycles, *cost)?;
-                    self.profile.int_ops += 1;
+                    *reg_mut(frame, *slot) = Value::Int(next);
+                    ops::charge(&mut *profile, max_cycles, *cost)?;
+                    profile.int_ops += 1;
                 }
-                Insn::WhileTest { exit, cost, span } => {
-                    let v = self.stack.pop().expect("condition");
-                    ops::charge(&mut self.profile, max_cycles, *cost)?;
+                Insn::WhileTest {
+                    src,
+                    exit,
+                    cost,
+                    span,
+                } => {
+                    let v = reg(frame, *src);
+                    ops::charge(&mut *profile, max_cycles, *cost)?;
                     let b = v.truthy().ok_or_else(|| RuntimeError::Type {
                         message: format!("condition is not boolean-testable ({})", v.type_name()),
-                        span: *span,
+                        span: sp(spans, *span),
                     })?;
                     if b {
-                        self.loop_ctxs.last_mut().expect("open loop context").iters += 1;
+                        loop_ctxs.last_mut().expect("open loop context").iters += 1;
                     } else {
                         pc = *exit as usize;
                         continue;
                     }
                 }
                 Insn::Raise(err) => return Err((**err).clone()),
+
+                // ----------------------------------------------------------
+                // Superinstructions. Each performs exactly the steps of the
+                // pair it replaced; the compare+branch forms collapse the two
+                // cycle charges into one combined `charge()` (see
+                // `crate::peephole` for why that is exact).
+                // ----------------------------------------------------------
+                Insn::CmpBranch {
+                    op,
+                    l,
+                    r,
+                    target,
+                    branch_cost,
+                    cmp_span,
+                    br_span,
+                } => {
+                    let lv = reg(frame, *l);
+                    let rv = reg(frame, *r);
+                    let b = fused_cmp(
+                        profile,
+                        max_cycles,
+                        costs,
+                        *op,
+                        lv,
+                        rv,
+                        *branch_cost,
+                        sp(spans, *cmp_span),
+                        sp(spans, *br_span),
+                    )?;
+                    if !b {
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                Insn::CmpImmBranch {
+                    op,
+                    l,
+                    imm,
+                    target,
+                    branch_cost,
+                    cmp_span,
+                    br_span,
+                } => {
+                    let lv = reg(frame, *l);
+                    let b = fused_cmp(
+                        profile,
+                        max_cycles,
+                        costs,
+                        *op,
+                        lv,
+                        *imm,
+                        *branch_cost,
+                        sp(spans, *cmp_span),
+                        sp(spans, *br_span),
+                    )?;
+                    if !b {
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                Insn::CmpWhile {
+                    op,
+                    l,
+                    r,
+                    exit,
+                    branch_cost,
+                    cmp_span,
+                    br_span,
+                } => {
+                    let lv = reg(frame, *l);
+                    let rv = reg(frame, *r);
+                    let b = fused_cmp(
+                        profile,
+                        max_cycles,
+                        costs,
+                        *op,
+                        lv,
+                        rv,
+                        *branch_cost,
+                        sp(spans, *cmp_span),
+                        sp(spans, *br_span),
+                    )?;
+                    if b {
+                        loop_ctxs.last_mut().expect("open loop context").iters += 1;
+                    } else {
+                        pc = *exit as usize;
+                        continue;
+                    }
+                }
+                Insn::CmpImmWhile {
+                    op,
+                    l,
+                    imm,
+                    exit,
+                    branch_cost,
+                    cmp_span,
+                    br_span,
+                } => {
+                    let lv = reg(frame, *l);
+                    let b = fused_cmp(
+                        profile,
+                        max_cycles,
+                        costs,
+                        *op,
+                        lv,
+                        *imm,
+                        *branch_cost,
+                        sp(spans, *cmp_span),
+                        sp(spans, *br_span),
+                    )?;
+                    if b {
+                        loop_ctxs.last_mut().expect("open loop context").iters += 1;
+                    } else {
+                        pc = *exit as usize;
+                        continue;
+                    }
+                }
+                Insn::ForStepJump {
+                    slot,
+                    step,
+                    negative,
+                    cost,
+                    span,
+                    target,
+                } => {
+                    let v = reg(frame, *step);
+                    let step = v.as_i64().ok_or_else(|| RuntimeError::Type {
+                        message: "loop step must be integral".into(),
+                        span: sp(spans, *span),
+                    })?;
+                    let i = loop_ctxs.last().expect("open loop context").cur_i;
+                    let next = if *negative { i - step } else { i + step };
+                    *reg_mut(frame, *slot) = Value::Int(next);
+                    ops::charge(&mut *profile, max_cycles, *cost)?;
+                    profile.int_ops += 1;
+                    pc = *target as usize;
+                    continue;
+                }
             }
             pc += 1;
         }
-        Ok(Value::Unit)
+        Ok(StepOut::Return(Value::Unit))
     }
+}
+
+/// Record stats for the innermost open loop and close it.
+fn record_loop_exit(
+    profile: &mut Profile,
+    loop_ctxs: &mut Vec<LoopCtx>,
+    profiler: &mut Option<Box<VmProfiler>>,
+) {
+    let ctx = loop_ctxs.pop().expect("open loop context");
+    let stats = profile.loop_stats.entry(ctx.id).or_default();
+    stats.entries += 1;
+    stats.iterations += ctx.iters;
+    stats.cycles += profile.total_cycles - ctx.start_cycles;
+    if let Some(p) = profiler.as_mut() {
+        p.exit(profile.total_cycles);
+    }
+}
+
+/// Fused comparison + branch-charge. Same-type numeric operands take a
+/// specialised path with one combined charge; anything else replays the
+/// exact unfused sequence (`apply_binary`, branch charge, truthiness).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn fused_cmp(
+    profile: &mut Profile,
+    max_cycles: u64,
+    costs: BinCosts,
+    op: BinOp,
+    lv: Value,
+    rv: Value,
+    branch_cost: u64,
+    cmp_span: Span,
+    br_span: Span,
+) -> RuntimeResult<bool> {
+    match (lv, rv) {
+        (Value::Int(a), Value::Int(b)) => {
+            ops::charge(&mut *profile, max_cycles, costs.int_op + branch_cost)?;
+            profile.int_ops += 1;
+            Ok(cmp_int(op, a, b))
+        }
+        (Value::Double(a), Value::Double(b)) => {
+            ops::charge(&mut *profile, max_cycles, costs.fp_op + branch_cost)?;
+            Ok(cmp_f64(op, a, b))
+        }
+        (Value::Float(a), Value::Float(b)) => {
+            ops::charge(&mut *profile, max_cycles, costs.fp_op + branch_cost)?;
+            Ok(cmp_f64(op, f64::from(a), f64::from(b)))
+        }
+        _ => {
+            let v = ops::apply_binary(&mut *profile, max_cycles, costs, op, lv, rv, cmp_span)?;
+            ops::charge(&mut *profile, max_cycles, branch_cost)?;
+            v.truthy().ok_or_else(|| RuntimeError::Type {
+                message: format!("condition is not boolean-testable ({})", v.type_name()),
+                span: br_span,
+            })
+        }
+    }
+}
+
+/// The `Index` load sequence shared by the fused index+binop forms.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn index_load(
+    profile: &mut Profile,
+    memory: &mut Memory,
+    watch: bool,
+    max_cycles: u64,
+    base_v: Value,
+    idx_v: Value,
+    cost: u64,
+    base_span: Span,
+    index_span: Span,
+    load_span: Span,
+) -> RuntimeResult<Value> {
+    let ptr = base_v.as_ptr().ok_or_else(|| RuntimeError::Type {
+        message: "indexed value is not a pointer".into(),
+        span: base_span,
+    })?;
+    let idx = idx_v.as_i64().ok_or_else(|| RuntimeError::Type {
+        message: "index is not integral".into(),
+        span: index_span,
+    })?;
+    ops::charge(&mut *profile, max_cycles, cost)?;
+    profile.int_ops += 1;
+    profile.loads += 1;
+    profile.bytes_loaded += memory.elem_bytes(ptr.buffer);
+    memory.load(ptr.buffer, ptr.offset + idx, load_span, watch)
+}
+
+/// Frame-register read.
+///
+/// SAFETY: `Program` compilation verifies every register operand of every
+/// instruction against its function's frame size (`verify_code` in
+/// `crate::compile`, run unconditionally), `Insn` values cannot be built
+/// outside this crate, and the trampoline sizes the live frame to exactly
+/// that register count before dispatching — so `i` is always in bounds
+/// here and in [`reg_mut`].
+/// Resolve an interned span through the program's side table. Hot-path
+/// callers pass the result into error constructors and provenance hooks
+/// whose value is dead unless the cold path runs; the indexed load itself
+/// is a single L1 hit off the critical path.
+#[inline(always)]
+fn sp(spans: &[Span], id: SpanId) -> Span {
+    spans[id.0 as usize]
+}
+
+#[inline(always)]
+fn reg(frame: &[Value], i: u16) -> Value {
+    debug_assert!((i as usize) < frame.len());
+    unsafe { *frame.get_unchecked(i as usize) }
+}
+
+/// Frame-register write slot; same bounds contract as [`reg`].
+#[inline(always)]
+fn reg_mut(frame: &mut [Value], i: u16) -> &mut Value {
+    debug_assert!((i as usize) < frame.len());
+    unsafe { frame.get_unchecked_mut(i as usize) }
+}
+
+/// Execute one straight-line instruction — every arithmetic / memory form
+/// with no control flow. Shared verbatim by the dispatch loop and by
+/// [`Insn::ArithBlock`] batches, so batching cannot change semantics: a
+/// block only removes the outer dispatch between consecutive steps.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn step_arith(
+    insn: &Insn,
+    frame: &mut [Value],
+    profile: &mut Profile,
+    memory: &mut Memory,
+    costs: ops::BinCosts,
+    max_cycles: u64,
+    watch: bool,
+    spans: &[Span],
+) -> RuntimeResult<()> {
+    match insn {
+        Insn::Const { dst, v } => *reg_mut(frame, *dst) = *v,
+        Insn::Copy { dst, src } => *reg_mut(frame, *dst) = reg(frame, *src),
+        Insn::AssignLocal { slot, src, span } => {
+            let new = reg(frame, *src);
+            let cur = reg(frame, *slot);
+            *reg_mut(frame, *slot) = ops::convert_assign(Some(cur), new, sp(spans, *span))?;
+        }
+        Insn::Coerce { dst, src, ty, span } => {
+            let v = reg(frame, *src);
+            *reg_mut(frame, *dst) = ops::coerce(v, *ty, sp(spans, *span))?;
+        }
+        Insn::Cast {
+            dst,
+            src,
+            ty,
+            cost,
+            span,
+        } => {
+            let v = reg(frame, *src);
+            ops::charge(&mut *profile, max_cycles, *cost)?;
+            *reg_mut(frame, *dst) = ops::coerce(v, *ty, sp(spans, *span))?;
+        }
+        Insn::Un { op, dst, src, span } => {
+            let v = reg(frame, *src);
+            let r = ops::apply_unary(&mut *profile, max_cycles, costs, *op, v, sp(spans, *span))?;
+            *reg_mut(frame, *dst) = r;
+        }
+        Insn::Bin {
+            op,
+            dst,
+            l,
+            r,
+            span,
+        } => {
+            let lv = reg(frame, *l);
+            let rv = reg(frame, *r);
+            let v = ops::apply_binary(
+                &mut *profile,
+                max_cycles,
+                costs,
+                *op,
+                lv,
+                rv,
+                sp(spans, *span),
+            )?;
+            *reg_mut(frame, *dst) = v;
+        }
+        Insn::BinImm {
+            op,
+            dst,
+            l,
+            imm,
+            span,
+        } => {
+            let lv = reg(frame, *l);
+            let v = ops::apply_binary(
+                &mut *profile,
+                max_cycles,
+                costs,
+                *op,
+                lv,
+                *imm,
+                sp(spans, *span),
+            )?;
+            *reg_mut(frame, *dst) = v;
+        }
+        Insn::BinImmRev {
+            op,
+            dst,
+            imm,
+            r,
+            span,
+        } => {
+            let rv = reg(frame, *r);
+            let v = ops::apply_binary(
+                &mut *profile,
+                max_cycles,
+                costs,
+                *op,
+                *imm,
+                rv,
+                sp(spans, *span),
+            )?;
+            *reg_mut(frame, *dst) = v;
+        }
+        Insn::ToBool {
+            dst,
+            src,
+            cost,
+            span,
+        } => {
+            let v = reg(frame, *src);
+            ops::charge(&mut *profile, max_cycles, *cost)?;
+            let b = v.truthy().ok_or_else(|| RuntimeError::Type {
+                message: format!("condition is not boolean-testable ({})", v.type_name()),
+                span: sp(spans, *span),
+            })?;
+            *reg_mut(frame, *dst) = Value::Bool(b);
+        }
+        Insn::Index {
+            dst,
+            base: b,
+            idx,
+            cost,
+            base_span,
+            index_span,
+            span,
+        } => {
+            let base_v = reg(frame, *b);
+            let idx_v = reg(frame, *idx);
+            let ptr = base_v.as_ptr().ok_or_else(|| RuntimeError::Type {
+                message: "indexed value is not a pointer".into(),
+                span: sp(spans, *base_span),
+            })?;
+            let idx = idx_v.as_i64().ok_or_else(|| RuntimeError::Type {
+                message: "index is not integral".into(),
+                span: sp(spans, *index_span),
+            })?;
+            ops::charge(&mut *profile, max_cycles, *cost)?;
+            profile.int_ops += 1;
+            profile.loads += 1;
+            profile.bytes_loaded += memory.elem_bytes(ptr.buffer);
+            let v = memory.load(ptr.buffer, ptr.offset + idx, sp(spans, *span), watch)?;
+            *reg_mut(frame, *dst) = v;
+        }
+        Insn::IndexAddr {
+            dst,
+            base: b,
+            idx,
+            cost,
+            base_span,
+            index_span,
+        } => {
+            let base_v = reg(frame, *b);
+            let idx_v = reg(frame, *idx);
+            let ptr = base_v.as_ptr().ok_or_else(|| RuntimeError::Type {
+                message: "indexed value is not a pointer".into(),
+                span: sp(spans, *base_span),
+            })?;
+            let idx = idx_v.as_i64().ok_or_else(|| RuntimeError::Type {
+                message: "index is not integral".into(),
+                span: sp(spans, *index_span),
+            })?;
+            ops::charge(&mut *profile, max_cycles, *cost)?;
+            profile.int_ops += 1;
+            *reg_mut(frame, *dst) = Value::Ptr(Pointer {
+                buffer: ptr.buffer,
+                offset: ptr.offset + idx,
+            });
+        }
+        Insn::LoadElem {
+            dst,
+            addr,
+            cost,
+            span,
+        } => {
+            let p = reg(frame, *addr).as_ptr().expect("element address");
+            // Load first, charge after — tree-walker order for the
+            // compound-assignment read.
+            let old = memory.load(p.buffer, p.offset, sp(spans, *span), watch)?;
+            ops::charge(&mut *profile, max_cycles, *cost)?;
+            profile.loads += 1;
+            profile.bytes_loaded += memory.elem_bytes(p.buffer);
+            *reg_mut(frame, *dst) = old;
+        }
+        Insn::StoreElem {
+            addr,
+            src,
+            cost,
+            span,
+        } => {
+            let p = reg(frame, *addr).as_ptr().expect("element address");
+            let v = reg(frame, *src);
+            memory.store(p.buffer, p.offset, v, sp(spans, *span), watch)?;
+            ops::charge(&mut *profile, max_cycles, *cost)?;
+            profile.stores += 1;
+            profile.bytes_stored += memory.elem_bytes(p.buffer);
+        }
+        Insn::MathCall {
+            dst,
+            a,
+            b,
+            f,
+            cycles,
+            flops,
+            name,
+            span,
+        } => {
+            // Same check order as `ops::exec_intrinsic`: first
+            // argument, second argument, then charge.
+            let a_v = reg(frame, *a);
+            let av = a_v.as_f64().ok_or_else(|| RuntimeError::Intrinsic {
+                message: format!("`{name}` needs a numeric argument"),
+                span: sp(spans, *span),
+            })?;
+            let bv = if f.op.arity() == 2 {
+                let b_v = reg(frame, *b);
+                b_v.as_f64().ok_or_else(|| RuntimeError::Intrinsic {
+                    message: format!("`{name}` needs numeric arguments"),
+                    span: sp(spans, *span),
+                })?
+            } else {
+                0.0
+            };
+            ops::charge(&mut *profile, max_cycles, *cycles)?;
+            profile.flops += *flops;
+            *reg_mut(frame, *dst) = if f.single {
+                Value::Float(f.op.eval_f32(av as f32, bv as f32))
+            } else {
+                Value::Double(f.op.eval_f64(av, bv))
+            };
+        }
+        Insn::BinAssign {
+            op,
+            slot,
+            l,
+            r,
+            span,
+            asg_span,
+        } => {
+            let lv = reg(frame, *l);
+            let rv = reg(frame, *r);
+            let v = ops::apply_binary(
+                &mut *profile,
+                max_cycles,
+                costs,
+                *op,
+                lv,
+                rv,
+                sp(spans, *span),
+            )?;
+            let cur = reg(frame, *slot);
+            *reg_mut(frame, *slot) = ops::convert_assign(Some(cur), v, sp(spans, *asg_span))?;
+        }
+        Insn::BinImmAssign {
+            op,
+            slot,
+            l,
+            imm,
+            span,
+            asg_span,
+        } => {
+            let lv = reg(frame, *l);
+            let v = ops::apply_binary(
+                &mut *profile,
+                max_cycles,
+                costs,
+                *op,
+                lv,
+                *imm,
+                sp(spans, *span),
+            )?;
+            let cur = reg(frame, *slot);
+            *reg_mut(frame, *slot) = ops::convert_assign(Some(cur), v, sp(spans, *asg_span))?;
+        }
+        Insn::IndexBin {
+            op,
+            dst,
+            base: b,
+            idx,
+            r,
+            cost,
+            base_span,
+            index_span,
+            load_span,
+            span,
+        } => {
+            let base_v = reg(frame, *b);
+            let idx_v = reg(frame, *idx);
+            let rv = reg(frame, *r);
+            let loaded = index_load(
+                profile,
+                memory,
+                watch,
+                max_cycles,
+                base_v,
+                idx_v,
+                *cost,
+                sp(spans, *base_span),
+                sp(spans, *index_span),
+                sp(spans, *load_span),
+            )?;
+            let v = ops::apply_binary(
+                &mut *profile,
+                max_cycles,
+                costs,
+                *op,
+                loaded,
+                rv,
+                sp(spans, *span),
+            )?;
+            *reg_mut(frame, *dst) = v;
+        }
+        Insn::IndexBinImm {
+            op,
+            dst,
+            base: b,
+            idx,
+            imm,
+            cost,
+            base_span,
+            index_span,
+            load_span,
+            span,
+        } => {
+            let base_v = reg(frame, *b);
+            let idx_v = reg(frame, *idx);
+            let loaded = index_load(
+                profile,
+                memory,
+                watch,
+                max_cycles,
+                base_v,
+                idx_v,
+                *cost,
+                sp(spans, *base_span),
+                sp(spans, *index_span),
+                sp(spans, *load_span),
+            )?;
+            let v = ops::apply_binary(
+                &mut *profile,
+                max_cycles,
+                costs,
+                *op,
+                loaded,
+                *imm,
+                sp(spans, *span),
+            )?;
+            *reg_mut(frame, *dst) = v;
+        }
+        Insn::BinCoerce {
+            op,
+            dst,
+            l,
+            r,
+            ty,
+            span,
+            co_span,
+        } => {
+            let lv = reg(frame, *l);
+            let rv = reg(frame, *r);
+            let v = ops::apply_binary(
+                &mut *profile,
+                max_cycles,
+                costs,
+                *op,
+                lv,
+                rv,
+                sp(spans, *span),
+            )?;
+            *reg_mut(frame, *dst) = ops::coerce(v, *ty, sp(spans, *co_span))?;
+        }
+        Insn::BinImmCoerce {
+            op,
+            dst,
+            l,
+            imm,
+            ty,
+            span,
+            co_span,
+        } => {
+            let lv = reg(frame, *l);
+            let v = ops::apply_binary(
+                &mut *profile,
+                max_cycles,
+                costs,
+                *op,
+                lv,
+                *imm,
+                sp(spans, *span),
+            )?;
+            *reg_mut(frame, *dst) = ops::coerce(v, *ty, sp(spans, *co_span))?;
+        }
+        Insn::IndexCoerce {
+            dst,
+            base: b,
+            idx,
+            cost,
+            ty,
+            base_span,
+            index_span,
+            span,
+            co_span,
+        } => {
+            let base_v = reg(frame, *b);
+            let idx_v = reg(frame, *idx);
+            let v = index_load(
+                profile,
+                memory,
+                watch,
+                max_cycles,
+                base_v,
+                idx_v,
+                *cost,
+                sp(spans, *base_span),
+                sp(spans, *index_span),
+                sp(spans, *span),
+            )?;
+            *reg_mut(frame, *dst) = ops::coerce(v, *ty, sp(spans, *co_span))?;
+        }
+        Insn::MathCallCoerce {
+            dst,
+            a,
+            b,
+            f,
+            cycles,
+            flops,
+            name,
+            ty,
+            span,
+            co_span,
+        } => {
+            let a_v = reg(frame, *a);
+            let av = a_v.as_f64().ok_or_else(|| RuntimeError::Intrinsic {
+                message: format!("`{name}` needs a numeric argument"),
+                span: sp(spans, *span),
+            })?;
+            let bv = if f.op.arity() == 2 {
+                let b_v = reg(frame, *b);
+                b_v.as_f64().ok_or_else(|| RuntimeError::Intrinsic {
+                    message: format!("`{name}` needs numeric arguments"),
+                    span: sp(spans, *span),
+                })?
+            } else {
+                0.0
+            };
+            ops::charge(&mut *profile, max_cycles, *cycles)?;
+            profile.flops += *flops;
+            let v = if f.single {
+                Value::Float(f.op.eval_f32(av as f32, bv as f32))
+            } else {
+                Value::Double(f.op.eval_f64(av, bv))
+            };
+            *reg_mut(frame, *dst) = ops::coerce(v, *ty, sp(spans, *co_span))?;
+        }
+        Insn::IndexBinCoerce {
+            op,
+            dst,
+            base: b,
+            idx,
+            r,
+            cost,
+            ty,
+            base_span,
+            index_span,
+            load_span,
+            span,
+            co_span,
+        } => {
+            let base_v = reg(frame, *b);
+            let idx_v = reg(frame, *idx);
+            let rv = reg(frame, *r);
+            let loaded = index_load(
+                profile,
+                memory,
+                watch,
+                max_cycles,
+                base_v,
+                idx_v,
+                *cost,
+                sp(spans, *base_span),
+                sp(spans, *index_span),
+                sp(spans, *load_span),
+            )?;
+            let v = ops::apply_binary(
+                &mut *profile,
+                max_cycles,
+                costs,
+                *op,
+                loaded,
+                rv,
+                sp(spans, *span),
+            )?;
+            *reg_mut(frame, *dst) = ops::coerce(v, *ty, sp(spans, *co_span))?;
+        }
+        Insn::IndexBinImmCoerce {
+            op,
+            dst,
+            base: b,
+            idx,
+            imm,
+            cost,
+            ty,
+            base_span,
+            index_span,
+            load_span,
+            span,
+            co_span,
+        } => {
+            let base_v = reg(frame, *b);
+            let idx_v = reg(frame, *idx);
+            let loaded = index_load(
+                profile,
+                memory,
+                watch,
+                max_cycles,
+                base_v,
+                idx_v,
+                *cost,
+                sp(spans, *base_span),
+                sp(spans, *index_span),
+                sp(spans, *load_span),
+            )?;
+            let v = ops::apply_binary(
+                &mut *profile,
+                max_cycles,
+                costs,
+                *op,
+                loaded,
+                *imm,
+                sp(spans, *span),
+            )?;
+            *reg_mut(frame, *dst) = ops::coerce(v, *ty, sp(spans, *co_span))?;
+        }
+        Insn::BinImm2 {
+            op1,
+            op2,
+            dst,
+            l,
+            imm1,
+            imm2,
+            span1,
+            span2,
+        } => {
+            let lv = reg(frame, *l);
+            let t = ops::apply_binary(
+                &mut *profile,
+                max_cycles,
+                costs,
+                *op1,
+                lv,
+                *imm1,
+                sp(spans, *span1),
+            )?;
+            let v = ops::apply_binary(
+                &mut *profile,
+                max_cycles,
+                costs,
+                *op2,
+                t,
+                *imm2,
+                sp(spans, *span2),
+            )?;
+            *reg_mut(frame, *dst) = v;
+        }
+        Insn::MathCallImm {
+            op,
+            rev,
+            dst,
+            l,
+            imm,
+            f,
+            cycles,
+            flops,
+            bin_span,
+        } => {
+            let lv = reg(frame, *l);
+            let (a_v, b_v) = if *rev { (*imm, lv) } else { (lv, *imm) };
+            let t = ops::apply_binary(
+                &mut *profile,
+                max_cycles,
+                costs,
+                *op,
+                a_v,
+                b_v,
+                sp(spans, *bin_span),
+            )?;
+            // The fusion gate (floating immediate, arithmetic op) means the
+            // binop result is always numeric, so the unfused pair's
+            // non-numeric-argument intrinsic error cannot fire here.
+            let av = t
+                .as_f64()
+                .unwrap_or_else(|| unreachable!("fused math argument is numeric"));
+            ops::charge(&mut *profile, max_cycles, u64::from(*cycles))?;
+            profile.flops += u64::from(*flops);
+            *reg_mut(frame, *dst) = if f.single {
+                Value::Float(f.op.eval_f32(av as f32, 0.0))
+            } else {
+                Value::Double(f.op.eval_f64(av, 0.0))
+            };
+        }
+        _ => unreachable!("not a straight-line instruction"),
+    }
+    Ok(())
 }
 
 #[cfg(test)]

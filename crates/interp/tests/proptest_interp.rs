@@ -3,8 +3,60 @@
 //! accounting matches the static trip-count algebra.
 
 use proptest::prelude::*;
-use psa_interp::{Engine, Interpreter, RunConfig, Value};
+use psa_interp::{Engine, Interpreter, Program, RunConfig, RuntimeResult, Value, Vm};
 use psa_minicpp::parse_module;
+use std::sync::Arc;
+
+/// One engine's complete observable surface, stringified for comparison:
+/// result, every profile counter, and the full memory image on success, or
+/// the exact error (variant, message, span) on failure.
+fn observables(run: RuntimeResult<(Value, psa_interp::Profile, psa_interp::Memory)>) -> String {
+    match run {
+        Ok((result, profile, memory)) => format!("{result:?} | {profile:?} | {memory:?}"),
+        Err(e) => format!("err: {e:?}"),
+    }
+}
+
+fn run_tree(m: &psa_minicpp::Module, config: RunConfig) -> String {
+    let mut i = Interpreter::new(m, config);
+    let r = i.run_main();
+    let (profile, memory) = i.into_parts();
+    observables(r.map(|v| (v, profile, memory)))
+}
+
+fn run_vm(m: &psa_minicpp::Module, config: RunConfig, fused: bool) -> String {
+    let program = if fused {
+        Program::compile(m, &config)
+    } else {
+        Program::compile_unfused(m, &config)
+    };
+    let mut vm = Vm::with_program(Arc::new(program), config);
+    let r = vm.run_main();
+    let (profile, memory) = vm.into_parts();
+    observables(r.map(|v| (v, profile, memory)))
+}
+
+/// Tree walker, unfused VM, and fused (superinstruction) VM must agree on
+/// the complete observable surface — including failures, where the error
+/// variant, message, and span must match exactly.
+fn assert_three_way(src: &str, config: &RunConfig) {
+    let m = parse_module(src, "p").expect("parses");
+    let vm_cfg = RunConfig {
+        engine: Engine::Vm,
+        ..config.clone()
+    };
+    let tree = run_tree(
+        &m,
+        RunConfig {
+            engine: Engine::Tree,
+            ..config.clone()
+        },
+    );
+    let unfused = run_vm(&m, vm_cfg.clone(), false);
+    let fused = run_vm(&m, vm_cfg, true);
+    assert_eq!(tree, unfused, "tree vs unfused VM diverged");
+    assert_eq!(tree, fused, "tree vs fused VM diverged");
+}
 
 fn run_int(src: &str) -> i64 {
     let m = parse_module(src, "p").expect("parses");
@@ -174,5 +226,97 @@ proptest! {
         prop_assert_eq!(format!("{:?}", tree.result), format!("{:?}", vm.result));
         prop_assert_eq!(&tree.profile, &vm.profile);
         prop_assert_eq!(format!("{:?}", tree.memory), format!("{:?}", vm.memory));
+    }
+
+    /// Three-way differential over deep programs: rushlarsen-shaped gate
+    /// chains (immediate-heavy float expressions feeding `exp`, the exact
+    /// shapes the peephole fuses into `BinImm2`/`MathCallImm`/`ArithBlock`)
+    /// plus integer address arithmetic, casts, nested conditionals, and
+    /// cross-function calls. The tree walker, the unfused register VM, and
+    /// the fused VM must produce identical results, profiles, and memory.
+    #[test]
+    fn three_way_deep_programs(
+        n in 2usize..24,
+        gates in 1usize..4,
+        seed in 0i64..1_000_000,
+        c1 in 0.01f64..0.2,
+        c2 in 0.01f64..0.1,
+    ) {
+        let mut body = String::new();
+        for k in 0..gates {
+            let ck = c1 + k as f64 * 0.013;
+            body.push_str(&format!(
+                "double alpha{k} = {ck:?} * exp({c2:?} * v) / (1.0 + exp({c2:?} * v - 1.0));\
+                 double beta{k} = 0.02 * exp(v * -{ck:?});\
+                 double rate{k} = alpha{k} + beta{k};\
+                 double e{k} = exp(0.0 - 0.01 * rate{k});\
+                 g[i * {gates} + {k}] = alpha{k} / rate{k} + (g[i * {gates} + {k}] - alpha{k} / rate{k}) * e{k};\
+                 "
+            ));
+        }
+        let src = format!(
+            "double mix(double a, double b) {{ if (a < b) {{ return b - a; }} return a * 0.5 + b; }}\
+             int main() {{\
+               int n = {n};\
+               double* vs = alloc_double(n);\
+               double* g = alloc_double(n * {gates});\
+               fill_random(vs, n, {seed});\
+               fill_random(g, n * {gates}, {seed} + 1);\
+               double acc = 0.0;\
+               for (int i = 0; i < n; i++) {{\
+                 double v = vs[i];\
+                 {body}\
+                 acc += mix(v, g[i * {gates}]);\
+                 vs[i] = acc;\
+               }}\
+               sink(acc);\
+               return (int)(acc * 64.0);\
+             }}"
+        );
+        assert_three_way(&src, &RunConfig::default());
+    }
+
+    /// Three-way differential on runtime-error paths: division by zero,
+    /// out-of-bounds stores, and cycle-budget exhaustion mid-loop must
+    /// fail identically (same variant, message, and span) on all three
+    /// execution paths, with the failure landing at the same iteration.
+    #[test]
+    fn three_way_error_paths(
+        n in 2usize..16,
+        seed in 0i64..1_000_000,
+        fail_kind in 0usize..3,
+        trip in 1usize..40,
+    ) {
+        // `trip` picks the iteration where the poison triggers; the budget
+        // case instead truncates the virtual clock to land mid-run.
+        let poison = match fail_kind {
+            0 => format!("if (i == {trip}) {{ int z = i - i; s += (double)(7 / z); }}"),
+            1 => format!("if (i == {trip}) {{ a[n + i] = s; }}"),
+            _ => String::new(),
+        };
+        let src = format!(
+            "int main() {{\
+               int n = {n};\
+               double* a = alloc_double(n);\
+               fill_random(a, n, {seed});\
+               double s = 0.0;\
+               for (int i = 0; i < 64; i++) {{\
+                 s += sqrt(a[i % n] * a[i % n]) + exp(0.001 * (double)i);\
+                 {poison}\
+                 a[i % n] = s * 0.25;\
+               }}\
+               sink(s);\
+               return 0;\
+             }}"
+        );
+        let config = if fail_kind == 2 {
+            // Exhaust the budget partway through the loop: the virtual
+            // clock is engine-invariant, so all three paths must stop at
+            // the same instant.
+            RunConfig { max_cycles: 40 + 11 * trip as u64, ..Default::default() }
+        } else {
+            RunConfig::default()
+        };
+        assert_three_way(&src, &config);
     }
 }

@@ -6,8 +6,9 @@
 //! none dropped.
 
 use psaflow::benchsuite;
-use psaflow::interp::{self, Engine, ProfiledRun, RunConfig, VmProfile};
+use psaflow::interp::{self, Engine, ProfiledRun, Program, RunConfig, VmProfile};
 use psaflow::minicpp::{parse_module, Module};
+use std::sync::Arc;
 
 fn vm_config() -> RunConfig {
     RunConfig {
@@ -109,6 +110,109 @@ fn profiler_cycles_reconcile_with_the_virtual_clock() {
         assert!(
             !vm_profile.collapsed.is_empty(),
             "{}: collapsed stacks empty",
+            bench.key
+        );
+    }
+}
+
+/// Invisibility holds against the *reference* engine too: the profiled
+/// register VM agrees with the tree walker on result, every profile
+/// counter, and the memory arena on all five benchmarks.
+#[test]
+fn profiled_vm_matches_the_tree_walker() {
+    for bench in benchsuite::all() {
+        let module = parse(&bench.key, &bench.source);
+        let tree = interp::run_main_profiled(
+            &module,
+            RunConfig {
+                engine: Engine::Tree,
+                ..RunConfig::default()
+            },
+        )
+        .expect("benchmark runs");
+        let (profiled, _) = run_profiled(&module);
+        assert_eq!(
+            format!("{:?}", tree.result),
+            format!("{:?}", profiled.result),
+            "{}: profiled VM result diverged from tree walker",
+            bench.key
+        );
+        assert_eq!(
+            tree.profile, profiled.profile,
+            "{}: profiled VM profile diverged from tree walker",
+            bench.key
+        );
+        assert_eq!(
+            format!("{:?}", tree.memory),
+            format!("{:?}", profiled.memory),
+            "{}: profiled VM memory diverged from tree walker",
+            bench.key
+        );
+    }
+}
+
+/// The compile-once/run-many entry point is observationally identical to
+/// fresh per-run compilation, and reusing one [`Program`] across runs
+/// leaks no state between them.
+#[test]
+fn compiled_program_reuse_is_invisible() {
+    for bench in benchsuite::all() {
+        let module = parse(&bench.key, &bench.source);
+        let fresh = run_plain(&module);
+        let program = Arc::new(Program::compile(&module, &vm_config()));
+        let first = interp::run_compiled(&program, vm_config()).expect("benchmark runs");
+        let second = interp::run_compiled(&program, vm_config()).expect("benchmark runs");
+        for (label, run) in [("first", &first), ("second", &second)] {
+            assert_eq!(
+                format!("{:?}", fresh.result),
+                format!("{:?}", run.result),
+                "{}: {label} compiled run's result diverged",
+                bench.key
+            );
+            assert_eq!(
+                fresh.profile, run.profile,
+                "{}: {label} compiled run's profile diverged",
+                bench.key
+            );
+            assert_eq!(
+                format!("{:?}", fresh.memory),
+                format!("{:?}", run.memory),
+                "{}: {label} compiled run's memory diverged",
+                bench.key
+            );
+        }
+    }
+}
+
+/// The profiler's virtual-cycle accounting is deterministic: two profiled
+/// runs produce identical frame rows and collapsed stacks (wall-clock
+/// fields are real time and legitimately vary).
+#[test]
+fn profiler_cycle_accounting_is_deterministic() {
+    fn cycle_view(p: &VmProfile) -> String {
+        let rows: Vec<String> = p
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{} self={} total={} entries={}",
+                    r.name, r.self_cycles, r.total_cycles, r.entries
+                )
+            })
+            .collect();
+        format!(
+            "total={} rows={rows:?} collapsed={:?}",
+            p.total_cycles, p.collapsed
+        )
+    }
+    for bench in benchsuite::all() {
+        let module = parse(&bench.key, &bench.source);
+        let (_, p1) = run_profiled(&module);
+        let (_, p2) = run_profiled(&module);
+        assert_eq!(
+            cycle_view(&p1),
+            cycle_view(&p2),
+            "{}: profiler cycle accounting is not deterministic",
             bench.key
         );
     }
