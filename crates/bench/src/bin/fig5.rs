@@ -141,6 +141,27 @@ fn main() {
         );
     }
 
+    // When the profiled runs go through the VM, report the static
+    // type-specialisation rate of each compiled program (stderr only —
+    // stdout must stay byte-identical across engines for the CI diff).
+    if psa_interp::Engine::default_engine() == psa_interp::Engine::Vm {
+        eprintln!("\nVM type specialisation (static census of compiled bytecode):");
+        for bench in psa_benchsuite::all() {
+            let module = psa_minicpp::parse_module(&bench.source, &bench.key).expect("parses");
+            let program = psa_interp::Program::compile(&module, &psa_interp::RunConfig::default());
+            let (specialized, total, deferred) = program.specialization_stats();
+            eprintln!(
+                "  {:<14} {:>4}/{:<4} instructions specialised ({:>5.1}%), {} deferred loop{}",
+                bench.key,
+                specialized,
+                total,
+                specialized as f64 / total.max(1) as f64 * 100.0,
+                deferred,
+                if deferred == 1 { "" } else { "s" }
+            );
+        }
+    }
+
     let traces: Vec<(&str, &[psaflow_core::TraceEvent])> = results
         .iter()
         .map(|(row, outcome)| (row.key.as_str(), outcome.trace.as_slice()))

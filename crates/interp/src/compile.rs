@@ -88,6 +88,40 @@ pub(crate) struct CallSite {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct SpanId(pub u32);
 
+/// Sentinel "no span": marks an absent trailing coercion on the
+/// type-specialised instructions (never resolved through the span table).
+pub(crate) const NO_SPAN: SpanId = SpanId(u32::MAX);
+
+/// Metadata of one [`Insn::DeferredFor`] loop, boxed to keep the `Insn`
+/// enum at its 64-byte budget (the indirection is paid once per loop
+/// *execution*, not per iteration).
+#[derive(Debug, Clone)]
+pub(crate) struct DeferredLoop {
+    /// Induction-variable slot, bound register, and the test operator —
+    /// lifted from the replaced [`Insn::ForTest`].
+    pub slot: u16,
+    pub bound: u16,
+    pub cond_op: BinOp,
+    /// Step register and direction, lifted from [`Insn::ForStepJump`].
+    pub step: u16,
+    pub negative: bool,
+    pub test_cost: u64,
+    pub step_cost: u64,
+    /// Upper bound on the virtual cycles one full iteration can charge
+    /// (test + worst case of every body instruction + step). While
+    /// `clock + accumulator + iter_max ≤ max_cycles`, an iteration provably
+    /// cannot exhaust the budget, so its charges may be deferred into the
+    /// accumulator; otherwise the VM flushes and replays precisely.
+    pub iter_max: u64,
+    /// Specialised instructions in `body`, for the dispatch-class metrics.
+    pub nspec: u32,
+    /// The straight-line loop body (everything between `ForTest` and
+    /// `ForStepJump`).
+    pub body: Box<[Insn]>,
+    pub test_span: SpanId,
+    pub step_span: SpanId,
+}
+
 /// A compiled function parameter (binding still coerces at call time).
 #[derive(Debug, Clone)]
 pub(crate) struct CompiledParam {
@@ -560,26 +594,151 @@ pub(crate) enum Insn {
         flops: u32,
         bin_span: SpanId,
     },
+
+    // ------------------------------------------------------------------
+    // Type-specialised variants (emitted only by `crate::typeinfer`).
+    //
+    // Each is the fast form of the generic instruction it replaces, valid
+    // when static inference proved the operands are `f64`. Pointer-element
+    // inference is optimistic (see `typeinfer`), so every handler re-checks
+    // the runtime tags and replays the generic semantics verbatim on
+    // mismatch — the rewrite can never change observable behaviour.
+    // `co_span == NO_SPAN` means no trailing coercion was folded in; any
+    // other value marks a folded declaration coercion to plain `double`
+    // (identity on the fast path, replayed exactly on the fallback).
+    // ------------------------------------------------------------------
+    /// Specialised `Bin`/`BinCoerce`: `dst = l op r`, both proved `f64`,
+    /// `op` ∈ `+ - * /`.
+    F64Bin {
+        op: BinOp,
+        dst: u16,
+        l: u16,
+        r: u16,
+        span: SpanId,
+        co_span: SpanId,
+    },
+    /// Specialised `BinImm`/`BinImmRev`/`BinImmCoerce`: one `f64` register
+    /// operand and a numeric immediate pre-converted to `imm_f64` (the
+    /// identical `as_f64` promotion the generic path performs). `rev`
+    /// flips the operand order (`imm op l`); the original `imm` is kept
+    /// for the generic fallback.
+    F64BinImm {
+        op: BinOp,
+        rev: bool,
+        dst: u16,
+        l: u16,
+        imm: Value,
+        imm_f64: f64,
+        span: SpanId,
+        co_span: SpanId,
+    },
+    /// Specialised `BinAssign`: `slot = slot-convert(l op r)` where `l`,
+    /// `r` *and the slot's current value* are all proved `f64`, making the
+    /// assignment conversion the identity.
+    F64BinAssign {
+        op: BinOp,
+        slot: u16,
+        l: u16,
+        r: u16,
+        span: SpanId,
+        asg_span: SpanId,
+    },
+    /// Specialised `BinImmAssign` (see `F64BinImm` for the immediate).
+    F64BinImmAssign {
+        op: BinOp,
+        rev: bool,
+        slot: u16,
+        l: u16,
+        imm: Value,
+        imm_f64: f64,
+        span: SpanId,
+        asg_span: SpanId,
+    },
+    /// Specialised `Index`/`IndexCoerce`: `dst = base[idx]` where `base`
+    /// was inferred `double*`. The handler probes the buffer's actual
+    /// element type before charging anything.
+    F64Index {
+        dst: u16,
+        base: u16,
+        idx: u16,
+        cost: u64,
+        base_span: SpanId,
+        index_span: SpanId,
+        span: SpanId,
+        co_span: SpanId,
+    },
+    /// Specialised `StoreElem`: `*addr = src` where `src` was inferred
+    /// `f64` (fast only when the buffer really is a `double` buffer).
+    F64Store {
+        addr: u16,
+        src: u16,
+        cost: u64,
+        span: SpanId,
+    },
+    /// Specialised `MathCallImm` for a double-precision intrinsic whose
+    /// register operand was inferred `f64`: one combined charge of binop +
+    /// intrinsic cycles (exact — see the VM handler for the argument).
+    F64MathCallImm {
+        op: BinOp,
+        rev: bool,
+        dst: u16,
+        l: u16,
+        imm: Value,
+        imm_f64: f64,
+        f: intrinsics::MathFn,
+        cycles: u32,
+        flops: u32,
+        bin_span: SpanId,
+    },
+    /// A counted `for` loop with a straight-line body, executed as one
+    /// dispatch per *loop* with per-iteration charge deferral (emitted by
+    /// `peephole::defer_loops`, replacing `ForTest .. body .. ForStepJump`).
+    /// The normal exit falls through to the next instruction (the old
+    /// `ForTest` exit target, always the loop's `LoopExit`).
+    DeferredFor(Box<DeferredLoop>),
+}
+
+/// How much of the bytecode optimisation pipeline [`Program::compile_with`]
+/// runs. Every level is observationally identical to every other (and to
+/// the tree walker); the differential proptests hold all of them to that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OptLevel {
+    /// Flat one-instruction-per-operation register lowering.
+    Unfused,
+    /// Superinstruction pair fusion + straight-line blocking (the PR 7
+    /// pipeline), without type specialisation or loop-charge deferral.
+    Unspecialized,
+    /// Fusion, then type-inference-driven specialisation
+    /// ([`crate::typeinfer`]), then loop-charge deferral, then blocking.
+    Full,
 }
 
 impl Program {
-    /// Compile a module, including the superinstruction peephole pass.
-    /// `config` supplies the cost model baked into instructions and the
+    /// Compile a module through the full optimisation pipeline (fusion,
+    /// type specialisation, loop-charge deferral, blocking). `config`
+    /// supplies the cost model baked into instructions and the
     /// watched-function name baked into functions.
     pub fn compile(module: &Module, config: &RunConfig) -> Program {
-        Program::compile_with(module, config, true)
+        Program::compile_with(module, config, OptLevel::Full)
     }
 
-    /// Compile without the peephole pass: the plain one-instruction-per-
+    /// Compile without any peephole pass: the plain one-instruction-per-
     /// operation register lowering. This is the reference bytecode the
     /// differential proptests run as the middle semantics between the tree
-    /// walker and the fused fast path (the fused program must be
-    /// observationally identical to both).
+    /// walker and the optimised fast paths.
     pub fn compile_unfused(module: &Module, config: &RunConfig) -> Program {
-        Program::compile_with(module, config, false)
+        Program::compile_with(module, config, OptLevel::Unfused)
     }
 
-    fn compile_with(module: &Module, config: &RunConfig, fuse: bool) -> Program {
+    /// Compile with superinstruction fusion but *without* type
+    /// specialisation or loop-charge deferral — the PR 7 pipeline, kept as
+    /// an escape hatch and as the third leg of the four-way differential
+    /// proptest.
+    pub fn compile_unspecialized(module: &Module, config: &RunConfig) -> Program {
+        Program::compile_with(module, config, OptLevel::Unspecialized)
+    }
+
+    fn compile_with(module: &Module, config: &RunConfig, level: OptLevel) -> Program {
         let mut fn_by_name: HashMap<String, u16> = HashMap::new();
         let mut fn_items: Vec<&Function> = Vec::new();
         for item in &module.items {
@@ -646,8 +805,21 @@ impl Program {
         });
         let mut globals_init = std::mem::take(&mut init.code);
         let globals_init_regs = init.max_regs as usize;
-        if fuse {
-            globals_init = peephole::fuse(globals_init, init_first_temp);
+        match level {
+            OptLevel::Unfused => {}
+            OptLevel::Unspecialized => {
+                globals_init = peephole::fuse(globals_init, init_first_temp);
+            }
+            OptLevel::Full => {
+                globals_init = peephole::optimize(
+                    globals_init,
+                    init_first_temp,
+                    &[],
+                    globals_init_regs,
+                    &call_sites,
+                    &config.cost_model,
+                );
+            }
         }
 
         let mut funcs = Vec::with_capacity(fn_items.len());
@@ -673,8 +845,22 @@ impl Program {
             });
             let mut code = std::mem::take(&mut c.code);
             let regs = c.max_regs as usize;
-            if fuse {
-                code = peephole::fuse(code, first_temp);
+            match level {
+                OptLevel::Unfused => {}
+                OptLevel::Unspecialized => {
+                    code = peephole::fuse(code, first_temp);
+                }
+                OptLevel::Full => {
+                    let param_tys: Vec<Type> = f.params.iter().map(|p| p.ty).collect();
+                    code = peephole::optimize(
+                        code,
+                        first_temp,
+                        &param_tys,
+                        regs,
+                        &call_sites,
+                        &config.cost_model,
+                    );
+                }
             }
             funcs.push(CompiledFn {
                 name: f.name.clone(),
@@ -713,6 +899,45 @@ impl Program {
             call_sites,
             spans,
         }
+    }
+
+    /// Static specialisation census over the whole program: counts of
+    /// `(specialized, total, deferred_loops)` instructions, looking through
+    /// `ArithBlock`s and deferred loop bodies (a `DeferredFor` counts as
+    /// one specialised instruction itself, plus whatever its body holds;
+    /// an `ArithBlock` contributes only its steps). Used for the
+    /// `fig5 --engine=vm` specialisation-rate diagnostic.
+    pub fn specialization_stats(&self) -> (u64, u64, u64) {
+        fn walk(code: &[Insn], acc: &mut (u64, u64, u64)) {
+            for insn in code {
+                match insn {
+                    Insn::ArithBlock(steps) => walk(steps, acc),
+                    Insn::DeferredFor(d) => {
+                        acc.0 += 1;
+                        acc.1 += 1;
+                        acc.2 += 1;
+                        walk(&d.body, acc);
+                    }
+                    Insn::F64Bin { .. }
+                    | Insn::F64BinImm { .. }
+                    | Insn::F64BinAssign { .. }
+                    | Insn::F64BinImmAssign { .. }
+                    | Insn::F64Index { .. }
+                    | Insn::F64Store { .. }
+                    | Insn::F64MathCallImm { .. } => {
+                        acc.0 += 1;
+                        acc.1 += 1;
+                    }
+                    _ => acc.1 += 1,
+                }
+            }
+        }
+        let mut acc = (0, 0, 0);
+        walk(&self.globals_init, &mut acc);
+        for f in &self.funcs {
+            walk(&f.code, &mut acc);
+        }
+        acc
     }
 }
 
@@ -883,6 +1108,39 @@ fn verify_code(code: &[Insn], nregs: usize, call_sites: &[CallSite], global_coun
                 chk(*l);
             }
             Insn::ArithBlock(steps) => verify_code(steps, nregs, call_sites, global_count),
+            Insn::F64Bin { dst, l, r, .. } => {
+                chk(*dst);
+                chk(*l);
+                chk(*r);
+            }
+            Insn::F64BinImm { dst, l, .. } | Insn::F64MathCallImm { dst, l, .. } => {
+                chk(*dst);
+                chk(*l);
+            }
+            Insn::F64BinAssign { slot, l, r, .. } => {
+                chk(*slot);
+                chk(*l);
+                chk(*r);
+            }
+            Insn::F64BinImmAssign { slot, l, .. } => {
+                chk(*slot);
+                chk(*l);
+            }
+            Insn::F64Index { dst, base, idx, .. } => {
+                chk(*dst);
+                chk(*base);
+                chk(*idx);
+            }
+            Insn::F64Store { addr, src, .. } => {
+                chk(*addr);
+                chk(*src);
+            }
+            Insn::DeferredFor(d) => {
+                chk(d.slot);
+                chk(d.bound);
+                chk(d.step);
+                verify_code(&d.body, nregs, call_sites, global_count);
+            }
         }
     }
 }

@@ -32,6 +32,7 @@ pub mod memory;
 mod ops;
 mod peephole;
 pub mod profile;
+mod typeinfer;
 pub mod value;
 pub mod vm;
 pub mod vmprof;

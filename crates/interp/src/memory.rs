@@ -252,6 +252,62 @@ impl Memory {
         Ok(())
     }
 
+    /// Is `id` a `double` buffer? Probe for the specialised VM handlers:
+    /// error-free and effect-free, so a `false` answer lets the handler
+    /// fall back to the generic path with nothing yet charged or recorded.
+    #[inline]
+    pub fn is_f64(&self, id: BufferId) -> bool {
+        matches!(self.buffer(id).data, BufferData::Double(_))
+    }
+
+    /// Unwrapped load from a `double` buffer (callers probe [`Self::is_f64`]
+    /// first). Bounds check, access recording and error text are exactly
+    /// [`Self::load`]'s.
+    #[inline]
+    pub fn load_f64(
+        &mut self,
+        id: BufferId,
+        idx: i64,
+        span: Span,
+        watch: bool,
+    ) -> RuntimeResult<f64> {
+        let buf = &mut self.buffers[id.0 as usize];
+        let i = Self::check(buf, idx, span)?;
+        if watch {
+            buf.kernel_access.record_read(i as u64);
+        }
+        match &buf.data {
+            // SAFETY: `check` above proved `i < buf.data.len()`.
+            BufferData::Double(v) => Ok(unsafe { *v.get_unchecked(i) }),
+            _ => unreachable!("load_f64 caller probed is_f64"),
+        }
+    }
+
+    /// Unwrapped store into a `double` buffer (callers probe
+    /// [`Self::is_f64`] first); an `f64` into a `double` buffer never
+    /// type-errors, so only the bounds check remains.
+    #[inline]
+    pub fn store_f64(
+        &mut self,
+        id: BufferId,
+        idx: i64,
+        value: f64,
+        span: Span,
+        watch: bool,
+    ) -> RuntimeResult<()> {
+        let buf = &mut self.buffers[id.0 as usize];
+        let i = Self::check(buf, idx, span)?;
+        if watch {
+            buf.kernel_access.record_write(i as u64);
+        }
+        match &mut buf.data {
+            // SAFETY: `check` above proved `i < buf.data.len()`.
+            BufferData::Double(v) => unsafe { *v.get_unchecked_mut(i) = value },
+            _ => unreachable!("store_f64 caller probed is_f64"),
+        }
+        Ok(())
+    }
+
     /// Reset all kernel access tracking (between analysis runs).
     pub fn clear_kernel_access(&mut self) {
         for b in &mut self.buffers {

@@ -44,6 +44,15 @@ impl BinCosts {
 }
 
 /// Advance the virtual clock, failing once the budget is exhausted.
+///
+/// This is the *only* way cycles reach `total_cycles` — except for the
+/// VM's `DeferredFor`, which batches charges in a local accumulator and
+/// reconciles them here-equivalently at loop exit. Deferral is sound
+/// because charging is order-insensitive between observation points: the
+/// clock is only read at frame boundaries, loop exits, and error sites,
+/// and `DeferredFor` switches to immediate (precise-mode) charging as
+/// soon as a worst-case iteration could cross `max_cycles`, so the exact
+/// cycle at which exhaustion fires is preserved.
 #[inline(always)]
 pub(crate) fn charge(profile: &mut Profile, max_cycles: u64, cycles: u64) -> RuntimeResult<()> {
     profile.total_cycles += cycles;

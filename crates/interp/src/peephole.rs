@@ -29,9 +29,11 @@
 //!   for expression temporaries (dead after their single consumer, and
 //!   always rewritten before any later read); locals stay materialised.
 
-use crate::compile::Insn;
+use crate::compile::{CallSite, DeferredLoop, Insn};
+use crate::profile::CostModel;
+use crate::typeinfer;
 use crate::value::Value;
-use psa_minicpp::ast::BinOp;
+use psa_minicpp::ast::{BinOp, Type};
 
 /// Fuse adjacent pairs in `code`. `first_temp` is the first
 /// expression-temporary register — registers below it are named locals and
@@ -43,6 +45,26 @@ use psa_minicpp::ast::BinOp;
 /// make new pairs adjacent.
 pub(crate) fn fuse(code: Vec<Insn>, first_temp: u16) -> Vec<Insn> {
     block(fuse_once(fuse_once(code, first_temp), first_temp))
+}
+
+/// The full optimisation pipeline: pair fusion, then type-inference-driven
+/// specialisation ([`crate::typeinfer`]), then loop-charge deferral, then
+/// straight-line blocking. Specialisation runs after fusion (so the fused
+/// forms get typed variants) and before blocking (so blocks batch the
+/// specialised steps); deferral runs before blocking so a deferred loop's
+/// surroundings can still batch.
+pub(crate) fn optimize(
+    code: Vec<Insn>,
+    first_temp: u16,
+    param_tys: &[Type],
+    nregs: usize,
+    call_sites: &[CallSite],
+    cm: &CostModel,
+) -> Vec<Insn> {
+    let fused = fuse_once(fuse_once(code, first_temp), first_temp);
+    let call_rets = typeinfer::call_ret_types(call_sites);
+    let specialized = typeinfer::specialize(fused, param_tys, nregs, &call_rets);
+    block(defer_loops(specialized, cm))
 }
 
 /// Instructions eligible for [`Insn::ArithBlock`] batching: exactly the
@@ -78,7 +100,222 @@ fn blockable(insn: &Insn) -> bool {
             | Insn::IndexBinImmCoerce { .. }
             | Insn::BinImm2 { .. }
             | Insn::MathCallImm { .. }
+            | Insn::F64Bin { .. }
+            | Insn::F64BinImm { .. }
+            | Insn::F64BinAssign { .. }
+            | Insn::F64BinImmAssign { .. }
+            | Insn::F64Index { .. }
+            | Insn::F64Store { .. }
+            | Insn::F64MathCallImm { .. }
     )
+}
+
+/// Worst-case virtual-cycle charge one execution of `insn` can make, or
+/// `None` when the instruction is not eligible for a deferred loop body
+/// (control flow, calls, allocation, globals, loop bookkeeping — anything
+/// that is not a straight-line `step_arith` form).
+///
+/// The bound must dominate every *runtime* path of the instruction: binary
+/// ops pick their charge from the operand tags (`int_op`/`int_mul`/
+/// `int_div`/`fp_op`/`fp_div`), so their bound is the max over all of
+/// those; baked `cost` fields are exact.
+fn worst_charge(insn: &Insn, cm: &CostModel) -> Option<u64> {
+    let wmax = cm
+        .int_op
+        .max(cm.int_mul)
+        .max(cm.int_div)
+        .max(cm.fp_op)
+        .max(cm.fp_div);
+    let fpmax = cm.fp_op.max(cm.fp_div);
+    match insn {
+        Insn::Const { .. } | Insn::Copy { .. } | Insn::AssignLocal { .. } | Insn::Coerce { .. } => {
+            Some(0)
+        }
+        Insn::Cast { cost, .. }
+        | Insn::ToBool { cost, .. }
+        | Insn::Index { cost, .. }
+        | Insn::IndexAddr { cost, .. }
+        | Insn::LoadElem { cost, .. }
+        | Insn::StoreElem { cost, .. }
+        | Insn::IndexCoerce { cost, .. }
+        | Insn::F64Index { cost, .. }
+        | Insn::F64Store { cost, .. } => Some(*cost),
+        Insn::Un { .. } => Some(cm.int_op.max(cm.fp_op)),
+        Insn::Bin { .. }
+        | Insn::BinImm { .. }
+        | Insn::BinImmRev { .. }
+        | Insn::BinAssign { .. }
+        | Insn::BinImmAssign { .. }
+        | Insn::BinCoerce { .. }
+        | Insn::BinImmCoerce { .. } => Some(wmax),
+        Insn::F64Bin { .. }
+        | Insn::F64BinImm { .. }
+        | Insn::F64BinAssign { .. }
+        | Insn::F64BinImmAssign { .. } => Some(fpmax),
+        Insn::IndexBin { cost, .. }
+        | Insn::IndexBinImm { cost, .. }
+        | Insn::IndexBinCoerce { cost, .. }
+        | Insn::IndexBinImmCoerce { cost, .. } => Some(cost.saturating_add(wmax)),
+        Insn::MathCall { cycles, .. } | Insn::MathCallCoerce { cycles, .. } => Some(*cycles),
+        Insn::MathCallImm { cycles, .. } => Some(u64::from(*cycles).saturating_add(wmax)),
+        Insn::F64MathCallImm { cycles, .. } => Some(u64::from(*cycles).saturating_add(fpmax)),
+        Insn::BinImm2 { .. } => Some(wmax.saturating_add(wmax)),
+        _ => None,
+    }
+}
+
+/// Collapse eligible counted loops into [`Insn::DeferredFor`].
+///
+/// A loop is eligible when its shape is exactly
+/// `ForTest .. straight-line body .. ForStepJump` (pinned bound, matching
+/// induction slot, test exiting to just past the back edge), every body
+/// instruction has a [`worst_charge`] bound, and **no control transfer
+/// from outside the range lands anywhere inside it** (breaks and
+/// continues compile to interior `Jump`s, which already fail the
+/// straight-line test). The replacement executes the whole loop as one
+/// dispatch; its normal exit falls through to the instruction after the
+/// old back edge — the `ForTest`'s exit target, i.e. the loop's
+/// `LoopExit`.
+fn defer_loops(code: Vec<Insn>, cm: &CostModel) -> Vec<Insn> {
+    let n = code.len();
+    // Every control edge (source pc, destination pc).
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (pc, insn) in code.iter().enumerate() {
+        match insn {
+            Insn::Jump(t) => edges.push((pc, *t as usize)),
+            Insn::JumpIfFalse { target, .. }
+            | Insn::AndShort { target, .. }
+            | Insn::OrShort { target, .. }
+            | Insn::CmpBranch { target, .. }
+            | Insn::CmpImmBranch { target, .. }
+            | Insn::ForStepJump { target, .. } => edges.push((pc, *target as usize)),
+            Insn::ForTest { exit, .. }
+            | Insn::WhileTest { exit, .. }
+            | Insn::CmpWhile { exit, .. }
+            | Insn::CmpImmWhile { exit, .. } => edges.push((pc, *exit as usize)),
+            _ => {}
+        }
+    }
+
+    // collapse[t] = Some((s, meta)): the range [t..=s] becomes one
+    // DeferredFor built from `meta`.
+    let mut collapse: Vec<Option<(usize, DeferredLoop)>> = Vec::new();
+    collapse.resize_with(n, || None);
+    for s in 0..n {
+        let Insn::ForStepJump {
+            slot,
+            step,
+            negative,
+            cost: step_cost,
+            span: step_span,
+            target,
+        } = &code[s]
+        else {
+            continue;
+        };
+        let t = *target as usize;
+        if t >= s {
+            continue;
+        }
+        let Insn::ForTest {
+            slot: test_slot,
+            bound,
+            cond_op,
+            exit,
+            cost: test_cost,
+            span: test_span,
+        } = &code[t]
+        else {
+            continue;
+        };
+        if test_slot != slot || *exit as usize != s + 1 {
+            continue;
+        }
+        let body = &code[t + 1..s];
+        let Some(body_worst) = body
+            .iter()
+            .map(|i| worst_charge(i, cm))
+            .try_fold(0u64, |a, w| w.map(|w| a.saturating_add(w)))
+        else {
+            continue;
+        };
+        if edges
+            .iter()
+            .any(|&(src, dst)| (t..=s).contains(&dst) && !(t..=s).contains(&src))
+        {
+            continue;
+        }
+        let nspec = body
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    Insn::F64Bin { .. }
+                        | Insn::F64BinImm { .. }
+                        | Insn::F64BinAssign { .. }
+                        | Insn::F64BinImmAssign { .. }
+                        | Insn::F64Index { .. }
+                        | Insn::F64Store { .. }
+                        | Insn::F64MathCallImm { .. }
+                )
+            })
+            .count() as u32;
+        collapse[t] = Some((
+            s,
+            DeferredLoop {
+                slot: *slot,
+                bound: *bound,
+                cond_op: *cond_op,
+                step: *step,
+                negative: *negative,
+                test_cost: *test_cost,
+                step_cost: *step_cost,
+                iter_max: test_cost
+                    .saturating_add(body_worst)
+                    .saturating_add(*step_cost),
+                nspec,
+                body: body.to_vec().into_boxed_slice(),
+                test_span: *test_span,
+                step_span: *step_span,
+            },
+        ));
+    }
+
+    let mut out: Vec<Insn> = Vec::with_capacity(n);
+    let mut remap = vec![0u32; n + 1];
+    let mut i = 0;
+    while i < n {
+        remap[i] = out.len() as u32;
+        if let Some((s, d)) = collapse[i].take() {
+            for r in &mut remap[i..=s] {
+                *r = out.len() as u32;
+            }
+            out.push(Insn::DeferredFor(Box::new(d)));
+            i = s + 1;
+            continue;
+        }
+        out.push(code[i].clone());
+        i += 1;
+    }
+    remap[n] = out.len() as u32;
+
+    for insn in &mut out {
+        match insn {
+            Insn::Jump(t) => *t = remap[*t as usize],
+            Insn::JumpIfFalse { target, .. }
+            | Insn::AndShort { target, .. }
+            | Insn::OrShort { target, .. }
+            | Insn::CmpBranch { target, .. }
+            | Insn::CmpImmBranch { target, .. }
+            | Insn::ForStepJump { target, .. } => *target = remap[*target as usize],
+            Insn::ForTest { exit, .. }
+            | Insn::WhileTest { exit, .. }
+            | Insn::CmpWhile { exit, .. }
+            | Insn::CmpImmWhile { exit, .. } => *exit = remap[*exit as usize],
+            _ => {}
+        }
+    }
+    out
 }
 
 /// Final pass: batch maximal runs (length ≥ 2) of straight-line
@@ -721,9 +958,13 @@ mod tests {
     use psa_minicpp::ast::BinOp;
     use psa_minicpp::parse_module;
 
+    // These tests pin the *fusion* layer's output, so they compile at the
+    // unspecialised level — the later passes (typeinfer specialisation,
+    // loop-charge deferral) rewrite several of the fused forms and have
+    // their own tests in `crate::typeinfer` and below.
     fn main_code(src: &str) -> Vec<Insn> {
         let m = parse_module(src, "t").unwrap();
-        let p = Program::compile(&m, &RunConfig::default());
+        let p = Program::compile_unspecialized(&m, &RunConfig::default());
         let fidx = p.fn_by_name["main"];
         p.funcs[fidx as usize].code.clone()
     }

@@ -17,7 +17,7 @@
 //! `return` can record per-loop stats for every loop it unwinds, innermost
 //! first, exactly as nested `exec_for` returns do in the tree-walker.
 
-use crate::compile::{CallTarget, Insn, Program, SpanId};
+use crate::compile::{CallTarget, Insn, Program, SpanId, NO_SPAN};
 use crate::error::{RuntimeError, RuntimeResult};
 use crate::eval::RunConfig;
 use crate::intrinsics::{self, Intrinsic};
@@ -26,9 +26,14 @@ use crate::ops::{self, BinCosts, IntrinsicCtx};
 use crate::profile::Profile;
 use crate::value::{Pointer, Value};
 use crate::vmprof::{FrameKey, VmProfile, VmProfiler};
-use psa_minicpp::ast::{BinOp, Module, NodeId};
+use psa_minicpp::ast::{BinOp, Module, NodeId, Scalar, Type};
 use psa_minicpp::Span;
 use std::sync::Arc;
+
+/// The declared type the specialiser folds trailing coercions against
+/// (`ops::coerce` only reads pointer-ness and the scalar, so this stands
+/// in exactly for whatever plain-`double` declaration was folded).
+const DOUBLE: Type = Type::scalar(Scalar::Double);
 
 /// Per-loop bookkeeping while the loop is running.
 struct LoopCtx {
@@ -138,6 +143,11 @@ pub struct Vm {
     /// compared bit-for-bit between engines and the tree-walker has no
     /// dispatch counter.
     dispatches: u64,
+    /// Dispatches that took a type-specialised route: the `F64*`
+    /// instruction forms, plus per-iteration credit for [`Insn::DeferredFor`]
+    /// loops. Always `<= dispatches`; `ArithBlock` interiors count in
+    /// neither.
+    spec_dispatches: u64,
     calls: u64,
     /// Frame profiler; `None` (the default) costs nothing on the hot path.
     profiler: Option<Box<VmProfiler>>,
@@ -170,6 +180,7 @@ impl Vm {
             kernel_snapshot: None,
             heap_count: 0,
             dispatches: 0,
+            spec_dispatches: 0,
             calls: 0,
             profiler: None,
         }
@@ -192,6 +203,12 @@ impl Vm {
         self.dispatches
     }
 
+    /// Dispatches that took a type-specialised route so far (see the
+    /// field doc for what counts).
+    pub fn specialized_dispatches(&self) -> u64 {
+        self.spec_dispatches
+    }
+
     /// User-function calls made by this VM so far.
     pub fn calls(&self) -> u64 {
         self.calls
@@ -209,7 +226,7 @@ impl Vm {
 
     /// Execute module globals then `main()`.
     pub fn run_main(&mut self) -> RuntimeResult<Value> {
-        let (d0, c0) = (self.dispatches, self.calls);
+        let (d0, s0, c0) = (self.dispatches, self.spec_dispatches, self.calls);
         if let Some(p) = self.profiler.as_mut() {
             p.enter(FrameKey::Root, self.profile.total_cycles);
         }
@@ -223,6 +240,17 @@ impl Vm {
         psa_obs::counter_add("psa_vm_runs_total", &[], 1);
         psa_obs::counter_add("psa_vm_dispatches_total", &[], self.dispatches - d0);
         psa_obs::counter_add("psa_vm_calls_total", &[], self.calls - c0);
+        let spec = self.spec_dispatches - s0;
+        psa_obs::counter_add(
+            "psa_vm_dispatch_class_total",
+            &[("class", "specialized")],
+            spec,
+        );
+        psa_obs::counter_add(
+            "psa_vm_dispatch_class_total",
+            &[("class", "generic")],
+            (self.dispatches - d0) - spec,
+        );
         result
     }
 
@@ -506,6 +534,7 @@ impl Vm {
             timer_stack,
             heap_count,
             dispatches,
+            spec_dispatches,
             profiler,
             ..
         } = self;
@@ -551,6 +580,21 @@ impl Vm {
                 | Insn::MathCallImm { .. }) => step_arith(
                     insn, frame, profile, memory, costs, max_cycles, watch, spans,
                 )?,
+                // Type-specialised straight-line forms: same shared
+                // implementation, but metered separately so the
+                // specialisation rate is observable.
+                insn @ (Insn::F64Bin { .. }
+                | Insn::F64BinImm { .. }
+                | Insn::F64BinAssign { .. }
+                | Insn::F64BinImmAssign { .. }
+                | Insn::F64Index { .. }
+                | Insn::F64Store { .. }
+                | Insn::F64MathCallImm { .. }) => {
+                    *spec_dispatches += 1;
+                    step_spec(
+                        insn, frame, profile, memory, costs, max_cycles, watch, spans, None,
+                    )?;
+                }
                 Insn::ArithBlock(steps) => {
                     for s in steps.iter() {
                         step_arith(s, frame, profile, memory, costs, max_cycles, watch, spans)?;
@@ -965,6 +1009,130 @@ impl Vm {
                     pc = *target as usize;
                     continue;
                 }
+                Insn::DeferredFor(d) => {
+                    // One dispatch runs the whole counted loop (see
+                    // `peephole::defer_loops` for eligibility). While
+                    // `clock + acc + iter_max <= max_cycles` the coming
+                    // iteration provably cannot exhaust the budget, so its
+                    // test/step/fast-path charges accumulate in `acc`
+                    // instead of the virtual clock; once that precheck
+                    // fails, `acc` is reconciled and iterations replay with
+                    // precise immediate charges, so a budget exhaustion
+                    // fires at exactly the cycle the unspecialised loop
+                    // would report. Generic body instructions always charge
+                    // immediately — exact in both modes, since under the
+                    // precheck they cannot fail either.
+                    let mut acc: u64 = 0;
+                    let mut entered: u64 = 0;
+                    let mut err: Option<RuntimeError> = None;
+                    'deferred: loop {
+                        let i = reg(frame, d.slot).as_i64().unwrap_or(0);
+                        let bound_v = reg(frame, d.bound);
+                        let Some(bound) = bound_v.as_i64() else {
+                            err = Some(RuntimeError::Type {
+                                message: "loop bound must be integral".into(),
+                                span: sp(spans, d.test_span),
+                            });
+                            break 'deferred;
+                        };
+                        let precise = profile
+                            .total_cycles
+                            .saturating_add(acc)
+                            .saturating_add(d.iter_max)
+                            > max_cycles;
+                        if precise {
+                            profile.total_cycles += acc;
+                            acc = 0;
+                            if let Err(e) = ops::charge(&mut *profile, max_cycles, d.test_cost) {
+                                err = Some(e);
+                                break 'deferred;
+                            }
+                        } else {
+                            acc += d.test_cost;
+                        }
+                        profile.int_ops += 1;
+                        // `ForTest` semantics, including its `_ => false`.
+                        let keep = match d.cond_op {
+                            BinOp::Lt => i < bound,
+                            BinOp::Le => i <= bound,
+                            BinOp::Gt => i > bound,
+                            BinOp::Ge => i >= bound,
+                            BinOp::Ne => i != bound,
+                            _ => false,
+                        };
+                        let ctx = loop_ctxs.last_mut().expect("open loop context");
+                        ctx.cur_i = i;
+                        if !keep {
+                            break 'deferred;
+                        }
+                        ctx.iters += 1;
+                        entered += 1;
+                        for s in d.body.iter() {
+                            let r = if precise {
+                                step_arith(
+                                    s, frame, profile, memory, costs, max_cycles, watch, spans,
+                                )
+                            } else {
+                                match s {
+                                    Insn::F64Bin { .. }
+                                    | Insn::F64BinImm { .. }
+                                    | Insn::F64BinAssign { .. }
+                                    | Insn::F64BinImmAssign { .. }
+                                    | Insn::F64Index { .. }
+                                    | Insn::F64Store { .. }
+                                    | Insn::F64MathCallImm { .. } => step_spec(
+                                        s,
+                                        frame,
+                                        profile,
+                                        memory,
+                                        costs,
+                                        max_cycles,
+                                        watch,
+                                        spans,
+                                        Some(&mut acc),
+                                    ),
+                                    _ => step_arith(
+                                        s, frame, profile, memory, costs, max_cycles, watch, spans,
+                                    ),
+                                }
+                            };
+                            if let Err(e) = r {
+                                err = Some(e);
+                                break 'deferred;
+                            }
+                        }
+                        // `ForStepJump` semantics: the step advances from the
+                        // value latched at the test, even if the body
+                        // reassigned the variable.
+                        let sv = reg(frame, d.step);
+                        let Some(step) = sv.as_i64() else {
+                            err = Some(RuntimeError::Type {
+                                message: "loop step must be integral".into(),
+                                span: sp(spans, d.step_span),
+                            });
+                            break 'deferred;
+                        };
+                        let next = if d.negative { i - step } else { i + step };
+                        *reg_mut(frame, d.slot) = Value::Int(next);
+                        if precise {
+                            if let Err(e) = ops::charge(&mut *profile, max_cycles, d.step_cost) {
+                                err = Some(e);
+                                break 'deferred;
+                            }
+                        } else {
+                            acc += d.step_cost;
+                        }
+                        profile.int_ops += 1;
+                    }
+                    // Reconcile deferred charges with the virtual clock
+                    // before the `LoopExit` (or the error path) observes it.
+                    profile.total_cycles += acc;
+                    *dispatches += entered * (d.body.len() as u64 + 2);
+                    *spec_dispatches += entered * (u64::from(d.nspec) + 2);
+                    if let Some(e) = err {
+                        return Err(e);
+                    }
+                }
             }
             pc += 1;
         }
@@ -1105,6 +1273,29 @@ fn step_arith(
     watch: bool,
     spans: &[Span],
 ) -> RuntimeResult<()> {
+    // Every `*Coerce` variant differs from its base form only by this
+    // tail: write the produced value through the fused declaration
+    // coercion. The macro keeps the paired decode arms from duplicating
+    // their whole producer sequence.
+    macro_rules! store_coerced {
+        ($dst:expr, $v:expr, $ty:expr, $co:expr) => {
+            *reg_mut(frame, *$dst) = ops::coerce($v, *$ty, sp(spans, *$co))?
+        };
+    }
+    // The shared binary-op producer of the fused arithmetic forms.
+    macro_rules! binop {
+        ($op:expr, $l:expr, $r:expr, $span:expr) => {
+            ops::apply_binary(
+                &mut *profile,
+                max_cycles,
+                costs,
+                *$op,
+                $l,
+                $r,
+                sp(spans, *$span),
+            )?
+        };
+    }
     match insn {
         Insn::Const { dst, v } => *reg_mut(frame, *dst) = *v,
         Insn::Copy { dst, src } => *reg_mut(frame, *dst) = reg(frame, *src),
@@ -1294,29 +1485,19 @@ fn step_arith(
             name,
             span,
         } => {
-            // Same check order as `ops::exec_intrinsic`: first
-            // argument, second argument, then charge.
-            let a_v = reg(frame, *a);
-            let av = a_v.as_f64().ok_or_else(|| RuntimeError::Intrinsic {
-                message: format!("`{name}` needs a numeric argument"),
-                span: sp(spans, *span),
-            })?;
-            let bv = if f.op.arity() == 2 {
-                let b_v = reg(frame, *b);
-                b_v.as_f64().ok_or_else(|| RuntimeError::Intrinsic {
-                    message: format!("`{name}` needs numeric arguments"),
-                    span: sp(spans, *span),
-                })?
-            } else {
-                0.0
-            };
-            ops::charge(&mut *profile, max_cycles, *cycles)?;
-            profile.flops += *flops;
-            *reg_mut(frame, *dst) = if f.single {
-                Value::Float(f.op.eval_f32(av as f32, bv as f32))
-            } else {
-                Value::Double(f.op.eval_f64(av, bv))
-            };
+            let v = math_eval(
+                frame,
+                profile,
+                max_cycles,
+                *a,
+                *b,
+                *f,
+                *cycles,
+                *flops,
+                name,
+                sp(spans, *span),
+            )?;
+            *reg_mut(frame, *dst) = v;
         }
         Insn::BinAssign {
             op,
@@ -1445,18 +1626,8 @@ fn step_arith(
             span,
             co_span,
         } => {
-            let lv = reg(frame, *l);
-            let rv = reg(frame, *r);
-            let v = ops::apply_binary(
-                &mut *profile,
-                max_cycles,
-                costs,
-                *op,
-                lv,
-                rv,
-                sp(spans, *span),
-            )?;
-            *reg_mut(frame, *dst) = ops::coerce(v, *ty, sp(spans, *co_span))?;
+            let v = binop!(op, reg(frame, *l), reg(frame, *r), span);
+            store_coerced!(dst, v, ty, co_span);
         }
         Insn::BinImmCoerce {
             op,
@@ -1467,17 +1638,8 @@ fn step_arith(
             span,
             co_span,
         } => {
-            let lv = reg(frame, *l);
-            let v = ops::apply_binary(
-                &mut *profile,
-                max_cycles,
-                costs,
-                *op,
-                lv,
-                *imm,
-                sp(spans, *span),
-            )?;
-            *reg_mut(frame, *dst) = ops::coerce(v, *ty, sp(spans, *co_span))?;
+            let v = binop!(op, reg(frame, *l), *imm, span);
+            store_coerced!(dst, v, ty, co_span);
         }
         Insn::IndexCoerce {
             dst,
@@ -1490,21 +1652,19 @@ fn step_arith(
             span,
             co_span,
         } => {
-            let base_v = reg(frame, *b);
-            let idx_v = reg(frame, *idx);
             let v = index_load(
                 profile,
                 memory,
                 watch,
                 max_cycles,
-                base_v,
-                idx_v,
+                reg(frame, *b),
+                reg(frame, *idx),
                 *cost,
                 sp(spans, *base_span),
                 sp(spans, *index_span),
                 sp(spans, *span),
             )?;
-            *reg_mut(frame, *dst) = ops::coerce(v, *ty, sp(spans, *co_span))?;
+            store_coerced!(dst, v, ty, co_span);
         }
         Insn::MathCallCoerce {
             dst,
@@ -1518,28 +1678,19 @@ fn step_arith(
             span,
             co_span,
         } => {
-            let a_v = reg(frame, *a);
-            let av = a_v.as_f64().ok_or_else(|| RuntimeError::Intrinsic {
-                message: format!("`{name}` needs a numeric argument"),
-                span: sp(spans, *span),
-            })?;
-            let bv = if f.op.arity() == 2 {
-                let b_v = reg(frame, *b);
-                b_v.as_f64().ok_or_else(|| RuntimeError::Intrinsic {
-                    message: format!("`{name}` needs numeric arguments"),
-                    span: sp(spans, *span),
-                })?
-            } else {
-                0.0
-            };
-            ops::charge(&mut *profile, max_cycles, *cycles)?;
-            profile.flops += *flops;
-            let v = if f.single {
-                Value::Float(f.op.eval_f32(av as f32, bv as f32))
-            } else {
-                Value::Double(f.op.eval_f64(av, bv))
-            };
-            *reg_mut(frame, *dst) = ops::coerce(v, *ty, sp(spans, *co_span))?;
+            let v = math_eval(
+                frame,
+                profile,
+                max_cycles,
+                *a,
+                *b,
+                *f,
+                *cycles,
+                *flops,
+                name,
+                sp(spans, *span),
+            )?;
+            store_coerced!(dst, v, ty, co_span);
         }
         Insn::IndexBinCoerce {
             op,
@@ -1555,31 +1706,20 @@ fn step_arith(
             span,
             co_span,
         } => {
-            let base_v = reg(frame, *b);
-            let idx_v = reg(frame, *idx);
-            let rv = reg(frame, *r);
             let loaded = index_load(
                 profile,
                 memory,
                 watch,
                 max_cycles,
-                base_v,
-                idx_v,
+                reg(frame, *b),
+                reg(frame, *idx),
                 *cost,
                 sp(spans, *base_span),
                 sp(spans, *index_span),
                 sp(spans, *load_span),
             )?;
-            let v = ops::apply_binary(
-                &mut *profile,
-                max_cycles,
-                costs,
-                *op,
-                loaded,
-                rv,
-                sp(spans, *span),
-            )?;
-            *reg_mut(frame, *dst) = ops::coerce(v, *ty, sp(spans, *co_span))?;
+            let v = binop!(op, loaded, reg(frame, *r), span);
+            store_coerced!(dst, v, ty, co_span);
         }
         Insn::IndexBinImmCoerce {
             op,
@@ -1595,30 +1735,20 @@ fn step_arith(
             span,
             co_span,
         } => {
-            let base_v = reg(frame, *b);
-            let idx_v = reg(frame, *idx);
             let loaded = index_load(
                 profile,
                 memory,
                 watch,
                 max_cycles,
-                base_v,
-                idx_v,
+                reg(frame, *b),
+                reg(frame, *idx),
                 *cost,
                 sp(spans, *base_span),
                 sp(spans, *index_span),
                 sp(spans, *load_span),
             )?;
-            let v = ops::apply_binary(
-                &mut *profile,
-                max_cycles,
-                costs,
-                *op,
-                loaded,
-                *imm,
-                sp(spans, *span),
-            )?;
-            *reg_mut(frame, *dst) = ops::coerce(v, *ty, sp(spans, *co_span))?;
+            let v = binop!(op, loaded, *imm, span);
+            store_coerced!(dst, v, ty, co_span);
         }
         Insn::BinImm2 {
             op1,
@@ -1687,7 +1817,378 @@ fn step_arith(
                 Value::Double(f.op.eval_f64(av, 0.0))
             };
         }
+        // Type-specialised forms are straight-line too (blocks and precise
+        // deferred-loop replays reach them here); immediate charging.
+        insn @ (Insn::F64Bin { .. }
+        | Insn::F64BinImm { .. }
+        | Insn::F64BinAssign { .. }
+        | Insn::F64BinImmAssign { .. }
+        | Insn::F64Index { .. }
+        | Insn::F64Store { .. }
+        | Insn::F64MathCallImm { .. }) => step_spec(
+            insn, frame, profile, memory, costs, max_cycles, watch, spans, None,
+        )?,
         _ => unreachable!("not a straight-line instruction"),
+    }
+    Ok(())
+}
+
+/// The `MathCall` evaluation, shared with its fused-coercion form:
+/// argument checks in `ops::exec_intrinsic` order, one baked charge, then
+/// the host-math evaluation.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn math_eval(
+    frame: &[Value],
+    profile: &mut Profile,
+    max_cycles: u64,
+    a: u16,
+    b: u16,
+    f: intrinsics::MathFn,
+    cycles: u64,
+    flops: u64,
+    name: &str,
+    span: Span,
+) -> RuntimeResult<Value> {
+    let av = reg(frame, a)
+        .as_f64()
+        .ok_or_else(|| RuntimeError::Intrinsic {
+            message: format!("`{name}` needs a numeric argument"),
+            span,
+        })?;
+    let bv = if f.op.arity() == 2 {
+        reg(frame, b)
+            .as_f64()
+            .ok_or_else(|| RuntimeError::Intrinsic {
+                message: format!("`{name}` needs numeric arguments"),
+                span,
+            })?
+    } else {
+        0.0
+    };
+    ops::charge(&mut *profile, max_cycles, cycles)?;
+    profile.flops += flops;
+    Ok(if f.single {
+        Value::Float(f.op.eval_f32(av as f32, bv as f32))
+    } else {
+        Value::Double(f.op.eval_f64(av, bv))
+    })
+}
+
+/// The folded declaration coercion of a specialised instruction's generic
+/// fallback: identity when the specialiser folded nothing
+/// ([`NO_SPAN`] sentinel), otherwise the exact `ops::coerce` the base
+/// `*Coerce` form would have run. Fast paths skip this call entirely —
+/// their result is already `Double`, for which the coercion is identity.
+#[inline(always)]
+fn co_tail(v: Value, co_span: SpanId, spans: &[Span]) -> RuntimeResult<Value> {
+    if co_span == NO_SPAN {
+        Ok(v)
+    } else {
+        ops::coerce(v, DOUBLE, sp(spans, co_span))
+    }
+}
+
+/// Execute one type-specialised instruction.
+///
+/// `defer` is `Some(acc)` inside a deferred-loop iteration whose budget
+/// precheck passed: fast-path charges accumulate into `acc` instead of
+/// the virtual clock (the iteration provably cannot exhaust the budget).
+/// `None` charges immediately. Generic fallbacks always charge
+/// immediately — they replay the exact unspecialised sequence, and under
+/// the precheck those charges cannot fail either, so both modes stay
+/// cycle-exact.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn step_spec(
+    insn: &Insn,
+    frame: &mut [Value],
+    profile: &mut Profile,
+    memory: &mut Memory,
+    costs: ops::BinCosts,
+    max_cycles: u64,
+    watch: bool,
+    spans: &[Span],
+    mut defer: Option<&mut u64>,
+) -> RuntimeResult<()> {
+    // One fast-path charge: into the deferral accumulator, or the clock.
+    macro_rules! pay {
+        ($c:expr) => {
+            match defer.as_deref_mut() {
+                Some(acc) => *acc += $c,
+                None => ops::charge(&mut *profile, max_cycles, $c)?,
+            }
+        };
+    }
+    // The four arithmetic ops the specialiser admits (`Rem` is excluded:
+    // its generic path charges without counting a flop).
+    macro_rules! f64_arith {
+        ($op:expr, $a:expr, $b:expr) => {
+            match $op {
+                BinOp::Add => $a + $b,
+                BinOp::Sub => $a - $b,
+                BinOp::Mul => $a * $b,
+                BinOp::Div => $a / $b,
+                _ => unreachable!("specialised arithmetic op"),
+            }
+        };
+    }
+    match insn {
+        Insn::F64Bin {
+            op,
+            dst,
+            l,
+            r,
+            span,
+            co_span,
+        } => {
+            let lv = reg(frame, *l);
+            let rv = reg(frame, *r);
+            if let (Value::Double(a), Value::Double(b)) = (lv, rv) {
+                pay!(if *op == BinOp::Div {
+                    costs.fp_div
+                } else {
+                    costs.fp_op
+                });
+                profile.flops += 1;
+                *reg_mut(frame, *dst) = Value::Double(f64_arith!(*op, a, b));
+            } else {
+                let v = ops::apply_binary(
+                    &mut *profile,
+                    max_cycles,
+                    costs,
+                    *op,
+                    lv,
+                    rv,
+                    sp(spans, *span),
+                )?;
+                *reg_mut(frame, *dst) = co_tail(v, *co_span, spans)?;
+            }
+        }
+        Insn::F64BinImm {
+            op,
+            rev,
+            dst,
+            l,
+            imm,
+            imm_f64,
+            span,
+            co_span,
+        } => {
+            let lv = reg(frame, *l);
+            if let Value::Double(a) = lv {
+                pay!(if *op == BinOp::Div {
+                    costs.fp_div
+                } else {
+                    costs.fp_op
+                });
+                profile.flops += 1;
+                let (x, y) = if *rev { (*imm_f64, a) } else { (a, *imm_f64) };
+                *reg_mut(frame, *dst) = Value::Double(f64_arith!(*op, x, y));
+            } else {
+                let (a_v, b_v) = if *rev { (*imm, lv) } else { (lv, *imm) };
+                let v = ops::apply_binary(
+                    &mut *profile,
+                    max_cycles,
+                    costs,
+                    *op,
+                    a_v,
+                    b_v,
+                    sp(spans, *span),
+                )?;
+                *reg_mut(frame, *dst) = co_tail(v, *co_span, spans)?;
+            }
+        }
+        Insn::F64BinAssign {
+            op,
+            slot,
+            l,
+            r,
+            span,
+            asg_span,
+        } => {
+            let lv = reg(frame, *l);
+            let rv = reg(frame, *r);
+            if let (Value::Double(a), Value::Double(b), Value::Double(_)) =
+                (lv, rv, reg(frame, *slot))
+            {
+                // Slot already holds a double, so `convert_assign` is
+                // identity and the write needs no replay.
+                pay!(if *op == BinOp::Div {
+                    costs.fp_div
+                } else {
+                    costs.fp_op
+                });
+                profile.flops += 1;
+                *reg_mut(frame, *slot) = Value::Double(f64_arith!(*op, a, b));
+            } else {
+                let v = ops::apply_binary(
+                    &mut *profile,
+                    max_cycles,
+                    costs,
+                    *op,
+                    lv,
+                    rv,
+                    sp(spans, *span),
+                )?;
+                let cur = reg(frame, *slot);
+                *reg_mut(frame, *slot) = ops::convert_assign(Some(cur), v, sp(spans, *asg_span))?;
+            }
+        }
+        Insn::F64BinImmAssign {
+            op,
+            rev,
+            slot,
+            l,
+            imm,
+            imm_f64,
+            span,
+            asg_span,
+        } => {
+            let lv = reg(frame, *l);
+            if let (Value::Double(a), Value::Double(_)) = (lv, reg(frame, *slot)) {
+                pay!(if *op == BinOp::Div {
+                    costs.fp_div
+                } else {
+                    costs.fp_op
+                });
+                profile.flops += 1;
+                let (x, y) = if *rev { (*imm_f64, a) } else { (a, *imm_f64) };
+                *reg_mut(frame, *slot) = Value::Double(f64_arith!(*op, x, y));
+            } else {
+                let (a_v, b_v) = if *rev { (*imm, lv) } else { (lv, *imm) };
+                let v = ops::apply_binary(
+                    &mut *profile,
+                    max_cycles,
+                    costs,
+                    *op,
+                    a_v,
+                    b_v,
+                    sp(spans, *span),
+                )?;
+                let cur = reg(frame, *slot);
+                *reg_mut(frame, *slot) = ops::convert_assign(Some(cur), v, sp(spans, *asg_span))?;
+            }
+        }
+        Insn::F64Index {
+            dst,
+            base: b,
+            idx,
+            cost,
+            base_span,
+            index_span,
+            span,
+            co_span,
+        } => {
+            let base_v = reg(frame, *b);
+            let idx_v = reg(frame, *idx);
+            // Pure probes first; any mismatch replays the whole generic
+            // sequence with nothing yet charged or counted.
+            if let (Value::Ptr(p), Some(i)) = (base_v, idx_v.as_i64()) {
+                if memory.is_f64(p.buffer) {
+                    pay!(*cost);
+                    profile.int_ops += 1;
+                    profile.loads += 1;
+                    profile.bytes_loaded += 8;
+                    // Bounds error after the charge — generic order.
+                    let x = memory.load_f64(p.buffer, p.offset + i, sp(spans, *span), watch)?;
+                    *reg_mut(frame, *dst) = Value::Double(x);
+                    return Ok(());
+                }
+            }
+            let v = index_load(
+                profile,
+                memory,
+                watch,
+                max_cycles,
+                base_v,
+                idx_v,
+                *cost,
+                sp(spans, *base_span),
+                sp(spans, *index_span),
+                sp(spans, *span),
+            )?;
+            *reg_mut(frame, *dst) = co_tail(v, *co_span, spans)?;
+        }
+        Insn::F64Store {
+            addr,
+            src,
+            cost,
+            span,
+        } => {
+            let p = reg(frame, *addr).as_ptr().expect("element address");
+            let v = reg(frame, *src);
+            match v {
+                Value::Double(x) if memory.is_f64(p.buffer) => {
+                    // Store first, charge after — generic `StoreElem` order
+                    // for the bounds error.
+                    memory.store_f64(p.buffer, p.offset, x, sp(spans, *span), watch)?;
+                    pay!(*cost);
+                    profile.stores += 1;
+                    profile.bytes_stored += 8;
+                }
+                _ => {
+                    memory.store(p.buffer, p.offset, v, sp(spans, *span), watch)?;
+                    ops::charge(&mut *profile, max_cycles, *cost)?;
+                    profile.stores += 1;
+                    profile.bytes_stored += memory.elem_bytes(p.buffer);
+                }
+            }
+        }
+        Insn::F64MathCallImm {
+            op,
+            rev,
+            dst,
+            l,
+            imm,
+            imm_f64,
+            f,
+            cycles,
+            flops,
+            bin_span,
+        } => {
+            let lv = reg(frame, *l);
+            if let Value::Double(a) = lv {
+                let bin_cost = if *op == BinOp::Div {
+                    costs.fp_div
+                } else {
+                    costs.fp_op
+                };
+                // One combined charge for binop + intrinsic: exact because
+                // `charge(c1); charge(c2)` fails iff `charge(c1 + c2)` does,
+                // at the same clock value, and the budget error carries
+                // only the limit.
+                pay!(bin_cost + u64::from(*cycles));
+                profile.flops += 1 + u64::from(*flops);
+                let (x, y) = if *rev { (*imm_f64, a) } else { (a, *imm_f64) };
+                let t = f64_arith!(*op, x, y);
+                // The specialiser only emits this form for `!f.single`.
+                *reg_mut(frame, *dst) = Value::Double(f.op.eval_f64(t, 0.0));
+            } else {
+                // Generic `MathCallImm` replay, verbatim.
+                let (a_v, b_v) = if *rev { (*imm, lv) } else { (lv, *imm) };
+                let t = ops::apply_binary(
+                    &mut *profile,
+                    max_cycles,
+                    costs,
+                    *op,
+                    a_v,
+                    b_v,
+                    sp(spans, *bin_span),
+                )?;
+                let av = t
+                    .as_f64()
+                    .unwrap_or_else(|| unreachable!("fused math argument is numeric"));
+                ops::charge(&mut *profile, max_cycles, u64::from(*cycles))?;
+                profile.flops += u64::from(*flops);
+                *reg_mut(frame, *dst) = if f.single {
+                    Value::Float(f.op.eval_f32(av as f32, 0.0))
+                } else {
+                    Value::Double(f.op.eval_f64(av, 0.0))
+                };
+            }
+        }
+        _ => unreachable!("not a type-specialised instruction"),
     }
     Ok(())
 }

@@ -16,6 +16,13 @@
 //! both properties, plus the reconciliation invariant
 //! `Σ self_cycles == total_cycles`.
 //!
+//! Deferred loop charging is invisible here too: the profiler only reads
+//! the virtual clock at frame enter/exit boundaries, and a `DeferredFor`
+//! reconciles its accumulated charge into `Profile::total_cycles` before
+//! the enclosing `LoopExit` (or any error path) observes the clock — so
+//! frame attribution under deferred accounting is bit-identical to
+//! immediate per-instruction charging.
+//!
 //! [`Vm`]: crate::vm::Vm
 
 use crate::compile::Program;

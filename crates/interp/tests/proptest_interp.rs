@@ -24,22 +24,23 @@ fn run_tree(m: &psa_minicpp::Module, config: RunConfig) -> String {
     observables(r.map(|v| (v, profile, memory)))
 }
 
-fn run_vm(m: &psa_minicpp::Module, config: RunConfig, fused: bool) -> String {
-    let program = if fused {
-        Program::compile(m, &config)
-    } else {
-        Program::compile_unfused(m, &config)
-    };
+fn run_vm(
+    m: &psa_minicpp::Module,
+    config: RunConfig,
+    compile: fn(&psa_minicpp::Module, &RunConfig) -> Program,
+) -> String {
+    let program = compile(m, &config);
     let mut vm = Vm::with_program(Arc::new(program), config);
     let r = vm.run_main();
     let (profile, memory) = vm.into_parts();
     observables(r.map(|v| (v, profile, memory)))
 }
 
-/// Tree walker, unfused VM, and fused (superinstruction) VM must agree on
-/// the complete observable surface — including failures, where the error
-/// variant, message, and span must match exactly.
-fn assert_three_way(src: &str, config: &RunConfig) {
+/// Tree walker, unfused VM, fused-but-unspecialised VM, and the fully
+/// specialised VM (typed opcode variants + deferred loop charging) must
+/// agree on the complete observable surface — including failures, where
+/// the error variant, message, and span must match exactly.
+fn assert_four_way(src: &str, config: &RunConfig) {
     let m = parse_module(src, "p").expect("parses");
     let vm_cfg = RunConfig {
         engine: Engine::Vm,
@@ -52,10 +53,12 @@ fn assert_three_way(src: &str, config: &RunConfig) {
             ..config.clone()
         },
     );
-    let unfused = run_vm(&m, vm_cfg.clone(), false);
-    let fused = run_vm(&m, vm_cfg, true);
+    let unfused = run_vm(&m, vm_cfg.clone(), Program::compile_unfused);
+    let unspec = run_vm(&m, vm_cfg.clone(), Program::compile_unspecialized);
+    let full = run_vm(&m, vm_cfg, Program::compile);
     assert_eq!(tree, unfused, "tree vs unfused VM diverged");
-    assert_eq!(tree, fused, "tree vs fused VM diverged");
+    assert_eq!(tree, unspec, "tree vs fused-unspecialised VM diverged");
+    assert_eq!(tree, full, "tree vs specialised VM diverged");
 }
 
 fn run_int(src: &str) -> i64 {
@@ -228,14 +231,14 @@ proptest! {
         prop_assert_eq!(format!("{:?}", tree.memory), format!("{:?}", vm.memory));
     }
 
-    /// Three-way differential over deep programs: rushlarsen-shaped gate
+    /// Four-way differential over deep programs: rushlarsen-shaped gate
     /// chains (immediate-heavy float expressions feeding `exp`, the exact
-    /// shapes the peephole fuses into `BinImm2`/`MathCallImm`/`ArithBlock`)
-    /// plus integer address arithmetic, casts, nested conditionals, and
-    /// cross-function calls. The tree walker, the unfused register VM, and
-    /// the fused VM must produce identical results, profiles, and memory.
+    /// shapes the peephole fuses into `BinImm2`/`MathCallImm`/`ArithBlock`
+    /// and the specialiser then types) plus integer address arithmetic,
+    /// casts, nested conditionals, and cross-function calls. All four
+    /// execution paths must produce identical results, profiles, memory.
     #[test]
-    fn three_way_deep_programs(
+    fn four_way_deep_programs(
         n in 2usize..24,
         gates in 1usize..4,
         seed in 0i64..1_000_000,
@@ -273,15 +276,15 @@ proptest! {
                return (int)(acc * 64.0);\
              }}"
         );
-        assert_three_way(&src, &RunConfig::default());
+        assert_four_way(&src, &RunConfig::default());
     }
 
-    /// Three-way differential on runtime-error paths: division by zero,
+    /// Four-way differential on runtime-error paths: division by zero,
     /// out-of-bounds stores, and cycle-budget exhaustion mid-loop must
-    /// fail identically (same variant, message, and span) on all three
+    /// fail identically (same variant, message, and span) on all four
     /// execution paths, with the failure landing at the same iteration.
     #[test]
-    fn three_way_error_paths(
+    fn four_way_error_paths(
         n in 2usize..16,
         seed in 0i64..1_000_000,
         fail_kind in 0usize..3,
@@ -311,12 +314,61 @@ proptest! {
         );
         let config = if fail_kind == 2 {
             // Exhaust the budget partway through the loop: the virtual
-            // clock is engine-invariant, so all three paths must stop at
+            // clock is engine-invariant, so all four paths must stop at
             // the same instant.
             RunConfig { max_cycles: 40 + 11 * trip as u64, ..Default::default() }
         } else {
             RunConfig::default()
         };
-        assert_three_way(&src, &config);
+        assert_four_way(&src, &config);
+    }
+
+    /// Four-way differential over coercion-heavy mixed int/float programs:
+    /// doubles fed from int expressions, ints fed from float casts, and
+    /// both `double*` and `float*` traffic — the exact shapes the type
+    /// specialiser gates on — with optional division-by-zero, index-OOB,
+    /// and cycle-budget poisons. The poison-free and budget variants keep
+    /// the loop body straight-line, so the budget exhaustion lands inside
+    /// a deferred-charge loop and must still fire at the exact cycle.
+    #[test]
+    fn four_way_mixed_coercion_programs(
+        n in 2usize..16,
+        seed in 0i64..1_000_000,
+        fail_kind in 0usize..4,
+        trip in 1usize..32,
+        scale in 1i64..5,
+    ) {
+        let poison = match fail_kind {
+            0 => format!("if (i == {trip}) {{ int z = i - i; s += (double)(7 / z); }}"),
+            1 => format!("if (i == {trip}) {{ a[n + i] = s; }}"),
+            _ => String::new(),
+        };
+        let src = format!(
+            "int main() {{\
+               int n = {n};\
+               double* a = alloc_double(n);\
+               float* b = alloc_float(n);\
+               fill_random(a, n, {seed});\
+               fill_random(b, n, {seed} + 7);\
+               double s = 0.0;\
+               int k = {scale};\
+               for (int i = 0; i < 48; i++) {{\
+                 double u = a[i % n] * 0.5 + (double)(i * k);\
+                 s += u / (1.0 + (double)b[i % n]);\
+                 s = s + exp(0.001 * u);\
+                 {poison}\
+                 k = k + ((int)u) % 7;\
+                 a[i % n] = s * 0.125;\
+               }}\
+               sink(s);\
+               return k + (int)(s * 32.0);\
+             }}"
+        );
+        let config = if fail_kind == 2 {
+            RunConfig { max_cycles: 60 + 13 * trip as u64, ..Default::default() }
+        } else {
+            RunConfig::default()
+        };
+        assert_four_way(&src, &config);
     }
 }

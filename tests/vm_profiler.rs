@@ -6,7 +6,7 @@
 //! none dropped.
 
 use psaflow::benchsuite;
-use psaflow::interp::{self, Engine, ProfiledRun, Program, RunConfig, VmProfile};
+use psaflow::interp::{self, Engine, FrameRow, ProfiledRun, Program, RunConfig, VmProfile};
 use psaflow::minicpp::{parse_module, Module};
 use std::sync::Arc;
 
@@ -181,6 +181,90 @@ fn compiled_program_reuse_is_invisible() {
                 bench.key
             );
         }
+    }
+}
+
+/// Deferred loop-charge accounting stays invisible to the profiler: on a
+/// program whose hot loops compile to `DeferredFor` (verified via the
+/// static specialisation census), the accumulated charge is reconciled
+/// into the virtual clock before the loop frame closes, so per-frame
+/// self-cycles still sum exactly to the run's total, the loop frames the
+/// profiler reports are the same `(function, loop)` paths the profile's
+/// own `loop_stats` saw, and each loop row's inclusive cycles equal that
+/// loop's `loop_stats` cycles.
+#[test]
+fn deferred_loop_charging_reconciles_in_the_profiler() {
+    let source = "
+        double work(int n) {
+            double* a = alloc_double(n);
+            double s = 0.0;
+            for (int i = 0; i < n; i++) {
+                a[i] = (double)i * 0.5;
+            }
+            for (int i = 0; i < n; i++) {
+                s = s + a[i] * 1.25;
+            }
+            return s;
+        }
+        int main() {
+            double acc = 0.0;
+            for (int k = 0; k < 8; k++) {
+                acc = acc + work(64);
+            }
+            return (int)acc;
+        }
+    ";
+    let module = parse("deferred", source);
+    let program = Program::compile(&module, &vm_config());
+    let (_, _, deferred_loops) = program.specialization_stats();
+    assert!(
+        deferred_loops >= 2,
+        "test program must exercise deferred loops (got {deferred_loops})"
+    );
+
+    let (run, vm_profile) = run_profiled(&module);
+    let self_sum: u64 = vm_profile.rows.iter().map(|r| r.self_cycles).sum();
+    assert_eq!(
+        self_sum, vm_profile.total_cycles,
+        "self-cycles must reconcile under deferred charging"
+    );
+    assert_eq!(
+        vm_profile.total_cycles, run.profile.total_cycles,
+        "profiler total must equal the virtual clock under deferred charging"
+    );
+
+    // The profiler's loop frames are exactly the loops the (engine-compared)
+    // profile counted, and their inclusive cycles agree loop-by-loop.
+    let mut profiler_loops: Vec<&FrameRow> = vm_profile
+        .rows
+        .iter()
+        .filter(|r| r.name.starts_with("loop#"))
+        .collect();
+    profiler_loops.sort_by(|a, b| a.name.cmp(&b.name));
+    assert_eq!(
+        profiler_loops.len(),
+        run.profile.loop_stats.len(),
+        "profiler must see the same loops as the profile"
+    );
+    for row in profiler_loops {
+        let id: u32 = row.name["loop#".len()..].parse().expect("loop frame id");
+        let stats = run
+            .profile
+            .loop_stats
+            .iter()
+            .find(|(node, _)| node.0 == id)
+            .map(|(_, s)| s)
+            .expect("profiler loop frame matches a profile loop");
+        assert_eq!(
+            row.entries, stats.entries,
+            "{}: frame entries must match loop_stats",
+            row.name
+        );
+        assert_eq!(
+            row.total_cycles, stats.cycles,
+            "{}: inclusive cycles must match loop_stats",
+            row.name
+        );
     }
 }
 
