@@ -255,6 +255,32 @@ pub mod strategy {
         (S0 s0, S1 s1, S2 s2, S3 s3)
         (S0 s0, S1 s1, S2 s2, S3 s3, S4 s4)
         (S0 s0, S1 s1, S2 s2, S3 s3, S4 s4, S5 s5)
+        (S0 s0, S1 s1, S2 s2, S3 s3, S4 s4, S5 s5, S6 s6)
+        (S0 s0, S1 s1, S2 s2, S3 s3, S4 s4, S5 s5, S6 s6, S7 s7)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// `proptest::collection::vec` — a vector whose length is drawn
+    /// uniformly from `size` and whose elements are drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
     }
 }
 

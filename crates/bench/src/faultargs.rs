@@ -109,6 +109,13 @@ fn die(msg: &str) -> ! {
 pub fn run_or_exit<T>(r: Result<T, String>) -> T {
     r.unwrap_or_else(|e| {
         eprintln!("flow execution failed: {e}");
+        // Flush the flight recorder before bailing out so a fatal flow
+        // failure still leaves its forensic bundle behind (`--recorder-dump=`
+        // arms the recorder; this is a no-op otherwise).
+        psa_obs::recorder::mark_trigger(&format!("flow-error: {e}"));
+        if let Err(dump_err) = psa_obs::recorder::flush_dump() {
+            eprintln!("recorder dump failed: {dump_err}");
+        }
         std::process::exit(3)
     })
 }

@@ -8,12 +8,17 @@
 //! * `--metrics-out=<path>` — the process-global metrics registry in
 //!   Prometheus text exposition format;
 //! * `--profile-out=<path>` — collapsed-stack (flamegraph) text from VM
-//!   frame-profiled runs of the five benchmark applications.
+//!   frame-profiled runs of the five benchmark applications;
+//! * `--recorder-dump=<path>` — arm the flight recorder and write its
+//!   forensic bundle (triggers, span table, per-worker event rings,
+//!   embedded Perfetto timeline) there on exit — immediately on a flow
+//!   failure, or after the last run on success.
 //!
-//! All three write to files only: **stdout is byte-identical with and
+//! All four write to files only: **stdout is byte-identical with and
 //! without the flags** (CI diffs the two). Metrics collection is enabled
 //! lazily — without `--metrics-out` the registry stays off and every
-//! instrumentation site costs a single relaxed atomic load.
+//! instrumentation site costs a single relaxed atomic load; the flight
+//! recorder has its own independent gate behind `--recorder-dump`.
 
 use psa_interp::{run_main_profiled_vm_with_profile, RunConfig, VmProfile};
 use psa_obs::perfetto::{ArgValue, TraceBuilder};
@@ -27,6 +32,7 @@ pub struct ObsArgs {
     pub trace_out: Option<PathBuf>,
     pub metrics_out: Option<PathBuf>,
     pub profile_out: Option<PathBuf>,
+    pub recorder_dump: Option<PathBuf>,
 }
 
 impl ObsArgs {
@@ -41,10 +47,16 @@ impl ObsArgs {
                 out.metrics_out = Some(p.into());
             } else if let Some(p) = arg.strip_prefix("--profile-out=") {
                 out.profile_out = Some(p.into());
+            } else if let Some(p) = arg.strip_prefix("--recorder-dump=") {
+                out.recorder_dump = Some(p.into());
             }
         }
         if out.metrics_out.is_some() {
             psa_obs::set_enabled(true);
+        }
+        if let Some(path) = &out.recorder_dump {
+            psa_obs::recorder::set_dump_path(Some(path.clone()));
+            psa_obs::recorder::set_enabled(true);
         }
         out
     }
@@ -98,6 +110,10 @@ impl ObsArgs {
 
         if let Some(path) = &self.metrics_out {
             std::fs::write(path, psa_obs::global().render_prometheus())?;
+        }
+
+        if self.recorder_dump.is_some() {
+            psa_obs::recorder::flush_dump()?;
         }
         Ok(())
     }

@@ -125,6 +125,13 @@ pub struct FlowContext {
     /// Branch-path clones share the plan (and its occurrence counters)
     /// through the `Arc`. `None` (the default) costs one pointer check.
     pub faults: Option<Arc<FaultPlan>>,
+    /// The causal span this context executes under: the flow root for the
+    /// trunk, a branch-path child span on `Selection` path clones. The
+    /// engine derives per-node spans from it (`span.child(node, id)`);
+    /// tasks never mutate it. Ids are structural
+    /// ([`psa_obs::span::SpanCtx`]), so they are byte-identical across
+    /// reruns and scheduler interleavings.
+    pub span: psa_obs::SpanCtx,
     /// Structured trace of what the flow did (mirrors the paper's narrative
     /// of which branch was taken and why). Read it through [`Self::trace`]
     /// or [`Self::trace_lines`]; the engine owns its tree structure.
@@ -161,6 +168,7 @@ impl FlowContext {
             cache,
             failures: Vec::new(),
             faults: None,
+            span: psa_obs::SpanCtx::default(),
             trace: Vec::new(),
             pending_decision: None,
         }

@@ -137,10 +137,18 @@ pub fn blocksize_dse(
     pinned: bool,
     cache: &EvalCache,
 ) -> Result<BlocksizeDse, FlowError> {
+    // Sweep workers run on fresh threads; hand them the ambient span so
+    // their estimate (and fault) events stay attributed to this DSE node.
+    let ambient = psa_obs::span::current();
     let estimates: Vec<_> = crossbeam::thread::scope(|s| {
         let handles: Vec<_> = BLOCKSIZE_CANDIDATES
             .iter()
-            .map(|&b| s.spawn(move |_| model.estimate_cached(work, b, pinned, cache)))
+            .map(|&b| {
+                s.spawn(move |_| {
+                    let _span = psa_obs::span::propagate(ambient);
+                    model.estimate_cached(work, b, pinned, cache)
+                })
+            })
             .collect();
         // Join every handle eagerly (a short-circuiting collect would drop
         // unjoined handles, making the scope panic with a generic payload),
@@ -221,10 +229,16 @@ pub fn omp_threads_dse(
     // Pure model: evaluate every thread count concurrently, pick the winner
     // scanning in candidate order (strict `<` keeps the lowest-count tie
     // winner, as sequentially).
+    let ambient = psa_obs::span::current();
     let times: Vec<f64> = crossbeam::thread::scope(|s| {
         let handles: Vec<_> = candidates
             .iter()
-            .map(|&t| s.spawn(move |_| model.time_openmp_cached(work, t, cache)))
+            .map(|&t| {
+                s.spawn(move |_| {
+                    let _span = psa_obs::span::propagate(ambient);
+                    model.time_openmp_cached(work, t, cache)
+                })
+            })
             .collect();
         // Join eagerly, as in `blocksize_dse`: dropped unjoined handles
         // would replace a worker's panic payload with the scope's own.

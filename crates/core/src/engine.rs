@@ -284,6 +284,15 @@ impl FlowEngine {
         let state = RunState {
             flow_deadline_at: self.flow_deadline.map(|d| Instant::now() + d),
         };
+        if let Some(d) = self.flow_deadline {
+            psa_obs::recorder::record_deadline_arm("flow", d.as_millis() as u64);
+        }
+        // Open the flow's root span so the forensic span table always
+        // contains the top of the causal tree (node spans parent into it).
+        // The label carries the app name: with several flows in one dump
+        // (a benchmark sweep) the roots must be tellable apart.
+        let root_label = format!("{}/{}", graph.name, ctx.ast.module.name);
+        let _root_guard = psa_obs::span::enter(ctx.span, &root_label);
         self.run_graph(graph, ctx, state)
     }
 
@@ -463,6 +472,15 @@ impl FlowEngine {
         }
         let mut input = input.expect("every non-root node has a join base");
 
+        // The node's causal span: a structural child of the enclosing
+        // flow/path span keyed on `(node name, node id)` — identical across
+        // reruns and scheduler interleavings. The ambient guard attributes
+        // every seam event below (cache lookups, estimates, VM runs,
+        // faults) to this node until it finishes.
+        let node_name = graph.node_name(i);
+        let node_span = input.span.child(&node_name, i as u64);
+        let _node_guard = psa_obs::span::enter(node_span, &node_name);
+
         let (result, terminated) = match &graph.nodes[i].kind {
             GraphNode::Module(m) => (
                 self.run_module(&graph.name, m.as_ref(), &mut input, state),
@@ -502,11 +520,15 @@ impl FlowEngine {
         if let Some(at) = state.flow_deadline_at {
             if Instant::now() >= at {
                 psa_obs::counter_add("psa_flow_timeouts_total", &[("scope", "flow")], 1);
+                psa_obs::recorder::record_deadline_expired("flow");
                 return Err(FlowError::timeout(format!(
                     "flow `{}` deadline elapsed before task `{}`",
                     flow_name, info.name
                 )));
             }
+        }
+        if let Some(limit) = self.task_deadline {
+            psa_obs::recorder::record_deadline_arm("task", limit.as_millis() as u64);
         }
         let start = ctx.trace.len();
         let t0 = Instant::now();
@@ -533,6 +555,7 @@ impl FlowEngine {
                 error: err.message(),
             });
             psa_obs::counter_add("psa_flow_task_retries_total", &[("task", info.name)], 1);
+            psa_obs::recorder::record_retry(info.name, attempt as u64);
             attempt += 1;
             result = attempt_module(flow_name, module, &info, ctx);
         }
@@ -543,6 +566,7 @@ impl FlowEngine {
             if let Some(limit) = self.task_deadline {
                 if t0.elapsed() > limit {
                     psa_obs::counter_add("psa_flow_timeouts_total", &[("scope", "task")], 1);
+                    psa_obs::recorder::record_deadline_expired("task");
                     result = Err(FlowError::timeout(format!(
                         "task `{}` ran {}ms, over its {}ms deadline",
                         info.name,
@@ -598,11 +622,16 @@ impl FlowEngine {
             bp.strategy.select(bp, ctx)
         }))
         .unwrap_or_else(|payload| {
-            Err(FlowError::internal(format!(
-                "strategy `{}` panicked at branch `{}`: {}",
+            let msg = panic_message(payload);
+            psa_obs::recorder::mark_trigger(&format!(
+                "panic:strategy `{}` at branch `{}`: {msg}",
                 bp.strategy.name(),
-                bp.name,
-                panic_message(payload)
+                bp.name
+            ));
+            Err(FlowError::internal(format!(
+                "strategy `{}` panicked at branch `{}`: {msg}",
+                bp.strategy.name(),
+                bp.name
             )))
         });
         let evidence = ctx.trace.split_off(start);
@@ -660,7 +689,17 @@ impl FlowEngine {
                 let (label, subgraph) = &bp.paths[index];
                 // A single path continues on the live context: its state
                 // (AST edits, tuned parameters) persists past the branch.
+                // Its causal span is a child of the branch node's span
+                // (ambient here) so the sub-graph's node spans nest under
+                // the path; restored afterwards since the trunk continues.
+                let saved_span = ctx.span;
+                ctx.span = psa_obs::span::current()
+                    .unwrap_or(saved_span)
+                    .child(label, index as u64);
+                let path_guard = psa_obs::span::enter(ctx.span, label);
                 let result = self.run_graph(subgraph, ctx, state);
+                drop(path_guard);
+                ctx.span = saved_span;
                 let events = ctx.trace.split_off(start);
                 let path = PathTrace {
                     index,
@@ -708,6 +747,10 @@ impl FlowEngine {
     ) -> (Vec<PathTrace>, Option<FlowError>) {
         let mut paths = Vec::with_capacity(indices.len());
         let mut first_err: Option<FlowError> = None;
+        // Branch-path spans hang off the branch node's span (the ambient
+        // span on this thread). Captured here because parallel paths run on
+        // fresh scoped threads whose ambient stacks start empty.
+        let branch_span = psa_obs::span::current().unwrap_or(ctx.span);
 
         // One merge step: fold a finished path's context back into the
         // parent according to the failure policy. `merge_designs` is false
@@ -775,7 +818,11 @@ impl FlowEngine {
                     // siblings; only what THIS path appends is its suffix.
                     let base_designs = ctx.designs.len();
                     let mut pctx = path_context(ctx);
-                    let res = self.run_path(subgraph, &mut pctx, state, &bp.paths[index].0);
+                    let label = &bp.paths[index].0;
+                    pctx.span = branch_span.child(label, index as u64);
+                    let path_guard = psa_obs::span::enter(pctx.span, label);
+                    let res = self.run_path(subgraph, &mut pctx, state, label);
+                    drop(path_guard);
                     let failed = res.is_err();
                     merge(ctx, &mut first_err, index, res, pctx, base_designs);
                     if failed && self.policy != FailurePolicy::DegradePaths {
@@ -796,8 +843,11 @@ impl FlowEngine {
                         .map(|&index| {
                             let (label, subgraph) = &bp.paths[index];
                             let mut pctx = path_context(ctx);
+                            pctx.span = branch_span.child(label, index as u64);
                             s.spawn(move |_| {
+                                let path_guard = psa_obs::span::enter(pctx.span, label);
                                 let res = engine.run_path(subgraph, &mut pctx, state, label);
+                                drop(path_guard);
                                 (res, pctx)
                             })
                         })
@@ -849,10 +899,13 @@ impl FlowEngine {
     ) -> Result<(), FlowError> {
         match catch_unwind(AssertUnwindSafe(|| self.run_graph(subgraph, pctx, state))) {
             Ok(r) => r,
-            Err(payload) => Err(FlowError::internal(format!(
-                "path `{label}` panicked: {}",
-                panic_message(payload)
-            ))),
+            Err(payload) => {
+                let msg = panic_message(payload);
+                psa_obs::recorder::mark_trigger(&format!("panic:path `{label}`: {msg}"));
+                Err(FlowError::internal(format!(
+                    "path `{label}` panicked: {msg}"
+                )))
+            }
         }
     }
 }
@@ -879,10 +932,11 @@ fn attempt_module(
         module.run(ctx)
     }));
     outcome.unwrap_or_else(|payload| {
+        let msg = panic_message(payload);
+        psa_obs::recorder::mark_trigger(&format!("panic:task `{}`: {msg}", info.name));
         Err(FlowError::internal(format!(
-            "task `{}` panicked: {}",
-            info.name,
-            panic_message(payload)
+            "task `{}` panicked: {msg}",
+            info.name
         )))
     })
 }

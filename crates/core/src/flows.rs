@@ -242,6 +242,9 @@ pub fn full_psa_flow_with_strategy_cached_on(
     let ast = Ast::from_source(source, app_name)
         .map_err(|e| FlowError::precondition(format!("parse error: {e}")))?;
     let mut ctx = FlowContext::with_cache(ast, params, cache);
+    // Causal root span: structural (app name + entry-point discriminant),
+    // so reruns of the same flow produce identical span ids.
+    ctx.span = psa_obs::SpanCtx::root(&format!("psa-flow/{app_name}"), 2);
     let before = ctx.cache.stats();
     engine.execute_graph(
         &build_graph_with_strategy(strategy, "A (custom strategy)"),
@@ -315,6 +318,15 @@ pub fn full_psa_flow_faulted_on(
     let ast = Ast::from_source(source, app_name)
         .map_err(|e| FlowError::precondition(format!("parse error: {e}")))?;
     let mut ctx = FlowContext::with_cache(ast, params, cache);
+    // Causal root span: structural (app name + flow mode), so reruns of
+    // the same flow produce identical span ids.
+    ctx.span = psa_obs::SpanCtx::root(
+        &format!("psa-flow/{app_name}"),
+        match mode {
+            FlowMode::Uninformed => 0,
+            FlowMode::Informed => 1,
+        },
+    );
     if let Some(plan) = faults {
         ctx = ctx.with_faults(plan);
     }

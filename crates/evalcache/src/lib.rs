@@ -270,11 +270,13 @@ impl EvalCache {
             Some(t) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 psa_obs::counter_add("psa_evalcache_hits_total", &[("domain", key.domain)], 1);
+                psa_obs::recorder::record_cache(key.domain, true);
                 Some(t)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 psa_obs::counter_add("psa_evalcache_misses_total", &[("domain", key.domain)], 1);
+                psa_obs::recorder::record_cache(key.domain, false);
                 None
             }
         }

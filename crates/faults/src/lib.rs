@@ -227,6 +227,7 @@ impl FaultPlan {
         if hit.is_some() {
             self.fired.fetch_add(1, Ordering::Relaxed);
             psa_obs::counter_add("psa_faults_injected_total", &[("seam", seam.code())], 1);
+            psa_obs::recorder::record_fault(seam.code(), site);
         }
         hit
     }

@@ -57,6 +57,10 @@ impl BinCosts {
 pub(crate) fn charge(profile: &mut Profile, max_cycles: u64, cycles: u64) -> RuntimeResult<()> {
     profile.total_cycles += cycles;
     if profile.total_cycles > max_cycles {
+        // Cold path: budget exhaustion is a forensic-dump trigger.
+        if psa_obs::recorder::enabled() {
+            psa_obs::recorder::record_budget_exhausted(&format!("vm cycle budget {max_cycles}"));
+        }
         return Err(RuntimeError::CycleBudgetExhausted { limit: max_cycles });
     }
     Ok(())

@@ -251,6 +251,9 @@ impl Vm {
             &[("class", "generic")],
             (self.dispatches - d0) - spec,
         );
+        // Flight-recorder census snapshot: this run's dispatch deltas,
+        // attributed to the ambient causal span (the DAG node running us).
+        psa_obs::recorder::record_vm_census(self.dispatches - d0, spec, self.calls - c0);
         result
     }
 

@@ -28,9 +28,12 @@
 
 pub mod json;
 pub mod perfetto;
+pub mod recorder;
 pub mod registry;
+pub mod span;
 
 pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use span::SpanCtx;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

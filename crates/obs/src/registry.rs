@@ -9,13 +9,14 @@
 //!   make one histogram serve values from nanoseconds to minutes without
 //!   per-metric bound configuration.
 //!
-//! The registry itself is a mutex-guarded map from `(name, sorted labels)`
-//! to the instrument; the lock is only taken to *look up* an instrument,
-//! never while updating one. [`MetricsRegistry::render_prometheus`] writes
-//! the whole registry in the Prometheus text exposition format with a
-//! stable (sorted) order, so output is diffable across runs.
+//! The registry itself is a mutex-guarded `BTreeMap` from `(name, sorted
+//! labels)` to the instrument; the lock is only taken to *look up* an
+//! instrument, never while updating one. Keeping the map ordered makes
+//! [`MetricsRegistry::render_prometheus`] byte-deterministic by
+//! construction: two registries populated with the same values render
+//! identically regardless of insertion order.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -118,6 +119,45 @@ impl Histogram {
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
     }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) of the observed values,
+    /// interpolating linearly inside the log₂ bucket the rank falls in.
+    /// `None` until something has been observed.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        quantile_from_bucket_counts(&self.bucket_counts(), q)
+    }
+}
+
+/// Quantile estimation over per-bucket log₂ counts (bucket layout as in
+/// [`Histogram`]: bucket 0 holds zero, bucket `i ≥ 1` holds
+/// `[2^(i-1), 2^i)`). Finds the bucket containing rank `q·count`, then
+/// interpolates linearly between the bucket's bounds by the rank's
+/// fraction through the bucket. Shared by [`Histogram::quantile`] and
+/// `psastat`'s Prometheus-text snapshot renderer.
+pub fn quantile_from_bucket_counts(counts: &[u64], q: f64) -> Option<f64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let target = q.clamp(0.0, 1.0) * total as f64;
+    let mut cumulative = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let prev = cumulative as f64;
+        cumulative += c;
+        if cumulative as f64 >= target {
+            if i == 0 {
+                return Some(0.0); // the zero bucket holds exactly 0
+            }
+            let lo = Histogram::bucket_bound(i - 1) as f64 + 1.0;
+            let hi = Histogram::bucket_bound(i) as f64;
+            let fraction = ((target - prev) / c as f64).clamp(0.0, 1.0);
+            return Some(lo + fraction * (hi - lo));
+        }
+    }
+    Some(Histogram::bucket_bound(counts.len().saturating_sub(1)) as f64)
 }
 
 /// Lookup key: metric name plus its sorted label pairs.
@@ -147,7 +187,7 @@ impl Instrument {
 /// A thread-safe collection of named, labelled instruments.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
-    instruments: Mutex<HashMap<MetricId, Instrument>>,
+    instruments: Mutex<BTreeMap<MetricId, Instrument>>,
 }
 
 impl MetricsRegistry {
@@ -201,14 +241,15 @@ impl MetricsRegistry {
         }
     }
 
-    /// Serialise every instrument in the Prometheus text exposition format
-    /// (sorted by name, then label set, so output order is stable).
+    /// Serialise every instrument in the Prometheus text exposition format.
+    /// The instrument map is a `BTreeMap` keyed on `(name, sorted labels)`,
+    /// so the output is byte-deterministic: same values, same bytes,
+    /// regardless of the order instruments were first touched in.
     pub fn render_prometheus(&self) -> String {
-        let mut entries: Vec<(MetricId, Instrument)> = {
+        let entries: Vec<(MetricId, Instrument)> = {
             let map = self.instruments.lock().expect("metrics registry poisoned");
             map.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
         };
-        entries.sort_by(|a, b| a.0.cmp(&b.0));
 
         let mut out = String::new();
         let mut last_name: Option<&str> = None;
@@ -336,6 +377,7 @@ fn render_labels(labels: &[(String, String)], extra: &[(&str, &str)]) -> String 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
     #[test]
     fn counters_accumulate_per_label_set() {
@@ -425,6 +467,78 @@ mod tests {
             text.matches("# TYPE psa_cache_hits_total counter").count(),
             1
         );
+    }
+
+    #[test]
+    fn quantiles_pin_known_distributions() {
+        // 100 observations of 7: every rank lands in bucket 3 = [4, 7],
+        // so quantiles interpolate linearly across that bucket.
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.observe(7);
+        }
+        assert_eq!(h.quantile(0.5), Some(5.5));
+        assert!((h.quantile(0.95).unwrap() - 6.85).abs() < 1e-9);
+        assert!((h.quantile(0.99).unwrap() - 6.97).abs() < 1e-9);
+
+        // Uniform 1..=1024, once each. Rank 512 falls one observation into
+        // bucket 10 = [512, 1023] (cumulative 511 before it), so p50 sits
+        // just above the true median — the log₂-bucket estimation error.
+        let u = Histogram::default();
+        for v in 1..=1024u64 {
+            u.observe(v);
+        }
+        let p50 = u.quantile(0.5).unwrap();
+        assert!((p50 - 512.998).abs() < 1e-2, "p50 = {p50}");
+        let p99 = u.quantile(0.99).unwrap();
+        // Rank 1013.76 in bucket 10 (cumulative 511 + fraction through 512).
+        let expected = 512.0 + (1013.76 - 511.0) / 512.0 * 511.0;
+        assert!((p99 - expected).abs() < 1e-9, "p99 = {p99}");
+
+        // All zeros: every quantile is exactly zero.
+        let z = Histogram::default();
+        for _ in 0..10 {
+            z.observe(0);
+        }
+        assert_eq!(z.quantile(0.99), Some(0.0));
+
+        // Empty histogram has no quantiles.
+        assert_eq!(Histogram::default().quantile(0.5), None);
+
+        // The free function agrees with the method (psastat uses it on
+        // bucket counts reconstructed from Prometheus text).
+        assert_eq!(
+            quantile_from_bucket_counts(&h.bucket_counts(), 0.5),
+            h.quantile(0.5)
+        );
+    }
+
+    #[test]
+    fn identically_populated_registries_render_identically() {
+        let populate = |pairs: &[(&str, &[(&str, &str)])]| {
+            let r = MetricsRegistry::new();
+            for (name, labels) in pairs {
+                r.counter(name, labels).add(7);
+            }
+            r.gauge("z_gauge", &[]).set(1.5);
+            let h = r.histogram("h_ns", &[("k", "v")]);
+            h.observe(3);
+            h.observe(900);
+            r
+        };
+        let forward: &[(&str, &[(&str, &str)])] = &[
+            ("a_total", &[("domain", "x")]),
+            ("a_total", &[("domain", "y")]),
+            ("b_total", &[]),
+        ];
+        let reverse: &[(&str, &[(&str, &str)])] = &[
+            ("b_total", &[]),
+            ("a_total", &[("domain", "y")]),
+            ("a_total", &[("domain", "x")]),
+        ];
+        let a = populate(forward).render_prometheus();
+        let b = populate(reverse).render_prometheus();
+        assert_eq!(a, b, "render must be byte-deterministic");
     }
 
     #[test]

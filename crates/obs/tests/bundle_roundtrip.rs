@@ -1,0 +1,295 @@
+//! Property tests for the forensic-bundle renderer: for *arbitrary*
+//! snapshots — span trees of any shape, event streams with unbalanced
+//! opens/closes, labels full of JSON-hostile characters — `render_bundle`
+//! must emit a document that parses with the in-crate parser, round-trips
+//! every span id and label, keeps per-worker sequence numbers strictly
+//! increasing, and embeds a Perfetto timeline whose tracks are balanced
+//! (`B`/`E`) with non-decreasing timestamps. These are the invariants the
+//! CI recorder leg checks with jq on real dumps; here they are pinned for
+//! the whole input space.
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use psa_obs::json::{self, Json};
+use psa_obs::recorder::{Event, EventKind, Snapshot, SpanInfo, WorkerDump, RING_CAPACITY};
+use psa_obs::SpanCtx;
+use std::collections::HashMap;
+
+/// Labels that stress the JSON string writer.
+fn label_strategy() -> BoxedStrategy<String> {
+    prop_oneof![
+        (0usize..5).prop_map(|i| format!("plain-{i}")),
+        Just("with \"quotes\" and \\backslash\\".to_string()),
+        Just("line\nbreak\ttab".to_string()),
+        Just("unicod\u{e9} \u{21d2} \u{3bb}".to_string()),
+        Just(String::new()),
+    ]
+    .boxed()
+}
+
+fn kind_strategy() -> BoxedStrategy<EventKind> {
+    prop_oneof![
+        label_strategy().prop_map(|label| EventKind::SpanOpen { label }),
+        Just(EventKind::SpanClose),
+        label_strategy().prop_map(|domain| EventKind::CacheHit { domain }),
+        label_strategy().prop_map(|domain| EventKind::CacheMiss { domain }),
+        (label_strategy(), label_strategy())
+            .prop_map(|(seam, site)| EventKind::FaultFired { seam, site }),
+        (label_strategy(), 0u64..100)
+            .prop_map(|(task, attempt)| EventKind::TaskRetry { task, attempt }),
+        (label_strategy(), 0u64..100_000)
+            .prop_map(|(scope, deadline_ms)| EventKind::DeadlineArm { scope, deadline_ms }),
+        label_strategy().prop_map(|scope| EventKind::DeadlineExpired { scope }),
+        (0u64..1_000_000, 0u64..1_000_000, 0u64..10_000).prop_map(
+            |(dispatches, specialized, calls)| {
+                EventKind::VmCensus {
+                    dispatches,
+                    specialized,
+                    calls,
+                }
+            }
+        ),
+        label_strategy().prop_map(|detail| EventKind::BudgetExhausted { detail }),
+        label_strategy().prop_map(|site| EventKind::Estimate { site }),
+    ]
+    .boxed()
+}
+
+/// A span table forming a well-linked tree: entry 0 is the root, every
+/// later entry is a structural child of an earlier one. This mirrors what
+/// the live recorder produces (parents are opened before children).
+fn span_table_strategy() -> BoxedStrategy<Vec<SpanInfo>> {
+    (
+        0usize..7,
+        0u64..1_000,
+        pvec(label_strategy(), 6..7),
+        pvec(0usize..6, 6..7),
+    )
+        .prop_map(|(extra, seed, labels, parent_picks)| {
+            let root = SpanCtx::root("prop-flow", seed);
+            let mut spans = vec![SpanInfo {
+                ctx: root,
+                label: "prop-flow".to_string(),
+                worker: 0,
+            }];
+            for i in 0..extra {
+                let parent = spans[parent_picks[i] % spans.len()].ctx;
+                spans.push(SpanInfo {
+                    ctx: parent.child(&labels[i], i as u64),
+                    label: labels[i].clone(),
+                    worker: i % 2,
+                });
+            }
+            spans
+        })
+        .boxed()
+}
+
+fn worker_strategy(worker: usize) -> BoxedStrategy<WorkerDump> {
+    (
+        pvec(kind_strategy(), 10..11),
+        pvec(1u64..5, 10..11),
+        pvec(0u64..1_000_000_000, 10..11),
+        0usize..11,
+        0u64..50,
+        any::<bool>(),
+        0u64..1_000,
+    )
+        .prop_map(move |(kinds, gaps, walls, n, dropped, with_span, seed)| {
+            let span = with_span.then(|| SpanCtx::root("prop-flow", seed));
+            let mut seq = dropped; // the live recorder's residue starts past the evictions
+            let events = kinds
+                .into_iter()
+                .take(n)
+                .zip(gaps)
+                .zip(walls)
+                .map(|((kind, gap), wall_ns)| {
+                    let e = Event {
+                        seq,
+                        wall_ns,
+                        span,
+                        kind,
+                    };
+                    seq += gap; // strictly increasing, gaps model torn slots
+                    e
+                })
+                .collect();
+            WorkerDump {
+                worker,
+                dropped,
+                events,
+            }
+        })
+        .boxed()
+}
+
+fn snapshot_strategy() -> BoxedStrategy<Snapshot> {
+    (
+        pvec(label_strategy(), 3..4),
+        0usize..4,
+        span_table_strategy(),
+        0u64..10,
+        worker_strategy(0),
+        worker_strategy(1),
+        worker_strategy(2),
+        0usize..4,
+    )
+        .prop_map(|(triggers, nt, spans, dropped_spans, w0, w1, w2, nw)| {
+            let mut triggers = triggers;
+            triggers.truncate(nt);
+            let mut workers = vec![w0, w1, w2];
+            workers.truncate(nw);
+            Snapshot {
+                triggers,
+                spans,
+                dropped_spans,
+                workers,
+            }
+        })
+        .boxed()
+}
+
+fn hex_u64(v: &Json, key: &str) -> u64 {
+    u64::from_str_radix(v.get(key).and_then(Json::as_str).expect(key), 16).expect("hex id")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn bundle_parses_and_round_trips(snapshot in snapshot_strategy()) {
+        let text = psa_obs::recorder::render_bundle(&snapshot);
+        let doc = json::parse(&text).expect("bundle parses with the in-crate parser");
+
+        prop_assert_eq!(
+            doc.get("format").and_then(Json::as_str),
+            Some("psa-forensic-bundle")
+        );
+        prop_assert_eq!(doc.get("version").and_then(Json::as_u64), Some(1));
+        prop_assert_eq!(
+            doc.get("ring_capacity").and_then(Json::as_u64),
+            Some(RING_CAPACITY as u64)
+        );
+
+        // Triggers round-trip verbatim.
+        let triggers: Vec<&str> = doc
+            .get("triggers").expect("triggers").as_array().expect("array")
+            .iter().map(|t| t.as_str().expect("string")).collect();
+        prop_assert_eq!(triggers, snapshot.triggers.iter().map(String::as_str).collect::<Vec<_>>());
+
+        // Span table round-trips ids and labels; every parent is either the
+        // zero sentinel or itself present in the table (the CI jq check).
+        let spans = doc.get("spans").expect("spans").as_array().expect("array");
+        prop_assert_eq!(spans.len(), snapshot.spans.len());
+        let ids: Vec<u64> = spans.iter().map(|s| hex_u64(s, "span")).collect();
+        for (rendered, original) in spans.iter().zip(&snapshot.spans) {
+            prop_assert_eq!(hex_u64(rendered, "trace"), original.ctx.trace_id);
+            prop_assert_eq!(hex_u64(rendered, "span"), original.ctx.span_id);
+            prop_assert_eq!(hex_u64(rendered, "parent"), original.ctx.parent_id);
+            prop_assert_eq!(
+                rendered.get("label").and_then(Json::as_str),
+                Some(original.label.as_str())
+            );
+            let parent = hex_u64(rendered, "parent");
+            prop_assert!(
+                parent == 0 || ids.contains(&parent),
+                "span parent {parent:016x} missing from the table"
+            );
+        }
+
+        // Per-worker events: sequence numbers strictly increase and every
+        // event's kind tag and string payloads survive the round trip.
+        let workers = doc.get("workers").expect("workers").as_array().expect("array");
+        prop_assert_eq!(workers.len(), snapshot.workers.len());
+        for (rendered, original) in workers.iter().zip(&snapshot.workers) {
+            prop_assert_eq!(
+                rendered.get("dropped").and_then(Json::as_u64),
+                Some(original.dropped)
+            );
+            let events = rendered.get("events").expect("events").as_array().expect("array");
+            prop_assert_eq!(events.len(), original.events.len());
+            let mut last_seq = None;
+            for (ev, orig) in events.iter().zip(&original.events) {
+                let seq = ev.get("seq").and_then(Json::as_u64).expect("seq");
+                prop_assert_eq!(seq, orig.seq);
+                if let Some(prev) = last_seq {
+                    prop_assert!(seq > prev, "seq {seq} after {prev}");
+                }
+                last_seq = Some(seq);
+                prop_assert_eq!(
+                    ev.get("kind").and_then(Json::as_str),
+                    Some(orig.kind.name())
+                );
+                let field = |key: &str| ev.get(key).and_then(Json::as_str);
+                match &orig.kind {
+                    EventKind::SpanOpen { label } => {
+                        prop_assert_eq!(field("label"), Some(label.as_str()))
+                    }
+                    EventKind::CacheHit { domain } | EventKind::CacheMiss { domain } => {
+                        prop_assert_eq!(field("domain"), Some(domain.as_str()))
+                    }
+                    EventKind::FaultFired { seam, site } => {
+                        prop_assert_eq!(field("seam"), Some(seam.as_str()));
+                        prop_assert_eq!(field("site"), Some(site.as_str()));
+                    }
+                    EventKind::TaskRetry { task, attempt } => {
+                        prop_assert_eq!(field("task"), Some(task.as_str()));
+                        prop_assert_eq!(ev.get("attempt").and_then(Json::as_u64), Some(*attempt));
+                    }
+                    EventKind::VmCensus { dispatches, .. } => prop_assert_eq!(
+                        ev.get("dispatches").and_then(Json::as_u64),
+                        Some(*dispatches)
+                    ),
+                    _ => {}
+                }
+                if let Some(sp) = orig.span {
+                    prop_assert_eq!(hex_u64(ev, "span"), sp.span_id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn embedded_perfetto_tracks_are_balanced_and_monotone(snapshot in snapshot_strategy()) {
+        let text = psa_obs::recorder::render_bundle(&snapshot);
+        let doc = json::parse(&text).expect("bundle parses");
+        let perfetto = doc.get("perfetto").expect("embedded perfetto document");
+        let events = perfetto
+            .get("traceEvents").expect("traceEvents")
+            .as_array().expect("array");
+
+        // Same track simulation the workspace runs on exporter output:
+        // timestamps never regress, every E closes an open B, and every
+        // track is balanced at the end — even though the *input* event
+        // stream may open spans it never closes (ring eviction) or close
+        // spans it never opened (skipped at depth zero).
+        let mut depth: HashMap<(u64, u64), i64> = HashMap::new();
+        let mut last_ts: HashMap<(u64, u64), f64> = HashMap::new();
+        for e in events {
+            let ph = e.get("ph").expect("ph").as_str().expect("string");
+            if ph == "M" {
+                continue;
+            }
+            let pid = e.get("pid").expect("pid").as_u64().expect("u64");
+            let tid = e.get("tid").expect("tid").as_u64().expect("u64");
+            let ts = e.get("ts").expect("ts").as_f64().expect("f64");
+            let track = (pid, tid);
+            let prev = last_ts.entry(track).or_insert(f64::NEG_INFINITY);
+            prop_assert!(ts >= *prev, "timestamps regress on {track:?}");
+            *prev = ts;
+            match ph {
+                "B" => *depth.entry(track).or_insert(0) += 1,
+                "E" => {
+                    let d = depth.entry(track).or_insert(0);
+                    *d -= 1;
+                    prop_assert!(*d >= 0, "E without open B on {track:?}");
+                }
+                "i" => {}
+                other => prop_assert!(false, "unexpected phase {other:?}"),
+            }
+        }
+        for (track, d) in &depth {
+            prop_assert_eq!(*d, 0, "track {:?} left {} spans open", track, d);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+use std::time::Instant;
+
+#[test]
+#[ignore]
+fn ring_push_throughput() {
+    psa_obs::recorder::set_enabled(true);
+    let n = 1_000_000u64;
+    let start = Instant::now();
+    for i in 0..n {
+        psa_obs::recorder::record_cache("platform/cpu-omp", i % 2 == 0);
+    }
+    let per = start.elapsed().as_nanos() as u64 / n;
+    psa_obs::recorder::set_enabled(false);
+    println!("{per} ns per record_cache");
+}

@@ -57,6 +57,11 @@ impl CpuModel {
     /// content and thread count — one entry serves every flow instance (and
     /// every OMP-DSE sweep) probing the same configuration.
     pub fn time_openmp_cached(&self, w: &KernelWork, threads: u32, cache: &EvalCache) -> Seconds {
+        // Flight-recorder witness first, so an estimate that then faults
+        // (the `apply` below can panic) still leaves its event in the ring.
+        if psa_obs::recorder::enabled() {
+            psa_obs::recorder::record_estimate(&format!("cpu-omp/{}", self.spec.name));
+        }
         // Fault-injection seam for the (simulated) profiled OpenMP run.
         psa_faults::apply(psa_faults::Seam::Estimate, || {
             format!("cpu-omp/{}", self.spec.name)

@@ -156,6 +156,11 @@ impl FpgaModel {
         unroll: u64,
         cache: &EvalCache,
     ) -> FpgaReport {
+        // Flight-recorder witness first, so an estimate that then faults
+        // (the `apply` below can panic) still leaves its event in the ring.
+        if psa_obs::recorder::enabled() {
+            psa_obs::recorder::record_estimate(&format!("fpga-hls/{}", self.spec.name));
+        }
         // Fault-injection seam for the (simulated) HLS partial compile.
         psa_faults::apply(psa_faults::Seam::Estimate, || {
             format!("fpga-hls/{}", self.spec.name)

@@ -156,6 +156,11 @@ impl GpuModel {
         pinned: bool,
         cache: &EvalCache,
     ) -> Option<GpuEstimate> {
+        // Flight-recorder witness first, so an estimate that then faults
+        // (the `apply` below can panic) still leaves its event in the ring.
+        if psa_obs::recorder::enabled() {
+            psa_obs::recorder::record_estimate(&format!("gpu-estimate/{}", self.spec.name));
+        }
         // Fault-injection seam for the (simulated) vendor GPU model probe.
         psa_faults::apply(psa_faults::Seam::Estimate, || {
             format!("gpu-estimate/{}", self.spec.name)
