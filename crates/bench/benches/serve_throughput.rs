@@ -1,0 +1,92 @@
+//! psa-serve throughput benchmark: a live (unpaused) daemon absorbing a
+//! seeded no-fault, no-deadline job stream from three tenants, measured
+//! wall-clock from first submission to the last result.
+//!
+//! Hand-timed harness (`harness = false`): throughput is jobs/s over the
+//! whole session; latency quantiles come from the service's own
+//! `psa_serve_exec_ms` histogram (psa-obs log₂ buckets). Emits
+//! machine-readable results to `BENCH_serve.json` at the workspace root;
+//! CI guards a conservative throughput floor.
+//!
+//! Run with: `cargo bench -p psa-bench --bench serve_throughput`
+
+use psa_serve::loadgen::{generate, LoadConfig};
+use psa_serve::{JobStatus, Request, Response, Server, ServerConfig, TenantPolicy};
+use std::time::Instant;
+
+const JOBS: usize = 300;
+const WORKERS: usize = 4;
+
+fn main() {
+    psa_obs::set_enabled(true);
+
+    // No faults, no tight deadlines: every accepted job should succeed,
+    // so the number measures the service machinery plus the flows.
+    let requests = generate(&LoadConfig {
+        seed: 11,
+        jobs: JOBS,
+        tenants: vec!["alpha".into(), "bravo".into(), "charlie".into()],
+        arrive_step_ms: 1,
+        deadline_frac: 0.0,
+        fault_frac: 0.0,
+    });
+    // Admission opened wide: this benchmark measures execution, not
+    // rate-limit shedding.
+    let server = Server::new(ServerConfig {
+        workers: WORKERS,
+        queue_capacity: JOBS,
+        default_policy: TenantPolicy {
+            rate_per_sec: 1e9,
+            burst: 1e9,
+            max_in_flight: JOBS,
+        },
+        ..ServerConfig::default()
+    });
+
+    let start = Instant::now();
+    let mut accepted = 0usize;
+    for req in &requests {
+        match server.handle_request(req).remove(0) {
+            Response::Accepted { .. } => accepted += 1,
+            other => panic!("benchmark stream must admit cleanly, got {other:?}"),
+        }
+    }
+    let results = server.handle_request(&Request::Wait);
+    let elapsed_s = start.elapsed().as_secs_f64();
+
+    assert_eq!(accepted, JOBS, "every generated job admitted");
+    let done = results
+        .iter()
+        .filter(|r| matches!(r, Response::Result(r) if r.status == JobStatus::Done))
+        .count();
+    assert_eq!(done, JOBS, "no faults, no deadlines: every job succeeds");
+    match server.handle_request(&Request::Drain).remove(0) {
+        Response::Drained { completed, .. } => assert_eq!(completed as usize, JOBS),
+        other => panic!("drain must ack, got {other:?}"),
+    }
+
+    let throughput = JOBS as f64 / elapsed_s;
+    let exec = psa_obs::global().histogram("psa_serve_exec_ms", &[]);
+    let p50 = exec.quantile(0.50).unwrap_or(0.0);
+    let p99 = exec.quantile(0.99).unwrap_or(0.0);
+    println!(
+        "{JOBS} jobs on {WORKERS} workers in {elapsed_s:.3} s = {throughput:.1} jobs/s \
+         (exec p50 {p50:.1} ms, p99 {p99:.1} ms)"
+    );
+
+    // Machine-readable record (hand-formatted; the compat serde shim has no
+    // serializer for ad-hoc structs and this keeps the schema explicit).
+    let json = format!(
+        "{{\n  \"benchmark\": \"serve_throughput\",\n  \"jobs\": {JOBS},\n  \
+         \"workers\": {WORKERS},\n  \"elapsed_s\": {elapsed_s:.3},\n  \
+         \"throughput_jobs_per_s\": {throughput:.1},\n  \
+         \"exec_ms_p50\": {p50:.1},\n  \"exec_ms_p99\": {p99:.1}\n}}\n"
+    );
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = format!("{root}/BENCH_serve.json");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("serve_throughput: failed to write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {path}");
+}

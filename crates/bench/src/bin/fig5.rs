@@ -166,6 +166,8 @@ fn main() {
         .iter()
         .map(|(row, outcome)| (row.key.as_str(), outcome.trace.as_slice()))
         .collect();
-    obs.write_artifacts(&traces)
-        .expect("write observability artefacts");
+    if let Err(e) = obs.write_artifacts(&traces) {
+        eprintln!("fig5: failed to write observability artefacts: {e}");
+        std::process::exit(1);
+    }
 }

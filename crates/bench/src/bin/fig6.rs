@@ -82,8 +82,10 @@ fn main() {
         .iter()
         .map(|(row, outcome)| (row.key.as_str(), outcome.trace.as_slice()))
         .collect();
-    obs.write_artifacts(&traces)
-        .expect("write observability artefacts");
+    if let Err(e) = obs.write_artifacts(&traces) {
+        eprintln!("fig6: failed to write observability artefacts: {e}");
+        std::process::exit(1);
+    }
 }
 
 fn format_ratio(r: f64) -> String {

@@ -88,6 +88,10 @@ struct SpanNode<'a> {
 }
 
 fn render_bundle(path: &str, doc: &Json) {
+    emit(bundle_report(path, doc));
+}
+
+fn bundle_report(path: &str, doc: &Json) -> String {
     let spans = doc.get("spans").and_then(Json::as_array).unwrap_or(&[]);
     let workers = doc.get("workers").and_then(Json::as_array).unwrap_or(&[]);
     let triggers = doc.get("triggers").and_then(Json::as_array).unwrap_or(&[]);
@@ -162,8 +166,29 @@ fn render_bundle(path: &str, doc: &Json) {
             let _ = writeln!(out, "  ! {}", t.as_str().unwrap_or("?"));
         }
     }
+    // psa-serve bundles root every job at a `psa-serve/{tenant}/{id}`
+    // span. Surface those as a job index and render their trees first,
+    // so a drained service bundle reads as "one causal tree per job".
+    let (job_roots, other_roots): (Vec<usize>, Vec<usize>) = roots
+        .iter()
+        .copied()
+        .partition(|&r| nodes[r].label.starts_with("psa-serve/"));
+    if !job_roots.is_empty() {
+        let _ = writeln!(out, "\nservice jobs:");
+        for &r in &job_roots {
+            let (sub_spans, sub_events) = subtree_size(&nodes, r);
+            let mut parts = nodes[r].label.splitn(3, '/');
+            let _ = parts.next();
+            let tenant = parts.next().unwrap_or("?");
+            let id = parts.next().unwrap_or("?");
+            let _ = writeln!(
+                out,
+                "  {tenant}/{id}: {sub_spans} span(s), {sub_events} event(s)"
+            );
+        }
+    }
     let _ = writeln!(out, "\ncausal tree:");
-    for &r in &roots {
+    for &r in job_roots.iter().chain(&other_roots) {
         print_span(&mut out, &nodes, r, 1);
     }
     if !orphans.is_empty() {
@@ -172,7 +197,19 @@ fn render_bundle(path: &str, doc: &Json) {
             let _ = writeln!(out, "  [worker {wid}] {line}");
         }
     }
-    emit(out);
+    out
+}
+
+/// Spans and attached events in the subtree rooted at `idx` (inclusive).
+fn subtree_size(nodes: &[SpanNode], idx: usize) -> (usize, usize) {
+    let mut spans = 1;
+    let mut events = nodes[idx].events.len();
+    for &c in &nodes[idx].children {
+        let (s, e) = subtree_size(nodes, c);
+        spans += s;
+        events += e;
+    }
+    (spans, events)
 }
 
 fn print_span(out: &mut String, nodes: &[SpanNode], idx: usize, depth: usize) {
@@ -473,5 +510,68 @@ fn flatten(prefix: &str, v: &Json, out: &mut BTreeMap<String, f64>) {
             }
         }
         _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A serve-drain bundle (two `psa-serve/{tenant}/{id}` job roots,
+    /// engine spans nested under them) renders a job index and one
+    /// causal tree per job.
+    #[test]
+    fn serve_bundles_render_per_job_causal_trees() {
+        let bundle = r#"{"format":"psa-forensic-bundle","version":1,
+            "triggers":[],"dropped_spans":0,
+            "spans":[
+              {"trace":"000000000000000a","span":"000000000000000a",
+               "parent":"0000000000000000","label":"psa-serve/acme/job-00","worker":1},
+              {"trace":"000000000000000a","span":"000000000000000b",
+               "parent":"000000000000000a","label":"flow/psa-flow","worker":1},
+              {"trace":"000000000000000c","span":"000000000000000c",
+               "parent":"0000000000000000","label":"psa-serve/blue/job-01","worker":2},
+              {"trace":"000000000000000c","span":"000000000000000d",
+               "parent":"000000000000000c","label":"flow/psa-flow","worker":2},
+              {"trace":"00000000000000ff","span":"00000000000000ff",
+               "parent":"0000000000000000","label":"offline-run","worker":3}
+            ],
+            "workers":[
+              {"worker":1,"dropped":0,"events":[
+                {"seq":1,"wall_ns":5,"kind":"fault_fired","seam":"task",
+                 "site":"psa-flow/gen_omp","span":"000000000000000b"}
+              ]}
+            ],
+            "perfetto":{"traceEvents":[]}}"#;
+        let doc = json::parse(bundle).expect("synthetic bundle parses");
+        let report = bundle_report("drain.json", &doc);
+
+        let jobs_at = report.find("service jobs:").expect("job index present");
+        assert!(
+            report.contains("  acme/job-00: 2 span(s), 1 event(s)"),
+            "{report}"
+        );
+        assert!(
+            report.contains("  blue/job-01: 2 span(s), 0 event(s)"),
+            "{report}"
+        );
+        // Job trees come first, rooted at the tenant/job span, with the
+        // engine span nested beneath; the non-service root follows.
+        let tree_at = report.find("causal tree:").expect("tree present");
+        assert!(jobs_at < tree_at, "job index precedes the tree:\n{report}");
+        let tree = &report[tree_at..];
+        assert!(
+            tree.contains("  psa-serve/acme/job-00 (worker 1)"),
+            "{report}"
+        );
+        assert!(tree.contains("    flow/psa-flow (worker 1)"), "{report}");
+        assert!(tree.contains("FAULT task:psa-flow/gen_omp"), "{report}");
+        assert!(tree.contains("  offline-run (worker 3)"), "{report}");
+        let serve_root = tree.find("psa-serve/blue").expect("second job root");
+        let other_root = tree.find("offline-run").expect("offline root");
+        assert!(
+            serve_root < other_root,
+            "service jobs render first:\n{report}"
+        );
     }
 }

@@ -25,6 +25,8 @@ fn main() {
     println!("  Scope:         full applications (host code regenerated around the kernel)");
 
     // Table II runs no flows; the artefacts are valid but empty.
-    obs.write_artifacts(&[])
-        .expect("write observability artefacts");
+    if let Err(e) = obs.write_artifacts(&[]) {
+        eprintln!("table2: failed to write observability artefacts: {e}");
+        std::process::exit(1);
+    }
 }

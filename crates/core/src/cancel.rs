@@ -1,0 +1,77 @@
+//! Cooperative cancellation for in-flight flow runs.
+//!
+//! A [`CancelToken`] is shared (`Arc`) between whoever owns the run — a
+//! service worker, a drain handler — and the [`crate::engine::FlowEngine`]
+//! executing it. The owner trips it with [`CancelToken::cancel`]; the
+//! engine polls it at the same seams where flow deadlines are checked
+//! (before every module, at every branch expansion) and unwinds with a
+//! typed [`FlowError::Cancelled`]. Cancellation is *cooperative*: a module
+//! already running finishes its current step — nothing is torn down
+//! mid-mutation, so a cancelled context is still coherent for reporting.
+//!
+//! The un-cancelled fast path is one relaxed atomic load, matching the
+//! cost discipline of the fault-probe and recorder seams.
+
+use crate::flow::FlowError;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// A one-shot cancellation flag with a stated reason.
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    cancelled: AtomicBool,
+    /// First `cancel()` call wins the reason slot.
+    reason: OnceLock<String>,
+}
+
+impl CancelToken {
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Trip the token. The first caller's `reason` is the one reported;
+    /// later calls keep the flag set but cannot rewrite history.
+    pub fn cancel(&self, reason: impl Into<String>) {
+        let _ = self.reason.set(reason.into());
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// One relaxed load — cheap enough for per-module polling.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// The reason given to [`CancelToken::cancel`] (a generic placeholder
+    /// if the token was tripped without one racing the reason slot).
+    pub fn reason(&self) -> &str {
+        self.reason.get().map_or("cancelled", String::as_str)
+    }
+
+    /// The typed error a cancelled run unwinds with.
+    pub fn error(&self) -> FlowError {
+        FlowError::cancelled(self.reason())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_clear_and_trips_once() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        t.cancel("drain");
+        assert!(t.is_cancelled());
+        t.cancel("second caller loses");
+        assert_eq!(t.reason(), "drain");
+        assert_eq!(t.error(), FlowError::cancelled("drain"));
+        assert!(!t.error().is_transient(), "cancellation is never retried");
+    }
+
+    #[test]
+    fn reason_defaults_when_untripped() {
+        let t = CancelToken::new();
+        assert_eq!(t.reason(), "cancelled");
+    }
+}

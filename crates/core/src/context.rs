@@ -125,6 +125,11 @@ pub struct FlowContext {
     /// Branch-path clones share the plan (and its occurrence counters)
     /// through the `Arc`. `None` (the default) costs one pointer check.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Cooperative cancellation token, polled by the engine before every
+    /// module and branch expansion. Branch-path clones share the token
+    /// through the `Arc`, so one trip unwinds every path of the run.
+    /// `None` (the default) costs one pointer check per poll.
+    pub cancel: Option<Arc<crate::cancel::CancelToken>>,
     /// The causal span this context executes under: the flow root for the
     /// trunk, a branch-path child span on `Selection` path clones. The
     /// engine derives per-node spans from it (`span.child(node, id)`);
@@ -168,6 +173,7 @@ impl FlowContext {
             cache,
             failures: Vec::new(),
             faults: None,
+            cancel: None,
             span: psa_obs::SpanCtx::default(),
             trace: Vec::new(),
             pending_decision: None,
@@ -179,6 +185,13 @@ impl FlowContext {
     /// installs a process-global plan instead.
     pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Attach a shared cancellation token (builder style). The engine
+    /// polls it wherever it checks flow deadlines; see [`crate::cancel`].
+    pub fn with_cancel(mut self, token: Arc<crate::cancel::CancelToken>) -> Self {
+        self.cancel = Some(token);
         self
     }
 

@@ -515,6 +515,15 @@ impl FlowEngine {
         state: RunState,
     ) -> Result<(), FlowError> {
         let info = module.info();
+        // Cooperative cancellation: polled at the same seam as the flow
+        // deadline, so a tripped token stops the run before the next
+        // module starts (one pointer check when no token is attached).
+        if let Some(token) = &ctx.cancel {
+            if token.is_cancelled() {
+                psa_obs::counter_add("psa_flow_cancellations_total", &[("scope", "task")], 1);
+                return Err(token.error());
+            }
+        }
         // Flow deadline: checked before the span opens — a module never
         // starts once the whole-flow budget is spent.
         if let Some(at) = state.flow_deadline_at {
@@ -605,6 +614,15 @@ impl FlowEngine {
         ctx: &mut FlowContext,
         state: RunState,
     ) -> Result<bool, FlowError> {
+        // Cancellation is also polled before a branch expands: selecting
+        // paths (and cloning contexts for them) is exactly the fan-out a
+        // draining service wants to suppress.
+        if let Some(token) = &ctx.cancel {
+            if token.is_cancelled() {
+                psa_obs::counter_add("psa_flow_cancellations_total", &[("scope", "branch")], 1);
+                return Err(token.error());
+            }
+        }
         let start = ctx.trace.len();
         // The select seam: fault-injectable and panic-isolated like a
         // module run — a panicking strategy surfaces as a typed error.
@@ -1396,6 +1414,62 @@ mod tests {
         );
         // The first task ran; the second never started.
         assert_eq!(c.designs.len(), 1);
+    }
+
+    /// Trips a shared cancel token, then returns Ok.
+    struct TripCancel(std::sync::Arc<crate::cancel::CancelToken>);
+    impl Task for TripCancel {
+        fn info(&self) -> TaskInfo {
+            TaskInfo::new("trip-cancel", TaskClass::Analysis, false)
+        }
+        fn run(&self, ctx: &mut FlowContext) -> Result<(), FlowError> {
+            ctx.log("tripping the token");
+            self.0.cancel("test drain");
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_before_the_next_task() {
+        let token = std::sync::Arc::new(crate::cancel::CancelToken::new());
+        let flow = Flow::new("f")
+            .then(Emit("first", 0))
+            .then(TripCancel(std::sync::Arc::clone(&token)))
+            .then(Emit("second", 0));
+        for engine in [FlowEngine::sequential(), FlowEngine::parallel()] {
+            token.cancel("test drain"); // idempotent: first reason sticks
+            let mut c = ctx().with_cancel(std::sync::Arc::clone(&token));
+            let err = engine.execute(&flow, &mut c).unwrap_err();
+            assert_eq!(err, FlowError::cancelled("test drain"));
+            assert!(c.designs.is_empty(), "no module starts once cancelled");
+        }
+    }
+
+    #[test]
+    fn mid_flow_cancellation_keeps_completed_work() {
+        let token = std::sync::Arc::new(crate::cancel::CancelToken::new());
+        let flow = Flow::new("f")
+            .then(Emit("first", 0))
+            .then(TripCancel(std::sync::Arc::clone(&token)))
+            .then(Emit("second", 0));
+        let mut c = ctx().with_cancel(std::sync::Arc::clone(&token));
+        let err = FlowEngine::sequential().execute(&flow, &mut c).unwrap_err();
+        assert_eq!(err, FlowError::cancelled("test drain"));
+        // The chain engine keeps deltas up to the first error: the first
+        // task's design survives, the post-trip task never ran.
+        assert_eq!(c.designs.len(), 1);
+        assert!(!err.is_transient(), "retry never resurrects a cancellation");
+    }
+
+    #[test]
+    fn cancellation_suppresses_branch_fan_out() {
+        let token = std::sync::Arc::new(crate::cancel::CancelToken::new());
+        token.cancel("pre-cancelled");
+        let flow = fan_out();
+        let mut c = ctx().with_cancel(std::sync::Arc::clone(&token));
+        let err = FlowEngine::parallel().execute(&flow, &mut c).unwrap_err();
+        assert_eq!(err, FlowError::cancelled("pre-cancelled"));
+        assert!(c.designs.is_empty());
     }
 
     #[test]

@@ -50,6 +50,9 @@ pub enum FlowError {
     Internal { message: String },
     /// A task or flow wall-clock deadline elapsed.
     Timeout { what: String },
+    /// The run was cooperatively cancelled from outside (service drain,
+    /// client disconnect). Carries the canceller's stated reason.
+    Cancelled { reason: String },
 }
 
 impl FlowError {
@@ -109,6 +112,13 @@ impl FlowError {
         FlowError::Timeout { what: what.into() }
     }
 
+    /// An externally requested cooperative cancellation.
+    pub fn cancelled(reason: impl Into<String>) -> Self {
+        FlowError::Cancelled {
+            reason: reason.into(),
+        }
+    }
+
     /// Build the error a fault-injection rule asked for: `kind` is one of
     /// the constructor names (`precondition`, `transform`, `analysis`,
     /// `codegen`, `budget`, `timeout`, `internal`); anything else maps to
@@ -128,11 +138,14 @@ impl FlowError {
 
     /// Whether a retry could plausibly clear this error: panics and
     /// timeouts model flaky external toolchains; selection and
-    /// precondition errors are deterministic logic bugs.
+    /// precondition errors are deterministic logic bugs, and a
+    /// cancellation is a demand to stop, not a failure to retry past.
     pub fn is_transient(&self) -> bool {
         !matches!(
             self,
-            FlowError::Selection { .. } | FlowError::Precondition { .. }
+            FlowError::Selection { .. }
+                | FlowError::Precondition { .. }
+                | FlowError::Cancelled { .. }
         )
     }
 
@@ -149,6 +162,7 @@ impl FlowError {
                 format!("selection out of range: branch `{branch}` has no path {index}")
             }
             FlowError::Timeout { what } => format!("deadline exceeded: {what}"),
+            FlowError::Cancelled { reason } => format!("cancelled: {reason}"),
         }
     }
 }

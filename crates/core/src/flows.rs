@@ -315,20 +315,75 @@ pub fn full_psa_flow_faulted_on(
     cache: Arc<EvalCache>,
     faults: Option<Arc<psa_faults::FaultPlan>>,
 ) -> Result<FlowOutcome, FlowError> {
+    run_flow_job(
+        engine,
+        FlowJob {
+            source,
+            app_name,
+            mode,
+            params,
+            cache,
+            faults,
+            span_root: None,
+            cancel: None,
+        },
+    )
+}
+
+/// One fully-specified PSA-flow run: everything
+/// [`full_psa_flow_faulted_on`] takes, plus the service-layer extras — a
+/// custom causal root span (a server roots jobs at
+/// `psa-serve/{tenant}/{job}` so per-job forensic bundles filter by trace
+/// id) and a shared [`crate::cancel::CancelToken`] for cooperative
+/// cancellation mid-run.
+pub struct FlowJob<'a> {
+    pub source: &'a str,
+    pub app_name: &'a str,
+    pub mode: FlowMode,
+    pub params: PsaParams,
+    pub cache: Arc<EvalCache>,
+    /// Context-local fault plan (travels with per-path clones).
+    pub faults: Option<Arc<psa_faults::FaultPlan>>,
+    /// Root span override; `None` = the standard structural
+    /// `psa-flow/{app}` + mode-discriminant root.
+    pub span_root: Option<psa_obs::SpanCtx>,
+    /// Cooperative cancellation token polled by the engine.
+    pub cancel: Option<Arc<crate::cancel::CancelToken>>,
+}
+
+/// Run one [`FlowJob`] on `engine`. This is the single entry point every
+/// `full_psa_flow*` convenience wrapper (and the service layer) funnels
+/// through, so offline and served runs share byte-identical semantics.
+pub fn run_flow_job(engine: FlowEngine, job: FlowJob<'_>) -> Result<FlowOutcome, FlowError> {
+    let FlowJob {
+        source,
+        app_name,
+        mode,
+        params,
+        cache,
+        faults,
+        span_root,
+        cancel,
+    } = job;
     let ast = Ast::from_source(source, app_name)
         .map_err(|e| FlowError::precondition(format!("parse error: {e}")))?;
     let mut ctx = FlowContext::with_cache(ast, params, cache);
     // Causal root span: structural (app name + flow mode), so reruns of
     // the same flow produce identical span ids.
-    ctx.span = psa_obs::SpanCtx::root(
-        &format!("psa-flow/{app_name}"),
-        match mode {
-            FlowMode::Uninformed => 0,
-            FlowMode::Informed => 1,
-        },
-    );
+    ctx.span = span_root.unwrap_or_else(|| {
+        psa_obs::SpanCtx::root(
+            &format!("psa-flow/{app_name}"),
+            match mode {
+                FlowMode::Uninformed => 0,
+                FlowMode::Informed => 1,
+            },
+        )
+    });
     if let Some(plan) = faults {
         ctx = ctx.with_faults(plan);
+    }
+    if let Some(token) = cancel {
+        ctx = ctx.with_cancel(token);
     }
     let graph = build_graph(mode);
     let before = ctx.cache.stats();

@@ -47,6 +47,7 @@
 //!   speedups vs the single-thread reference;
 //! * [`related`] — the Table II capability matrix, encoded as data.
 
+pub mod cancel;
 pub mod context;
 pub mod dse;
 pub mod engine;
@@ -66,10 +67,11 @@ pub mod work;
 
 pub(crate) mod sched;
 
+pub use cancel::CancelToken;
 pub use context::{FlowContext, PsaParams};
 pub use engine::{Backoff, ExecMode, FailurePolicy, FlowEngine};
 pub use flow::{BranchPoint, Flow, FlowError, Selection, Step};
-pub use flows::{full_psa_flow, FlowMode};
+pub use flows::{full_psa_flow, run_flow_job, FlowJob, FlowMode};
 pub use graph::{FlowGraph, GraphBuilder, GraphError, GraphNode, NodeId};
 pub use ports::{ModulePorts, Port, PortSet};
 pub use psa_evalcache::{CacheKey, CacheStats, EvalCache, KeyBuilder};

@@ -30,7 +30,7 @@
 //! holding with the cache enabled.
 
 use std::any::Any;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -181,11 +181,40 @@ impl CacheStats {
 
 type Stored = Arc<dyn Any + Send + Sync>;
 
+/// Per-domain counters, maintained under the store lock so entry counts
+/// and eviction attribution are exact (the global hit/miss atomics remain
+/// the fast path for aggregate stats).
+#[derive(Debug, Default, Clone, Copy)]
+struct DomainCounters {
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    entries: u64,
+}
+
 #[derive(Default)]
 struct Store {
     map: HashMap<CacheKey, Stored>,
     /// Insertion order for FIFO eviction once `capacity` is exceeded.
     order: VecDeque<CacheKey>,
+    /// Exact per-domain counters (BTreeMap for deterministic iteration).
+    domains: BTreeMap<&'static str, DomainCounters>,
+}
+
+impl Store {
+    /// Remove `oldest` from the map + domain bookkeeping. The caller has
+    /// already taken it out of `order`.
+    fn evict(&mut self, oldest: CacheKey) {
+        self.map.remove(&oldest);
+        let d = self.domains.entry(oldest.domain).or_default();
+        d.entries = d.entries.saturating_sub(1);
+        d.evictions += 1;
+        psa_obs::counter_add(
+            "psa_evalcache_evictions_total",
+            &[("domain", oldest.domain)],
+            1,
+        );
+    }
 }
 
 /// Thread-safe, content-addressed, bounded (FIFO-evicting) store of
@@ -203,6 +232,10 @@ pub struct EvalCache {
     /// `None` = disabled (pass-through) mode.
     store: Option<Mutex<Store>>,
     capacity: usize,
+    /// Per-domain entry ceiling (`None` = only the global capacity bounds
+    /// the store). With a quota, a domain that floods the cache evicts its
+    /// *own* oldest entries — other domains' working sets survive.
+    domain_quota: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -223,10 +256,20 @@ impl EvalCache {
         EvalCache {
             store: Some(Mutex::new(Store::default())),
             capacity: capacity.max(1),
+            domain_quota: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
+    }
+
+    /// An enabled cache bounded globally by `capacity` *and* per key
+    /// domain by `per_domain` (both ≥ 1). This is the multi-tenant shape:
+    /// one tenant's cache-flooding domain evicts only its own entries.
+    pub fn with_domain_quota(capacity: usize, per_domain: usize) -> Self {
+        let mut cache = Self::with_capacity(capacity);
+        cache.domain_quota = Some(per_domain.max(1));
+        cache
     }
 
     /// A pass-through cache: always computes, never stores, never counts.
@@ -234,6 +277,7 @@ impl EvalCache {
         EvalCache {
             store: None,
             capacity: 0,
+            domain_quota: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -258,15 +302,56 @@ impl EvalCache {
         }
     }
 
+    /// Exact per-domain counters, keyed by domain in sorted order. Empty
+    /// for a disabled cache. Each entry's `CacheStats` carries that
+    /// domain's hits/misses/evictions and its *current* entry count —
+    /// the observable that tenant quota enforcement asserts against.
+    pub fn domain_stats(&self) -> Vec<(&'static str, CacheStats)> {
+        match &self.store {
+            Some(m) => {
+                let s = m.lock().expect("evalcache poisoned");
+                s.domains
+                    .iter()
+                    .map(|(&domain, c)| {
+                        (
+                            domain,
+                            CacheStats {
+                                hits: c.hits,
+                                misses: c.misses,
+                                evictions: c.evictions,
+                                entries: c.entries,
+                            },
+                        )
+                    })
+                    .collect()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// The per-domain entry ceiling, if one was configured.
+    pub fn domain_quota(&self) -> Option<usize> {
+        self.domain_quota
+    }
+
     fn lookup<T: Send + Sync + 'static>(&self, key: CacheKey) -> Option<Arc<T>> {
         let store = self.store.as_ref()?;
-        let found = store
-            .lock()
-            .expect("evalcache poisoned")
-            .map
-            .get(&key)
-            .cloned();
-        match found.and_then(|v| v.downcast::<T>().ok()) {
+        let found = {
+            let mut s = store.lock().expect("evalcache poisoned");
+            let found = s
+                .map
+                .get(&key)
+                .cloned()
+                .and_then(|v| v.downcast::<T>().ok());
+            let d = s.domains.entry(key.domain).or_default();
+            if found.is_some() {
+                d.hits += 1;
+            } else {
+                d.misses += 1;
+            }
+            found
+        };
+        match found {
             Some(t) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 psa_obs::counter_add("psa_evalcache_hits_total", &[("domain", key.domain)], 1);
@@ -289,19 +374,36 @@ impl EvalCache {
             // New key (a concurrent loser overwriting an identical value
             // re-uses the existing order slot).
             s.order.push_back(key);
+            s.domains.entry(key.domain).or_default().entries += 1;
+            // Global bound: FIFO across all domains.
             while s.map.len() > self.capacity {
                 if let Some(oldest) = s.order.pop_front() {
-                    s.map.remove(&oldest);
+                    s.evict(oldest);
                     self.evictions.fetch_add(1, Ordering::Relaxed);
-                    psa_obs::counter_add(
-                        "psa_evalcache_evictions_total",
-                        &[("domain", oldest.domain)],
-                        1,
-                    );
                 } else {
                     break;
                 }
             }
+            // Per-domain quota: the flooding domain evicts its *own*
+            // oldest entry (linear scan of the order queue — bounded by
+            // the global capacity, and only on over-quota inserts).
+            if let Some(quota) = self.domain_quota {
+                while s.domains.get(key.domain).map_or(0, |d| d.entries) as usize > quota {
+                    let victim = s.order.iter().position(|k| k.domain == key.domain);
+                    match victim.and_then(|i| s.order.remove(i)) {
+                        Some(oldest) => {
+                            s.evict(oldest);
+                            self.evictions.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => break,
+                    }
+                }
+            }
+            psa_obs::gauge_set(
+                "psa_evalcache_domain_entries",
+                &[("domain", key.domain)],
+                s.domains.get(key.domain).map_or(0, |d| d.entries) as f64,
+            );
         }
         psa_obs::gauge_set("psa_evalcache_entries", &[], s.map.len() as f64);
     }
@@ -463,6 +565,79 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.hits + s.misses, 8);
         assert_eq!(s.entries, 1);
+    }
+
+    #[test]
+    fn domain_stats_track_entries_hits_misses_and_evictions() {
+        let cache = EvalCache::new();
+        let ka = |i: u64| KeyBuilder::new("alpha").u64(i).finish();
+        let kb = |i: u64| KeyBuilder::new("beta").u64(i).finish();
+        cache.get_or_compute(ka(0), || 0u64); // alpha miss
+        cache.get_or_compute(ka(0), || 0u64); // alpha hit
+        cache.get_or_compute(kb(0), || 0u64); // beta miss
+        cache.get_or_compute(kb(1), || 1u64); // beta miss
+        let stats = cache.domain_stats();
+        let get = |d: &str| {
+            stats
+                .iter()
+                .find(|(name, _)| *name == d)
+                .map(|(_, s)| *s)
+                .expect("domain present")
+        };
+        let a = get("alpha");
+        assert_eq!((a.hits, a.misses, a.entries, a.evictions), (1, 1, 1, 0));
+        let b = get("beta");
+        assert_eq!((b.hits, b.misses, b.entries, b.evictions), (0, 2, 2, 0));
+        // Domains come back in sorted order, deterministically.
+        let names: Vec<_> = stats.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["alpha", "beta"]);
+    }
+
+    #[test]
+    fn domain_quota_evicts_only_the_flooding_domain() {
+        let cache = EvalCache::with_domain_quota(64, 2);
+        assert_eq!(cache.domain_quota(), Some(2));
+        let flood = |i: u64| KeyBuilder::new("flood").u64(i).finish();
+        let quiet = |i: u64| KeyBuilder::new("quiet").u64(i).finish();
+        cache.get_or_compute(quiet(0), || 0u64);
+        cache.get_or_compute(quiet(1), || 1u64);
+        for i in 0..10 {
+            cache.get_or_compute(flood(i), move || i);
+        }
+        let stats = cache.domain_stats();
+        let get = |d: &str| {
+            stats
+                .iter()
+                .find(|(name, _)| *name == d)
+                .map(|(_, s)| *s)
+                .expect("domain present")
+        };
+        let f = get("flood");
+        assert_eq!((f.entries, f.evictions), (2, 8), "flood capped at quota");
+        let q = get("quiet");
+        assert_eq!((q.entries, q.evictions), (2, 0), "quiet domain untouched");
+        // The flooding domain kept its own *newest* entries (FIFO within
+        // the domain): 8 and 9 hit, 0 recomputes.
+        cache.get_or_compute::<u64, _>(flood(9), || unreachable!("newest survives"));
+        let v = cache.get_or_compute(flood(0), || 100u64);
+        assert_eq!(*v, 100, "oldest flood entry was evicted");
+        // Aggregate eviction counter covers quota evictions too (8 + the
+        // re-insert of flood(0) pushing out flood(1)).
+        assert_eq!(cache.stats().evictions, 9);
+    }
+
+    #[test]
+    fn global_eviction_updates_domain_entry_counts() {
+        let cache = EvalCache::with_capacity(2);
+        let key = |d: &'static str, i: u64| KeyBuilder::new(d).u64(i).finish();
+        cache.get_or_compute(key("a", 0), || 0u64);
+        cache.get_or_compute(key("b", 0), || 0u64);
+        cache.get_or_compute(key("b", 1), || 1u64); // evicts a/0
+        let stats = cache.domain_stats();
+        let a = stats.iter().find(|(n, _)| *n == "a").map(|(_, s)| *s);
+        assert_eq!(a.map(|s| (s.entries, s.evictions)), Some((0, 1)));
+        let b = stats.iter().find(|(n, _)| *n == "b").map(|(_, s)| *s);
+        assert_eq!(b.map(|s| (s.entries, s.evictions)), Some((2, 0)));
     }
 
     #[test]

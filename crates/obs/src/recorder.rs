@@ -561,6 +561,45 @@ pub struct Snapshot {
     pub workers: Vec<WorkerDump>,
 }
 
+impl Snapshot {
+    /// The sub-snapshot attributable to one causal trace: span-table
+    /// entries whose `trace_id` matches, ring events attributed to a span
+    /// of that trace, and the trigger list kept whole (trigger strings
+    /// carry no trace id — post-mortems want them regardless). Workers
+    /// left with no matching events are dropped. A multi-tenant service
+    /// flushes one *job's* forensic bundle with this — a job's root span
+    /// id is its trace id.
+    pub fn for_trace(&self, trace_id: u64) -> Snapshot {
+        Snapshot {
+            triggers: self.triggers.clone(),
+            spans: self
+                .spans
+                .iter()
+                .filter(|s| s.ctx.trace_id == trace_id)
+                .cloned()
+                .collect(),
+            dropped_spans: self.dropped_spans,
+            workers: self
+                .workers
+                .iter()
+                .filter_map(|w| {
+                    let events: Vec<Event> = w
+                        .events
+                        .iter()
+                        .filter(|e| e.span.map(|s| s.trace_id) == Some(trace_id))
+                        .cloned()
+                        .collect();
+                    (!events.is_empty()).then_some(WorkerDump {
+                        worker: w.worker,
+                        dropped: w.dropped,
+                        events,
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
 /// Copy out the current recorder state (rings, span table, triggers).
 /// Safe to call while writers are live; torn slots are dropped.
 pub fn snapshot() -> Snapshot {
@@ -879,6 +918,43 @@ mod tests {
         assert!(w.events.iter().all(|e| e.kind.name() != "span_open"));
         assert_eq!(snap.spans.len(), 1);
         assert_eq!(snap.spans[0].ctx, root);
+    }
+
+    #[test]
+    fn for_trace_filters_spans_and_events_by_trace_id() {
+        let _g = guarded();
+        set_enabled(true);
+        reset();
+        let job_a = SpanCtx::root("psa-serve/tenant-a/job-1", 7);
+        let job_b = SpanCtx::root("psa-serve/tenant-b/job-2", 7);
+        assert_ne!(job_a.trace_id, job_b.trace_id);
+        record_span_open(job_a, "job-a");
+        record_cache("interp/profile", false);
+        record_span_close(job_a);
+        record_span_open(job_b, "job-b");
+        record_cache("interp/profile", true);
+        record_span_close(job_b);
+        mark_trigger("panic:task `x`: boom");
+        set_enabled(false);
+
+        let snap = snapshot();
+        let only_a = snap.for_trace(job_a.trace_id);
+        assert_eq!(only_a.spans.len(), 1);
+        assert_eq!(only_a.spans[0].ctx, job_a);
+        // Every surviving event belongs to job A's trace.
+        for w in &only_a.workers {
+            assert!(!w.events.is_empty());
+            assert!(w
+                .events
+                .iter()
+                .all(|e| e.span.map(|s| s.trace_id) == Some(job_a.trace_id)));
+        }
+        // Triggers survive the filter (they carry no trace id).
+        assert_eq!(only_a.triggers, snap.triggers);
+        // A trace nobody recorded yields an empty — but renderable — bundle.
+        let none = snap.for_trace(0xdead_beef);
+        assert!(none.spans.is_empty() && none.workers.is_empty());
+        assert!(render_bundle(&none).contains(BUNDLE_FORMAT));
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! psa-load: seeded workload generator and TCP driver for psa-serve.
+//!
+//! ```text
+//! psa-load [--seed N] [--jobs N] [--tenants a,b,c] [--step MS]
+//!          [--deadline-frac F] [--fault-frac F] [--connect ADDR]
+//! ```
+//!
+//! Without `--connect` it emits the generated session script (one request
+//! per line) to stdout — pipe it straight into `psa-serve`:
+//!
+//! ```text
+//! psa-load --seed 7 --jobs 500 | psa-serve --paused --queue 4096
+//! ```
+//!
+//! With `--connect ADDR` it plays the session against a listening daemon
+//! and echoes every response line to stdout, so two runs against two
+//! fresh paused daemons can be diffed byte-for-byte.
+
+use psa_serve::loadgen::{script, LoadConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: psa-load [--seed N] [--jobs N] [--tenants a,b,c] [--step MS]\n\
+     \x20               [--deadline-frac F] [--fault-frac F] [--connect ADDR]"
+}
+
+fn parse_args(argv: &[String]) -> Result<(LoadConfig, Option<String>), String> {
+    let mut cfg = LoadConfig::default();
+    let mut connect = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--seed" => {
+                cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--jobs" => {
+                cfg.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("bad --jobs: {e}"))?
+            }
+            "--tenants" => {
+                cfg.tenants = value("--tenants")?
+                    .split(',')
+                    .filter(|t| !t.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+                if cfg.tenants.is_empty() {
+                    return Err("--tenants needs at least one name".to_owned());
+                }
+            }
+            "--step" => {
+                cfg.arrive_step_ms = value("--step")?
+                    .parse()
+                    .map_err(|e| format!("bad --step: {e}"))?
+            }
+            "--deadline-frac" => {
+                cfg.deadline_frac = value("--deadline-frac")?
+                    .parse()
+                    .map_err(|e| format!("bad --deadline-frac: {e}"))?
+            }
+            "--fault-frac" => {
+                cfg.fault_frac = value("--fault-frac")?
+                    .parse()
+                    .map_err(|e| format!("bad --fault-frac: {e}"))?
+            }
+            "--connect" => connect = Some(value("--connect")?),
+            "--help" | "-h" => return Err(usage().to_owned()),
+            other => return Err(format!("unknown argument \"{other}\"\n{}", usage())),
+        }
+    }
+    Ok((cfg, connect))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (cfg, connect) = match parse_args(&argv) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let session = script(&cfg);
+    match connect {
+        None => {
+            let mut out = std::io::stdout().lock();
+            if let Err(e) = out.write_all(session.as_bytes()) {
+                eprintln!("psa-load: stdout error: {e}");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Some(addr) => {
+            let stream = match std::net::TcpStream::connect(&addr) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("psa-load: cannot connect to {addr}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let reader = match stream.try_clone() {
+                Ok(s) => BufReader::new(s),
+                Err(e) => {
+                    eprintln!("psa-load: connection clone failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // Write on a separate thread: the server responds while the
+            // session is still streaming in, so a single-threaded
+            // write-then-read would deadlock once both socket buffers
+            // fill on a large workload.
+            let sender = std::thread::spawn(move || {
+                let mut stream = stream;
+                stream
+                    .write_all(session.as_bytes())
+                    .and_then(|()| stream.flush())
+            });
+            let mut out = std::io::stdout().lock();
+            for line in reader.lines() {
+                match line {
+                    Ok(line) => {
+                        if writeln!(out, "{line}").is_err() {
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("psa-load: receive failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            match sender.join() {
+                Ok(Ok(())) => ExitCode::SUCCESS,
+                Ok(Err(e)) => {
+                    eprintln!("psa-load: send failed: {e}");
+                    ExitCode::FAILURE
+                }
+                Err(_) => {
+                    eprintln!("psa-load: sender thread panicked");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+    }
+}

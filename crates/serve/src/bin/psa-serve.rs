@@ -1,0 +1,151 @@
+//! The psa-serve daemon: design-flow jobs as a service.
+//!
+//! ```text
+//! psa-serve [--tcp ADDR] [--workers N] [--queue N] [--paused]
+//!           [--default-policy RATE:BURST:QUOTA]
+//!           [--tenant NAME:RATE:BURST:QUOTA]...
+//!           [--cache-cap N] [--domain-quota N]
+//!           [--record] [--bundle-dir DIR] [--metrics-out FILE]
+//! ```
+//!
+//! Without `--tcp` the daemon speaks the line protocol on stdin/stdout
+//! (one request per line; EOF drains gracefully) — the form the soak and
+//! determinism gates drive. With `--tcp ADDR` it listens for connections
+//! and serves each on its own thread until a client sends `drain`.
+
+use psa_serve::{Server, ServerConfig, TenantPolicy};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Args {
+    tcp: Option<String>,
+    cfg: ServerConfig,
+    record: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: psa-serve [--tcp ADDR] [--workers N] [--queue N] [--paused]\n\
+     \x20                [--default-policy RATE:BURST:QUOTA] [--tenant NAME:RATE:BURST:QUOTA]...\n\
+     \x20                [--cache-cap N] [--domain-quota N]\n\
+     \x20                [--record] [--bundle-dir DIR] [--metrics-out FILE]"
+}
+
+fn parse_policy(spec: &str) -> Result<TenantPolicy, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.len() != 3 {
+        return Err(format!("policy \"{spec}\" is not RATE:BURST:QUOTA"));
+    }
+    Ok(TenantPolicy {
+        rate_per_sec: parts[0]
+            .parse()
+            .map_err(|e| format!("bad rate in \"{spec}\": {e}"))?,
+        burst: parts[1]
+            .parse()
+            .map_err(|e| format!("bad burst in \"{spec}\": {e}"))?,
+        max_in_flight: parts[2]
+            .parse()
+            .map_err(|e| format!("bad quota in \"{spec}\": {e}"))?,
+    })
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        tcp: None,
+        cfg: ServerConfig::default(),
+        record: false,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--tcp" => args.tcp = Some(value("--tcp")?),
+            "--workers" => {
+                args.cfg.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?
+            }
+            "--queue" => {
+                args.cfg.queue_capacity = value("--queue")?
+                    .parse()
+                    .map_err(|e| format!("bad --queue: {e}"))?
+            }
+            "--paused" => args.cfg.paused = true,
+            "--default-policy" => {
+                args.cfg.default_policy = parse_policy(&value("--default-policy")?)?
+            }
+            "--tenant" => {
+                let spec = value("--tenant")?;
+                let (name, rest) = spec
+                    .split_once(':')
+                    .ok_or_else(|| format!("tenant \"{spec}\" is not NAME:RATE:BURST:QUOTA"))?;
+                args.cfg
+                    .tenants
+                    .push((name.to_owned(), parse_policy(rest)?));
+            }
+            "--cache-cap" => {
+                args.cfg.cache_capacity = value("--cache-cap")?
+                    .parse()
+                    .map_err(|e| format!("bad --cache-cap: {e}"))?
+            }
+            "--domain-quota" => {
+                let n: usize = value("--domain-quota")?
+                    .parse()
+                    .map_err(|e| format!("bad --domain-quota: {e}"))?;
+                args.cfg.cache_domain_quota = if n == 0 { None } else { Some(n) };
+            }
+            "--record" => args.record = true,
+            "--bundle-dir" => args.cfg.bundle_dir = Some(value("--bundle-dir")?.into()),
+            "--metrics-out" => args.cfg.metrics_path = Some(value("--metrics-out")?.into()),
+            "--help" | "-h" => return Err(usage().to_owned()),
+            other => return Err(format!("unknown argument \"{other}\"\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.record {
+        psa_obs::set_enabled(true);
+        psa_obs::recorder::set_enabled(true);
+    }
+    let server = Arc::new(Server::new(args.cfg));
+    let result = match &args.tcp {
+        Some(addr) => match std::net::TcpListener::bind(addr) {
+            Ok(listener) => {
+                match listener.local_addr() {
+                    Ok(local) => eprintln!("psa-serve: listening on {local}"),
+                    Err(_) => eprintln!("psa-serve: listening on {addr}"),
+                }
+                psa_serve::serve_tcp(&server, listener)
+            }
+            Err(e) => {
+                eprintln!("psa-serve: cannot bind {addr}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            server.serve_lines(stdin.lock(), stdout.lock())
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("psa-serve: I/O error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

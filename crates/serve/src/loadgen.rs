@@ -1,0 +1,216 @@
+//! Seeded workload generation for psa-serve: the `psa-load` binary and
+//! the soak harness both call [`script`], so "the workload with seed 7"
+//! means the exact same byte stream everywhere. Determinism is the whole
+//! point — the soak gate replays one stream twice and diffs the output.
+
+use crate::proto::{encode_request, JobSpec, Request};
+use psaflow_core::FlowMode;
+
+/// Knobs for one generated workload.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    pub seed: u64,
+    /// Submissions to generate.
+    pub jobs: usize,
+    /// Tenant names; the first is "flooding" (picked ~half the time) so
+    /// quota and rate rejections actually trigger.
+    pub tenants: Vec<String>,
+    /// Maximum virtual-ms gap between consecutive arrivals.
+    pub arrive_step_ms: u64,
+    /// Fraction of jobs given a deadline tight enough to expire in queue.
+    pub deadline_frac: f64,
+    /// Fraction of jobs carrying a fault-injection plan.
+    pub fault_frac: f64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            seed: 1,
+            jobs: 100,
+            tenants: vec!["alpha".into(), "bravo".into(), "charlie".into()],
+            arrive_step_ms: 7,
+            deadline_frac: 0.05,
+            fault_frac: 0.10,
+        }
+    }
+}
+
+/// xorshift64* — tiny, seedable, good enough for workload shaping.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        (self.next_u64() % 10_000) as f64 / 10_000.0 < p
+    }
+}
+
+const BENCH_KEYS: &[&str] = &["rushlarsen", "nbody", "bezier", "adpredictor", "kmeans"];
+
+/// A deadline far beyond any real execution, used for jobs that should
+/// run: it threads deadline enforcement through the engine without ever
+/// firing, keeping outcome counts deterministic.
+pub const GENEROUS_DEADLINE_MS: u64 = 10_000_000;
+
+/// Generate the submission stream (submissions only, in arrival order).
+pub fn generate(cfg: &LoadConfig) -> Vec<Request> {
+    let mut rng = Rng::new(cfg.seed);
+    let mut arrive_ms = 0u64;
+    let mut out = Vec::with_capacity(cfg.jobs);
+    for i in 0..cfg.jobs {
+        arrive_ms += 1 + rng.next_u64() % cfg.arrive_step_ms.max(1);
+        // The first tenant floods; the rest share the remainder evenly.
+        let tenant = if cfg.tenants.len() > 1 && rng.chance(0.5) {
+            cfg.tenants[0].clone()
+        } else {
+            cfg.tenants[rng.pick(cfg.tenants.len())].clone()
+        };
+        let bench = BENCH_KEYS[rng.pick(BENCH_KEYS.len())];
+        let mode = if rng.chance(0.75) {
+            FlowMode::Informed
+        } else {
+            FlowMode::Uninformed
+        };
+        let policy = match rng.pick(10) {
+            0 => "failfast".to_owned(),
+            1 | 2 => "retry:2".to_owned(),
+            _ => "degrade".to_owned(),
+        };
+        // Tight deadlines (a few virtual ms) expire while queued on any
+        // stream longer than a handful of jobs; everything else gets the
+        // generous deadline or none.
+        let deadline_ms = if rng.chance(cfg.deadline_frac) {
+            Some(1 + rng.next_u64() % 5)
+        } else if rng.chance(0.5) {
+            Some(GENEROUS_DEADLINE_MS)
+        } else {
+            None
+        };
+        let faults = if rng.chance(cfg.fault_frac) {
+            Some(match rng.pick(4) {
+                0 => format!(
+                    "seed={}; task:gpu=error:transform:injected",
+                    cfg.seed ^ i as u64
+                ),
+                1 => format!(
+                    "seed={}; task:fpga=panic:injected fault",
+                    cfg.seed ^ i as u64
+                ),
+                2 => format!("seed={}; task:cpu=delay:1", cfg.seed ^ i as u64),
+                _ => format!(
+                    "seed={}; select:psa=error:analysis:injected",
+                    cfg.seed ^ i as u64
+                ),
+            })
+        } else {
+            None
+        };
+        out.push(Request::Submit(JobSpec {
+            id: format!("{tenant}-{i:05}"),
+            tenant,
+            bench: Some(bench.to_owned()),
+            source: None,
+            mode,
+            policy,
+            deadline_ms,
+            arrive_ms,
+            faults,
+        }));
+    }
+    out
+}
+
+/// The full session as requests: submissions, then resume / wait /
+/// stats / drain.
+pub fn session(cfg: &LoadConfig) -> Vec<Request> {
+    let mut reqs = generate(cfg);
+    reqs.extend([
+        Request::Resume,
+        Request::Wait,
+        Request::Stats,
+        Request::Drain,
+    ]);
+    reqs
+}
+
+/// The full session as the line-delimited wire script.
+pub fn script(cfg: &LoadConfig) -> String {
+    let mut s = String::new();
+    for req in session(cfg) {
+        s.push_str(&encode_request(&req));
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let cfg = LoadConfig {
+            jobs: 50,
+            ..LoadConfig::default()
+        };
+        assert_eq!(script(&cfg), script(&cfg));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = LoadConfig {
+            jobs: 50,
+            ..LoadConfig::default()
+        };
+        let b = LoadConfig {
+            seed: 2,
+            jobs: 50,
+            ..LoadConfig::default()
+        };
+        assert_ne!(script(&a), script(&b));
+    }
+
+    #[test]
+    fn every_generated_line_decodes() {
+        let cfg = LoadConfig {
+            jobs: 200,
+            deadline_frac: 0.2,
+            fault_frac: 0.3,
+            ..LoadConfig::default()
+        };
+        for line in script(&cfg).lines() {
+            crate::proto::decode_request(line).expect(line);
+        }
+    }
+
+    #[test]
+    fn arrivals_are_monotone() {
+        let cfg = LoadConfig::default();
+        let mut last = 0;
+        for req in generate(&cfg) {
+            if let Request::Submit(j) = req {
+                assert!(j.arrive_ms >= last);
+                last = j.arrive_ms;
+            }
+        }
+        assert!(last > 0);
+    }
+}

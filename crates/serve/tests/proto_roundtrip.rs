@@ -1,0 +1,166 @@
+//! Property tests for the psa-serve wire protocol: arbitrary job specs
+//! survive encode→decode unchanged, and arbitrary / mutilated bytes
+//! produce typed [`psa_serve::ProtoError`]s — never panics.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use psa_serve::{decode_request, encode_request, JobSpec, Request};
+use psaflow_core::FlowMode;
+
+/// Strings exercising quoting, escapes, control chars and non-ASCII.
+fn wire_string() -> BoxedStrategy<String> {
+    let ch = prop_oneof![
+        (97u32..123).prop_map(|c| char::from_u32(c).unwrap_or('a')),
+        (0u32..32).prop_map(|c| char::from_u32(c).unwrap_or('\n')),
+        Just('"'),
+        Just('\\'),
+        Just('/'),
+        Just('{'),
+        Just('\u{00e9}'),
+        Just('\u{2603}'),
+        Just('\u{1f600}'),
+    ];
+    vec(ch, 1..12)
+        .prop_map(|cs| cs.into_iter().collect::<String>())
+        .boxed()
+}
+
+/// Failure-policy specs, all valid under `FailurePolicy::parse`.
+fn policy_spec() -> BoxedStrategy<String> {
+    prop_oneof![
+        Just("degrade".to_owned()),
+        Just("failfast".to_owned()),
+        Just("retry".to_owned()),
+        Just("retry:2".to_owned()),
+        Just("retry:3:7".to_owned()),
+    ]
+    .boxed()
+}
+
+/// Fault-plan specs, all valid under `FaultPlan::parse`.
+fn fault_spec() -> BoxedStrategy<String> {
+    prop_oneof![
+        Just("seed=1; task:x=error:transform:m".to_owned()),
+        Just("task:gpu=panic:boom".to_owned()),
+        Just("seed=9; cache:k=delay:2".to_owned()),
+        Just("select:a@2=error:analysis:z".to_owned()),
+        Just("seed=3; task:t@~0.5=panic".to_owned()),
+    ]
+    .boxed()
+}
+
+fn job_spec() -> BoxedStrategy<JobSpec> {
+    let program = prop_oneof![
+        wire_string().prop_map(|s| (Some(s), None)),
+        wire_string().prop_map(|s| (None, Some(s))),
+    ];
+    (
+        wire_string(),
+        wire_string(),
+        program,
+        any::<bool>(),
+        policy_spec(),
+        prop_oneof![Just(None), (0u64..10_000_000u64).prop_map(Some)],
+        0u64..1_000_000_000u64,
+        prop_oneof![Just(None), fault_spec().prop_map(Some)],
+    )
+        .prop_map(
+            |(id, tenant, (bench, source), informed, policy, deadline_ms, arrive_ms, faults)| {
+                JobSpec {
+                    id,
+                    tenant,
+                    bench,
+                    source,
+                    mode: if informed {
+                        FlowMode::Informed
+                    } else {
+                        FlowMode::Uninformed
+                    },
+                    policy,
+                    deadline_ms,
+                    arrive_ms,
+                    faults,
+                }
+            },
+        )
+        .boxed()
+}
+
+fn request() -> BoxedStrategy<Request> {
+    prop_oneof![
+        job_spec().prop_map(Request::Submit),
+        wire_string().prop_map(|id| Request::Cancel { id }),
+        Just(Request::Resume),
+        Just(Request::Wait),
+        Just(Request::Stats),
+        Just(Request::Metrics),
+        Just(Request::Drain),
+    ]
+    .boxed()
+}
+
+#[test]
+fn generator_specs_are_actually_valid() {
+    for p in ["degrade", "failfast", "retry", "retry:2", "retry:3:7"] {
+        psaflow_core::FailurePolicy::parse(p).expect(p);
+    }
+    for f in [
+        "seed=1; task:x=error:transform:m",
+        "task:gpu=panic:boom",
+        "seed=9; cache:k=delay:2",
+        "select:a@2=error:analysis:z",
+        "seed=3; task:t@~0.5=panic",
+    ] {
+        psa_faults::FaultPlan::parse(f).expect(f);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Encode→decode is the identity on every representable request.
+    #[test]
+    fn requests_round_trip(req in request()) {
+        let line = encode_request(&req);
+        prop_assert_eq!(decode_request(&line), Ok(req.clone()), "line: {line}");
+    }
+
+    /// The encoded line is one line: no raw newlines survive escaping.
+    #[test]
+    fn encoded_requests_are_single_lines(req in request()) {
+        let line = encode_request(&req);
+        prop_assert!(!line.contains('\n'), "line: {line:?}");
+        prop_assert!(!line.chars().any(|c| (c as u32) < 0x20), "line: {line:?}");
+    }
+
+    /// Arbitrary garbage never panics the decoder: it returns a typed
+    /// error (or, by coincidence, a valid request).
+    #[test]
+    fn hostile_bytes_never_panic(garbage in wire_string()) {
+        let _ = decode_request(&garbage);
+    }
+
+    /// Truncating a valid encoded request at any char boundary yields a
+    /// typed error or a valid request — never a panic.
+    #[test]
+    fn truncations_never_panic(req in request(), cut in 0usize..4096) {
+        let line = encode_request(&req);
+        let mut cut = cut.min(line.len());
+        while cut > 0 && !line.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let _ = decode_request(&line[..cut]);
+    }
+
+    /// Splicing garbage into a valid line never panics either.
+    #[test]
+    fn spliced_lines_never_panic(req in request(), noise in wire_string(), at in 0usize..4096) {
+        let line = encode_request(&req);
+        let mut at = at.min(line.len());
+        while at > 0 && !line.is_char_boundary(at) {
+            at -= 1;
+        }
+        let spliced = format!("{}{}{}", &line[..at], noise, &line[at..]);
+        let _ = decode_request(&spliced);
+    }
+}

@@ -53,6 +53,7 @@ pub use psa_interp as interp;
 pub use psa_minicpp as minicpp;
 pub use psa_obs as obs;
 pub use psa_platform as platform;
+pub use psa_serve as serve;
 pub use psaflow_core as core;
 
 /// Crate version (workspace-wide).
